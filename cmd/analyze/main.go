@@ -1,0 +1,174 @@
+// Command analyze is the PROTEST-style testability report: per-circuit
+// signal probabilities, observabilities, the detection-probability
+// profile, the hardest faults, and the required random-test length —
+// everything the paper's ANALYSIS/SORT/NORMALIZE pipeline computes,
+// as a human-readable report.
+//
+// Usage:
+//
+//	analyze -circuit s1
+//	analyze -bench design.bench -weights w.txt -hardest 20
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"optirand"
+	"optirand/internal/report"
+)
+
+var (
+	flagBench      = flag.String("bench", "", "path to a .bench netlist")
+	flagCircuit    = flag.String("circuit", "", "built-in benchmark name")
+	flagWeights    = flag.String("weights", "", "weights file (optgen output); default all 0.5")
+	flagHardest    = flag.Int("hardest", 10, "number of hardest faults to list")
+	flagConfidence = flag.Float64("confidence", optirand.DefaultConfidence, "confidence level")
+	flagHistogram  = flag.Bool("histogram", true, "print the detectability profile")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "analyze: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	var c *optirand.Circuit
+	switch {
+	case *flagBench != "":
+		var err error
+		c, err = optirand.ParseBenchFile(*flagBench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *flagCircuit != "":
+		b, ok := optirand.BenchmarkByName(*flagCircuit)
+		if !ok {
+			fatalf("unknown circuit %q", *flagCircuit)
+		}
+		c = b.Build()
+	default:
+		fatalf("need -bench or -circuit")
+	}
+
+	weights := optirand.UniformWeights(c)
+	if *flagWeights != "" {
+		if err := loadWeights(c, *flagWeights, weights); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	st := c.Stats()
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, depth %d, %d fault sites\n",
+		c.Name, st.Inputs, st.Outputs, st.Gates, st.Depth, st.Lines)
+
+	u := optirand.Faults(c)
+	fmt.Printf("fault model: %d uncollapsed stuck-at faults in %d equivalence classes\n",
+		len(u.All), len(u.Reps))
+
+	probs := optirand.EstimateDetectProbs(c, u.Reps, weights)
+	var live []float64
+	redundant := 0
+	for _, p := range probs {
+		if p > 0 {
+			live = append(live, p)
+		} else {
+			redundant++
+		}
+	}
+	fmt.Printf("suspected redundant (estimate exactly 0): %d\n\n", redundant)
+
+	if *flagHistogram {
+		t := report.NewTable("Detectability profile", "p_f range", "Faults", "Bar")
+		buckets := []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-1, 1.01}
+		labels := []string{"< 1e-9", "1e-9..1e-7", "1e-7..1e-5", "1e-5..1e-3", "1e-3..0.1", ">= 0.1"}
+		counts := make([]int, len(buckets)+1)
+		for _, p := range live {
+			idx := sort.SearchFloat64s(buckets, p)
+			counts[idx]++
+		}
+		maxCount := 1
+		for _, n := range counts[:len(labels)] {
+			if n > maxCount {
+				maxCount = n
+			}
+		}
+		for i, lab := range labels {
+			bar := strings.Repeat("#", counts[i]*40/maxCount)
+			t.Add(lab, fmt.Sprint(counts[i]), bar)
+		}
+		fmt.Print(t, "\n")
+	}
+
+	// Hardest faults.
+	type hardFault struct {
+		idx int
+		p   float64
+	}
+	hf := make([]hardFault, 0, len(probs))
+	for i, p := range probs {
+		if p > 0 {
+			hf = append(hf, hardFault{i, p})
+		}
+	}
+	sort.Slice(hf, func(a, b int) bool { return hf[a].p < hf[b].p })
+	n := *flagHardest
+	if n > len(hf) {
+		n = len(hf)
+	}
+	t := report.NewTable(fmt.Sprintf("%d hardest faults", n), "Fault", "p_f", "N for this fault alone")
+	for _, h := range hf[:n] {
+		soloN := math.Log(1/(-math.Log(*flagConfidence))) / h.p
+		t.Add(u.Reps[h.idx].Describe(c), fmt.Sprintf("%.3g", h.p), report.Sci(soloN))
+	}
+	fmt.Print(t, "\n")
+
+	res := optirand.RequiredTestLength(probs, *flagConfidence)
+	fmt.Printf("required random-test length (confidence %.4g): %s patterns\n",
+		*flagConfidence, report.Sci(res.N))
+	fmt.Printf("numerically relevant hard faults (nf): %d\n", res.HardFaults)
+	fmt.Printf("expected coverage at that length: %s\n",
+		report.Pct(optirand.ExpectedCoverage(live, res.N)))
+}
+
+func loadWeights(c *optirand.Circuit, path string, weights []float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	byName := make(map[string]int)
+	for pos, g := range c.Inputs {
+		byName[c.GateName(g)] = pos
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return fmt.Errorf("%s:%d: want \"name probability\"", path, line)
+		}
+		pos, ok := byName[fields[0]]
+		if !ok {
+			return fmt.Errorf("%s:%d: unknown input %q", path, line, fields[0])
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || w < 0 || w > 1 {
+			return fmt.Errorf("%s:%d: bad probability %q", path, line, fields[1])
+		}
+		weights[pos] = w
+	}
+	return sc.Err()
+}

@@ -1,0 +1,71 @@
+// Command benchgen emits the built-in evaluation circuits as .bench
+// netlists.
+//
+// Usage:
+//
+//	benchgen -circuit s1                 # print S1 to stdout
+//	benchgen -circuit c7552 -o c7552.bench
+//	benchgen -list                       # list available circuits
+//	benchgen -stats                      # structural statistics table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optirand"
+	"optirand/internal/gen"
+	"optirand/internal/report"
+)
+
+var (
+	flagCircuit = flag.String("circuit", "", "benchmark name (see -list)")
+	flagOut     = flag.String("o", "", "output file (default stdout)")
+	flagList    = flag.Bool("list", false, "list available circuits")
+	flagStats   = flag.Bool("stats", false, "print structural statistics for all circuits")
+)
+
+func main() {
+	flag.Parse()
+	switch {
+	case *flagList:
+		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
+		for _, b := range optirand.Benchmarks() {
+			t.Add(b.Name, b.PaperName, b.Description)
+		}
+		fmt.Print(t)
+	case *flagStats:
+		t := report.NewTable("Structural statistics", "Name", "Inputs", "Outputs", "Gates", "Depth", "Lines", "MaxFanout")
+		for _, b := range optirand.Benchmarks() {
+			c := b.Build()
+			s := c.Stats()
+			t.Add(b.Name, fmt.Sprint(s.Inputs), fmt.Sprint(s.Outputs), fmt.Sprint(s.Gates),
+				fmt.Sprint(s.Depth), fmt.Sprint(s.Lines), fmt.Sprint(s.FanoutMax))
+		}
+		fmt.Print(t)
+	case *flagCircuit != "":
+		b, ok := gen.ByName(*flagCircuit)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown circuit %q (try -list)\n", *flagCircuit)
+			os.Exit(2)
+		}
+		out := os.Stdout
+		if *flagOut != "" {
+			f, err := os.Create(*flagOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := optirand.WriteBench(out, b.Build()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

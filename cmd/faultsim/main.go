@@ -1,0 +1,125 @@
+// Command faultsim runs a weighted random-pattern fault simulation
+// campaign against a circuit and reports the achieved stuck-at fault
+// coverage and the coverage curve.
+//
+// Usage:
+//
+//	faultsim -circuit s1 -n 12000                 # conventional test
+//	faultsim -circuit s1 -n 12000 -weights w.txt  # weights from optgen
+//	faultsim -bench design.bench -n 4096 -curve 512
+//
+// The weights file contains "input-name probability" lines as produced
+// by optgen; missing inputs default to 0.5.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"optirand"
+	"optirand/internal/report"
+)
+
+var (
+	flagBench   = flag.String("bench", "", "path to a .bench netlist")
+	flagCircuit = flag.String("circuit", "", "built-in benchmark name")
+	flagN       = flag.Int("n", 10000, "number of random patterns")
+	flagSeed    = flag.Uint64("seed", 1, "PRNG seed")
+	flagWeights = flag.String("weights", "", "weights file (optgen output); default all 0.5")
+	flagCurve   = flag.Int("curve", 0, "print the coverage curve sampled every N patterns")
+	flagUndet   = flag.Bool("undetected", false, "list faults left undetected")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "faultsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	var c *optirand.Circuit
+	switch {
+	case *flagBench != "":
+		var err error
+		c, err = optirand.ParseBenchFile(*flagBench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *flagCircuit != "":
+		b, ok := optirand.BenchmarkByName(*flagCircuit)
+		if !ok {
+			fatalf("unknown circuit %q", *flagCircuit)
+		}
+		c = b.Build()
+	default:
+		fatalf("need -bench or -circuit")
+	}
+
+	weights := optirand.UniformWeights(c)
+	if *flagWeights != "" {
+		if err := loadWeights(c, *flagWeights, weights); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	faults := optirand.CollapsedFaults(c)
+	res := optirand.SimulateRandomTest(c, faults, weights, *flagN, *flagSeed, *flagCurve)
+	fmt.Printf("circuit %s: %d collapsed faults, %s patterns\n",
+		c.Name, len(faults), report.Count(res.Patterns))
+	fmt.Printf("detected %d / %d faults: coverage %s\n",
+		res.Detected, res.TotalFaults, report.Pct(res.Coverage()))
+	if *flagCurve > 0 {
+		t := report.NewTable("Coverage curve", "Patterns", "Detected", "Coverage")
+		for _, p := range res.Curve {
+			t.Add(report.Count(p.Patterns), fmt.Sprint(p.Detected), report.Pct(p.Coverage))
+		}
+		fmt.Print(t)
+	}
+	if *flagUndet {
+		fmt.Println("undetected faults:")
+		for i, fd := range res.FirstDetected {
+			if fd == 0 {
+				fmt.Printf("  %s\n", faults[i].Describe(c))
+			}
+		}
+	}
+}
+
+func loadWeights(c *optirand.Circuit, path string, weights []float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	byName := make(map[string]int)
+	for pos, g := range c.Inputs {
+		byName[c.GateName(g)] = pos
+	}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return fmt.Errorf("%s:%d: want \"name probability\", got %q", path, line, text)
+		}
+		pos, ok := byName[fields[0]]
+		if !ok {
+			return fmt.Errorf("%s:%d: unknown input %q", path, line, fields[0])
+		}
+		w, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || w < 0 || w > 1 {
+			return fmt.Errorf("%s:%d: bad probability %q", path, line, fields[1])
+		}
+		weights[pos] = w
+	}
+	return sc.Err()
+}

@@ -1,0 +1,98 @@
+// Command optgen computes optimized input probabilities for a circuit:
+// the paper's OPTIMIZE procedure as a standalone tool.
+//
+// Usage:
+//
+//	optgen -bench design.bench           # read a netlist from disk
+//	optgen -circuit s1                   # use a built-in benchmark
+//	optgen -circuit c7552 -quantize 0.05 -confidence 0.999
+//	optgen -circuit s2 -parts 3          # §5.3 multi-distribution mode
+//
+// Output: one line per primary input with the optimized probability,
+// preceded by a summary of the achieved test-length reduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optirand"
+	"optirand/internal/report"
+)
+
+var (
+	flagBench      = flag.String("bench", "", "path to a .bench netlist")
+	flagCircuit    = flag.String("circuit", "", "built-in benchmark name")
+	flagConfidence = flag.Float64("confidence", optirand.DefaultConfidence, "confidence level")
+	flagQuantize   = flag.Float64("quantize", 0, "snap weights to this grid (e.g. 0.05); 0 = off")
+	flagAlpha      = flag.Float64("alpha", 0, "relative improvement threshold (0 = default)")
+	flagSweeps     = flag.Int("sweeps", 0, "max coordinate sweeps (0 = default)")
+	flagParts      = flag.Int("parts", 1, "max distributions (>1 enables the §5.3 extension)")
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "optgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Parse()
+	var c *optirand.Circuit
+	switch {
+	case *flagBench != "":
+		var err error
+		c, err = optirand.ParseBenchFile(*flagBench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *flagCircuit != "":
+		b, ok := optirand.BenchmarkByName(*flagCircuit)
+		if !ok {
+			fatalf("unknown circuit %q", *flagCircuit)
+		}
+		c = b.Build()
+	default:
+		fatalf("need -bench or -circuit")
+	}
+
+	faults := optirand.CollapsedFaults(c)
+	opts := optirand.OptimizeOptions{
+		Confidence: *flagConfidence,
+		Quantize:   *flagQuantize,
+		Alpha:      *flagAlpha,
+		MaxSweeps:  *flagSweeps,
+	}
+
+	if *flagParts > 1 {
+		m, err := optirand.OptimizeMultiDistribution(c, faults, *flagParts, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("# circuit %s: %d inputs, %d faults\n", c.Name, c.NumInputs(), len(faults))
+		fmt.Printf("# single-distribution N = %s, %d-part mixture N = %s\n",
+			report.Sci(m.SingleN), m.Parts(), report.Sci(m.MixtureN))
+		for r, ws := range m.WeightSets {
+			fmt.Printf("# distribution %d (serves %d faults)\n", r, m.PartSizes[r])
+			printWeights(c, ws)
+		}
+		return
+	}
+
+	res, err := optirand.OptimizeWeights(c, faults, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("# circuit %s: %d inputs, %d faults (%d suspected redundant)\n",
+		c.Name, c.NumInputs(), len(faults), res.SuspectedRedundant)
+	fmt.Printf("# conventional N = %s, optimized N = %s (gain %s, %d sweeps, %d analyses, %v)\n",
+		report.Sci(res.InitialN), report.Sci(res.FinalN), report.Sci(res.Gain()),
+		res.Sweeps, res.Analyses, res.Elapsed.Round(1000000))
+	printWeights(c, res.Weights)
+}
+
+func printWeights(c *optirand.Circuit, ws []float64) {
+	for i, w := range ws {
+		fmt.Printf("%s %.4f\n", c.GateName(c.Inputs[i]), w)
+	}
+}

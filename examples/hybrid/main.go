@@ -1,0 +1,92 @@
+// Hybrid: the paper §5.2 production flow — optimized random patterns
+// detect almost everything cheaply; PODEM generates deterministic
+// top-off patterns for the stragglers; an MISR compacts the responses
+// so the whole test runs as self test with one signature compare.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optirand"
+)
+
+func main() {
+	bench, _ := optirand.BenchmarkByName("s1")
+	c := bench.Build()
+	faults := optirand.CollapsedFaults(c)
+
+	// Phase 1+2: optimized random + deterministic top-off.
+	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{Quantize: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybrid := optirand.HybridTest(c, faults, res.Weights, 2000, 42, 4096)
+	fmt.Printf("random phase:   %d patterns detect %d/%d faults\n",
+		hybrid.RandomPatterns, hybrid.RandomDetected, hybrid.TotalFaults)
+	fmt.Printf("top-off phase:  %d deterministic patterns detect the remaining %d\n",
+		hybrid.TopOffPatterns, hybrid.TopOffDetected)
+	fmt.Printf("proven redundant: %d, aborted: %d, final coverage: %.2f%%\n",
+		hybrid.Redundant, hybrid.Aborted, 100*hybrid.Coverage())
+
+	// For comparison: conventional random needs ~7e8 patterns for the
+	// same circuit (Table 1), and even 12,000 reach only ~48%.
+	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), 12000, 42, 0)
+	fmt.Printf("reference: conventional random @ 12,000 patterns: %.1f%%\n\n",
+		100*conv.Coverage())
+
+	// Signature compaction: compress all three outputs of every pattern
+	// into one 24-bit MISR signature. A fault is caught iff its
+	// signature differs from the fault-free one.
+	fmt.Println("signature self-test (MISR compaction of the random phase):")
+	good := signature(c, res.Weights, 2000, nil)
+	caught, tried := 0, 0
+	for i, f := range faults {
+		if i%7 != 0 { // sample the fault list to keep the demo quick
+			continue
+		}
+		tried++
+		if signature(c, res.Weights, 2000, &f) != good {
+			caught++
+		}
+	}
+	fmt.Printf("  fault-free signature: %06x\n", good)
+	fmt.Printf("  %d/%d sampled faults change the signature\n", caught, tried)
+	fmt.Printf("  (aliasing bound per detected fault: 2^-24 ≈ %.1e)\n",
+		optirand.NewMISR(24).AliasingBound())
+}
+
+// signature runs nPatterns weighted patterns and compacts all primary
+// outputs into a 24-bit MISR; if f is non-nil the run simulates the
+// faulty machine (via the campaign API's external-source hook).
+func signature(c *optirand.Circuit, weights []float64, nPatterns int, f *optirand.Fault) uint64 {
+	m := optirand.NewMISR(24)
+	src := optirand.NewWeightedLFSR(weights, 99)
+	words := make([]uint64, c.NumInputs())
+	in := make([]bool, c.NumInputs())
+	for applied := 0; applied < nPatterns; applied += 64 {
+		src.NextWords(words)
+		batch := min(64, nPatterns-applied)
+		for k := 0; k < batch; k++ {
+			for i := range in {
+				in[i] = words[i]>>uint(k)&1 == 1
+			}
+			var outs []bool
+			if f == nil {
+				outs = c.EvalOutputs(in)
+			} else {
+				outs = optirand.EvalOutputsWithFault(c, *f, in)
+			}
+			var vec uint64
+			for i, o := range outs {
+				if o {
+					vec |= 1 << uint(i)
+				}
+			}
+			m.Clock(vec)
+		}
+	}
+	return m.Signature()
+}

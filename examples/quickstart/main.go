@@ -1,0 +1,43 @@
+// Quickstart: optimize the input probabilities of a random-pattern-
+// resistant circuit and watch the required test length collapse.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optirand"
+)
+
+func main() {
+	// S1 is the paper's motivating circuit: a 24-bit comparator whose
+	// A=B output needs all 24 bit-equalities at once — hopeless for
+	// conventional (p = 0.5) random patterns.
+	bench, _ := optirand.BenchmarkByName("s1")
+	c := bench.Build()
+	faults := optirand.CollapsedFaults(c)
+	fmt.Printf("circuit %s: %d gates, %d inputs, %d collapsed stuck-at faults\n",
+		c.Name, c.NumGates(), c.NumInputs(), len(faults))
+
+	// How long would a conventional random test have to be?
+	uniform := optirand.UniformWeights(c)
+	probs := optirand.EstimateDetectProbs(c, faults, uniform)
+	before := optirand.RequiredTestLength(probs, optirand.DefaultConfidence)
+	fmt.Printf("conventional random test: %.3g patterns needed\n", before.N)
+
+	// Optimize one probability per input (the paper's contribution).
+	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized random test:    %.3g patterns needed (gain %.0fx, %d sweeps)\n",
+		res.FinalN, res.Gain(), res.Sweeps)
+
+	// Confirm by fault simulation: 12,000 patterns, both weightings.
+	conv := optirand.SimulateRandomTest(c, faults, uniform, 12000, 1, 0)
+	opt := optirand.SimulateRandomTest(c, faults, res.Weights, 12000, 1, 0)
+	fmt.Printf("simulated coverage at 12,000 patterns: conventional %.1f%%, optimized %.1f%%\n",
+		100*conv.Coverage(), 100*opt.Coverage())
+}

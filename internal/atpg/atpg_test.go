@@ -1,0 +1,302 @@
+package atpg
+
+import (
+	"testing"
+
+	"optirand/internal/bench"
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/prng"
+	"optirand/internal/sim"
+)
+
+const c17Src = `
+# name: c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func mustC17(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(c17Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestValueAlgebra checks the 5-valued tables against the pairwise
+// (good, faulty) semantics.
+func TestValueAlgebra(t *testing.T) {
+	known := []Value{Zero, One, D, Dbar}
+	for _, a := range known {
+		for _, b := range known {
+			ag, _ := a.Good()
+			bg, _ := b.Good()
+			af, _ := a.Faulty()
+			bf, _ := b.Faulty()
+			if got := and2(a, b); got != fromPair(ag && bg, af && bf) {
+				t.Errorf("and2(%v,%v) = %v", a, b, got)
+			}
+			if got := or2(a, b); got != fromPair(ag || bg, af || bf) {
+				t.Errorf("or2(%v,%v) = %v", a, b, got)
+			}
+			if got := xor2(a, b); got != fromPair(ag != bg, af != bf) {
+				t.Errorf("xor2(%v,%v) = %v", a, b, got)
+			}
+		}
+		if a.Not().Not() != a {
+			t.Errorf("double negation of %v", a)
+		}
+	}
+	// X dominance rules.
+	if and2(X, Zero) != Zero || and2(Zero, X) != Zero {
+		t.Error("AND with known 0 must be 0")
+	}
+	if and2(X, One) != X {
+		t.Error("AND with X and 1 must stay X")
+	}
+	if or2(X, One) != One || or2(One, X) != One {
+		t.Error("OR with known 1 must be 1")
+	}
+	if or2(X, Zero) != X {
+		t.Error("OR with X and 0 must stay X")
+	}
+	if xor2(X, One) != X || xor2(D, X) != X {
+		t.Error("XOR with X must be X")
+	}
+	if X.Not() != X {
+		t.Error("NOT X must be X")
+	}
+	if !D.IsError() || !Dbar.IsError() || One.IsError() {
+		t.Error("IsError wrong")
+	}
+}
+
+// TestC17AllFaultsTestable: c17 is fully testable; PODEM must find a
+// verified pattern for every collapsed fault.
+func TestC17AllFaultsTestable(t *testing.T) {
+	c := mustC17(t)
+	u := fault.New(c)
+	g := NewGenerator(c)
+	for _, f := range u.Reps {
+		p, st := g.Generate(f)
+		if st != Success {
+			t.Errorf("fault %v: status %v", f.Describe(c), st)
+			continue
+		}
+		bits := p.Fill(nil) // zero-fill the don't-cares
+		if !sim.DetectsScalar(c, f, bits) {
+			t.Errorf("fault %v: pattern %v does not detect", f.Describe(c), bits)
+		}
+		// Any fill must detect: also verify with ones-fill.
+		ones := make([]bool, len(p.Bits))
+		for i := range ones {
+			if p.Care[i] {
+				ones[i] = p.Bits[i]
+			} else {
+				ones[i] = true
+			}
+		}
+		if !sim.DetectsScalar(c, f, ones) {
+			t.Errorf("fault %v: ones-filled pattern does not detect", f.Describe(c))
+		}
+	}
+}
+
+// TestRedundantFaultProven: a fault in logic masked by reconvergence
+// must be proven untestable, not aborted.
+func TestRedundantFaultProven(t *testing.T) {
+	// o = (a AND b) OR (a AND NOT b) OR a  ==  a. The first two terms
+	// are functionally dominated by the third; e.g. t1 s-a-0 is
+	// undetectable at o.
+	b := circuit.NewBuilder("red")
+	a := b.Input("a")
+	x := b.Input("b")
+	nb := b.Not("nb", x)
+	t1 := b.And("t1", a, x)
+	t2 := b.And("t2", a, nb)
+	o := b.Or("o", t1, t2, a)
+	b.Output("o", o)
+	c := b.MustBuild()
+	g := NewGenerator(c)
+	_, st := g.Generate(fault.Fault{Gate: t1, Pin: fault.StemPin, Stuck: 0})
+	if st != Untestable {
+		t.Errorf("t1 s-a-0: status %v, want untestable", st)
+	}
+	// A testable fault in the same circuit still succeeds.
+	p, st := g.Generate(fault.Fault{Gate: a, Pin: fault.StemPin, Stuck: 0})
+	if st != Success {
+		t.Fatalf("a s-a-0: status %v", st)
+	}
+	if !sim.DetectsScalar(c, fault.Fault{Gate: a, Pin: fault.StemPin, Stuck: 0}, p.Fill(nil)) {
+		t.Error("a s-a-0 pattern does not detect")
+	}
+}
+
+// TestGenerateMatchesSimulation is the soundness property on random
+// circuits: every Success pattern detects its fault under arbitrary
+// don't-care fill; every Untestable verdict is confirmed by exhaustive
+// enumeration.
+func TestGenerateMatchesSimulation(t *testing.T) {
+	rng := prng.New(77)
+	for trial := 0; trial < 12; trial++ {
+		c := randCircuit(rng, 5, 14)
+		u := fault.New(c)
+		g := NewGenerator(c)
+		fillRng := prng.New(uint64(trial))
+		for _, f := range u.Reps {
+			p, st := g.Generate(f)
+			switch st {
+			case Success:
+				for k := 0; k < 4; k++ {
+					bits := p.Fill(fillRng)
+					if !sim.DetectsScalar(c, f, bits) {
+						t.Fatalf("trial %d fault %v: fill %d not detecting",
+							trial, f.Describe(c), k)
+					}
+				}
+			case Untestable:
+				// Exhaustive confirmation.
+				n := c.NumInputs()
+				in := make([]bool, n)
+				for v := 0; v < 1<<uint(n); v++ {
+					for i := range in {
+						in[i] = v>>uint(i)&1 == 1
+					}
+					if sim.DetectsScalar(c, f, in) {
+						t.Fatalf("trial %d fault %v: claimed untestable but pattern %b detects",
+							trial, f.Describe(c), v)
+					}
+				}
+			case Aborted:
+				// Allowed (bounded search), but should be rare on
+				// 5-input circuits with the default limit.
+			}
+		}
+	}
+}
+
+// TestGenerateOnComparator: PODEM must crack the 2^-16 equality cone
+// instantly — the deterministic counterpart of the paper's story.
+func TestGenerateOnComparator(t *testing.T) {
+	b := circuit.NewBuilder("eq16")
+	var xn []int
+	as := b.Inputs("a", 16)
+	bs := b.Inputs("b", 16)
+	for i := 0; i < 16; i++ {
+		xn = append(xn, b.Xnor("", as[i], bs[i]))
+	}
+	eq := b.And("eq", xn...)
+	b.Output("eq", eq)
+	c := b.MustBuild()
+	g := NewGenerator(c)
+	f := fault.Fault{Gate: eq, Pin: fault.StemPin, Stuck: 0}
+	p, st := g.Generate(f)
+	if st != Success {
+		t.Fatalf("status %v", st)
+	}
+	if !sim.DetectsScalar(c, f, p.Fill(nil)) {
+		t.Error("pattern does not detect eq s-a-0")
+	}
+}
+
+// TestGenerateAllOnS1: batch generation over the real S1 comparator —
+// every collapsed fault is either detected or aborted (none should be
+// proven redundant; the LSB-slice simplification removed them).
+func TestGenerateAllOnS1(t *testing.T) {
+	c := gen.S1Comparator()
+	u := fault.New(c)
+	res := GenerateAll(c, u.Reps, 2000)
+	if res.Redundant != 0 {
+		t.Errorf("S1 reports %d redundant faults, expected 0", res.Redundant)
+	}
+	if res.Detected < len(u.Reps)*9/10 {
+		t.Errorf("S1: only %d/%d faults got patterns", res.Detected, len(u.Reps))
+	}
+	if res.String() == "" {
+		t.Error("empty result summary")
+	}
+}
+
+// TestTopOffHybridS1: the §5.2 hybrid flow — optimized random phase
+// plus deterministic top-off — must reach full coverage of the
+// non-redundant faults on S1 with a tiny deterministic pattern count.
+func TestTopOffHybridS1(t *testing.T) {
+	c := gen.S1Comparator()
+	u := fault.New(c)
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = 0.5
+	}
+	res := TopOff(c, u.Reps, w, 2000, 3, 4096)
+	if res.Aborted > 0 {
+		t.Errorf("%d aborted faults", res.Aborted)
+	}
+	if res.Coverage() < 1.0 {
+		t.Errorf("hybrid coverage %.4f, want 1.0 (detected %d+%d of %d, %d redundant)",
+			res.Coverage(), res.RandomDetected, res.TopOffDetected,
+			res.TotalFaults, res.Redundant)
+	}
+	if res.TopOffPatterns == 0 {
+		t.Error("expected deterministic top-off patterns for the deep cascade faults")
+	}
+	// Conventional random at 2000 patterns leaves many faults behind;
+	// the whole point of top-off is covering them with few patterns.
+	if res.TopOffPatterns >= res.TotalFaults/2 {
+		t.Errorf("top-off used %d patterns for %d faults — no compaction at all",
+			res.TopOffPatterns, res.TotalFaults)
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	p := &Pattern{Bits: []bool{true, false, true}, Care: []bool{true, false, true}}
+	if p.Specified() != 2 {
+		t.Errorf("Specified = %d", p.Specified())
+	}
+	zero := p.Fill(nil)
+	if zero[0] != true || zero[1] != false || zero[2] != true {
+		t.Errorf("zero fill = %v", zero)
+	}
+	if Success.String() != "success" || Untestable.String() != "untestable" ||
+		Aborted.String() != "aborted" || Status(9).String() != "?" {
+		t.Error("Status.String wrong")
+	}
+	if Value(9).String() != "?" || D.String() != "D" || Dbar.String() != "D'" {
+		t.Error("Value.String wrong")
+	}
+}
+
+func randCircuit(rng *prng.SplitMix64, nIn, nGates int) *circuit.Circuit {
+	b := circuit.NewBuilder("rand")
+	ids := b.Inputs("x", nIn)
+	types := []circuit.GateType{circuit.And, circuit.Nand, circuit.Or,
+		circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not}
+	for i := 0; i < nGates; i++ {
+		ty := types[rng.Intn(len(types))]
+		if ty == circuit.Not {
+			ids = append(ids, b.Add(ty, "", ids[rng.Intn(len(ids))]))
+			continue
+		}
+		fan := make([]int, 2+rng.Intn(2))
+		for j := range fan {
+			fan[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, b.Add(ty, "", fan...))
+	}
+	b.Output("", ids[len(ids)-1])
+	b.Output("", ids[len(ids)-2])
+	return b.MustBuild()
+}

@@ -1,0 +1,50 @@
+package atpg
+
+import (
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/sim"
+)
+
+// Compact performs reverse-order test-set compaction: patterns are
+// fault-simulated in reverse generation order with fault dropping, and
+// patterns that detect no still-undetected fault are discarded. Because
+// later PODEM patterns target the residue of earlier ones, reverse
+// order retains the specific late patterns and drops early ones whose
+// faults they cover incidentally — the classic static compaction pass.
+//
+// Patterns are fully specified before simulation via Fill(nil)
+// (zero-filled don't-cares), matching how a tester would store them.
+// The returned indices (into patterns) are the kept set, in original
+// order; detected reports how many of the faults the kept set covers.
+func Compact(c *circuit.Circuit, faults []fault.Fault, patterns []*Pattern) (keep []int, detected int) {
+	if len(patterns) == 0 {
+		return nil, 0
+	}
+	filled := make([][]bool, len(patterns))
+	for i, p := range patterns {
+		filled[i] = p.Fill(nil)
+	}
+	covered := make([]bool, len(faults))
+	for i := len(patterns) - 1; i >= 0; i-- {
+		useful := false
+		for fi, f := range faults {
+			if covered[fi] {
+				continue
+			}
+			if sim.DetectsScalar(c, f, filled[i]) {
+				covered[fi] = true
+				detected++
+				useful = true
+			}
+		}
+		if useful {
+			keep = append(keep, i)
+		}
+	}
+	// Restore original order.
+	for l, r := 0, len(keep)-1; l < r; l, r = l+1, r-1 {
+		keep[l], keep[r] = keep[r], keep[l]
+	}
+	return keep, detected
+}

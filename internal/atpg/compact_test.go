@@ -1,0 +1,64 @@
+package atpg
+
+import (
+	"testing"
+
+	"optirand/internal/fault"
+	"optirand/internal/sim"
+)
+
+// TestCompactPreservesCoverage: compaction must never lose coverage,
+// and must actually drop patterns when the set is redundant.
+func TestCompactPreservesCoverage(t *testing.T) {
+	c := mustC17(t)
+	u := fault.New(c)
+	full := GenerateAll(c, u.Reps, 0)
+	if full.Detected != len(u.Reps) {
+		t.Fatalf("c17 not fully covered by ATPG: %v", full)
+	}
+	// Duplicate the pattern set to guarantee redundancy.
+	doubled := append(append([]*Pattern{}, full.Patterns...), full.Patterns...)
+	keep, detected := Compact(c, u.Reps, doubled)
+	if detected != len(u.Reps) {
+		t.Errorf("compaction lost coverage: %d/%d", detected, len(u.Reps))
+	}
+	if len(keep) >= len(doubled) {
+		t.Errorf("compaction kept all %d patterns of an obviously redundant set", len(keep))
+	}
+	// Verify the kept set really covers everything, via simulation.
+	covered := make([]bool, len(u.Reps))
+	for _, ki := range keep {
+		bits := doubled[ki].Fill(nil)
+		for fi, f := range u.Reps {
+			if !covered[fi] && sim.DetectsScalar(c, f, bits) {
+				covered[fi] = true
+			}
+		}
+	}
+	for fi, ok := range covered {
+		if !ok {
+			t.Errorf("fault %v uncovered after compaction", u.Reps[fi].Describe(c))
+		}
+	}
+}
+
+func TestCompactKeepsOrder(t *testing.T) {
+	c := mustC17(t)
+	u := fault.New(c)
+	res := GenerateAll(c, u.Reps, 0)
+	keep, _ := Compact(c, u.Reps, res.Patterns)
+	for i := 1; i < len(keep); i++ {
+		if keep[i-1] >= keep[i] {
+			t.Fatalf("keep indices not ascending: %v", keep)
+		}
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	c := mustC17(t)
+	u := fault.New(c)
+	keep, detected := Compact(c, u.Reps, nil)
+	if keep != nil || detected != 0 {
+		t.Errorf("Compact(empty) = %v, %d", keep, detected)
+	}
+}

@@ -1,0 +1,382 @@
+package atpg
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+)
+
+// Status reports the outcome of a generation attempt.
+type Status int
+
+const (
+	// Success: a detecting pattern was found.
+	Success Status = iota
+	// Untestable: the search space was exhausted — the fault is
+	// provably redundant.
+	Untestable
+	// Aborted: the backtrack limit was hit before a decision.
+	Aborted
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Success:
+		return "success"
+	case Untestable:
+		return "untestable"
+	case Aborted:
+		return "aborted"
+	}
+	return "?"
+}
+
+// Pattern is a (partially specified) test pattern: Bits[i] is the value
+// of primary input i, meaningful only where Care[i] is set. Don't-care
+// positions may be filled freely (Fill).
+type Pattern struct {
+	Bits []bool
+	Care []bool
+}
+
+// Fill returns a fully specified copy with don't-cares drawn from rng
+// (pass nil to fill with zeros).
+func (p *Pattern) Fill(rng *prng.SplitMix64) []bool {
+	out := make([]bool, len(p.Bits))
+	for i := range out {
+		switch {
+		case p.Care[i]:
+			out[i] = p.Bits[i]
+		case rng != nil:
+			out[i] = rng.Bernoulli(0.5)
+		}
+	}
+	return out
+}
+
+// Specified counts the care bits.
+func (p *Pattern) Specified() int {
+	n := 0
+	for _, c := range p.Care {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Generator runs PODEM on one circuit. It is reusable across faults
+// and not safe for concurrent use.
+type Generator struct {
+	// MaxBacktracks bounds the search (default 4096). When the limit
+	// is hit the fault is reported Aborted, not Untestable.
+	MaxBacktracks int
+
+	c   *circuit.Circuit
+	val []Value
+	flt fault.Fault
+
+	backtracks int
+}
+
+// NewGenerator creates a PODEM generator for c.
+func NewGenerator(c *circuit.Circuit) *Generator {
+	return &Generator{
+		MaxBacktracks: 4096,
+		c:             c,
+		val:           make([]Value, c.NumGates()),
+	}
+}
+
+// Generate searches for a pattern detecting f.
+func (g *Generator) Generate(f fault.Fault) (*Pattern, Status) {
+	g.flt = f
+	g.backtracks = 0
+	for i := range g.val {
+		g.val[i] = X
+	}
+	assigned := make(map[int]Value) // PI gate -> value
+	g.imply(assigned)
+
+	type decision struct {
+		pi      int
+		value   Value
+		flipped bool
+	}
+	var stack []decision
+
+	for {
+		if g.detected() {
+			return g.pattern(assigned), Success
+		}
+		pi, v, ok := g.nextObjective(assigned)
+		if ok {
+			stack = append(stack, decision{pi: pi, value: v})
+			assigned[pi] = v
+			g.imply(assigned)
+			continue
+		}
+		// No progress possible: backtrack.
+		for {
+			if len(stack) == 0 {
+				return nil, Untestable
+			}
+			g.backtracks++
+			if g.backtracks > g.MaxBacktracks {
+				return nil, Aborted
+			}
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.flipped = true
+				top.value = top.value.Not()
+				assigned[top.pi] = top.value
+				g.imply(assigned)
+				break
+			}
+			delete(assigned, top.pi)
+			stack = stack[:len(stack)-1]
+			g.imply(assigned)
+		}
+	}
+}
+
+// pattern extracts the PI assignment.
+func (g *Generator) pattern(assigned map[int]Value) *Pattern {
+	p := &Pattern{
+		Bits: make([]bool, g.c.NumInputs()),
+		Care: make([]bool, g.c.NumInputs()),
+	}
+	for pi, v := range assigned {
+		pos := g.c.InputIndex(pi)
+		good, ok := v.Good()
+		if pos >= 0 && ok {
+			p.Bits[pos] = good
+			p.Care[pos] = true
+		}
+	}
+	return p
+}
+
+// imply recomputes all values by 5-valued forward simulation with the
+// fault inserted. Full recomputation keeps the code simple; the
+// circuits here are small enough that PODEM spends its time in search,
+// not implication.
+func (g *Generator) imply(assigned map[int]Value) {
+	c := g.c
+	for _, gate := range c.Inputs {
+		if v, ok := assigned[gate]; ok {
+			g.val[gate] = v
+		} else {
+			g.val[gate] = X
+		}
+	}
+	scratch := make([]Value, 0, 8)
+	for _, id := range c.TopoOrder() {
+		gate := &c.Gates[id]
+		if gate.Type != circuit.Input {
+			scratch = scratch[:0]
+			for pin, f := range gate.Fanin {
+				v := g.val[f]
+				if !g.flt.IsStem() && g.flt.Gate == id && g.flt.Pin == pin {
+					v = g.forceBranch(v)
+				}
+				scratch = append(scratch, v)
+			}
+			g.val[id] = evalGate(gate.Type, scratch)
+		}
+		if g.flt.IsStem() && g.flt.Gate == id {
+			g.val[id] = g.forceStem(g.val[id])
+		}
+	}
+}
+
+// forceStem applies a stem fault to the computed good value: the
+// faulty component is pinned to the stuck value.
+func (g *Generator) forceStem(v Value) Value {
+	stuck := g.flt.Stuck == 1
+	good, ok := v.Good()
+	if !ok {
+		return X // good machine unknown: activation undecided
+	}
+	return fromPair(good, stuck)
+}
+
+// forceBranch applies a branch fault to the value read by the faulted
+// pin.
+func (g *Generator) forceBranch(v Value) Value {
+	stuck := g.flt.Stuck == 1
+	good, ok := v.Good()
+	if !ok {
+		return X
+	}
+	return fromPair(good, stuck)
+}
+
+// detected reports whether a fault effect has reached a primary output.
+func (g *Generator) detected() bool {
+	for _, o := range g.c.Outputs {
+		if g.val[o].IsError() {
+			return true
+		}
+	}
+	return false
+}
+
+// nextObjective chooses the next (PI, value) decision: first activate
+// the fault, then extend the D-frontier; each objective is backtraced
+// through X-valued lines to an unassigned primary input.
+func (g *Generator) nextObjective(assigned map[int]Value) (pi int, v Value, ok bool) {
+	line, want, ok := g.objective()
+	if !ok {
+		return 0, X, false
+	}
+	return g.backtrace(line, want, assigned)
+}
+
+// objective returns a (gate line, desired good-machine value) pair.
+func (g *Generator) objective() (line int, want bool, ok bool) {
+	c := g.c
+	site := g.flt.Gate
+	if !g.flt.IsStem() {
+		// Branch fault: the driven line is the driver's output.
+		site = c.Gates[g.flt.Gate].Fanin[g.flt.Pin]
+	}
+	// Activation: the faulted line's good value must be the opposite
+	// of the stuck value. While it is X, that is the objective.
+	if _, known := g.val[site].Good(); !known {
+		return site, g.flt.Stuck == 0, true
+	}
+	if !g.activated() {
+		return 0, false, false // activation contradicted: dead end
+	}
+	// Propagation: pick the lowest-level D-frontier gate and demand a
+	// non-controlling value on one of its X inputs.
+	bestGate, bestPin := -1, -1
+	for id := range c.Gates {
+		gate := &c.Gates[id]
+		if gate.Type == circuit.Input || g.val[id] != X {
+			continue
+		}
+		hasErr, xPin := false, -1
+		for pin, f := range gate.Fanin {
+			v := g.val[f]
+			if !g.flt.IsStem() && g.flt.Gate == id && g.flt.Pin == pin {
+				v = g.forceBranch(v)
+			}
+			if v.IsError() {
+				hasErr = true
+			} else if v == X && xPin < 0 {
+				xPin = pin
+			}
+		}
+		if hasErr && xPin >= 0 {
+			if bestGate < 0 || c.Level(id) < c.Level(bestGate) {
+				bestGate, bestPin = id, xPin
+			}
+		}
+	}
+	if bestGate < 0 {
+		return 0, false, false
+	}
+	gate := &g.c.Gates[bestGate]
+	switch gate.Type {
+	case circuit.And, circuit.Nand:
+		return gate.Fanin[bestPin], true, true
+	case circuit.Or, circuit.Nor:
+		return gate.Fanin[bestPin], false, true
+	default: // XOR/XNOR propagate regardless; pin down the X side input
+		return gate.Fanin[bestPin], false, true
+	}
+}
+
+// activated reports whether the fault site currently carries an error
+// or still can (good value matches the activation requirement or X).
+func (g *Generator) activated() bool {
+	if !g.flt.IsStem() {
+		d := g.c.Gates[g.flt.Gate].Fanin[g.flt.Pin]
+		v := g.forceBranch(g.val[d])
+		return v.IsError() || v == X
+	}
+	return g.val[g.flt.Gate].IsError() || g.val[g.flt.Gate] == X
+}
+
+// backtrace walks an objective through X-valued gates to an unassigned
+// primary input, flipping the wanted value through inversions.
+func (g *Generator) backtrace(line int, want bool, assigned map[int]Value) (int, Value, bool) {
+	c := g.c
+	for steps := 0; steps <= c.NumGates(); steps++ {
+		gate := &c.Gates[line]
+		if gate.Type == circuit.Input {
+			if _, done := assigned[line]; done {
+				return 0, X, false // objective rests on a decided PI: dead end
+			}
+			if want {
+				return line, One, true
+			}
+			return line, Zero, true
+		}
+		if gate.Type == circuit.Const0 || gate.Type == circuit.Const1 {
+			return 0, X, false
+		}
+		if gate.Type.Inverting() {
+			want = !want
+		}
+		// Choose an X-valued fanin to pursue; prefer the lowest level
+		// (shortest path to a PI).
+		next := -1
+		for _, f := range gate.Fanin {
+			if g.val[f] == X {
+				if next < 0 || c.Level(f) < c.Level(next) {
+					next = f
+				}
+			}
+		}
+		if next < 0 {
+			return 0, X, false
+		}
+		line = next
+	}
+	return 0, X, false
+}
+
+// Result summarizes a batch run over a fault list.
+type Result struct {
+	Patterns   []*Pattern
+	PerFault   []Status
+	Detected   int
+	Redundant  int
+	AbortCount int
+}
+
+// GenerateAll runs PODEM for every fault, returning per-fault status
+// and the set of generated patterns.
+func GenerateAll(c *circuit.Circuit, faults []fault.Fault, maxBacktracks int) *Result {
+	g := NewGenerator(c)
+	if maxBacktracks > 0 {
+		g.MaxBacktracks = maxBacktracks
+	}
+	res := &Result{PerFault: make([]Status, len(faults))}
+	for i, f := range faults {
+		p, st := g.Generate(f)
+		res.PerFault[i] = st
+		switch st {
+		case Success:
+			res.Patterns = append(res.Patterns, p)
+			res.Detected++
+		case Untestable:
+			res.Redundant++
+		case Aborted:
+			res.AbortCount++
+		}
+	}
+	return res
+}
+
+// String summarizes the batch outcome.
+func (r *Result) String() string {
+	return fmt.Sprintf("atpg: %d detected, %d redundant, %d aborted",
+		r.Detected, r.Redundant, r.AbortCount)
+}

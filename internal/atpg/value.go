@@ -1,0 +1,184 @@
+// Package atpg implements deterministic test pattern generation for
+// single stuck-at faults: a PODEM-style path-oriented decision
+// algorithm over the five-valued D-calculus.
+//
+// Its role in this library is the hybrid flow of the paper's §5.2: an
+// optimized random test detects almost every fault cheaply, and the
+// few residual faults get deterministic top-off patterns ("fault
+// simulation of optimized patterns can provide nearly complete fault
+// coverage in economical time" — with ATPG closing the remainder).
+package atpg
+
+import "optirand/internal/circuit"
+
+// Value is one element of the five-valued D-calculus: a pair
+// (good-machine value, faulty-machine value) plus "unassigned".
+type Value uint8
+
+const (
+	// X is unassigned/unknown.
+	X Value = iota
+	// Zero is 0 in both machines.
+	Zero
+	// One is 1 in both machines.
+	One
+	// D is 1 in the good machine, 0 in the faulty machine.
+	D
+	// Dbar is 0 in the good machine, 1 in the faulty machine.
+	Dbar
+)
+
+// String renders the conventional symbol.
+func (v Value) String() string {
+	switch v {
+	case X:
+		return "X"
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case D:
+		return "D"
+	case Dbar:
+		return "D'"
+	}
+	return "?"
+}
+
+// Good returns the good-machine component (0, 1) and ok=false for X.
+func (v Value) Good() (bool, bool) {
+	switch v {
+	case Zero, Dbar:
+		return false, true
+	case One, D:
+		return true, true
+	}
+	return false, false
+}
+
+// Faulty returns the faulty-machine component and ok=false for X.
+func (v Value) Faulty() (bool, bool) {
+	switch v {
+	case Zero, D:
+		return false, true
+	case One, Dbar:
+		return true, true
+	}
+	return false, false
+}
+
+// IsError reports whether the value carries a fault effect (D or D').
+func (v Value) IsError() bool { return v == D || v == Dbar }
+
+// Not complements a value in both machines.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	case D:
+		return Dbar
+	case Dbar:
+		return D
+	}
+	return X
+}
+
+// fromPair composes a Value from known good/faulty bits.
+func fromPair(good, faulty bool) Value {
+	switch {
+	case good && faulty:
+		return One
+	case !good && !faulty:
+		return Zero
+	case good && !faulty:
+		return D
+	default:
+		return Dbar
+	}
+}
+
+// and2 is the 5-valued AND. A known 0 on either side dominates X.
+func and2(a, b Value) Value {
+	if a == Zero || b == Zero {
+		return Zero
+	}
+	if a == X || b == X {
+		return X
+	}
+	ag, _ := a.Good()
+	bg, _ := b.Good()
+	af, _ := a.Faulty()
+	bf, _ := b.Faulty()
+	return fromPair(ag && bg, af && bf)
+}
+
+// or2 is the 5-valued OR. A known 1 on either side dominates X.
+func or2(a, b Value) Value {
+	if a == One || b == One {
+		return One
+	}
+	if a == X || b == X {
+		return X
+	}
+	ag, _ := a.Good()
+	bg, _ := b.Good()
+	af, _ := a.Faulty()
+	bf, _ := b.Faulty()
+	return fromPair(ag || bg, af || bf)
+}
+
+// xor2 is the 5-valued XOR; any X makes the result X.
+func xor2(a, b Value) Value {
+	if a == X || b == X {
+		return X
+	}
+	ag, _ := a.Good()
+	bg, _ := b.Good()
+	af, _ := a.Faulty()
+	bf, _ := b.Faulty()
+	return fromPair(ag != bg, af != bf)
+}
+
+// evalGate folds the 5-valued gate function over fanin values.
+func evalGate(t circuit.GateType, in []Value) Value {
+	switch t {
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return in[0].Not()
+	case circuit.And, circuit.Nand:
+		v := One
+		for _, x := range in {
+			v = and2(v, x)
+		}
+		if t == circuit.Nand {
+			return v.Not()
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := Zero
+		for _, x := range in {
+			v = or2(v, x)
+		}
+		if t == circuit.Nor {
+			return v.Not()
+		}
+		return v
+	case circuit.Xor, circuit.Xnor:
+		v := Zero
+		for _, x := range in {
+			v = xor2(v, x)
+		}
+		if t == circuit.Xnor {
+			return v.Not()
+		}
+		return v
+	case circuit.Const0:
+		return Zero
+	case circuit.Const1:
+		return One
+	}
+	return X
+}

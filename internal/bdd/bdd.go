@@ -1,0 +1,322 @@
+// Package bdd implements reduced ordered binary decision diagrams with
+// hash-consing and an operation cache, plus weighted model counting.
+//
+// The library uses BDDs as the exact reference for signal and fault
+// detection probabilities (the Parker–McCluskey computation [McPa75]):
+// for independent inputs with P(x_i = 1) = w_i, the probability that a
+// boolean function is true is the weighted count of its BDD. The
+// underlying problem is #P-hard, so exact evaluation is reserved for
+// validation on small-to-medium cones; the estimators in
+// internal/testability are the production path.
+package bdd
+
+import (
+	"fmt"
+	"math"
+
+	"optirand/internal/circuit"
+)
+
+// Ref is a reference to a BDD node. The constants False and True are the
+// terminal nodes; all other refs index internal nodes of a Manager.
+type Ref int32
+
+// Terminal nodes.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	varIdx int32 // variable level (smaller = closer to root)
+	lo, hi Ref
+}
+
+// Manager owns the node store for one variable ordering. It is not safe
+// for concurrent use.
+type Manager struct {
+	nVars  int
+	nodes  []node
+	unique map[node]Ref
+	cache  map[opKey]Ref
+}
+
+type opKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+)
+
+// NewManager creates a manager for functions over nVars variables, with
+// the natural variable order x0 < x1 < … .
+func NewManager(nVars int) *Manager {
+	m := &Manager{
+		nVars:  nVars,
+		nodes:  make([]node, 2), // slots for the terminals
+		unique: make(map[node]Ref),
+		cache:  make(map[opKey]Ref),
+	}
+	m.nodes[False] = node{varIdx: int32(nVars), lo: False, hi: False}
+	m.nodes[True] = node{varIdx: int32(nVars), lo: True, hi: True}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.nVars }
+
+// Size returns the number of live nodes, including the two terminals.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// mk returns the canonical node (v, lo, hi), applying the reduction
+// rules.
+func (m *Manager) mk(v int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{varIdx: v, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD of the single variable x_i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nVars {
+		panic(fmt.Sprintf("bdd: Var(%d) out of range [0,%d)", i, m.nVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// Const returns the terminal for b.
+func (m *Manager) Const(b bool) Ref {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Not returns the complement of f. Complement edges are not used; NOT is
+// implemented as XOR with True, which the cache keeps cheap.
+func (m *Manager) Not(f Ref) Ref { return m.Xor(f, True) }
+
+// And returns the conjunction of f and g.
+func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+
+// Or returns the disjunction of f and g.
+func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+
+// Xor returns the exclusive or of f and g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+
+func (m *Manager) apply(op uint8, f, g Ref) Ref {
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opOr:
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opXor:
+		if f == g {
+			return False
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+	}
+	// Normalize operand order; all three ops are commutative.
+	if f > g {
+		f, g = g, f
+	}
+	key := opKey{op, f, g}
+	if r, ok := m.cache[key]; ok {
+		return r
+	}
+	fn, gn := m.nodes[f], m.nodes[g]
+	v := fn.varIdx
+	if gn.varIdx < v {
+		v = gn.varIdx
+	}
+	fLo, fHi := f, f
+	if fn.varIdx == v {
+		fLo, fHi = fn.lo, fn.hi
+	}
+	gLo, gHi := g, g
+	if gn.varIdx == v {
+		gLo, gHi = gn.lo, gn.hi
+	}
+	r := m.mk(v, m.apply(op, fLo, gLo), m.apply(op, fHi, gHi))
+	m.cache[key] = r
+	return r
+}
+
+// Ite returns if-then-else(f, g, h) = f·g + ¬f·h.
+func (m *Manager) Ite(f, g, h Ref) Ref {
+	return m.Or(m.And(f, g), m.And(m.Not(f), h))
+}
+
+// Prob returns the probability that the function is true when variable
+// x_i is independently true with probability weights[i]
+// (Parker–McCluskey). len(weights) must equal NumVars.
+func (m *Manager) Prob(f Ref, weights []float64) float64 {
+	if len(weights) != m.nVars {
+		panic(fmt.Sprintf("bdd: Prob: got %d weights, want %d", len(weights), m.nVars))
+	}
+	memo := make(map[Ref]float64)
+	var rec func(r Ref) float64
+	rec = func(r Ref) float64 {
+		switch r {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if p, ok := memo[r]; ok {
+			return p
+		}
+		n := m.nodes[r]
+		w := weights[n.varIdx]
+		p := (1-w)*rec(n.lo) + w*rec(n.hi)
+		memo[r] = p
+		return p
+	}
+	return rec(f)
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables, as a float64 (exact for counts below 2^53).
+func (m *Manager) SatCount(f Ref) float64 {
+	w := make([]float64, m.nVars)
+	for i := range w {
+		w[i] = 0.5
+	}
+	return m.Prob(f, w) * math.Pow(2, float64(m.nVars))
+}
+
+// Eval evaluates the function under a complete variable assignment.
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.varIdx] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}
+
+// Support returns the indices of variables the function depends on, in
+// increasing order.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int32]bool)
+	var rec func(r Ref)
+	rec = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		vars[n.varIdx] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(vars))
+	for v := int32(0); v < int32(m.nVars); v++ {
+		if vars[v] {
+			out = append(out, int(v))
+		}
+	}
+	return out
+}
+
+// FromCircuit builds the BDDs of every gate of c over its primary
+// inputs (variable i = input position i). Returns the per-gate refs.
+// The node count can explode for multiplier-like circuits; callers
+// validating estimators should stick to small cones.
+func FromCircuit(m *Manager, c *circuit.Circuit) []Ref {
+	if m.nVars != c.NumInputs() {
+		panic("bdd: FromCircuit: manager variable count != circuit inputs")
+	}
+	refs := make([]Ref, c.NumGates())
+	for pos, g := range c.Inputs {
+		refs[g] = m.Var(pos)
+	}
+	for _, g := range c.TopoOrder() {
+		gate := &c.Gates[g]
+		switch gate.Type {
+		case circuit.Input:
+			continue
+		case circuit.Const0:
+			refs[g] = False
+		case circuit.Const1:
+			refs[g] = True
+		case circuit.Buf:
+			refs[g] = refs[gate.Fanin[0]]
+		case circuit.Not:
+			refs[g] = m.Not(refs[gate.Fanin[0]])
+		case circuit.And, circuit.Nand:
+			r := True
+			for _, f := range gate.Fanin {
+				r = m.And(r, refs[f])
+			}
+			if gate.Type == circuit.Nand {
+				r = m.Not(r)
+			}
+			refs[g] = r
+		case circuit.Or, circuit.Nor:
+			r := False
+			for _, f := range gate.Fanin {
+				r = m.Or(r, refs[f])
+			}
+			if gate.Type == circuit.Nor {
+				r = m.Not(r)
+			}
+			refs[g] = r
+		case circuit.Xor, circuit.Xnor:
+			r := False
+			for _, f := range gate.Fanin {
+				r = m.Xor(r, refs[f])
+			}
+			if gate.Type == circuit.Xnor {
+				r = m.Not(r)
+			}
+			refs[g] = r
+		}
+	}
+	return refs
+}

@@ -1,0 +1,201 @@
+package bdd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optirand/internal/circuit"
+)
+
+func TestTerminals(t *testing.T) {
+	m := NewManager(2)
+	if m.Const(true) != True || m.Const(false) != False {
+		t.Error("Const terminals wrong")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Error("Not on terminals wrong")
+	}
+}
+
+func TestVarSemantics(t *testing.T) {
+	m := NewManager(3)
+	x := m.Var(1)
+	if !m.Eval(x, []bool{false, true, false}) {
+		t.Error("Var(1) false when x1=1")
+	}
+	if m.Eval(x, []bool{true, false, true}) {
+		t.Error("Var(1) true when x1=0")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	m := NewManager(2)
+	a := m.And(m.Var(0), m.Var(1))
+	b := m.And(m.Var(1), m.Var(0))
+	if a != b {
+		t.Error("AND not canonical under operand order")
+	}
+	size := m.Size()
+	_ = m.And(m.Var(0), m.Var(1))
+	if m.Size() != size {
+		t.Error("repeated operation created new nodes")
+	}
+}
+
+// TestBooleanAlgebraQuick checks BDD ops against direct boolean
+// evaluation on random 4-variable assignments.
+func TestBooleanAlgebraQuick(t *testing.T) {
+	m := NewManager(4)
+	x := []Ref{m.Var(0), m.Var(1), m.Var(2), m.Var(3)}
+	f := m.Or(m.And(x[0], x[1]), m.Xor(x[2], x[3]))
+	g := m.And(m.Not(x[0]), m.Or(x[1], x[3]))
+	check := func(a0, a1, a2, a3 bool) bool {
+		assign := []bool{a0, a1, a2, a3}
+		wantF := (a0 && a1) || (a2 != a3)
+		wantG := !a0 && (a1 || a3)
+		return m.Eval(f, assign) == wantF &&
+			m.Eval(g, assign) == wantG &&
+			m.Eval(m.And(f, g), assign) == (wantF && wantG) &&
+			m.Eval(m.Or(f, g), assign) == (wantF || wantG) &&
+			m.Eval(m.Xor(f, g), assign) == (wantF != wantG) &&
+			m.Eval(m.Ite(f, g, m.Not(g)), assign) == (map[bool]bool{true: wantG, false: !wantG}[wantF])
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbSimple(t *testing.T) {
+	m := NewManager(2)
+	and := m.And(m.Var(0), m.Var(1))
+	or := m.Or(m.Var(0), m.Var(1))
+	xor := m.Xor(m.Var(0), m.Var(1))
+	w := []float64{0.3, 0.6}
+	if p := m.Prob(and, w); math.Abs(p-0.18) > 1e-12 {
+		t.Errorf("P(and) = %v, want 0.18", p)
+	}
+	if p := m.Prob(or, w); math.Abs(p-(0.3+0.6-0.18)) > 1e-12 {
+		t.Errorf("P(or) = %v", p)
+	}
+	if p := m.Prob(xor, w); math.Abs(p-(0.3*0.4+0.7*0.6)) > 1e-12 {
+		t.Errorf("P(xor) = %v", p)
+	}
+}
+
+// TestProbMatchesEnumeration: weighted counting must equal brute-force
+// enumeration for random functions.
+func TestProbMatchesEnumeration(t *testing.T) {
+	const n = 5
+	m := NewManager(n)
+	x := make([]Ref, n)
+	for i := range x {
+		x[i] = m.Var(i)
+	}
+	// A non-trivial function mixing all ops.
+	f := m.Xor(m.And(x[0], m.Or(x[1], m.Not(x[2]))), m.And(x[3], m.Xor(x[4], x[0])))
+	w := []float64{0.1, 0.25, 0.5, 0.8, 0.95}
+	want := 0.0
+	assign := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		pr := 1.0
+		for i := 0; i < n; i++ {
+			assign[i] = v>>uint(i)&1 == 1
+			if assign[i] {
+				pr *= w[i]
+			} else {
+				pr *= 1 - w[i]
+			}
+		}
+		if m.Eval(f, assign) {
+			want += pr
+		}
+	}
+	if got := m.Prob(f, w); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob = %v, enumeration = %v", got, want)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := NewManager(3)
+	// x0 AND x1 has 2 satisfying assignments over 3 vars.
+	f := m.And(m.Var(0), m.Var(1))
+	if got := m.SatCount(f); math.Abs(got-2) > 1e-9 {
+		t.Errorf("SatCount = %v, want 2", got)
+	}
+	if got := m.SatCount(True); math.Abs(got-8) > 1e-9 {
+		t.Errorf("SatCount(True) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v, want 0", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := NewManager(4)
+	f := m.And(m.Var(0), m.Var(3))
+	sup := m.Support(f)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 3 {
+		t.Errorf("Support = %v, want [0 3]", sup)
+	}
+	if len(m.Support(True)) != 0 {
+		t.Error("Support(True) not empty")
+	}
+}
+
+func TestXorCancellation(t *testing.T) {
+	m := NewManager(3)
+	f := m.Xor(m.Var(0), m.Var(1))
+	if m.Xor(f, f) != False {
+		t.Error("f XOR f != False")
+	}
+	if m.Xor(f, False) != f {
+		t.Error("f XOR False != f")
+	}
+}
+
+func TestFromCircuitMatchesEval(t *testing.T) {
+	b := circuit.NewBuilder("mix")
+	in := b.Inputs("x", 5)
+	g1 := b.Nand("g1", in[0], in[1])
+	g2 := b.Xor("g2", g1, in[2], in[3])
+	g3 := b.Nor("g3", g2, in[4])
+	g4 := b.Xnor("g4", g1, g3)
+	b.Output("o1", g3)
+	b.Output("o2", g4)
+	c := b.MustBuild()
+
+	m := NewManager(c.NumInputs())
+	refs := FromCircuit(m, c)
+	assign := make([]bool, 5)
+	for v := 0; v < 32; v++ {
+		for i := range assign {
+			assign[i] = v>>uint(i)&1 == 1
+		}
+		want := c.Eval(assign)
+		for g := 0; g < c.NumGates(); g++ {
+			if got := m.Eval(refs[g], assign); got != want[g] {
+				t.Fatalf("pattern %05b gate %d: bdd=%v eval=%v", v, g, got, want[g])
+			}
+		}
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Var out of range did not panic")
+		}
+	}()
+	NewManager(2).Var(2)
+}
+
+func TestProbWeightMismatchPanics(t *testing.T) {
+	m := NewManager(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Prob with wrong weight count did not panic")
+		}
+	}()
+	m.Prob(m.Var(0), []float64{0.5})
+}

@@ -1,0 +1,271 @@
+// Package bench reads and writes combinational netlists in the ISCAS
+// "bench" text format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G17 = NAND(G1, G8)
+//	G8  = NOT(G1)
+//
+// Extensions over the classic format: CONST0/CONST1 gates (written with
+// empty argument lists) and n-ary XOR/XNOR. Gate definitions may appear
+// in any order; the parser resolves forward references.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"optirand/internal/circuit"
+)
+
+var typeByName = map[string]circuit.GateType{
+	"BUF":    circuit.Buf,
+	"BUFF":   circuit.Buf,
+	"NOT":    circuit.Not,
+	"INV":    circuit.Not,
+	"AND":    circuit.And,
+	"NAND":   circuit.Nand,
+	"OR":     circuit.Or,
+	"NOR":    circuit.Nor,
+	"XOR":    circuit.Xor,
+	"XNOR":   circuit.Xnor,
+	"CONST0": circuit.Const0,
+	"CONST1": circuit.Const1,
+}
+
+// ParseError describes a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg)
+}
+
+type rawGate struct {
+	name   string
+	typ    circuit.GateType
+	fanin  []string
+	line   int
+	isIn   bool
+	defGot bool
+}
+
+// Parse reads a netlist in bench format. The circuit name is taken from
+// the first "# name: ..." comment if present, else name is "bench".
+func Parse(r io.Reader) (*circuit.Circuit, error) {
+	name := "bench"
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	gates := make(map[string]*rawGate)
+	var order []string   // first-mention order, for stable gate numbering
+	var outputs []string // output names in declaration order
+	var inputs []string  // input names in declaration order
+
+	touch := func(n string, line int) *rawGate {
+		g, ok := gates[n]
+		if !ok {
+			g = &rawGate{name: n, line: line}
+			gates[n] = g
+			order = append(order, n)
+		}
+		return g
+	}
+
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			c := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if strings.HasPrefix(c, "name:") {
+				if n := strings.TrimSpace(strings.TrimPrefix(c, "name:")); n != "" {
+					name = n
+				}
+			}
+			continue
+		}
+		up := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(up, "INPUT(") || strings.HasPrefix(up, "INPUT ("):
+			arg, err := parenArg(line, lineno)
+			if err != nil {
+				return nil, err
+			}
+			g := touch(arg, lineno)
+			if g.isIn {
+				return nil, &ParseError{lineno, fmt.Sprintf("input %q declared twice", arg)}
+			}
+			g.isIn = true
+			g.typ = circuit.Input
+			g.defGot = true
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(up, "OUTPUT(") || strings.HasPrefix(up, "OUTPUT ("):
+			arg, err := parenArg(line, lineno)
+			if err != nil {
+				return nil, err
+			}
+			touch(arg, lineno)
+			outputs = append(outputs, arg)
+		default:
+			lhs, rhs, ok := strings.Cut(line, "=")
+			if !ok {
+				return nil, &ParseError{lineno, fmt.Sprintf("cannot parse %q", line)}
+			}
+			gname := strings.TrimSpace(lhs)
+			if gname == "" {
+				return nil, &ParseError{lineno, "empty gate name"}
+			}
+			tname, args, err := splitCall(strings.TrimSpace(rhs), lineno)
+			if err != nil {
+				return nil, err
+			}
+			typ, ok := typeByName[strings.ToUpper(tname)]
+			if !ok {
+				return nil, &ParseError{lineno, fmt.Sprintf("unknown gate type %q", tname)}
+			}
+			g := touch(gname, lineno)
+			if g.defGot {
+				return nil, &ParseError{lineno, fmt.Sprintf("gate %q defined twice", gname)}
+			}
+			g.defGot = true
+			g.typ = typ
+			g.fanin = args
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %w", err)
+	}
+
+	// Resolve names to indices in first-mention order.
+	index := make(map[string]int, len(order))
+	for i, n := range order {
+		index[n] = i
+	}
+	cgates := make([]circuit.Gate, len(order))
+	for i, n := range order {
+		g := gates[n]
+		if !g.defGot {
+			return nil, &ParseError{g.line, fmt.Sprintf("signal %q is used but never defined", n)}
+		}
+		cg := circuit.Gate{Name: n, Type: g.typ}
+		for _, f := range g.fanin {
+			fi, ok := index[f]
+			if !ok {
+				return nil, &ParseError{g.line, fmt.Sprintf("gate %q: unknown fanin %q", n, f)}
+			}
+			cg.Fanin = append(cg.Fanin, fi)
+		}
+		cgates[i] = cg
+	}
+	cin := make([]int, len(inputs))
+	for i, n := range inputs {
+		cin[i] = index[n]
+	}
+	cout := make([]int, len(outputs))
+	for i, n := range outputs {
+		cout[i] = index[n]
+	}
+	return circuit.New(name, cgates, cin, cout)
+}
+
+// ParseString parses a netlist held in a string.
+func ParseString(s string) (*circuit.Circuit, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parenArg(line string, lineno int) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", &ParseError{lineno, fmt.Sprintf("malformed declaration %q", line)}
+	}
+	arg := strings.TrimSpace(line[open+1 : close])
+	if arg == "" {
+		return "", &ParseError{lineno, "empty argument"}
+	}
+	return arg, nil
+}
+
+func splitCall(rhs string, lineno int) (typ string, args []string, err error) {
+	open := strings.IndexByte(rhs, '(')
+	if open < 0 {
+		// Bare type (CONST0 / CONST1).
+		return strings.TrimSpace(rhs), nil, nil
+	}
+	close := strings.LastIndexByte(rhs, ')')
+	if close < open {
+		return "", nil, &ParseError{lineno, fmt.Sprintf("malformed gate call %q", rhs)}
+	}
+	typ = strings.TrimSpace(rhs[:open])
+	inner := strings.TrimSpace(rhs[open+1 : close])
+	if inner == "" {
+		return typ, nil, nil
+	}
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, &ParseError{lineno, fmt.Sprintf("empty fanin in %q", rhs)}
+		}
+		args = append(args, a)
+	}
+	return typ, args, nil
+}
+
+// Write emits the circuit in bench format. Gate names are used if
+// present, otherwise synthesized as g<N>. The output is deterministic.
+func Write(w io.Writer, c *circuit.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# name: %s\n", c.Name)
+	st := c.Stats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates, depth %d\n",
+		st.Inputs, st.Outputs, st.Gates-st.Inputs, st.Depth)
+	nameOf := func(g int) string { return c.GateName(g) }
+	for _, g := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", nameOf(g))
+	}
+	for _, g := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", nameOf(g))
+	}
+	for _, g := range c.TopoOrder() {
+		gate := &c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		names := make([]string, len(gate.Fanin))
+		for i, f := range gate.Fanin {
+			names[i] = nameOf(f)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", nameOf(g), gate.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// String renders the circuit in bench format.
+func String(c *circuit.Circuit) string {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
+}
+
+// SortedSignalNames returns all gate names in the circuit, sorted; it is
+// a convenience for golden tests and diagnostics.
+func SortedSignalNames(c *circuit.Circuit) []string {
+	names := make([]string, 0, c.NumGates())
+	for g := 0; g < c.NumGates(); g++ {
+		names = append(names, c.GateName(g))
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const c17 = `
+# name: c17
+# the classic 6-NAND example from the ISCAS'85 set
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+
+func TestParseC17(t *testing.T) {
+	c, err := ParseString(c17)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Name != "c17" {
+		t.Errorf("Name = %q, want c17", c.Name)
+	}
+	if c.NumInputs() != 5 || c.NumOutputs() != 2 || c.NumGates() != 11 {
+		t.Errorf("got %d inputs, %d outputs, %d gates", c.NumInputs(), c.NumOutputs(), c.NumGates())
+	}
+	// Known truth vector: all inputs 1 -> G10=NAND(1,1)=0, G11=0,
+	// G16=NAND(1,0)=1, G19=NAND(0,1)=1, G22=NAND(0,1)=1, G23=NAND(1,1)=0.
+	out := c.EvalOutputs([]bool{true, true, true, true, true})
+	if out[0] != true || out[1] != false {
+		t.Errorf("EvalOutputs(all ones) = %v, want [true false]", out)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	// Definition order reversed relative to topological order.
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(o)
+o = NOT(m)
+m = AND(a, b)
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := c.EvalOutputs([]bool{true, true})
+	if out[0] != false {
+		t.Errorf("NOT(AND(1,1)) = %v, want false", out[0])
+	}
+}
+
+func TestConstGates(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(o)
+one = CONST1
+o = AND(a, one)
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := c.EvalOutputs([]bool{true})[0]; got != true {
+		t.Errorf("AND(1, CONST1) = %v", got)
+	}
+	if got := c.EvalOutputs([]bool{false})[0]; got != false {
+		t.Errorf("AND(0, CONST1) = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown type", "INPUT(a)\nOUTPUT(o)\no = FROB(a)\n"},
+		{"undefined signal", "INPUT(a)\nOUTPUT(o)\no = AND(a, ghost)\n"},
+		{"double definition", "INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\no = OR(a, b)\n"},
+		{"double input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"},
+		{"garbage line", "INPUT(a)\nOUTPUT(a)\nwhat is this\n"},
+		{"empty fanin", "INPUT(a)\nOUTPUT(o)\no = AND(a, )\n"},
+		{"unbalanced paren", "INPUT(a\n"},
+		{"never defined", "INPUT(a)\nOUTPUT(o)\n"},
+		{"cycle", "INPUT(a)\nOUTPUT(o)\no = AND(a, p)\np = BUF(o)\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.src); err == nil {
+				t.Errorf("Parse accepted %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseString("INPUT(a)\nOUTPUT(o)\no = FROB(a)\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("Line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+// TestRoundTrip: Write then Parse must reproduce an equivalent circuit.
+func TestRoundTrip(t *testing.T) {
+	orig, err := ParseString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := String(orig)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if back.NumInputs() != orig.NumInputs() || back.NumOutputs() != orig.NumOutputs() ||
+		back.NumGates() != orig.NumGates() {
+		t.Fatalf("round trip changed structure: %d/%d/%d vs %d/%d/%d",
+			back.NumInputs(), back.NumOutputs(), back.NumGates(),
+			orig.NumInputs(), orig.NumOutputs(), orig.NumGates())
+	}
+	// Exhaustive functional equivalence over all 32 input patterns.
+	n := orig.NumInputs()
+	in := make([]bool, n)
+	for v := 0; v < 1<<n; v++ {
+		for i := range in {
+			in[i] = v>>i&1 == 1
+		}
+		a := orig.EvalOutputs(in)
+		b := back.EvalOutputs(in)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("pattern %05b: output %d differs: %v vs %v", v, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	c, err := ParseString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if String(c) != String(c) {
+		t.Error("Write output not deterministic")
+	}
+}
+
+func TestAliasesAndNaryXor(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(o)
+n = INV(a)
+bb = BUFF(b)
+o = XOR(n, bb, c)
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// o = !a ^ b ^ c
+	for v := 0; v < 8; v++ {
+		a, b2, c2 := v&1 == 1, v&2 == 2, v&4 == 4
+		want := (!a != b2) != c2
+		got := c.EvalOutputs([]bool{a, b2, c2})[0]
+		if got != want {
+			t.Errorf("pattern %03b: got %v want %v", v, got, want)
+		}
+	}
+}
+
+func TestSortedSignalNames(t *testing.T) {
+	c, err := ParseString(c17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := SortedSignalNames(c)
+	if len(names) != c.NumGates() {
+		t.Fatalf("got %d names, want %d", len(names), c.NumGates())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("names not sorted: %q > %q", names[i-1], names[i])
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package circuit
+
+import "fmt"
+
+// Builder constructs circuits incrementally. Gate methods return the
+// index of the created gate so netlists read naturally:
+//
+//	b := circuit.NewBuilder("half-adder")
+//	a, x := b.Input("a"), b.Input("b")
+//	sum := b.Xor("sum", a, x)
+//	b.Output("sum", sum)
+//	c, err := b.Build()
+//
+// Fanins must refer to gates already created, which keeps the network
+// acyclic by construction. Builder is not safe for concurrent use.
+type Builder struct {
+	c     *Circuit
+	err   error
+	names map[string]int
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		c:     &Circuit{Name: name},
+		names: make(map[string]int),
+	}
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// NumGates returns the number of gates added so far.
+func (b *Builder) NumGates() int { return len(b.c.Gates) }
+
+func (b *Builder) fail(format string, args ...any) int {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %s: %s", b.c.Name, fmt.Sprintf(format, args...))
+	}
+	return -1
+}
+
+// Add appends a gate of the given type. Name may be empty; if non-empty
+// it must be unique. Returns the gate index, or -1 after an error.
+func (b *Builder) Add(t GateType, name string, fanin ...int) int {
+	if b.err != nil {
+		return -1
+	}
+	if name != "" {
+		if prev, dup := b.names[name]; dup {
+			return b.fail("duplicate gate name %q (gate %d)", name, prev)
+		}
+	}
+	if min := t.MinFanin(); len(fanin) < min {
+		return b.fail("gate %q: %s needs at least %d fanins, got %d", name, t, min, len(fanin))
+	}
+	if max := t.MaxFanin(); max >= 0 && len(fanin) > max {
+		return b.fail("gate %q: %s allows at most %d fanins, got %d", name, t, max, len(fanin))
+	}
+	id := len(b.c.Gates)
+	for _, f := range fanin {
+		if f < 0 || f >= id {
+			return b.fail("gate %q: fanin %d does not exist yet", name, f)
+		}
+	}
+	cp := make([]int, len(fanin))
+	copy(cp, fanin)
+	b.c.Gates = append(b.c.Gates, Gate{Name: name, Type: t, Fanin: cp})
+	if name != "" {
+		b.names[name] = id
+	}
+	if t == Input {
+		b.c.Inputs = append(b.c.Inputs, id)
+	}
+	return id
+}
+
+// Input adds a primary input gate.
+func (b *Builder) Input(name string) int { return b.Add(Input, name) }
+
+// Inputs adds n primary inputs named prefix0..prefix(n-1) and returns
+// their indices.
+func (b *Builder) Inputs(prefix string, n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = b.Input(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return ids
+}
+
+// Const0 adds a constant-false gate.
+func (b *Builder) Const0(name string) int { return b.Add(Const0, name) }
+
+// Const1 adds a constant-true gate.
+func (b *Builder) Const1(name string) int { return b.Add(Const1, name) }
+
+// Buf adds an identity gate.
+func (b *Builder) Buf(name string, in int) int { return b.Add(Buf, name, in) }
+
+// Not adds an inverter.
+func (b *Builder) Not(name string, in int) int { return b.Add(Not, name, in) }
+
+// And adds an n-ary AND gate.
+func (b *Builder) And(name string, in ...int) int { return b.Add(And, name, in...) }
+
+// Nand adds an n-ary NAND gate.
+func (b *Builder) Nand(name string, in ...int) int { return b.Add(Nand, name, in...) }
+
+// Or adds an n-ary OR gate.
+func (b *Builder) Or(name string, in ...int) int { return b.Add(Or, name, in...) }
+
+// Nor adds an n-ary NOR gate.
+func (b *Builder) Nor(name string, in ...int) int { return b.Add(Nor, name, in...) }
+
+// Xor adds an n-ary XOR (parity) gate.
+func (b *Builder) Xor(name string, in ...int) int { return b.Add(Xor, name, in...) }
+
+// Xnor adds an n-ary XNOR gate.
+func (b *Builder) Xnor(name string, in ...int) int { return b.Add(Xnor, name, in...) }
+
+// Output marks gate g as a primary output. The name is stored on the
+// gate if the gate is unnamed; outputs may share gates.
+func (b *Builder) Output(name string, g int) {
+	if b.err != nil {
+		return
+	}
+	if g < 0 || g >= len(b.c.Gates) {
+		b.fail("output %q: gate %d does not exist", name, g)
+		return
+	}
+	if name != "" && b.c.Gates[g].Name == "" {
+		if prev, dup := b.names[name]; dup {
+			b.fail("output %q: name already used by gate %d", name, prev)
+			return
+		}
+		b.c.Gates[g].Name = name
+		b.names[name] = g
+	}
+	b.c.Outputs = append(b.c.Outputs, g)
+}
+
+// Gate returns the index of the named gate, or -1 if absent.
+func (b *Builder) Gate(name string) int {
+	if id, ok := b.names[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Build finalizes the circuit: derives fanout, levels and topological
+// order, and validates the structure. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.c.Inputs) == 0 {
+		return nil, fmt.Errorf("builder %s: circuit has no primary inputs", b.c.Name)
+	}
+	if len(b.c.Outputs) == 0 {
+		return nil, fmt.Errorf("builder %s: circuit has no primary outputs", b.c.Name)
+	}
+	if err := b.c.finish(); err != nil {
+		return nil, err
+	}
+	c := b.c
+	b.c = nil
+	return c, nil
+}
+
+// MustBuild is Build, panicking on error. Intended for the built-in
+// generators whose structure is fixed at compile time.
+func (b *Builder) MustBuild() *Circuit {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

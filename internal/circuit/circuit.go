@@ -1,0 +1,393 @@
+// Package circuit models gate-level combinational networks.
+//
+// A Circuit is a directed acyclic graph of gates. Primary inputs are
+// gates of type Input; primary outputs are designated gate outputs.
+// Gates may have arbitrary fanin (XOR/XNOR are n-ary parity functions).
+// The package provides construction (Builder), structural queries
+// (levels, fanout, cones), and validation. It deliberately knows nothing
+// about faults, probabilities or simulation; those live in sibling
+// packages layered on top.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported combinational gate functions.
+type GateType uint8
+
+const (
+	// Input marks a primary input; it has no fanin.
+	Input GateType = iota
+	// Buf is the identity function of one fanin.
+	Buf
+	// Not is the complement of one fanin.
+	Not
+	// And is the n-ary conjunction.
+	And
+	// Nand is the complemented n-ary conjunction.
+	Nand
+	// Or is the n-ary disjunction.
+	Or
+	// Nor is the complemented n-ary disjunction.
+	Nor
+	// Xor is the n-ary parity (odd number of ones).
+	Xor
+	// Xnor is the complemented n-ary parity.
+	Xnor
+	// Const0 is the constant false; it has no fanin.
+	Const0
+	// Const1 is the constant true; it has no fanin.
+	Const1
+	numGateTypes
+)
+
+var gateTypeNames = [numGateTypes]string{
+	Input: "INPUT", Buf: "BUF", Not: "NOT",
+	And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Const0: "CONST0", Const1: "CONST1",
+}
+
+// String returns the conventional upper-case name of the gate type.
+func (t GateType) String() string {
+	if int(t) < len(gateTypeNames) {
+		return gateTypeNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the defined gate types.
+func (t GateType) Valid() bool { return t < numGateTypes }
+
+// MinFanin returns the minimum legal number of fanins for the type.
+func (t GateType) MinFanin() int {
+	switch t {
+	case Input, Const0, Const1:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum legal number of fanins for the type
+// (-1 means unbounded).
+func (t GateType) MaxFanin() int {
+	switch t {
+	case Input, Const0, Const1:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Inverting reports whether the gate complements its base function
+// (NAND, NOR, XNOR, NOT).
+func (t GateType) Inverting() bool {
+	switch t {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// Gate is a single node of the network. Fanin holds the indices of the
+// driving gates in Circuit.Gates, in pin order.
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int
+}
+
+// Pin identifies a fanout connection: gate Gate reads the signal on its
+// input pin Pin.
+type Pin struct {
+	Gate int
+	Pin  int
+}
+
+// Circuit is an immutable combinational network. Construct one with a
+// Builder or the bench parser; after Build/Parse the structure must not
+// be mutated.
+type Circuit struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // gate indices of primary inputs, in declaration order
+	Outputs []int // gate indices observed as primary outputs
+
+	fanout   [][]Pin // consumers of each gate's output
+	outCount []int   // number of times each gate appears in Outputs
+	level    []int   // longest path from any input/constant
+	order    []int   // topological order (levelized)
+	inputPos map[int]int
+}
+
+// NumGates returns the total number of gates including primary inputs.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumInputs returns the number of primary inputs.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// NumLines returns the number of fault sites: one stem per gate output
+// plus one branch per gate input pin.
+func (c *Circuit) NumLines() int {
+	n := len(c.Gates)
+	for i := range c.Gates {
+		n += len(c.Gates[i].Fanin)
+	}
+	return n
+}
+
+// Fanout returns the consumers of gate g's output. The returned slice
+// must not be modified.
+func (c *Circuit) Fanout(g int) []Pin { return c.fanout[g] }
+
+// FanoutCount returns the number of gate input pins driven by g, not
+// counting primary-output observation.
+func (c *Circuit) FanoutCount(g int) int { return len(c.fanout[g]) }
+
+// IsOutput reports whether gate g's output is a primary output.
+func (c *Circuit) IsOutput(g int) bool { return c.outCount[g] > 0 }
+
+// Level returns the levelization of gate g: 0 for inputs and constants,
+// 1 + max(fanin levels) otherwise.
+func (c *Circuit) Level(g int) int { return c.level[g] }
+
+// Depth returns the maximum level over all gates (0 for an empty or
+// input-only circuit).
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.level {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// TopoOrder returns the gate indices in a topological (levelized) order:
+// every gate appears after all of its fanins. The returned slice must
+// not be modified.
+func (c *Circuit) TopoOrder() []int { return c.order }
+
+// InputIndex returns the position of gate g in Inputs, or -1 if g is not
+// a primary input.
+func (c *Circuit) InputIndex(g int) int {
+	if p, ok := c.inputPos[g]; ok {
+		return p
+	}
+	return -1
+}
+
+// GateName returns a stable human-readable name for gate g (its declared
+// name, or a synthesized one).
+func (c *Circuit) GateName(g int) string {
+	if n := c.Gates[g].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("g%d", g)
+}
+
+// FindGate returns the index of the gate with the given name, or -1.
+func (c *Circuit) FindGate(name string) int {
+	for i := range c.Gates {
+		if c.Gates[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ForwardCone returns the set of gates reachable from gate g (including
+// g itself), as a sorted slice of gate indices. It is the region whose
+// values can change when g's output changes.
+func (c *Circuit) ForwardCone(g int) []int {
+	seen := make(map[int]bool)
+	stack := []int{g}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		for _, p := range c.fanout[x] {
+			if !seen[p.Gate] {
+				stack = append(stack, p.Gate)
+			}
+		}
+	}
+	cone := make([]int, 0, len(seen))
+	for x := range seen {
+		cone = append(cone, x)
+	}
+	sort.Ints(cone)
+	return cone
+}
+
+// BackwardCone returns the set of gates on which gate g depends
+// (including g itself), as a sorted slice of gate indices.
+func (c *Circuit) BackwardCone(g int) []int {
+	seen := make(map[int]bool)
+	stack := []int{g}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		for _, f := range c.Gates[x].Fanin {
+			if !seen[f] {
+				stack = append(stack, f)
+			}
+		}
+	}
+	cone := make([]int, 0, len(seen))
+	for x := range seen {
+		cone = append(cone, x)
+	}
+	sort.Ints(cone)
+	return cone
+}
+
+// SupportInputs returns the primary inputs in the backward cone of gate
+// g, as positions into Inputs, sorted ascending.
+func (c *Circuit) SupportInputs(g int) []int {
+	var sup []int
+	for _, x := range c.BackwardCone(g) {
+		if p, ok := c.inputPos[x]; ok {
+			sup = append(sup, p)
+		}
+	}
+	sort.Ints(sup)
+	return sup
+}
+
+// Stats summarizes the structural properties of a circuit.
+type Stats struct {
+	Gates      int // total gates including inputs and constants
+	Inputs     int
+	Outputs    int
+	Depth      int
+	Lines      int            // fault sites (stems + branches)
+	FanoutMax  int            // widest fanout
+	ByType     map[string]int // gate count per type name
+	Reconverge int            // gates with fanout > 1 (potential reconvergence stems)
+}
+
+// Stats computes structural statistics for the circuit.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Gates:   len(c.Gates),
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Depth:   c.Depth(),
+		Lines:   c.NumLines(),
+		ByType:  make(map[string]int),
+	}
+	for g := range c.Gates {
+		s.ByType[c.Gates[g].Type.String()]++
+		if n := len(c.fanout[g]); n > s.FanoutMax {
+			s.FanoutMax = n
+		}
+		if len(c.fanout[g]) > 1 {
+			s.Reconverge++
+		}
+	}
+	return s
+}
+
+// finish derives fanout, levels and topological order, and validates the
+// structure. It is called by Builder.Build and the bench parser.
+func (c *Circuit) finish() error {
+	n := len(c.Gates)
+	c.fanout = make([][]Pin, n)
+	c.outCount = make([]int, n)
+	indeg := make([]int, n)
+	for g := range c.Gates {
+		gate := &c.Gates[g]
+		if !gate.Type.Valid() {
+			return fmt.Errorf("circuit %s: gate %d (%s): invalid type", c.Name, g, c.GateName(g))
+		}
+		if min := gate.Type.MinFanin(); len(gate.Fanin) < min {
+			return fmt.Errorf("circuit %s: gate %d (%s): %s needs at least %d fanins, has %d",
+				c.Name, g, c.GateName(g), gate.Type, min, len(gate.Fanin))
+		}
+		if max := gate.Type.MaxFanin(); max >= 0 && len(gate.Fanin) > max {
+			return fmt.Errorf("circuit %s: gate %d (%s): %s allows at most %d fanins, has %d",
+				c.Name, g, c.GateName(g), gate.Type, max, len(gate.Fanin))
+		}
+		indeg[g] = len(gate.Fanin)
+		for pin, f := range gate.Fanin {
+			if f < 0 || f >= n {
+				return fmt.Errorf("circuit %s: gate %d (%s): fanin %d out of range", c.Name, g, c.GateName(g), f)
+			}
+			c.fanout[f] = append(c.fanout[f], Pin{Gate: g, Pin: pin})
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || o >= n {
+			return fmt.Errorf("circuit %s: output gate %d out of range", c.Name, o)
+		}
+		c.outCount[o]++
+	}
+	c.inputPos = make(map[int]int, len(c.Inputs))
+	for pos, g := range c.Inputs {
+		if g < 0 || g >= n {
+			return fmt.Errorf("circuit %s: input gate %d out of range", c.Name, g)
+		}
+		if c.Gates[g].Type != Input {
+			return fmt.Errorf("circuit %s: gate %d (%s) listed as input but has type %s",
+				c.Name, g, c.GateName(g), c.Gates[g].Type)
+		}
+		if _, dup := c.inputPos[g]; dup {
+			return fmt.Errorf("circuit %s: gate %d (%s) listed as input twice", c.Name, g, c.GateName(g))
+		}
+		c.inputPos[g] = pos
+	}
+	for g := range c.Gates {
+		if c.Gates[g].Type == Input {
+			if _, ok := c.inputPos[g]; !ok {
+				return fmt.Errorf("circuit %s: gate %d (%s) has type INPUT but is not in Inputs",
+					c.Name, g, c.GateName(g))
+			}
+		}
+	}
+
+	// Kahn's algorithm: levelized topological order + cycle detection.
+	c.level = make([]int, n)
+	c.order = make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for g := 0; g < n; g++ {
+		if indeg[g] == 0 {
+			queue = append(queue, g)
+		}
+	}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		c.order = append(c.order, g)
+		for _, p := range c.fanout[g] {
+			if l := c.level[g] + 1; l > c.level[p.Gate] {
+				c.level[p.Gate] = l
+			}
+			indeg[p.Gate]--
+			if indeg[p.Gate] == 0 {
+				queue = append(queue, p.Gate)
+			}
+		}
+	}
+	if len(c.order) != n {
+		return fmt.Errorf("circuit %s: combinational loop detected (%d of %d gates ordered)",
+			c.Name, len(c.order), n)
+	}
+	return nil
+}

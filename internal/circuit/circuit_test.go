@@ -1,0 +1,329 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildHalfAdder(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("half-adder")
+	a := b.Input("a")
+	x := b.Input("b")
+	sum := b.Xor("sum", a, x)
+	carry := b.And("carry", a, x)
+	b.Output("sum", sum)
+	b.Output("carry", carry)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuilderHalfAdder(t *testing.T) {
+	c := buildHalfAdder(t)
+	if got, want := c.NumGates(), 4; got != want {
+		t.Errorf("NumGates = %d, want %d", got, want)
+	}
+	if got, want := c.NumInputs(), 2; got != want {
+		t.Errorf("NumInputs = %d, want %d", got, want)
+	}
+	if got, want := c.NumOutputs(), 2; got != want {
+		t.Errorf("NumOutputs = %d, want %d", got, want)
+	}
+	for a := 0; a < 2; a++ {
+		for x := 0; x < 2; x++ {
+			out := c.EvalOutputs([]bool{a == 1, x == 1})
+			if out[0] != (a != x) {
+				t.Errorf("sum(%d,%d) = %v", a, x, out[0])
+			}
+			if out[1] != (a == 1 && x == 1) {
+				t.Errorf("carry(%d,%d) = %v", a, x, out[1])
+			}
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate name", func(t *testing.T) {
+		b := NewBuilder("dup")
+		b.Input("a")
+		b.Input("a")
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted duplicate gate name")
+		}
+	})
+	t.Run("bad fanin", func(t *testing.T) {
+		b := NewBuilder("bad")
+		a := b.Input("a")
+		b.And("g", a, 99)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted dangling fanin")
+		}
+	})
+	t.Run("too few fanins", func(t *testing.T) {
+		b := NewBuilder("few")
+		a := b.Input("a")
+		b.And("g", a)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted 1-input AND")
+		}
+	})
+	t.Run("no outputs", func(t *testing.T) {
+		b := NewBuilder("noout")
+		b.Input("a")
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted circuit without outputs")
+		}
+	})
+	t.Run("no inputs", func(t *testing.T) {
+		b := NewBuilder("noin")
+		g := b.Const1("one")
+		b.Output("o", g)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted circuit without inputs")
+		}
+	})
+	t.Run("not after first error", func(t *testing.T) {
+		b := NewBuilder("chain")
+		a := b.Input("a")
+		bad := b.And("g", a) // error: too few fanins
+		if bad != -1 {
+			t.Errorf("And after error = %d, want -1", bad)
+		}
+		if next := b.Not("h", a); next != -1 {
+			t.Errorf("gate added after error = %d, want -1", next)
+		}
+	})
+}
+
+func TestGateTypeString(t *testing.T) {
+	cases := map[GateType]string{
+		Input: "INPUT", And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+		Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buf: "BUF",
+		Const0: "CONST0", Const1: "CONST1",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if GateType(200).Valid() {
+		t.Error("GateType(200).Valid() = true")
+	}
+}
+
+func TestLevelsAndOrder(t *testing.T) {
+	b := NewBuilder("chain")
+	a := b.Input("a")
+	n1 := b.Not("n1", a)
+	n2 := b.Not("n2", n1)
+	n3 := b.Not("n3", n2)
+	b.Output("o", n3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := []int{0, 1, 2, 3}
+	for g, want := range wantLevels {
+		if got := c.Level(g); got != want {
+			t.Errorf("Level(%d) = %d, want %d", g, got, want)
+		}
+	}
+	if got, want := c.Depth(), 3; got != want {
+		t.Errorf("Depth = %d, want %d", got, want)
+	}
+	// Topological order: each gate after all its fanins.
+	pos := make([]int, c.NumGates())
+	for i, g := range c.TopoOrder() {
+		pos[g] = i
+	}
+	for g := range c.Gates {
+		for _, f := range c.Gates[g].Fanin {
+			if pos[f] >= pos[g] {
+				t.Errorf("gate %d precedes its fanin %d in TopoOrder", g, f)
+			}
+		}
+	}
+}
+
+func TestFanoutAndCones(t *testing.T) {
+	b := NewBuilder("recon")
+	a := b.Input("a")
+	x := b.Input("b")
+	n := b.Not("n", a)
+	g1 := b.And("g1", n, x)
+	g2 := b.Or("g2", n, x)
+	o := b.Xor("o", g1, g2)
+	b.Output("o", o)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FanoutCount(n); got != 2 {
+		t.Errorf("FanoutCount(n) = %d, want 2", got)
+	}
+	fo := c.Fanout(n)
+	if len(fo) != 2 || fo[0].Gate != g1 || fo[1].Gate != g2 {
+		t.Errorf("Fanout(n) = %v", fo)
+	}
+	cone := c.ForwardCone(n)
+	want := []int{n, g1, g2, o}
+	if len(cone) != len(want) {
+		t.Fatalf("ForwardCone(n) = %v, want %v", cone, want)
+	}
+	for i := range want {
+		if cone[i] != want[i] {
+			t.Fatalf("ForwardCone(n) = %v, want %v", cone, want)
+		}
+	}
+	back := c.BackwardCone(o)
+	if len(back) != 6 {
+		t.Errorf("BackwardCone(o) = %v, want all 6 gates", back)
+	}
+	sup := c.SupportInputs(g1)
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 1 {
+		t.Errorf("SupportInputs(g1) = %v, want [0 1]", sup)
+	}
+	if got := c.InputIndex(a); got != 0 {
+		t.Errorf("InputIndex(a) = %d, want 0", got)
+	}
+	if got := c.InputIndex(o); got != -1 {
+		t.Errorf("InputIndex(o) = %d, want -1", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildHalfAdder(t)
+	s := c.Stats()
+	if s.Gates != 4 || s.Inputs != 2 || s.Outputs != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.ByType["XOR"] != 1 || s.ByType["AND"] != 1 || s.ByType["INPUT"] != 2 {
+		t.Errorf("ByType = %v", s.ByType)
+	}
+	if s.Lines != 4+4 {
+		t.Errorf("Lines = %d, want 8", s.Lines)
+	}
+	if s.FanoutMax != 2 { // each input feeds XOR and AND
+		t.Errorf("FanoutMax = %d, want 2", s.FanoutMax)
+	}
+	if s.Reconverge != 2 {
+		t.Errorf("Reconverge = %d, want 2", s.Reconverge)
+	}
+}
+
+// TestEvalGateProperties checks algebraic identities of the gate
+// evaluator with random fanin vectors.
+func TestEvalGateProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randIn := func() []bool {
+		in := make([]bool, 2+rng.Intn(5))
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		return in
+	}
+	for trial := 0; trial < 200; trial++ {
+		in := randIn()
+		if EvalGate(Nand, in) != !EvalGate(And, in) {
+			t.Fatalf("NAND != !AND on %v", in)
+		}
+		if EvalGate(Nor, in) != !EvalGate(Or, in) {
+			t.Fatalf("NOR != !OR on %v", in)
+		}
+		if EvalGate(Xnor, in) != !EvalGate(Xor, in) {
+			t.Fatalf("XNOR != !XOR on %v", in)
+		}
+		// De Morgan: AND(in) == !OR(!in)
+		neg := make([]bool, len(in))
+		for i := range in {
+			neg[i] = !in[i]
+		}
+		if EvalGate(And, in) != !EvalGate(Or, neg) {
+			t.Fatalf("De Morgan violated on %v", in)
+		}
+		// XOR == parity
+		par := false
+		for _, v := range in {
+			if v {
+				par = !par
+			}
+		}
+		if EvalGate(Xor, in) != par {
+			t.Fatalf("XOR != parity on %v", in)
+		}
+	}
+}
+
+// TestEvalXorChainProperty: an XOR chain equals an n-ary XOR gate.
+func TestEvalXorChainProperty(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) < 2 {
+			return true
+		}
+		bld := NewBuilder("xorchain")
+		ins := make([]int, len(bits))
+		for i := range bits {
+			ins[i] = bld.Inputs("x"+string(rune('a'+i)), 1)[0]
+		}
+		wide := bld.Xor("wide", ins...)
+		acc := ins[0]
+		for i := 1; i < len(ins); i++ {
+			acc = bld.Add(Xor, "", acc, ins[i])
+		}
+		bld.Output("wide", wide)
+		bld.Output("chain", acc)
+		c, err := bld.Build()
+		if err != nil {
+			return false
+		}
+		out := c.EvalOutputs(bits)
+		return out[0] == out[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	// Build a cyclic structure directly (bypassing the Builder, which
+	// prevents cycles by construction) and check finish rejects it.
+	c := &Circuit{
+		Name: "cyclic",
+		Gates: []Gate{
+			{Name: "a", Type: Input},
+			{Name: "g1", Type: And, Fanin: []int{0, 2}},
+			{Name: "g2", Type: Buf, Fanin: []int{1}},
+		},
+		Inputs:  []int{0},
+		Outputs: []int{2},
+	}
+	if err := c.finish(); err == nil {
+		t.Error("finish accepted a cyclic circuit")
+	}
+}
+
+func TestGateNameFallback(t *testing.T) {
+	b := NewBuilder("anon")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.Add(And, "", a, x)
+	b.Output("o", g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output naming assigned the name "o" to the anonymous AND gate.
+	if got := c.GateName(g); got != "o" {
+		t.Errorf("GateName = %q, want %q", got, "o")
+	}
+	if got := c.FindGate("o"); got != g {
+		t.Errorf("FindGate(o) = %d, want %d", got, g)
+	}
+	if got := c.FindGate("zzz"); got != -1 {
+		t.Errorf("FindGate(zzz) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,195 @@
+package circuit
+
+import "testing"
+
+func TestBuilderConvenienceGates(t *testing.T) {
+	b := NewBuilder("conv")
+	a := b.Input("a")
+	x := b.Input("b")
+	z := b.Const0("zero")
+	o := b.Const1("one")
+	bf := b.Buf("bf", a)
+	nd := b.Nand("nd", a, x)
+	nr := b.Nor("nr", a, x)
+	xn := b.Xnor("xn", a, x)
+	big := b.Or("big", z, o, bf, nd, nr, xn)
+	b.Output("o", big)
+	if b.Err() != nil {
+		t.Fatalf("unexpected builder error: %v", b.Err())
+	}
+	if b.NumGates() != 9 {
+		t.Errorf("NumGates = %d, want 9", b.NumGates())
+	}
+	if got := b.Gate("nd"); got != nd {
+		t.Errorf("Gate(nd) = %d, want %d", got, nd)
+	}
+	if got := b.Gate("ghost"); got != -1 {
+		t.Errorf("Gate(ghost) = %d, want -1", got)
+	}
+	c := b.MustBuild()
+	// Semantics of each convenience gate.
+	for v := 0; v < 4; v++ {
+		av, xv := v&1 == 1, v&2 == 2
+		val := c.Eval([]bool{av, xv})
+		if val[z] != false || val[o] != true {
+			t.Fatal("constants wrong")
+		}
+		if val[bf] != av {
+			t.Errorf("BUF(%v) = %v", av, val[bf])
+		}
+		if val[nd] != !(av && xv) {
+			t.Errorf("NAND(%v,%v) = %v", av, xv, val[nd])
+		}
+		if val[nr] != !(av || xv) {
+			t.Errorf("NOR(%v,%v) = %v", av, xv, val[nr])
+		}
+		if val[xn] != (av == xv) {
+			t.Errorf("XNOR(%v,%v) = %v", av, xv, val[xn])
+		}
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Input("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid circuit")
+		}
+	}()
+	b.MustBuild() // no outputs
+}
+
+func TestInvertingAndFaninLimits(t *testing.T) {
+	inverting := map[GateType]bool{
+		Not: true, Nand: true, Nor: true, Xnor: true,
+		And: false, Or: false, Xor: false, Buf: false,
+		Input: false, Const0: false, Const1: false,
+	}
+	for ty, want := range inverting {
+		if got := ty.Inverting(); got != want {
+			t.Errorf("%v.Inverting() = %v, want %v", ty, got, want)
+		}
+	}
+	if Input.MaxFanin() != 0 || Not.MaxFanin() != 1 || And.MaxFanin() != -1 {
+		t.Error("MaxFanin values wrong")
+	}
+	if got := GateType(99).String(); got != "GateType(99)" {
+		t.Errorf("unknown type String = %q", got)
+	}
+}
+
+func TestIsOutputAndNumLines(t *testing.T) {
+	b := NewBuilder("io")
+	a := b.Input("a")
+	x := b.Input("b")
+	g := b.And("g", a, x)
+	b.Output("g", g)
+	c := b.MustBuild()
+	if !c.IsOutput(g) {
+		t.Error("IsOutput(g) = false")
+	}
+	if c.IsOutput(a) {
+		t.Error("IsOutput(a) = true")
+	}
+	// 3 stems + 2 input pins.
+	if got := c.NumLines(); got != 5 {
+		t.Errorf("NumLines = %d, want 5", got)
+	}
+}
+
+func TestNewConstructor(t *testing.T) {
+	// Forward references: gate 0 reads gate 2 (legal for New).
+	gates := []Gate{
+		{Name: "o", Type: Not, Fanin: []int{2}},
+		{Name: "a", Type: Input},
+		{Name: "m", Type: Buf, Fanin: []int{1}},
+	}
+	c, err := New("fwd", gates, []int{1}, []int{0})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	out := c.EvalOutputs([]bool{true})
+	if out[0] != false {
+		t.Errorf("NOT(BUF(1)) = %v", out[0])
+	}
+
+	// Error paths.
+	if _, err := New("badout", gates, []int{1}, []int{9}); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+	if _, err := New("badin", gates, []int{9}, []int{0}); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if _, err := New("notinput", gates, []int{2}, []int{0}); err == nil {
+		t.Error("non-INPUT gate accepted as input")
+	}
+	dup := []Gate{{Name: "a", Type: Input}}
+	if _, err := New("dupin", dup, []int{0, 0}, []int{0}); err == nil {
+		t.Error("duplicate input accepted")
+	}
+	orphan := []Gate{{Name: "a", Type: Input}, {Name: "b", Type: Input}}
+	if _, err := New("orphan", orphan, []int{0}, []int{1}); err == nil {
+		t.Error("INPUT gate missing from Inputs accepted")
+	}
+	badFanin := []Gate{{Name: "a", Type: Input}, {Name: "g", Type: Not, Fanin: []int{7}}}
+	if _, err := New("badfanin", badFanin, []int{0}, []int{1}); err == nil {
+		t.Error("dangling fanin accepted")
+	}
+	badType := []Gate{{Name: "a", Type: Input}, {Name: "g", Type: GateType(77), Fanin: []int{0}}}
+	if _, err := New("badtype", badType, []int{0}, []int{1}); err == nil {
+		t.Error("invalid gate type accepted")
+	}
+}
+
+func TestEvalPanics(t *testing.T) {
+	b := NewBuilder("p")
+	a := b.Input("a")
+	b.Output("o", b.Not("n", a))
+	c := b.MustBuild()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Eval with wrong input count did not panic")
+			}
+		}()
+		c.Eval([]bool{true, false})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EvalGate(Input) did not panic")
+			}
+		}()
+		EvalGate(Input, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EvalGate(invalid) did not panic")
+			}
+		}()
+		EvalGate(GateType(88), []bool{true})
+	}()
+}
+
+func TestOutputNamingConflict(t *testing.T) {
+	b := NewBuilder("oc")
+	a := b.Input("a")
+	g := b.Add(And, "", a, a) // anonymous
+	b.Output("a", g)          // name already taken by the input
+	if _, err := b.Build(); err == nil {
+		t.Error("output name collision accepted")
+	}
+}
+
+func TestOutputOfExistingNamedGate(t *testing.T) {
+	b := NewBuilder("named")
+	a := b.Input("a")
+	g := b.Not("inv", a)
+	b.Output("out", g) // gate already named "inv": name is kept
+	c := b.MustBuild()
+	if c.GateName(g) != "inv" {
+		t.Errorf("GateName = %q, want inv", c.GateName(g))
+	}
+}

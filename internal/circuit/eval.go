@@ -1,0 +1,87 @@
+package circuit
+
+import "fmt"
+
+// EvalGate computes the boolean function of a gate type over the given
+// fanin values. It is the reference semantics; the word-parallel
+// simulator in internal/sim must agree with it bit for bit.
+func EvalGate(t GateType, in []bool) bool {
+	switch t {
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, x := range in {
+			v = v && x
+		}
+		if t == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, x := range in {
+			v = v || x
+		}
+		if t == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, x := range in {
+			v = v != x
+		}
+		if t == Xnor {
+			return !v
+		}
+		return v
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case Input:
+		panic("circuit: EvalGate called on INPUT")
+	}
+	panic(fmt.Sprintf("circuit: EvalGate: unknown gate type %d", t))
+}
+
+// Eval computes all gate values for one input assignment, in topological
+// order. inputs[i] drives Inputs[i]. The returned slice is indexed by
+// gate. This scalar evaluator is the semantic reference for tests and
+// exact analyses; performance-critical paths use internal/sim.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	if len(inputs) != len(c.Inputs) {
+		panic(fmt.Sprintf("circuit %s: Eval: got %d inputs, want %d", c.Name, len(inputs), len(c.Inputs)))
+	}
+	val := make([]bool, len(c.Gates))
+	for pos, g := range c.Inputs {
+		val[g] = inputs[pos]
+	}
+	scratch := make([]bool, 0, 8)
+	for _, g := range c.order {
+		gate := &c.Gates[g]
+		if gate.Type == Input {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, f := range gate.Fanin {
+			scratch = append(scratch, val[f])
+		}
+		val[g] = EvalGate(gate.Type, scratch)
+	}
+	return val
+}
+
+// EvalOutputs evaluates the circuit and returns just the primary output
+// values, in Outputs order.
+func (c *Circuit) EvalOutputs(inputs []bool) []bool {
+	val := c.Eval(inputs)
+	out := make([]bool, len(c.Outputs))
+	for i, g := range c.Outputs {
+		out[i] = val[g]
+	}
+	return out
+}

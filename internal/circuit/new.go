@@ -1,0 +1,13 @@
+package circuit
+
+// New assembles a circuit from raw parts, validating structure, deriving
+// fanout, levels and topological order. Unlike Builder, it accepts gates
+// in any order (fanins may refer forward), which the bench parser needs.
+// The slices are owned by the circuit afterwards.
+func New(name string, gates []Gate, inputs, outputs []int) (*Circuit, error) {
+	c := &Circuit{Name: name, Gates: gates, Inputs: inputs, Outputs: outputs}
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

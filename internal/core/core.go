@@ -1,0 +1,405 @@
+// Package core implements the paper's contribution: computing optimized
+// input probabilities for random tests (Wunderlich, DAC 1987).
+//
+// The objective function is
+//
+//	J_N(X) = Σ_{f∈F} exp(-N·p_f(X))                    (eq. 9/10)
+//
+// over the tuple X of per-primary-input 1-probabilities. J_N is smooth
+// and multi-extremal in general, but strictly convex in each single
+// coordinate (Lemma 3), because p_f is affine in each coordinate
+// (Lemma 1, Shannon expansion):
+//
+//	p_f(X,y|i) = p_f(X,0|i) + y·(p_f(X,1|i) − p_f(X,0|i))   (eq. 13)
+//
+// The optimizer is therefore a coordinate descent (the paper's OPTIMIZE
+// procedure): for each input i, PREPARE computes p_f(X,0|i) and
+// p_f(X,1|i) for the relevant hard faults, and MINIMIZE finds the unique
+// coordinate minimum by a safeguarded Newton iteration (eq. 15). After
+// each sweep, ANALYSIS/SORT/NORMALIZE recompute the test length N; the
+// loop stops when N no longer improves by the relative threshold α.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/testability"
+	"optirand/internal/testlen"
+)
+
+// Options configures Optimize. The zero value selects the defaults
+// documented on each field.
+type Options struct {
+	// Confidence is the target probability ε that N patterns detect
+	// every fault (default 0.999; Q = -ln ε).
+	Confidence float64
+	// Alpha is the relative improvement threshold of the outer loop:
+	// iteration stops when (N_old − N_new) ≤ Alpha·N_old (the paper's
+	// user-defined α; default 0.005). Coordinate descent creeps out of
+	// near-symmetric regions slowly — per-sweep improvements of a few
+	// percent can persist for many sweeps before the big drop — so the
+	// default is deliberately small.
+	Alpha float64
+	// MaxSweeps caps the number of coordinate-descent sweeps
+	// (default 30).
+	MaxSweeps int
+	// MinWeight/MaxWeight clamp every optimized probability into
+	// [MinWeight, MaxWeight] (defaults 0.02/0.98). Lemma 2: at the
+	// boundary a primary-input stuck-at fault becomes undetectable and
+	// J_N diverges, so the true minima are interior; clamping guards
+	// the estimator's numerics.
+	MinWeight, MaxWeight float64
+	// InitialWeights optionally sets the starting vector (default: all
+	// 0.5, the conventional random test).
+	InitialWeights []float64
+	// Quantize, if positive, snaps the final weights to multiples of
+	// this grid (the paper's appendix uses 0.05).
+	Quantize float64
+	// HardFaultFloor is the minimum size of the hard-fault set F̂ used
+	// during a sweep (default 32). NORMALIZE returns the numerically
+	// relevant count nf; because "the order of the detection
+	// probabilities may change during optimization" (paper §4), F̂ is
+	// padded to at least this size and to PadFactor·nf.
+	HardFaultFloor int
+	// PadFactor multiplies nf when selecting F̂ (default 2).
+	PadFactor int
+	// RedundancyFloor: faults whose estimated detection probability
+	// stays at or below this are excluded as suspected redundant
+	// (default 1e-18; exact zeros are redundancy proofs, cf. paper §1).
+	RedundancyFloor float64
+	// NewtonIters caps the per-coordinate iteration count (default 40).
+	NewtonIters int
+	// Jitter breaks symmetry in the default starting vector: inputs
+	// start at 0.5 ± Jitter in a deterministic alternating pattern
+	// (default 0.02; set negative to disable). At the exactly
+	// equiprobable point, perfectly symmetric structures (an equality
+	// comparator's XNOR pairs) make J_N stationary in every single
+	// coordinate — changing one input of a pair whose partner sits at
+	// 0.5 cannot change any detection probability — and coordinate
+	// descent would not move. The paper's industrial netlists are
+	// asymmetric enough not to exhibit this; clean synthetic analogues
+	// need the nudge. Ignored when InitialWeights is set.
+	Jitter float64
+	// UseBisection replaces the Newton iteration of eq. 15 with plain
+	// bisection on the derivative — the ablation baseline; both find
+	// the same unique minimum, Newton in fewer analyses.
+	UseBisection bool
+	// DisableIncremental turns off the cone-limited incremental
+	// signal-probability updates in ANALYSIS (ablation baseline).
+	DisableIncremental bool
+}
+
+func (o *Options) withDefaults() Options {
+	opt := *o
+	if opt.Confidence == 0 {
+		opt.Confidence = testlen.DefaultConfidence
+	}
+	if opt.Alpha == 0 {
+		opt.Alpha = 0.005
+	}
+	if opt.MaxSweeps == 0 {
+		opt.MaxSweeps = 30
+	}
+	if opt.MinWeight == 0 {
+		opt.MinWeight = 0.02
+	}
+	if opt.MaxWeight == 0 {
+		opt.MaxWeight = 0.98
+	}
+	if opt.HardFaultFloor == 0 {
+		opt.HardFaultFloor = 32
+	}
+	if opt.PadFactor == 0 {
+		opt.PadFactor = 2
+	}
+	if opt.RedundancyFloor == 0 {
+		opt.RedundancyFloor = 1e-18
+	}
+	if opt.NewtonIters == 0 {
+		opt.NewtonIters = 40
+	}
+	if opt.Jitter == 0 {
+		opt.Jitter = 0.02
+	} else if opt.Jitter < 0 {
+		opt.Jitter = 0
+	}
+	return opt
+}
+
+// SweepStat records the state after one coordinate-descent sweep.
+type SweepStat struct {
+	Sweep      int
+	N          float64 // required test length after the sweep
+	HardFaults int     // nf reported by NORMALIZE
+}
+
+// Result reports an optimization run.
+type Result struct {
+	// Weights is the optimized input-probability tuple X, one entry
+	// per primary input.
+	Weights []float64
+	// InitialN is the required test length at the starting vector
+	// (Table 1 of the paper); FinalN at Weights (Table 3).
+	InitialN, FinalN float64
+	// Sweeps is the number of completed coordinate sweeps.
+	Sweeps int
+	// History holds per-sweep statistics.
+	History []SweepStat
+	// SuspectedRedundant counts faults excluded because their estimate
+	// never rose above Options.RedundancyFloor.
+	SuspectedRedundant int
+	// Analyses is the number of testability-analysis passes consumed
+	// (the dominant cost; paper §5.1).
+	Analyses int
+	// Elapsed is the wall-clock optimization time (paper Table 5).
+	Elapsed time.Duration
+}
+
+// Gain returns InitialN / FinalN, the test-length reduction factor.
+func (r *Result) Gain() float64 {
+	if r.FinalN == 0 {
+		return math.Inf(1)
+	}
+	return r.InitialN / r.FinalN
+}
+
+// Optimize computes optimized input probabilities for the fault list
+// faults (typically fault.New(c).Reps) on circuit c. It never modifies
+// its inputs.
+func Optimize(c *circuit.Circuit, faults []fault.Fault, o Options) (*Result, error) {
+	opt := o.withDefaults()
+	if len(faults) == 0 {
+		return nil, errors.New("core: Optimize: empty fault list")
+	}
+	if opt.MinWeight <= 0 || opt.MaxWeight >= 1 || opt.MinWeight >= opt.MaxWeight {
+		return nil, fmt.Errorf("core: Optimize: invalid weight clamp [%v,%v]", opt.MinWeight, opt.MaxWeight)
+	}
+	nIn := c.NumInputs()
+	x := make([]float64, nIn)
+	if opt.InitialWeights != nil {
+		if len(opt.InitialWeights) != nIn {
+			return nil, fmt.Errorf("core: Optimize: got %d initial weights, want %d", len(opt.InitialWeights), nIn)
+		}
+		for i, w := range opt.InitialWeights {
+			x[i] = clamp(w, opt.MinWeight, opt.MaxWeight)
+		}
+	} else {
+		for i := range x {
+			if i%2 == 0 {
+				x[i] = 0.5 + opt.Jitter
+			} else {
+				x[i] = 0.5 - opt.Jitter
+			}
+		}
+	}
+
+	start := time.Now()
+	an := testability.NewAnalyzer(c)
+	an.SetIncremental(!opt.DisableIncremental)
+
+	res := &Result{Weights: x}
+
+	// ANALYSIS + SORT + NORMALIZE at the starting vector.
+	probs := make([]float64, len(faults))
+	an.Run(x)
+	an.DetectProbsInto(faults, probs)
+	live, dropped := filterDetectable(faults, probs, opt.RedundancyFloor)
+	res.SuspectedRedundant = dropped
+	if len(live) == 0 {
+		return nil, errors.New("core: Optimize: every fault is suspected redundant")
+	}
+	norm := normalizeFor(an, live, x, opt.Confidence)
+	res.InitialN = norm.N
+	nCur := norm.N
+	res.History = append(res.History, SweepStat{Sweep: 0, N: nCur, HardFaults: norm.HardFaults})
+
+	bestX := append([]float64(nil), x...)
+	bestN := nCur
+
+	p0 := make([]float64, 0, 1024)
+	p1 := make([]float64, 0, 1024)
+
+	for sweep := 1; sweep <= opt.MaxSweeps; sweep++ {
+		// Select the hard-fault subset F̂ for this sweep: the nf
+		// hardest under the current probabilities, padded.
+		hard := selectHard(an, live, x, norm.HardFaults, opt)
+
+		for i := 0; i < nIn; i++ {
+			// PREPARE: three single-coordinate analyses (paper §5.1).
+			xi := x[i]
+			an.Run(x) // restore current X (single-coordinate delta)
+			p0 = p0[:len(hard)]
+			p1 = p1[:len(hard)]
+			x[i] = 0
+			an.Run(x)
+			an.DetectProbsInto(hard, p0)
+			x[i] = 1
+			an.Run(x)
+			an.DetectProbsInto(hard, p1)
+			x[i] = xi
+
+			// MINIMIZE: unique minimum of the coordinate objective.
+			y := minimize(p0, p1, nCur, x[i], opt)
+			x[i] = y
+		}
+
+		// ANALYSIS + SORT + NORMALIZE after the sweep.
+		nOld := nCur
+		norm = normalizeFor(an, live, x, opt.Confidence)
+		nCur = norm.N
+		res.Sweeps = sweep
+		res.History = append(res.History, SweepStat{Sweep: sweep, N: nCur, HardFaults: norm.HardFaults})
+		if nCur < bestN {
+			bestN = nCur
+			copy(bestX, x)
+		}
+		if nOld-nCur <= opt.Alpha*nOld {
+			break
+		}
+	}
+
+	copy(x, bestX)
+	nCur = bestN
+	if opt.Quantize > 0 {
+		quantize(x, opt.Quantize, opt.MinWeight, opt.MaxWeight)
+		norm = normalizeFor(an, live, x, opt.Confidence)
+		nCur = norm.N
+	}
+	res.Weights = x
+	res.FinalN = nCur
+	res.Analyses = an.Analyses()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// normalizeFor runs ANALYSIS at x and NORMALIZE over the live faults.
+func normalizeFor(an *testability.Analyzer, live []fault.Fault, x []float64, confidence float64) testlen.Result {
+	probs := make([]float64, len(live))
+	an.Run(x)
+	an.DetectProbsInto(live, probs)
+	return testlen.Normalize(probs, confidence)
+}
+
+// selectHard returns the nf hardest faults under the current weights,
+// padded per the options ("the order of the detection probabilities may
+// change during optimization", paper §4).
+func selectHard(an *testability.Analyzer, live []fault.Fault, x []float64, nf int, opt Options) []fault.Fault {
+	n := nf * opt.PadFactor
+	if n < opt.HardFaultFloor {
+		n = opt.HardFaultFloor
+	}
+	if n > len(live) {
+		n = len(live)
+	}
+	probs := make([]float64, len(live))
+	an.Run(x)
+	an.DetectProbsInto(live, probs)
+	_, idx := testlen.SortWithIndex(probs)
+	hard := make([]fault.Fault, n)
+	for k := 0; k < n; k++ {
+		hard[k] = live[idx[k]]
+	}
+	return hard
+}
+
+// filterDetectable drops faults whose estimate is at or below floor.
+func filterDetectable(faults []fault.Fault, probs []float64, floor float64) ([]fault.Fault, int) {
+	live := make([]fault.Fault, 0, len(faults))
+	dropped := 0
+	for i, f := range faults {
+		if probs[i] > floor {
+			live = append(live, f)
+		} else {
+			dropped++
+		}
+	}
+	return live, dropped
+}
+
+// minimize finds the unique minimizer of
+//
+//	g(y) = Σ_k exp(-N·(a_k + y·b_k)),  a_k = p0[k], b_k = p1[k]-p0[k]
+//
+// over [opt.MinWeight, opt.MaxWeight]. g is strictly convex (Lemma 3),
+// so g' is increasing; a safeguarded Newton iteration (eq. 15) with a
+// bisection bracket always converges. y0 seeds the iteration.
+func minimize(p0, p1 []float64, n, y0 float64, opt Options) float64 {
+	lo, hi := opt.MinWeight, opt.MaxWeight
+
+	// derivs returns g'(y) and g''(y).
+	derivs := func(y float64) (d1, d2 float64) {
+		for k := range p0 {
+			b := p1[k] - p0[k]
+			if b == 0 {
+				continue
+			}
+			e := math.Exp(-n * (p0[k] + y*b))
+			d1 += -n * b * e
+			d2 += n * n * b * b * e
+		}
+		return d1, d2
+	}
+
+	dLo, _ := derivs(lo)
+	if dLo >= 0 {
+		return lo // g increasing on the whole interval
+	}
+	dHi, _ := derivs(hi)
+	if dHi <= 0 {
+		return hi // g decreasing on the whole interval
+	}
+
+	y := clamp(y0, lo, hi)
+	for iter := 0; iter < opt.NewtonIters; iter++ {
+		d1, d2 := derivs(y)
+		if d1 < 0 {
+			lo = y
+		} else if d1 > 0 {
+			hi = y
+		} else {
+			return y
+		}
+		var next float64
+		if !opt.UseBisection && d2 > 0 {
+			next = y - d1/d2 // eq. (15)
+			if next <= lo || next >= hi {
+				next = (lo + hi) / 2 // safeguard: keep the bracket
+			}
+		} else {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-y) < 1e-9 {
+			return next
+		}
+		y = next
+	}
+	return y
+}
+
+func quantize(x []float64, grid, lo, hi float64) {
+	for i, v := range x {
+		q := math.Round(v/grid) * grid
+		if q < grid {
+			q = grid
+		}
+		if q > 1-grid {
+			q = 1 - grid
+		}
+		x[i] = clamp(q, lo, hi)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

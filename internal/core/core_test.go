@@ -1,0 +1,343 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prob"
+	"optirand/internal/testability"
+	"optirand/internal/testlen"
+)
+
+// eqComparator builds a k-bit equality comparator: AND of k XNORs — the
+// paper's motivating random-pattern-resistant structure.
+func eqComparator(k int) *circuit.Circuit {
+	b := circuit.NewBuilder("eq")
+	as := b.Inputs("a", k)
+	bs := b.Inputs("b", k)
+	xn := make([]int, k)
+	for i := 0; i < k; i++ {
+		xn[i] = b.Xnor("", as[i], bs[i])
+	}
+	eq := b.And("eq", xn...)
+	b.Output("eq", eq)
+	return b.MustBuild()
+}
+
+func TestOptimizeEqualityComparator(t *testing.T) {
+	c := eqComparator(12)
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conventional test length for a 2^-12 hard fault is ~2.8e4;
+	// optimization must cut it by well over an order of magnitude.
+	if res.InitialN < 1e4 {
+		t.Errorf("InitialN = %v, expected ~3e4 for 12-bit equality", res.InitialN)
+	}
+	if res.Gain() < 10 {
+		t.Errorf("gain = %v (InitialN=%v FinalN=%v), want >= 10",
+			res.Gain(), res.InitialN, res.FinalN)
+	}
+	// The optimum biases every input toward 1 or toward 0 consistently
+	// per XNOR pair; per-bit match probability must beat 0.5 clearly.
+	for i := 0; i < 12; i++ {
+		a, bw := res.Weights[i], res.Weights[12+i]
+		match := a*bw + (1-a)*(1-bw)
+		if match < 0.6 {
+			t.Errorf("bit %d: match probability %v, want > 0.6 (a=%v b=%v)", i, match, a, bw)
+		}
+	}
+}
+
+func TestOptimizeImprovesMonotonically(t *testing.T) {
+	c := eqComparator(8)
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{Alpha: 0.001, MaxSweeps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) < 2 {
+		t.Fatalf("history too short: %+v", res.History)
+	}
+	// The recorded best must never exceed the initial estimate, and
+	// history entries carry their sweep indices in order.
+	if res.FinalN > res.InitialN {
+		t.Errorf("FinalN %v > InitialN %v", res.FinalN, res.InitialN)
+	}
+	for i, h := range res.History {
+		if h.Sweep != i {
+			t.Errorf("history[%d].Sweep = %d", i, h.Sweep)
+		}
+	}
+}
+
+func TestOptimizeWeightsWithinClamp(t *testing.T) {
+	c := eqComparator(6)
+	u := fault.New(c)
+	opt := Options{MinWeight: 0.1, MaxWeight: 0.9}
+	res, err := Optimize(c, u.Reps, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Weights {
+		if w < 0.1-1e-12 || w > 0.9+1e-12 {
+			t.Errorf("weight %d = %v outside clamp", i, w)
+		}
+	}
+}
+
+func TestOptimizeQuantize(t *testing.T) {
+	c := eqComparator(6)
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{Quantize: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Weights {
+		q := math.Round(w/0.05) * 0.05
+		if math.Abs(w-q) > 1e-9 {
+			t.Errorf("weight %d = %v not on 0.05 grid", i, w)
+		}
+	}
+}
+
+func TestOptimizeInitialWeights(t *testing.T) {
+	c := eqComparator(6)
+	u := fault.New(c)
+	init := make([]float64, c.NumInputs())
+	for i := range init {
+		init[i] = 0.8
+	}
+	res, err := Optimize(c, u.Reps, Options{InitialWeights: init, MaxSweeps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// InitialN must reflect the supplied starting vector, which for the
+	// equality comparator is already much better than 0.5 everywhere.
+	probs := testability.NewAnalyzer(c).DetectProbs(init, u.Reps)
+	want := testlen.Normalize(probs, testlen.DefaultConfidence).N
+	if math.Abs(res.InitialN-want)/want > 1e-9 {
+		t.Errorf("InitialN = %v, want %v (from supplied init)", res.InitialN, want)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	c := eqComparator(4)
+	u := fault.New(c)
+	if _, err := Optimize(c, nil, Options{}); err == nil {
+		t.Error("empty fault list accepted")
+	}
+	if _, err := Optimize(c, u.Reps, Options{MinWeight: 0.9, MaxWeight: 0.1}); err == nil {
+		t.Error("inverted clamp accepted")
+	}
+	if _, err := Optimize(c, u.Reps, Options{InitialWeights: []float64{0.5}}); err == nil {
+		t.Error("wrong-length initial weights accepted")
+	}
+}
+
+// TestMinimizeConvexAgreement: Newton (eq. 15) and plain bisection must
+// find the same coordinate minimum — both exploit strict convexity
+// (Lemma 3).
+func TestMinimizeConvexAgreement(t *testing.T) {
+	opt := Options{}.withDefaultsForTest()
+	p0 := []float64{0.001, 0.3, 0.0005}
+	p1 := []float64{0.2, 0.1, 0.0005}
+	n := 500.0
+	newton := minimize(p0, p1, n, 0.5, opt)
+	optB := opt
+	optB.UseBisection = true
+	bisect := minimize(p0, p1, n, 0.5, optB)
+	if math.Abs(newton-bisect) > 1e-6 {
+		t.Errorf("newton=%v bisection=%v", newton, bisect)
+	}
+	// Verify it is a minimum: g(y*) below neighbors.
+	g := func(y float64) float64 {
+		s := 0.0
+		for k := range p0 {
+			s += math.Exp(-n * (p0[k] + y*(p1[k]-p0[k])))
+		}
+		return s
+	}
+	for _, d := range []float64{-0.05, 0.05} {
+		y := newton + d
+		if y >= opt.MinWeight && y <= opt.MaxWeight && g(y) < g(newton)-1e-12 {
+			t.Errorf("g(%v)=%v < g(y*=%v)=%v", y, g(y), newton, g(newton))
+		}
+	}
+}
+
+// withDefaultsForTest exposes option defaulting for direct minimize
+// tests.
+func (o Options) withDefaultsForTest() Options { return o.withDefaults() }
+
+func TestMinimizeBoundaryCases(t *testing.T) {
+	opt := Options{}.withDefaultsForTest()
+	// All faults get easier as y grows -> minimum at the upper clamp.
+	y := minimize([]float64{0.001}, []float64{0.5}, 1000, 0.5, opt)
+	if y != opt.MaxWeight {
+		t.Errorf("increasing-benefit case: y=%v, want MaxWeight", y)
+	}
+	// All faults get harder as y grows -> minimum at the lower clamp.
+	y = minimize([]float64{0.5}, []float64{0.001}, 1000, 0.5, opt)
+	if y != opt.MinWeight {
+		t.Errorf("decreasing-benefit case: y=%v, want MinWeight", y)
+	}
+	// Insensitive coordinate: derivative identically zero -> any point;
+	// must return a value in range without dividing by zero.
+	y = minimize([]float64{0.1}, []float64{0.1}, 1000, 0.37, opt)
+	if y < opt.MinWeight || y > opt.MaxWeight {
+		t.Errorf("insensitive case: y=%v out of range", y)
+	}
+}
+
+// TestMinimizeMatchesExactObjective: on a tree circuit where the
+// analyzer is exact, the coordinate minimum found via the affine model
+// must match a fine grid search of the true objective.
+func TestMinimizeMatchesExactObjective(t *testing.T) {
+	c := eqComparator(5)
+	u := fault.New(c)
+	an := testability.NewAnalyzer(c)
+	x := make([]float64, c.NumInputs())
+	for i := range x {
+		x[i] = 0.5
+	}
+	probs := an.DetectProbs(x, u.Reps)
+	norm := testlen.Normalize(probs, testlen.DefaultConfidence)
+	n := norm.N
+
+	// PREPARE for input 0.
+	p0 := make([]float64, len(u.Reps))
+	p1 := make([]float64, len(u.Reps))
+	x[0] = 0
+	an.Run(x)
+	an.DetectProbsInto(u.Reps, p0)
+	x[0] = 1
+	an.Run(x)
+	an.DetectProbsInto(u.Reps, p1)
+	x[0] = 0.5
+
+	opt := Options{}.withDefaultsForTest()
+	y := minimize(p0, p1, n, 0.5, opt)
+
+	// Grid search of the true J_N (estimator re-run per point).
+	bestY, bestJ := 0.0, math.Inf(1)
+	for yy := opt.MinWeight; yy <= opt.MaxWeight+1e-9; yy += 0.002 {
+		x[0] = yy
+		pr := an.DetectProbs(x, u.Reps)
+		j := testlen.Objective(pr, n)
+		if j < bestJ {
+			bestJ, bestY = j, yy
+		}
+	}
+	if math.Abs(y-bestY) > 0.02 {
+		t.Errorf("minimize=%v grid search=%v", y, bestY)
+	}
+}
+
+// TestOptimizeAgainstExactSmall: end-to-end on a small circuit, the
+// optimized weights must reduce the exact (BDD-computed) required test
+// length, not merely the estimator's view of it.
+func TestOptimizeAgainstExactSmall(t *testing.T) {
+	c := eqComparator(7)
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := make([]float64, c.NumInputs())
+	for i := range half {
+		half[i] = 0.5
+	}
+	before := prob.ExactDetectProbs(c, u.Reps, half)
+	after := prob.ExactDetectProbs(c, u.Reps, res.Weights)
+	nBefore := testlen.Normalize(before, testlen.DefaultConfidence).N
+	nAfter := testlen.Normalize(after, testlen.DefaultConfidence).N
+	if nAfter >= nBefore {
+		t.Errorf("exact N: before=%v after=%v — no true improvement", nBefore, nAfter)
+	}
+	// For eq(7) the optimum is bounded by the opposing XNOR faults
+	// (p = (1-q)·q^6 at per-bit match q), which caps the exact gain
+	// near 5; require a factor 3 to allow convergence slack.
+	if nBefore/nAfter < 3 {
+		t.Errorf("exact gain %v, want >= 3", nBefore/nAfter)
+	}
+}
+
+// TestOptimizeDeterministic: same inputs, same result.
+func TestOptimizeDeterministic(t *testing.T) {
+	c := eqComparator(6)
+	u := fault.New(c)
+	a, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			t.Fatalf("weights differ at %d: %v vs %v", i, a.Weights[i], b.Weights[i])
+		}
+	}
+	if a.FinalN != b.FinalN || a.Sweeps != b.Sweeps {
+		t.Errorf("results differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestOptimizeIncrementalMatchesFull: the incremental-analysis fast
+// path must not change the outcome.
+func TestOptimizeIncrementalMatchesFull(t *testing.T) {
+	c := eqComparator(6)
+	u := fault.New(c)
+	inc, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Optimize(c, u.Reps, Options{DisableIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inc.Weights {
+		if math.Abs(inc.Weights[i]-full.Weights[i]) > 1e-9 {
+			t.Fatalf("weights differ at %d: %v vs %v", i, inc.Weights[i], full.Weights[i])
+		}
+	}
+}
+
+// TestOptimizeMixedStructure: a circuit with an equality cone AND an
+// inequality cone: the optimizer must balance, not saturate.
+func TestOptimizeMixedStructure(t *testing.T) {
+	b := circuit.NewBuilder("mixed")
+	as := b.Inputs("a", 8)
+	bs := b.Inputs("b", 8)
+	xn := make([]int, 8)
+	xr := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		xn[i] = b.Xnor("", as[i], bs[i])
+		xr[i] = b.Xor("", as[i], bs[i])
+	}
+	eq := b.And("eq", xn...)
+	ne := b.And("ne", xr...) // needs ALL bits to differ: pulls the other way
+	b.Output("eq", eq)
+	b.Output("ne", ne)
+	c := b.MustBuild()
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalN > res.InitialN {
+		t.Errorf("optimization made things worse: %v -> %v", res.InitialN, res.FinalN)
+	}
+	// Opposing cones: weights must stay strictly interior.
+	for i, w := range res.Weights {
+		if w <= 0.02+1e-9 || w >= 0.98-1e-9 {
+			t.Errorf("weight %d saturated at %v despite opposing cones", i, w)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/testability"
+	"optirand/internal/testlen"
+)
+
+// MultiResult reports a multi-distribution optimization (the extension
+// the paper's §5.3 proposes for "pathological" circuits: pairs of hard
+// faults whose test sets are far apart in Hamming distance cannot be
+// served by one distribution; the fault set is partitioned and each
+// part gets its own optimized input probabilities).
+type MultiResult struct {
+	// WeightSets holds one optimized probability tuple per partition.
+	WeightSets [][]float64
+	// Rounds holds the per-partition optimizer reports.
+	Rounds []*Result
+	// PartSizes[i] is the number of faults partition i was optimized
+	// for (partition 0 is the full fault set).
+	PartSizes []int
+	// SingleN is the required test length with WeightSets[0] alone;
+	// MixtureN is the required length when patterns are drawn from the
+	// equal mixture of all weight sets. MixtureN ≤ SingleN·k would be
+	// break-even; in the pathological cases it is far smaller.
+	SingleN, MixtureN float64
+}
+
+// Parts returns the number of distributions computed.
+func (m *MultiResult) Parts() int { return len(m.WeightSets) }
+
+// OptimizeMulti runs the paper's §5.3 extension: it first optimizes one
+// distribution for the whole fault set, then repeatedly collects the
+// faults still hard under *every* distribution found so far (detection
+// probability below hardThreshold·(best fault's probability scale)) and
+// optimizes a dedicated distribution for them, up to maxParts
+// distributions. Applying the test draws patterns from the equal
+// mixture of the distributions.
+func OptimizeMulti(c *circuit.Circuit, faults []fault.Fault, maxParts int, o Options) (*MultiResult, error) {
+	if maxParts < 1 {
+		return nil, errors.New("core: OptimizeMulti: maxParts must be >= 1")
+	}
+	opt := o.withDefaults()
+	first, err := Optimize(c, faults, o)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiResult{
+		WeightSets: [][]float64{first.Weights},
+		Rounds:     []*Result{first},
+		PartSizes:  []int{len(faults)},
+		SingleN:    first.FinalN,
+	}
+
+	an := testability.NewAnalyzer(c)
+	probsFor := func(w []float64) []float64 {
+		probs := make([]float64, len(faults))
+		an.Run(w)
+		an.DetectProbsInto(faults, probs)
+		return probs
+	}
+	// perSet[r][f] = p_f(X_r); best[f] = max over sets.
+	perSet := [][]float64{probsFor(first.Weights)}
+	best := make([]float64, len(faults))
+	copy(best, perSet[0])
+
+	mixtureN := func(sets [][]float64) float64 {
+		mean := make([]float64, len(faults))
+		for _, probs := range sets {
+			for i, p := range probs {
+				mean[i] += p
+			}
+		}
+		k := float64(len(sets))
+		for i := range mean {
+			mean[i] /= k
+		}
+		return testlen.Normalize(mean, opt.Confidence).N
+	}
+	curN := mixtureN(perSet)
+
+	// Growth phase: repeatedly cluster around the hardest fault not yet
+	// served by any distribution and optimize a dedicated distribution
+	// for the cluster. No acceptance test here — with symmetric
+	// opposed cones the first extra part transiently worsens the
+	// mixture (dilution) and only the complementary part recovers it,
+	// so acceptance is deferred to the pruning phase.
+	for len(m.WeightSets) < maxParts {
+		bestOf := make([]float64, len(best))
+		copy(bestOf, best)
+		norm := testlen.Normalize(bestOf, opt.Confidence)
+		if math.IsInf(norm.N, 1) || norm.N == 0 {
+			break
+		}
+		// Faults still hard under every distribution found so far:
+		// detection probability below a few times the rate p_ideal
+		// that would exactly fit the best-of-distributions length.
+		threshold := math.Log(1/(-math.Log(opt.Confidence))) / norm.N * 4
+		seed := -1
+		for i, p := range best {
+			if p > opt.RedundancyFloor && p < threshold && (seed < 0 || p < best[seed]) {
+				seed = i
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		// The cluster: hard faults actually helped by a distribution
+		// dedicated to the seed fault — the paper's partition is such
+		// a test-set compatibility class.
+		seedRes, err := Optimize(c, []fault.Fault{faults[seed]}, o)
+		if err != nil {
+			return nil, err
+		}
+		seedProbs := probsFor(seedRes.Weights)
+		var cluster []fault.Fault
+		for i, p := range best {
+			if p > opt.RedundancyFloor && p < threshold && seedProbs[i] > p {
+				cluster = append(cluster, faults[i])
+			}
+		}
+		res := seedRes
+		candProbs := seedProbs
+		if len(cluster) > 1 {
+			if refined, err2 := Optimize(c, cluster, o); err2 == nil {
+				refProbs := probsFor(refined.Weights)
+				if mixtureN(append(append([][]float64{}, perSet...), refProbs)) <
+					mixtureN(append(append([][]float64{}, perSet...), seedProbs)) {
+					res, candProbs = refined, refProbs
+				}
+			}
+		} else {
+			cluster = []fault.Fault{faults[seed]}
+		}
+		improved := false
+		for i, p := range candProbs {
+			if p > best[i] {
+				best[i] = p
+				improved = true
+			}
+		}
+		if !improved {
+			break // the new distribution serves nothing new
+		}
+		perSet = append(perSet, candProbs)
+		m.WeightSets = append(m.WeightSets, res.Weights)
+		m.Rounds = append(m.Rounds, res)
+		m.PartSizes = append(m.PartSizes, len(cluster))
+	}
+
+	// Pruning phase: greedily drop parts whose removal improves the
+	// mixture length (each part dilutes the others' pattern share; a
+	// compromise part often becomes dead weight once dedicated parts
+	// exist). At least one part always remains.
+	kept := make([]int, len(perSet))
+	for i := range kept {
+		kept[i] = i
+	}
+	curN = mixtureN(perSet)
+	for len(kept) > 1 {
+		bestDrop, bestN := -1, curN
+		for d := range kept {
+			var trial [][]float64
+			for j, idx := range kept {
+				if j != d {
+					trial = append(trial, perSet[idx])
+				}
+			}
+			if n := mixtureN(trial); n < bestN {
+				bestDrop, bestN = d, n
+			}
+		}
+		if bestDrop < 0 {
+			break
+		}
+		kept = append(kept[:bestDrop], kept[bestDrop+1:]...)
+		curN = bestN
+	}
+	// Greedy pruning can stop in a local minimum; the single original
+	// distribution is always a valid fallback and bounds MixtureN by
+	// SingleN.
+	if singleN := mixtureN(perSet[:1]); singleN < curN {
+		kept = []int{0}
+		curN = singleN
+	}
+	if len(kept) != len(perSet) {
+		var ws [][]float64
+		var rounds []*Result
+		var sizes []int
+		for _, idx := range kept {
+			ws = append(ws, m.WeightSets[idx])
+			rounds = append(rounds, m.Rounds[idx])
+			sizes = append(sizes, m.PartSizes[idx])
+		}
+		m.WeightSets, m.Rounds, m.PartSizes = ws, rounds, sizes
+	}
+	m.MixtureN = curN
+	return m, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+)
+
+// opposedCones builds the pathological structure of the paper's §5.3:
+// two wide cones whose test sets are maximally distant — one needs
+// a == b (all bits matching), the other needs a == ^b (all bits
+// differing). No single product distribution serves both.
+func opposedCones(k int) *circuit.Circuit {
+	b := circuit.NewBuilder("opposed")
+	as := b.Inputs("a", k)
+	bs := b.Inputs("b", k)
+	xn := make([]int, k)
+	xr := make([]int, k)
+	for i := 0; i < k; i++ {
+		xn[i] = b.Xnor("", as[i], bs[i])
+		xr[i] = b.Xor("", as[i], bs[i])
+	}
+	b.Output("eq", b.And("eq", xn...))
+	b.Output("ne", b.And("ne", xr...))
+	return b.MustBuild()
+}
+
+func TestOptimizeMultiOnPathologicalCircuit(t *testing.T) {
+	c := opposedCones(10)
+	u := fault.New(c)
+	m, err := OptimizeMulti(c, u.Reps, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Parts() < 2 {
+		t.Fatalf("expected the pathological circuit to trigger partitioning, got %d part(s)", m.Parts())
+	}
+	if !(m.MixtureN < m.SingleN) {
+		t.Errorf("mixture N %v not better than single-distribution N %v", m.MixtureN, m.SingleN)
+	}
+	// The mixture must beat the single distribution by a wide margin:
+	// one distribution can favor only one of the two opposed cones.
+	if m.SingleN/m.MixtureN < 4 {
+		t.Errorf("mixture gain %v, want >= 4 on opposed cones", m.SingleN/m.MixtureN)
+	}
+}
+
+// TestOptimizeMultiAcceptance: every accepted partition must improve
+// the mixture test length (the acceptance rule), so MixtureN <= SingleN
+// always, and partition sizes never exceed the full fault set.
+func TestOptimizeMultiAcceptance(t *testing.T) {
+	for _, c := range []*circuit.Circuit{eqComparator(8), opposedCones(6)} {
+		u := fault.New(c)
+		m, err := OptimizeMulti(c, u.Reps, 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MixtureN > m.SingleN*(1+1e-9) {
+			t.Errorf("%s: MixtureN %v worse than SingleN %v", c.Name, m.MixtureN, m.SingleN)
+		}
+		for i, s := range m.PartSizes {
+			if s < 1 || s > len(u.Reps) {
+				t.Errorf("%s: partition %d has size %d (fault count %d)", c.Name, i, s, len(u.Reps))
+			}
+		}
+		if m.Parts() > 4 {
+			t.Errorf("%s: %d parts exceeds maxParts", c.Name, m.Parts())
+		}
+		if math.IsNaN(m.MixtureN) {
+			t.Errorf("%s: MixtureN is NaN", c.Name)
+		}
+	}
+}
+
+func TestOptimizeMultiErrors(t *testing.T) {
+	c := eqComparator(4)
+	u := fault.New(c)
+	if _, err := OptimizeMulti(c, u.Reps, 0, Options{}); err == nil {
+		t.Error("maxParts=0 accepted")
+	}
+	if _, err := OptimizeMulti(c, nil, 2, Options{}); err == nil {
+		t.Error("empty fault list accepted")
+	}
+}

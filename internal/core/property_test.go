@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+	"optirand/internal/testability"
+	"optirand/internal/testlen"
+)
+
+// randMixedCircuit builds random circuits biased toward AND/OR cones so
+// the optimizer has something to chew on.
+func randMixedCircuit(seed uint64) *circuit.Circuit {
+	rng := prng.New(seed)
+	b := circuit.NewBuilder("randmix")
+	ids := b.Inputs("x", 6+rng.Intn(4))
+	types := []circuit.GateType{circuit.And, circuit.And, circuit.Or,
+		circuit.Nand, circuit.Nor, circuit.Xor, circuit.Not}
+	for i := 0; i < 20+rng.Intn(15); i++ {
+		ty := types[rng.Intn(len(types))]
+		if ty == circuit.Not {
+			ids = append(ids, b.Add(ty, "", ids[rng.Intn(len(ids))]))
+			continue
+		}
+		fan := make([]int, 2+rng.Intn(3))
+		for j := range fan {
+			fan[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, b.Add(ty, "", fan...))
+	}
+	b.Output("", ids[len(ids)-1])
+	b.Output("", ids[len(ids)-2])
+	b.Output("", ids[len(ids)-3])
+	return b.MustBuild()
+}
+
+// TestOptimizeNeverRegresses: on arbitrary circuits the reported final
+// test length never exceeds the initial one (the optimizer tracks the
+// best sweep), and the reported numbers are consistent with an
+// independent re-analysis at the returned weights.
+func TestOptimizeNeverRegresses(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		c := randMixedCircuit(seed)
+		u := fault.New(c)
+		res, err := Optimize(c, u.Reps, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.FinalN > res.InitialN*(1+1e-9) {
+			t.Errorf("seed %d: FinalN %v > InitialN %v", seed, res.FinalN, res.InitialN)
+		}
+		// Cross-check FinalN: re-run ANALYSIS at the returned weights.
+		an := testability.NewAnalyzer(c)
+		probs := an.DetectProbs(res.Weights, u.Reps)
+		var live []float64
+		for _, p := range probs {
+			if p > 1e-18 {
+				live = append(live, p)
+			}
+		}
+		n := testlen.Normalize(live, testlen.DefaultConfidence).N
+		if res.FinalN > 0 && math.Abs(n-res.FinalN)/res.FinalN > 1e-6 {
+			t.Errorf("seed %d: reported FinalN %v, independent recomputation %v",
+				seed, res.FinalN, n)
+		}
+		for i, w := range res.Weights {
+			if w < 0.02-1e-12 || w > 0.98+1e-12 {
+				t.Errorf("seed %d: weight %d = %v outside default clamp", seed, i, w)
+			}
+		}
+	}
+}
+
+// TestOptimizeHistoryConsistent: History[0] is the initial state and
+// the recorded best matches the minimum over history when no
+// quantization is applied.
+func TestOptimizeHistoryConsistent(t *testing.T) {
+	c := eqComparator(9)
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History[0].N != res.InitialN {
+		t.Errorf("History[0].N = %v, InitialN = %v", res.History[0].N, res.InitialN)
+	}
+	best := math.Inf(1)
+	for _, h := range res.History {
+		if h.N < best {
+			best = h.N
+		}
+	}
+	if math.Abs(best-res.FinalN)/best > 1e-9 {
+		t.Errorf("FinalN %v != best-of-history %v (no quantization requested)", res.FinalN, best)
+	}
+	if res.Analyses <= 0 || res.Elapsed <= 0 {
+		t.Errorf("bookkeeping missing: analyses=%d elapsed=%v", res.Analyses, res.Elapsed)
+	}
+}
+
+// TestOptimizeWithUndetectableFaults: faults with estimate 0 must be
+// excluded and reported, not break the optimization.
+func TestOptimizeWithUndetectableFaults(t *testing.T) {
+	b := circuit.NewBuilder("dead")
+	a := b.Input("a")
+	x := b.Input("b")
+	one := b.Const1("one")
+	g := b.And("g", a, x)
+	dead := b.Or("dead", g, one) // constant 1: g unobservable through it
+	live := b.Xor("live", a, x)
+	b.Output("o1", dead)
+	b.Output("o2", live)
+	c := b.MustBuild()
+	u := fault.New(c)
+	res, err := Optimize(c, u.Reps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspectedRedundant == 0 {
+		t.Error("expected suspected-redundant faults behind the constant OR")
+	}
+	if math.IsInf(res.FinalN, 1) || math.IsNaN(res.FinalN) {
+		t.Errorf("FinalN = %v", res.FinalN)
+	}
+}
+
+// TestOptimizeAllUndetectable: when the supplied fault list consists
+// only of masked faults, Optimize must fail cleanly instead of
+// dividing by zero or looping.
+func TestOptimizeAllUndetectable(t *testing.T) {
+	b := circuit.NewBuilder("alldead")
+	a := b.Input("a")
+	one := b.Const1("one")
+	g := b.And("g", a, one)
+	o := b.Or("o", g, one) // constant 1 masks everything upstream
+	b.Output("o", o)
+	c := b.MustBuild()
+	// Faults on a and g are unobservable through the constant OR.
+	masked := []fault.Fault{
+		{Gate: a, Pin: fault.StemPin, Stuck: 0},
+		{Gate: a, Pin: fault.StemPin, Stuck: 1},
+		{Gate: g, Pin: fault.StemPin, Stuck: 0},
+		{Gate: g, Pin: fault.StemPin, Stuck: 1},
+	}
+	if _, err := Optimize(c, masked, Options{}); err == nil {
+		t.Error("expected an error when every supplied fault is suspected redundant")
+	}
+}

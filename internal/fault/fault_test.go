@@ -1,0 +1,271 @@
+package fault
+
+import (
+	"testing"
+
+	"optirand/internal/circuit"
+)
+
+func andOrCircuit(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("andor")
+	a := b.Input("a")
+	x := b.Input("b")
+	y := b.Input("c")
+	g1 := b.And("g1", a, x)
+	g2 := b.Or("g2", g1, y)
+	b.Output("o", g2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestUniverseCounts(t *testing.T) {
+	c := andOrCircuit(t)
+	u := New(c)
+	// 5 gates -> 10 stem faults. All fanouts are single, so no branch
+	// faults are generated.
+	if got := len(u.All); got != 10 {
+		t.Errorf("len(All) = %d, want 10", got)
+	}
+	// Equivalences: a/b s-a-0 ≡ g1 s-a-0 (AND); g1 s-a-1 ≡ g2 s-a-1 ≡
+	// c s-a-1 (OR, single fanout). Classes:
+	//   {a0,b0,g1_0}, {a1}, {b1}, {g1_1,c1,g2_1}, {c0}, {g2_0}
+	if got := len(u.Reps); got != 6 {
+		t.Errorf("len(Reps) = %d, want 6: %v", got, u.Classes)
+	}
+}
+
+func TestPIRepresentativePreference(t *testing.T) {
+	c := andOrCircuit(t)
+	u := New(c)
+	for _, class := range u.Classes {
+		hasPI := false
+		for _, f := range class {
+			if f.IsStem() && c.Gates[f.Gate].Type == circuit.Input {
+				hasPI = true
+			}
+		}
+		if !hasPI {
+			continue
+		}
+		rep := u.Reps[indexOfClass(u, class)]
+		if !rep.IsStem() || c.Gates[rep.Gate].Type != circuit.Input {
+			t.Errorf("class %v has PI fault but rep %v is not a PI stem", class, rep)
+		}
+	}
+}
+
+func indexOfClass(u *Universe, class []Fault) int {
+	for i := range u.Classes {
+		if &u.Classes[i][0] == &class[0] {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBranchFaultsAtFanoutStems(t *testing.T) {
+	b := circuit.NewBuilder("fanout")
+	a := b.Input("a")
+	x := b.Input("b")
+	n := b.Not("n", a) // n fans out to two gates
+	g1 := b.And("g1", n, x)
+	g2 := b.Or("g2", n, x)
+	b.Output("o1", g1)
+	b.Output("o2", g2)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(c)
+	branches := 0
+	for _, f := range u.All {
+		if !f.IsStem() {
+			branches++
+			if f.Driver(c) != n && f.Driver(c) != x {
+				t.Errorf("unexpected branch fault %v", f.Describe(c))
+			}
+		}
+	}
+	// n and b each drive two pins -> 4 branch sites -> 8 branch faults.
+	if branches != 8 {
+		t.Errorf("branch faults = %d, want 8", branches)
+	}
+}
+
+func TestConstGateFaults(t *testing.T) {
+	b := circuit.NewBuilder("const")
+	a := b.Input("a")
+	one := b.Const1("one")
+	g := b.And("g", a, one)
+	b.Output("o", g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(c)
+	for _, f := range u.All {
+		if f.Gate == one && f.IsStem() && f.Stuck == 1 {
+			t.Error("generated s-a-1 on a CONST1 output (undetectable by construction)")
+		}
+	}
+}
+
+// TestEquivalenceIsSemantic: every pair of faults in one equivalence
+// class must be detected by exactly the same input patterns (that is the
+// definition of fault equivalence). Verified exhaustively.
+func TestEquivalenceIsSemantic(t *testing.T) {
+	circuits := []*circuit.Circuit{andOrCircuit(t), nandTree(t), xorMix(t)}
+	for _, c := range circuits {
+		u := New(c)
+		n := c.NumInputs()
+		in := make([]bool, n)
+		for _, class := range u.Classes {
+			if len(class) < 2 {
+				continue
+			}
+			ref := class[0]
+			for v := 0; v < 1<<uint(n); v++ {
+				for i := range in {
+					in[i] = v>>uint(i)&1 == 1
+				}
+				want := detectsScalar(c, ref, in)
+				for _, f := range class[1:] {
+					if got := detectsScalar(c, f, in); got != want {
+						t.Fatalf("circuit %s: faults %v and %v in one class disagree on pattern %b",
+							c.Name, ref.Describe(c), f.Describe(c), v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// detectsScalar re-implements single-pattern fault detection without
+// importing internal/sim (which would create an import cycle in tests).
+func detectsScalar(c *circuit.Circuit, f Fault, inputs []bool) bool {
+	eval := func(inject bool) []bool {
+		val := make([]bool, c.NumGates())
+		for pos, g := range c.Inputs {
+			val[g] = inputs[pos]
+		}
+		forced := f.Stuck == 1
+		var scratch []bool
+		for _, g := range c.TopoOrder() {
+			gate := &c.Gates[g]
+			if gate.Type != circuit.Input {
+				scratch = scratch[:0]
+				for pin, d := range gate.Fanin {
+					v := val[d]
+					if inject && !f.IsStem() && f.Gate == g && f.Pin == pin {
+						v = forced
+					}
+					scratch = append(scratch, v)
+				}
+				val[g] = circuit.EvalGate(gate.Type, scratch)
+			}
+			if inject && f.IsStem() && f.Gate == g {
+				val[g] = forced
+			}
+		}
+		out := make([]bool, len(c.Outputs))
+		for i, g := range c.Outputs {
+			out[i] = val[g]
+		}
+		return out
+	}
+	good, bad := eval(false), eval(true)
+	for i := range good {
+		if good[i] != bad[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func nandTree(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("nandtree")
+	in := b.Inputs("x", 4)
+	g1 := b.Nand("g1", in[0], in[1])
+	g2 := b.Nand("g2", in[2], in[3])
+	g3 := b.Nand("g3", g1, g2)
+	b.Output("o", g3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func xorMix(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("xormix")
+	in := b.Inputs("x", 4)
+	g1 := b.Xor("g1", in[0], in[1])
+	g2 := b.Nor("g2", in[2], in[3])
+	g3 := b.And("g3", g1, g2)
+	n := b.Not("n", g1) // g1 fans out: branch faults appear
+	g4 := b.Or("g4", n, in[3])
+	b.Output("o1", g3)
+	b.Output("o2", g4)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassesPartitionAll(t *testing.T) {
+	c := xorMix(t)
+	u := New(c)
+	seen := make(map[Fault]int)
+	for _, class := range u.Classes {
+		for _, f := range class {
+			seen[f]++
+		}
+	}
+	if len(seen) != len(u.All) {
+		t.Errorf("classes cover %d faults, universe has %d", len(seen), len(u.All))
+	}
+	for f, n := range seen {
+		if n != 1 {
+			t.Errorf("fault %v appears in %d classes", f, n)
+		}
+	}
+	if len(u.Reps) != len(u.Classes) {
+		t.Errorf("reps/classes mismatch: %d vs %d", len(u.Reps), len(u.Classes))
+	}
+}
+
+func TestPIStemFaults(t *testing.T) {
+	c := andOrCircuit(t)
+	fs := PIStemFaults(c)
+	if len(fs) != 6 {
+		t.Fatalf("len = %d, want 6", len(fs))
+	}
+	for i, f := range fs {
+		if !f.IsStem() {
+			t.Errorf("fault %d is not a stem fault", i)
+		}
+		if c.Gates[f.Gate].Type != circuit.Input {
+			t.Errorf("fault %d not at a PI", i)
+		}
+		if int(f.Stuck) != i%2 {
+			t.Errorf("fault %d stuck=%d, want alternating", i, f.Stuck)
+		}
+	}
+}
+
+func TestDescribeAndString(t *testing.T) {
+	c := xorMix(t)
+	u := New(c)
+	for _, f := range u.All {
+		if f.Describe(c) == "" || f.String() == "" {
+			t.Fatalf("empty description for %v", f)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package gen
+
+import "optirand/internal/circuit"
+
+// aluOut bundles the outputs of one ALU slice.
+type aluOut struct {
+	out  []int
+	cout int
+	zero int
+	par  int
+}
+
+// aluCore builds an n-bit 4-function ALU slice: op = 00 ADD (with cin),
+// 01 AND, 10 OR, 11 XOR, selected by a decoded 2-bit opcode through
+// AND-OR muxes. Flags: adder carry-out, zero (wide NOR of the result)
+// and parity (XOR tree of the result).
+func aluCore(b *circuit.Builder, prefix string, a, x []int, op []int, cin int) aluOut {
+	if len(a) != len(x) {
+		panic("gen: aluCore: width mismatch")
+	}
+	if len(op) != 2 {
+		panic("gen: aluCore: op must be 2 bits")
+	}
+	n := len(a)
+	sum, cout := rippleAdder(b, prefix+".add", a, x, cin)
+	ands := make([]int, n)
+	ors := make([]int, n)
+	xors := make([]int, n)
+	for i := 0; i < n; i++ {
+		ands[i] = b.And(nm(prefix, "and", i), a[i], x[i])
+		ors[i] = b.Or(nm(prefix, "or", i), a[i], x[i])
+		xors[i] = b.Xor(nm(prefix, "xor", i), a[i], x[i])
+	}
+	dec := decoder(b, prefix+".dec", op)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		t0 := b.And(nm(prefix, "s0_", i), dec[0], sum[i])
+		t1 := b.And(nm(prefix, "s1_", i), dec[1], ands[i])
+		t2 := b.And(nm(prefix, "s2_", i), dec[2], ors[i])
+		t3 := b.And(nm(prefix, "s3_", i), dec[3], xors[i])
+		out[i] = b.Or(nm(prefix, "out", i), t0, t1, t2, t3)
+	}
+	zero := b.Nor(prefix+".zero", out...)
+	par := xorTree(b, prefix+".par", out)
+	return aluOut{out: out, cout: cout, zero: zero, par: par}
+}
+
+// ALUReference mirrors aluCore functionally. Operands are LSB-first
+// values of width n.
+func ALUReference(a, x uint64, op uint8, cin bool, n int) (out uint64, cout, zero, par bool) {
+	mask := uint64(1)<<uint(n) - 1
+	a &= mask
+	x &= mask
+	switch op & 3 {
+	case 0:
+		s := a + x
+		if cin {
+			s++
+		}
+		out = s & mask
+		cout = s > mask
+	case 1:
+		out = a & x
+	case 2:
+		out = a | x
+	case 3:
+		out = a ^ x
+	}
+	if op&3 != 0 {
+		// carry-out comes from the adder regardless of op selection.
+		s := a + x
+		if cin {
+			s++
+		}
+		cout = s > mask
+	}
+	zero = out == 0
+	for v := out; v != 0; v &= v - 1 {
+		par = !par
+	}
+	return out, cout, zero, par
+}
+
+// C880Like builds the functional analogue of ISCAS'85 C880 (an 8-bit
+// ALU): one aluCore slice of width 8. Inputs A0..7, B0..7, OP0..1, CIN;
+// outputs the result byte plus carry/zero/parity flags. Its hardest
+// faults sit on the full-length carry-propagate chain gated by the
+// opcode decode (≈2^-11 under equiprobable inputs).
+func C880Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c880like")
+	a := b.Inputs("A", 8)
+	x := b.Inputs("B", 8)
+	op := b.Inputs("OP", 2)
+	cin := b.Input("CIN")
+	u := aluCore(b, "alu", a, x, op, cin)
+	for i, g := range u.out {
+		b.Output(nm("", "F", i), g)
+	}
+	b.Output("COUT", u.cout)
+	b.Output("ZERO", u.zero)
+	b.Output("PAR", u.par)
+	return b.MustBuild()
+}
+
+// C5315Like builds the functional analogue of ISCAS'85 C5315 (a 9-bit
+// ALU): two enabled 9-bit aluCore slices sharing the opcode, with a
+// combined all-zero flag. The enable gating deepens the hardest cones to
+// ≈2^-13.
+func C5315Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c5315like")
+	a := b.Inputs("A", 9)
+	x := b.Inputs("B", 9)
+	c := b.Inputs("C", 9)
+	d := b.Inputs("D", 9)
+	op := b.Inputs("OP", 2)
+	cin0 := b.Input("CIN0")
+	cin1 := b.Input("CIN1")
+	en := b.Inputs("EN", 2)
+
+	u0 := aluCore(b, "alu0", a, x, op, cin0)
+	u1 := aluCore(b, "alu1", c, d, op, cin1)
+	for i := range u0.out {
+		b.Output(nm("", "F", i), b.And(nm("", "fo", i), en[0], u0.out[i]))
+	}
+	for i := range u1.out {
+		b.Output(nm("", "G", i), b.And(nm("", "go", i), en[1], u1.out[i]))
+	}
+	b.Output("COUT0", u0.cout)
+	b.Output("COUT1", u1.cout)
+	bothZero := b.And("bothzero", u0.zero, u1.zero, en[0], en[1])
+	b.Output("BZERO", bothZero)
+	b.Output("PAR0", u0.par)
+	b.Output("PAR1", u1.par)
+	return b.MustBuild()
+}
+
+// bcdNibbleAdjust implements the decimal-adjust of one result nibble:
+//
+//	t    = carryBin | (sum > 9)
+//	adj  = mode & t
+//	cout = carryBin | adj
+//	r    = sum + (adj ? 6 : 0)  (mod 16)
+func bcdNibbleAdjust(b *circuit.Builder, prefix string, s []int, carryBin, mode int) (r []int, cout int) {
+	gt9 := b.And(prefix+".gt9", s[3], b.Or(prefix+".s21", s[2], s[1]))
+	t := b.Or(prefix+".t", carryBin, gt9)
+	adj := b.And(prefix+".adj", mode, t)
+	cout = b.Or(prefix+".cout", carryBin, adj)
+	// r = s + 0b0110·adj
+	r = make([]int, 4)
+	r[0] = b.Buf(prefix+".r0", s[0])
+	r[1] = b.Xor(prefix+".r1", s[1], adj)
+	c1 := b.And(prefix+".c1", s[1], adj)
+	x2 := b.Xor(prefix+".x2", s[2], adj)
+	r[2] = b.Xor(prefix+".r2", x2, c1)
+	c2a := b.And(prefix+".c2a", s[2], adj)
+	c2b := b.And(prefix+".c2b", x2, c1)
+	c2 := b.Or(prefix+".c2", c2a, c2b)
+	r[3] = b.Xor(prefix+".r3", s[3], c2)
+	return r, cout
+}
+
+// C3540Like builds the functional analogue of ISCAS'85 C3540 (an 8-bit
+// ALU with BCD arithmetic), widened to 16 bits / four BCD nibbles: a
+// binary ripple adder with a decimal-adjust chain (MODE selects BCD),
+// an all-nines detector and a zero flag. The nibble-wise rare conditions
+// of the decimal carry chain and the ≈10^-4 all-nines detector give the
+// ≈2^-14…2^-16 hard faults that make the circuit moderately
+// random-pattern resistant (paper Table 1: N ≈ 2.3e6).
+func C3540Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c3540like")
+	a := b.Inputs("A", 16)
+	x := b.Inputs("B", 16)
+	mode := b.Input("MODE")
+	cin := b.Input("CIN")
+
+	carry := cin
+	var res []int
+	for k := 0; k < 4; k++ {
+		prefix := nm("", "nib", k)
+		sum, cb := rippleAdder(b, prefix+".add", a[4*k:4*k+4], x[4*k:4*k+4], carry)
+		r, cout := bcdNibbleAdjust(b, prefix, sum, cb, mode)
+		res = append(res, r...)
+		carry = cout
+	}
+	for i, g := range res {
+		b.Output(nm("", "F", i), g)
+	}
+	b.Output("COUT", carry)
+
+	nines := make([]int, 4)
+	for k := 0; k < 4; k++ {
+		n2 := b.Not(nm("", "nn2_", k), res[4*k+2])
+		n1 := b.Not(nm("", "nn1_", k), res[4*k+1])
+		nines[k] = b.And(nm("", "nine", k), res[4*k+3], n2, n1, res[4*k])
+	}
+	b.Output("NINES", andTree(b, "allnines", nines))
+	b.Output("ZERO", b.Nor("zero", res...))
+	return b.MustBuild()
+}
+
+// C3540Reference mirrors C3540Like: 16-bit operands, returns the
+// adjusted result, carry-out, all-nines and zero flags.
+func C3540Reference(a, x uint64, mode, cin bool) (res uint64, cout, nines, zero bool) {
+	a &= 0xffff
+	x &= 0xffff
+	carry := cin
+	nines = true
+	for k := 0; k < 4; k++ {
+		an := a >> uint(4*k) & 0xf
+		xn := x >> uint(4*k) & 0xf
+		s := an + xn
+		if carry {
+			s++
+		}
+		sum := s & 0xf
+		cb := s > 0xf
+		gt9 := sum>>3&1 == 1 && (sum>>2&1 == 1 || sum>>1&1 == 1)
+		t := cb || gt9
+		adj := mode && t
+		carry = cb || adj
+		r := sum
+		if adj {
+			r = (sum + 6) & 0xf
+		}
+		res |= r << uint(4*k)
+		if r != 9 {
+			nines = false
+		}
+	}
+	return res, carry, nines, res == 0
+}

@@ -1,0 +1,201 @@
+// Package gen generates the evaluation circuits of the paper: the S1
+// 24-bit comparator (six SN7485 slices, built exactly as described), the
+// S2 combinational array divider, and functional analogues of the ten
+// ISCAS'85 benchmarks C432–C7552 (the original netlists were distributed
+// on tape and are not reproducible offline; see DESIGN.md §3 for the
+// substitution rationale). Every generator has a pure-Go reference model
+// against which the gate-level netlist is property-tested.
+package gen
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+)
+
+// nm builds hierarchical signal names: nm("u3", "sum", 4) = "u3.sum4".
+func nm(prefix, base string, idx int) string {
+	if prefix == "" {
+		return fmt.Sprintf("%s%d", base, idx)
+	}
+	return fmt.Sprintf("%s.%s%d", prefix, base, idx)
+}
+
+// halfAdder returns (sum, carry) of two bits.
+func halfAdder(b *circuit.Builder, prefix string, a, x int) (sum, carry int) {
+	sum = b.Xor(prefix+".s", a, x)
+	carry = b.And(prefix+".c", a, x)
+	return sum, carry
+}
+
+// fullAdder returns (sum, carry) of three bits, in the classic 5-gate
+// two-half-adder form.
+func fullAdder(b *circuit.Builder, prefix string, a, x, cin int) (sum, carry int) {
+	axs := b.Xor(prefix+".ax", a, x)
+	sum = b.Xor(prefix+".s", axs, cin)
+	c1 := b.And(prefix+".c1", a, x)
+	c2 := b.And(prefix+".c2", axs, cin)
+	carry = b.Or(prefix+".c", c1, c2)
+	return sum, carry
+}
+
+// rippleAdder adds two equal-width vectors with carry-in, returning the
+// sum vector and the carry-out. Bit 0 is least significant.
+func rippleAdder(b *circuit.Builder, prefix string, a, x []int, cin int) (sum []int, cout int) {
+	if len(a) != len(x) {
+		panic("gen: rippleAdder: width mismatch")
+	}
+	sum = make([]int, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = fullAdder(b, nm(prefix, "fa", i), a[i], x[i], c)
+	}
+	return sum, c
+}
+
+// rippleSubtractor computes a - x as a + ^x + 1 (two's complement),
+// returning the difference and the carry-out (1 means no borrow, i.e.
+// a >= x for unsigned operands).
+func rippleSubtractor(b *circuit.Builder, prefix string, a, x []int) (diff []int, noBorrow int) {
+	inv := make([]int, len(x))
+	for i := range x {
+		inv[i] = b.Not(nm(prefix, "nx", i), x[i])
+	}
+	one := b.Const1(prefix + ".one")
+	return rippleAdder(b, prefix, a, inv, one)
+}
+
+// mux2 returns sel ? d1 : d0 in AND-OR-NOT form.
+func mux2(b *circuit.Builder, prefix string, sel, d0, d1 int) int {
+	ns := b.Not(prefix+".ns", sel)
+	t0 := b.And(prefix+".t0", ns, d0)
+	t1 := b.And(prefix+".t1", sel, d1)
+	return b.Or(prefix+".o", t0, t1)
+}
+
+// mux2v muxes two equal-width vectors.
+func mux2v(b *circuit.Builder, prefix string, sel int, d0, d1 []int) []int {
+	if len(d0) != len(d1) {
+		panic("gen: mux2v: width mismatch")
+	}
+	out := make([]int, len(d0))
+	for i := range d0 {
+		out[i] = mux2(b, nm(prefix, "m", i), sel, d0[i], d1[i])
+	}
+	return out
+}
+
+// reduce builds a balanced tree of 2-input gates of the given type.
+func reduce(b *circuit.Builder, prefix string, t circuit.GateType, in []int) int {
+	if len(in) == 0 {
+		panic("gen: reduce: empty input list")
+	}
+	level := 0
+	for len(in) > 1 {
+		var next []int
+		for i := 0; i+1 < len(in); i += 2 {
+			next = append(next, b.Add(t, fmt.Sprintf("%s.l%dn%d", prefix, level, i/2), in[i], in[i+1]))
+		}
+		if len(in)%2 == 1 {
+			next = append(next, in[len(in)-1])
+		}
+		in = next
+		level++
+	}
+	return in[0]
+}
+
+func andTree(b *circuit.Builder, prefix string, in []int) int {
+	return reduce(b, prefix, circuit.And, in)
+}
+
+func orTree(b *circuit.Builder, prefix string, in []int) int {
+	return reduce(b, prefix, circuit.Or, in)
+}
+
+func xorTree(b *circuit.Builder, prefix string, in []int) int {
+	return reduce(b, prefix, circuit.Xor, in)
+}
+
+// xorNand builds a 2-input XOR from four NANDs — the expansion that
+// turns the C499 analogue into the C1355 analogue.
+func xorNand(b *circuit.Builder, prefix string, a, x int) int {
+	n1 := b.Nand(prefix+".n1", a, x)
+	n2 := b.Nand(prefix+".n2", a, n1)
+	n3 := b.Nand(prefix+".n3", n1, x)
+	return b.Nand(prefix+".n4", n2, n3)
+}
+
+// xorTreeNand is xorTree with every XOR expanded to four NANDs.
+func xorTreeNand(b *circuit.Builder, prefix string, in []int) int {
+	if len(in) == 0 {
+		panic("gen: xorTreeNand: empty input list")
+	}
+	level := 0
+	for len(in) > 1 {
+		var next []int
+		for i := 0; i+1 < len(in); i += 2 {
+			next = append(next, xorNand(b, fmt.Sprintf("%s.l%dn%d", prefix, level, i/2), in[i], in[i+1]))
+		}
+		if len(in)%2 == 1 {
+			next = append(next, in[len(in)-1])
+		}
+		in = next
+		level++
+	}
+	return in[0]
+}
+
+// eqVector returns the AND of bitwise XNORs: a == x.
+func eqVector(b *circuit.Builder, prefix string, a, x []int) int {
+	if len(a) != len(x) {
+		panic("gen: eqVector: width mismatch")
+	}
+	xn := make([]int, len(a))
+	for i := range a {
+		xn[i] = b.Xnor(nm(prefix, "eq", i), a[i], x[i])
+	}
+	return andTree(b, prefix+".and", xn)
+}
+
+// decoder builds a full binary decoder: out[k] is high iff sel == k.
+func decoder(b *circuit.Builder, prefix string, sel []int) []int {
+	n := len(sel)
+	inv := make([]int, n)
+	for i, s := range sel {
+		inv[i] = b.Not(nm(prefix, "n", i), s)
+	}
+	out := make([]int, 1<<uint(n))
+	for k := range out {
+		terms := make([]int, n)
+		for i := 0; i < n; i++ {
+			if k>>uint(i)&1 == 1 {
+				terms[i] = sel[i]
+			} else {
+				terms[i] = inv[i]
+			}
+		}
+		out[k] = andTree(b, nm(prefix, "d", k), terms)
+	}
+	return out
+}
+
+// bitsOf converts an unsigned value to bools, LSB first.
+func bitsOf(v uint64, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+// valOf converts bools (LSB first) to an unsigned value.
+func valOf(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

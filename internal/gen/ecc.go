@@ -1,0 +1,162 @@
+package gen
+
+import "optirand/internal/circuit"
+
+// hammingLayout computes the codeword geometry for d data bits and c
+// check bits: dataPos[i] is the 1-based codeword position of data bit i
+// (positions that are powers of two belong to the check bits).
+func hammingLayout(d, c int) (dataPos []int) {
+	dataPos = make([]int, 0, d)
+	for pos := 1; len(dataPos) < d; pos++ {
+		if pos&(pos-1) == 0 {
+			continue // power of two: check-bit position
+		}
+		dataPos = append(dataPos, pos)
+	}
+	if dataPos[d-1] >= 1<<uint(c) {
+		panic("gen: hammingLayout: too few check bits")
+	}
+	return dataPos
+}
+
+// hammingSEC builds a single-error-correcting (Hamming) decoder:
+// syndrome XOR trees over the received word, a position decoder, and a
+// corrector XOR per data bit. xorBlock selects the XOR implementation
+// (gate-level XOR for the C499 analogue, 4-NAND expansion for C1355).
+func hammingSEC(b *circuit.Builder, d, c int, xorBlock func(bb *circuit.Builder, prefix string, in []int) int) (corrected []int, syndrome []int, data, check []int) {
+	data = b.Inputs("D", d)
+	check = b.Inputs("C", c)
+	dataPos := hammingLayout(d, c)
+
+	syndrome = make([]int, c)
+	for j := 0; j < c; j++ {
+		members := []int{check[j]}
+		for i, pos := range dataPos {
+			if pos>>uint(j)&1 == 1 {
+				members = append(members, data[i])
+			}
+		}
+		syndrome[j] = xorBlock(b, nm("", "syn", j), members)
+	}
+
+	nsyn := make([]int, c)
+	for j := 0; j < c; j++ {
+		nsyn[j] = b.Not(nm("", "nsyn", j), syndrome[j])
+	}
+	corrected = make([]int, d)
+	for i, pos := range dataPos {
+		terms := make([]int, c)
+		for j := 0; j < c; j++ {
+			if pos>>uint(j)&1 == 1 {
+				terms[j] = syndrome[j]
+			} else {
+				terms[j] = nsyn[j]
+			}
+		}
+		flip := andTree(b, nm("", "flip", i), terms)
+		corrected[i] = xorBlock(b, nm("", "cor", i), []int{data[i], flip})
+	}
+	return corrected, syndrome, data, check
+}
+
+// C499Like builds the functional analogue of ISCAS'85 C499, a 32-bit
+// single-error-correcting circuit: 32 data + 6 check inputs, 32
+// corrected outputs, all XOR gates. XOR-dominated logic is transparent
+// to fault effects, making the circuit easily random-testable (paper
+// Table 1: N ≈ 1.9e3).
+func C499Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c499like")
+	corrected, _, _, _ := hammingSEC(b, 32, 6, xorTree)
+	for i, g := range corrected {
+		b.Output(nm("", "O", i), g)
+	}
+	return b.MustBuild()
+}
+
+// C1355Like builds the functional analogue of ISCAS'85 C1355: exactly
+// the C499 function with every XOR expanded into its four-NAND
+// realization, which multiplies the fault population and deepens
+// reconvergence (the real C1355 needs three orders of magnitude more
+// random patterns than C499 — Table 1: 2.2e6 vs 1.9e3).
+func C1355Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c1355like")
+	corrected, _, _, _ := hammingSEC(b, 32, 6, xorTreeNand)
+	for i, g := range corrected {
+		b.Output(nm("", "O", i), g)
+	}
+	return b.MustBuild()
+}
+
+// C1908Like builds the functional analogue of ISCAS'85 C1908, a 16-bit
+// SEC/DED circuit: Hamming correction of 16 data bits (5 check bits)
+// plus an overall parity input for double-error detection, a
+// codeword-valid flag, and an address-decode output over the corrected
+// word whose 13-wide AND cone (≈2^-13) reproduces the moderate
+// random-pattern resistance of the original (Table 1: N ≈ 6.2e4).
+func C1908Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c1908like")
+	corrected, syndrome, data, check := hammingSEC(b, 16, 5, xorTree)
+	pin := b.Input("P") // received overall parity
+
+	// Overall parity of the received word (data + checks + parity bit).
+	all := make([]int, 0, 22)
+	all = append(all, data...)
+	all = append(all, check...)
+	all = append(all, pin)
+	overall := xorTree(b, "overall", all)
+
+	synNZ := orTree(b, "synnz", syndrome)
+	valid := b.Nor("valid", append([]int{}, syndrome...)...)
+	nOverall := b.Not("nover", overall)
+	// Double error: non-zero syndrome but even overall parity.
+	dbl := b.And("dbl", synNZ, nOverall)
+
+	for i, g := range corrected {
+		b.Output(nm("", "O", i), g)
+	}
+	b.Output("VALID", valid)
+	b.Output("DBL", dbl)
+	b.Output("DECODE", andTree(b, "decode", corrected[:13]))
+	return b.MustBuild()
+}
+
+// HammingReference mirrors hammingSEC: given d data bits and c received
+// check bits (LSB-first packed), it returns the corrected data and the
+// syndrome the circuit computes.
+func HammingReference(data, check uint64, d, c int) (corrected uint64, syndrome uint64) {
+	dataPos := hammingLayout(d, c)
+	for j := 0; j < c; j++ {
+		bit := check >> uint(j) & 1
+		for i, pos := range dataPos {
+			if pos>>uint(j)&1 == 1 {
+				bit ^= data >> uint(i) & 1
+			}
+		}
+		syndrome |= bit << uint(j)
+	}
+	corrected = data
+	if syndrome != 0 {
+		for i, pos := range dataPos {
+			if uint64(pos) == syndrome {
+				corrected ^= 1 << uint(i)
+			}
+		}
+	}
+	return corrected, syndrome
+}
+
+// C1908Reference mirrors C1908Like's flag outputs.
+func C1908Reference(data, check uint64, parity bool) (corrected uint64, valid, dbl, decode bool) {
+	corrected, syndrome := HammingReference(data, check, 16, 5)
+	overall := parity
+	for v := data & 0xffff; v != 0; v &= v - 1 {
+		overall = !overall
+	}
+	for v := check & 0x1f; v != 0; v &= v - 1 {
+		overall = !overall
+	}
+	valid = syndrome == 0
+	dbl = syndrome != 0 && !overall
+	decode = corrected&0x1fff == 0x1fff
+	return corrected, valid, dbl, decode
+}

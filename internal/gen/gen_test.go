@@ -1,0 +1,500 @@
+package gen
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"optirand/internal/circuit"
+	"optirand/internal/prng"
+)
+
+func TestS1MatchesReference(t *testing.T) {
+	c := S1Comparator()
+	if c.NumInputs() != 48 || c.NumOutputs() != 3 {
+		t.Fatalf("S1: %d inputs, %d outputs", c.NumInputs(), c.NumOutputs())
+	}
+	f := func(a, x uint32) bool {
+		a &= 1<<24 - 1
+		x &= 1<<24 - 1
+		in := append(bitsOf(uint64(a), 24), bitsOf(uint64(x), 24)...)
+		out := c.EvalOutputs(in)
+		gt, eq, lt := S1Reference(a, x)
+		return out[0] == gt && out[1] == eq && out[2] == lt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Directed corner cases: equality requires all 24 bit matches.
+	cases := []struct{ a, x uint32 }{
+		{0, 0}, {1 << 23, 1 << 23}, {1<<24 - 1, 1<<24 - 1},
+		{0, 1}, {1, 0}, {1 << 23, 1<<23 - 1}, {0x800001, 0x800000},
+	}
+	for _, tc := range cases {
+		in := append(bitsOf(uint64(tc.a), 24), bitsOf(uint64(tc.x), 24)...)
+		out := c.EvalOutputs(in)
+		gt, eq, lt := S1Reference(tc.a, tc.x)
+		if out[0] != gt || out[1] != eq || out[2] != lt {
+			t.Errorf("S1(%x,%x) = %v, want %v %v %v", tc.a, tc.x, out, gt, eq, lt)
+		}
+	}
+}
+
+func TestComparator7485SliceExhaustive(t *testing.T) {
+	// One slice with cascade: exhaustive over 4+4 data bits and the
+	// three (one-hot) cascade states.
+	b := circuit.NewBuilder("slice")
+	a := b.Inputs("a", 4)
+	x := b.Inputs("b", 4)
+	ig := b.Input("igt")
+	ie := b.Input("ieq")
+	il := b.Input("ilt")
+	out := comparator7485(b, "u", a, x, &cascade{gt: ig, eq: ie, lt: il})
+	b.Output("gt", out.gt)
+	b.Output("eq", out.eq)
+	b.Output("lt", out.lt)
+	c := b.MustBuild()
+
+	cascades := [][3]bool{{true, false, false}, {false, true, false}, {false, false, true}}
+	for av := 0; av < 16; av++ {
+		for bv := 0; bv < 16; bv++ {
+			for _, cs := range cascades {
+				in := append(bitsOf(uint64(av), 4), bitsOf(uint64(bv), 4)...)
+				in = append(in, cs[0], cs[1], cs[2])
+				got := c.EvalOutputs(in)
+				var want [3]bool
+				switch {
+				case av > bv:
+					want = [3]bool{true, false, false}
+				case av < bv:
+					want = [3]bool{false, false, true}
+				default:
+					want = cs
+				}
+				if got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+					t.Fatalf("slice(%d,%d,casc=%v) = %v, want %v", av, bv, cs, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestS2MatchesReference(t *testing.T) {
+	c := S2Divider()
+	if c.NumInputs() != 48 || c.NumOutputs() != 48 {
+		t.Fatalf("S2: %d inputs, %d outputs", c.NumInputs(), c.NumOutputs())
+	}
+	f := func(d uint32, v uint16) bool {
+		in := append(bitsOf(uint64(d), 32), bitsOf(uint64(v), 16)...)
+		out := c.EvalOutputs(in)
+		q, r := DividerReference(uint64(d), uint64(v), 32, 16)
+		return valOf(out[:32]) == q && valOf(out[32:]) == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDividerReferenceIsDivision: for non-zero divisors the array
+// divider is integer division.
+func TestDividerReferenceIsDivision(t *testing.T) {
+	f := func(d uint32, v uint16) bool {
+		if v == 0 {
+			q, _ := DividerReference(uint64(d), 0, 32, 16)
+			return q == 1<<32-1 // saturates
+		}
+		q, r := DividerReference(uint64(d), uint64(v), 32, 16)
+		return q == uint64(d)/uint64(v) && r == uint64(d)%uint64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallDividerExhaustive(t *testing.T) {
+	c := ArrayDivider("div8x4", 8, 4)
+	for d := 0; d < 256; d++ {
+		for v := 0; v < 16; v++ {
+			in := append(bitsOf(uint64(d), 8), bitsOf(uint64(v), 4)...)
+			out := c.EvalOutputs(in)
+			q, r := DividerReference(uint64(d), uint64(v), 8, 4)
+			if valOf(out[:8]) != q || valOf(out[8:]) != r {
+				t.Fatalf("div(%d,%d) = %d rem %d, want %d rem %d",
+					d, v, valOf(out[:8]), valOf(out[8:]), q, r)
+			}
+		}
+	}
+}
+
+func TestC880MatchesReference(t *testing.T) {
+	c := C880Like()
+	f := func(a, x uint8, op uint8, cin bool) bool {
+		in := append(bitsOf(uint64(a), 8), bitsOf(uint64(x), 8)...)
+		in = append(in, op&1 == 1, op&2 == 2, cin)
+		out := c.EvalOutputs(in)
+		wout, wc, wz, wp := ALUReference(uint64(a), uint64(x), op&3, cin, 8)
+		return valOf(out[:8]) == wout && out[8] == wc && out[9] == wz && out[10] == wp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestC5315MatchesReference(t *testing.T) {
+	c := C5315Like()
+	f := func(a, x, d, e uint16, op uint8, cin0, cin1 bool, en uint8) bool {
+		av, xv := uint64(a&0x1ff), uint64(x&0x1ff)
+		dv, ev := uint64(d&0x1ff), uint64(e&0x1ff)
+		in := append(bitsOf(av, 9), bitsOf(xv, 9)...)
+		in = append(in, bitsOf(dv, 9)...)
+		in = append(in, bitsOf(ev, 9)...)
+		in = append(in, op&1 == 1, op&2 == 2, cin0, cin1, en&1 == 1, en&2 == 2)
+		out := c.EvalOutputs(in)
+		o0, c0, z0, p0 := ALUReference(av, xv, op&3, cin0, 9)
+		o1, c1, z1, p1 := ALUReference(dv, ev, op&3, cin1, 9)
+		f0, f1 := uint64(0), uint64(0)
+		if en&1 == 1 {
+			f0 = o0
+		}
+		if en&2 == 2 {
+			f1 = o1
+		}
+		bz := z0 && z1 && en&3 == 3
+		return valOf(out[:9]) == f0 && valOf(out[9:18]) == f1 &&
+			out[18] == c0 && out[19] == c1 && out[20] == bz &&
+			out[21] == p0 && out[22] == p1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestC3540MatchesReference(t *testing.T) {
+	c := C3540Like()
+	f := func(a, x uint16, mode, cin bool) bool {
+		in := append(bitsOf(uint64(a), 16), bitsOf(uint64(x), 16)...)
+		in = append(in, mode, cin)
+		out := c.EvalOutputs(in)
+		res, cout, nines, zero := C3540Reference(uint64(a), uint64(x), mode, cin)
+		return valOf(out[:16]) == res && out[16] == cout && out[17] == nines && out[18] == zero
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestC3540BCDSemantics: in BCD mode, adding valid BCD operands yields
+// the BCD sum digit by digit.
+func TestC3540BCDSemantics(t *testing.T) {
+	toBCD := func(v int) uint64 {
+		var r uint64
+		for k := 0; k < 4; k++ {
+			r |= uint64(v%10) << uint(4*k)
+			v /= 10
+		}
+		return r
+	}
+	for _, pair := range [][2]int{{0, 0}, {1234, 4321}, {9999, 1}, {5555, 4445}, {709, 291}} {
+		a, x := pair[0], pair[1]
+		res, cout, _, _ := C3540Reference(toBCD(a), toBCD(x), true, false)
+		sum := a + x
+		want := toBCD(sum % 10000)
+		if res != want || cout != (sum >= 10000) {
+			t.Errorf("BCD %d+%d: got %04x carry %v, want %04x carry %v",
+				a, x, res, cout, want, sum >= 10000)
+		}
+	}
+}
+
+func TestC499MatchesReference(t *testing.T) {
+	c := C499Like()
+	f := func(data uint32, check uint8) bool {
+		in := append(bitsOf(uint64(data), 32), bitsOf(uint64(check&0x3f), 6)...)
+		out := c.EvalOutputs(in)
+		want, _ := HammingReference(uint64(data), uint64(check&0x3f), 32, 6)
+		return valOf(out) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestC499CorrectsSingleErrors: encode, flip one data bit, decode.
+func TestC499CorrectsSingleErrors(t *testing.T) {
+	c := C499Like()
+	rng := prng.New(41)
+	for trial := 0; trial < 50; trial++ {
+		data := uint64(rng.Uint64()) & (1<<32 - 1)
+		// Compute matching checks (syndrome 0 for clean word).
+		_, syn := HammingReference(data, 0, 32, 6)
+		check := syn // check such that syndrome becomes zero
+		if cor, s := HammingReference(data, check, 32, 6); s != 0 || cor != data {
+			t.Fatalf("clean word has syndrome %x", s)
+		}
+		bit := rng.Intn(32)
+		bad := data ^ 1<<uint(bit)
+		in := append(bitsOf(bad, 32), bitsOf(check, 6)...)
+		out := c.EvalOutputs(in)
+		if valOf(out) != data {
+			t.Fatalf("trial %d: single-bit error at %d not corrected: got %x want %x",
+				trial, bit, valOf(out), data)
+		}
+	}
+}
+
+// TestC1355EquivalentToC499: the NAND expansion must not change the
+// function.
+func TestC1355EquivalentToC499(t *testing.T) {
+	a := C499Like()
+	b := C1355Like()
+	if b.NumGates() <= a.NumGates() {
+		t.Errorf("C1355 analogue (%d gates) not larger than C499 analogue (%d)",
+			b.NumGates(), a.NumGates())
+	}
+	rng := prng.New(4)
+	for trial := 0; trial < 120; trial++ {
+		data := uint64(rng.Uint64()) & (1<<32 - 1)
+		check := uint64(rng.Uint64()) & 0x3f
+		in := append(bitsOf(data, 32), bitsOf(check, 6)...)
+		oa := a.EvalOutputs(in)
+		ob := b.EvalOutputs(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestC1908MatchesReference(t *testing.T) {
+	c := C1908Like()
+	f := func(data uint16, check uint8, parity bool) bool {
+		in := append(bitsOf(uint64(data), 16), bitsOf(uint64(check&0x1f), 5)...)
+		in = append(in, parity)
+		out := c.EvalOutputs(in)
+		cor, valid, dbl, dec := C1908Reference(uint64(data), uint64(check&0x1f), parity)
+		return valOf(out[:16]) == cor && out[16] == valid && out[17] == dbl && out[18] == dec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestC432MatchesReference(t *testing.T) {
+	c := C432Like()
+	f := func(req uint32, en uint16) bool {
+		req &= 1<<27 - 1
+		env := uint32(en) & 0x1ff
+		in := append(bitsOf(uint64(req), 27), bitsOf(uint64(env), 9)...)
+		out := c.EvalOutputs(in)
+		ch, any := C432Reference(req, env)
+		if valOf(out[:4]) != uint64(ch) {
+			return false
+		}
+		return out[4] == any[0] && out[5] == any[1] && out[6] == any[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestC2670MatchesReference(t *testing.T) {
+	c := C2670Like()
+	f := func(a, x uint8, op uint8, cin bool, p, q uint32, en bool) bool {
+		av, xv := uint64(a), uint64(x)
+		in := append(bitsOf(av, 8), bitsOf(xv, 8)...)
+		in = append(in, op&1 == 1, op&2 == 2, cin)
+		in = append(in, bitsOf(uint64(p&0xfffff), 20)...)
+		in = append(in, bitsOf(uint64(q&0xfffff), 20)...)
+		in = append(in, en)
+		out := c.EvalOutputs(in)
+		wout, wc, wz, wt, wi := C2670Reference(av, xv, op&3, cin, p, q, en)
+		return valOf(out[:8]) == wout && out[8] == wc && out[9] == wz &&
+			out[10] == wt && out[11] == wi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// The TRAP path must actually fire on equality.
+	in := append(bitsOf(5, 8), bitsOf(7, 8)...)
+	in = append(in, false, false, false)
+	in = append(in, bitsOf(0xabcde, 20)...)
+	in = append(in, bitsOf(0xabcde, 20)...)
+	in = append(in, true)
+	out := c.EvalOutputs(in)
+	if !out[10] {
+		t.Error("TRAP not asserted for matching buses")
+	}
+}
+
+func TestC6288MatchesReference(t *testing.T) {
+	c := C6288Like()
+	f := func(a, x uint16) bool {
+		in := append(bitsOf(uint64(a), 16), bitsOf(uint64(x), 16)...)
+		out := c.EvalOutputs(in)
+		return valOf(out) == C6288Reference(uint32(a), uint32(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	for _, tc := range [][2]uint16{{0, 0}, {0xffff, 0xffff}, {1, 0xffff}, {0x8000, 2}} {
+		in := append(bitsOf(uint64(tc[0]), 16), bitsOf(uint64(tc[1]), 16)...)
+		out := c.EvalOutputs(in)
+		if valOf(out) != C6288Reference(uint32(tc[0]), uint32(tc[1])) {
+			t.Errorf("mult(%x,%x) = %x", tc[0], tc[1], valOf(out))
+		}
+	}
+}
+
+func TestC7552MatchesReference(t *testing.T) {
+	c := C7552Like()
+	f := func(a, x uint32, sel uint8, cin bool) bool {
+		in := append(bitsOf(uint64(a), 32), bitsOf(uint64(x), 32)...)
+		in = append(in, sel&1 == 1, sel&2 == 2, cin)
+		out := c.EvalOutputs(in)
+		sum, cout, ovf, match, par := C7552Reference(uint64(a), uint64(x), sel&3, cin)
+		return valOf(out[:32]) == sum && out[32] == cout && out[33] == ovf &&
+			out[34] == match && out[35] == par
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// MATCH requires SEL==3 and exact equality.
+	in := append(bitsOf(0xdeadbeef, 32), bitsOf(0xdeadbeef, 32)...)
+	in = append(in, true, true, false)
+	if out := c.EvalOutputs(in); !out[34] {
+		t.Error("MATCH not asserted for equal operands with SEL=3")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 12 {
+		t.Fatalf("registry has %d entries, want 12", len(bs))
+	}
+	marked := Marked()
+	if len(marked) != 4 {
+		t.Fatalf("marked set has %d entries, want 4 (S1, S2, C2670, C7552)", len(marked))
+	}
+	for _, m := range marked {
+		if m.PaperT3 == 0 || m.SimPatterns == 0 {
+			t.Errorf("%s: marked circuit missing Table 3/2 data", m.Name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if seen[b.Name] {
+			t.Errorf("duplicate name %q", b.Name)
+		}
+		seen[b.Name] = true
+		c := b.Build()
+		if c.NumGates() == 0 || c.NumInputs() == 0 || c.NumOutputs() == 0 {
+			t.Errorf("%s: degenerate circuit", b.Name)
+		}
+		if b.PaperT1 == 0 {
+			t.Errorf("%s: missing Table 1 value", b.Name)
+		}
+	}
+	if _, ok := ByName("s1"); !ok {
+		t.Error("ByName(s1) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+	if len(Names()) != 12 {
+		t.Error("Names() wrong length")
+	}
+}
+
+// TestBenchmarksAreDeterministic: building twice gives identical
+// structure (gate count and I/O).
+func TestBenchmarksAreDeterministic(t *testing.T) {
+	for _, b := range Benchmarks() {
+		c1, c2 := b.Build(), b.Build()
+		if c1.NumGates() != c2.NumGates() || c1.NumInputs() != c2.NumInputs() ||
+			c1.NumOutputs() != c2.NumOutputs() {
+			t.Errorf("%s: non-deterministic build", b.Name)
+		}
+	}
+}
+
+// TestXorNandBlock: the 4-NAND expansion computes XOR.
+func TestXorNandBlock(t *testing.T) {
+	b := circuit.NewBuilder("xn")
+	p := b.Input("p")
+	q := b.Input("q")
+	o := xorNand(b, "x", p, q)
+	b.Output("o", o)
+	c := b.MustBuild()
+	for v := 0; v < 4; v++ {
+		pv, qv := v&1 == 1, v&2 == 2
+		if got := c.EvalOutputs([]bool{pv, qv})[0]; got != (pv != qv) {
+			t.Errorf("xorNand(%v,%v) = %v", pv, qv, got)
+		}
+	}
+}
+
+// TestBlocksAdders: ripple adder and subtractor against integers.
+func TestBlocksAdders(t *testing.T) {
+	b := circuit.NewBuilder("adders")
+	a := b.Inputs("a", 6)
+	x := b.Inputs("b", 6)
+	cin := b.Input("cin")
+	sum, cout := rippleAdder(b, "add", a, x, cin)
+	diff, nb := rippleSubtractor(b, "sub", a, x)
+	for _, g := range sum {
+		b.Output("", g)
+	}
+	b.Output("", cout)
+	for _, g := range diff {
+		b.Output("", g)
+	}
+	b.Output("", nb)
+	c := b.MustBuild()
+	f := func(av, xv uint8, ci bool) bool {
+		aa, xx := uint64(av&63), uint64(xv&63)
+		in := append(bitsOf(aa, 6), bitsOf(xx, 6)...)
+		in = append(in, ci)
+		out := c.EvalOutputs(in)
+		s := aa + xx
+		if ci {
+			s++
+		}
+		if valOf(out[:6]) != s&63 || out[6] != (s > 63) {
+			return false
+		}
+		d := (aa - xx) & 63
+		return valOf(out[7:13]) == d && out[13] == (aa >= xx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGateCountsReasonable pins rough sizes so accidental blow-ups or
+// degenerate builds are caught.
+func TestGateCountsReasonable(t *testing.T) {
+	bounds := map[string][2]int{
+		"s1":    {150, 600},
+		"s2":    {3000, 9000},
+		"c432":  {150, 800},
+		"c499":  {200, 900},
+		"c880":  {100, 900},
+		"c1355": {500, 3500},
+		"c1908": {150, 1000},
+		"c2670": {200, 1400},
+		"c3540": {150, 1000},
+		"c5315": {250, 1800},
+		"c6288": {1200, 6000},
+		"c7552": {250, 1500},
+	}
+	for _, b := range Benchmarks() {
+		c := b.Build()
+		lo, hi := bounds[b.Name][0], bounds[b.Name][1]
+		if n := c.NumGates(); n < lo || n > hi {
+			t.Errorf("%s: %d gates, expected in [%d,%d]", b.Name, n, lo, hi)
+		}
+	}
+}
+
+var _ = bits.OnesCount64 // reserved for future structural checks

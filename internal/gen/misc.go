@@ -1,0 +1,223 @@
+package gen
+
+import "optirand/internal/circuit"
+
+// C432Like builds the functional analogue of ISCAS'85 C432, a 27-channel
+// priority interrupt controller: three groups of nine request lines
+// share nine channel-enable lines; within a group the lowest-numbered
+// active channel wins; group 0 has priority over group 1 over group 2.
+// Outputs: per-group "any grant" plus the 4-bit encoded channel of the
+// winning group (7 outputs, as in the original). The longest
+// priority-inhibit chains give ≈2^-9 hard faults (Table 1: N ≈ 2.5e3).
+func C432Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c432like")
+	req := b.Inputs("R", 27)
+	en := b.Inputs("E", 9)
+
+	grants := make([][]int, 3) // grants[g][k]
+	anys := make([]int, 3)
+	for g := 0; g < 3; g++ {
+		active := make([]int, 9)
+		for k := 0; k < 9; k++ {
+			active[k] = b.And(nm("", "act", g*9+k), req[g*9+k], en[k])
+		}
+		grants[g] = make([]int, 9)
+		grants[g][0] = b.Buf(nm("", "gr", g*9), active[0])
+		inhibit := make([]int, 9) // NOT(active[k]) chain
+		for k := 0; k < 9; k++ {
+			inhibit[k] = b.Not(nm("", "inh", g*9+k), active[k])
+		}
+		for k := 1; k < 9; k++ {
+			terms := make([]int, 0, k+1)
+			terms = append(terms, active[k])
+			terms = append(terms, inhibit[:k]...)
+			grants[g][k] = b.And(nm("", "gr", g*9+k), terms...)
+		}
+		anys[g] = orTree(b, nm("", "any", g), active)
+	}
+
+	// Encoded channel of each group: bit j = OR of grants with bit j set.
+	enc := make([][]int, 3)
+	for g := 0; g < 3; g++ {
+		enc[g] = make([]int, 4)
+		for j := 0; j < 4; j++ {
+			var terms []int
+			for k := 0; k < 9; k++ {
+				if k>>uint(j)&1 == 1 {
+					terms = append(terms, grants[g][k])
+				}
+			}
+			if len(terms) == 0 {
+				enc[g][j] = b.Const0(nm("", "encz", g*4+j))
+			} else {
+				enc[g][j] = orTree(b, nm("", "enc", g*4+j), terms)
+			}
+		}
+	}
+	// Group priority mux: group 0 wins, else group 1, else group 2.
+	n0 := b.Not("nany0", anys[0])
+	n1 := b.Not("nany1", anys[1])
+	sel1 := b.And("sel1", n0, anys[1])
+	sel2 := b.And("sel2", n0, n1, anys[2])
+	for j := 0; j < 4; j++ {
+		t0 := b.And(nm("", "enct0_", j), anys[0], enc[0][j])
+		t1 := b.And(nm("", "enct1_", j), sel1, enc[1][j])
+		t2 := b.And(nm("", "enct2_", j), sel2, enc[2][j])
+		b.Output(nm("", "CH", j), b.Or(nm("", "ch", j), t0, t1, t2))
+	}
+	for g := 0; g < 3; g++ {
+		b.Output(nm("", "ANY", g), anys[g])
+	}
+	return b.MustBuild()
+}
+
+// C432Reference mirrors C432Like: req is a 27-bit mask, en a 9-bit mask.
+func C432Reference(req, en uint32) (ch uint8, any [3]bool) {
+	grant := [3]int{-1, -1, -1}
+	for g := 0; g < 3; g++ {
+		for k := 0; k < 9; k++ {
+			if req>>uint(g*9+k)&1 == 1 && en>>uint(k)&1 == 1 {
+				any[g] = true
+				if grant[g] < 0 {
+					grant[g] = k
+				}
+			}
+		}
+	}
+	for g := 0; g < 3; g++ {
+		if any[g] {
+			return uint8(grant[g]), any
+		}
+	}
+	return 0, any
+}
+
+// C2670Like builds the functional analogue of ISCAS'85 C2670 (an ALU
+// and controller with comparator): an 8-bit aluCore slice plus a 20-bit
+// gated equality comparator whose TRAP output fires only when EN is
+// high and the two 20-bit buses match — probability ≈ 2^-21 under
+// equiprobable patterns, reproducing the severe resistance of the
+// original (Table 1: N ≈ 1.1e7). The ALU is kept narrow so that after
+// optimization the comparator cone, not the carry chain, remains the
+// binding structure — the regime the paper's C2670 rows exhibit.
+func C2670Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c2670like")
+	a := b.Inputs("A", 8)
+	x := b.Inputs("B", 8)
+	op := b.Inputs("OP", 2)
+	cin := b.Input("CIN")
+	p := b.Inputs("P", 20)
+	q := b.Inputs("Q", 20)
+	en := b.Input("EN")
+
+	u := aluCore(b, "alu", a, x, op, cin)
+	for i, g := range u.out {
+		b.Output(nm("", "F", i), g)
+	}
+	b.Output("COUT", u.cout)
+	b.Output("ZERO", u.zero)
+
+	match := eqVector(b, "cmp", p, q)
+	trap := b.And("trap", en, match)
+	b.Output("TRAP", trap)
+	// The comparator also qualifies an ALU-zero interrupt.
+	irq := b.And("irq", trap, u.zero)
+	b.Output("IRQ", irq)
+	return b.MustBuild()
+}
+
+// C2670Reference mirrors C2670Like.
+func C2670Reference(a, x uint64, op uint8, cin bool, p, q uint32, en bool) (out uint64, cout, zero, trap, irq bool) {
+	out, cout, zero, _ = ALUReference(a, x, op, cin, 8)
+	trap = en && (p&0xfffff) == (q&0xfffff)
+	irq = trap && zero
+	return out, cout, zero, trap, irq
+}
+
+// C6288Like builds the functional analogue of ISCAS'85 C6288, a 16×16
+// array multiplier: AND partial products accumulated with rows of
+// ripple adders. Multiplier arrays are highly random-testable
+// (Table 1: N ≈ 1.9e3).
+func C6288Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c6288like")
+	a := b.Inputs("A", 16)
+	x := b.Inputs("B", 16)
+	zero := b.Const0("gnd")
+
+	// acc holds product bits; row j adds a·x_j at offset j.
+	acc := make([]int, 32)
+	for i := range acc {
+		acc[i] = zero
+	}
+	for i := 0; i < 16; i++ {
+		acc[i] = b.And(nm("", "pp0_", i), a[i], x[0])
+	}
+	for j := 1; j < 16; j++ {
+		pp := make([]int, 16)
+		for i := 0; i < 16; i++ {
+			pp[i] = b.And(nm("", "pp", j*16+i), a[i], x[j])
+		}
+		sum, cout := rippleAdder(b, nm("", "row", j), acc[j:j+16], pp, zero)
+		copy(acc[j:j+16], sum)
+		acc[j+16] = cout
+	}
+	for i := 0; i < 32; i++ {
+		b.Output(nm("", "P", i), acc[i])
+	}
+	return b.MustBuild()
+}
+
+// C6288Reference is the functional model of the multiplier.
+func C6288Reference(a, x uint32) uint64 {
+	return uint64(a&0xffff) * uint64(x&0xffff)
+}
+
+// C7552Like builds the functional analogue of ISCAS'85 C7552 (a 32-bit
+// adder/comparator): a 32-bit ripple adder with overflow detection and a
+// 32-bit equality comparator gated by a 2-bit command decode. The MATCH
+// output needs SEL==3 and A==B — probability 2^-34, reproducing the
+// extreme resistance of the original (Table 1: N ≈ 4.9e11, the worst of
+// the whole benchmark set).
+func C7552Like() *circuit.Circuit {
+	b := circuit.NewBuilder("c7552like")
+	a := b.Inputs("A", 32)
+	x := b.Inputs("B", 32)
+	sel := b.Inputs("SEL", 2)
+	cin := b.Input("CIN")
+
+	sum, cout := rippleAdder(b, "add", a, x, cin)
+	for i, g := range sum {
+		b.Output(nm("", "S", i), g)
+	}
+	b.Output("COUT", cout)
+	// Signed overflow: carry into MSB xor carry out of MSB; recompute
+	// carry into MSB as sum[31] ^ a[31] ^ b[31].
+	cin31 := b.Xor("cin31", sum[31], a[31], x[31])
+	b.Output("OVF", b.Xor("ovf", cin31, cout))
+
+	dec := decoder(b, "seldec", sel)
+	match := eqVector(b, "cmp", a, x)
+	b.Output("MATCH", b.And("match", dec[3], match))
+	// Parity of the sum, observable command-independently.
+	b.Output("PAR", xorTree(b, "par", sum))
+	return b.MustBuild()
+}
+
+// C7552Reference mirrors C7552Like.
+func C7552Reference(a, x uint64, sel uint8, cin bool) (sum uint64, cout, ovf, match, par bool) {
+	a &= 0xffffffff
+	x &= 0xffffffff
+	s := a + x
+	if cin {
+		s++
+	}
+	sum = s & 0xffffffff
+	cout = s > 0xffffffff
+	cin31 := (sum>>31)&1 != ((a>>31)&1 ^ (x>>31)&1)
+	ovf = cin31 != cout
+	match = sel&3 == 3 && a == x
+	for v := sum; v != 0; v &= v - 1 {
+		par = !par
+	}
+	return sum, cout, ovf, match, par
+}

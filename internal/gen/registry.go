@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"sort"
+
+	"optirand/internal/circuit"
+)
+
+// Benchmark describes one built-in evaluation circuit and the paper
+// data it reproduces.
+type Benchmark struct {
+	// Name is the identifier used by the CLIs ("s1", "c2670", …).
+	Name string
+	// PaperName is the circuit name used in the paper's tables.
+	PaperName string
+	// Description summarizes function and provenance.
+	Description string
+	// Build constructs the netlist.
+	Build func() *circuit.Circuit
+	// PaperT1 is the required conventional test length the paper's
+	// Table 1 reports for the original circuit.
+	PaperT1 float64
+	// Marked reports whether the row carries the paper's (*) marker:
+	// circuits whose conventional random test is impractically long.
+	Marked bool
+	// PaperT3 is the optimized test length from Table 3 (0 when the
+	// paper does not report one).
+	PaperT3 float64
+	// PaperCov2 and PaperCov4 are the simulated fault coverages (%) of
+	// Tables 2 and 4, with SimPatterns the pattern count used there
+	// (0 when not reported).
+	PaperCov2, PaperCov4 float64
+	SimPatterns          int
+}
+
+var registry = []Benchmark{
+	{
+		Name: "s1", PaperName: "S1",
+		Description: "24-bit magnitude comparator from six SN7485 slices (exact reconstruction)",
+		Build:       S1Comparator,
+		PaperT1:     5.6e8, Marked: true, PaperT3: 3.5e4,
+		PaperCov2: 80.7, PaperCov4: 99.7, SimPatterns: 12000,
+	},
+	{
+		Name: "s2", PaperName: "S2",
+		Description: "combinational part of a 32-bit divider (32/16 restoring array)",
+		Build:       S2Divider,
+		PaperT1:     2.0e11, Marked: true, PaperT3: 4.0e4,
+		PaperCov2: 77.2, PaperCov4: 99.7, SimPatterns: 12000,
+	},
+	{
+		Name: "c432", PaperName: "C432",
+		Description: "27-channel priority interrupt controller (functional analogue)",
+		Build:       C432Like,
+		PaperT1:     2.5e3,
+	},
+	{
+		Name: "c499", PaperName: "C499",
+		Description: "32-bit single-error-correcting circuit (functional analogue)",
+		Build:       C499Like,
+		PaperT1:     1.9e3,
+	},
+	{
+		Name: "c880", PaperName: "C880",
+		Description: "8-bit ALU (functional analogue)",
+		Build:       C880Like,
+		PaperT1:     3.7e4,
+	},
+	{
+		Name: "c1355", PaperName: "C1355",
+		Description: "C499 with XORs expanded to 4-NAND blocks (functional analogue)",
+		Build:       C1355Like,
+		PaperT1:     2.2e6,
+	},
+	{
+		Name: "c1908", PaperName: "C1908",
+		Description: "16-bit SEC/DED circuit with decode output (functional analogue)",
+		Build:       C1908Like,
+		PaperT1:     6.2e4,
+	},
+	{
+		Name: "c2670", PaperName: "C2670",
+		Description: "12-bit ALU + 20-bit gated comparator (functional analogue)",
+		Build:       C2670Like,
+		PaperT1:     1.1e7, Marked: true, PaperT3: 6.9e4,
+		PaperCov2: 88.0, PaperCov4: 99.7, SimPatterns: 4000,
+	},
+	{
+		Name: "c3540", PaperName: "C3540",
+		Description: "16-bit BCD ALU with decimal-adjust chain (functional analogue)",
+		Build:       C3540Like,
+		PaperT1:     2.3e6,
+	},
+	{
+		Name: "c5315", PaperName: "C5315",
+		Description: "dual 9-bit enabled ALU (functional analogue)",
+		Build:       C5315Like,
+		PaperT1:     5.3e4,
+	},
+	{
+		Name: "c6288", PaperName: "C6288",
+		Description: "16×16 array multiplier (functional analogue)",
+		Build:       C6288Like,
+		PaperT1:     1.9e3,
+	},
+	{
+		Name: "c7552", PaperName: "C7552",
+		Description: "32-bit adder/comparator with command decode (functional analogue)",
+		Build:       C7552Like,
+		PaperT1:     4.9e11, Marked: true, PaperT3: 1.2e5,
+		PaperCov2: 93.9, PaperCov4: 98.9, SimPatterns: 4096,
+	},
+}
+
+// Benchmarks returns all built-in evaluation circuits in the paper's
+// Table 1 order.
+func Benchmarks() []Benchmark {
+	out := make([]Benchmark, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Marked returns only the (*) circuits: the four the paper optimizes in
+// Tables 2–5.
+func Marked() []Benchmark {
+	var out []Benchmark
+	for _, b := range registry {
+		if b.Marked {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName looks a benchmark up by its CLI name (case-sensitive).
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Names returns the sorted benchmark names.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, b := range registry {
+		names[i] = b.Name
+	}
+	sort.Strings(names)
+	return names
+}

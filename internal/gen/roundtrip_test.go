@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"optirand/internal/bench"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+	"optirand/internal/sim"
+)
+
+// TestBenchmarksRoundTripThroughBenchFormat: every built-in circuit
+// must survive serialization to the .bench format and back with its
+// function intact (sampled over random input vectors via the parallel
+// simulator).
+func TestBenchmarksRoundTripThroughBenchFormat(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			orig := b.Build()
+			text := bench.String(orig)
+			back, err := bench.ParseString(text)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if back.NumInputs() != orig.NumInputs() || back.NumOutputs() != orig.NumOutputs() {
+				t.Fatalf("I/O changed: %d/%d vs %d/%d",
+					back.NumInputs(), back.NumOutputs(), orig.NumInputs(), orig.NumOutputs())
+			}
+			if !strings.Contains(text, "INPUT(") {
+				t.Fatal("no INPUT declarations emitted")
+			}
+			so := sim.NewSimulator(orig)
+			sb := sim.NewSimulator(back)
+			rng := prng.New(1 + uint64(len(text)))
+			words := make([]uint64, orig.NumInputs())
+			for trial := 0; trial < 4; trial++ {
+				for i := range words {
+					words[i] = rng.Uint64()
+				}
+				so.SetInputs(words)
+				so.Run()
+				sb.SetInputs(words)
+				sb.Run()
+				for k := 0; k < orig.NumOutputs(); k++ {
+					if so.OutputWord(k) != sb.OutputWord(k) {
+						t.Fatalf("output %d differs after round trip", k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestS1HardestFaultNeedsFullEquality: the defining property of S1 —
+// the final AeqB stem stuck-at-0 is detected exactly by patterns with
+// A == B, checked at the fault level.
+func TestS1HardestFaultNeedsFullEquality(t *testing.T) {
+	c := S1Comparator()
+	eqGate := c.FindGate("u5.eq")
+	if eqGate < 0 {
+		t.Fatal("u5.eq not found")
+	}
+	f := fault.Fault{Gate: eqGate, Pin: fault.StemPin, Stuck: 0}
+	// Equal operands: fault must be detected (AeqB flips 1 -> 0).
+	in := make([]bool, 48)
+	for i := 0; i < 24; i++ {
+		v := i%3 == 0
+		in[i], in[24+i] = v, v
+	}
+	if !sim.DetectsScalar(c, f, in) {
+		t.Error("A==B pattern does not detect AeqB s-a-0")
+	}
+	// Any single-bit mismatch: undetected.
+	in[5] = !in[5]
+	if sim.DetectsScalar(c, f, in) {
+		t.Error("A!=B pattern claims to detect AeqB s-a-0")
+	}
+}
+
+// TestC7552MatchFaultNeedsSelAndEquality: same directed check for the
+// C7552 analogue's MATCH cone (SEL=3 and A==B), the 2^-34 structure
+// behind the worst row of Table 1.
+func TestC7552MatchFaultNeedsSelAndEquality(t *testing.T) {
+	c := C7552Like()
+	mg := c.FindGate("match")
+	if mg < 0 {
+		t.Fatal("match gate not found")
+	}
+	f := fault.Fault{Gate: mg, Pin: fault.StemPin, Stuck: 0}
+	in := make([]bool, 67)
+	for i := 0; i < 32; i++ {
+		v := i%5 != 0
+		in[i], in[32+i] = v, v
+	}
+	in[64], in[65] = true, true // SEL = 3
+	in[66] = false              // CIN
+	if !sim.DetectsScalar(c, f, in) {
+		t.Error("SEL=3, A==B pattern does not detect MATCH s-a-0")
+	}
+	in[64] = false // SEL = 2: comparator disabled
+	if sim.DetectsScalar(c, f, in) {
+		t.Error("SEL!=3 pattern claims to detect MATCH s-a-0")
+	}
+}

@@ -1,0 +1,100 @@
+package gen
+
+import "optirand/internal/circuit"
+
+// cascade bundles the three chain signals between SN7485 slices.
+type cascade struct {
+	gt, eq, lt int
+}
+
+// comparator7485 instantiates the gate-level logic of one TI SN7485
+// 4-bit magnitude comparator [TI80]: per-bit XNOR equality terms and the
+// priority AND-OR networks
+//
+//	A>B = A3·!B3 + x3·A2·!B2 + x3·x2·A1·!B1 + x3·x2·x1·A0·!B0 + x3·x2·x1·x0·I(A>B)
+//	A<B = symmetric
+//	A=B = x3·x2·x1·x0·I(A=B)
+//
+// a and x are 4-bit operands, LSB first. casc == nil instantiates the
+// least significant slice with the constant cascade (I(A>B)=0, I(A=B)=1,
+// I(A<B)=0) already propagated — the redundancy removal the paper
+// mentions ("where some redundancies are removed"): tying constants
+// would create provably undetectable faults.
+func comparator7485(b *circuit.Builder, prefix string, a, x []int, casc *cascade) cascade {
+	if len(a) != 4 || len(x) != 4 {
+		panic("gen: comparator7485: operands must be 4 bits")
+	}
+	// Per-bit equality in the datasheet's AND-OR-INVERT form:
+	// x_i = NOR(a·b', a'·b), with explicit input inverters.
+	eq := make([]int, 4)
+	na := make([]int, 4)
+	nb := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		na[i] = b.Not(nm(prefix, "na", i), a[i])
+		nb[i] = b.Not(nm(prefix, "nb", i), x[i])
+		t1 := b.And(nm(prefix, "xa", i), a[i], nb[i])
+		t2 := b.And(nm(prefix, "xb", i), na[i], x[i])
+		eq[i] = b.Nor(nm(prefix, "x", i), t1, t2)
+	}
+
+	// Priority terms, MSB (bit 3) first.
+	gtTerms := []int{
+		b.And(prefix+".gt3", a[3], nb[3]),
+		b.And(prefix+".gt2", eq[3], a[2], nb[2]),
+		b.And(prefix+".gt1", eq[3], eq[2], a[1], nb[1]),
+		b.And(prefix+".gt0", eq[3], eq[2], eq[1], a[0], nb[0]),
+	}
+	ltTerms := []int{
+		b.And(prefix+".lt3", na[3], x[3]),
+		b.And(prefix+".lt2", eq[3], na[2], x[2]),
+		b.And(prefix+".lt1", eq[3], eq[2], na[1], x[1]),
+		b.And(prefix+".lt0", eq[3], eq[2], eq[1], na[0], x[0]),
+	}
+	allEq := b.And(prefix+".alleq", eq[3], eq[2], eq[1], eq[0])
+
+	if casc != nil {
+		gtTerms = append(gtTerms, b.And(prefix+".gtc", allEq, casc.gt))
+		ltTerms = append(ltTerms, b.And(prefix+".ltc", allEq, casc.lt))
+	}
+	out := cascade{
+		gt: b.Or(prefix+".gt", gtTerms...),
+		lt: b.Or(prefix+".lt", ltTerms...),
+	}
+	if casc != nil {
+		out.eq = b.And(prefix+".eq", allEq, casc.eq)
+	} else {
+		out.eq = allEq
+	}
+	return out
+}
+
+// S1Comparator builds the paper's circuit S1: a 24-bit magnitude
+// comparator constructed from six SN7485 slices in ripple cascade, the
+// least significant slice simplified (redundancies removed). Inputs are
+// A0..A23 then B0..B23 (LSB first); outputs are AgtB, AeqB, AltB.
+//
+// Its A=B path requires all 24 bit-equalities simultaneously, giving the
+// hardest faults a detection probability of 2^-24 under equiprobable
+// patterns — the circuit the paper uses to motivate optimized input
+// probabilities (Table 1: N ≈ 5.6e8).
+func S1Comparator() *circuit.Circuit {
+	b := circuit.NewBuilder("S1")
+	a := b.Inputs("A", 24)
+	x := b.Inputs("B", 24)
+	var casc *cascade
+	for s := 0; s < 6; s++ {
+		out := comparator7485(b, nm("", "u", s), a[4*s:4*s+4], x[4*s:4*s+4], casc)
+		casc = &out
+	}
+	b.Output("AgtB", casc.gt)
+	b.Output("AeqB", casc.eq)
+	b.Output("AltB", casc.lt)
+	return b.MustBuild()
+}
+
+// S1Reference is the functional model of S1.
+func S1Reference(a, x uint32) (gt, eq, lt bool) {
+	a &= 1<<24 - 1
+	x &= 1<<24 - 1
+	return a > x, a == x, a < x
+}

@@ -1,0 +1,81 @@
+package gen
+
+import "optirand/internal/circuit"
+
+// ArrayDivider builds the combinational part of a restoring array
+// divider: dividend of n bits, divisor of m bits, producing an n-bit
+// quotient and an m-bit remainder. Row i (from the dividend's MSB down)
+// shifts the partial remainder left by one, brings in dividend bit i,
+// subtracts the divisor in an (m+1)-bit ripple subtractor and keeps the
+// difference iff no borrow occurred (that row's quotient bit).
+//
+// For divisor 0 the quotient saturates to all ones and the remainder is
+// the bit-level result of the array (see DividerReference, which mirrors
+// the hardware exactly).
+func ArrayDivider(name string, n, m int) *circuit.Circuit {
+	if n < 1 || m < 1 || m > 62 {
+		panic("gen: ArrayDivider: unsupported widths")
+	}
+	b := circuit.NewBuilder(name)
+	d := b.Inputs("D", n)   // dividend, LSB first
+	v := b.Inputs("V", m)   // divisor, LSB first
+	zero := b.Const0("gnd") // initial partial remainder
+
+	r := make([]int, m) // partial remainder, m bits
+	for i := range r {
+		r[i] = zero
+	}
+	vx := make([]int, m+1) // divisor zero-extended to m+1 bits
+	copy(vx, v)
+	vx[m] = zero
+
+	q := make([]int, n)
+	for row := 0; row < n; row++ {
+		i := n - 1 - row // dividend bit consumed by this row
+		// rp = (r << 1) | D_i, m+1 bits.
+		rp := make([]int, m+1)
+		rp[0] = d[i]
+		copy(rp[1:], r)
+		prefix := nm("", "row", row)
+		diff, noBorrow := rippleSubtractor(b, prefix+".sub", rp, vx)
+		q[i] = b.Buf(nm("", "q", i), noBorrow)
+		r = mux2v(b, prefix+".mux", noBorrow, rp[:m], diff[:m])
+	}
+	for i := 0; i < n; i++ {
+		b.Output(nm("", "Q", i), q[i])
+	}
+	for i := 0; i < m; i++ {
+		b.Output(nm("", "R", i), r[i])
+	}
+	return b.MustBuild()
+}
+
+// S2Divider builds the paper's circuit S2: the combinational part of a
+// 32-bit divider [KuWu85] — here a 32/16 restoring array divider. Its
+// early rows produce a quotient 1 only for very small divisors
+// (probability ≈ 2^-15 and below under equiprobable inputs), making it
+// severely random-pattern resistant, as in the paper's Table 1
+// (N ≈ 2.0e11).
+func S2Divider() *circuit.Circuit {
+	return ArrayDivider("S2", 32, 16)
+}
+
+// DividerReference mirrors ArrayDivider bit-exactly (including the
+// divisor-zero behaviour): it returns the quotient and remainder the
+// gate-level array computes for an n-bit dividend and m-bit divisor.
+// For divisor != 0 this coincides with integer division.
+func DividerReference(dividend, divisor uint64, n, m int) (q, r uint64) {
+	maskM := uint64(1)<<uint(m) - 1
+	var rr uint64
+	for row := 0; row < n; row++ {
+		i := n - 1 - row
+		rp := (rr << 1) | (dividend >> uint(i) & 1) // m+1 bits by invariant
+		if rp >= divisor {
+			q |= 1 << uint(i)
+			rr = (rp - divisor) & maskM
+		} else {
+			rr = rp & maskM
+		}
+	}
+	return q, rr
+}

@@ -1,0 +1,233 @@
+// Package lfsr models the on-chip pattern-generation hardware of a
+// weighted-random-pattern self test: linear feedback shift registers
+// with primitive feedback polynomials, and weighting networks that
+// derive biased bit streams from them (probabilities k/2^m), as used by
+// BILBO-style self-test modules ([Wu86]/[Wu87], paper §5.2).
+//
+// The software generators in internal/prng are the mathematical ideal;
+// this package is the hardware-faithful counterpart used by the BIST
+// example and the weighted-generation tests.
+package lfsr
+
+import (
+	"fmt"
+	"math"
+)
+
+// primitivePolys maps register length n to the tap mask of a primitive
+// feedback polynomial over GF(2). For p(x) = x^n + x^a + … + 1 the mask
+// sets bits {0, a, …}: with the right-shifting update
+//
+//	state' = state>>1 | parity(state & taps)<<(n-1)
+//
+// this realizes the reciprocal polynomial of p, which is primitive iff
+// p is. Bit 0 is always set (the x^n term), which also makes the state
+// map invertible — the sequence is purely periodic with period 2^n - 1.
+// Source: standard tables (Bardell/McAnney/Savir, "Built-In Test for
+// VLSI"; Xilinx XAPP052 for the long registers).
+var primitivePolys = map[int]uint64{
+	2:  0x3,                // x^2 + x + 1
+	3:  0x3,                // x^3 + x + 1
+	4:  0x3,                // x^4 + x + 1
+	5:  0x5,                // x^5 + x^2 + 1
+	6:  0x3,                // x^6 + x + 1
+	7:  0x3,                // x^7 + x + 1
+	8:  0x1d,               // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x11,               // x^9 + x^4 + 1
+	10: 0x9,                // x^10 + x^3 + 1
+	11: 0x5,                // x^11 + x^2 + 1
+	12: 0x53,               // x^12 + x^6 + x^4 + x + 1
+	13: 0x1b,               // x^13 + x^4 + x^3 + x + 1
+	14: 0x2b,               // x^14 + x^5 + x^3 + x + 1
+	15: 0x3,                // x^15 + x + 1
+	16: 0x2d,               // x^16 + x^5 + x^3 + x^2 + 1
+	17: 0x9,                // x^17 + x^3 + 1
+	18: 0x81,               // x^18 + x^7 + 1
+	19: 0x27,               // x^19 + x^5 + x^2 + x + 1
+	20: 0x9,                // x^20 + x^3 + 1
+	24: 0xc20001,           // x^24 + x^23 + x^22 + x^17 + 1
+	32: 0x400007,           // x^32 + x^22 + x^2 + x + 1
+	48: 0x800000300001,     // x^48 + x^47 + x^21 + x^20 + 1
+	64: 0xb000000000000001, // x^64 + x^63 + x^61 + x^60 + 1
+}
+
+// LFSR is a Fibonacci linear feedback shift register of n ≤ 64 bits.
+// The zero state is forbidden (it is the lock-up state); New seeds with
+// all-ones by default.
+type LFSR struct {
+	n     int
+	taps  uint64
+	state uint64
+}
+
+// New returns an n-bit LFSR with a primitive feedback polynomial from
+// the built-in table. It panics if no polynomial is tabulated for n.
+func New(n int) *LFSR {
+	taps, ok := primitivePolys[n]
+	if !ok {
+		panic(fmt.Sprintf("lfsr: no primitive polynomial tabulated for length %d", n))
+	}
+	return &LFSR{n: n, taps: taps, state: 1<<uint(n) - 1}
+}
+
+// NewWithTaps returns an n-bit LFSR with an explicit tap mask; the
+// period is maximal only if the mask encodes a primitive polynomial.
+func NewWithTaps(n int, taps uint64) *LFSR {
+	if n < 2 || n > 64 {
+		panic("lfsr: length out of range")
+	}
+	return &LFSR{n: n, taps: taps, state: 1<<uint(n) - 1}
+}
+
+// Len returns the register length in bits.
+func (l *LFSR) Len() int { return l.n }
+
+// State returns the current register contents.
+func (l *LFSR) State() uint64 { return l.state }
+
+// Seed sets the register contents; the all-zero state is replaced by
+// all-ones.
+func (l *LFSR) Seed(s uint64) {
+	s &= 1<<uint(l.n) - 1
+	if s == 0 {
+		s = 1<<uint(l.n) - 1
+	}
+	l.state = s
+}
+
+// Step advances one clock and returns the shifted-out bit.
+func (l *LFSR) Step() uint64 {
+	out := l.state & 1
+	fb := parity64(l.state & l.taps)
+	l.state = l.state>>1 | fb<<uint(l.n-1)
+	return out
+}
+
+// Word returns 64 successive output bits, bit k holding the output of
+// clock k — one simulator pattern word.
+func (l *LFSR) Word() uint64 {
+	var w uint64
+	for k := 0; k < 64; k++ {
+		w |= l.Step() << uint(k)
+	}
+	return w
+}
+
+// Period measures the register's period by stepping until the seed
+// state recurs (intended for tests on short registers).
+func (l *LFSR) Period() uint64 {
+	start := l.state
+	var count uint64
+	for {
+		l.Step()
+		count++
+		if l.state == start {
+			return count
+		}
+		if count == math.MaxUint64 {
+			return count
+		}
+	}
+}
+
+func parity64(v uint64) uint64 {
+	v ^= v >> 32
+	v ^= v >> 16
+	v ^= v >> 8
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return v & 1
+}
+
+// WeightResolution is the number of bits the weighting network combines:
+// programmable probabilities are multiples of 1/2^WeightResolution.
+const WeightResolution = 4
+
+// QuantizeWeight rounds an ideal probability to the nearest value the
+// weighting network can produce: k/16 for k in 1..15 (0 and 1 are not
+// produced — a stuck input would make its stuck-at faults untestable).
+func QuantizeWeight(p float64) float64 {
+	k := math.Round(p * 16)
+	if k < 1 {
+		k = 1
+	}
+	if k > 15 {
+		k = 15
+	}
+	return k / 16
+}
+
+// WeightedSource produces per-input pattern words with probabilities
+// quantized to the 1/16 grid, the way BIST weighting hardware derives
+// biased streams: four independent equiprobable streams per input are
+// combined by an AND/OR tree selected from the binary expansion of k.
+//
+// Stream derivation from one physical LFSR uses spaced output phases;
+// this model gives each input its own maximal-length register seeded
+// differently, which preserves the statistical property that matters
+// (independent equiprobable source bits).
+type WeightedSource struct {
+	regs    []*LFSR
+	weights []float64 // quantized
+}
+
+// NewWeightedSource builds a source for the given ideal weights; they
+// are quantized with QuantizeWeight.
+func NewWeightedSource(weights []float64, seed uint64) *WeightedSource {
+	ws := &WeightedSource{
+		regs:    make([]*LFSR, len(weights)),
+		weights: make([]float64, len(weights)),
+	}
+	for i, p := range weights {
+		ws.weights[i] = QuantizeWeight(p)
+		r := New(32)
+		r.Seed(seed*0x9e3779b97f4a7c15 + uint64(i)*0x100000001b3 + 1)
+		ws.regs[i] = r
+	}
+	return ws
+}
+
+// Weights returns the quantized per-input probabilities.
+func (ws *WeightedSource) Weights() []float64 {
+	out := make([]float64, len(ws.weights))
+	copy(out, ws.weights)
+	return out
+}
+
+// NextWords fills dst[i] with the next 64 patterns of input i.
+func (ws *WeightedSource) NextWords(dst []uint64) {
+	if len(dst) != len(ws.regs) {
+		panic("lfsr: NextWords: length mismatch")
+	}
+	for i := range dst {
+		k := int(math.Round(ws.weights[i] * 16))
+		dst[i] = ws.compareWord(i, k)
+	}
+}
+
+// compareWord builds a Bernoulli(k/16) word exactly the way weighting
+// hardware does: WeightResolution equiprobable bit planes form a
+// uniform 4-bit nibble per pattern; the output bit is the magnitude
+// comparison nibble < k, evaluated bitwise from the MSB plane down
+// (lt accumulates decided-below positions, eq tracks still-equal ones).
+// P(nibble < k) = k/16 exactly.
+func (ws *WeightedSource) compareWord(i, k int) uint64 {
+	r := ws.regs[i]
+	planes := [WeightResolution]uint64{}
+	for j := range planes {
+		planes[j] = r.Word()
+	}
+	var lt uint64
+	eq := ^uint64(0)
+	for j := WeightResolution - 1; j >= 0; j-- {
+		plane := planes[j]
+		kj := uint64(0)
+		if k>>uint(j)&1 == 1 {
+			kj = ^uint64(0)
+		}
+		lt |= eq & ^plane & kj
+		eq &= ^(plane ^ kj)
+	}
+	return lt
+}

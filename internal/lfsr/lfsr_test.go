@@ -1,0 +1,150 @@
+package lfsr
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+// TestMaximalPeriods: every tabulated polynomial up to 20 bits must give
+// period 2^n - 1 (the definition of primitivity we rely on).
+func TestMaximalPeriods(t *testing.T) {
+	for n := 2; n <= 20; n++ {
+		if _, ok := primitivePolys[n]; !ok {
+			continue
+		}
+		l := New(n)
+		want := uint64(1)<<uint(n) - 1
+		if got := l.Period(); got != want {
+			t.Errorf("n=%d: period %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestAllStatesVisited: a maximal LFSR visits every non-zero state.
+func TestAllStatesVisited(t *testing.T) {
+	l := New(8)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 255; i++ {
+		if seen[l.State()] {
+			t.Fatalf("state %x repeated at step %d", l.State(), i)
+		}
+		seen[l.State()] = true
+		l.Step()
+	}
+	if len(seen) != 255 {
+		t.Errorf("visited %d states, want 255", len(seen))
+	}
+	if seen[0] {
+		t.Error("visited the all-zero lock-up state")
+	}
+}
+
+func TestSeedZeroReplaced(t *testing.T) {
+	l := New(8)
+	l.Seed(0)
+	if l.State() == 0 {
+		t.Error("Seed(0) left the lock-up state in place")
+	}
+}
+
+func TestUnknownLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(23) did not panic")
+		}
+	}()
+	New(23)
+}
+
+// TestOutputBalance: over a full period, a maximal LFSR outputs
+// 2^(n-1) ones and 2^(n-1)-1 zeros.
+func TestOutputBalance(t *testing.T) {
+	l := New(10)
+	ones := 0
+	period := 1<<10 - 1
+	for i := 0; i < period; i++ {
+		ones += int(l.Step())
+	}
+	if ones != 1<<9 {
+		t.Errorf("ones = %d, want %d", ones, 1<<9)
+	}
+}
+
+func TestWordPacksSteps(t *testing.T) {
+	a, b := New(16), New(16)
+	w := a.Word()
+	for k := 0; k < 64; k++ {
+		if bit := b.Step(); w>>uint(k)&1 != bit {
+			t.Fatalf("Word bit %d mismatch", k)
+		}
+	}
+}
+
+func TestQuantizeWeight(t *testing.T) {
+	cases := map[float64]float64{
+		0.0: 1.0 / 16, 0.01: 1.0 / 16, 0.5: 0.5, 0.93: 15.0 / 16,
+		1.0: 15.0 / 16, 0.25: 0.25, 0.3: 5.0 / 16,
+	}
+	for in, want := range cases {
+		if got := QuantizeWeight(in); math.Abs(got-want) > 1e-12 {
+			t.Errorf("QuantizeWeight(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestWeightedSourceDensities: the hardware weighting model must hit
+// each programmed k/16 probability closely.
+func TestWeightedSourceDensities(t *testing.T) {
+	weights := []float64{1.0 / 16, 0.25, 0.5, 0.75, 15.0 / 16}
+	ws := NewWeightedSource(weights, 7)
+	q := ws.Weights()
+	counts := make([]int, len(weights))
+	const words = 3000
+	dst := make([]uint64, len(weights))
+	for w := 0; w < words; w++ {
+		ws.NextWords(dst)
+		for i, v := range dst {
+			counts[i] += bits.OnesCount64(v)
+		}
+	}
+	for i := range weights {
+		got := float64(counts[i]) / (64 * words)
+		if math.Abs(got-q[i]) > 0.01 {
+			t.Errorf("input %d: density %v, want %v", i, got, q[i])
+		}
+	}
+}
+
+// TestWeightedSourceDeterminism: same seed, same stream.
+func TestWeightedSourceDeterminism(t *testing.T) {
+	w := []float64{0.3, 0.7}
+	a := NewWeightedSource(w, 42)
+	b := NewWeightedSource(w, 42)
+	da, db := make([]uint64, 2), make([]uint64, 2)
+	for i := 0; i < 50; i++ {
+		a.NextWords(da)
+		b.NextWords(db)
+		if da[0] != db[0] || da[1] != db[1] {
+			t.Fatalf("streams diverged at word %d", i)
+		}
+	}
+}
+
+// TestWeightedSourceInputIndependence: different inputs' streams must
+// be (statistically) independent — joint ones-density of two inputs at
+// 0.5 is ~0.25.
+func TestWeightedSourceInputIndependence(t *testing.T) {
+	ws := NewWeightedSource([]float64{0.5, 0.5}, 3)
+	dst := make([]uint64, 2)
+	both, total := 0, 0
+	for w := 0; w < 2000; w++ {
+		ws.NextWords(dst)
+		both += bits.OnesCount64(dst[0] & dst[1])
+		total += 64
+	}
+	got := float64(both) / float64(total)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("joint density %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,68 @@
+package lfsr
+
+import "fmt"
+
+// MISR is a multiple-input signature register: the response-compaction
+// half of a BILBO-style self-test module ([Wu86]/[Wu87], paper §5.2).
+// Each clock XORs one parallel output vector of the circuit under test
+// into the feedback shift; after N patterns the register holds a
+// signature whose mismatch against the fault-free signature flags a
+// detected fault. For a maximal-length feedback polynomial the
+// asymptotic aliasing probability is 2^-n.
+type MISR struct {
+	n     int
+	taps  uint64
+	state uint64
+}
+
+// NewMISR returns an n-bit MISR with a primitive feedback polynomial
+// from the built-in table, initialized to zero.
+func NewMISR(n int) *MISR {
+	taps, ok := primitivePolys[n]
+	if !ok {
+		panic(fmt.Sprintf("lfsr: no primitive polynomial tabulated for MISR length %d", n))
+	}
+	return &MISR{n: n, taps: taps}
+}
+
+// Len returns the register width.
+func (m *MISR) Len() int { return m.n }
+
+// Reset clears the register.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Signature returns the current register contents.
+func (m *MISR) Signature() uint64 { return m.state }
+
+// Clock shifts once and XORs the input vector (low Len() bits) into the
+// register.
+func (m *MISR) Clock(inputs uint64) {
+	fb := parity64(m.state & m.taps)
+	m.state = (m.state>>1 | fb<<uint(m.n-1)) ^ (inputs & (1<<uint(m.n) - 1))
+}
+
+// ClockWord feeds 64 patterns of up to 64 circuit outputs: outs[k] is
+// the 64-pattern word of output k (bit j = pattern j), exactly as the
+// parallel simulator produces them; patterns selects how many of the 64
+// lanes are fed (low bits first).
+func (m *MISR) ClockWord(outs []uint64, patterns int) {
+	if patterns > 64 {
+		patterns = 64
+	}
+	for j := 0; j < patterns; j++ {
+		var vec uint64
+		for k, w := range outs {
+			if k >= m.n {
+				break
+			}
+			vec |= (w >> uint(j) & 1) << uint(k)
+		}
+		m.Clock(vec)
+	}
+}
+
+// AliasingBound returns the asymptotic probability that a faulty
+// response sequence maps to the fault-free signature: 2^-Len().
+func (m *MISR) AliasingBound() float64 {
+	return 1 / float64(uint64(1)<<uint(m.n))
+}

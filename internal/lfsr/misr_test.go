@@ -1,0 +1,150 @@
+package lfsr
+
+import (
+	"testing"
+
+	"optirand/internal/prng"
+)
+
+func TestMISRBasics(t *testing.T) {
+	m := NewMISR(16)
+	if m.Len() != 16 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if m.Signature() != 0 {
+		t.Error("fresh MISR not zeroed")
+	}
+	m.Clock(0xabcd)
+	if m.Signature() == 0 {
+		t.Error("signature unchanged after Clock")
+	}
+	m.Reset()
+	if m.Signature() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if got := m.AliasingBound(); got != 1.0/65536 {
+		t.Errorf("AliasingBound = %v", got)
+	}
+}
+
+func TestMISRUnknownLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMISR(23) did not panic")
+		}
+	}()
+	NewMISR(23)
+}
+
+// TestMISRDeterministic: the same response stream yields the same
+// signature; a one-bit difference yields a different one (no aliasing
+// for this particular pair).
+func TestMISRDeterministic(t *testing.T) {
+	stream := make([]uint64, 200)
+	rng := prng.New(5)
+	for i := range stream {
+		stream[i] = rng.Uint64() & 0xffff
+	}
+	sig := func(s []uint64) uint64 {
+		m := NewMISR(16)
+		for _, v := range s {
+			m.Clock(v)
+		}
+		return m.Signature()
+	}
+	if sig(stream) != sig(stream) {
+		t.Error("signature not deterministic")
+	}
+	mutated := append([]uint64(nil), stream...)
+	mutated[100] ^= 1
+	if sig(stream) == sig(mutated) {
+		t.Error("single-bit stream difference aliased")
+	}
+}
+
+// TestMISRLinearity: signatures are linear over GF(2): sig(a XOR b)
+// with zero start equals sig(a) XOR sig(b) (both from zero state).
+func TestMISRLinearity(t *testing.T) {
+	rng := prng.New(9)
+	a := make([]uint64, 64)
+	b := make([]uint64, 64)
+	x := make([]uint64, 64)
+	for i := range a {
+		a[i] = rng.Uint64() & 0xffff
+		b[i] = rng.Uint64() & 0xffff
+		x[i] = a[i] ^ b[i]
+	}
+	sig := func(s []uint64) uint64 {
+		m := NewMISR(16)
+		for _, v := range s {
+			m.Clock(v)
+		}
+		return m.Signature()
+	}
+	if sig(x) != sig(a)^sig(b) {
+		t.Error("MISR not linear over GF(2)")
+	}
+}
+
+// TestMISRClockWordMatchesSerial: the 64-pattern word interface must
+// equal per-pattern clocking.
+func TestMISRClockWordMatchesSerial(t *testing.T) {
+	rng := prng.New(3)
+	outs := make([]uint64, 10) // 10 circuit outputs, 64 patterns each
+	for i := range outs {
+		outs[i] = rng.Uint64()
+	}
+	a := NewMISR(16)
+	a.ClockWord(outs, 64)
+
+	b := NewMISR(16)
+	for j := 0; j < 64; j++ {
+		var vec uint64
+		for k, w := range outs {
+			vec |= (w >> uint(j) & 1) << uint(k)
+		}
+		b.Clock(vec)
+	}
+	if a.Signature() != b.Signature() {
+		t.Errorf("ClockWord %x != serial %x", a.Signature(), b.Signature())
+	}
+	// Partial batch: only the low `patterns` lanes count.
+	p := NewMISR(16)
+	p.ClockWord(outs, 10)
+	q := NewMISR(16)
+	for j := 0; j < 10; j++ {
+		var vec uint64
+		for k, w := range outs {
+			vec |= (w >> uint(j) & 1) << uint(k)
+		}
+		q.Clock(vec)
+	}
+	if p.Signature() != q.Signature() {
+		t.Error("partial ClockWord differs from serial")
+	}
+}
+
+// TestMISRAliasingRate: random stream pairs alias at roughly 2^-n; for
+// an 8-bit MISR over many trials the rate must be near 1/256.
+func TestMISRAliasingRate(t *testing.T) {
+	rng := prng.New(31)
+	const trials = 8000
+	alias := 0
+	for trial := 0; trial < trials; trial++ {
+		a := NewMISR(8)
+		b := NewMISR(8)
+		for k := 0; k < 20; k++ {
+			va := rng.Uint64() & 0xff
+			vb := rng.Uint64() & 0xff
+			a.Clock(va)
+			b.Clock(vb)
+		}
+		if a.Signature() == b.Signature() {
+			alias++
+		}
+	}
+	rate := float64(alias) / trials
+	if rate > 3.0/256 || rate < 0.05/256 {
+		t.Errorf("aliasing rate %v, expected near 1/256", rate)
+	}
+}

@@ -1,0 +1,182 @@
+package prng
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	a.Seed(42)
+	c := New(42)
+	if a.Uint64() != c.Uint64() {
+		t.Error("Seed did not reset the stream")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never drawn", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestWordExtremes(t *testing.T) {
+	r := New(5)
+	if w := r.Word(0); w != 0 {
+		t.Errorf("Word(0) = %x", w)
+	}
+	if w := r.Word(1); w != ^uint64(0) {
+		t.Errorf("Word(1) = %x", w)
+	}
+	if w := r.Word(-0.5); w != 0 {
+		t.Errorf("Word(-0.5) = %x", w)
+	}
+	if w := r.Word(1.5); w != ^uint64(0) {
+		t.Errorf("Word(1.5) = %x", w)
+	}
+}
+
+// TestWordBias: the fraction of ones in Word(p) must track p for a
+// spread of probabilities, including the hardware-style 1/16 grid.
+func TestWordBias(t *testing.T) {
+	r := New(99)
+	const words = 4000 // 256k bits per probe
+	for _, p := range []float64{0.05, 0.1, 1.0 / 16, 0.25, 0.5, 0.65, 0.9, 15.0 / 16} {
+		ones := 0
+		for i := 0; i < words; i++ {
+			ones += bits.OnesCount64(r.Word(p))
+		}
+		got := float64(ones) / (64 * words)
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Word(%v): one-density = %v", p, got)
+		}
+	}
+}
+
+// TestWordBitIndependence: adjacent bits from the two-per-call fast path
+// must be uncorrelated.
+func TestWordBitIndependence(t *testing.T) {
+	r := New(123)
+	const words = 20000
+	both, single := 0, 0
+	for i := 0; i < words; i++ {
+		w := r.Word(0.3)
+		for b := 0; b < 64; b += 2 {
+			lo := w>>uint(b)&1 == 1
+			hi := w>>uint(b+1)&1 == 1
+			if lo {
+				single++
+			}
+			if lo && hi {
+				both++
+			}
+		}
+	}
+	pLo := float64(single) / (32 * words)
+	pBoth := float64(both) / (32 * words)
+	// Under independence pBoth ≈ pLo * 0.3.
+	if math.Abs(pBoth-pLo*0.3) > 0.01 {
+		t.Errorf("adjacent-bit correlation: P(lo)=%v P(both)=%v", pLo, pBoth)
+	}
+}
+
+func TestWeightedWords(t *testing.T) {
+	r := New(8)
+	dst := make([]uint64, 3)
+	r.WeightedWords(dst, []float64{0, 1, 0.5})
+	if dst[0] != 0 || dst[1] != ^uint64(0) {
+		t.Errorf("WeightedWords = %x", dst)
+	}
+}
+
+func TestWeightedWordsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	New(1).WeightedWords(make([]uint64, 2), []float64{0.5})
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(77)
+	s := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split stream collides with parent %d times", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r SplitMix64
+	if r.Uint64() == r.Uint64() {
+		t.Error("zero-value generator does not advance")
+	}
+}

@@ -1,0 +1,121 @@
+package prob
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+)
+
+// Interval is a closed probability interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns the degenerate interval [p,p].
+func Point(p float64) Interval { return Interval{p, p} }
+
+// Contains reports whether p lies in the interval, within eps slack.
+func (iv Interval) Contains(p, eps float64) bool {
+	return p >= iv.Lo-eps && p <= iv.Hi+eps
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// CutBounds computes guaranteed lower and upper bounds on every gate's
+// signal probability using the cutting algorithm [BDS84]: every branch
+// of a multi-fanout stem is cut and replaced by the full interval [0,1],
+// which turns the network into a forest where interval propagation is
+// sound (each deterministic assignment of the cut lines is a corner of
+// the leaf box, and the propagated interval contains every corner value,
+// hence every mixture of them). Keeping one branch uncut would be
+// unsound: with o = a XOR a and P(a)=0.5 it would yield the degenerate
+// interval [0.5,0.5] although the true probability is 0. On fanout-free
+// circuits no cut is made and the bounds collapse to the exact
+// probabilities.
+func CutBounds(c *circuit.Circuit, weights []float64) []Interval {
+	if len(weights) != c.NumInputs() {
+		panic(fmt.Sprintf("prob: CutBounds: got %d weights, want %d", len(weights), c.NumInputs()))
+	}
+	iv := make([]Interval, c.NumGates())
+	for pos, g := range c.Inputs {
+		iv[g] = Point(weights[pos])
+	}
+	full := Interval{0, 1}
+	for _, g := range c.TopoOrder() {
+		gate := &c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		in := make([]Interval, len(gate.Fanin))
+		for pin, d := range gate.Fanin {
+			if c.FanoutCount(d) > 1 {
+				in[pin] = full
+			} else {
+				in[pin] = iv[d]
+			}
+		}
+		iv[g] = gateInterval(gate.Type, in)
+	}
+	return iv
+}
+
+func gateInterval(t circuit.GateType, in []Interval) Interval {
+	switch t {
+	case circuit.Buf:
+		return in[0]
+	case circuit.Not:
+		return Interval{1 - in[0].Hi, 1 - in[0].Lo}
+	case circuit.And, circuit.Nand:
+		lo, hi := 1.0, 1.0
+		for _, x := range in {
+			lo *= x.Lo
+			hi *= x.Hi
+		}
+		if t == circuit.Nand {
+			return Interval{1 - hi, 1 - lo}
+		}
+		return Interval{lo, hi}
+	case circuit.Or, circuit.Nor:
+		qlo, qhi := 1.0, 1.0 // probability all-zero, bounds
+		for _, x := range in {
+			qlo *= 1 - x.Hi
+			qhi *= 1 - x.Lo
+		}
+		if t == circuit.Nor {
+			return Interval{qlo, qhi}
+		}
+		return Interval{1 - qhi, 1 - qlo}
+	case circuit.Xor, circuit.Xnor:
+		// Fold pairwise; P(a⊕b) = a + b - 2ab is bilinear, so extrema
+		// over a box are attained at its corners.
+		acc := in[0]
+		for _, x := range in[1:] {
+			corners := [4]float64{
+				xor2(acc.Lo, x.Lo), xor2(acc.Lo, x.Hi),
+				xor2(acc.Hi, x.Lo), xor2(acc.Hi, x.Hi),
+			}
+			lo, hi := corners[0], corners[0]
+			for _, v := range corners[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			acc = Interval{lo, hi}
+		}
+		if t == circuit.Xnor {
+			return Interval{1 - acc.Hi, 1 - acc.Lo}
+		}
+		return acc
+	case circuit.Const0:
+		return Point(0)
+	case circuit.Const1:
+		return Point(1)
+	}
+	panic(fmt.Sprintf("prob: gateInterval: unexpected gate type %v", t))
+}
+
+func xor2(a, b float64) float64 { return a + b - 2*a*b }

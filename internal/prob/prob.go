@@ -1,0 +1,227 @@
+// Package prob computes signal probabilities of combinational networks:
+// the probability that each gate output is 1 when the primary inputs are
+// independent Bernoulli sources.
+//
+// Three computations are provided, mirroring the toolbox the paper's
+// introduction surveys:
+//
+//   - Signal: the fast estimator under the input-independence assumption
+//     (exact on fanout-free circuits; the approach of PROTEST/COP).
+//   - Exact: the Parker–McCluskey exact computation [McPa75] via BDD
+//     weighted model counting (exponential worst case).
+//   - CutBounds: the cutting algorithm's guaranteed lower/upper bounds
+//     [BDS84], obtained by cutting fanout branches and propagating
+//     intervals.
+package prob
+
+import (
+	"fmt"
+
+	"optirand/internal/bdd"
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+)
+
+// Signal computes per-gate signal probabilities under the independence
+// assumption, in topological order. weights[i] is P(input i = 1).
+// The result is exact when no gate's fanins share support (e.g. trees).
+func Signal(c *circuit.Circuit, weights []float64) []float64 {
+	p := make([]float64, c.NumGates())
+	SignalInto(c, weights, p)
+	return p
+}
+
+// SignalInto is Signal writing into a caller-provided slice to avoid
+// allocation in inner optimization loops.
+func SignalInto(c *circuit.Circuit, weights []float64, p []float64) {
+	if len(weights) != c.NumInputs() {
+		panic(fmt.Sprintf("prob: Signal: got %d weights, want %d", len(weights), c.NumInputs()))
+	}
+	if len(p) != c.NumGates() {
+		panic("prob: SignalInto: bad destination length")
+	}
+	for pos, g := range c.Inputs {
+		p[g] = weights[pos]
+	}
+	for _, g := range c.TopoOrder() {
+		gate := &c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		p[g] = GateProb(gate.Type, gate.Fanin, p)
+	}
+}
+
+// GateProb computes the output-1 probability of one gate from its fanin
+// probabilities under the independence assumption.
+func GateProb(t circuit.GateType, fanin []int, p []float64) float64 {
+	switch t {
+	case circuit.Buf:
+		return p[fanin[0]]
+	case circuit.Not:
+		return 1 - p[fanin[0]]
+	case circuit.And, circuit.Nand:
+		v := 1.0
+		for _, f := range fanin {
+			v *= p[f]
+		}
+		if t == circuit.Nand {
+			return 1 - v
+		}
+		return v
+	case circuit.Or, circuit.Nor:
+		v := 1.0
+		for _, f := range fanin {
+			v *= 1 - p[f]
+		}
+		if t == circuit.Nor {
+			return v
+		}
+		return 1 - v
+	case circuit.Xor, circuit.Xnor:
+		// Parity probability folds pairwise: P(a⊕b) = a(1-b)+b(1-a).
+		v := 0.0
+		first := true
+		for _, f := range fanin {
+			if first {
+				v = p[f]
+				first = false
+				continue
+			}
+			v = v*(1-p[f]) + p[f]*(1-v)
+		}
+		if t == circuit.Xnor {
+			return 1 - v
+		}
+		return v
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return 1
+	}
+	panic(fmt.Sprintf("prob: GateProb: unexpected gate type %v", t))
+}
+
+// Exact computes the exact per-gate signal probabilities by building
+// BDDs over the primary inputs (Parker–McCluskey). Worst-case
+// exponential; intended for validation and small circuits.
+func Exact(c *circuit.Circuit, weights []float64) []float64 {
+	m := bdd.NewManager(c.NumInputs())
+	refs := bdd.FromCircuit(m, c)
+	p := make([]float64, c.NumGates())
+	for g, r := range refs {
+		p[g] = m.Prob(r, weights)
+	}
+	return p
+}
+
+// ExactDetectProb computes the exact detection probability of fault f:
+// the probability that at least one primary output of the faulty
+// machine differs from the good machine, under independent inputs with
+// the given weights. Implemented as BDD weighted counting of
+// OR_o(good_o XOR faulty_o).
+func ExactDetectProb(c *circuit.Circuit, f fault.Fault, weights []float64) float64 {
+	m := bdd.NewManager(c.NumInputs())
+	good := bdd.FromCircuit(m, c)
+	bad := faultyRefs(m, c, f, good)
+	diff := bdd.False
+	for _, o := range c.Outputs {
+		diff = m.Or(diff, m.Xor(good[o], bad[o]))
+	}
+	return m.Prob(diff, weights)
+}
+
+// ExactDetectProbs computes ExactDetectProb for a list of faults sharing
+// one manager (cheaper: the good-machine BDDs are reused).
+func ExactDetectProbs(c *circuit.Circuit, faults []fault.Fault, weights []float64) []float64 {
+	m := bdd.NewManager(c.NumInputs())
+	good := bdd.FromCircuit(m, c)
+	out := make([]float64, len(faults))
+	for i, f := range faults {
+		bad := faultyRefs(m, c, f, good)
+		diff := bdd.False
+		for _, o := range c.Outputs {
+			diff = m.Or(diff, m.Xor(good[o], bad[o]))
+		}
+		out[i] = m.Prob(diff, weights)
+	}
+	return out
+}
+
+// faultyRefs rebuilds gate BDDs with fault f injected, reusing good refs
+// outside the fault's forward cone.
+func faultyRefs(m *bdd.Manager, c *circuit.Circuit, f fault.Fault, good []bdd.Ref) []bdd.Ref {
+	bad := make([]bdd.Ref, len(good))
+	copy(bad, good)
+	forcedRef := m.Const(f.Stuck == 1)
+
+	inCone := make(map[int]bool)
+	var coneRoot int
+	if f.IsStem() {
+		coneRoot = f.Gate
+	} else {
+		coneRoot = f.Gate // effect starts at the gate reading the branch
+	}
+	for _, g := range c.ForwardCone(coneRoot) {
+		inCone[g] = true
+	}
+
+	if f.IsStem() {
+		bad[f.Gate] = forcedRef
+	}
+	for _, g := range c.TopoOrder() {
+		if !inCone[g] {
+			continue
+		}
+		if f.IsStem() && g == f.Gate {
+			continue // already forced
+		}
+		gate := &c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		in := func(pin int) bdd.Ref {
+			if !f.IsStem() && g == f.Gate && pin == f.Pin {
+				return forcedRef
+			}
+			return bad[gate.Fanin[pin]]
+		}
+		var r bdd.Ref
+		switch gate.Type {
+		case circuit.Buf:
+			r = in(0)
+		case circuit.Not:
+			r = m.Not(in(0))
+		case circuit.And, circuit.Nand:
+			r = bdd.True
+			for pin := range gate.Fanin {
+				r = m.And(r, in(pin))
+			}
+			if gate.Type == circuit.Nand {
+				r = m.Not(r)
+			}
+		case circuit.Or, circuit.Nor:
+			r = bdd.False
+			for pin := range gate.Fanin {
+				r = m.Or(r, in(pin))
+			}
+			if gate.Type == circuit.Nor {
+				r = m.Not(r)
+			}
+		case circuit.Xor, circuit.Xnor:
+			r = bdd.False
+			for pin := range gate.Fanin {
+				r = m.Xor(r, in(pin))
+			}
+			if gate.Type == circuit.Xnor {
+				r = m.Not(r)
+			}
+		case circuit.Const0:
+			r = bdd.False
+		case circuit.Const1:
+			r = bdd.True
+		}
+		bad[g] = r
+	}
+	return bad
+}

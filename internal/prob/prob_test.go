@@ -1,0 +1,278 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+	"optirand/internal/sim"
+)
+
+func treeCircuit() *circuit.Circuit {
+	// Fanout-free: COP and cutting bounds must both be exact here.
+	b := circuit.NewBuilder("tree")
+	in := b.Inputs("x", 6)
+	g1 := b.And("g1", in[0], in[1])
+	g2 := b.Or("g2", in[2], in[3])
+	g3 := b.Xor("g3", in[4], in[5])
+	g4 := b.Nand("g4", g1, g2)
+	g5 := b.Xnor("g5", g4, g3)
+	b.Output("o", g5)
+	return b.MustBuild()
+}
+
+func reconvergent() *circuit.Circuit {
+	b := circuit.NewBuilder("recon")
+	a := b.Input("a")
+	x := b.Input("b")
+	n := b.Not("n", a)
+	g1 := b.And("g1", n, x)
+	g2 := b.Or("g2", n, x)
+	o := b.And("o", g1, g2) // reconverges at o
+	b.Output("o", o)
+	return b.MustBuild()
+}
+
+func TestSignalExactOnTree(t *testing.T) {
+	c := treeCircuit()
+	w := []float64{0.1, 0.9, 0.3, 0.5, 0.75, 0.2}
+	cop := Signal(c, w)
+	exact := Exact(c, w)
+	for g := range cop {
+		if math.Abs(cop[g]-exact[g]) > 1e-12 {
+			t.Errorf("gate %d: COP=%v exact=%v (tree must be exact)", g, cop[g], exact[g])
+		}
+	}
+}
+
+func TestSignalKnownValues(t *testing.T) {
+	b := circuit.NewBuilder("known")
+	in := b.Inputs("x", 3)
+	and := b.And("and", in[0], in[1], in[2])
+	or := b.Or("or", in[0], in[1], in[2])
+	xor := b.Xor("xor", in[0], in[1], in[2])
+	b.Output("a", and)
+	b.Output("o", or)
+	b.Output("x", xor)
+	c := b.MustBuild()
+	w := []float64{0.5, 0.5, 0.5}
+	p := Signal(c, w)
+	if math.Abs(p[and]-0.125) > 1e-12 {
+		t.Errorf("P(and3) = %v, want 0.125", p[and])
+	}
+	if math.Abs(p[or]-0.875) > 1e-12 {
+		t.Errorf("P(or3) = %v, want 0.875", p[or])
+	}
+	if math.Abs(p[xor]-0.5) > 1e-12 {
+		t.Errorf("P(xor3) = %v, want 0.5", p[xor])
+	}
+}
+
+// TestExactMatchesMonteCarlo: exact signal probabilities agree with
+// simulation-based frequencies on a reconvergent circuit (where COP is
+// allowed to be wrong, but Exact is not).
+func TestExactMatchesMonteCarlo(t *testing.T) {
+	c := reconvergent()
+	w := []float64{0.3, 0.7}
+	exact := Exact(c, w)
+	s := sim.NewSimulator(c)
+	rng := prng.New(17)
+	words := make([]uint64, 2)
+	const batches = 3000
+	ones := make([]int, c.NumGates())
+	for k := 0; k < batches; k++ {
+		rng.WeightedWords(words, w)
+		s.SetInputs(words)
+		s.Run()
+		for g := 0; g < c.NumGates(); g++ {
+			ones[g] += onesCount(s.Value(g))
+		}
+	}
+	for g := 0; g < c.NumGates(); g++ {
+		freq := float64(ones[g]) / (64 * batches)
+		if math.Abs(freq-exact[g]) > 0.01 {
+			t.Errorf("gate %d: exact=%v simulated=%v", g, exact[g], freq)
+		}
+	}
+}
+
+func onesCount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+// TestCOPBiasOnReconvergence documents the known COP limitation: on the
+// reconvergent example, o = (!a&b)|(... ) actually equals b XOR' ...;
+// here o = AND(g1,g2) where g1=n&b, g2=n|b; true function is n&b = g1.
+// COP multiplies correlated terms and underestimates.
+func TestCOPBiasOnReconvergence(t *testing.T) {
+	c := reconvergent()
+	w := []float64{0.5, 0.5}
+	cop := Signal(c, w)
+	exact := Exact(c, w)
+	o := c.Outputs[0]
+	if math.Abs(cop[o]-exact[o]) < 1e-9 {
+		t.Errorf("expected COP bias on reconvergent circuit, got none (both %v)", cop[o])
+	}
+	// exact: P(n&b) = P(a=0)*P(b=1) = 0.25
+	if math.Abs(exact[o]-0.25) > 1e-12 {
+		t.Errorf("exact = %v, want 0.25", exact[o])
+	}
+}
+
+// TestCutBoundsContainExact: the cutting algorithm's intervals must
+// always contain the exact probability, on random circuits with random
+// weights.
+func TestCutBoundsContainExact(t *testing.T) {
+	rng := prng.New(33)
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 5, 18)
+		w := make([]float64, c.NumInputs())
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		exact := Exact(c, w)
+		bounds := CutBounds(c, w)
+		for g := 0; g < c.NumGates(); g++ {
+			if !bounds[g].Contains(exact[g], 1e-9) {
+				t.Fatalf("trial %d gate %d: exact %v outside bounds [%v,%v]",
+					trial, g, exact[g], bounds[g].Lo, bounds[g].Hi)
+			}
+		}
+	}
+}
+
+// TestCutBoundsExactOnTree: with no fanout, no cut is made, so the
+// intervals are points equal to the exact probabilities.
+func TestCutBoundsExactOnTree(t *testing.T) {
+	c := treeCircuit()
+	w := []float64{0.1, 0.9, 0.3, 0.5, 0.75, 0.2}
+	exact := Exact(c, w)
+	bounds := CutBounds(c, w)
+	for g := 0; g < c.NumGates(); g++ {
+		if bounds[g].Width() > 1e-12 {
+			t.Errorf("gate %d: non-degenerate interval on a tree: %+v", g, bounds[g])
+		}
+		if math.Abs(bounds[g].Lo-exact[g]) > 1e-12 {
+			t.Errorf("gate %d: point %v != exact %v", g, bounds[g].Lo, exact[g])
+		}
+	}
+}
+
+func randomCircuit(rng *prng.SplitMix64, nIn, nGates int) *circuit.Circuit {
+	b := circuit.NewBuilder("rand")
+	ids := b.Inputs("x", nIn)
+	types := []circuit.GateType{circuit.And, circuit.Nand, circuit.Or,
+		circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not}
+	for i := 0; i < nGates; i++ {
+		ty := types[rng.Intn(len(types))]
+		if ty == circuit.Not {
+			ids = append(ids, b.Add(ty, "", ids[rng.Intn(len(ids))]))
+			continue
+		}
+		k := 2 + rng.Intn(2)
+		fan := make([]int, k)
+		for j := range fan {
+			fan[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, b.Add(ty, "", fan...))
+	}
+	b.Output("", ids[len(ids)-1])
+	b.Output("", ids[len(ids)-2])
+	return b.MustBuild()
+}
+
+// TestExactDetectProbMatchesEnumeration validates the BDD-based fault
+// detection probability against exhaustive scalar simulation.
+func TestExactDetectProbMatchesEnumeration(t *testing.T) {
+	rng := prng.New(44)
+	for trial := 0; trial < 8; trial++ {
+		c := randomCircuit(rng, 5, 12)
+		u := fault.New(c)
+		w := make([]float64, c.NumInputs())
+		for i := range w {
+			w[i] = 0.2 + 0.6*rng.Float64()
+		}
+		want := sim.ExactDetectProbs(c, u.Reps, w)
+		for i, f := range u.Reps {
+			got := ExactDetectProb(c, f, w)
+			if math.Abs(got-want[i]) > 1e-9 {
+				t.Fatalf("trial %d fault %v: bdd=%v enum=%v", trial, f.Describe(c), got, want[i])
+			}
+		}
+	}
+}
+
+// TestExactMultilinearity: the true signal probability is affine in
+// each single input weight (Shannon expansion; Lemma 1 of the paper),
+// even on reconvergent circuits.
+func TestExactMultilinearity(t *testing.T) {
+	c := reconvergent()
+	f := func(w1raw uint16, yraw uint16) bool {
+		w1 := float64(w1raw) / 65535
+		y := float64(yraw) / 65535
+		o := c.Outputs[0]
+		p0 := Exact(c, []float64{0, w1})[o]
+		p1 := Exact(c, []float64{1, w1})[o]
+		py := Exact(c, []float64{y, w1})[o]
+		return math.Abs(py-(p0+y*(p1-p0))) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSignalMultilinearOnTree: on fanout-free circuits the COP
+// estimator coincides with the exact probability and is therefore
+// affine in each weight. (On reconvergent circuits COP is NOT
+// multilinear — an input with fanout > 1 enters the product formula
+// more than once. The optimizer's PREPARE/MINIMIZE steps use the
+// affine model of the paper regardless; the outer re-ANALYSIS absorbs
+// the resulting error, exactly as in PROTEST.)
+func TestSignalMultilinearOnTree(t *testing.T) {
+	c := treeCircuit()
+	base := []float64{0.1, 0.9, 0.3, 0.5, 0.75, 0.2}
+	o := c.Outputs[0]
+	for i := range base {
+		w := append([]float64(nil), base...)
+		w[i] = 0
+		p0 := Signal(c, w)[o]
+		w[i] = 1
+		p1 := Signal(c, w)[o]
+		for _, y := range []float64{0.12, 0.4, 0.77} {
+			w[i] = y
+			py := Signal(c, w)[o]
+			if math.Abs(py-(p0+y*(p1-p0))) > 1e-12 {
+				t.Errorf("input %d not affine at y=%v", i, y)
+			}
+		}
+	}
+}
+
+func TestGateProbConstAndBuf(t *testing.T) {
+	b := circuit.NewBuilder("cb")
+	a := b.Input("a")
+	z := b.Const0("z")
+	o := b.Const1("o")
+	bf := b.Buf("bf", a)
+	g := b.Or("g", z, o, bf)
+	b.Output("out", g)
+	c := b.MustBuild()
+	p := Signal(c, []float64{0.37})
+	if p[z] != 0 || p[o] != 1 {
+		t.Errorf("const probs: %v %v", p[z], p[o])
+	}
+	if p[bf] != 0.37 {
+		t.Errorf("buf prob = %v", p[bf])
+	}
+	if p[g] != 1 {
+		t.Errorf("or with const1 = %v, want 1", p[g])
+	}
+}

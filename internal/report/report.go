@@ -1,0 +1,118 @@
+// Package report renders the experiment harness's output: fixed-width
+// text tables in the style of the paper's Tables 1–5, with scientific
+// notation matching the paper's "5.6*10^8" convention.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends one row; the cell count must match the column count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := strings.Repeat("-", total)
+	fmt.Fprintln(w, line)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, line)
+	for _, row := range t.rows {
+		for i, cell := range row {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, line)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Sci formats a value in the paper's scientific style: "5.6*10^8".
+// Non-finite values render as "inf"/"-"; values below 10 are printed
+// plainly.
+func Sci(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsNaN(v) || v < 0:
+		return "-"
+	case v == 0:
+		return "0"
+	case v < 10:
+		return fmt.Sprintf("%.2g", v)
+	}
+	exp := math.Floor(math.Log10(v))
+	mant := v / math.Pow(10, exp)
+	if mant >= 9.95 { // rounding pushed the mantissa to 10.x
+		mant = 1
+		exp++
+	}
+	return fmt.Sprintf("%.1f*10^%d", mant, int(exp))
+}
+
+// Pct formats a fraction as a percentage with one decimal, e.g. "99.7 %".
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.1f %%", 100*frac)
+}
+
+// Count formats an integer with thousands separators, matching the
+// paper's "12,000" style.
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, ",")
+}

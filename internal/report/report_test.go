@@ -1,0 +1,75 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "A", "Bee")
+	tb.Add("1", "two")
+	tb.Add("three", "4")
+	out := tb.String()
+	for _, want := range []string{"Demo", "A", "Bee", "three", "two"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + rule + header + rule + 2 rows + rule.
+	if len(lines) != 7 {
+		t.Errorf("got %d lines, want 7:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCellCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong cell count did not panic")
+		}
+	}()
+	NewTable("x", "a", "b").Add("only-one")
+}
+
+func TestSci(t *testing.T) {
+	cases := map[float64]string{
+		5.6e8:         "5.6*10^8",
+		2.0e11:        "2.0*10^11",
+		1.9e3:         "1.9*10^3",
+		0:             "0",
+		3.5:           "3.5",
+		math.Inf(1):   "inf",
+		9.99e7:        "1.0*10^8", // mantissa rounds up to the next decade
+		-1:            "-",
+		math.NaN():    "-",
+		12000:         "1.2*10^4",
+		999999.999999: "1.0*10^6",
+	}
+	for in, want := range cases {
+		if got := Sci(in); got != want {
+			t.Errorf("Sci(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.807); got != "80.7 %" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1); got != "100.0 %" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 7: "7", 999: "999", 1000: "1,000",
+		12000: "12,000", 1234567: "1,234,567",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

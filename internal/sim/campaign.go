@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"math/bits"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+)
+
+// CoveragePoint is one sample of a fault-coverage curve.
+type CoveragePoint struct {
+	Patterns int
+	Detected int
+	Coverage float64 // Detected / TotalFaults
+}
+
+// CampaignResult reports a random-test fault-simulation campaign.
+type CampaignResult struct {
+	TotalFaults int
+	Detected    int
+	Patterns    int
+	// FirstDetected[i] is the 1-based pattern count at which fault i of
+	// the campaign's fault list was first detected, or 0 if never.
+	FirstDetected []int
+	// Curve samples coverage after each 64-pattern batch boundary
+	// requested via curveStep (always includes the final point).
+	Curve []CoveragePoint
+}
+
+// Coverage returns the final fault coverage in [0,1].
+func (r *CampaignResult) Coverage() float64 {
+	if r.TotalFaults == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.TotalFaults)
+}
+
+// RunCampaign simulates nPatterns weighted random patterns against the
+// fault list and reports coverage. weights[i] is the probability that
+// primary input i is 1 in each pattern; seed makes the run reproducible.
+// Detected faults are dropped from further simulation. curveStep > 0
+// requests a coverage sample roughly every curveStep patterns (rounded
+// up to 64-pattern batches); curveStep == 0 records only the final
+// point.
+func RunCampaign(c *circuit.Circuit, faults []fault.Fault, weights []float64,
+	nPatterns int, seed uint64, curveStep int) *CampaignResult {
+
+	res := &CampaignResult{
+		TotalFaults:   len(faults),
+		Patterns:      nPatterns,
+		FirstDetected: make([]int, len(faults)),
+	}
+	if nPatterns <= 0 || len(faults) == 0 {
+		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
+		return res
+	}
+
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	rng := prng.New(seed)
+	words := make([]uint64, c.NumInputs())
+
+	alive := make([]int, len(faults)) // indices into faults
+	for i := range alive {
+		alive[i] = i
+	}
+
+	nextSample := curveStep
+	applied := 0
+	for applied < nPatterns && len(alive) > 0 {
+		batch := 64
+		if rem := nPatterns - applied; rem < batch {
+			batch = rem
+		}
+		batchMask := ^uint64(0)
+		if batch < 64 {
+			batchMask = (uint64(1) << uint(batch)) - 1
+		}
+		rng.WeightedWords(words, weights)
+		s.SetInputs(words)
+		s.Run()
+
+		kept := alive[:0]
+		for _, fi := range alive {
+			det := fs.DetectWord(faults[fi]) & batchMask
+			if det == 0 {
+				kept = append(kept, fi)
+				continue
+			}
+			first := bits.TrailingZeros64(det)
+			res.FirstDetected[fi] = applied + first + 1
+			res.Detected++
+		}
+		alive = kept
+		applied += batch
+
+		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
+			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
+			for nextSample <= applied {
+				nextSample += curveStep
+			}
+		}
+	}
+	if applied < nPatterns {
+		applied = nPatterns // all faults detected early; remaining patterns are free
+	}
+	last := CoveragePoint{applied, res.Detected, res.Coverage()}
+	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
+		res.Curve = append(res.Curve, last)
+	}
+	res.Patterns = applied
+	return res
+}
+
+// RunCampaignSource is RunCampaign with an external pattern source:
+// next is called once per 64-pattern batch and must fill one word per
+// primary input. It serves hardware-model sources (weighted LFSRs) and
+// replayed pattern sets.
+func RunCampaignSource(c *circuit.Circuit, faults []fault.Fault, next func(dst []uint64),
+	nPatterns int, curveStep int) *CampaignResult {
+
+	res := &CampaignResult{
+		TotalFaults:   len(faults),
+		Patterns:      nPatterns,
+		FirstDetected: make([]int, len(faults)),
+	}
+	if nPatterns <= 0 || len(faults) == 0 {
+		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
+		return res
+	}
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	words := make([]uint64, c.NumInputs())
+	alive := make([]int, len(faults))
+	for i := range alive {
+		alive[i] = i
+	}
+	nextSample := curveStep
+	applied := 0
+	for applied < nPatterns && len(alive) > 0 {
+		batch := 64
+		if rem := nPatterns - applied; rem < batch {
+			batch = rem
+		}
+		batchMask := ^uint64(0)
+		if batch < 64 {
+			batchMask = (uint64(1) << uint(batch)) - 1
+		}
+		next(words)
+		s.SetInputs(words)
+		s.Run()
+		kept := alive[:0]
+		for _, fi := range alive {
+			det := fs.DetectWord(faults[fi]) & batchMask
+			if det == 0 {
+				kept = append(kept, fi)
+				continue
+			}
+			res.FirstDetected[fi] = applied + bits.TrailingZeros64(det) + 1
+			res.Detected++
+		}
+		alive = kept
+		applied += batch
+		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
+			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
+			for nextSample <= applied {
+				nextSample += curveStep
+			}
+		}
+	}
+	if applied < nPatterns {
+		applied = nPatterns
+	}
+	last := CoveragePoint{applied, res.Detected, res.Coverage()}
+	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
+		res.Curve = append(res.Curve, last)
+	}
+	res.Patterns = applied
+	return res
+}
+
+// RunCampaignMixture is RunCampaign drawing each 64-pattern batch from
+// the weight sets in rotation — the application mode of the paper §5.3
+// extension where a partitioned fault set gets one distribution per
+// part. weightSets must be non-empty and each set must cover all
+// primary inputs.
+func RunCampaignMixture(c *circuit.Circuit, faults []fault.Fault, weightSets [][]float64,
+	nPatterns int, seed uint64, curveStep int) *CampaignResult {
+
+	if len(weightSets) == 0 {
+		panic("sim: RunCampaignMixture: no weight sets")
+	}
+	if len(weightSets) == 1 {
+		return RunCampaign(c, faults, weightSets[0], nPatterns, seed, curveStep)
+	}
+	res := &CampaignResult{
+		TotalFaults:   len(faults),
+		Patterns:      nPatterns,
+		FirstDetected: make([]int, len(faults)),
+	}
+	if nPatterns <= 0 || len(faults) == 0 {
+		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
+		return res
+	}
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	rng := prng.New(seed)
+	words := make([]uint64, c.NumInputs())
+	alive := make([]int, len(faults))
+	for i := range alive {
+		alive[i] = i
+	}
+	nextSample := curveStep
+	applied := 0
+	for batchNo := 0; applied < nPatterns && len(alive) > 0; batchNo++ {
+		batch := 64
+		if rem := nPatterns - applied; rem < batch {
+			batch = rem
+		}
+		batchMask := ^uint64(0)
+		if batch < 64 {
+			batchMask = (uint64(1) << uint(batch)) - 1
+		}
+		rng.WeightedWords(words, weightSets[batchNo%len(weightSets)])
+		s.SetInputs(words)
+		s.Run()
+		kept := alive[:0]
+		for _, fi := range alive {
+			det := fs.DetectWord(faults[fi]) & batchMask
+			if det == 0 {
+				kept = append(kept, fi)
+				continue
+			}
+			res.FirstDetected[fi] = applied + bits.TrailingZeros64(det) + 1
+			res.Detected++
+		}
+		alive = kept
+		applied += batch
+		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
+			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
+			for nextSample <= applied {
+				nextSample += curveStep
+			}
+		}
+	}
+	if applied < nPatterns {
+		applied = nPatterns
+	}
+	last := CoveragePoint{applied, res.Detected, res.Coverage()}
+	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
+		res.Curve = append(res.Curve, last)
+	}
+	res.Patterns = applied
+	return res
+}
+
+// EstimateDetectProbs estimates the detection probability of each fault
+// by Monte-Carlo simulation of `words` 64-pattern batches (64*words
+// patterns total) with the given input weights. No fault dropping: every
+// fault sees every pattern. This is the sampling cross-check for the
+// analytic estimator in internal/testability; it is only meaningful for
+// probabilities well above 1/(64*words).
+func EstimateDetectProbs(c *circuit.Circuit, faults []fault.Fault, weights []float64,
+	words int, seed uint64) []float64 {
+
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	rng := prng.New(seed)
+	in := make([]uint64, c.NumInputs())
+	count := make([]int, len(faults))
+
+	for w := 0; w < words; w++ {
+		rng.WeightedWords(in, weights)
+		s.SetInputs(in)
+		s.Run()
+		for i, f := range faults {
+			count[i] += bits.OnesCount64(fs.DetectWord(f))
+		}
+	}
+	probs := make([]float64, len(faults))
+	total := float64(64 * words)
+	for i, n := range count {
+		probs[i] = float64(n) / total
+	}
+	return probs
+}
+
+// ExactDetectProbs computes detection probabilities by exhaustive
+// enumeration of all 2^n input patterns under the product distribution
+// given by weights. Only usable for small n (it refuses n > 24). It is
+// the ground truth for estimator tests.
+func ExactDetectProbs(c *circuit.Circuit, faults []fault.Fault, weights []float64) []float64 {
+	n := c.NumInputs()
+	if n > 24 {
+		panic("sim: ExactDetectProbs: too many inputs for enumeration")
+	}
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	probs := make([]float64, len(faults))
+	in := make([]uint64, n)
+
+	total := 1 << uint(n)
+	// Enumerate patterns in batches of 64 using the low 6 bits as the
+	// in-word pattern index.
+	for base := 0; base < total; base += 64 {
+		batch := total - base
+		if batch > 64 {
+			batch = 64
+		}
+		for i := 0; i < n; i++ {
+			var w uint64
+			for k := 0; k < batch; k++ {
+				v := base + k
+				if v>>uint(i)&1 == 1 {
+					w |= 1 << uint(k)
+				}
+			}
+			in[i] = w
+		}
+		s.SetInputs(in)
+		s.Run()
+		for fi, f := range faults {
+			det := fs.DetectWord(f)
+			for k := 0; k < batch; k++ {
+				if det>>uint(k)&1 == 0 {
+					continue
+				}
+				v := base + k
+				pr := 1.0
+				for i := 0; i < n; i++ {
+					if v>>uint(i)&1 == 1 {
+						pr *= weights[i]
+					} else {
+						pr *= 1 - weights[i]
+					}
+				}
+				probs[fi] += pr
+			}
+		}
+	}
+	return probs
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+)
+
+// EvalOutputsWithFault is the scalar reference semantics of a faulty
+// machine: it evaluates the circuit for one input assignment with fault
+// f injected, returning the primary output values. It is deliberately
+// simple (full re-evaluation) and is used as ground truth in tests of
+// the event-driven fault simulator and of probability estimators.
+func EvalOutputsWithFault(c *circuit.Circuit, f fault.Fault, inputs []bool) []bool {
+	val := make([]bool, c.NumGates())
+	for pos, g := range c.Inputs {
+		val[g] = inputs[pos]
+	}
+	forced := f.Stuck == 1
+	scratch := make([]bool, 0, 8)
+	for _, g := range c.TopoOrder() {
+		gate := &c.Gates[g]
+		if gate.Type != circuit.Input {
+			scratch = scratch[:0]
+			for pin, d := range gate.Fanin {
+				v := val[d]
+				if !f.IsStem() && f.Gate == g && f.Pin == pin {
+					v = forced
+				}
+				scratch = append(scratch, v)
+			}
+			val[g] = circuit.EvalGate(gate.Type, scratch)
+		}
+		if f.IsStem() && f.Gate == g {
+			val[g] = forced
+		}
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, g := range c.Outputs {
+		out[i] = val[g]
+	}
+	return out
+}
+
+// DetectsScalar reports whether the input assignment detects fault f,
+// using the scalar reference machines.
+func DetectsScalar(c *circuit.Circuit, f fault.Fault, inputs []bool) bool {
+	good := c.EvalOutputs(inputs)
+	bad := EvalOutputsWithFault(c, f, inputs)
+	for i := range good {
+		if good[i] != bad[i] {
+			return true
+		}
+	}
+	return false
+}

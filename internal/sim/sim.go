@@ -1,0 +1,283 @@
+// Package sim provides 64-way bit-parallel logic simulation and
+// event-driven stuck-at fault simulation (parallel-pattern single-fault
+// propagation, PPSF, with fault dropping).
+//
+// One simulator word carries 64 independent input patterns; bit k of
+// every signal word belongs to pattern k. The fault simulator reuses the
+// good-machine values and propagates only the difference cone of each
+// fault, which keeps per-fault cost proportional to the disturbed region
+// rather than the whole circuit.
+package sim
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+)
+
+// Simulator evaluates the fault-free ("good") machine for 64 patterns at
+// a time.
+type Simulator struct {
+	c   *circuit.Circuit
+	val []uint64
+}
+
+// NewSimulator returns a simulator for c with all values zero.
+func NewSimulator(c *circuit.Circuit) *Simulator {
+	return &Simulator{c: c, val: make([]uint64, c.NumGates())}
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// SetInputWord assigns the 64-pattern word of the primary input at
+// position pos (index into Circuit().Inputs).
+func (s *Simulator) SetInputWord(pos int, w uint64) {
+	s.val[s.c.Inputs[pos]] = w
+}
+
+// SetInputs assigns all primary input words. len(words) must equal the
+// number of primary inputs.
+func (s *Simulator) SetInputs(words []uint64) {
+	if len(words) != len(s.c.Inputs) {
+		panic(fmt.Sprintf("sim: SetInputs: got %d words, want %d", len(words), len(s.c.Inputs)))
+	}
+	for pos, w := range words {
+		s.val[s.c.Inputs[pos]] = w
+	}
+}
+
+// Run evaluates every gate in topological order.
+func (s *Simulator) Run() {
+	for _, g := range s.c.TopoOrder() {
+		gate := &s.c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		s.val[g] = evalWord(gate.Type, gate.Fanin, s.val)
+	}
+}
+
+// Value returns the 64-pattern word currently on gate g's output.
+func (s *Simulator) Value(g int) uint64 { return s.val[g] }
+
+// OutputWord returns the word of the i-th primary output.
+func (s *Simulator) OutputWord(i int) uint64 { return s.val[s.c.Outputs[i]] }
+
+// evalWord computes a gate function over 64 patterns. fanin values are
+// read from val.
+func evalWord(t circuit.GateType, fanin []int, val []uint64) uint64 {
+	switch t {
+	case circuit.Buf:
+		return val[fanin[0]]
+	case circuit.Not:
+		return ^val[fanin[0]]
+	case circuit.And, circuit.Nand:
+		w := ^uint64(0)
+		for _, f := range fanin {
+			w &= val[f]
+		}
+		if t == circuit.Nand {
+			return ^w
+		}
+		return w
+	case circuit.Or, circuit.Nor:
+		var w uint64
+		for _, f := range fanin {
+			w |= val[f]
+		}
+		if t == circuit.Nor {
+			return ^w
+		}
+		return w
+	case circuit.Xor, circuit.Xnor:
+		var w uint64
+		for _, f := range fanin {
+			w ^= val[f]
+		}
+		if t == circuit.Xnor {
+			return ^w
+		}
+		return w
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return ^uint64(0)
+	}
+	panic(fmt.Sprintf("sim: evalWord: unexpected gate type %v", t))
+}
+
+// FaultSimulator propagates single stuck-at faults against the current
+// good-machine state of an embedded Simulator.
+type FaultSimulator struct {
+	sim *Simulator
+	c   *circuit.Circuit
+
+	fval    []uint64 // faulty value per gate, valid iff fEpoch == epoch
+	fEpoch  []uint32
+	qEpoch  []uint32 // queued-this-round marker
+	epoch   uint32
+	buckets [][]int // worklist bucketed by level
+	touched []int   // gates whose faulty value differs this round
+}
+
+// NewFaultSimulator wraps a good-machine simulator. The caller drives
+// the good machine (SetInputs + Run) and then queries DetectWord per
+// fault for the same 64 patterns.
+func NewFaultSimulator(s *Simulator) *FaultSimulator {
+	c := s.Circuit()
+	return &FaultSimulator{
+		sim:     s,
+		c:       c,
+		fval:    make([]uint64, c.NumGates()),
+		fEpoch:  make([]uint32, c.NumGates()),
+		qEpoch:  make([]uint32, c.NumGates()),
+		buckets: make([][]int, c.Depth()+1),
+	}
+}
+
+// Good returns the embedded good-machine simulator.
+func (fs *FaultSimulator) Good() *Simulator { return fs.sim }
+
+func (fs *FaultSimulator) value(g int) uint64 {
+	if fs.fEpoch[g] == fs.epoch {
+		return fs.fval[g]
+	}
+	return fs.sim.val[g]
+}
+
+func (fs *FaultSimulator) enqueue(g int) {
+	if fs.qEpoch[g] != fs.epoch {
+		fs.qEpoch[g] = fs.epoch
+		lvl := fs.c.Level(g)
+		fs.buckets[lvl] = append(fs.buckets[lvl], g)
+	}
+}
+
+func (fs *FaultSimulator) setFaulty(g int, w uint64) {
+	if fs.fEpoch[g] != fs.epoch {
+		fs.fEpoch[g] = fs.epoch
+		fs.touched = append(fs.touched, g)
+	}
+	fs.fval[g] = w
+}
+
+// evalFaulty computes gate g's output in the faulty machine, with input
+// pin forcePin (if >= 0) forced to forceVal.
+func (fs *FaultSimulator) evalFaulty(g int, forcePin int, forceVal uint64) uint64 {
+	gate := &fs.c.Gates[g]
+	in := func(pin int) uint64 {
+		if pin == forcePin {
+			return forceVal
+		}
+		return fs.value(gate.Fanin[pin])
+	}
+	switch gate.Type {
+	case circuit.Buf:
+		return in(0)
+	case circuit.Not:
+		return ^in(0)
+	case circuit.And, circuit.Nand:
+		w := ^uint64(0)
+		for pin := range gate.Fanin {
+			w &= in(pin)
+		}
+		if gate.Type == circuit.Nand {
+			return ^w
+		}
+		return w
+	case circuit.Or, circuit.Nor:
+		var w uint64
+		for pin := range gate.Fanin {
+			w |= in(pin)
+		}
+		if gate.Type == circuit.Nor {
+			return ^w
+		}
+		return w
+	case circuit.Xor, circuit.Xnor:
+		var w uint64
+		for pin := range gate.Fanin {
+			w ^= in(pin)
+		}
+		if gate.Type == circuit.Xnor {
+			return ^w
+		}
+		return w
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return ^uint64(0)
+	case circuit.Input:
+		return fs.sim.val[g] // inputs hold their applied word
+	}
+	panic(fmt.Sprintf("sim: evalFaulty: unexpected gate type %v", gate.Type))
+}
+
+// DetectWord returns the mask of patterns (bits) in the current 64-slot
+// batch that detect fault f: patterns where at least one primary output
+// differs between good and faulty machine. The good machine must have
+// been Run for the batch first.
+func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
+	fs.epoch++
+	if fs.epoch == 0 { // uint32 wrap: invalidate all markers
+		for i := range fs.fEpoch {
+			fs.fEpoch[i] = 0
+			fs.qEpoch[i] = 0
+		}
+		fs.epoch = 1
+	}
+	fs.touched = fs.touched[:0]
+
+	forced := uint64(0)
+	if f.Stuck == 1 {
+		forced = ^uint64(0)
+	}
+	if f.IsStem() {
+		g := f.Gate
+		if forced == fs.sim.val[g] {
+			return 0 // fault never activated in this batch
+		}
+		fs.setFaulty(g, forced)
+		for _, p := range fs.c.Fanout(g) {
+			fs.enqueue(p.Gate)
+		}
+	} else {
+		g := f.Gate
+		nv := fs.evalFaulty(g, f.Pin, forced)
+		if nv == fs.sim.val[g] {
+			return 0
+		}
+		fs.setFaulty(g, nv)
+		for _, p := range fs.c.Fanout(g) {
+			fs.enqueue(p.Gate)
+		}
+	}
+
+	// Propagate strictly in level order; every update flows forward.
+	for lvl := 0; lvl < len(fs.buckets); lvl++ {
+		bucket := fs.buckets[lvl]
+		for _, g := range bucket {
+			if fs.fEpoch[g] == fs.epoch {
+				continue // value already forced (fault site)
+			}
+			nv := fs.evalFaulty(g, -1, 0)
+			if nv != fs.sim.val[g] {
+				fs.setFaulty(g, nv)
+				for _, p := range fs.c.Fanout(g) {
+					fs.enqueue(p.Gate)
+				}
+			}
+		}
+		fs.buckets[lvl] = bucket[:0]
+	}
+
+	var detect uint64
+	for _, g := range fs.touched {
+		if fs.c.IsOutput(g) {
+			detect |= fs.fval[g] ^ fs.sim.val[g]
+		}
+	}
+	return detect
+}

@@ -1,0 +1,131 @@
+package testability
+
+import (
+	"math/bits"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+	"optirand/internal/sim"
+)
+
+// Stafan is the simulation-counting estimator of Jain & Agrawal
+// ("STAFAN: An Alternative to Fault Simulation", DAC 1984), one of the
+// tools the paper lists as a possible ANALYSIS provider. It measures
+// per-line 1-controllabilities and per-pin sensitization frequencies by
+// counting signal values during fault-free simulation of weighted
+// random patterns, then combines them with COP-style observability
+// recursion. Measured controllabilities capture the reconvergence
+// correlations the purely analytic estimator misses; the price is
+// sampling error ~1/sqrt(64·Words) that floors the resolvable
+// probabilities.
+type Stafan struct {
+	Circuit *circuit.Circuit
+	// Words is the number of 64-pattern simulation batches counted
+	// (default 256 → 16384 patterns).
+	Words int
+	// Seed makes the measurement reproducible.
+	Seed uint64
+}
+
+// DetectProbs implements Estimator.
+func (s *Stafan) DetectProbs(weights []float64, faults []fault.Fault) []float64 {
+	c := s.Circuit
+	words := s.Words
+	if words <= 0 {
+		words = 256
+	}
+	simr := sim.NewSimulator(c)
+	rng := prng.New(s.Seed)
+	in := make([]uint64, c.NumInputs())
+
+	ones := make([]int, c.NumGates())
+	// sens[g][pin]: patterns where the side inputs of g hold
+	// non-controlling values at pin.
+	sens := make([][]int, c.NumGates())
+	for g := range sens {
+		sens[g] = make([]int, len(c.Gates[g].Fanin))
+	}
+
+	for w := 0; w < words; w++ {
+		rng.WeightedWords(in, weights)
+		simr.SetInputs(in)
+		simr.Run()
+		for g := 0; g < c.NumGates(); g++ {
+			ones[g] += bits.OnesCount64(simr.Value(g))
+			gate := &c.Gates[g]
+			switch gate.Type {
+			case circuit.And, circuit.Nand:
+				for pin := range gate.Fanin {
+					mask := ^uint64(0)
+					for k, f := range gate.Fanin {
+						if k != pin {
+							mask &= simr.Value(f)
+						}
+					}
+					sens[g][pin] += bits.OnesCount64(mask)
+				}
+			case circuit.Or, circuit.Nor:
+				for pin := range gate.Fanin {
+					mask := ^uint64(0)
+					for k, f := range gate.Fanin {
+						if k != pin {
+							mask &= ^simr.Value(f)
+						}
+					}
+					sens[g][pin] += bits.OnesCount64(mask)
+				}
+			case circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf:
+				for pin := range gate.Fanin {
+					sens[g][pin] += 64
+				}
+			}
+		}
+	}
+
+	total := float64(64 * words)
+	c1 := make([]float64, c.NumGates())
+	for g := range c1 {
+		c1[g] = float64(ones[g]) / total
+	}
+	sensP := func(g, pin int) float64 {
+		return float64(sens[g][pin]) / total
+	}
+
+	// Observability recursion on measured sensitizations.
+	obs := make([]float64, c.NumGates())
+	topo := c.TopoOrder()
+	for i := len(topo) - 1; i >= 0; i-- {
+		g := topo[i]
+		if c.IsOutput(g) {
+			obs[g] = 1
+			continue
+		}
+		noObs := 1.0
+		for _, p := range c.Fanout(g) {
+			noObs *= 1 - sensP(p.Gate, p.Pin)*obs[p.Gate]
+		}
+		obs[g] = 1 - noObs
+	}
+
+	out := make([]float64, len(faults))
+	for i, f := range faults {
+		if f.IsStem() {
+			act := c1[f.Gate]
+			if f.Stuck == 1 {
+				act = 1 - act
+			}
+			out[i] = act * obs[f.Gate]
+			continue
+		}
+		d := c.Gates[f.Gate].Fanin[f.Pin]
+		act := c1[d]
+		if f.Stuck == 1 {
+			act = 1 - act
+		}
+		out[i] = act * sensP(f.Gate, f.Pin) * obs[f.Gate]
+	}
+	return out
+}
+
+var _ Estimator = (*Stafan)(nil)

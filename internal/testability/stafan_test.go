@@ -1,0 +1,92 @@
+package testability
+
+import (
+	"math"
+	"testing"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+)
+
+// TestStafanAgreesWithExactOnTree: with enough samples, the counting
+// estimator converges to the exact detection probabilities on a tree.
+func TestStafanAgreesWithExactOnTree(t *testing.T) {
+	c := tree(t)
+	u := fault.New(c)
+	w := []float64{0.5, 0.5, 0.5, 0.5}
+	st := &Stafan{Circuit: c, Words: 1500, Seed: 7}
+	got := st.DetectProbs(w, u.Reps)
+	want := (&Exact{Circuit: c}).DetectProbs(w, u.Reps)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 0.02 {
+			t.Errorf("fault %v: stafan=%v exact=%v", u.Reps[i].Describe(c), got[i], want[i])
+		}
+	}
+}
+
+// TestStafanControllabilityBeatsCOPOnReconvergence: on a circuit where
+// COP's independence assumption is wrong, STAFAN's *measured* signal
+// probabilities are exact up to sampling noise. (Observability remains
+// heuristic for both.)
+func TestStafanControllabilityBeatsCOP(t *testing.T) {
+	// o = AND(n, g2) where n = NOT a, g2 = OR(n, b): P(o=1) = P(n & (n|b)) = P(n) = 0.5.
+	// COP computes P(n)·P(n|b) = 0.5·0.75 = 0.375 — wrong.
+	b := circuit.NewBuilder("recon")
+	a := b.Input("a")
+	x := b.Input("b")
+	n := b.Not("n", a)
+	g2 := b.Or("g2", n, x)
+	o := b.And("o", n, g2)
+	b.Output("o", o)
+	c := b.MustBuild()
+
+	w := []float64{0.5, 0.5}
+	u := fault.New(c)
+	oStuck0 := fault.Fault{Gate: o, Pin: fault.StemPin, Stuck: 0}
+	_ = u
+
+	cop := NewAnalyzer(c)
+	copP := cop.DetectProbs(w, []fault.Fault{oStuck0})[0]
+	st := &Stafan{Circuit: c, Words: 1000, Seed: 11}
+	stP := st.DetectProbs(w, []fault.Fault{oStuck0})[0]
+
+	// True detection probability of o s-a-0 is P(o=1) = 0.5 (o is a PO).
+	if math.Abs(stP-0.5) > 0.02 {
+		t.Errorf("stafan estimate %v, want ~0.5", stP)
+	}
+	if math.Abs(copP-0.375) > 1e-9 {
+		t.Errorf("COP estimate %v, expected its characteristic 0.375 bias", copP)
+	}
+}
+
+// TestStafanDeterministicAndBounded: same seed, same numbers; all in
+// [0,1].
+func TestStafanDeterministicAndBounded(t *testing.T) {
+	c := randCircuit(3, 6, 25)
+	u := fault.New(c)
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = 0.3
+	}
+	a := (&Stafan{Circuit: c, Words: 64, Seed: 5}).DetectProbs(w, u.Reps)
+	b := (&Stafan{Circuit: c, Words: 64, Seed: 5}).DetectProbs(w, u.Reps)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] > 1 || math.IsNaN(a[i]) {
+			t.Fatalf("fault %d: out of range %v", i, a[i])
+		}
+	}
+}
+
+// TestStafanDefaultWords: zero Words falls back to the default.
+func TestStafanDefaultWords(t *testing.T) {
+	c := tree(t)
+	u := fault.New(c)
+	st := &Stafan{Circuit: c, Seed: 1}
+	probs := st.DetectProbs([]float64{0.5, 0.5, 0.5, 0.5}, u.Reps[:1])
+	if len(probs) != 1 || probs[0] <= 0 {
+		t.Errorf("probs = %v", probs)
+	}
+}

@@ -1,0 +1,271 @@
+// Package testability estimates fault detection probabilities of
+// combinational circuits under weighted random patterns — the ANALYSIS
+// step of the paper, reimplementing the estimation layer of PROTEST
+// [Wu85].
+//
+// The production estimator (Analyzer) propagates signal probabilities
+// forward under the input-independence assumption and COP-style
+// observabilities backward; the detection probability of a stuck-at
+// fault is activation × sensitization × observability. It is exact on
+// fanout-free circuits and an estimate elsewhere. Monte-Carlo and
+// exact-BDD estimators implement the same interface for validation.
+package testability
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prob"
+	"optirand/internal/sim"
+)
+
+// Estimator computes detection probabilities for a list of faults under
+// per-input 1-probabilities.
+type Estimator interface {
+	// DetectProbs returns p_f for each fault, in order.
+	DetectProbs(weights []float64, faults []fault.Fault) []float64
+}
+
+// Analyzer is the PROTEST-analogue analytic estimator. It retains its
+// internal arrays between runs, so one Analyzer can serve thousands of
+// analyses without allocation; it is not safe for concurrent use.
+type Analyzer struct {
+	c *circuit.Circuit
+
+	weights []float64
+	p       []float64 // P(gate output = 1)
+	obs     []float64 // stem observability
+
+	revOrder []int   // reverse topological order
+	cones    [][]int // forward cone per input position (topo-sorted), lazy
+	// incremental bookkeeping
+	incremental bool
+	analyses    int
+}
+
+// NewAnalyzer creates an analyzer for c. Incremental signal-probability
+// updates (used by the optimizer's PREPARE step) are enabled by default.
+func NewAnalyzer(c *circuit.Circuit) *Analyzer {
+	n := c.NumGates()
+	topo := c.TopoOrder()
+	rev := make([]int, n)
+	for i, g := range topo {
+		rev[n-1-i] = g
+	}
+	return &Analyzer{
+		c:           c,
+		weights:     make([]float64, c.NumInputs()),
+		p:           make([]float64, n),
+		obs:         make([]float64, n),
+		revOrder:    rev,
+		incremental: true,
+	}
+}
+
+// Circuit returns the analyzed circuit.
+func (a *Analyzer) Circuit() *circuit.Circuit { return a.c }
+
+// SetIncremental toggles the cone-limited signal-probability fast path.
+// With it disabled every Run recomputes all gates (the ablation
+// baseline).
+func (a *Analyzer) SetIncremental(on bool) { a.incremental = on }
+
+// Analyses returns the number of full or partial analysis passes run,
+// for performance accounting (the paper's Table 5 measures exactly
+// this loop).
+func (a *Analyzer) Analyses() int { return a.analyses }
+
+// Run computes signal probabilities and observabilities for the given
+// input weights. weights[i] is P(input i = 1).
+func (a *Analyzer) Run(weights []float64) {
+	if len(weights) != a.c.NumInputs() {
+		panic(fmt.Sprintf("testability: Run: got %d weights, want %d", len(weights), a.c.NumInputs()))
+	}
+	a.analyses++
+	changed := -1
+	nChanged := 0
+	for i, w := range weights {
+		if a.weights[i] != w {
+			changed, nChanged = i, nChanged+1
+		}
+	}
+	copy(a.weights, weights)
+	if a.incremental && nChanged == 1 && a.analyses > 1 {
+		a.updateSignalCone(changed)
+	} else {
+		a.signalFull()
+	}
+	a.observabilities()
+}
+
+func (a *Analyzer) signalFull() {
+	c := a.c
+	for pos, g := range c.Inputs {
+		a.p[g] = a.weights[pos]
+	}
+	for _, g := range c.TopoOrder() {
+		gate := &c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		a.p[g] = prob.GateProb(gate.Type, gate.Fanin, a.p)
+	}
+}
+
+// updateSignalCone recomputes probabilities only in the forward cone of
+// the changed input. Cones are computed lazily and cached.
+func (a *Analyzer) updateSignalCone(inputPos int) {
+	c := a.c
+	if a.cones == nil {
+		a.cones = make([][]int, c.NumInputs())
+	}
+	cone := a.cones[inputPos]
+	if cone == nil {
+		cone = c.ForwardCone(c.Inputs[inputPos])
+		// Sort by topological position (ForwardCone returns sorted by
+		// index; re-sort by level order using positions in TopoOrder).
+		pos := make(map[int]int, c.NumGates())
+		for i, g := range c.TopoOrder() {
+			pos[g] = i
+		}
+		for i := 1; i < len(cone); i++ {
+			for j := i; j > 0 && pos[cone[j-1]] > pos[cone[j]]; j-- {
+				cone[j-1], cone[j] = cone[j], cone[j-1]
+			}
+		}
+		a.cones[inputPos] = cone
+	}
+	a.p[c.Inputs[inputPos]] = a.weights[inputPos]
+	for _, g := range cone {
+		gate := &c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		a.p[g] = prob.GateProb(gate.Type, gate.Fanin, a.p)
+	}
+}
+
+// observabilities computes COP-style stem observabilities in reverse
+// topological order:
+//
+//	obs(PO) = 1
+//	obs(g)  = 1 - Π_{(h,j) ∈ fanout(g)} (1 - sens(h,j)·obs(h))
+//
+// where sens(h,j) is the probability that the side inputs of h hold
+// non-controlling values (1 for XOR-family and single-input gates).
+func (a *Analyzer) observabilities() {
+	c := a.c
+	for _, g := range a.revOrder {
+		if c.IsOutput(g) {
+			a.obs[g] = 1
+			continue
+		}
+		noObs := 1.0
+		for _, pin := range c.Fanout(g) {
+			term := a.sensitization(pin.Gate, pin.Pin) * a.obs[pin.Gate]
+			noObs *= 1 - term
+		}
+		a.obs[g] = 1 - noObs
+	}
+}
+
+// sensitization returns the probability that a value change on input
+// pin `pin` of gate h propagates to h's output, under independence.
+func (a *Analyzer) sensitization(h, pin int) float64 {
+	gate := &a.c.Gates[h]
+	switch gate.Type {
+	case circuit.And, circuit.Nand:
+		s := 1.0
+		for k, f := range gate.Fanin {
+			if k != pin {
+				s *= a.p[f]
+			}
+		}
+		return s
+	case circuit.Or, circuit.Nor:
+		s := 1.0
+		for k, f := range gate.Fanin {
+			if k != pin {
+				s *= 1 - a.p[f]
+			}
+		}
+		return s
+	case circuit.Xor, circuit.Xnor, circuit.Not, circuit.Buf:
+		return 1
+	}
+	return 0 // Input/Const gates have no sensitizable pins
+}
+
+// SignalProb returns P(gate g = 1) from the last Run.
+func (a *Analyzer) SignalProb(g int) float64 { return a.p[g] }
+
+// Observability returns the stem observability of gate g from the last
+// Run.
+func (a *Analyzer) Observability(g int) float64 { return a.obs[g] }
+
+// DetectProb estimates the detection probability of fault f using the
+// state of the last Run: activation × (branch sensitization ×)
+// observability.
+func (a *Analyzer) DetectProb(f fault.Fault) float64 {
+	if f.IsStem() {
+		act := a.p[f.Gate]
+		if f.Stuck == 1 {
+			act = 1 - act
+		}
+		return act * a.obs[f.Gate]
+	}
+	d := a.c.Gates[f.Gate].Fanin[f.Pin]
+	act := a.p[d]
+	if f.Stuck == 1 {
+		act = 1 - act
+	}
+	return act * a.sensitization(f.Gate, f.Pin) * a.obs[f.Gate]
+}
+
+// DetectProbsInto fills out[i] with the estimate for faults[i].
+func (a *Analyzer) DetectProbsInto(faults []fault.Fault, out []float64) {
+	for i, f := range faults {
+		out[i] = a.DetectProb(f)
+	}
+}
+
+// DetectProbs implements Estimator: Run followed by per-fault queries.
+func (a *Analyzer) DetectProbs(weights []float64, faults []fault.Fault) []float64 {
+	a.Run(weights)
+	out := make([]float64, len(faults))
+	a.DetectProbsInto(faults, out)
+	return out
+}
+
+// MonteCarlo is a sampling estimator: it fault-simulates 64·Words
+// weighted random patterns without fault dropping and reports detection
+// frequencies. Only meaningful for probabilities well above
+// 1/(64·Words).
+type MonteCarlo struct {
+	Circuit *circuit.Circuit
+	Words   int
+	Seed    uint64
+}
+
+// DetectProbs implements Estimator.
+func (m *MonteCarlo) DetectProbs(weights []float64, faults []fault.Fault) []float64 {
+	return sim.EstimateDetectProbs(m.Circuit, faults, weights, m.Words, m.Seed)
+}
+
+// Exact is the BDD-backed exact estimator (Parker–McCluskey). Viable for
+// small circuits only; it is the ground truth in tests.
+type Exact struct {
+	Circuit *circuit.Circuit
+}
+
+// DetectProbs implements Estimator.
+func (e *Exact) DetectProbs(weights []float64, faults []fault.Fault) []float64 {
+	return prob.ExactDetectProbs(e.Circuit, faults, weights)
+}
+
+var (
+	_ Estimator = (*Analyzer)(nil)
+	_ Estimator = (*MonteCarlo)(nil)
+	_ Estimator = (*Exact)(nil)
+)

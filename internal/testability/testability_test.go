@@ -1,0 +1,251 @@
+package testability
+
+import (
+	"math"
+	"testing"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+)
+
+func tree(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder("tree")
+	in := b.Inputs("x", 4)
+	g1 := b.And("g1", in[0], in[1])
+	g2 := b.Or("g2", in[2], in[3])
+	o := b.Nand("o", g1, g2)
+	b.Output("o", o)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestExactOnTree: on a fanout-free circuit the analytic estimator must
+// equal the exact (BDD) detection probabilities for every fault.
+func TestExactOnTree(t *testing.T) {
+	c := tree(t)
+	u := fault.New(c)
+	weightSets := [][]float64{
+		{0.5, 0.5, 0.5, 0.5},
+		{0.2, 0.8, 0.4, 0.9},
+		{0.05, 0.95, 0.5, 0.35},
+	}
+	a := NewAnalyzer(c)
+	ex := &Exact{Circuit: c}
+	for _, w := range weightSets {
+		got := a.DetectProbs(w, u.Reps)
+		want := ex.DetectProbs(w, u.Reps)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Errorf("weights %v fault %v: analyzer=%v exact=%v",
+					w, u.Reps[i].Describe(c), got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSignalAndObsKnown checks hand-computed values on a 2-AND circuit.
+func TestSignalAndObsKnown(t *testing.T) {
+	b := circuit.NewBuilder("and2")
+	x := b.Input("x")
+	y := b.Input("y")
+	g := b.And("g", x, y)
+	b.Output("o", g)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(c)
+	a.Run([]float64{0.5, 0.25})
+	if p := a.SignalProb(g); math.Abs(p-0.125) > 1e-12 {
+		t.Errorf("P(g) = %v, want 0.125", p)
+	}
+	if o := a.Observability(g); o != 1 {
+		t.Errorf("obs(g) = %v, want 1 (primary output)", o)
+	}
+	// obs(x) = P(y=1) * obs(g) = 0.25
+	if o := a.Observability(x); math.Abs(o-0.25) > 1e-12 {
+		t.Errorf("obs(x) = %v, want 0.25", o)
+	}
+	// x s-a-0 detected iff x=1 and y=1: p = 0.5*0.25.
+	p := a.DetectProb(fault.Fault{Gate: x, Pin: fault.StemPin, Stuck: 0})
+	if math.Abs(p-0.125) > 1e-12 {
+		t.Errorf("p(x s-a-0) = %v, want 0.125", p)
+	}
+	// g s-a-1 detected iff g=0: p = 1 - 0.125.
+	p = a.DetectProb(fault.Fault{Gate: g, Pin: fault.StemPin, Stuck: 1})
+	if math.Abs(p-0.875) > 1e-12 {
+		t.Errorf("p(g s-a-1) = %v, want 0.875", p)
+	}
+}
+
+// TestIncrementalMatchesFull: single-weight updates through the cone
+// fast path must give identical results to full recomputation.
+func TestIncrementalMatchesFull(t *testing.T) {
+	c := randCircuit(3, 8, 40)
+	u := fault.New(c)
+	inc := NewAnalyzer(c)
+	full := NewAnalyzer(c)
+	full.SetIncremental(false)
+
+	rng := prng.New(5)
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	inc.Run(w)
+	full.Run(w)
+	for step := 0; step < 50; step++ {
+		i := rng.Intn(len(w))
+		w[i] = rng.Float64()
+		inc.Run(w)
+		full.Run(w)
+		for _, f := range u.Reps {
+			a, b := inc.DetectProb(f), full.DetectProb(f)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("step %d fault %v: incremental=%v full=%v", step, f.Describe(c), a, b)
+			}
+		}
+	}
+}
+
+// TestEstimatorTracksExact: on random reconvergent circuits the
+// analytic estimate will not match the exact value — the independence
+// assumption can even assign positive probability to faults that
+// reconvergence makes undetectable (PROTEST shares this limitation;
+// the paper only claims exact-0/1 *signal* probabilities as redundancy
+// proofs). What must hold is the converse direction: faults the exact
+// analysis finds easy must not be estimated as near-undetectable,
+// since that would derail the optimizer's hard-fault selection.
+func TestEstimatorTracksExact(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		c := randCircuit(seed, 6, 25)
+		u := fault.New(c)
+		w := make([]float64, c.NumInputs())
+		for i := range w {
+			w[i] = 0.5
+		}
+		a := NewAnalyzer(c)
+		est := a.DetectProbs(w, u.Reps)
+		exact := (&Exact{Circuit: c}).DetectProbs(w, u.Reps)
+		for i := range est {
+			if exact[i] > 0.4 && est[i] < 0.02 {
+				t.Errorf("seed %d fault %v: exact=%v but estimate=%v (gross underestimate)",
+					seed, u.Reps[i].Describe(c), exact[i], est[i])
+			}
+		}
+	}
+}
+
+// TestMonteCarloAgreesWithExact on a small tree.
+func TestMonteCarloAgreesWithExact(t *testing.T) {
+	c := tree(t)
+	u := fault.New(c)
+	w := []float64{0.5, 0.5, 0.5, 0.5}
+	mc := &MonteCarlo{Circuit: c, Words: 500, Seed: 9}
+	got := mc.DetectProbs(w, u.Reps)
+	want := (&Exact{Circuit: c}).DetectProbs(w, u.Reps)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 0.03 {
+			t.Errorf("fault %v: MC=%v exact=%v", u.Reps[i].Describe(c), got[i], want[i])
+		}
+	}
+}
+
+// TestDetectProbRange: estimates are probabilities.
+func TestDetectProbRange(t *testing.T) {
+	c := randCircuit(7, 6, 30)
+	u := fault.New(c)
+	a := NewAnalyzer(c)
+	rng := prng.New(2)
+	w := make([]float64, c.NumInputs())
+	for trial := 0; trial < 10; trial++ {
+		for i := range w {
+			w[i] = rng.Float64()
+		}
+		probs := a.DetectProbs(w, u.All)
+		for i, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("trial %d fault %v: p=%v", trial, u.All[i], p)
+			}
+		}
+	}
+}
+
+// TestWideEqualityHardFault: the paper's motivating structure. For a
+// k-bit equality comparator (AND of k XNORs) at weights 0.5, the fault
+// "equality output s-a-0" has detection probability 2^-k: the analyzer
+// must report exactly that (the cone is a tree).
+func TestWideEqualityHardFault(t *testing.T) {
+	const k = 24
+	b := circuit.NewBuilder("eq24")
+	as := b.Inputs("a", k)
+	bs := b.Inputs("b", k)
+	xn := make([]int, k)
+	for i := 0; i < k; i++ {
+		xn[i] = b.Xnor("", as[i], bs[i])
+	}
+	eq := b.And("eq", xn...)
+	b.Output("eq", eq)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(c)
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = 0.5
+	}
+	a.Run(w)
+	p := a.DetectProb(fault.Fault{Gate: eq, Pin: fault.StemPin, Stuck: 0})
+	want := math.Pow(2, -24)
+	if math.Abs(p-want)/want > 1e-9 {
+		t.Errorf("p(eq s-a-0) = %v, want 2^-24 = %v", p, want)
+	}
+	// At optimized weights 0.9 the per-bit match probability is
+	// 0.9^2+0.1^2 = 0.82 and the fault probability rises by ~5 orders
+	// of magnitude — the entire point of the paper.
+	for i := range w {
+		w[i] = 0.9
+	}
+	a.Run(w)
+	p2 := a.DetectProb(fault.Fault{Gate: eq, Pin: fault.StemPin, Stuck: 0})
+	want2 := math.Pow(0.82, 24)
+	if math.Abs(p2-want2)/want2 > 1e-9 {
+		t.Errorf("p(eq s-a-0 | w=0.9) = %v, want %v", p2, want2)
+	}
+	if p2/p < 1e4 {
+		t.Errorf("weighting gain = %v, expected > 10^4", p2/p)
+	}
+}
+
+func randCircuit(seed uint64, nIn, nGates int) *circuit.Circuit {
+	rng := prng.New(seed)
+	b := circuit.NewBuilder("rand")
+	ids := b.Inputs("x", nIn)
+	types := []circuit.GateType{circuit.And, circuit.Nand, circuit.Or,
+		circuit.Nor, circuit.Xor, circuit.Xnor, circuit.Not}
+	for i := 0; i < nGates; i++ {
+		ty := types[rng.Intn(len(types))]
+		if ty == circuit.Not {
+			ids = append(ids, b.Add(ty, "", ids[rng.Intn(len(ids))]))
+			continue
+		}
+		fan := make([]int, 2+rng.Intn(2))
+		for j := range fan {
+			fan[j] = ids[rng.Intn(len(ids))]
+		}
+		ids = append(ids, b.Add(ty, "", fan...))
+	}
+	b.Output("", ids[len(ids)-1])
+	b.Output("", ids[len(ids)-2])
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

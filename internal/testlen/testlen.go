@@ -1,0 +1,224 @@
+// Package testlen computes random-test lengths from fault detection
+// probabilities, following Section 2 and the NORMALIZE procedure of
+// Section 4 of the paper.
+//
+// For a fault set F with detection probabilities p_f, the probability
+// that N random patterns detect every fault is approximately
+//
+//	e_N = Π_f (1 - (1-p_f)^N) ≈ exp(-J_N),  J_N = Σ_f exp(-N·p_f)
+//
+// (paper eqs. 1, 8, 9). The required test length for confidence ε is the
+// minimal N with J_N ≤ Q where Q = -ln(ε).
+package testlen
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultConfidence is the confidence level ε used by the experiment
+// harness (the paper's implied choice; Q = -ln(0.999) ≈ 1.0005e-3).
+const DefaultConfidence = 0.999
+
+// Objective computes J_N(X) = Σ_f exp(-N·p_f), the paper's objective
+// function (eq. 9) for a fixed fault list.
+func Objective(probs []float64, n float64) float64 {
+	j := 0.0
+	for _, p := range probs {
+		j += math.Exp(-n * p)
+	}
+	return j
+}
+
+// Confidence returns exp(-J_N), the approximate probability that all
+// faults are detected by N patterns.
+func Confidence(probs []float64, n float64) float64 {
+	return math.Exp(-Objective(probs, n))
+}
+
+// ExpectedCoverage returns the expected fraction of faults detected by
+// N random patterns: (1/|F|)·Σ_f (1 - (1-p_f)^N). This predicts the
+// fault-coverage columns of the paper's Tables 2 and 4.
+func ExpectedCoverage(probs []float64, n float64) float64 {
+	if len(probs) == 0 {
+		return 1
+	}
+	s := 0.0
+	for _, p := range probs {
+		// (1-p)^N = exp(N·ln(1-p)); use Log1p for small p.
+		s += 1 - math.Exp(n*math.Log1p(-p))
+	}
+	return s / float64(len(probs))
+}
+
+// Required returns the minimal (real-valued) N such that J_N ≤ -ln(ε),
+// by direct evaluation and bisection over the full fault list. It
+// returns +Inf if any probability is zero (an undetectable fault) and 0
+// for an empty list. This is the O(|F|·log N) cross-check for the
+// bound-based Normalize.
+func Required(probs []float64, confidence float64) float64 {
+	checkConfidence(confidence)
+	if len(probs) == 0 {
+		return 0
+	}
+	q := -math.Log(confidence)
+	for _, p := range probs {
+		if p <= 0 {
+			return math.Inf(1)
+		}
+	}
+	if Objective(probs, 0) <= q {
+		return 0
+	}
+	hi := 1.0
+	for Objective(probs, hi) > q {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return math.Inf(1)
+		}
+	}
+	lo := hi / 2
+	if hi == 1 {
+		lo = 0
+	}
+	for i := 0; i < 100 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if Objective(probs, mid) <= q {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Result reports a NORMALIZE computation.
+type Result struct {
+	// N is the minimal test length achieving the confidence.
+	N float64
+	// HardFaults is the paper's nf: the size of the prefix of the
+	// sorted fault list that determines N numerically; the remaining
+	// faults' contributions were bounded away.
+	HardFaults int
+	// Undetectable counts faults with probability ≤ 0 that were
+	// excluded (N refers to the detectable remainder; the paper
+	// requires F to contain only detectable faults).
+	Undetectable int
+}
+
+// Normalize implements the paper's NORMALIZE procedure: given detection
+// probabilities (in any order; the function sorts a copy — the paper's
+// SORT step), it finds the minimal N with J_N ≤ -ln(ε) using the lower
+// and upper bounds
+//
+//	l(z,M) = Σ_{i≤z} exp(-p_i·M)            (lower bound of J_M)
+//	u(z,M) = l(z,M) + (n-z)·exp(-p_z·M)     (upper bound of J_M)
+//
+// evaluated on the z hardest faults only, growing z on demand. The
+// returned HardFaults is the largest z needed, i.e. the set F̂ of
+// relevant hard faults for the optimizer.
+func Normalize(probs []float64, confidence float64) Result {
+	checkConfidence(confidence)
+	sorted := make([]float64, len(probs))
+	copy(sorted, probs)
+	sort.Float64s(sorted)
+	return NormalizeSorted(sorted, confidence)
+}
+
+// NormalizeSorted is Normalize for an already ascending-sorted slice
+// (not modified).
+func NormalizeSorted(sorted []float64, confidence float64) Result {
+	checkConfidence(confidence)
+	var res Result
+	for len(sorted) > 0 && sorted[0] <= 0 {
+		sorted = sorted[1:]
+		res.Undetectable++
+	}
+	n := len(sorted)
+	if n == 0 {
+		return res
+	}
+	q := -math.Log(confidence)
+	maxZ := 0
+
+	// sufficient reports whether J_M ≤ q can be proven or refuted from
+	// a prefix of the sorted list; it grows the prefix until decisive.
+	sufficient := func(m float64) bool {
+		z := 64
+		if z > n {
+			z = n
+		}
+		l := 0.0
+		zDone := 0
+		for {
+			for i := zDone; i < z; i++ {
+				l += math.Exp(-sorted[i] * m)
+			}
+			zDone = z
+			if z > maxZ {
+				maxZ = z
+			}
+			if l > q {
+				return false
+			}
+			u := l + float64(n-z)*math.Exp(-sorted[z-1]*m)
+			if u <= q || z == n {
+				return u <= q || l <= q
+			}
+			z *= 2
+			if z > n {
+				z = n
+			}
+		}
+	}
+
+	if sufficient(0) {
+		return res
+	}
+	hi := 1.0
+	for !sufficient(hi) {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			res.N = math.Inf(1)
+			res.HardFaults = maxZ
+			return res
+		}
+	}
+	lo := hi / 2
+	if hi == 1 {
+		lo = 0
+	}
+	for i := 0; i < 100 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if sufficient(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.N = hi
+	res.HardFaults = maxZ
+	return res
+}
+
+func checkConfidence(c float64) {
+	if !(c > 0 && c < 1) {
+		panic("testlen: confidence must be in (0,1)")
+	}
+}
+
+// SortWithIndex returns the probabilities sorted ascending together
+// with the permutation idx such that sorted[k] = probs[idx[k]] — the
+// paper's SORT step, keeping fault identity.
+func SortWithIndex(probs []float64) (sorted []float64, idx []int) {
+	idx = make([]int, len(probs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return probs[idx[a]] < probs[idx[b]] })
+	sorted = make([]float64, len(probs))
+	for k, i := range idx {
+		sorted[k] = probs[i]
+	}
+	return sorted, idx
+}

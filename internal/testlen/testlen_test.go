@@ -1,0 +1,203 @@
+package testlen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optirand/internal/prng"
+)
+
+func TestObjectiveKnown(t *testing.T) {
+	probs := []float64{0.5, 0.1}
+	n := 10.0
+	want := math.Exp(-5) + math.Exp(-1)
+	if got := Objective(probs, n); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Objective = %v, want %v", got, want)
+	}
+}
+
+func TestConfidenceMonotoneInN(t *testing.T) {
+	probs := []float64{0.01, 0.2, 0.5}
+	prev := -1.0
+	for n := 1.0; n <= 4096; n *= 2 {
+		c := Confidence(probs, n)
+		if c < prev {
+			t.Fatalf("confidence decreased at N=%v", n)
+		}
+		prev = c
+	}
+}
+
+func TestRequiredSingleFault(t *testing.T) {
+	// One fault with p: J_N = exp(-Np) <= Q  =>  N = ln(1/Q)/p.
+	for _, p := range []float64{0.5, 1e-3, 1e-8} {
+		n := Required([]float64{p}, DefaultConfidence)
+		q := -math.Log(DefaultConfidence)
+		want := math.Log(1/q) / p
+		if math.Abs(n-want)/want > 1e-6 {
+			t.Errorf("Required(p=%v) = %v, want %v", p, n, want)
+		}
+	}
+}
+
+func TestRequiredEdgeCases(t *testing.T) {
+	if n := Required(nil, 0.999); n != 0 {
+		t.Errorf("Required(empty) = %v, want 0", n)
+	}
+	if n := Required([]float64{0}, 0.999); !math.IsInf(n, 1) {
+		t.Errorf("Required(p=0) = %v, want +Inf", n)
+	}
+	// A certain fault (p=1): need ln(1/Q) ≈ 6.9 patterns.
+	n := Required([]float64{1}, 0.999)
+	if n < 5 || n > 10 {
+		t.Errorf("Required(p=1) = %v, want ~6.9", n)
+	}
+}
+
+func TestRequiredPanicsOnBadConfidence(t *testing.T) {
+	for _, c := range []float64{0, 1, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("confidence %v did not panic", c)
+				}
+			}()
+			Required([]float64{0.5}, c)
+		}()
+	}
+}
+
+// TestNormalizeMatchesRequired: the bound-based NORMALIZE must agree
+// with direct evaluation on random fault lists.
+func TestNormalizeMatchesRequired(t *testing.T) {
+	rng := prng.New(12)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(2000)
+		probs := make([]float64, n)
+		for i := range probs {
+			// Log-uniform probabilities across 8 decades.
+			probs[i] = math.Pow(10, -8*rng.Float64())
+		}
+		want := Required(probs, DefaultConfidence)
+		got := Normalize(probs, DefaultConfidence)
+		if math.Abs(got.N-want)/want > 1e-6 {
+			t.Errorf("trial %d: Normalize=%v Required=%v", trial, got.N, want)
+		}
+		if got.HardFaults <= 0 || got.HardFaults > n {
+			t.Errorf("trial %d: HardFaults=%d out of range", trial, got.HardFaults)
+		}
+	}
+}
+
+// TestNormalizeHardFaultsSmall: when one fault is much harder than the
+// rest, NORMALIZE must identify a small relevant subset (the paper's
+// observation (1): easy faults contribute nothing numerically).
+func TestNormalizeHardFaultsSmall(t *testing.T) {
+	probs := make([]float64, 10000)
+	for i := range probs {
+		probs[i] = 0.3 // easy
+	}
+	probs[0] = 1e-7 // one hard fault
+	res := Normalize(probs, DefaultConfidence)
+	want := math.Log(1/-math.Log(DefaultConfidence)) / 1e-7
+	if math.Abs(res.N-want)/want > 1e-3 {
+		t.Errorf("N = %v, want %v", res.N, want)
+	}
+	if res.HardFaults > 128 {
+		t.Errorf("HardFaults = %d, expected the bounds to prune the 10k easy faults", res.HardFaults)
+	}
+}
+
+func TestNormalizeUndetectable(t *testing.T) {
+	res := Normalize([]float64{0, 0, 0.5}, DefaultConfidence)
+	if res.Undetectable != 2 {
+		t.Errorf("Undetectable = %d, want 2", res.Undetectable)
+	}
+	if math.IsInf(res.N, 1) {
+		t.Error("N infinite although detectable faults remain")
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	res := Normalize(nil, DefaultConfidence)
+	if res.N != 0 || res.HardFaults != 0 {
+		t.Errorf("Normalize(empty) = %+v", res)
+	}
+}
+
+// TestPaperScaleNumbers: a 2^-24 hardest fault (the S1 comparator
+// structure) yields N ≈ 1.16e8·ln(1/Q) ≈ 10^8.06 — the order of
+// magnitude of Table 1's S1 row (5.6e8).
+func TestPaperScaleNumbers(t *testing.T) {
+	p := math.Pow(2, -24)
+	n := Required([]float64{p}, DefaultConfidence)
+	if n < 1e8 || n > 2e9 {
+		t.Errorf("Required(2^-24) = %.3g, want ~10^8", n)
+	}
+}
+
+func TestExpectedCoverage(t *testing.T) {
+	// With p=0.5 and N=10, each fault detected with prob 1-2^-10.
+	cov := ExpectedCoverage([]float64{0.5, 0.5}, 10)
+	want := 1 - math.Pow(0.5, 10)
+	if math.Abs(cov-want) > 1e-12 {
+		t.Errorf("ExpectedCoverage = %v, want %v", cov, want)
+	}
+	if got := ExpectedCoverage(nil, 5); got != 1 {
+		t.Errorf("ExpectedCoverage(empty) = %v", got)
+	}
+	// Coverage is monotone in N.
+	probs := []float64{1e-4, 0.01, 0.3}
+	prev := 0.0
+	for n := 1.0; n < 1e6; n *= 10 {
+		c := ExpectedCoverage(probs, n)
+		if c < prev {
+			t.Fatalf("coverage decreased at N=%v", n)
+		}
+		prev = c
+	}
+}
+
+func TestSortWithIndex(t *testing.T) {
+	probs := []float64{0.5, 0.1, 0.9, 0.1}
+	sorted, idx := SortWithIndex(probs)
+	for k := 1; k < len(sorted); k++ {
+		if sorted[k-1] > sorted[k] {
+			t.Fatalf("not sorted: %v", sorted)
+		}
+	}
+	for k, i := range idx {
+		if probs[i] != sorted[k] {
+			t.Fatalf("permutation broken at %d", k)
+		}
+	}
+	// Stability: the two 0.1 entries keep original relative order.
+	if idx[0] != 1 || idx[1] != 3 {
+		t.Errorf("stable sort violated: idx=%v", idx)
+	}
+}
+
+// TestRequiredQuick: J_{Required} ≤ Q ≤ J_{Required·(1-δ)} — the
+// returned N is minimal up to tolerance, for random fault lists.
+func TestRequiredQuick(t *testing.T) {
+	q := -math.Log(DefaultConfidence)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		probs := make([]float64, len(raw))
+		for i, r := range raw {
+			probs[i] = (float64(r) + 1) / 65537 // in (0,1)
+		}
+		n := Required(probs, DefaultConfidence)
+		if n == 0 {
+			return Objective(probs, 0) <= q
+		}
+		return Objective(probs, n) <= q*(1+1e-6) &&
+			Objective(probs, n*0.999) >= q*(1-1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
