@@ -1,0 +1,36 @@
+# Build/test entry points. `make test` is the tier-1 gate; `make
+# test-race` additionally certifies the parallel engine (fault-sharded
+# campaigns, concurrent PREPARE, the sweep orchestrator) under the race
+# detector; `make bench` runs the Go benchmarks; `make parbench` emits
+# the machine-readable serial-vs-parallel summary BENCH_parallel.json.
+
+GO ?= go
+
+.PHONY: all build test test-race bench parbench vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-race: build
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+parbench:
+	$(GO) run ./cmd/benchgen -parbench
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_parallel.json

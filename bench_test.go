@@ -11,11 +11,13 @@
 package optirand_test
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
 
 	"optirand"
+	"optirand/internal/engine"
 )
 
 // benchLab caches circuits, fault lists and optimization results so
@@ -404,6 +406,91 @@ func BenchmarkFaultSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		optirand.SimulateRandomTest(c, faults, w, 1024, uint64(i), 0)
+	}
+}
+
+// --- Parallel engine -----------------------------------------------
+
+// BenchmarkCampaignWorkers compares serial against fault-sharded
+// parallel campaign throughput on the larger generated circuits. The
+// results are bit-identical at every worker count (enforced by the
+// equivalence suites in internal/sim and internal/core); only the wall
+// clock may differ.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	lab.init(b)
+	for _, name := range []string{"c6288", "s2"} {
+		c := lab.circ[name]
+		faults := lab.faults[name]
+		w := optirand.UniformWeights(c)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", name, workers), func(b *testing.B) {
+				var cov float64
+				for i := 0; i < b.N; i++ {
+					res := optirand.SimulateRandomTestWorkers(c, faults, w, 2048, 1987, 0, workers)
+					cov = res.Coverage()
+				}
+				b.ReportMetric(100*cov, "cov%")
+				b.ReportMetric(2048*float64(len(faults))*float64(b.N)/b.Elapsed().Seconds(), "patfaults/s")
+			})
+		}
+	}
+}
+
+// BenchmarkOptimizeWorkers compares the serial OPTIMIZE loop against
+// the concurrent-PREPARE variant (the two cofactor analyses of each
+// coordinate overlap; results are bit-identical).
+func BenchmarkOptimizeWorkers(b *testing.B) {
+	lab.init(b)
+	c := lab.circ["s1"]
+	faults := lab.faults["s1"]
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var n float64
+			for i := 0; i < b.N; i++ {
+				r, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = r.FinalN
+			}
+			b.ReportMetric(n, "N_opt")
+		})
+	}
+}
+
+// BenchmarkEngineSweep measures the campaign engine's task fan-out: the
+// four marked circuits × two weightings × four seeds on pools of
+// varying width.
+func BenchmarkEngineSweep(b *testing.B) {
+	lab.init(b)
+	sweep := &engine.Sweep{BaseSeed: 1987, Repetitions: 4, Patterns: 1024}
+	for _, bm := range optirand.MarkedBenchmarks() {
+		c := lab.circ[bm.Name]
+		uniform := optirand.UniformWeights(c)
+		skew := optirand.UniformWeights(c)
+		for i := range skew {
+			skew[i] = 0.15 + 0.7*float64(i%4)/3
+		}
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:    bm.Name,
+			Circuit: c,
+			Faults:  lab.faults[bm.Name],
+			Weightings: []engine.Weighting{
+				{Name: "uniform", Sets: [][]float64{uniform}},
+				{Name: "skewed", Sets: [][]float64{skew}},
+			},
+		})
+	}
+	tasks := sweep.Tasks()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.Run(tasks, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(tasks)), "tasks")
+		})
 	}
 }
 

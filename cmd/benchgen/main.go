@@ -1,5 +1,5 @@
 // Command benchgen emits the built-in evaluation circuits as .bench
-// netlists.
+// netlists and benchmarks the parallel campaign engine.
 //
 // Usage:
 //
@@ -7,12 +7,18 @@
 //	benchgen -circuit c7552 -o c7552.bench
 //	benchgen -list                       # list available circuits
 //	benchgen -stats                      # structural statistics table
+//	benchgen -parbench                   # serial-vs-parallel campaign
+//	                                     # throughput -> BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"optirand"
 	"optirand/internal/gen"
@@ -20,15 +26,171 @@ import (
 )
 
 var (
-	flagCircuit = flag.String("circuit", "", "benchmark name (see -list)")
-	flagOut     = flag.String("o", "", "output file (default stdout)")
-	flagList    = flag.Bool("list", false, "list available circuits")
-	flagStats   = flag.Bool("stats", false, "print structural statistics for all circuits")
+	flagCircuit  = flag.String("circuit", "", "benchmark name (see -list)")
+	flagOut      = flag.String("o", "", "output file (default stdout)")
+	flagList     = flag.Bool("list", false, "list available circuits")
+	flagStats    = flag.Bool("stats", false, "print structural statistics for all circuits")
+	flagParbench = flag.Bool("parbench", false, "benchmark serial vs parallel campaigns, write a JSON summary")
+	flagParOut   = flag.String("parout", "BENCH_parallel.json", "parbench: summary output path")
+	flagParCirc  = flag.String("parcircuits", "c6288,s2,c7552", "parbench: comma-separated circuits")
+	flagParN     = flag.Int("parn", 4096, "parbench: patterns per campaign")
+	flagParMinMS = flag.Int("parminms", 300, "parbench: minimum measured time per configuration (ms)")
 )
+
+// parRun is one measured worker configuration of parbench.
+type parRun struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"` // per campaign
+	PatternFaults float64 `json:"pattern_faults_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_serial"`
+	Identical     bool    `json:"identical_to_serial"`
+}
+
+// parCircuit is the parbench record of one circuit.
+type parCircuit struct {
+	Name     string   `json:"name"`
+	Gates    int      `json:"gates"`
+	Faults   int      `json:"faults"`
+	Patterns int      `json:"patterns"`
+	Coverage float64  `json:"coverage"`
+	Runs     []parRun `json:"runs"`
+}
+
+// parSummary is the BENCH_parallel.json schema.
+type parSummary struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Seed       uint64       `json:"seed"`
+	Circuits   []parCircuit `json:"circuits"`
+}
+
+// measure times fn (one full campaign) repeatedly until the total
+// exceeds minTime, returning the best single-run time — the standard
+// guard against scheduler noise on loaded machines.
+func measure(minTime time.Duration, fn func()) time.Duration {
+	best := time.Duration(0)
+	total := time.Duration(0)
+	for total < minTime {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		total += d
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// parbench measures serial vs fault-sharded-parallel campaign
+// throughput and writes the machine-readable summary the perf tooling
+// consumes.
+func parbench() {
+	const seed = 1987
+	minTime := time.Duration(*flagParMinMS) * time.Millisecond
+	var workerGrid []int
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		dup := false
+		for _, seen := range workerGrid {
+			dup = dup || seen == w
+		}
+		if !dup {
+			workerGrid = append(workerGrid, w)
+		}
+	}
+
+	summary := parSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+	}
+	t := report.NewTable("Parallel campaign throughput (best of repeated runs)",
+		"Circuit", "Workers", "Campaign time", "Pattern-faults/s", "Speedup", "Identical")
+	for _, name := range strings.Split(*flagParCirc, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := optirand.BenchmarkByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown circuit %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		c := b.Build()
+		faults := optirand.CollapsedFaults(c)
+		weights := optirand.UniformWeights(c)
+		ref := optirand.SimulateRandomTest(c, faults, weights, *flagParN, seed, 0)
+
+		pc := parCircuit{
+			Name:     name,
+			Gates:    c.NumGates(),
+			Faults:   len(faults),
+			Patterns: *flagParN,
+			Coverage: ref.Coverage(),
+		}
+		var serial time.Duration
+		for _, w := range workerGrid {
+			var last *optirand.CampaignResult
+			d := measure(minTime, func() {
+				last = optirand.SimulateRandomTestWorkers(c, faults, weights, *flagParN, seed, 0, w)
+			})
+			if w == 1 {
+				serial = d
+			}
+			identical := campaignsEqual(ref, last)
+			run := parRun{
+				Workers:       w,
+				Seconds:       d.Seconds(),
+				PatternFaults: float64(*flagParN) * float64(len(faults)) / d.Seconds(),
+				SpeedupVs1:    serial.Seconds() / d.Seconds(),
+				Identical:     identical,
+			}
+			pc.Runs = append(pc.Runs, run)
+			t.Add(name, fmt.Sprint(w), d.Round(time.Microsecond).String(),
+				report.Sci(run.PatternFaults), fmt.Sprintf("%.2fx", run.SpeedupVs1),
+				fmt.Sprint(identical))
+		}
+		summary.Circuits = append(summary.Circuits, pc)
+	}
+	fmt.Print(t)
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagParOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagParOut)
+}
+
+// campaignsEqual reports full equality of two campaign results
+// (coverage, first-detection indices, curve).
+func campaignsEqual(a, b *optirand.CampaignResult) bool {
+	if a.TotalFaults != b.TotalFaults || a.Detected != b.Detected || a.Patterns != b.Patterns {
+		return false
+	}
+	for i := range a.FirstDetected {
+		if a.FirstDetected[i] != b.FirstDetected[i] {
+			return false
+		}
+	}
+	if len(a.Curve) != len(b.Curve) {
+		return false
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			return false
+		}
+	}
+	return true
+}
 
 func main() {
 	flag.Parse()
 	switch {
+	case *flagParbench:
+		parbench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

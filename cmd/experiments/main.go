@@ -8,11 +8,17 @@
 //	table5   — CPU time of the optimizing procedure (4 circuits)
 //	fig2     — fault coverage vs. pattern count for S1, both weightings
 //	appendix — optimized input probabilities (0.05 grid) for C2670/C7552
+//	sweep    — engine demo: circuits × weightings × seeds on a worker pool
 //
 // Usage:
 //
 //	experiments -run all
 //	experiments -run table1,table3 -seed 7
+//	experiments -run sweep -workers 8 -sweepreps 10
+//
+// Campaigns and optimizations run on a bounded worker pool (-workers,
+// default GOMAXPROCS); every reported number is bit-identical for any
+// worker count.
 //
 // Measured values are printed next to the paper's; absolute agreement is
 // not expected (the circuits are functional analogues; see DESIGN.md §3)
@@ -24,20 +30,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"optirand"
+	"optirand/internal/engine"
 	"optirand/internal/report"
 )
 
 var (
-	flagRun        = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig2,appendix,all")
+	flagRun        = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4,table5,fig2,appendix,multidist,hybrid,sweep,all")
 	flagSeed       = flag.Uint64("seed", 1987, "PRNG seed for simulation experiments")
 	flagConfidence = flag.Float64("confidence", optirand.DefaultConfidence, "confidence level for required test lengths")
 	flagQuick      = flag.Bool("quick", false, "reduce simulation pattern counts 4x (for smoke runs)")
 	flagCurveStep  = flag.Int("curvestep", 500, "fig2: coverage sampling interval in patterns")
+	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for campaigns and optimization (results are identical for any count)")
+	flagSweepReps  = flag.Int("sweepreps", 5, "sweep: independently seeded campaigns per circuit × weighting cell")
 )
+
+// workers resolves the -workers flag (values < 1 mean GOMAXPROCS).
+func workers() int {
+	if *flagWorkers > 0 {
+		return *flagWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // lab bundles everything computed once per circuit and shared between
 // experiments (optimizations are reused across tables 3, 4, 5 and the
@@ -129,6 +147,7 @@ func (l *lab) optimize(b optirand.Benchmark) *optirand.OptimizeResult {
 	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{
 		Confidence: l.conf,
 		Quantize:   0.05, // the paper's appendix grid
+		Workers:    workers(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optimize %s: %v\n", b.Name, err)
@@ -145,6 +164,37 @@ func (l *lab) patterns(b optirand.Benchmark) int {
 		n /= 4
 	}
 	return n
+}
+
+// markedCampaigns fans the four marked circuits' campaigns out over
+// the engine's worker pool; weightsFor selects each circuit's weight
+// vector. Leftover workers shard fault lists inside the campaigns; the
+// results are identical to serial runs either way.
+func (l *lab) markedCampaigns(weightsFor func(b optirand.Benchmark) []float64) map[string]*optirand.CampaignResult {
+	marked := optirand.MarkedBenchmarks()
+	simWorkers := (workers() + len(marked) - 1) / len(marked)
+	var tasks []*engine.Task
+	for _, b := range marked {
+		tasks = append(tasks, &engine.Task{
+			Label:      b.Name,
+			Circuit:    l.circuit(b),
+			Faults:     l.liveFaults(b),
+			WeightSets: [][]float64{weightsFor(b)},
+			Patterns:   l.patterns(b),
+			Seed:       l.seed,
+			SimWorkers: simWorkers,
+		})
+	}
+	results, err := engine.Run(tasks, workers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
+		os.Exit(1)
+	}
+	out := make(map[string]*optirand.CampaignResult, len(results))
+	for _, r := range results {
+		out[r.Task.Label] = r.Campaign
+	}
+	return out
 }
 
 func table1(l *lab) {
@@ -168,12 +218,12 @@ func table1(l *lab) {
 func table2(l *lab) {
 	t := report.NewTable("Table 2: fault coverage by simulation, conventional random patterns",
 		"Circuit", "Patterns", "Coverage (measured)", "Coverage (paper)")
+	camps := l.markedCampaigns(func(b optirand.Benchmark) []float64 {
+		return optirand.UniformWeights(l.circuit(b))
+	})
 	for _, b := range optirand.MarkedBenchmarks() {
-		c := l.circuit(b)
-		faults := l.liveFaults(b)
-		n := l.patterns(b)
-		res := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), n, l.seed, 0)
-		t.Add(b.PaperName, report.Count(n), report.Pct(l.weightedCoverage(b, res)),
+		t.Add(b.PaperName, report.Count(l.patterns(b)),
+			report.Pct(l.weightedCoverage(b, camps[b.Name])),
 			fmt.Sprintf("%.1f %%", b.PaperCov2))
 	}
 	fmt.Print(t, "\n")
@@ -193,13 +243,12 @@ func table3(l *lab) {
 func table4(l *lab) {
 	t := report.NewTable("Table 4: fault coverage by simulation, optimized random patterns",
 		"Circuit", "Patterns", "Coverage (measured)", "Coverage (paper)")
+	camps := l.markedCampaigns(func(b optirand.Benchmark) []float64 {
+		return l.optimize(b).Weights
+	})
 	for _, b := range optirand.MarkedBenchmarks() {
-		c := l.circuit(b)
-		faults := l.liveFaults(b)
-		res := l.optimize(b)
-		n := l.patterns(b)
-		cov := optirand.SimulateRandomTest(c, faults, res.Weights, n, l.seed, 0)
-		t.Add(b.PaperName, report.Count(n), report.Pct(l.weightedCoverage(b, cov)),
+		t.Add(b.PaperName, report.Count(l.patterns(b)),
+			report.Pct(l.weightedCoverage(b, camps[b.Name])),
 			fmt.Sprintf("%.1f %%", b.PaperCov4))
 	}
 	fmt.Print(t, "\n")
@@ -223,9 +272,9 @@ func fig2(l *lab) {
 	faults := l.liveFaults(b)
 	n := l.patterns(b)
 	step := *flagCurveStep
-	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), n, l.seed, step)
+	conv := optirand.SimulateRandomTestWorkers(c, faults, optirand.UniformWeights(c), n, l.seed, step, workers())
 	opt := l.optimize(b)
-	optc := optirand.SimulateRandomTest(c, faults, opt.Weights, n, l.seed, step)
+	optc := optirand.SimulateRandomTestWorkers(c, faults, opt.Weights, n, l.seed, step, workers())
 
 	t := report.NewTable("Figure 2: fault coverage vs. pattern count (S1)",
 		"Patterns", "Conventional", "Optimized")
@@ -296,14 +345,15 @@ func multidist(l *lab) {
 	m, err := optirand.OptimizeMultiDistribution(c, faults, 4, optirand.OptimizeOptions{
 		Confidence: l.conf,
 		Quantize:   0.05,
+		Workers:    workers(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "multidist: %v\n", err)
 		os.Exit(1)
 	}
 	n := l.patterns(b)
-	single := optirand.SimulateRandomTest(c, faults, m.WeightSets[0], n, l.seed, 0)
-	mix := optirand.SimulateRandomTestMixture(c, faults, m.WeightSets, n, l.seed, 0)
+	single := optirand.SimulateRandomTestWorkers(c, faults, m.WeightSets[0], n, l.seed, 0, workers())
+	mix := optirand.SimulateRandomTestMixtureWorkers(c, faults, m.WeightSets, n, l.seed, 0, workers())
 
 	t := report.NewTable("Extension (paper §5.3): partitioned fault set, one distribution per part (S2)",
 		"Configuration", "Estimated N", "Coverage @ "+report.Count(n))
@@ -333,12 +383,75 @@ func hybrid(l *lab) {
 	fmt.Print(t, "\n")
 }
 
+// sweepExp demonstrates the campaign engine beyond the paper's tables:
+// a marked-circuit × {conventional, optimized} × multi-seed grid runs
+// on one bounded worker pool, reporting the coverage spread across
+// seeds. Per-task seeds derive from task identity, so the table is
+// reproducible for any worker count.
+func sweepExp(l *lab) {
+	reps := *flagSweepReps
+	if reps < 1 {
+		reps = 1
+	}
+	sweep := &engine.Sweep{
+		BaseSeed:    l.seed,
+		Repetitions: reps,
+	}
+	for _, b := range optirand.MarkedBenchmarks() {
+		c := l.circuit(b)
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:     b.Name,
+			Circuit:  c,
+			Faults:   l.liveFaults(b),
+			Patterns: l.patterns(b),
+			Weightings: []engine.Weighting{
+				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+				{Name: "optimized", Sets: [][]float64{l.optimize(b).Weights}},
+			},
+		})
+	}
+	tasks := sweep.Tasks()
+	start := time.Now()
+	results, err := engine.Run(tasks, workers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	t := report.NewTable(
+		fmt.Sprintf("Campaign sweep: %d tasks (%d circuits × 2 weightings × %d seeds), %d workers",
+			len(tasks), len(sweep.Circuits), reps, workers()),
+		"Circuit", "Weighting", "Patterns", "Cov. mean", "Cov. min", "Cov. max")
+	for i := 0; i < len(results); i += reps {
+		cell := results[i : i+reps]
+		sum, lo, hi := 0.0, 1.0, 0.0
+		for _, r := range cell {
+			cov := r.Campaign.Coverage()
+			sum += cov
+			if cov < lo {
+				lo = cov
+			}
+			if cov > hi {
+				hi = cov
+			}
+		}
+		label := cell[0].Task.Label
+		name := label[:strings.IndexByte(label, '/')]
+		weighting := label[len(name)+1 : strings.IndexByte(label, '#')]
+		t.Add(name, weighting, report.Count(cell[0].Task.Patterns),
+			report.Pct(sum/float64(len(cell))), report.Pct(lo), report.Pct(hi))
+	}
+	fmt.Print(t)
+	fmt.Printf("sweep wall time: %s\n\n", elapsed.Round(time.Millisecond))
+}
+
 func main() {
 	flag.Parse()
 	l := newLab(*flagSeed, *flagConfidence)
 	runs := strings.Split(*flagRun, ",")
 	if *flagRun == "all" {
-		runs = []string{"table1", "table2", "table3", "table4", "table5", "fig2", "appendix", "multidist", "hybrid"}
+		runs = []string{"table1", "table2", "table3", "table4", "table5", "fig2", "appendix", "multidist", "hybrid", "sweep"}
 	}
 	for _, r := range runs {
 		switch strings.TrimSpace(r) {
@@ -360,6 +473,8 @@ func main() {
 			multidist(l)
 		case "hybrid":
 			hybrid(l)
+		case "sweep":
+			sweepExp(l)
 		case "":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", r)

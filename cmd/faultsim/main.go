@@ -7,6 +7,11 @@
 //	faultsim -circuit s1 -n 12000                 # conventional test
 //	faultsim -circuit s1 -n 12000 -weights w.txt  # weights from optgen
 //	faultsim -bench design.bench -n 4096 -curve 512
+//	faultsim -circuit c6288 -n 100000 -workers 8  # fault-sharded parallel run
+//
+// -workers shards the fault list across goroutines; every worker
+// replays the identical seeded pattern stream, so results are
+// bit-identical for any worker count (default GOMAXPROCS).
 //
 // The weights file contains "input-name probability" lines as produced
 // by optgen; missing inputs default to 0.5.
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -32,6 +38,7 @@ var (
 	flagWeights = flag.String("weights", "", "weights file (optgen output); default all 0.5")
 	flagCurve   = flag.Int("curve", 0, "print the coverage curve sampled every N patterns")
 	flagUndet   = flag.Bool("undetected", false, "list faults left undetected")
+	flagWorkers = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any count)")
 )
 
 func fatalf(format string, args ...any) {
@@ -67,7 +74,7 @@ func main() {
 	}
 
 	faults := optirand.CollapsedFaults(c)
-	res := optirand.SimulateRandomTest(c, faults, weights, *flagN, *flagSeed, *flagCurve)
+	res := optirand.SimulateRandomTestWorkers(c, faults, weights, *flagN, *flagSeed, *flagCurve, *flagWorkers)
 	fmt.Printf("circuit %s: %d collapsed faults, %s patterns\n",
 		c.Name, len(faults), report.Count(res.Patterns))
 	fmt.Printf("detected %d / %d faults: coverage %s\n",

@@ -1,0 +1,3 @@
+module optirand
+
+go 1.22

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"time"
 
 	"optirand/internal/circuit"
@@ -92,6 +94,20 @@ type Options struct {
 	// DisableIncremental turns off the cone-limited incremental
 	// signal-probability updates in ANALYSIS (ablation baseline).
 	DisableIncremental bool
+	// Workers bounds the number of concurrent testability analyses in
+	// the PREPARE step. 0 and 1 select the serial path; values < 0
+	// select GOMAXPROCS. Note the deliberate difference from the
+	// campaign APIs' workers argument (where 0 also selects
+	// GOMAXPROCS): like every other Options field, the zero value
+	// keeps the paper's default — the serial OPTIMIZE procedure, whose
+	// analysis accounting (Result.Analyses, Table 5) the parallel path
+	// intentionally improves on. Each coordinate exposes exactly two
+	// independent analyses (x_i = 0 and x_i = 1), so effective
+	// parallelism caps at 2; coordinate updates themselves are
+	// inherently sequential (x_i's optimum feeds x_{i+1}'s PREPARE).
+	// Every per-gate probability is a pure function of the weight
+	// vector, so the parallel path is bit-identical to the serial one.
+	Workers int
 }
 
 func (o *Options) withDefaults() Options {
@@ -198,9 +214,18 @@ func Optimize(c *circuit.Circuit, faults []fault.Fault, o Options) (*Result, err
 		}
 	}
 
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	start := time.Now()
 	an := testability.NewAnalyzer(c)
 	an.SetIncremental(!opt.DisableIncremental)
+	var prep *prepPool
+	if workers > 1 {
+		prep = newPrepPool(c, !opt.DisableIncremental)
+	}
 
 	res := &Result{Weights: x}
 
@@ -230,18 +255,24 @@ func Optimize(c *circuit.Circuit, faults []fault.Fault, o Options) (*Result, err
 		hard := selectHard(an, live, x, norm.HardFaults, opt)
 
 		for i := 0; i < nIn; i++ {
-			// PREPARE: three single-coordinate analyses (paper §5.1).
-			xi := x[i]
-			an.Run(x) // restore current X (single-coordinate delta)
-			p0 = p0[:len(hard)]
-			p1 = p1[:len(hard)]
-			x[i] = 0
-			an.Run(x)
-			an.DetectProbsInto(hard, p0)
-			x[i] = 1
-			an.Run(x)
-			an.DetectProbsInto(hard, p1)
-			x[i] = xi
+			p0 = grow(p0, len(hard))
+			p1 = grow(p1, len(hard))
+			if prep != nil {
+				// PREPARE, parallel: the two single-coordinate
+				// analyses run concurrently on dedicated analyzers.
+				prep.prepare(x, i, hard, p0, p1)
+			} else {
+				// PREPARE: three single-coordinate analyses (paper §5.1).
+				xi := x[i]
+				an.Run(x) // restore current X (single-coordinate delta)
+				x[i] = 0
+				an.Run(x)
+				an.DetectProbsInto(hard, p0)
+				x[i] = 1
+				an.Run(x)
+				an.DetectProbsInto(hard, p1)
+				x[i] = xi
+			}
 
 			// MINIMIZE: unique minimum of the coordinate objective.
 			y := minimize(p0, p1, nCur, x[i], opt)
@@ -273,8 +304,64 @@ func Optimize(c *circuit.Circuit, faults []fault.Fault, o Options) (*Result, err
 	res.Weights = x
 	res.FinalN = nCur
 	res.Analyses = an.Analyses()
+	if prep != nil {
+		res.Analyses += prep.analyses()
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// prepPool runs the two cofactor analyses of PREPARE concurrently: for
+// coordinate i it evaluates the detection probabilities of the hard
+// faults at X with x_i = 0 and at X with x_i = 1 on two dedicated
+// analyzers. Each analyzer sees a two-coordinate change between
+// consecutive coordinates (x_{i-1} restored, x_i forced), so it
+// recomputes in full — but one full pass per cofactor replaces the
+// serial path's three analysis passes, and the two cofactors overlap.
+// Signal probabilities and observabilities are pure per-gate functions
+// of the weight vector, so p0/p1 — and hence the optimized weights —
+// are bit-identical to the serial path's.
+type prepPool struct {
+	an  [2]*testability.Analyzer
+	buf [2][]float64 // per-worker weight-vector scratch
+}
+
+func newPrepPool(c *circuit.Circuit, incremental bool) *prepPool {
+	p := &prepPool{}
+	for k := 0; k < 2; k++ {
+		p.an[k] = testability.NewAnalyzer(c)
+		p.an[k].SetIncremental(incremental)
+		p.buf[k] = make([]float64, c.NumInputs())
+	}
+	return p
+}
+
+// prepare fills p0 and p1 with the hard faults' detection probabilities
+// at the two cofactors of coordinate i. x itself is only read.
+func (p *prepPool) prepare(x []float64, i int, hard []fault.Fault, p0, p1 []float64) {
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		k := k
+		out := p0
+		if k == 1 {
+			out = p1
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			xb := p.buf[k]
+			copy(xb, x)
+			xb[i] = float64(k)
+			p.an[k].Run(xb)
+			p.an[k].DetectProbsInto(hard, out)
+		}()
+	}
+	wg.Wait()
+}
+
+// analyses reports the analysis passes consumed by the pool.
+func (p *prepPool) analyses() int {
+	return p.an[0].Analyses() + p.an[1].Analyses()
 }
 
 // normalizeFor runs ANALYSIS at x and NORMALIZE over the live faults.
@@ -392,6 +479,15 @@ func quantize(x []float64, grid, lo, hi float64) {
 		}
 		x[i] = clamp(q, lo, hi)
 	}
+}
+
+// grow returns s resized to n entries, reallocating when the capacity
+// is insufficient (contents need not survive).
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+)
+
+// optimizeWorkerCounts mirrors the campaign equivalence matrix. Values
+// above 2 exercise the API contract (effective PREPARE parallelism caps
+// at 2) without changing results.
+func optimizeWorkerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// equalOptimize fails unless a and b agree on everything the optimizer
+// promises to keep deterministic: weights, test lengths, sweep history,
+// and the redundancy count. Analyses and Elapsed are measurements of
+// the execution strategy, not of the optimization, and are excluded.
+func equalOptimize(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Weights, b.Weights) {
+		t.Errorf("%s: weights differ\nserial:   %v\nparallel: %v", label, a.Weights, b.Weights)
+	}
+	if a.InitialN != b.InitialN || a.FinalN != b.FinalN {
+		t.Errorf("%s: test lengths differ: serial (%v, %v), parallel (%v, %v)",
+			label, a.InitialN, a.FinalN, b.InitialN, b.FinalN)
+	}
+	if a.Sweeps != b.Sweeps || !reflect.DeepEqual(a.History, b.History) {
+		t.Errorf("%s: sweep history differs:\nserial:   %+v\nparallel: %+v",
+			label, a.History, b.History)
+	}
+	if a.SuspectedRedundant != b.SuspectedRedundant {
+		t.Errorf("%s: redundancy counts differ: %d vs %d",
+			label, a.SuspectedRedundant, b.SuspectedRedundant)
+	}
+}
+
+// TestOptimizeWorkersEquivalence asserts that the parallel-PREPARE
+// optimizer returns bit-identical results to the serial one on every
+// generated benchmark circuit, for every tested worker count. Sweeps
+// are capped to keep the full 12-circuit matrix fast; equivalence is
+// per-sweep, so a capped run that matches certifies the full run.
+func TestOptimizeWorkersEquivalence(t *testing.T) {
+	opts := Options{MaxSweeps: 2, Quantize: 0.05}
+	for _, b := range gen.Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			c := b.Build()
+			faults := fault.New(c).Reps
+			ref, err := Optimize(c, faults, opts)
+			if err != nil {
+				t.Fatalf("serial optimize: %v", err)
+			}
+			for _, w := range optimizeWorkerCounts() {
+				o := opts
+				o.Workers = w
+				got, err := Optimize(c, faults, o)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				equalOptimize(t, b.Name, ref, got)
+				if t.Failed() {
+					t.Fatalf("workers=%d diverged from serial", w)
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizeWorkersRepeatable re-runs the parallel optimizer and
+// demands identical results — the determinism property test for the
+// concurrent PREPARE path (meaningful under -race).
+func TestOptimizeWorkersRepeatable(t *testing.T) {
+	b, _ := gen.ByName("s1")
+	c := b.Build()
+	faults := fault.New(c).Reps
+	var ref *Result
+	for rep := 0; rep < 3; rep++ {
+		got, err := Optimize(c, faults, Options{MaxSweeps: 3, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		equalOptimize(t, "s1-repeat", ref, got)
+	}
+}
+
+// TestOptimizeWorkersFullRun removes the sweep cap on one resistant
+// circuit: the complete optimization (default convergence criterion,
+// quantized grid) must agree between serial and parallel.
+func TestOptimizeWorkersFullRun(t *testing.T) {
+	b, _ := gen.ByName("s1")
+	c := b.Build()
+	faults := fault.New(c).Reps
+	ref, err := Optimize(c, faults, Options{Quantize: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Optimize(c, faults, Options{Quantize: 0.05, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalOptimize(t, "s1-full", ref, got)
+	if ref.FinalN >= ref.InitialN {
+		t.Errorf("optimization did not shrink the test length: %v -> %v", ref.InitialN, ref.FinalN)
+	}
+}

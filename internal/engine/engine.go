@@ -1,0 +1,230 @@
+// Package engine orchestrates fleets of fault-simulation campaigns:
+// multi-circuit × multi-weighting × multi-seed sweeps fanned out over a
+// bounded worker pool, with a second, nested level of parallelism
+// available inside each campaign (fault-list sharding, see
+// sim.RunCampaignWorkers).
+//
+// Two properties make the engine safe to scale:
+//
+//   - Deterministic seeding. Every task's PRNG seed is derived from the
+//     sweep's base seed and the task's own identity (circuit name,
+//     weighting name, repetition index) via TaskSeed, never from
+//     execution order. Adding circuits, reordering tasks, or changing
+//     the worker count cannot change any individual campaign.
+//
+//   - Deterministic merging. Results are returned positionally
+//     (result i belongs to task i) and each campaign is bit-identical
+//     for every worker count, so an engine run is reproducible
+//     end-to-end regardless of scheduling.
+//
+// The package is the single seam for future scaling work: sharding a
+// sweep across processes, batching tasks per circuit to share
+// simulator state, or backing Run with a remote execution service all
+// slot in behind the same Task/Run contract.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+	"optirand/internal/sim"
+)
+
+// Task is one fault-simulation campaign: a circuit, a fault list, one
+// or more weight sets (one = plain weighted campaign, several = the
+// §5.3 mixture rotation), a pattern budget, and a seed.
+type Task struct {
+	// Label identifies the task in reports ("c2670/optimized#3").
+	Label string
+	// Circuit is the netlist under test.
+	Circuit *circuit.Circuit
+	// Faults is the campaign's fault list (typically the collapsed
+	// representatives).
+	Faults []fault.Fault
+	// WeightSets holds the per-input 1-probabilities; with several
+	// sets, 64-pattern batches rotate through them.
+	WeightSets [][]float64
+	// Patterns is the pattern budget.
+	Patterns int
+	// Seed makes the campaign reproducible. Derive it with TaskSeed so
+	// it depends on task identity, not execution order.
+	Seed uint64
+	// CurveStep > 0 samples the coverage curve every CurveStep
+	// patterns.
+	CurveStep int
+	// SimWorkers shards the fault list inside the campaign (<= 0 keeps
+	// the campaign serial). Task-level and campaign-level parallelism
+	// compose; for many small tasks prefer task-level only.
+	SimWorkers int
+}
+
+// TaskResult pairs a task with its campaign outcome.
+type TaskResult struct {
+	Task     *Task
+	Campaign *sim.CampaignResult
+	Elapsed  time.Duration
+}
+
+// validate reports the first structural problem of t, if any.
+func (t *Task) validate() error {
+	if t.Circuit == nil {
+		return fmt.Errorf("engine: task %q: nil circuit", t.Label)
+	}
+	if len(t.WeightSets) == 0 {
+		return fmt.Errorf("engine: task %q: no weight sets", t.Label)
+	}
+	for k, ws := range t.WeightSets {
+		if len(ws) != t.Circuit.NumInputs() {
+			return fmt.Errorf("engine: task %q: weight set %d has %d entries, circuit has %d inputs",
+				t.Label, k, len(ws), t.Circuit.NumInputs())
+		}
+	}
+	return nil
+}
+
+// run executes the campaign.
+func (t *Task) run() TaskResult {
+	start := time.Now()
+	simWorkers := t.SimWorkers
+	if simWorkers <= 0 {
+		simWorkers = 1
+	}
+	res := sim.RunCampaignMixtureWorkers(t.Circuit, t.Faults, t.WeightSets,
+		t.Patterns, t.Seed, t.CurveStep, simWorkers)
+	return TaskResult{Task: t, Campaign: res, Elapsed: time.Since(start)}
+}
+
+// Run executes every task on a pool of workers goroutines (<= 0
+// selects GOMAXPROCS) and returns the results positionally: result i
+// belongs to tasks[i], whatever the completion order. All tasks are
+// validated before any is started.
+func Run(tasks []*Task, workers int) ([]TaskResult, error) {
+	for _, t := range tasks {
+		if err := t.validate(); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]TaskResult, len(tasks))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i, t := range tasks {
+			results[i] = t.run()
+		}
+		return results, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = tasks[i].run()
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, nil
+}
+
+// TaskSeed derives a per-task seed from a base seed and the task's
+// identity coordinates by chaining SplitMix64 steps. The derivation is
+// a pure function of its arguments, so a task keeps its seed when the
+// sweep grows, shrinks, or is reordered.
+func TaskSeed(base uint64, coords ...uint64) uint64 {
+	h := prng.New(base).Uint64()
+	for _, c := range coords {
+		h = prng.New(h ^ (c + 0x9e3779b97f4a7c15)).Uint64()
+	}
+	return h
+}
+
+// HashName folds a string into a TaskSeed coordinate (FNV-1a).
+func HashName(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// Weighting names one prepared weight configuration for a circuit.
+type Weighting struct {
+	// Name identifies the configuration ("uniform", "optimized", …).
+	Name string
+	// Sets is the configuration's weight-set list (usually length 1).
+	Sets [][]float64
+}
+
+// SweepCircuit is one circuit of a sweep together with its fault list
+// and the weightings to campaign with.
+type SweepCircuit struct {
+	Name       string
+	Circuit    *circuit.Circuit
+	Faults     []fault.Fault
+	Weightings []Weighting
+	// Patterns overrides Sweep.Patterns for this circuit when > 0.
+	Patterns int
+}
+
+// Sweep describes a multi-circuit × multi-weighting × multi-seed
+// campaign grid.
+type Sweep struct {
+	// BaseSeed roots every task seed (see TaskSeed).
+	BaseSeed uint64
+	// Repetitions is the number of independently seeded campaigns per
+	// (circuit, weighting) cell; values < 1 mean 1.
+	Repetitions int
+	// Patterns is the default per-campaign pattern budget.
+	Patterns int
+	// CurveStep and SimWorkers are copied into every task.
+	CurveStep  int
+	SimWorkers int
+	Circuits   []SweepCircuit
+}
+
+// Tasks expands the grid into the task list, in circuit-major,
+// weighting-middle, repetition-minor order. Each task's seed is
+// TaskSeed(BaseSeed, HashName(circuit), HashName(weighting), rep).
+func (s *Sweep) Tasks() []*Task {
+	reps := s.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	var tasks []*Task
+	for _, sc := range s.Circuits {
+		patterns := s.Patterns
+		if sc.Patterns > 0 {
+			patterns = sc.Patterns
+		}
+		for _, wt := range sc.Weightings {
+			for r := 0; r < reps; r++ {
+				tasks = append(tasks, &Task{
+					Label:      fmt.Sprintf("%s/%s#%d", sc.Name, wt.Name, r),
+					Circuit:    sc.Circuit,
+					Faults:     sc.Faults,
+					WeightSets: wt.Sets,
+					Patterns:   patterns,
+					Seed:       TaskSeed(s.BaseSeed, HashName(sc.Name), HashName(wt.Name), uint64(r)),
+					CurveStep:  s.CurveStep,
+					SimWorkers: s.SimWorkers,
+				})
+			}
+		}
+	}
+	return tasks
+}

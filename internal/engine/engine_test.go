@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+)
+
+// testSweep builds a small multi-circuit × multi-weighting ×
+// multi-repetition grid over generated benchmark circuits.
+func testSweep(t *testing.T) *Sweep {
+	t.Helper()
+	sweep := &Sweep{
+		BaseSeed:    1987,
+		Repetitions: 3,
+		Patterns:    320,
+		CurveStep:   100,
+	}
+	for _, name := range []string{"c432", "c880", "c1908"} {
+		b, ok := gen.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		c := b.Build()
+		faults := fault.New(c).Reps
+		n := c.NumInputs()
+		uniform := make([]float64, n)
+		skewed := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 0.5
+			skewed[i] = 0.1 + 0.8*float64(i)/float64(n)
+		}
+		sweep.Circuits = append(sweep.Circuits, SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  faults,
+			Weightings: []Weighting{
+				{Name: "uniform", Sets: [][]float64{uniform}},
+				{Name: "skewed", Sets: [][]float64{skewed}},
+				{Name: "mixture", Sets: [][]float64{uniform, skewed}},
+			},
+		})
+	}
+	return sweep
+}
+
+// stripElapsed projects results onto their deterministic content.
+func stripElapsed(results []TaskResult) []TaskResult {
+	out := make([]TaskResult, len(results))
+	for i, r := range results {
+		r.Elapsed = 0
+		out[i] = r
+	}
+	return out
+}
+
+// TestRunWorkerCountInvariance runs the same sweep at several pool
+// sizes (including nested campaign-level sharding) and demands
+// positionally identical results.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	tasks := testSweep(t).Tasks()
+	if len(tasks) != 3*3*3 {
+		t.Fatalf("grid expansion: got %d tasks, want 27", len(tasks))
+	}
+	ref, err := Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 32, -1} {
+		got, err := Run(tasks, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(stripElapsed(ref), stripElapsed(got)) {
+			t.Fatalf("workers=%d: results differ from serial run", workers)
+		}
+	}
+	// Nested parallelism: campaign-level sharding on top of the pool.
+	nested := testSweep(t)
+	nested.SimWorkers = 3
+	nestedTasks := nested.Tasks()
+	got, err := Run(nestedTasks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if !reflect.DeepEqual(ref[i].Campaign, got[i].Campaign) {
+			t.Fatalf("task %s: nested-parallel campaign differs", ref[i].Task.Label)
+		}
+	}
+}
+
+// TestRunRepeatable is the engine-level seeding property test: a sweep
+// re-expanded and re-run must reproduce itself exactly (run under
+// -race to certify the pool).
+func TestRunRepeatable(t *testing.T) {
+	ref, err := Run(testSweep(t).Tasks(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		got, err := Run(testSweep(t).Tasks(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if ref[i].Task.Label != got[i].Task.Label ||
+				ref[i].Task.Seed != got[i].Task.Seed ||
+				!reflect.DeepEqual(ref[i].Campaign, got[i].Campaign) {
+				t.Fatalf("rep %d, task %s: sweep is not reproducible", rep, ref[i].Task.Label)
+			}
+		}
+	}
+}
+
+// TestTaskSeedIdentity pins the seeding contract: seeds depend on task
+// identity, not on grid shape or position.
+func TestTaskSeedIdentity(t *testing.T) {
+	if TaskSeed(1, 2, 3) != TaskSeed(1, 2, 3) {
+		t.Fatal("TaskSeed is not a pure function")
+	}
+	if TaskSeed(1, 2, 3) == TaskSeed(1, 3, 2) {
+		t.Error("TaskSeed ignores coordinate order")
+	}
+	if TaskSeed(1, 2, 3) == TaskSeed(2, 2, 3) {
+		t.Error("TaskSeed ignores the base seed")
+	}
+
+	// Dropping a circuit from the sweep must not reseed the others.
+	full := testSweep(t)
+	reduced := testSweep(t)
+	reduced.Circuits = reduced.Circuits[1:]
+	seeds := map[string]uint64{}
+	for _, task := range full.Tasks() {
+		seeds[task.Label] = task.Seed
+	}
+	for _, task := range reduced.Tasks() {
+		if seeds[task.Label] != task.Seed {
+			t.Fatalf("task %s: seed changed when the grid shrank", task.Label)
+		}
+	}
+
+	// All seeds in a grid are distinct.
+	seen := map[uint64]string{}
+	for label, seed := range seeds {
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("tasks %s and %s share seed %d", prev, label, seed)
+		}
+		seen[seed] = label
+	}
+}
+
+// TestSweepPatternOverride checks the per-circuit pattern budget.
+func TestSweepPatternOverride(t *testing.T) {
+	s := testSweep(t)
+	s.Circuits[1].Patterns = 64
+	for _, task := range s.Tasks() {
+		want := s.Patterns
+		if strings.HasPrefix(task.Label, s.Circuits[1].Name+"/") {
+			want = 64
+		}
+		if task.Patterns != want {
+			t.Fatalf("task %s: patterns = %d, want %d", task.Label, task.Patterns, want)
+		}
+	}
+}
+
+// TestRunValidation rejects malformed tasks before running anything.
+func TestRunValidation(t *testing.T) {
+	b, _ := gen.ByName("c432")
+	c := b.Build()
+	bad := []*Task{
+		{Label: "nil-circuit", WeightSets: [][]float64{{0.5}}},
+		{Label: "no-weights", Circuit: c},
+		{Label: "short-weights", Circuit: c, WeightSets: [][]float64{{0.5, 0.5}}},
+	}
+	for _, task := range bad {
+		if _, err := Run([]*Task{task}, 1); err == nil {
+			t.Errorf("task %s: expected validation error", task.Label)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"math/bits"
+	"runtime"
+	"sync"
 
 	"optirand/internal/circuit"
 	"optirand/internal/fault"
@@ -36,39 +38,30 @@ func (r *CampaignResult) Coverage() float64 {
 	return float64(r.Detected) / float64(r.TotalFaults)
 }
 
-// RunCampaign simulates nPatterns weighted random patterns against the
-// fault list and reports coverage. weights[i] is the probability that
-// primary input i is 1 in each pattern; seed makes the run reproducible.
-// Detected faults are dropped from further simulation. curveStep > 0
-// requests a coverage sample roughly every curveStep patterns (rounded
-// up to 64-pattern batches); curveStep == 0 records only the final
-// point.
-func RunCampaign(c *circuit.Circuit, faults []fault.Fault, weights []float64,
-	nPatterns int, seed uint64, curveStep int) *CampaignResult {
+// batchGen fills one word per primary input with the patterns of batch
+// batchNo (64 patterns per batch). Implementations must be pure
+// functions of batchNo so that independent replays of the stream are
+// identical — that property is what makes fault-sharded parallel
+// campaigns bit-identical to serial ones.
+type batchGen func(batchNo int, dst []uint64)
 
-	res := &CampaignResult{
-		TotalFaults:   len(faults),
-		Patterns:      nPatterns,
-		FirstDetected: make([]int, len(faults)),
-	}
-	if nPatterns <= 0 || len(faults) == 0 {
-		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
-		return res
-	}
+// runShard simulates the batch stream against the faults selected by
+// shard (indices into faults), filling firstDetected at those indices.
+// Detected faults are dropped from further simulation; the shard stops
+// early once every one of its faults is detected. runShard takes
+// ownership of shard (it is compacted in place as faults drop) and of
+// its simulators and generator, so shards run concurrently without
+// sharing.
+func runShard(c *circuit.Circuit, faults []fault.Fault, shard []int,
+	firstDetected []int, gen batchGen, nPatterns int) {
 
 	s := NewSimulator(c)
 	fs := NewFaultSimulator(s)
-	rng := prng.New(seed)
 	words := make([]uint64, c.NumInputs())
+	alive := shard
 
-	alive := make([]int, len(faults)) // indices into faults
-	for i := range alive {
-		alive[i] = i
-	}
-
-	nextSample := curveStep
 	applied := 0
-	for applied < nPatterns && len(alive) > 0 {
+	for b := 0; applied < nPatterns && len(alive) > 0; b++ {
 		batch := 64
 		if rem := nPatterns - applied; rem < batch {
 			batch = rem
@@ -77,7 +70,7 @@ func RunCampaign(c *circuit.Circuit, faults []fault.Fault, weights []float64,
 		if batch < 64 {
 			batchMask = (uint64(1) << uint(batch)) - 1
 		}
-		rng.WeightedWords(words, weights)
+		gen(b, words)
 		s.SetInputs(words)
 		s.Run()
 
@@ -88,13 +81,50 @@ func RunCampaign(c *circuit.Circuit, faults []fault.Fault, weights []float64,
 				kept = append(kept, fi)
 				continue
 			}
-			first := bits.TrailingZeros64(det)
-			res.FirstDetected[fi] = applied + first + 1
-			res.Detected++
+			firstDetected[fi] = applied + bits.TrailingZeros64(det) + 1
 		}
 		alive = kept
 		applied += batch
+	}
+}
 
+// assembleResult reconstructs the full campaign report from the
+// per-fault first-detection indices by replaying the serial batch
+// bookkeeping (fault dropping, early exit once every fault is detected,
+// curve sampling). It is a pure function of its arguments, so serial
+// and parallel campaigns that agree on firstDetected produce identical
+// results.
+func assembleResult(total, nPatterns, curveStep int, firstDetected []int) *CampaignResult {
+	res := &CampaignResult{
+		TotalFaults:   total,
+		Patterns:      nPatterns,
+		FirstDetected: firstDetected,
+	}
+	if nPatterns <= 0 || total == 0 {
+		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
+		return res
+	}
+
+	// Detections per 64-pattern batch.
+	nBatches := (nPatterns + 63) / 64
+	perBatch := make([]int, nBatches)
+	for _, fd := range firstDetected {
+		if fd > 0 {
+			perBatch[(fd-1)/64]++
+		}
+	}
+
+	alive := total
+	nextSample := curveStep
+	applied := 0
+	for b := 0; applied < nPatterns && alive > 0; b++ {
+		batch := 64
+		if rem := nPatterns - applied; rem < batch {
+			batch = rem
+		}
+		res.Detected += perBatch[b]
+		alive -= perBatch[b]
+		applied += batch
 		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
 			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
 			for nextSample <= applied {
@@ -113,71 +143,117 @@ func RunCampaign(c *circuit.Circuit, faults []fault.Fault, weights []float64,
 	return res
 }
 
+// normWorkers resolves a worker-count request: values <= 0 select
+// GOMAXPROCS, and the count never exceeds the fault-list length (an
+// empty shard would be pure overhead).
+func normWorkers(workers, nFaults int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nFaults {
+		workers = nFaults
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runCampaign shards the fault list across workers goroutines, each
+// replaying the identical batch stream (newGen returns a fresh,
+// deterministic generator per worker) with per-shard fault dropping,
+// and assembles the merged result. Results are bit-identical for every
+// worker count.
+func runCampaign(c *circuit.Circuit, faults []fault.Fault, newGen func() batchGen,
+	nPatterns, curveStep, workers int) *CampaignResult {
+
+	firstDetected := make([]int, len(faults))
+	if nPatterns <= 0 || len(faults) == 0 {
+		return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+	}
+	workers = normWorkers(workers, len(faults))
+	if workers == 1 {
+		shard := make([]int, len(faults))
+		for i := range shard {
+			shard[i] = i
+		}
+		runShard(c, faults, shard, firstDetected, newGen(), nPatterns)
+		return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+	}
+
+	var wg sync.WaitGroup
+	n := len(faults)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		shard := make([]int, hi-lo)
+		for i := range shard {
+			shard[i] = lo + i
+		}
+		gen := newGen()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runShard(c, faults, shard, firstDetected, gen, nPatterns)
+		}()
+	}
+	wg.Wait()
+	return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+}
+
+// weightedGen returns a batchGen factory replaying the weighted random
+// stream of seed: batch b of every generator returned carries the same
+// 64 patterns.
+func weightedGen(weights []float64, seed uint64) func() batchGen {
+	return func() batchGen {
+		rng := prng.New(seed)
+		return func(_ int, dst []uint64) { rng.WeightedWords(dst, weights) }
+	}
+}
+
+// mixtureGen is weightedGen drawing batch b from weightSets[b%k].
+func mixtureGen(weightSets [][]float64, seed uint64) func() batchGen {
+	return func() batchGen {
+		rng := prng.New(seed)
+		return func(b int, dst []uint64) { rng.WeightedWords(dst, weightSets[b%len(weightSets)]) }
+	}
+}
+
+// RunCampaign simulates nPatterns weighted random patterns against the
+// fault list and reports coverage. weights[i] is the probability that
+// primary input i is 1 in each pattern; seed makes the run reproducible.
+// Detected faults are dropped from further simulation. curveStep > 0
+// requests a coverage sample roughly every curveStep patterns (rounded
+// up to 64-pattern batches); curveStep == 0 records only the final
+// point.
+func RunCampaign(c *circuit.Circuit, faults []fault.Fault, weights []float64,
+	nPatterns int, seed uint64, curveStep int) *CampaignResult {
+
+	return runCampaign(c, faults, weightedGen(weights, seed), nPatterns, curveStep, 1)
+}
+
+// RunCampaignWorkers is RunCampaign with the fault list sharded across
+// a pool of workers goroutines (<= 0 selects GOMAXPROCS). Every worker
+// replays the identical pattern stream from seed against its shard, so
+// the result — coverage, FirstDetected, curve — is bit-identical to the
+// serial campaign for every worker count.
+func RunCampaignWorkers(c *circuit.Circuit, faults []fault.Fault, weights []float64,
+	nPatterns int, seed uint64, curveStep, workers int) *CampaignResult {
+
+	return runCampaign(c, faults, weightedGen(weights, seed), nPatterns, curveStep, workers)
+}
+
 // RunCampaignSource is RunCampaign with an external pattern source:
 // next is called once per 64-pattern batch and must fill one word per
 // primary input. It serves hardware-model sources (weighted LFSRs) and
-// replayed pattern sets.
+// replayed pattern sets. The source is a single stateful stream, so
+// this variant always runs serially.
 func RunCampaignSource(c *circuit.Circuit, faults []fault.Fault, next func(dst []uint64),
 	nPatterns int, curveStep int) *CampaignResult {
 
-	res := &CampaignResult{
-		TotalFaults:   len(faults),
-		Patterns:      nPatterns,
-		FirstDetected: make([]int, len(faults)),
+	newGen := func() batchGen {
+		return func(_ int, dst []uint64) { next(dst) }
 	}
-	if nPatterns <= 0 || len(faults) == 0 {
-		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
-		return res
-	}
-	s := NewSimulator(c)
-	fs := NewFaultSimulator(s)
-	words := make([]uint64, c.NumInputs())
-	alive := make([]int, len(faults))
-	for i := range alive {
-		alive[i] = i
-	}
-	nextSample := curveStep
-	applied := 0
-	for applied < nPatterns && len(alive) > 0 {
-		batch := 64
-		if rem := nPatterns - applied; rem < batch {
-			batch = rem
-		}
-		batchMask := ^uint64(0)
-		if batch < 64 {
-			batchMask = (uint64(1) << uint(batch)) - 1
-		}
-		next(words)
-		s.SetInputs(words)
-		s.Run()
-		kept := alive[:0]
-		for _, fi := range alive {
-			det := fs.DetectWord(faults[fi]) & batchMask
-			if det == 0 {
-				kept = append(kept, fi)
-				continue
-			}
-			res.FirstDetected[fi] = applied + bits.TrailingZeros64(det) + 1
-			res.Detected++
-		}
-		alive = kept
-		applied += batch
-		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
-			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
-			for nextSample <= applied {
-				nextSample += curveStep
-			}
-		}
-	}
-	if applied < nPatterns {
-		applied = nPatterns
-	}
-	last := CoveragePoint{applied, res.Detected, res.Coverage()}
-	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
-		res.Curve = append(res.Curve, last)
-	}
-	res.Patterns = applied
-	return res
+	return runCampaign(c, faults, newGen, nPatterns, curveStep, 1)
 }
 
 // RunCampaignMixture is RunCampaign drawing each 64-pattern batch from
@@ -188,71 +264,22 @@ func RunCampaignSource(c *circuit.Circuit, faults []fault.Fault, next func(dst [
 func RunCampaignMixture(c *circuit.Circuit, faults []fault.Fault, weightSets [][]float64,
 	nPatterns int, seed uint64, curveStep int) *CampaignResult {
 
+	return RunCampaignMixtureWorkers(c, faults, weightSets, nPatterns, seed, curveStep, 1)
+}
+
+// RunCampaignMixtureWorkers is RunCampaignMixture with the fault list
+// sharded across workers goroutines (<= 0 selects GOMAXPROCS); results
+// are bit-identical to the serial mixture campaign.
+func RunCampaignMixtureWorkers(c *circuit.Circuit, faults []fault.Fault, weightSets [][]float64,
+	nPatterns int, seed uint64, curveStep, workers int) *CampaignResult {
+
 	if len(weightSets) == 0 {
 		panic("sim: RunCampaignMixture: no weight sets")
 	}
 	if len(weightSets) == 1 {
-		return RunCampaign(c, faults, weightSets[0], nPatterns, seed, curveStep)
+		return runCampaign(c, faults, weightedGen(weightSets[0], seed), nPatterns, curveStep, workers)
 	}
-	res := &CampaignResult{
-		TotalFaults:   len(faults),
-		Patterns:      nPatterns,
-		FirstDetected: make([]int, len(faults)),
-	}
-	if nPatterns <= 0 || len(faults) == 0 {
-		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
-		return res
-	}
-	s := NewSimulator(c)
-	fs := NewFaultSimulator(s)
-	rng := prng.New(seed)
-	words := make([]uint64, c.NumInputs())
-	alive := make([]int, len(faults))
-	for i := range alive {
-		alive[i] = i
-	}
-	nextSample := curveStep
-	applied := 0
-	for batchNo := 0; applied < nPatterns && len(alive) > 0; batchNo++ {
-		batch := 64
-		if rem := nPatterns - applied; rem < batch {
-			batch = rem
-		}
-		batchMask := ^uint64(0)
-		if batch < 64 {
-			batchMask = (uint64(1) << uint(batch)) - 1
-		}
-		rng.WeightedWords(words, weightSets[batchNo%len(weightSets)])
-		s.SetInputs(words)
-		s.Run()
-		kept := alive[:0]
-		for _, fi := range alive {
-			det := fs.DetectWord(faults[fi]) & batchMask
-			if det == 0 {
-				kept = append(kept, fi)
-				continue
-			}
-			res.FirstDetected[fi] = applied + bits.TrailingZeros64(det) + 1
-			res.Detected++
-		}
-		alive = kept
-		applied += batch
-		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
-			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
-			for nextSample <= applied {
-				nextSample += curveStep
-			}
-		}
-	}
-	if applied < nPatterns {
-		applied = nPatterns
-	}
-	last := CoveragePoint{applied, res.Detected, res.Coverage()}
-	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
-		res.Curve = append(res.Curve, last)
-	}
-	res.Patterns = applied
-	return res
+	return runCampaign(c, faults, mixtureGen(weightSets, seed), nPatterns, curveStep, workers)
 }
 
 // EstimateDetectProbs estimates the detection probability of each fault

@@ -194,6 +194,15 @@ func SimulateRandomTest(c *Circuit, faults []Fault, weights []float64, nPatterns
 	return sim.RunCampaign(c, faults, weights, nPatterns, seed, curveStep)
 }
 
+// SimulateRandomTestWorkers is SimulateRandomTest with the fault list
+// sharded across workers goroutines (<= 0 selects GOMAXPROCS). Every
+// worker replays the identical seeded pattern stream against its
+// shard, so the result is bit-identical to the serial campaign for
+// every worker count.
+func SimulateRandomTestWorkers(c *Circuit, faults []Fault, weights []float64, nPatterns int, seed uint64, curveStep, workers int) *CampaignResult {
+	return sim.RunCampaignWorkers(c, faults, weights, nPatterns, seed, curveStep, workers)
+}
+
 // MultiDistributionResult reports the §5.3 extension: several weight
 // sets serving a partitioned fault set.
 type MultiDistributionResult = core.MultiResult
@@ -212,6 +221,13 @@ func OptimizeMultiDistribution(c *Circuit, faults []Fault, maxParts int, opts Op
 // weight sets in rotation (one 64-pattern batch per set).
 func SimulateRandomTestMixture(c *Circuit, faults []Fault, weightSets [][]float64, nPatterns int, seed uint64, curveStep int) *CampaignResult {
 	return sim.RunCampaignMixture(c, faults, weightSets, nPatterns, seed, curveStep)
+}
+
+// SimulateRandomTestMixtureWorkers is SimulateRandomTestMixture with
+// the fault list sharded across workers goroutines (<= 0 selects
+// GOMAXPROCS); bit-identical to the serial mixture campaign.
+func SimulateRandomTestMixtureWorkers(c *Circuit, faults []Fault, weightSets [][]float64, nPatterns int, seed uint64, curveStep, workers int) *CampaignResult {
+	return sim.RunCampaignMixtureWorkers(c, faults, weightSets, nPatterns, seed, curveStep, workers)
 }
 
 // SimulateWithSource fault-simulates patterns from an external source:
