@@ -1,12 +1,15 @@
 # Build/test entry points. `make test` is the tier-1 gate; `make
-# test-race` additionally certifies the parallel engine (fault-sharded
-# campaigns, concurrent PREPARE, the sweep orchestrator) under the race
-# detector; `make bench` runs the Go benchmarks; `make parbench` emits
-# the machine-readable serial-vs-parallel summary BENCH_parallel.json.
+# test-race` additionally certifies the parallel and distributed
+# engine (fault-sharded campaigns, concurrent PREPARE, the sweep
+# orchestrator, the dist queue/dispatcher/daemon) under the race
+# detector; `make bench` runs the Go benchmarks; `make parbench` /
+# `make servebench` emit the machine-readable performance summaries
+# BENCH_parallel.json / BENCH_service.json; `make serve` starts the
+# optirandd HTTP daemon.
 
 GO ?= go
 
-.PHONY: all build test test-race bench parbench vet fmt clean
+.PHONY: all build test test-race bench parbench serve servebench vet fmt clean
 
 all: build test
 
@@ -25,6 +28,12 @@ bench:
 parbench:
 	$(GO) run ./cmd/benchgen -parbench
 
+serve:
+	$(GO) run ./cmd/optirandd
+
+servebench:
+	$(GO) run ./cmd/benchgen -servebench
+
 vet:
 	$(GO) vet ./...
 
@@ -33,4 +42,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_service.json

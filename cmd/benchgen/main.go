@@ -9,6 +9,8 @@
 //	benchgen -stats                      # structural statistics table
 //	benchgen -parbench                   # serial-vs-parallel campaign
 //	                                     # throughput -> BENCH_parallel.json
+//	benchgen -servebench                 # optirandd service throughput and
+//	                                     # cache-hit latency -> BENCH_service.json
 package main
 
 import (
@@ -191,6 +193,8 @@ func main() {
 	switch {
 	case *flagParbench:
 		parbench()
+	case *flagServebench:
+		servebench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"optirand"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+	"optirand/internal/report"
+)
+
+var (
+	flagServebench = flag.Bool("servebench", false, "benchmark the optirandd service (throughput, cache-hit latency), write a JSON summary")
+	flagServeOut   = flag.String("serveout", "BENCH_service.json", "servebench: summary output path")
+	flagServeCirc  = flag.String("servecircuits", "c432,c880,c1908", "servebench: comma-separated circuits")
+	flagServeN     = flag.Int("serven", 1024, "servebench: patterns per campaign")
+	flagServeReps  = flag.Int("servereps", 4, "servebench: seeds per circuit × weighting cell")
+	flagServeHits  = flag.Int("servehits", 200, "servebench: cache-hit requests to time")
+)
+
+// serveSummary is the BENCH_service.json schema: the service
+// performance trajectory's seed measurement.
+type serveSummary struct {
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	NumCPU              int     `json:"numcpu"`
+	Seed                uint64  `json:"seed"`
+	Tasks               int     `json:"tasks"`
+	Patterns            int     `json:"patterns"`
+	ColdSweepSeconds    float64 `json:"cold_sweep_seconds"`
+	WarmSweepSeconds    float64 `json:"warm_sweep_seconds"`
+	WarmSpeedup         float64 `json:"warm_speedup"`
+	CacheHitRequests    int     `json:"cache_hit_requests"`
+	CacheHitRPS         float64 `json:"cache_hit_rps"`
+	CacheHitMeanMillis  float64 `json:"cache_hit_mean_ms"`
+	CacheHitBestMillis  float64 `json:"cache_hit_best_ms"`
+	IdenticalToInProc   bool    `json:"identical_to_inprocess"`
+	WarmSweepAllCached  bool    `json:"warm_sweep_all_cached"`
+	CampaignsPerSecCold float64 `json:"campaigns_per_sec_cold"`
+}
+
+// servebenchTasks expands the benchmarked circuits into a sweep grid
+// (conventional + skewed weightings, several seeds per cell).
+func servebenchTasks(seed uint64) []*engine.Task {
+	sweep := &engine.Sweep{
+		BaseSeed:    seed,
+		Repetitions: *flagServeReps,
+		Patterns:    *flagServeN,
+	}
+	for _, name := range strings.Split(*flagServeCirc, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := optirand.BenchmarkByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown circuit %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		c := b.Build()
+		skewed := make([]float64, c.NumInputs())
+		for i := range skewed {
+			skewed[i] = 0.1 + 0.8*float64(i)/float64(len(skewed))
+		}
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  optirand.CollapsedFaults(c),
+			Weightings: []engine.Weighting{
+				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+				{Name: "skewed", Sets: [][]float64{skewed}},
+			},
+		})
+	}
+	return sweep.Tasks()
+}
+
+// servebench measures daemon throughput: a cold sweep (every campaign
+// executed by the fleet), the same sweep warm (every campaign answered
+// from the content-addressed cache), and the request rate and latency
+// of single cache-hit campaign requests — the serving-path numbers the
+// north star cares about.
+func servebench() {
+	const seed = 1987
+	tasks := servebenchTasks(seed)
+
+	// In-process reference for the identity check.
+	ref, err := engine.Run(tasks, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Real daemon on a loopback listener.
+	srv := dist.NewServer(dist.ServerOptions{Workers: runtime.GOMAXPROCS(0), CacheSize: 4096})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed on exit
+	defer httpSrv.Close()
+	cl := dist.NewClient(ln.Addr().String())
+
+	start := time.Now()
+	cold, coldHits, err := cl.Sweep(tasks)
+	coldTime := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: cold sweep: %v\n", err)
+		os.Exit(1)
+	}
+	start = time.Now()
+	warm, warmHits, err := cl.Sweep(tasks)
+	warmTime := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: warm sweep: %v\n", err)
+		os.Exit(1)
+	}
+
+	identical := coldHits == 0 && reflect.DeepEqual(cold, warm)
+	for i := range ref {
+		identical = identical && reflect.DeepEqual(ref[i].Campaign, cold[i])
+	}
+
+	// Cache-hit serving latency: one campaign, many warm requests.
+	hitReqs := *flagServeHits
+	best := time.Duration(0)
+	total := time.Duration(0)
+	for i := 0; i < hitReqs; i++ {
+		start = time.Now()
+		_, cached, err := cl.Campaign(tasks[0])
+		d := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: cache-hit request: %v\n", err)
+			os.Exit(1)
+		}
+		if !cached {
+			fmt.Fprintf(os.Stderr, "benchgen: warm request missed the cache\n")
+			os.Exit(1)
+		}
+		total += d
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+
+	summary := serveSummary{
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		NumCPU:              runtime.NumCPU(),
+		Seed:                seed,
+		Tasks:               len(tasks),
+		Patterns:            *flagServeN,
+		ColdSweepSeconds:    coldTime.Seconds(),
+		WarmSweepSeconds:    warmTime.Seconds(),
+		WarmSpeedup:         coldTime.Seconds() / warmTime.Seconds(),
+		CacheHitRequests:    hitReqs,
+		CacheHitRPS:         float64(hitReqs) / total.Seconds(),
+		CacheHitMeanMillis:  total.Seconds() * 1000 / float64(hitReqs),
+		CacheHitBestMillis:  best.Seconds() * 1000,
+		IdenticalToInProc:   identical,
+		WarmSweepAllCached:  warmHits == len(tasks),
+		CampaignsPerSecCold: float64(len(tasks)) / coldTime.Seconds(),
+	}
+
+	t := report.NewTable("Service throughput (optirandd over loopback HTTP)",
+		"Metric", "Value")
+	t.Add("sweep tasks", fmt.Sprint(summary.Tasks))
+	t.Add("cold sweep", coldTime.Round(time.Millisecond).String())
+	t.Add("warm sweep (all cached)", warmTime.Round(time.Microsecond).String())
+	t.Add("warm speedup", fmt.Sprintf("%.1fx", summary.WarmSpeedup))
+	t.Add("campaigns/s (cold)", fmt.Sprintf("%.1f", summary.CampaignsPerSecCold))
+	t.Add("cache-hit requests/s", fmt.Sprintf("%.0f", summary.CacheHitRPS))
+	t.Add("cache-hit latency (mean)", fmt.Sprintf("%.3f ms", summary.CacheHitMeanMillis))
+	t.Add("identical to in-process", fmt.Sprint(summary.IdenticalToInProc))
+	fmt.Print(t)
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagServeOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagServeOut)
+}

@@ -15,10 +15,17 @@
 //	experiments -run all
 //	experiments -run table1,table3 -seed 7
 //	experiments -run sweep -workers 8 -sweepreps 10
+//	experiments -run sweep -remote localhost:8417
 //
 // Campaigns and optimizations run on a bounded worker pool (-workers,
 // default GOMAXPROCS); every reported number is bit-identical for any
 // worker count.
+//
+// -remote routes every campaign grid (tables 2 and 4, the sweep)
+// through an optirandd service instead of the in-process pool. The
+// engine's backend contract keeps all reported numbers bit-identical
+// to the local run; repeated grids are answered from the daemon's
+// content-addressed result cache.
 //
 // Measured values are printed next to the paper's; absolute agreement is
 // not expected (the circuits are functional analogues; see DESIGN.md §3)
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"optirand"
+	"optirand/internal/dist"
 	"optirand/internal/engine"
 	"optirand/internal/report"
 )
@@ -47,7 +55,23 @@ var (
 	flagCurveStep  = flag.Int("curvestep", 500, "fig2: coverage sampling interval in patterns")
 	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for campaigns and optimization (results are identical for any count)")
 	flagSweepReps  = flag.Int("sweepreps", 5, "sweep: independently seeded campaigns per circuit × weighting cell")
+	flagRemote     = flag.String("remote", "", "optirandd address (host:port or URL); run campaign grids on the service instead of in-process")
+	flagRemoteTO   = flag.Duration("remotetimeout", 0, "per-request timeout against -remote (0 = none; grids are long requests by design)")
 )
+
+// runTasks executes a task grid on the selected engine backend: the
+// in-process pool, or an optirandd service when -remote is set. Both
+// backends honor the same contract, so the tables cannot change.
+func runTasks(tasks []*engine.Task) ([]engine.TaskResult, error) {
+	if *flagRemote == "" {
+		return engine.Run(tasks, workers())
+	}
+	cl := dist.NewClient(*flagRemote)
+	cl.HTTP.Timeout = *flagRemoteTO
+	d := dist.RemoteBackend(cl, workers())
+	defer d.Close()
+	return d.Run(tasks)
+}
 
 // workers resolves the -workers flag (values < 1 mean GOMAXPROCS).
 func workers() int {
@@ -185,7 +209,7 @@ func (l *lab) markedCampaigns(weightsFor func(b optirand.Benchmark) []float64) m
 			SimWorkers: simWorkers,
 		})
 	}
-	results, err := engine.Run(tasks, workers())
+	results, err := runTasks(tasks)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
 		os.Exit(1)
@@ -412,7 +436,7 @@ func sweepExp(l *lab) {
 	}
 	tasks := sweep.Tasks()
 	start := time.Now()
-	results, err := engine.Run(tasks, workers())
+	results, err := runTasks(tasks)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)

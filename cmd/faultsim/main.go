@@ -8,10 +8,16 @@
 //	faultsim -circuit s1 -n 12000 -weights w.txt  # weights from optgen
 //	faultsim -bench design.bench -n 4096 -curve 512
 //	faultsim -circuit c6288 -n 100000 -workers 8  # fault-sharded parallel run
+//	faultsim -circuit c6288 -n 100000 -remote localhost:8417
 //
 // -workers shards the fault list across goroutines; every worker
 // replays the identical seeded pattern stream, so results are
 // bit-identical for any worker count (default GOMAXPROCS).
+//
+// -remote routes the campaign to an optirandd service instead of
+// running it in-process. The service contract makes the result
+// bit-identical to the local run; repeated submissions of the same
+// campaign are answered from the daemon's content-addressed cache.
 //
 // The weights file contains "input-name probability" lines as produced
 // by optgen; missing inputs default to 0.5.
@@ -27,18 +33,22 @@ import (
 	"strings"
 
 	"optirand"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
 	"optirand/internal/report"
 )
 
 var (
-	flagBench   = flag.String("bench", "", "path to a .bench netlist")
-	flagCircuit = flag.String("circuit", "", "built-in benchmark name")
-	flagN       = flag.Int("n", 10000, "number of random patterns")
-	flagSeed    = flag.Uint64("seed", 1, "PRNG seed")
-	flagWeights = flag.String("weights", "", "weights file (optgen output); default all 0.5")
-	flagCurve   = flag.Int("curve", 0, "print the coverage curve sampled every N patterns")
-	flagUndet   = flag.Bool("undetected", false, "list faults left undetected")
-	flagWorkers = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any count)")
+	flagBench    = flag.String("bench", "", "path to a .bench netlist")
+	flagCircuit  = flag.String("circuit", "", "built-in benchmark name")
+	flagN        = flag.Int("n", 10000, "number of random patterns")
+	flagSeed     = flag.Uint64("seed", 1, "PRNG seed")
+	flagWeights  = flag.String("weights", "", "weights file (optgen output); default all 0.5")
+	flagCurve    = flag.Int("curve", 0, "print the coverage curve sampled every N patterns")
+	flagUndet    = flag.Bool("undetected", false, "list faults left undetected")
+	flagWorkers  = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any count)")
+	flagRemote   = flag.String("remote", "", "optirandd address (host:port or URL); runs the campaign on the service instead of in-process")
+	flagRemoteTO = flag.Duration("remotetimeout", 0, "request timeout against -remote (0 = none; campaigns are long requests by design)")
 )
 
 func fatalf(format string, args ...any) {
@@ -74,7 +84,33 @@ func main() {
 	}
 
 	faults := optirand.CollapsedFaults(c)
-	res := optirand.SimulateRandomTestWorkers(c, faults, weights, *flagN, *flagSeed, *flagCurve, *flagWorkers)
+	var res *optirand.CampaignResult
+	if *flagRemote != "" {
+		task := &engine.Task{
+			Label:      c.Name,
+			Circuit:    c,
+			Faults:     faults,
+			WeightSets: [][]float64{weights},
+			Patterns:   *flagN,
+			Seed:       *flagSeed,
+			CurveStep:  *flagCurve,
+		}
+		cl := dist.NewClient(*flagRemote)
+		cl.HTTP.Timeout = *flagRemoteTO
+		var cached bool
+		var err error
+		res, cached, err = cl.Campaign(task)
+		if err != nil {
+			fatalf("remote campaign: %v", err)
+		}
+		temp := "cold (executed)"
+		if cached {
+			temp = "warm (served from result cache)"
+		}
+		fmt.Printf("remote %s: %s\n", *flagRemote, temp)
+	} else {
+		res = optirand.SimulateRandomTestWorkers(c, faults, weights, *flagN, *flagSeed, *flagCurve, *flagWorkers)
+	}
 	fmt.Printf("circuit %s: %d collapsed faults, %s patterns\n",
 		c.Name, len(faults), report.Count(res.Patterns))
 	fmt.Printf("detected %d / %d faults: coverage %s\n",

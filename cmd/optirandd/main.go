@@ -1,0 +1,59 @@
+// Command optirandd serves the optimization and fault-simulation
+// engine over HTTP — the distributed backend behind `faultsim -remote`
+// and `experiments -remote`.
+//
+// Usage:
+//
+//	optirandd                              # serve on :8417, GOMAXPROCS workers
+//	optirandd -addr 127.0.0.1:9000 -workers 8 -simworkers 2
+//	optirandd -cachesize 4096              # bigger result cache
+//
+// Endpoints (JSON wire format, versioned; see internal/wire):
+//
+//	POST /v1/optimize   run the paper's OPTIMIZE procedure for a circuit
+//	POST /v1/campaign   run one fault-simulation campaign
+//	POST /v1/sweep      run a task batch; results return positionally
+//	GET  /v1/stats      worker fleet and result-cache counters
+//
+// All campaign work flows through one bounded worker fleet and a
+// content-addressed result cache keyed by task identity, so repeated
+// circuit × weighting × seed submissions are answered from cache with
+// byte-identical payloads. A sweep answered by the daemon is
+// bit-identical to the same sweep run in-process by engine.Run — any
+// worker count, any submission order, cold or warm cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	"optirand/internal/dist"
+)
+
+var (
+	flagAddr       = flag.String("addr", "127.0.0.1:8417", "listen address (loopback by default; the service is unauthenticated)")
+	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker fleet size (shared by all requests)")
+	flagSimWorkers = flag.Int("simworkers", 1, "fault-shard workers inside each campaign (results identical for any count)")
+	flagCacheSize  = flag.Int("cachesize", 1024, "content-addressed result cache entries (negative disables caching)")
+	flagRetries    = flag.Int("maxattempts", 3, "execution attempts per task before a batch fails")
+)
+
+func main() {
+	flag.Parse()
+	srv := dist.NewServer(dist.ServerOptions{
+		Workers:     *flagWorkers,
+		SimWorkers:  *flagSimWorkers,
+		CacheSize:   *flagCacheSize,
+		MaxAttempts: *flagRetries,
+	})
+	defer srv.Close()
+	fmt.Printf("optirandd: serving /v1/{optimize,campaign,sweep,stats} on %s (%d workers)\n",
+		*flagAddr, *flagWorkers)
+	if err := http.ListenAndServe(*flagAddr, srv); err != nil {
+		fmt.Fprintf(os.Stderr, "optirandd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Service: run a campaign sweep through the optirandd daemon and
+// watch the distributed backend keep the engine's equivalence
+// contract — then re-submit and read the whole sweep back from the
+// content-addressed result cache.
+//
+//	go run ./examples/service
+//
+// The example hosts the daemon in-process on a loopback listener; the
+// flow is identical with a real `optirandd` on another machine and
+// `-remote host:port` on faultsim/experiments.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"reflect"
+	"time"
+
+	"optirand"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+)
+
+func main() {
+	// 1. Start the daemon: a bounded worker fleet behind
+	//    /v1/{optimize,campaign,sweep}, with a content-addressed
+	//    result cache.
+	srv := dist.NewServer(dist.ServerOptions{Workers: 4, CacheSize: 256})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	fmt.Printf("optirandd serving on %s\n", ln.Addr())
+
+	// 2. Describe a sweep: circuits × weightings × seeds. Task seeds
+	//    derive from task identity, so the grid is reproducible
+	//    wherever and in whatever order it executes.
+	sweep := &engine.Sweep{BaseSeed: 1987, Repetitions: 3, Patterns: 1000}
+	for _, name := range []string{"c432", "c880"} {
+		b, _ := optirand.BenchmarkByName(name)
+		c := b.Build()
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  optirand.CollapsedFaults(c),
+			Weightings: []engine.Weighting{
+				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+			},
+		})
+	}
+	tasks := sweep.Tasks()
+
+	// 3. Submit it to the service (cold cache: every campaign is
+	//    executed by the daemon's fleet).
+	client := dist.NewClient(ln.Addr().String())
+	start := time.Now()
+	cold, hits, err := client.Sweep(tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold sweep: %d tasks in %s (%d cache hits)\n",
+		len(cold), time.Since(start).Round(time.Millisecond), hits)
+
+	// 4. Re-submit: the daemon answers the whole sweep from its
+	//    content-addressed cache, byte for byte.
+	start = time.Now()
+	warm, hits, err := client.Sweep(tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm sweep: %d tasks in %s (%d cache hits)\n",
+		len(warm), time.Since(start).Round(time.Millisecond), hits)
+
+	// 5. The equivalence contract: daemon results — cold or warm —
+	//    are bit-identical to the in-process engine.
+	local, err := engine.Run(tasks, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := reflect.DeepEqual(cold, warm)
+	for i := range local {
+		identical = identical && reflect.DeepEqual(local[i].Campaign, cold[i])
+	}
+	fmt.Printf("remote == local, cold == warm: %v\n", identical)
+	for i, r := range local[:2] {
+		fmt.Printf("  %-22s coverage %.1f %%\n", tasks[i].Label, 100*r.Campaign.Coverage())
+	}
+}

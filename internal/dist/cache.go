@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"container/list"
+	"sync"
+
+	"optirand/internal/sim"
+)
+
+// Cache is a bounded, concurrency-safe, content-addressed result
+// cache: keys are wire task identity hashes, values campaign results.
+// Eviction is least-recently-used. Get and Put deep-copy, so cached
+// results are immutable no matter what callers do with theirs — a
+// cache hit returns exactly the bytes a fresh execution would.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *sim.CampaignResult
+}
+
+// NewCache returns a cache holding at most max results (max <= 0
+// selects 1024).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns a copy of the cached result for key, if present.
+// Stored results are immutable, so the O(#faults) clone happens after
+// the lock is released: the critical section stays pointer-sized and
+// concurrent cache hits don't serialize on the copy.
+func (c *Cache) Get(key string) (*sim.CampaignResult, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var res *sim.CampaignResult
+	if ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		res = el.Value.(*cacheEntry).res
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return cloneCampaign(res), true
+}
+
+// Put stores a copy of res under key, evicting the least recently used
+// entry when full. Storing an existing key refreshes its recency. The
+// clone is taken before the lock (see Get).
+func (c *Cache) Put(key string, res *sim.CampaignResult) {
+	cp := cloneCampaign(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = cp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: cp})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"optirand/internal/engine"
+	"optirand/internal/wire"
+)
+
+// permanentError marks an executor failure that retrying cannot fix
+// (a rejected request, a wire-version mismatch). The dispatcher fails
+// the batch on the first one instead of burning MaxAttempts.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so the dispatcher will not retry it.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Options configures a Dispatcher.
+type Options struct {
+	// Workers is the size of the worker fleet draining the queue
+	// (<= 0 selects GOMAXPROCS).
+	Workers int
+	// MaxAttempts bounds executions per task; a task whose every
+	// attempt fails fails the whole batch (default 3). Attempts beyond
+	// the first happen on whichever worker frees up, so a task is
+	// retried away from a wedged worker, not pinned to it.
+	MaxAttempts int
+	// Cache, if non-nil, serves repeated tasks by content address
+	// (wire identity hash) without executing or even enqueueing them,
+	// and stores every fresh result. Caches may be shared between
+	// dispatchers.
+	Cache *Cache
+}
+
+// Dispatcher is a queue-backed engine.Backend: Run submits a batch to
+// the shared work queue, the persistent worker fleet executes items
+// through the Executor (retrying failed attempts), and results merge
+// positionally. Multiple Run calls may be in flight concurrently —
+// their items interleave on one queue, which is what lets a service
+// daemon bound its total compute with a single fleet.
+type Dispatcher struct {
+	exec        Executor
+	q           *queue
+	cache       *Cache
+	maxAttempts int
+	wg          sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ engine.Backend = (*Dispatcher)(nil)
+
+// NewDispatcher starts the worker fleet and returns the dispatcher.
+// Call Close to stop the fleet; Run must not be called after (or
+// concurrently with) Close.
+func NewDispatcher(exec Executor, opts Options) *Dispatcher {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	d := &Dispatcher{
+		exec:        exec,
+		q:           newQueue(),
+		cache:       opts.Cache,
+		maxAttempts: maxAttempts,
+	}
+	for w := 0; w < workers; w++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d
+}
+
+// Close stops the worker fleet after the queue drains of running
+// items. Batches still waiting would never complete, so finish every
+// Run before closing.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	already := d.closed
+	d.closed = true
+	d.mu.Unlock()
+	if already {
+		return
+	}
+	d.q.close()
+	d.wg.Wait()
+}
+
+// workItem is one queued task execution.
+type workItem struct {
+	task     *engine.Task
+	key      string // identity hash; "" when caching is off
+	idx      int    // slot in the batch's results
+	attempts int
+	batch    *batch
+}
+
+// batch tracks one Run call's outstanding items.
+type batch struct {
+	mu      sync.Mutex
+	results []engine.TaskResult
+	cached  []bool
+	err     error
+	pending int
+	done    chan struct{}
+	// abandoned is set when the submitter stopped waiting (context
+	// cancellation): queued items are skipped instead of executed.
+	abandoned bool
+}
+
+// abandon marks the batch so workers stop spending compute on it.
+func (b *batch) abandon() {
+	b.mu.Lock()
+	b.abandoned = true
+	b.mu.Unlock()
+}
+
+func (b *batch) isAbandoned() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.abandoned
+}
+
+// complete stores a finished item's result.
+func (b *batch) complete(idx int, res engine.TaskResult) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.results[idx] = res
+	b.finishLocked()
+}
+
+// fail records a permanently failed item. The first failure dooms the
+// whole batch (Run returns one error), so it also abandons the batch:
+// its still-queued items are skipped instead of executed, and the
+// submitter gets the error as soon as the fleet drains them.
+func (b *batch) fail(idx int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.abandoned = true
+	b.finishLocked()
+}
+
+func (b *batch) finishLocked() {
+	b.pending--
+	if b.pending == 0 {
+		close(b.done)
+	}
+}
+
+// worker drains the queue until the dispatcher closes.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for {
+		it, ok := d.q.pop()
+		if !ok {
+			return
+		}
+		if it.batch.isAbandoned() {
+			// The batch is cancelled or already failed; don't spend
+			// compute on a result nobody will read. fail keeps the
+			// first (real) error, so this sentinel never surfaces.
+			it.batch.fail(it.idx, context.Canceled)
+			continue
+		}
+		start := time.Now()
+		res, err := d.exec(it.task)
+		if err != nil {
+			it.attempts++
+			if it.attempts < d.maxAttempts && !IsPermanent(err) {
+				d.q.push(it) // requeue: next free worker retries it
+				continue
+			}
+			it.batch.fail(it.idx, fmt.Errorf("dist: task %q failed after %d attempts: %w",
+				it.task.Label, it.attempts, err))
+			continue
+		}
+		if d.cache != nil && it.key != "" {
+			d.cache.Put(it.key, res)
+		}
+		it.batch.complete(it.idx, engine.TaskResult{
+			Task:     it.task,
+			Campaign: res,
+			Elapsed:  time.Since(start),
+		})
+	}
+}
+
+// Run implements engine.Backend: results are positional and
+// bit-identical to an in-process engine.Run for every fleet size,
+// retry schedule, and cache temperature.
+func (d *Dispatcher) Run(tasks []*engine.Task) ([]engine.TaskResult, error) {
+	results, _, err := d.RunCached(context.Background(), tasks)
+	return results, err
+}
+
+// RunCached is Run, additionally reporting which slots were served
+// from the result cache. When ctx is cancelled the call returns
+// immediately with ctx's error and the batch is abandoned: its queued
+// items are dropped unexecuted so a disconnected submitter stops
+// consuming the fleet (the item a worker is mid-campaign on still
+// completes — campaigns are not interruptible).
+func (d *Dispatcher) RunCached(ctx context.Context, tasks []*engine.Task) ([]engine.TaskResult, []bool, error) {
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		return nil, nil, fmt.Errorf("dist: dispatcher is closed")
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	b := &batch{
+		results: make([]engine.TaskResult, len(tasks)),
+		cached:  make([]bool, len(tasks)),
+		pending: len(tasks),
+		done:    make(chan struct{}),
+	}
+	if len(tasks) == 0 {
+		return b.results, b.cached, nil
+	}
+
+	// Serve cache hits immediately; enqueue the misses.
+	var misses []*workItem
+	for i, t := range tasks {
+		var key string
+		if d.cache != nil {
+			key = wire.FromTask(t).IdentityHash()
+			if res, ok := d.cache.Get(key); ok {
+				b.mu.Lock()
+				b.results[i] = engine.TaskResult{Task: t, Campaign: res}
+				b.cached[i] = true
+				b.finishLocked()
+				b.mu.Unlock()
+				continue
+			}
+		}
+		misses = append(misses, &workItem{task: t, key: key, idx: i, batch: b})
+	}
+	for _, it := range misses {
+		d.q.push(it)
+	}
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		b.abandon()
+		return nil, nil, ctx.Err()
+	}
+
+	if b.err != nil {
+		return nil, nil, b.err
+	}
+	return b.results, b.cached, nil
+}

@@ -1,0 +1,72 @@
+// Package dist distributes campaign execution: a persistent work queue
+// feeding a bounded worker fleet, a content-addressed result cache, a
+// retrying dispatcher, and an HTTP service with its client — all
+// behind the engine.Backend seam.
+//
+// The layering:
+//
+//	engine.Backend            the contract (positional results,
+//	                          bit-identical campaigns)
+//	dist.Dispatcher           queue + workers + cache + retry; executes
+//	                          tasks through a pluggable Executor
+//	dist.LocalExecutor        runs campaigns in this process
+//	dist.RemoteExecutor       runs campaigns on an optirandd service
+//	dist.Server               the HTTP daemon side: /v1/optimize,
+//	                          /v1/campaign, /v1/sweep over wire types
+//
+// Three properties carry the engine's equivalence contract across
+// process and network boundaries:
+//
+//   - Tasks travel as wire.Task, whose deterministic serialization
+//     contains everything needed to reproduce a campaign bit for bit
+//     and nothing that couldn't (no scheduling knobs).
+//
+//   - Results merge positionally. The queue may reorder, retry, or
+//     requeue work onto any worker; result i still lands in slot i,
+//     and every execution of a task yields identical bytes, so retries
+//     and worker failures are invisible in the output.
+//
+//   - The cache keys on wire.(*Task).IdentityHash — a content address
+//     over canonical task bytes — so a cached answer is, by
+//     construction, the same bytes a fresh execution would produce.
+//     Warm and cold runs are indistinguishable except in latency.
+package dist
+
+import (
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+)
+
+// Executor runs one campaign task to completion, somewhere: in this
+// process, in a worker process, or across the network. Implementations
+// must be safe for concurrent use and must honor the determinism
+// contract (equal tasks produce equal results). A returned error marks
+// the attempt — not the task — as failed; the dispatcher requeues the
+// task until Options.MaxAttempts is exhausted.
+type Executor func(t *engine.Task) (*sim.CampaignResult, error)
+
+// LocalExecutor runs the campaign on the calling goroutine. It is the
+// executor behind the service daemon's worker fleet and the simplest
+// way to put the dispatcher (queue, cache, retry) in front of
+// in-process execution.
+func LocalExecutor(t *engine.Task) (*sim.CampaignResult, error) {
+	return t.Execute().Campaign, nil
+}
+
+// cloneCampaign deep-copies a campaign result so cached values stay
+// immutable whatever callers do with their copies.
+func cloneCampaign(r *sim.CampaignResult) *sim.CampaignResult {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.FirstDetected != nil {
+		cp.FirstDetected = make([]int, len(r.FirstDetected))
+		copy(cp.FirstDetected, r.FirstDetected)
+	}
+	if r.Curve != nil {
+		cp.Curve = make([]sim.CoveragePoint, len(r.Curve))
+		copy(cp.Curve, r.Curve)
+	}
+	return &cp
+}

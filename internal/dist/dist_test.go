@@ -1,0 +1,346 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"optirand/internal/engine"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/sim"
+)
+
+// testTasks expands a small circuits × weightings × seeds grid into
+// engine tasks (27 tasks over three generated circuits).
+func testTasks(t *testing.T) []*engine.Task {
+	t.Helper()
+	sweep := &engine.Sweep{
+		BaseSeed:    1987,
+		Repetitions: 3,
+		Patterns:    320,
+		CurveStep:   100,
+	}
+	for _, name := range []string{"c432", "c880", "c1908"} {
+		b, ok := gen.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		c := b.Build()
+		faults := fault.New(c).Reps
+		n := c.NumInputs()
+		uniform := make([]float64, n)
+		skewed := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 0.5
+			skewed[i] = 0.1 + 0.8*float64(i)/float64(n)
+		}
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  faults,
+			Weightings: []engine.Weighting{
+				{Name: "uniform", Sets: [][]float64{uniform}},
+				{Name: "skewed", Sets: [][]float64{skewed}},
+				{Name: "mixture", Sets: [][]float64{uniform, skewed}},
+			},
+		})
+	}
+	return sweep.Tasks()
+}
+
+// campaigns projects results onto their deterministic payload.
+func campaigns(results []engine.TaskResult) []*sim.CampaignResult {
+	out := make([]*sim.CampaignResult, len(results))
+	for i, r := range results {
+		out[i] = r.Campaign
+	}
+	return out
+}
+
+// TestDispatcherMatchesEngineRun proves the queue-backed backend is
+// bit-identical to the in-process pool for several fleet sizes.
+func TestDispatcherMatchesEngineRun(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 16} {
+		d := NewDispatcher(LocalExecutor, Options{Workers: workers})
+		got, err := d.Run(tasks)
+		d.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+			t.Fatalf("workers=%d: dispatcher results differ from engine.Run", workers)
+		}
+	}
+}
+
+// TestDispatcherRetryRequeue proves failed attempts requeue and merge
+// without a trace: an executor that fails every first attempt still
+// produces results bit-identical to the serial reference.
+func TestDispatcherRetryRequeue(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[*engine.Task]int)
+	flaky := func(task *engine.Task) (*sim.CampaignResult, error) {
+		mu.Lock()
+		seen[task]++
+		n := seen[task]
+		mu.Unlock()
+		if n == 1 {
+			return nil, fmt.Errorf("injected worker failure for %s", task.Label)
+		}
+		return LocalExecutor(task)
+	}
+
+	d := NewDispatcher(flaky, Options{Workers: 4, MaxAttempts: 3})
+	defer d.Close()
+	got, err := d.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+		t.Fatal("results differ after retry/requeue")
+	}
+	for task, n := range seen {
+		if n != 2 {
+			t.Fatalf("task %s executed %d times, want 2 (1 failure + 1 success)", task.Label, n)
+		}
+	}
+}
+
+// TestDispatcherPermanentFailure proves attempt exhaustion fails the
+// batch with a descriptive error.
+func TestDispatcherPermanentFailure(t *testing.T) {
+	tasks := testTasks(t)[:3]
+	broken := func(task *engine.Task) (*sim.CampaignResult, error) {
+		return nil, fmt.Errorf("backend down")
+	}
+	d := NewDispatcher(broken, Options{Workers: 2, MaxAttempts: 2})
+	defer d.Close()
+	if _, err := d.Run(tasks); err == nil {
+		t.Fatal("expected batch failure")
+	} else if want := "after 2 attempts"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+}
+
+// TestDispatcherPermanentErrorFailsFast proves errors marked with
+// Permanent (deterministic rejections, e.g. HTTP 4xx) are not
+// retried: each task executes at most once.
+func TestDispatcherPermanentErrorFailsFast(t *testing.T) {
+	tasks := testTasks(t)[:4]
+	var execs atomic.Int64
+	rejecting := func(task *engine.Task) (*sim.CampaignResult, error) {
+		execs.Add(1)
+		return nil, Permanent(fmt.Errorf("wire: version 9 not supported"))
+	}
+	d := NewDispatcher(rejecting, Options{Workers: 1, MaxAttempts: 3})
+	defer d.Close()
+	if _, err := d.Run(tasks); err == nil {
+		t.Fatal("expected batch failure")
+	} else if !IsPermanent(err) {
+		t.Fatalf("permanence not preserved through the batch error: %v", err)
+	}
+	// The first permanent failure dooms the batch, which abandons its
+	// still-queued items: with one worker, exactly one execution.
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions, want 1 (no retries, queued items skipped after batch failure)", got)
+	}
+}
+
+// TestDispatcherContextCancel proves a cancelled submitter gets its
+// error immediately and its queued items are skipped instead of
+// executed — the fleet stops spending compute on abandoned batches.
+func TestDispatcherContextCancel(t *testing.T) {
+	tasks := testTasks(t)
+	started := make(chan struct{})
+	block := make(chan struct{})
+	var execs atomic.Int64
+	slow := func(task *engine.Task) (*sim.CampaignResult, error) {
+		if execs.Add(1) == 1 {
+			close(started)
+			<-block // hold the single worker mid-campaign
+		}
+		return LocalExecutor(task)
+	}
+	d := NewDispatcher(slow, Options{Workers: 1})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := d.RunCached(ctx, tasks)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	close(block)
+
+	// A fresh batch drains behind the abandoned items; when it
+	// finishes, only the held item and this sentinel have executed.
+	if _, err := d.Run(tasks[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("%d executions, want 2 (abandoned queue items must be skipped)", got)
+	}
+}
+
+// TestDispatcherCache proves repeated tasks are served from the
+// content-addressed cache — zero new executions, identical bytes.
+func TestDispatcherCache(t *testing.T) {
+	tasks := testTasks(t)
+	var execs atomic.Int64
+	counting := func(task *engine.Task) (*sim.CampaignResult, error) {
+		execs.Add(1)
+		return LocalExecutor(task)
+	}
+	d := NewDispatcher(counting, Options{Workers: 4, Cache: NewCache(64)})
+	defer d.Close()
+
+	cold, cached, err := d.RunCached(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cached {
+		if c {
+			t.Fatalf("task %d reported cached on a cold cache", i)
+		}
+	}
+	if got := execs.Load(); got != int64(len(tasks)) {
+		t.Fatalf("cold run executed %d tasks, want %d", got, len(tasks))
+	}
+
+	warm, cached, err := d.RunCached(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cached {
+		if !c {
+			t.Fatalf("task %d missed a warm cache", i)
+		}
+	}
+	if got := execs.Load(); got != int64(len(tasks)) {
+		t.Fatalf("warm run executed %d extra tasks", got-int64(len(tasks)))
+	}
+	if !reflect.DeepEqual(campaigns(cold), campaigns(warm)) {
+		t.Fatal("cached results differ from executed results")
+	}
+
+	// Relabeling and rescheduling must not defeat the content address.
+	relabeled := make([]*engine.Task, len(tasks))
+	for i, task := range tasks {
+		cp := *task
+		cp.Label = fmt.Sprintf("renamed#%d", i)
+		cp.SimWorkers = 7
+		relabeled[len(tasks)-1-i] = &cp
+	}
+	_, cached, err = d.RunCached(context.Background(), relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cached {
+		if !c {
+			t.Fatalf("relabeled task %d missed the cache", i)
+		}
+	}
+}
+
+// TestDispatcherConcurrentBatches interleaves several Run calls on one
+// fleet and checks positional integrity of every batch.
+func TestDispatcherConcurrentBatches(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(LocalExecutor, Options{Workers: 3})
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := d.Run(tasks)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+				errs[g] = fmt.Errorf("batch %d: results differ", g)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheLRUEviction pins the eviction policy.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	mk := func(n int) *sim.CampaignResult {
+		return &sim.CampaignResult{TotalFaults: n, FirstDetected: []int{n}}
+	}
+	c.Put("a", mk(1))
+	c.Put("b", mk(2))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", mk(3)) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite refresh")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestCacheCopies proves cached results are isolated from caller
+// mutation on both the Put and Get side.
+func TestCacheCopies(t *testing.T) {
+	c := NewCache(4)
+	orig := &sim.CampaignResult{TotalFaults: 1, FirstDetected: []int{5}}
+	c.Put("k", orig)
+	orig.FirstDetected[0] = 99
+
+	got1, _ := c.Get("k")
+	if got1.FirstDetected[0] != 5 {
+		t.Fatal("Put did not copy")
+	}
+	got1.FirstDetected[0] = 42
+	got2, _ := c.Get("k")
+	if got2.FirstDetected[0] != 5 {
+		t.Fatal("Get did not copy")
+	}
+}

@@ -1,0 +1,58 @@
+package dist
+
+import "sync"
+
+// queue is the dispatcher's work queue: an unbounded FIFO shared by
+// every concurrently submitted batch and drained by the worker fleet.
+// Requeued items (failed attempts) go to the back, so a flaky task
+// naturally migrates to whichever worker frees up next.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*workItem
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends it and wakes one worker. Push on a closed queue is a
+// no-op (the batch that owns the item has already been failed).
+func (q *queue) push(it *workItem) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, it)
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the queue closes; the
+// second result is false exactly when the queue is closed and drained.
+func (q *queue) pop() (*workItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return it, true
+}
+
+// close wakes every worker; pending items are dropped.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.items = nil
+	q.cond.Broadcast()
+}

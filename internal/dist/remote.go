@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// Client talks to an optirandd service. Adjust HTTP.Timeout for the
+// workload: campaigns are long requests by design, and a /v1/sweep
+// answers only when its whole batch is done, so the right bound grows
+// with grid size (0 disables the timeout entirely — the CLIs' -remote
+// paths do that and leave interruption to the user).
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for addr, which may be a bare host:port
+// (scheme defaults to http), with a 10-minute default timeout.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		BaseURL: strings.TrimRight(addr, "/"),
+		HTTP:    &http.Client{Timeout: 10 * time.Minute},
+	}
+}
+
+// post sends one wire value and decodes the wire response.
+func (cl *Client) post(path string, req, resp any) (http.Header, error) {
+	body, err := wire.JSON.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpClient := cl.HTTP
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	r, err := httpClient.Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	if r.StatusCode != http.StatusOK {
+		err := fmt.Errorf("dist: %s: %s: %s", path, r.Status, strings.TrimSpace(string(data)))
+		if r.StatusCode >= 400 && r.StatusCode < 500 {
+			// The service rejected the request (bad wire, version
+			// mismatch): deterministic, retrying cannot help.
+			err = Permanent(err)
+		}
+		return nil, err
+	}
+	if err := wire.JSON.Unmarshal(data, resp); err != nil {
+		return nil, fmt.Errorf("dist: %s: bad response: %w", path, err)
+	}
+	return r.Header, nil
+}
+
+// Campaign runs one task on the service; cached reports whether the
+// service answered from its result cache.
+func (cl *Client) Campaign(t *engine.Task) (res *sim.CampaignResult, cached bool, err error) {
+	var out wire.CampaignResult
+	hdr, err := cl.post("/v1/campaign", wire.FromTask(t), &out)
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := out.Build()
+	if err != nil {
+		return nil, false, err
+	}
+	return r, hdr.Get(cacheHeader) == "hit", nil
+}
+
+// Sweep runs a task batch on the service in one request; results are
+// positional, cacheHits counts tasks the service answered from cache.
+func (cl *Client) Sweep(tasks []*engine.Task) (results []*sim.CampaignResult, cacheHits int, err error) {
+	req := wire.SweepRequest{V: wire.Version, Tasks: make([]wire.Task, len(tasks))}
+	for i, t := range tasks {
+		req.Tasks[i] = *wire.FromTask(t)
+	}
+	var out wire.SweepResponse
+	if _, err := cl.post("/v1/sweep", &req, &out); err != nil {
+		return nil, 0, err
+	}
+	if len(out.Results) != len(tasks) {
+		return nil, 0, fmt.Errorf("dist: sweep returned %d results for %d tasks", len(out.Results), len(tasks))
+	}
+	results = make([]*sim.CampaignResult, len(out.Results))
+	for i := range out.Results {
+		if results[i], err = out.Results[i].Build(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return results, out.CacheHits, nil
+}
+
+// Optimize runs the paper's OPTIMIZE procedure on the service.
+func (cl *Client) Optimize(req *wire.OptimizeRequest) (*wire.OptimizeResult, error) {
+	req.V = wire.Version
+	var out wire.OptimizeResult
+	if _, err := cl.post("/v1/optimize", req, &out); err != nil {
+		return nil, err
+	}
+	if err := wire.CheckVersion(out.V); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RemoteExecutor adapts a service client to the Executor seam: each
+// task becomes one /v1/campaign request. Put a Dispatcher in front of
+// it for fan-out, client-side caching, and retry of transient network
+// failures; the resulting backend is bit-identical to Local by the
+// service's equivalence contract.
+func RemoteExecutor(cl *Client) Executor {
+	return func(t *engine.Task) (*sim.CampaignResult, error) {
+		res, _, err := cl.Campaign(t)
+		return res, err
+	}
+}
+
+// RemoteBackend is the convenience composition clients actually use:
+// a dispatcher of workers concurrent /v1/campaign requests through
+// cl, retrying transient failures (deterministic rejections — 4xx —
+// fail fast). Close it when done.
+func RemoteBackend(cl *Client, workers int) *Dispatcher {
+	return NewDispatcher(RemoteExecutor(cl), Options{Workers: workers})
+}

@@ -1,0 +1,256 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+
+	"optirand/internal/core"
+	"optirand/internal/engine"
+	"optirand/internal/wire"
+)
+
+// cacheHeader reports per-request cache temperature to clients.
+const cacheHeader = "X-Optirand-Cache"
+
+// ServerOptions configures the service daemon.
+type ServerOptions struct {
+	// Workers is the size of the shared campaign worker fleet
+	// (<= 0 selects GOMAXPROCS). All requests compete for this fleet,
+	// so total campaign compute is bounded however many clients
+	// connect.
+	Workers int
+	// SimWorkers shards fault lists inside each campaign (<= 0 keeps
+	// campaigns serial). Results are bit-identical either way; this
+	// only trades intra- against inter-campaign parallelism.
+	SimWorkers int
+	// CacheSize bounds the content-addressed result cache in entries
+	// (0 selects 1024; < 0 disables caching).
+	CacheSize int
+	// MaxAttempts bounds executions per task (default 3).
+	MaxAttempts int
+}
+
+// Server is the optimization service: an http.Handler exposing
+//
+//	POST /v1/optimize  wire.OptimizeRequest → wire.OptimizeResult
+//	POST /v1/campaign  wire.Task            → wire.CampaignResult
+//	POST /v1/sweep     wire.SweepRequest    → wire.SweepResponse
+//	GET  /v1/stats     service + cache counters
+//
+// Campaign and sweep execution flows through one queue-backed
+// dispatcher (bounded fleet, content-addressed cache), so a sweep
+// answered by the daemon is bit-identical to the same sweep run
+// in-process — any worker count, any shard order, cold or warm cache.
+// The X-Optirand-Cache response header reports "hit" when a campaign
+// was served entirely from cache.
+type Server struct {
+	opts  ServerOptions
+	disp  *Dispatcher
+	cache *Cache
+	mux   *http.ServeMux
+	// optSem bounds concurrent /v1/optimize runs to the fleet size:
+	// optimization is the most expensive procedure in the system and
+	// runs on request goroutines, so without the bound N clients would
+	// mean N unbounded optimizer loops next to the campaign fleet.
+	optSem chan struct{}
+}
+
+// NewServer starts the worker fleet and returns the handler. Call
+// Close to stop the fleet.
+func NewServer(opts ServerOptions) *Server {
+	var cache *Cache
+	if opts.CacheSize >= 0 {
+		cache = NewCache(opts.CacheSize)
+	}
+	// Resolve the documented defaults up front so optSem and /v1/stats
+	// see the effective values, not the zero-value requests.
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.SimWorkers <= 0 {
+		opts.SimWorkers = 1
+	}
+	s := &Server{
+		opts:  opts,
+		cache: cache,
+		disp: NewDispatcher(LocalExecutor, Options{
+			Workers:     opts.Workers,
+			MaxAttempts: opts.MaxAttempts,
+			Cache:       cache,
+		}),
+		mux:    http.NewServeMux(),
+		optSem: make(chan struct{}, opts.Workers),
+	}
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker fleet. In-flight requests must finish first
+// (shut the http.Server down before closing).
+func (s *Server) Close() { s.disp.Close() }
+
+// decode reads one JSON wire value from the request body.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// respond writes one JSON wire value.
+func respond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+}
+
+// buildTasks converts and validates a batch of wire tasks, applying
+// the server's intra-campaign sharding policy.
+func (s *Server) buildTasks(ws []wire.Task) ([]*engine.Task, error) {
+	tasks := make([]*engine.Task, len(ws))
+	for i := range ws {
+		t, err := ws[i].Build()
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+		t.SimWorkers = s.opts.SimWorkers
+		tasks[i] = t
+	}
+	return tasks, nil
+}
+
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var wt wire.Task
+	if !decode(w, r, &wt) {
+		return
+	}
+	tasks, err := s.buildTasks([]wire.Task{wt})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	results, cached, err := s.disp.RunCached(r.Context(), tasks)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if cached[0] {
+		w.Header().Set(cacheHeader, "hit")
+	} else {
+		w.Header().Set(cacheHeader, "miss")
+	}
+	respond(w, wire.FromCampaign(results[0].Campaign))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req wire.SweepRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := wire.CheckVersion(req.V); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tasks, err := s.buildTasks(req.Tasks)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	results, cached, err := s.disp.RunCached(r.Context(), tasks)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := wire.SweepResponse{
+		V:       wire.Version,
+		Results: make([]wire.CampaignResult, len(results)),
+	}
+	for i, res := range results {
+		resp.Results[i] = *wire.FromCampaign(res.Campaign)
+		if cached[i] {
+			resp.CacheHits++
+		}
+	}
+	respond(w, &resp)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req wire.OptimizeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := wire.CheckVersion(req.V); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := req.Circuit.Build()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	faults, err := wire.BuildFaults(req.Faults, c)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Wait for an optimizer slot; give up if the client does.
+	select {
+	case s.optSem <- struct{}{}:
+		defer func() { <-s.optSem }()
+	case <-r.Context().Done():
+		http.Error(w, "client gone before an optimizer slot freed", http.StatusServiceUnavailable)
+		return
+	}
+	res, err := core.Optimize(c, faults, core.Options{
+		Confidence: req.Confidence,
+		Quantize:   req.Quantize,
+		MaxSweeps:  req.MaxSweeps,
+		Workers:    req.Workers,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	respond(w, &wire.OptimizeResult{
+		V:                  wire.Version,
+		Weights:            res.Weights,
+		InitialN:           res.InitialN,
+		FinalN:             res.FinalN,
+		Sweeps:             res.Sweeps,
+		Analyses:           res.Analyses,
+		SuspectedRedundant: res.SuspectedRedundant,
+	})
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	WireVersion int         `json:"wire_version"`
+	Workers     int         `json:"workers"`
+	SimWorkers  int         `json:"sim_workers"`
+	Cache       *CacheStats `json:"cache,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		WireVersion: wire.Version,
+		Workers:     s.opts.Workers,
+		SimWorkers:  s.opts.SimWorkers,
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		resp.Cache = &st
+	}
+	respond(w, &resp)
+}

@@ -1,0 +1,263 @@
+package dist
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optirand/internal/core"
+	"optirand/internal/engine"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/wire"
+)
+
+// startService spins the daemon's handler up on an in-process HTTP
+// server and returns a client for it.
+func startService(t *testing.T, opts ServerOptions) *Client {
+	t.Helper()
+	srv := NewServer(opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return NewClient(ts.URL)
+}
+
+// TestServiceSweepEquivalence is the end-to-end contract of the PR: a
+// sweep executed through the daemon — remote backend, several worker
+// counts, shuffled shard order, cold and warm cache — produces results
+// bit-identical to the in-process engine.Run.
+func TestServiceSweepEquivalence(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := startService(t, ServerOptions{Workers: 3, SimWorkers: 2, CacheSize: 256})
+
+	// Cold cache, several client fan-out widths.
+	for _, workers := range []int{1, 4} {
+		d := NewDispatcher(RemoteExecutor(cl), Options{Workers: workers})
+		got, err := d.Run(tasks)
+		d.Close()
+		if err != nil {
+			t.Fatalf("remote workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+			t.Fatalf("remote workers=%d: daemon results differ from engine.Run", workers)
+		}
+	}
+
+	// Shuffled submission order: positional merging must undo it.
+	perm := make([]*engine.Task, len(tasks))
+	for i, task := range tasks {
+		perm[(i*7+3)%len(tasks)] = task
+	}
+	d := RemoteBackend(cl, 5)
+	defer d.Close()
+	got, err := d.Run(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perm {
+		want := ref[indexOf(t, tasks, perm[i])].Campaign
+		if !reflect.DeepEqual(want, got[i].Campaign) {
+			t.Fatalf("shuffled slot %d: result does not follow its task", i)
+		}
+	}
+
+	// Warm cache: the whole sweep must now be served from cache, and
+	// byte-identically.
+	results, hits, err := cl.Sweep(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != len(tasks) {
+		t.Fatalf("warm sweep: %d cache hits, want %d", hits, len(tasks))
+	}
+	if !reflect.DeepEqual(campaigns(ref), results) {
+		t.Fatal("warm sweep results differ from engine.Run")
+	}
+}
+
+func indexOf(t *testing.T, tasks []*engine.Task, task *engine.Task) int {
+	t.Helper()
+	for i := range tasks {
+		if tasks[i] == task {
+			return i
+		}
+	}
+	t.Fatal("task not found")
+	return -1
+}
+
+// TestServiceSweepEndpointCold checks /v1/sweep itself (not the
+// per-campaign executor) against the in-process reference on a cold
+// cache, exercising the server-side fleet.
+func TestServiceSweepEndpointCold(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startService(t, ServerOptions{Workers: 4, CacheSize: 256})
+	results, hits, err := cl.Sweep(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("cold sweep reported %d cache hits", hits)
+	}
+	if !reflect.DeepEqual(campaigns(ref), results) {
+		t.Fatal("cold sweep results differ from engine.Run")
+	}
+}
+
+// TestServiceCampaignCacheHeader checks the per-request cache
+// temperature header and payload identity across temperatures.
+func TestServiceCampaignCacheHeader(t *testing.T) {
+	task := testTasks(t)[0]
+	cl := startService(t, ServerOptions{Workers: 2, CacheSize: 16})
+
+	cold, cached, err := cl.Campaign(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first request reported a cache hit")
+	}
+	warm, cached, err := cl.Campaign(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("second request missed the cache")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cache changed the campaign payload")
+	}
+	if !reflect.DeepEqual(task.Execute().Campaign, cold) {
+		t.Fatal("daemon campaign differs from in-process execution")
+	}
+}
+
+// TestServiceCacheDisabled proves CacheSize < 0 turns caching off.
+func TestServiceCacheDisabled(t *testing.T) {
+	task := testTasks(t)[0]
+	cl := startService(t, ServerOptions{Workers: 2, CacheSize: -1})
+	for i := 0; i < 2; i++ {
+		if _, cached, err := cl.Campaign(task); err != nil {
+			t.Fatal(err)
+		} else if cached {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+}
+
+// TestServiceOptimize checks /v1/optimize against the in-process
+// optimizer: identical weights and test lengths.
+func TestServiceOptimize(t *testing.T) {
+	b, ok := gen.ByName("s1")
+	if !ok {
+		t.Fatal("missing benchmark s1")
+	}
+	c := b.Build()
+	faults := fault.New(c).Reps
+	opts := core.Options{Quantize: 0.05, MaxSweeps: 4}
+	ref, err := core.Optimize(c, faults, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := startService(t, ServerOptions{Workers: 2})
+	got, err := cl.Optimize(&wire.OptimizeRequest{
+		Circuit:   *wire.FromCircuit(c),
+		Faults:    wire.FromFaults(faults),
+		Quantize:  0.05,
+		MaxSweeps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Weights, got.Weights) {
+		t.Fatal("service weights differ from in-process optimization")
+	}
+	if got.InitialN != ref.InitialN || got.FinalN != ref.FinalN || got.Sweeps != ref.Sweeps {
+		t.Fatalf("service lengths differ: got (%g, %g, %d), want (%g, %g, %d)",
+			got.InitialN, got.FinalN, got.Sweeps, ref.InitialN, ref.FinalN, ref.Sweeps)
+	}
+}
+
+// TestServiceRejectsBadRequests covers the failure surface: malformed
+// JSON, wrong wire version, corrupt circuits, wrong method.
+func TestServiceRejectsBadRequests(t *testing.T) {
+	cl := startService(t, ServerOptions{Workers: 1})
+
+	post := func(path, body string) int {
+		resp, err := http.Post(cl.BaseURL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/v1/campaign", "{"); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", code)
+	}
+	if code := post("/v1/sweep", `{"v":99,"tasks":[]}`); code != http.StatusBadRequest {
+		t.Errorf("bad version: status %d", code)
+	}
+	if code := post("/v1/campaign", `{"v":1,"circuit":{"v":1,"name":"x","gates":[{"type":"WARP"}],"inputs":[],"outputs":[]},"faults":[],"weight_sets":[[]],"patterns":1,"seed":1}`); code != http.StatusBadRequest {
+		t.Errorf("corrupt circuit: status %d", code)
+	}
+	resp, err := http.Get(cl.BaseURL + "/v1/campaign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET campaign: status %d", resp.StatusCode)
+	}
+}
+
+// TestServiceStats checks the observability endpoint.
+func TestServiceStats(t *testing.T) {
+	task := testTasks(t)[0]
+	cl := startService(t, ServerOptions{Workers: 2, SimWorkers: 1, CacheSize: 8})
+	if _, _, err := cl.Campaign(task); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Campaign(task); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(cl.BaseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := wire.JSON.Unmarshal(readAll(t, resp), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.WireVersion != wire.Version {
+		t.Fatalf("wire version %d, want %d", stats.WireVersion, wire.Version)
+	}
+	if stats.Cache == nil || stats.Cache.Hits != 1 || stats.Cache.Entries != 1 {
+		t.Fatalf("cache stats %+v, want 1 hit / 1 entry", stats.Cache)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

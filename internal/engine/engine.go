@@ -17,10 +17,14 @@
 //     for every worker count, so an engine run is reproducible
 //     end-to-end regardless of scheduling.
 //
-// The package is the single seam for future scaling work: sharding a
-// sweep across processes, batching tasks per circuit to share
-// simulator state, or backing Run with a remote execution service all
-// slot in behind the same Task/Run contract.
+// The package is the single seam for scaling work: execution is
+// abstracted behind the Backend interface, whose contract is exactly
+// the two properties above. Local is the in-process pool; the dist
+// package provides queue-backed and remote-service backends that the
+// wire package's deterministic serialization makes possible. Sharding
+// a sweep across processes, batching tasks per circuit, or backing Run
+// with a network service all slot in behind the same Task/Backend
+// contract.
 package engine
 
 import (
@@ -71,8 +75,9 @@ type TaskResult struct {
 	Elapsed  time.Duration
 }
 
-// validate reports the first structural problem of t, if any.
-func (t *Task) validate() error {
+// Validate reports the first structural problem of t, if any. Every
+// Backend must validate all tasks before starting any of them.
+func (t *Task) Validate() error {
 	if t.Circuit == nil {
 		return fmt.Errorf("engine: task %q: nil circuit", t.Label)
 	}
@@ -88,8 +93,10 @@ func (t *Task) validate() error {
 	return nil
 }
 
-// run executes the campaign.
-func (t *Task) run() TaskResult {
+// Execute runs the campaign in this process and reports the result.
+// It is the unit of work every Backend ultimately performs, directly
+// (Local) or on the far side of a wire (a remote service worker).
+func (t *Task) Execute() TaskResult {
 	start := time.Now()
 	simWorkers := t.SimWorkers
 	if simWorkers <= 0 {
@@ -100,17 +107,34 @@ func (t *Task) run() TaskResult {
 	return TaskResult{Task: t, Campaign: res, Elapsed: time.Since(start)}
 }
 
-// Run executes every task on a pool of workers goroutines (<= 0
-// selects GOMAXPROCS) and returns the results positionally: result i
-// belongs to tasks[i], whatever the completion order. All tasks are
-// validated before any is started.
-func Run(tasks []*Task, workers int) ([]TaskResult, error) {
+// Backend executes task lists. Implementations must honor the engine's
+// two contracts: results are positional (result i belongs to tasks[i],
+// whatever the completion order or placement), and every task's
+// campaign is bit-identical to a serial in-process run — so swapping
+// backends (in-process pool, multi-process work queue, remote service)
+// can never change a reported number. All tasks must be validated
+// before any is started.
+type Backend interface {
+	Run(tasks []*Task) ([]TaskResult, error)
+}
+
+// Local is the in-process backend: a bounded pool of worker goroutines
+// executing campaigns in this process. Workers <= 0 selects GOMAXPROCS.
+// It is the reference implementation every other Backend is measured
+// against.
+type Local struct {
+	Workers int
+}
+
+// Run implements Backend on the in-process pool.
+func (l Local) Run(tasks []*Task) ([]TaskResult, error) {
 	for _, t := range tasks {
-		if err := t.validate(); err != nil {
+		if err := t.Validate(); err != nil {
 			return nil, err
 		}
 	}
 	results := make([]TaskResult, len(tasks))
+	workers := l.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -119,7 +143,7 @@ func Run(tasks []*Task, workers int) ([]TaskResult, error) {
 	}
 	if workers <= 1 {
 		for i, t := range tasks {
-			results[i] = t.run()
+			results[i] = t.Execute()
 		}
 		return results, nil
 	}
@@ -131,7 +155,7 @@ func Run(tasks []*Task, workers int) ([]TaskResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = tasks[i].run()
+				results[i] = tasks[i].Execute()
 			}
 		}()
 	}
@@ -141,6 +165,13 @@ func Run(tasks []*Task, workers int) ([]TaskResult, error) {
 	close(idx)
 	wg.Wait()
 	return results, nil
+}
+
+// Run executes every task on an in-process pool of workers goroutines
+// (<= 0 selects GOMAXPROCS). It is shorthand for Local{workers}.Run —
+// see Backend for the execution contract.
+func Run(tasks []*Task, workers int) ([]TaskResult, error) {
+	return Local{Workers: workers}.Run(tasks)
 }
 
 // TaskSeed derives a per-task seed from a base seed and the task's

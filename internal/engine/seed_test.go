@@ -1,0 +1,49 @@
+package engine
+
+import "testing"
+
+// TestTaskSeedGolden pins TaskSeed (and the HashName coordinates it is
+// fed) to golden values. Distributed backends rely on task identity →
+// seed being a frozen pure function: a wire task executed on any
+// worker, in any process, this year or next, must replay exactly the
+// pattern stream the submitting sweep meant. A refactor that changes
+// these values silently reseeds every distributed task and breaks
+// cached-result addressing, so a failure here is a wire-compatibility
+// event, not a test to update casually.
+func TestTaskSeedGolden(t *testing.T) {
+	hashes := map[string]uint64{
+		"":          0xcbf29ce484222325, // FNV-1a offset basis
+		"s1":        0x08d8ff07b578d149,
+		"uniform":   0x246ba30e3d002a93,
+		"c7552":     0x9c7363db205b31d9,
+		"optimized": 0xe6a504a96b75331e,
+	}
+	for s, want := range hashes {
+		if got := HashName(s); got != want {
+			t.Errorf("HashName(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+
+	seeds := []struct {
+		base   uint64
+		coords []uint64
+		want   uint64
+	}{
+		{base: 0, coords: nil, want: 0xe220a8397b1dcdaf},
+		{base: 1, coords: nil, want: 0x910a2dec89025cc1},
+		{base: 1987, coords: nil, want: 0xede44cd25f8647c8},
+		{base: 1987, coords: []uint64{HashName("s1")}, want: 0x1e448afe07fdab1e},
+		{base: 1987, coords: []uint64{HashName("s1"), HashName("uniform"), 0},
+			want: 0x4437854e1128f97c},
+		{base: 1987, coords: []uint64{HashName("s1"), HashName("uniform"), 1},
+			want: 0x10f034ee96b2dc40},
+		{base: 1987, coords: []uint64{HashName("c7552"), HashName("optimized"), 4},
+			want: 0x5e843c894b4b323f},
+		{base: ^uint64(0), coords: []uint64{HashName(""), 0}, want: 0x75c4576c0fcc1bc9},
+	}
+	for _, c := range seeds {
+		if got := TaskSeed(c.base, c.coords...); got != c.want {
+			t.Errorf("TaskSeed(%#x, %#x) = %#x, want %#x", c.base, c.coords, got, c.want)
+		}
+	}
+}

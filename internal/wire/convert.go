@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+	"optirand/internal/engine"
+	"optirand/internal/fault"
+	"optirand/internal/sim"
+)
+
+// gateTypes maps every gate type to its symbolic wire name and back.
+// The wire names are frozen by the format version: renaming one is an
+// incompatible change (see the package comment).
+var gateTypes = []circuit.GateType{
+	circuit.Input, circuit.Buf, circuit.Not,
+	circuit.And, circuit.Nand, circuit.Or, circuit.Nor,
+	circuit.Xor, circuit.Xnor, circuit.Const0, circuit.Const1,
+}
+
+var gateTypeByName = func() map[string]circuit.GateType {
+	m := make(map[string]circuit.GateType, len(gateTypes))
+	for _, t := range gateTypes {
+		m[t.String()] = t
+	}
+	return m
+}()
+
+// FromCircuit captures c in wire form.
+func FromCircuit(c *circuit.Circuit) *Circuit {
+	w := &Circuit{
+		V:       Version,
+		Name:    c.Name,
+		Gates:   make([]Gate, len(c.Gates)),
+		Inputs:  append([]int(nil), c.Inputs...),
+		Outputs: append([]int(nil), c.Outputs...),
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		w.Gates[i] = Gate{
+			Name:  g.Name,
+			Type:  g.Type.String(),
+			Fanin: append([]int(nil), g.Fanin...),
+		}
+	}
+	return w
+}
+
+// Build reconstructs the circuit, re-deriving fanout, levels and
+// topological order and re-running full structural validation.
+func (w *Circuit) Build() (*circuit.Circuit, error) {
+	if err := CheckVersion(w.V); err != nil {
+		return nil, err
+	}
+	gates := make([]circuit.Gate, len(w.Gates))
+	for i := range w.Gates {
+		g := &w.Gates[i]
+		t, ok := gateTypeByName[g.Type]
+		if !ok {
+			return nil, fmt.Errorf("wire: circuit %s: gate %d: unknown gate type %q", w.Name, i, g.Type)
+		}
+		// Always allocate (never nil), matching circuit.Builder's
+		// output so reconstructed circuits compare DeepEqual to
+		// originals even for fanin-less gates.
+		fanin := make([]int, len(g.Fanin))
+		copy(fanin, g.Fanin)
+		gates[i] = circuit.Gate{Name: g.Name, Type: t, Fanin: fanin}
+	}
+	return circuit.New(w.Name,
+		gates,
+		append([]int(nil), w.Inputs...),
+		append([]int(nil), w.Outputs...))
+}
+
+// FromFaults captures a fault list in wire form.
+func FromFaults(fs []fault.Fault) []Fault {
+	out := make([]Fault, len(fs))
+	for i, f := range fs {
+		out[i] = Fault{Gate: f.Gate, Pin: f.Pin, Stuck: f.Stuck}
+	}
+	return out
+}
+
+// BuildFaults reconstructs a fault list, validating every fault
+// against the circuit it targets.
+func BuildFaults(ws []Fault, c *circuit.Circuit) ([]fault.Fault, error) {
+	out := make([]fault.Fault, len(ws))
+	for i, w := range ws {
+		if w.Gate < 0 || w.Gate >= c.NumGates() {
+			return nil, fmt.Errorf("wire: fault %d: gate %d out of range", i, w.Gate)
+		}
+		if w.Pin != fault.StemPin && (w.Pin < 0 || w.Pin >= len(c.Gates[w.Gate].Fanin)) {
+			return nil, fmt.Errorf("wire: fault %d: pin %d out of range for gate %d", i, w.Pin, w.Gate)
+		}
+		if w.Stuck > 1 {
+			return nil, fmt.Errorf("wire: fault %d: stuck value %d", i, w.Stuck)
+		}
+		out[i] = fault.Fault{Gate: w.Gate, Pin: w.Pin, Stuck: w.Stuck}
+	}
+	return out, nil
+}
+
+// copyInts copies an int slice, preserving the nil/empty distinction
+// (reflect.DeepEqual separates them, and the equivalence suites compare
+// reconstructed results against in-process ones with DeepEqual).
+func copyInts(s []int) []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+// copyWeightSets deep-copies a weight-set list.
+func copyWeightSets(sets [][]float64) [][]float64 {
+	out := make([][]float64, len(sets))
+	for i, s := range sets {
+		out[i] = append([]float64(nil), s...)
+	}
+	return out
+}
+
+// FromTask captures an engine task in wire form. Scheduling knobs
+// (Task.SimWorkers) are intentionally dropped: they cannot change the
+// result, so they are not part of the task's wire identity.
+func FromTask(t *engine.Task) *Task {
+	return &Task{
+		V:          Version,
+		Label:      t.Label,
+		Circuit:    *FromCircuit(t.Circuit),
+		Faults:     FromFaults(t.Faults),
+		WeightSets: copyWeightSets(t.WeightSets),
+		Patterns:   t.Patterns,
+		Seed:       t.Seed,
+		CurveStep:  t.CurveStep,
+	}
+}
+
+// Build reconstructs the engine task (with SimWorkers unset; the
+// executing backend chooses its own intra-campaign sharding) and
+// validates it.
+func (t *Task) Build() (*engine.Task, error) {
+	if err := CheckVersion(t.V); err != nil {
+		return nil, err
+	}
+	c, err := t.Circuit.Build()
+	if err != nil {
+		return nil, err
+	}
+	faults, err := BuildFaults(t.Faults, c)
+	if err != nil {
+		return nil, err
+	}
+	task := &engine.Task{
+		Label:      t.Label,
+		Circuit:    c,
+		Faults:     faults,
+		WeightSets: copyWeightSets(t.WeightSets),
+		Patterns:   t.Patterns,
+		Seed:       t.Seed,
+		CurveStep:  t.CurveStep,
+	}
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	return task, nil
+}
+
+// FromCampaign captures a campaign report in wire form.
+func FromCampaign(r *sim.CampaignResult) *CampaignResult {
+	w := &CampaignResult{
+		V:             Version,
+		TotalFaults:   r.TotalFaults,
+		Detected:      r.Detected,
+		Patterns:      r.Patterns,
+		FirstDetected: copyInts(r.FirstDetected),
+		Curve:         make([]CoveragePoint, len(r.Curve)),
+	}
+	for i, p := range r.Curve {
+		w.Curve[i] = CoveragePoint{Patterns: p.Patterns, Detected: p.Detected, Coverage: p.Coverage}
+	}
+	return w
+}
+
+// Build reconstructs the campaign report.
+func (w *CampaignResult) Build() (*sim.CampaignResult, error) {
+	if err := CheckVersion(w.V); err != nil {
+		return nil, err
+	}
+	r := &sim.CampaignResult{
+		TotalFaults:   w.TotalFaults,
+		Detected:      w.Detected,
+		Patterns:      w.Patterns,
+		FirstDetected: copyInts(w.FirstDetected),
+		Curve:         make([]sim.CoveragePoint, len(w.Curve)),
+	}
+	for i, p := range w.Curve {
+		r.Curve[i] = sim.CoveragePoint{Patterns: p.Patterns, Detected: p.Detected, Coverage: p.Coverage}
+	}
+	return r, nil
+}

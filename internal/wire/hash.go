@@ -1,0 +1,26 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// IdentityHash returns the content address of the task: the SHA-256 of
+// its canonical JSON encoding with the display label cleared. Two tasks
+// share a hash exactly when they must produce bit-identical campaigns —
+// same circuit, fault list, weight sets, pattern budget, seed, and
+// curve sampling — whatever they are called and however they are
+// scheduled. The dist package's result cache keys on it.
+func (t *Task) IdentityHash() string {
+	id := *t
+	id.Label = ""
+	data, err := JSON.Marshal(&id)
+	if err != nil {
+		// The wire types contain only marshalable fields; failure here
+		// is a programming error, not an input condition.
+		panic(fmt.Sprintf("wire: canonical task encoding failed: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

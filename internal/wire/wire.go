@@ -1,0 +1,198 @@
+// Package wire defines the versioned, deterministic serialization of
+// the library's distributable objects: circuits, fault lists, weight
+// sets, campaign tasks, campaign results, and optimization requests.
+// It is the boundary that lets the execution engine leave the process:
+// everything a remote worker needs to reproduce a campaign bit for bit
+// travels through these types.
+//
+// # Determinism
+//
+// Encoding the same value always yields the same bytes. The JSON codec
+// relies on Go's struct-field ordering and shortest-round-trip float
+// formatting (every float64 survives encode/decode exactly), and the
+// wire types contain no maps, so the byte stream is a pure function of
+// the value. That property is load-bearing: task identity hashes
+// (Task.IdentityHash) are computed over canonical JSON bytes, and the
+// content-addressed result cache in the dist package keys on them.
+//
+// # Version policy
+//
+// Every top-level wire type carries a format version (the "v" field),
+// stamped by its From* constructor and checked by Build/decode.
+// Version bumps when an incompatible change lands:
+//
+//   - removing or re-typing a field,
+//   - changing the meaning of an existing field, or
+//   - changing gate-type names (they are serialized symbolically, not
+//     as enum ordinals, precisely so internal renumbering cannot
+//     silently change the format).
+//
+// Adding a new optional field is compatible and does not bump the
+// version. Decoders reject any version other than their own Version
+// constant: within one stacked-PR codebase there is exactly one
+// writer, so cross-version reading is deliberately out of scope until
+// a real migration needs it.
+//
+// Two codecs are provided (Codecs): JSON for the HTTP service and
+// anything human-inspectable, gob for dense same-binary transport.
+// Both must round-trip losslessly; the golden tests in wire_test.go
+// hold them to that over all twelve generated benchmark circuits.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the wire-format version this package reads and writes.
+const Version = 1
+
+// Circuit is the wire form of a combinational network. Gate order is
+// the circuit's own gate order; fanins are gate indices, so the
+// structure reconstructs exactly (names included) and re-derives
+// fanout/levels/topological order on Build.
+type Circuit struct {
+	V       int    `json:"v"`
+	Name    string `json:"name"`
+	Gates   []Gate `json:"gates"`
+	Inputs  []int  `json:"inputs"`
+	Outputs []int  `json:"outputs"`
+}
+
+// Gate is one node of a wire Circuit. Type is the symbolic gate-type
+// name ("AND", "XNOR", …), never the internal enum ordinal.
+type Gate struct {
+	Name  string `json:"name,omitempty"`
+	Type  string `json:"type"`
+	Fanin []int  `json:"fanin,omitempty"`
+}
+
+// Fault is the wire form of a stuck-at fault. Pin -1 addresses the
+// output stem of Gate, Pin >= 0 the branch into input pin Pin.
+type Fault struct {
+	Gate  int   `json:"gate"`
+	Pin   int   `json:"pin"`
+	Stuck uint8 `json:"stuck"`
+}
+
+// Task is the wire form of one fault-simulation campaign: everything a
+// worker anywhere needs to reproduce the campaign bit for bit. It
+// deliberately carries no scheduling knobs (worker counts, shard
+// sizes): those are execution details of whichever backend runs the
+// task, and results are bit-identical across all of them, so they do
+// not belong to task identity.
+type Task struct {
+	V          int         `json:"v"`
+	Label      string      `json:"label,omitempty"`
+	Circuit    Circuit     `json:"circuit"`
+	Faults     []Fault     `json:"faults"`
+	WeightSets [][]float64 `json:"weight_sets"`
+	Patterns   int         `json:"patterns"`
+	Seed       uint64      `json:"seed"`
+	CurveStep  int         `json:"curve_step,omitempty"`
+}
+
+// CoveragePoint is one sample of a coverage curve.
+type CoveragePoint struct {
+	Patterns int     `json:"patterns"`
+	Detected int     `json:"detected"`
+	Coverage float64 `json:"coverage"`
+}
+
+// CampaignResult is the wire form of a campaign report.
+type CampaignResult struct {
+	V             int             `json:"v"`
+	TotalFaults   int             `json:"total_faults"`
+	Detected      int             `json:"detected"`
+	Patterns      int             `json:"patterns"`
+	FirstDetected []int           `json:"first_detected"`
+	Curve         []CoveragePoint `json:"curve"`
+}
+
+// OptimizeRequest asks the service to run the paper's OPTIMIZE
+// procedure for a circuit and fault list. Zero-valued fields select
+// the core package's documented defaults.
+type OptimizeRequest struct {
+	V          int     `json:"v"`
+	Circuit    Circuit `json:"circuit"`
+	Faults     []Fault `json:"faults"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Quantize   float64 `json:"quantize,omitempty"`
+	MaxSweeps  int     `json:"max_sweeps,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+// OptimizeResult is the wire form of an optimization report.
+type OptimizeResult struct {
+	V                  int       `json:"v"`
+	Weights            []float64 `json:"weights"`
+	InitialN           float64   `json:"initial_n"`
+	FinalN             float64   `json:"final_n"`
+	Sweeps             int       `json:"sweeps"`
+	Analyses           int       `json:"analyses"`
+	SuspectedRedundant int       `json:"suspected_redundant"`
+}
+
+// SweepRequest submits a batch of tasks; the service answers with one
+// result per task, positionally.
+type SweepRequest struct {
+	V     int    `json:"v"`
+	Tasks []Task `json:"tasks"`
+}
+
+// SweepResponse returns the batch results. Results[i] answers
+// SweepRequest.Tasks[i]; CacheHits counts tasks served from the
+// service's content-addressed result cache.
+type SweepResponse struct {
+	V         int              `json:"v"`
+	Results   []CampaignResult `json:"results"`
+	CacheHits int              `json:"cache_hits"`
+}
+
+// CheckVersion rejects any wire version other than Version (see the
+// package comment for the policy).
+func CheckVersion(v int) error {
+	if v != Version {
+		return fmt.Errorf("wire: version %d not supported (want %d)", v, Version)
+	}
+	return nil
+}
+
+// Codec is one self-contained encoding of the wire types. Marshal must
+// be deterministic: equal values encode to equal bytes.
+type Codec struct {
+	Name      string
+	Marshal   func(v any) ([]byte, error)
+	Unmarshal func(data []byte, v any) error
+}
+
+// JSON is the primary codec: deterministic, human-inspectable, and the
+// body format of the HTTP service.
+var JSON = Codec{
+	Name:    "json",
+	Marshal: json.Marshal,
+	Unmarshal: func(data []byte, v any) error {
+		return json.Unmarshal(data, v)
+	},
+}
+
+// Gob is the dense binary codec for same-binary transport (work files,
+// process pools sharing one build).
+var Gob = Codec{
+	Name: "gob",
+	Marshal: func(v any) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	},
+	Unmarshal: func(data []byte, v any) error {
+		return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+	},
+}
+
+// Codecs lists every supported codec.
+var Codecs = []Codec{JSON, Gob}

@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/sim"
+)
+
+// goldenCircuitHash pins the canonical JSON bytes of every generated
+// benchmark circuit. A mismatch means the wire format changed: either
+// bump Version (incompatible change) or revert (accidental drift). The
+// values were produced by hashing JSON.Marshal(FromCircuit(b.Build())).
+var goldenCircuitHash = map[string]string{
+	"s1":    "ce6b96885b9e1e0a86bd7a2660bb1d707290070656dbfd332abb48013a23c7fd",
+	"s2":    "321cfdb5830104a8fe6b906a1fb9c2a91c3cf3b9a5962b5fdebc07cd9474a5b2",
+	"c432":  "d804f3c509aee9390d6187f025e60ab0236b35a3b7b93f737d6d6a3b3e483207",
+	"c499":  "0b0419b6c1e1474984df5d8753cef9d53abea323843fa031807481eddc5452e3",
+	"c880":  "1584ba35e60282815a5f00362cf8a168373c2282b53030fa5dd6ff837f29261c",
+	"c1355": "955525acc8963931c534ff7481e61c1ae50e0b0103cf651a4aaac60d14808952",
+	"c1908": "2c8fe3773070fc91c09aa0a9fcf6626ec3176fbb17736377548c1d9f193441b2",
+	"c2670": "0c49f63a503253aa73f5bb13ae92d60d934fdfd59a8a8066fcbb27c4df8962ad",
+	"c3540": "18d57461f06da24cd1f658db7a612fcacb393cb0ee55115411a47d0b6acb1ecf",
+	"c5315": "87b37b0446e494631494403ab6d6cdfa011f98061b4a3f600e8a9be16a7570f2",
+	"c6288": "8ebb78ed288f6257db66eb0a627ab9ffed2383e76bcbf4f4b29e6a32139aaedc",
+	"c7552": "aa87b4f5686f818c73f01c249661647333153d17d3ca4e673332a4c6e764a7c8",
+}
+
+// TestCircuitRoundTripAllBenchmarks proves circuit → wire → circuit is
+// lossless for all twelve generated benchmark circuits, under both
+// codecs, and that the canonical JSON bytes match the goldens.
+func TestCircuitRoundTripAllBenchmarks(t *testing.T) {
+	bs := gen.Benchmarks()
+	if len(bs) != 12 {
+		t.Fatalf("expected 12 benchmark circuits, found %d", len(bs))
+	}
+	for _, b := range bs {
+		c := b.Build()
+		w := FromCircuit(c)
+
+		canonical, err := JSON.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", b.Name, err)
+		}
+		sum := sha256.Sum256(canonical)
+		if got, want := hex.EncodeToString(sum[:]), goldenCircuitHash[b.Name]; got != want {
+			t.Errorf("%s: canonical wire bytes changed: hash %s, golden %s", b.Name, got, want)
+		}
+
+		for _, codec := range Codecs {
+			data, err := codec.Marshal(w)
+			if err != nil {
+				t.Fatalf("%s/%s: marshal: %v", b.Name, codec.Name, err)
+			}
+			var back Circuit
+			if err := codec.Unmarshal(data, &back); err != nil {
+				t.Fatalf("%s/%s: unmarshal: %v", b.Name, codec.Name, err)
+			}
+			rc, err := back.Build()
+			if err != nil {
+				t.Fatalf("%s/%s: rebuild: %v", b.Name, codec.Name, err)
+			}
+			if rc.Name != c.Name ||
+				!reflect.DeepEqual(rc.Gates, c.Gates) ||
+				!reflect.DeepEqual(rc.Inputs, c.Inputs) ||
+				!reflect.DeepEqual(rc.Outputs, c.Outputs) {
+				t.Fatalf("%s/%s: reconstructed circuit differs structurally", b.Name, codec.Name)
+			}
+
+			// Marshal must be deterministic: re-encoding the decoded
+			// value reproduces the bytes.
+			again, err := codec.Marshal(&back)
+			if err != nil {
+				t.Fatalf("%s/%s: re-marshal: %v", b.Name, codec.Name, err)
+			}
+			if string(again) != string(data) {
+				t.Fatalf("%s/%s: codec is not deterministic", b.Name, codec.Name)
+			}
+		}
+	}
+}
+
+// TestCircuitRoundTripBehavior goes beyond structure: a campaign run on
+// a reconstructed circuit must be bit-identical to one on the original.
+func TestCircuitRoundTripBehavior(t *testing.T) {
+	for _, name := range []string{"s1", "c432", "c1908"} {
+		b, ok := gen.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		c := b.Build()
+		var back Circuit
+		data, _ := JSON.Marshal(FromCircuit(c))
+		if err := JSON.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		rc, err := back.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := fault.New(c).Reps
+		rfaults := fault.New(rc).Reps
+		if !reflect.DeepEqual(faults, rfaults) {
+			t.Fatalf("%s: fault universe differs after round trip", name)
+		}
+		weights := make([]float64, c.NumInputs())
+		for i := range weights {
+			weights[i] = 0.5
+		}
+		ref := sim.RunCampaign(c, faults, weights, 512, 1987, 128)
+		got := sim.RunCampaign(rc, rfaults, weights, 512, 1987, 128)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("%s: campaign on reconstructed circuit differs", name)
+		}
+	}
+}
+
+// testTask builds a small but representative wire task.
+func testTask(t *testing.T) *Task {
+	t.Helper()
+	b, ok := gen.ByName("c432")
+	if !ok {
+		t.Fatal("missing benchmark c432")
+	}
+	c := b.Build()
+	faults := fault.New(c).Reps
+	n := c.NumInputs()
+	uniform := make([]float64, n)
+	skewed := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 0.5
+		skewed[i] = 0.05 + 0.9*float64(i)/float64(n)
+	}
+	return &Task{
+		V:          Version,
+		Label:      "c432/mixture#0",
+		Circuit:    *FromCircuit(c),
+		Faults:     FromFaults(faults),
+		WeightSets: [][]float64{uniform, skewed},
+		Patterns:   320,
+		Seed:       0xdeadbeefcafe,
+		CurveStep:  100,
+	}
+}
+
+// TestTaskRoundTrip proves a task survives both codecs and that the
+// rebuilt engine task reproduces the original campaign bit for bit.
+func TestTaskRoundTrip(t *testing.T) {
+	w := testTask(t)
+	ref, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes := ref.Execute()
+
+	for _, codec := range Codecs {
+		data, err := codec.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", codec.Name, err)
+		}
+		var back Task
+		if err := codec.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", codec.Name, err)
+		}
+		task, err := back.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", codec.Name, err)
+		}
+		if task.Label != ref.Label || task.Patterns != ref.Patterns ||
+			task.Seed != ref.Seed || task.CurveStep != ref.CurveStep ||
+			!reflect.DeepEqual(task.WeightSets, ref.WeightSets) ||
+			!reflect.DeepEqual(task.Faults, ref.Faults) {
+			t.Fatalf("%s: rebuilt task differs", codec.Name)
+		}
+		res := task.Execute()
+		if !reflect.DeepEqual(res.Campaign, refRes.Campaign) {
+			t.Fatalf("%s: campaign of rebuilt task differs", codec.Name)
+		}
+	}
+}
+
+// TestCampaignResultRoundTrip checks the result type under both codecs.
+func TestCampaignResultRoundTrip(t *testing.T) {
+	task, err := testTask(t).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := task.Execute().Campaign
+	w := FromCampaign(ref)
+	for _, codec := range Codecs {
+		data, err := codec.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", codec.Name, err)
+		}
+		var back CampaignResult
+		if err := codec.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", codec.Name, err)
+		}
+		res, err := back.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", codec.Name, err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("%s: campaign result differs after round trip", codec.Name)
+		}
+	}
+}
+
+// TestIdentityHash checks the content-address properties the result
+// cache depends on: stable under relabeling, sensitive to every
+// identity coordinate.
+func TestIdentityHash(t *testing.T) {
+	base := testTask(t)
+	h := base.IdentityHash()
+	if len(h) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(h))
+	}
+
+	relabeled := *base
+	relabeled.Label = "some/other/name#9"
+	if relabeled.IdentityHash() != h {
+		t.Error("label must not affect task identity")
+	}
+
+	mutations := map[string]func(*Task){
+		"seed":     func(w *Task) { w.Seed++ },
+		"patterns": func(w *Task) { w.Patterns++ },
+		"curve":    func(w *Task) { w.CurveStep++ },
+		"weights":  func(w *Task) { w.WeightSets = copyWeightSets(w.WeightSets); w.WeightSets[0][0] = 0.25 },
+		"faults":   func(w *Task) { w.Faults = append([]Fault(nil), w.Faults[:len(w.Faults)-1]...) },
+		"circuit":  func(w *Task) { w.Circuit.Name = "renamed" },
+	}
+	for name, mutate := range mutations {
+		m := *base
+		mutate(&m)
+		if m.IdentityHash() == h {
+			t.Errorf("mutation %q did not change the identity hash", name)
+		}
+	}
+}
+
+// TestVersionRejected proves decoders refuse foreign format versions.
+func TestVersionRejected(t *testing.T) {
+	w := testTask(t)
+	w.V = Version + 1
+	if _, err := w.Build(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version task accepted, err=%v", err)
+	}
+	c := FromCircuit(mustCircuit(t).Build())
+	c.V = 0
+	if _, err := c.Build(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("zero-version circuit accepted, err=%v", err)
+	}
+	r := &CampaignResult{V: Version - 1}
+	if _, err := r.Build(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("old-version result accepted, err=%v", err)
+	}
+}
+
+func mustCircuit(t *testing.T) *gen.Benchmark {
+	t.Helper()
+	b, ok := gen.ByName("c432")
+	if !ok {
+		t.Fatal("missing benchmark c432")
+	}
+	return &b
+}
+
+// TestBuildRejectsCorruptWire checks structural validation of hostile
+// or truncated wire data.
+func TestBuildRejectsCorruptWire(t *testing.T) {
+	w := testTask(t)
+
+	badType := *w
+	badType.Circuit.Gates = append([]Gate(nil), w.Circuit.Gates...)
+	badType.Circuit.Gates[0].Type = "FLUX"
+	if _, err := badType.Build(); err == nil {
+		t.Error("unknown gate type accepted")
+	}
+
+	badFault := *w
+	badFault.Faults = append([]Fault(nil), w.Faults...)
+	badFault.Faults[0].Gate = len(w.Circuit.Gates) + 7
+	if _, err := badFault.Build(); err == nil {
+		t.Error("out-of-range fault accepted")
+	}
+
+	badStuck := *w
+	badStuck.Faults = append([]Fault(nil), w.Faults...)
+	badStuck.Faults[0].Stuck = 2
+	if _, err := badStuck.Build(); err == nil {
+		t.Error("stuck-at-2 fault accepted")
+	}
+
+	badWeights := *w
+	badWeights.WeightSets = [][]float64{{0.5}}
+	if _, err := badWeights.Build(); err == nil {
+		t.Error("short weight set accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package optirand_test
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+
+	"optirand"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+)
+
+// Example_service runs a sweep through an in-process optirandd daemon
+// (the flow of examples/service): cold submission executes on the
+// daemon's worker fleet, warm re-submission is answered from the
+// content-addressed result cache, and both are bit-identical to the
+// in-process engine.
+func Example_service() {
+	srv := dist.NewServer(dist.ServerOptions{Workers: 2, CacheSize: 64})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	b, _ := optirand.BenchmarkByName("c432")
+	c := b.Build()
+	sweep := &engine.Sweep{BaseSeed: 1987, Repetitions: 2, Patterns: 500}
+	sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+		Name:    "c432",
+		Circuit: c,
+		Faults:  optirand.CollapsedFaults(c),
+		Weightings: []engine.Weighting{
+			{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+		},
+	})
+	tasks := sweep.Tasks()
+
+	client := dist.NewClient(ln.Addr().String())
+	cold, coldHits, err := client.Sweep(tasks)
+	if err != nil {
+		panic(err)
+	}
+	warm, warmHits, err := client.Sweep(tasks)
+	if err != nil {
+		panic(err)
+	}
+	local, err := engine.Run(tasks, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	identical := reflect.DeepEqual(cold, warm)
+	for i := range local {
+		identical = identical && reflect.DeepEqual(local[i].Campaign, cold[i])
+	}
+	fmt.Println("cold cache hits:", coldHits)
+	fmt.Println("warm cache hits:", warmHits)
+	fmt.Println("remote == local, cold == warm:", identical)
+	// Output:
+	// cold cache hits: 0
+	// warm cache hits: 2
+	// remote == local, cold == warm: true
+}
