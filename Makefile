@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench parbench serve servebench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench vet fmt clean
 
 all: build test
 
@@ -21,6 +21,13 @@ test: build
 
 test-race: build
 	$(GO) test -race ./...
+
+# Coverage profile over every package with tests, plus the
+# per-function summary CI uploads as a job artifact.
+cover: build
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tee coverage.txt
+	@tail -1 coverage.txt
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -42,4 +49,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json BENCH_service.json
+	rm -f BENCH_parallel.json BENCH_service.json coverage.out coverage.txt

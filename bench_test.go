@@ -11,6 +11,7 @@
 package optirand_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -485,7 +486,7 @@ func BenchmarkEngineSweep(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := engine.Run(tasks, workers); err != nil {
+				if _, err := engine.Run(context.Background(), tasks, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -90,7 +91,7 @@ func servebench() {
 	tasks := servebenchTasks(seed)
 
 	// In-process reference for the identity check.
-	ref, err := engine.Run(tasks, runtime.GOMAXPROCS(0))
+	ref, err := engine.Run(context.Background(), tasks, runtime.GOMAXPROCS(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 		os.Exit(1)
@@ -110,14 +111,14 @@ func servebench() {
 	cl := dist.NewClient(ln.Addr().String())
 
 	start := time.Now()
-	cold, coldHits, err := cl.Sweep(tasks)
+	cold, coldHits, err := cl.Sweep(context.Background(), tasks)
 	coldTime := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgen: cold sweep: %v\n", err)
 		os.Exit(1)
 	}
 	start = time.Now()
-	warm, warmHits, err := cl.Sweep(tasks)
+	warm, warmHits, err := cl.Sweep(context.Background(), tasks)
 	warmTime := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgen: warm sweep: %v\n", err)
@@ -135,7 +136,7 @@ func servebench() {
 	total := time.Duration(0)
 	for i := 0; i < hitReqs; i++ {
 		start = time.Now()
-		_, cached, err := cl.Campaign(tasks[0])
+		_, cached, err := cl.Campaign(context.Background(), tasks[0])
 		d := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgen: cache-hit request: %v\n", err)

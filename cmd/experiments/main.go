@@ -34,16 +34,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
 	"optirand"
-	"optirand/internal/dist"
-	"optirand/internal/engine"
 	"optirand/internal/report"
 )
 
@@ -59,18 +59,28 @@ var (
 	flagRemoteTO   = flag.Duration("remotetimeout", 0, "per-request timeout against -remote (0 = none; grids are long requests by design)")
 )
 
-// runTasks executes a task grid on the selected engine backend: the
-// in-process pool, or an optirandd service when -remote is set. Both
-// backends honor the same contract, so the tables cannot change.
-func runTasks(tasks []*engine.Task) ([]engine.TaskResult, error) {
-	if *flagRemote == "" {
-		return engine.Run(tasks, workers())
+// runner executes every campaign grid of the experiments: one Runner,
+// constructed from the flags, serving the in-process pool or — with
+// -remote — an optirandd service. Both backends honor the same
+// contract, so the tables cannot change. ctx cancels long grids on ^C.
+var (
+	runner *optirand.Runner
+	ctx    context.Context
+)
+
+// newRunner builds the flag-selected Runner. Leftover workers shard
+// fault lists inside the four marked circuits' campaigns; sharding
+// cannot change any reported number.
+func newRunner() *optirand.Runner {
+	opts := []optirand.Option{
+		optirand.WithWorkers(workers()),
+		optirand.WithSimWorkers((workers() + 3) / 4),
+		optirand.WithSeed(*flagSeed),
 	}
-	cl := dist.NewClient(*flagRemote)
-	cl.HTTP.Timeout = *flagRemoteTO
-	d := dist.RemoteBackend(cl, workers())
-	defer d.Close()
-	return d.Run(tasks)
+	if *flagRemote != "" {
+		opts = append(opts, optirand.WithRemote(*flagRemote), optirand.WithRemoteTimeout(*flagRemoteTO))
+	}
+	return optirand.NewRunner(opts...)
 }
 
 // workers resolves the -workers flag (values < 1 mean GOMAXPROCS).
@@ -168,10 +178,14 @@ func (l *lab) optimize(b optirand.Benchmark) *optirand.OptimizeResult {
 	c := l.circuit(b)
 	faults := l.liveFaults(b)
 	start := time.Now()
-	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{
-		Confidence: l.conf,
-		Quantize:   0.05, // the paper's appendix grid
-		Workers:    workers(),
+	res, err := runner.Optimize(ctx, optirand.OptimizeSpec{
+		Circuit: c,
+		Faults:  faults,
+		Options: optirand.OptimizeOptions{
+			Confidence: l.conf,
+			Quantize:   0.05, // the paper's appendix grid
+			Workers:    workers(),
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optimize %s: %v\n", b.Name, err)
@@ -190,26 +204,24 @@ func (l *lab) patterns(b optirand.Benchmark) int {
 	return n
 }
 
-// markedCampaigns fans the four marked circuits' campaigns out over
-// the engine's worker pool; weightsFor selects each circuit's weight
-// vector. Leftover workers shard fault lists inside the campaigns; the
-// results are identical to serial runs either way.
+// markedCampaigns fans the four marked circuits' campaigns out as one
+// Runner batch; weightsFor selects each circuit's weight vector. Every
+// campaign carries the same explicit seed (the tables compare
+// weightings under one pattern stream), which is what Runner.Batch —
+// unlike the identity-seeded Sweep — is for.
 func (l *lab) markedCampaigns(weightsFor func(b optirand.Benchmark) []float64) map[string]*optirand.CampaignResult {
-	marked := optirand.MarkedBenchmarks()
-	simWorkers := (workers() + len(marked) - 1) / len(marked)
-	var tasks []*engine.Task
-	for _, b := range marked {
-		tasks = append(tasks, &engine.Task{
-			Label:      b.Name,
-			Circuit:    l.circuit(b),
-			Faults:     l.liveFaults(b),
-			WeightSets: [][]float64{weightsFor(b)},
-			Patterns:   l.patterns(b),
-			Seed:       l.seed,
-			SimWorkers: simWorkers,
+	var specs []optirand.CampaignSpec
+	for _, b := range optirand.MarkedBenchmarks() {
+		specs = append(specs, optirand.CampaignSpec{
+			Label:    b.Name,
+			Circuit:  l.circuit(b),
+			Faults:   l.liveFaults(b),
+			Source:   optirand.Weights(weightsFor(b)),
+			Patterns: l.patterns(b),
+			Seed:     l.seed,
 		})
 	}
-	results, err := runTasks(tasks)
+	results, err := runner.Batch(ctx, specs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaigns: %v\n", err)
 		os.Exit(1)
@@ -296,9 +308,16 @@ func fig2(l *lab) {
 	faults := l.liveFaults(b)
 	n := l.patterns(b)
 	step := *flagCurveStep
-	conv := optirand.SimulateRandomTestWorkers(c, faults, optirand.UniformWeights(c), n, l.seed, step, workers())
 	opt := l.optimize(b)
-	optc := optirand.SimulateRandomTestWorkers(c, faults, opt.Weights, n, l.seed, step, workers())
+	curves, err := runner.Batch(ctx, []optirand.CampaignSpec{
+		{Label: "conventional", Circuit: c, Faults: faults, Source: optirand.Weights(optirand.UniformWeights(c)), Patterns: n, Seed: l.seed, CurveStep: step},
+		{Label: "optimized", Circuit: c, Faults: faults, Source: optirand.Weights(opt.Weights), Patterns: n, Seed: l.seed, CurveStep: step},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fig2: %v\n", err)
+		os.Exit(1)
+	}
+	conv, optc := curves[0].Campaign, curves[1].Campaign
 
 	t := report.NewTable("Figure 2: fault coverage vs. pattern count (S1)",
 		"Patterns", "Conventional", "Optimized")
@@ -376,8 +395,15 @@ func multidist(l *lab) {
 		os.Exit(1)
 	}
 	n := l.patterns(b)
-	single := optirand.SimulateRandomTestWorkers(c, faults, m.WeightSets[0], n, l.seed, 0, workers())
-	mix := optirand.SimulateRandomTestMixtureWorkers(c, faults, m.WeightSets, n, l.seed, 0, workers())
+	sims, err := runner.Batch(ctx, []optirand.CampaignSpec{
+		{Label: "single", Circuit: c, Faults: faults, Source: optirand.Weights(m.WeightSets[0]), Patterns: n, Seed: l.seed},
+		{Label: "mixture", Circuit: c, Faults: faults, Source: optirand.Mixture(m.WeightSets...), Patterns: n, Seed: l.seed},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "multidist: %v\n", err)
+		os.Exit(1)
+	}
+	single, mix := sims[0].Campaign, sims[1].Campaign
 
 	t := report.NewTable("Extension (paper §5.3): partitioned fault set, one distribution per part (S2)",
 		"Configuration", "Estimated N", "Coverage @ "+report.Count(n))
@@ -411,32 +437,43 @@ func hybrid(l *lab) {
 // a marked-circuit × {conventional, optimized} × multi-seed grid runs
 // on one bounded worker pool, reporting the coverage spread across
 // seeds. Per-task seeds derive from task identity, so the table is
-// reproducible for any worker count.
+// reproducible for any worker count — and for any backend: the same
+// SweepSpec streams through Runner.SweepEach, which delivers each
+// campaign as it lands and merges positionally identical to Sweep.
 func sweepExp(l *lab) {
 	reps := *flagSweepReps
 	if reps < 1 {
 		reps = 1
 	}
-	sweep := &engine.Sweep{
+	sweep := optirand.SweepSpec{
 		BaseSeed:    l.seed,
 		Repetitions: reps,
 	}
 	for _, b := range optirand.MarkedBenchmarks() {
 		c := l.circuit(b)
-		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+		sweep.Circuits = append(sweep.Circuits, optirand.SweepCircuit{
 			Name:     b.Name,
 			Circuit:  c,
 			Faults:   l.liveFaults(b),
 			Patterns: l.patterns(b),
-			Weightings: []engine.Weighting{
-				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
-				{Name: "optimized", Sets: [][]float64{l.optimize(b).Weights}},
+			Weightings: []optirand.SweepWeighting{
+				{Name: "conventional", Source: optirand.Weights(optirand.UniformWeights(c))},
+				{Name: "optimized", Source: optirand.Weights(l.optimize(b).Weights)},
 			},
 		})
 	}
-	tasks := sweep.Tasks()
 	start := time.Now()
-	results, err := runTasks(tasks)
+	var results []optirand.TaskResult
+	done := 0
+	err := runner.SweepEach(ctx, sweep, func(i int, res optirand.TaskResult) {
+		for len(results) <= i {
+			results = append(results, optirand.TaskResult{})
+		}
+		results[i] = res
+		done++
+		fmt.Fprintf(os.Stderr, "\rsweep: %d campaigns done", done)
+	})
+	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
@@ -445,7 +482,7 @@ func sweepExp(l *lab) {
 
 	t := report.NewTable(
 		fmt.Sprintf("Campaign sweep: %d tasks (%d circuits × 2 weightings × %d seeds), %d workers",
-			len(tasks), len(sweep.Circuits), reps, workers()),
+			len(results), len(sweep.Circuits), reps, workers()),
 		"Circuit", "Weighting", "Patterns", "Cov. mean", "Cov. min", "Cov. max")
 	for i := 0; i < len(results); i += reps {
 		cell := results[i : i+reps]
@@ -472,6 +509,15 @@ func sweepExp(l *lab) {
 
 func main() {
 	flag.Parse()
+	runner = newRunner()
+	defer runner.Close()
+	var stop context.CancelFunc
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// First ^C cancels ctx; unregistering then restores the default
+	// signal disposition, so a second ^C terminates even while
+	// non-interruptible local work is still finishing.
+	go func() { <-ctx.Done(); stop() }()
 	l := newLab(*flagSeed, *flagConfidence)
 	runs := strings.Split(*flagRun, ",")
 	if *flagRun == "all" {

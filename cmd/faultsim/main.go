@@ -15,9 +15,10 @@
 // bit-identical for any worker count (default GOMAXPROCS).
 //
 // -remote routes the campaign to an optirandd service instead of
-// running it in-process. The service contract makes the result
-// bit-identical to the local run; repeated submissions of the same
-// campaign are answered from the daemon's content-addressed cache.
+// running it in-process. Local and remote runs are one Runner
+// constructor apart, and the backend contract makes the result
+// bit-identical either way; repeated submissions of the same campaign
+// are answered from the daemon's content-addressed cache.
 //
 // The weights file contains "input-name probability" lines as produced
 // by optgen; missing inputs default to 0.5.
@@ -25,16 +26,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 
 	"optirand"
-	"optirand/internal/dist"
-	"optirand/internal/engine"
 	"optirand/internal/report"
 )
 
@@ -84,32 +85,35 @@ func main() {
 	}
 
 	faults := optirand.CollapsedFaults(c)
-	var res *optirand.CampaignResult
+
+	// One Runner serves both execution modes; ^C cancels the campaign
+	// (queued work is abandoned, the in-flight request aborts).
+	opts := []optirand.Option{optirand.WithSeed(*flagSeed), optirand.WithSimWorkers(*flagWorkers)}
 	if *flagRemote != "" {
-		task := &engine.Task{
-			Label:      c.Name,
-			Circuit:    c,
-			Faults:     faults,
-			WeightSets: [][]float64{weights},
-			Patterns:   *flagN,
-			Seed:       *flagSeed,
-			CurveStep:  *flagCurve,
-		}
-		cl := dist.NewClient(*flagRemote)
-		cl.HTTP.Timeout = *flagRemoteTO
-		var cached bool
-		var err error
-		res, cached, err = cl.Campaign(task)
-		if err != nil {
-			fatalf("remote campaign: %v", err)
-		}
-		temp := "cold (executed)"
-		if cached {
-			temp = "warm (served from result cache)"
-		}
-		fmt.Printf("remote %s: %s\n", *flagRemote, temp)
-	} else {
-		res = optirand.SimulateRandomTestWorkers(c, faults, weights, *flagN, *flagSeed, *flagCurve, *flagWorkers)
+		opts = append(opts, optirand.WithRemote(*flagRemote), optirand.WithRemoteTimeout(*flagRemoteTO))
+	}
+	r := optirand.NewRunner(opts...)
+	defer r.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// First ^C cancels ctx; unregistering then restores the default
+	// signal disposition, so a second ^C terminates even while a
+	// non-interruptible campaign is still finishing.
+	go func() { <-ctx.Done(); stop() }()
+
+	res, err := r.Campaign(ctx, optirand.CampaignSpec{
+		Circuit:   c,
+		Faults:    faults,
+		Source:    optirand.Weights(weights),
+		Patterns:  *flagN,
+		Seed:      *flagSeed,
+		CurveStep: *flagCurve,
+	})
+	if err != nil {
+		fatalf("campaign: %v", err)
+	}
+	if *flagRemote != "" {
+		fmt.Printf("remote %s: campaign answered by the service\n", *flagRemote)
 	}
 	fmt.Printf("circuit %s: %d collapsed faults, %s patterns\n",
 		c.Name, len(faults), report.Count(res.Patterns))

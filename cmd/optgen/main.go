@@ -7,15 +7,22 @@
 //	optgen -circuit s1                   # use a built-in benchmark
 //	optgen -circuit c7552 -quantize 0.05 -confidence 0.999
 //	optgen -circuit s2 -parts 3          # §5.3 multi-distribution mode
+//	optgen -circuit c7552 -remote localhost:8417   # optimize on an optirandd
 //
 // Output: one line per primary input with the optimized probability,
 // preceded by a summary of the achieved test-length reduction.
+//
+// -remote runs the OPTIMIZE procedure on an optirandd service; the
+// weights are identical to a local run. Only the wire-portable options
+// (-confidence, -quantize, -sweeps) combine with -remote.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"optirand"
 	"optirand/internal/report"
@@ -29,6 +36,7 @@ var (
 	flagAlpha      = flag.Float64("alpha", 0, "relative improvement threshold (0 = default)")
 	flagSweeps     = flag.Int("sweeps", 0, "max coordinate sweeps (0 = default)")
 	flagParts      = flag.Int("parts", 1, "max distributions (>1 enables the §5.3 extension)")
+	flagRemote     = flag.String("remote", "", "optirandd address (host:port or URL); optimize on the service instead of in-process")
 )
 
 func fatalf(format string, args ...any) {
@@ -65,6 +73,9 @@ func main() {
 	}
 
 	if *flagParts > 1 {
+		if *flagRemote != "" {
+			fatalf("-parts > 1 cannot combine with -remote: multi-distribution optimization is not served by the wire protocol (run it locally)")
+		}
 		m, err := optirand.OptimizeMultiDistribution(c, faults, *flagParts, opts)
 		if err != nil {
 			fatalf("%v", err)
@@ -79,7 +90,20 @@ func main() {
 		return
 	}
 
-	res, err := optirand.OptimizeWeights(c, faults, opts)
+	var runnerOpts []optirand.Option
+	if *flagRemote != "" {
+		runnerOpts = append(runnerOpts, optirand.WithRemote(*flagRemote), optirand.WithRemoteTimeout(0))
+	}
+	r := optirand.NewRunner(runnerOpts...)
+	defer r.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// First ^C cancels ctx; unregistering then restores the default
+	// signal disposition, so a second ^C terminates even while
+	// non-interruptible local work is still finishing.
+	go func() { <-ctx.Done(); stop() }()
+
+	res, err := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults, Options: opts})
 	if err != nil {
 		fatalf("%v", err)
 	}

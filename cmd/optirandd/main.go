@@ -24,11 +24,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"optirand/internal/dist"
 )
@@ -52,8 +56,27 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("optirandd: serving /v1/{optimize,campaign,sweep,stats} on %s (%d workers)\n",
 		*flagAddr, *flagWorkers)
-	if err := http.ListenAndServe(*flagAddr, srv); err != nil {
-		fmt.Fprintf(os.Stderr, "optirandd: %v\n", err)
-		os.Exit(1)
+
+	// ^C drains gracefully: stop accepting, let in-flight requests
+	// finish (their own contexts cancel when clients hang up), then
+	// stop the worker fleet via the deferred Close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	httpSrv := &http.Server{Addr: *flagAddr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "optirandd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "optirandd: interrupt — draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "optirandd: shutdown: %v\n", err)
+		}
 	}
 }

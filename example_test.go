@@ -1,10 +1,77 @@
 package optirand_test
 
 import (
+	"context"
 	"fmt"
 
 	"optirand"
 )
+
+// Example_runner is the package documentation's "typical flow",
+// compiled: build a circuit, optimize its input probabilities on a
+// Runner, and confirm by fault simulation. Keeping the doc's snippet
+// here means the signatures in the package comment can never drift
+// from reality again. Swapping the backend — WithWorkers(8),
+// WithCache(n), WithRemote("host:8417") — changes no result bytes.
+func Example_runner() {
+	ctx := context.Background()
+	bench, _ := optirand.BenchmarkByName("s1") // or optirand.ParseBenchFile("mydesign.bench")
+	c := bench.Build()
+	faults := optirand.CollapsedFaults(c)
+
+	r := optirand.NewRunner() // or WithWorkers(8), WithRemote("host:8417"), …
+	defer r.Close()
+	opt, err := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults})
+	if err != nil {
+		panic(err)
+	}
+	cov, err := r.Campaign(ctx, optirand.CampaignSpec{
+		Circuit: c, Faults: faults,
+		Source:   optirand.Weights(opt.Weights),
+		Patterns: 10000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("test length shrank:", opt.FinalN < opt.InitialN)
+	fmt.Println("coverage above 90%:", cov.Coverage() > 0.9)
+	// Output:
+	// test length shrank: true
+	// coverage above 90%: true
+}
+
+// Example_sweep declares a circuits × weightings × seeds grid once and
+// streams its campaigns as they complete. The same spec runs unchanged
+// — and byte-identically — on a parallel pool, behind a cache, or
+// against a remote optirandd.
+func Example_sweep() {
+	r := optirand.NewRunner(optirand.WithWorkers(4), optirand.WithCache(128))
+	defer r.Close()
+
+	bench, _ := optirand.BenchmarkByName("c432")
+	c := bench.Build()
+	spec := optirand.SweepSpec{
+		BaseSeed:    1987,
+		Repetitions: 3,
+		Patterns:    500,
+		Circuits: []optirand.SweepCircuit{{
+			Name: "c432", Circuit: c, Faults: optirand.CollapsedFaults(c),
+			Weightings: []optirand.SweepWeighting{
+				{Name: "conventional", Source: optirand.Weights(optirand.UniformWeights(c))},
+			},
+		}},
+	}
+
+	streamed := 0
+	err := r.SweepEach(context.Background(), spec, func(i int, res optirand.TaskResult) {
+		streamed++ // results arrive as they land; i is the grid position
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("campaigns streamed:", streamed)
+	// Output: campaigns streamed: 3
+}
 
 // Example demonstrates the core flow: build a random-pattern-resistant
 // circuit, optimize its input probabilities, and compare the required

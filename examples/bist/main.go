@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,11 +17,15 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	r := optirand.NewRunner(optirand.WithSeed(5))
+	defer r.Close()
+
 	bench, _ := optirand.BenchmarkByName("c2670")
 	c := bench.Build()
 	faults := optirand.CollapsedFaults(c)
 
-	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	res, err := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,13 +44,28 @@ func main() {
 	}
 
 	const patterns = 4000
+	// The three pattern sources of the comparison are three
+	// CampaignSpec.Source values on one Runner: ideal software
+	// Bernoulli weights, the hardware LFSR stream, and unweighted
+	// reference patterns.
+	campaign := func(src optirand.PatternSource) *optirand.CampaignResult {
+		res, err := r.Campaign(ctx, optirand.CampaignSpec{
+			Circuit: c, Faults: faults, Source: src, Patterns: patterns,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 	// Software ideal: SplitMix64-driven Bernoulli sources.
-	ideal := optirand.SimulateRandomTest(c, faults, res.Weights, patterns, 5, 0)
-	// Hardware model: per-input 32-bit LFSRs + 4-bit weighting network.
+	ideal := campaign(optirand.Weights(res.Weights))
+	// Hardware model: per-input 32-bit LFSRs + 4-bit weighting network
+	// (a Stream source — process-local by nature, so it always runs
+	// serially in this process).
 	src := optirand.NewWeightedLFSR(res.Weights, 5)
-	hw := optirand.SimulateWithSource(c, faults, src.NextWords, patterns, 0)
+	hw := campaign(optirand.Stream(src.NextWords))
 	// Conventional BIST without weighting, for reference.
-	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), patterns, 5, 0)
+	conv := campaign(optirand.Weights(optirand.UniformWeights(c)))
 
 	fmt.Printf("\ncoverage after %d patterns:\n", patterns)
 	fmt.Printf("  unweighted LFSR (conventional BIST): %.1f%%\n", 100*conv.Coverage())

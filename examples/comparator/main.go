@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,6 +33,10 @@ func buildEquality(width int) *optirand.Circuit {
 }
 
 func main() {
+	ctx := context.Background()
+	r := optirand.NewRunner(optirand.WithSeed(7))
+	defer r.Close()
+
 	// Part 1: a hand-built equality comparator shows the mechanics.
 	c := buildEquality(16)
 	faults := optirand.CollapsedFaults(c)
@@ -49,23 +54,32 @@ func main() {
 	fmt.Printf("hardest fault: %s with p = %.3g (= 2^-16)\n",
 		faults[worstI].Describe(c), worstP)
 
-	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	res, err := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimization: N %.3g -> %.3g\n\n", res.InitialN, res.FinalN)
 
 	// Part 2: the real S1 (six cascaded SN7485 slices) and its
-	// Figure-2 coverage curves.
+	// Figure-2 coverage curves, both weightings as one Runner batch.
 	bench, _ := optirand.BenchmarkByName("s1")
 	s1 := bench.Build()
 	s1Faults := optirand.CollapsedFaults(s1)
-	s1Res, err := optirand.OptimizeWeights(s1, s1Faults, optirand.OptimizeOptions{Quantize: 0.05})
+	s1Res, err := r.Optimize(ctx, optirand.OptimizeSpec{
+		Circuit: s1, Faults: s1Faults,
+		Options: optirand.OptimizeOptions{Quantize: 0.05},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	conv := optirand.SimulateRandomTest(s1, s1Faults, optirand.UniformWeights(s1), 12000, 7, 2000)
-	opt := optirand.SimulateRandomTest(s1, s1Faults, s1Res.Weights, 12000, 7, 2000)
+	curves, err := r.Batch(ctx, []optirand.CampaignSpec{
+		{Circuit: s1, Faults: s1Faults, Source: optirand.Weights(optirand.UniformWeights(s1)), Patterns: 12000, CurveStep: 2000},
+		{Circuit: s1, Faults: s1Faults, Source: optirand.Weights(s1Res.Weights), Patterns: 12000, CurveStep: 2000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv, opt := curves[0].Campaign, curves[1].Campaign
 	fmt.Println("S1 fault coverage vs. pattern count (paper Figure 2):")
 	fmt.Println("patterns  conventional  optimized")
 	oi := 0

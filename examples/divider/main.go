@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	r := optirand.NewRunner(optirand.WithSeed(11))
+	defer r.Close()
+
 	bench, _ := optirand.BenchmarkByName("s2")
 	c := bench.Build()
 	fmt.Printf("%s: %d gates, depth %d (an array divider is deep and narrow)\n",
@@ -34,7 +39,7 @@ func main() {
 		len(all), len(all)-len(faults))
 
 	// Single-distribution optimization (the paper's Table 3 row).
-	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	res, err := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,10 +61,16 @@ func main() {
 	fmt.Printf("multi-distribution: %d part(s), estimated N %.3g -> %.3g\n",
 		m.Parts(), m.SingleN, m.MixtureN)
 
-	// Confirm by simulation.
-	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), 12000, 11, 0)
-	single := optirand.SimulateRandomTest(c, faults, res.Weights, 12000, 11, 0)
-	mix := optirand.SimulateRandomTestMixture(c, faults, m.WeightSets, 12000, 11, 0)
+	// Confirm by simulation: three pattern sources — uniform weights,
+	// optimized weights, and the §5.3 mixture — as one Runner batch.
+	sims, err := r.Batch(ctx, []optirand.CampaignSpec{
+		{Label: "conventional", Circuit: c, Faults: faults, Source: optirand.Weights(optirand.UniformWeights(c)), Patterns: 12000},
+		{Label: "optimized", Circuit: c, Faults: faults, Source: optirand.Weights(res.Weights), Patterns: 12000},
+		{Label: "mixture", Circuit: c, Faults: faults, Source: optirand.Mixture(m.WeightSets...), Patterns: 12000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("simulated coverage at 12,000 patterns: conventional %.1f%%, optimized %.1f%%, mixture %.1f%%\n",
-		100*conv.Coverage(), 100*single.Coverage(), 100*mix.Coverage())
+		100*sims[0].Campaign.Coverage(), 100*sims[1].Campaign.Coverage(), 100*sims[2].Campaign.Coverage())
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,12 +15,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	r := optirand.NewRunner(optirand.WithSeed(42))
+	defer r.Close()
+
 	bench, _ := optirand.BenchmarkByName("s1")
 	c := bench.Build()
 	faults := optirand.CollapsedFaults(c)
 
 	// Phase 1+2: optimized random + deterministic top-off.
-	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{Quantize: 0.05})
+	res, err := r.Optimize(ctx, optirand.OptimizeSpec{
+		Circuit: c, Faults: faults,
+		Options: optirand.OptimizeOptions{Quantize: 0.05},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +41,14 @@ func main() {
 
 	// For comparison: conventional random needs ~7e8 patterns for the
 	// same circuit (Table 1), and even 12,000 reach only ~48%.
-	conv := optirand.SimulateRandomTest(c, faults, optirand.UniformWeights(c), 12000, 42, 0)
+	conv, err := r.Campaign(ctx, optirand.CampaignSpec{
+		Circuit: c, Faults: faults,
+		Source:   optirand.Weights(optirand.UniformWeights(c)),
+		Patterns: 12000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("reference: conventional random @ 12,000 patterns: %.1f%%\n\n",
 		100*conv.Coverage())
 

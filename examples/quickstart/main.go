@@ -1,10 +1,19 @@
 // Quickstart: optimize the input probabilities of a random-pattern-
 // resistant circuit and watch the required test length collapse.
 //
+// Everything runs through a Runner — the execution handle whose
+// backend (serial, worker pool, result cache, remote service) is a
+// constructor argument, never a code change:
+//
+//	optirand.NewRunner()                               // serial, in-process
+//	optirand.NewRunner(optirand.WithWorkers(8))        // worker pool
+//	optirand.NewRunner(optirand.WithRemote("host:8417")) // optirandd service
+//
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +21,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	r := optirand.NewRunner(optirand.WithWorkers(0)) // 0 = GOMAXPROCS
+	defer r.Close()
+
 	// S1 is the paper's motivating circuit: a 24-bit comparator whose
 	// A=B output needs all 24 bit-equalities at once — hopeless for
 	// conventional (p = 0.5) random patterns.
@@ -28,16 +41,22 @@ func main() {
 	fmt.Printf("conventional random test: %.3g patterns needed\n", before.N)
 
 	// Optimize one probability per input (the paper's contribution).
-	res, err := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
+	res, err := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimized random test:    %.3g patterns needed (gain %.0fx, %d sweeps)\n",
 		res.FinalN, res.Gain(), res.Sweeps)
 
-	// Confirm by fault simulation: 12,000 patterns, both weightings.
-	conv := optirand.SimulateRandomTest(c, faults, uniform, 12000, 1, 0)
-	opt := optirand.SimulateRandomTest(c, faults, res.Weights, 12000, 1, 0)
+	// Confirm by fault simulation: 12,000 patterns, both weightings,
+	// fanned out as one batch on the Runner's pool.
+	sims, err := r.Batch(ctx, []optirand.CampaignSpec{
+		{Label: "conventional", Circuit: c, Faults: faults, Source: optirand.Weights(uniform), Patterns: 12000},
+		{Label: "optimized", Circuit: c, Faults: faults, Source: optirand.Weights(res.Weights), Patterns: 12000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("simulated coverage at 12,000 patterns: conventional %.1f%%, optimized %.1f%%\n",
-		100*conv.Coverage(), 100*opt.Coverage())
+		100*sims[0].Campaign.Coverage(), 100*sims[1].Campaign.Coverage())
 }

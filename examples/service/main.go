@@ -1,16 +1,18 @@
-// Service: run a campaign sweep through the optirandd daemon and
-// watch the distributed backend keep the engine's equivalence
-// contract — then re-submit and read the whole sweep back from the
-// content-addressed result cache.
+// Service: the same SweepSpec on two Runners — one in-process, one
+// pointed at an optirandd daemon — produces bit-identical results;
+// re-submitting the sweep is answered from the daemon's
+// content-addressed result cache. SweepEach streams each campaign as
+// it lands.
 //
 //	go run ./examples/service
 //
 // The example hosts the daemon in-process on a loopback listener; the
-// flow is identical with a real `optirandd` on another machine and
-// `-remote host:port` on faultsim/experiments.
+// flow is identical with a real `optirandd` on another machine:
+// swapping backends is the Runner constructor, nothing else.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -20,13 +22,14 @@ import (
 
 	"optirand"
 	"optirand/internal/dist"
-	"optirand/internal/engine"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Start the daemon: a bounded worker fleet behind
 	//    /v1/{optimize,campaign,sweep}, with a content-addressed
-	//    result cache.
+	//    result cache and in-flight dedup.
 	srv := dist.NewServer(dist.ServerOptions{Workers: 4, CacheSize: 256})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -41,54 +44,66 @@ func main() {
 	// 2. Describe a sweep: circuits × weightings × seeds. Task seeds
 	//    derive from task identity, so the grid is reproducible
 	//    wherever and in whatever order it executes.
-	sweep := &engine.Sweep{BaseSeed: 1987, Repetitions: 3, Patterns: 1000}
+	sweep := optirand.SweepSpec{BaseSeed: 1987, Repetitions: 3, Patterns: 1000}
 	for _, name := range []string{"c432", "c880"} {
 		b, _ := optirand.BenchmarkByName(name)
 		c := b.Build()
-		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+		sweep.Circuits = append(sweep.Circuits, optirand.SweepCircuit{
 			Name:    name,
 			Circuit: c,
 			Faults:  optirand.CollapsedFaults(c),
-			Weightings: []engine.Weighting{
-				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+			Weightings: []optirand.SweepWeighting{
+				{Name: "conventional", Source: optirand.Weights(optirand.UniformWeights(c))},
 			},
 		})
 	}
-	tasks := sweep.Tasks()
 
-	// 3. Submit it to the service (cold cache: every campaign is
-	//    executed by the daemon's fleet).
-	client := dist.NewClient(ln.Addr().String())
+	// 3. A remote Runner submits it to the service, streaming each
+	//    campaign as the daemon's fleet finishes it (cold cache).
+	remote := optirand.NewRunner(optirand.WithRemote(ln.Addr().String()), optirand.WithWorkers(4))
+	defer remote.Close()
+	var cold []optirand.TaskResult
 	start := time.Now()
-	cold, hits, err := client.Sweep(tasks)
+	streamed := 0
+	err = remote.SweepEach(ctx, sweep, func(i int, res optirand.TaskResult) {
+		streamed++
+		for len(cold) <= i {
+			cold = append(cold, optirand.TaskResult{})
+		}
+		cold[i] = res
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cold sweep: %d tasks in %s (%d cache hits)\n",
-		len(cold), time.Since(start).Round(time.Millisecond), hits)
+	fmt.Printf("cold sweep: %d campaigns streamed in %s\n",
+		streamed, time.Since(start).Round(time.Millisecond))
 
 	// 4. Re-submit: the daemon answers the whole sweep from its
 	//    content-addressed cache, byte for byte.
 	start = time.Now()
-	warm, hits, err := client.Sweep(tasks)
+	warm, err := remote.Sweep(ctx, sweep)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("warm sweep: %d tasks in %s (%d cache hits)\n",
-		len(warm), time.Since(start).Round(time.Millisecond), hits)
+	fmt.Printf("warm sweep: %d campaigns in %s (served from the result cache)\n",
+		len(warm), time.Since(start).Round(time.Millisecond))
 
 	// 5. The equivalence contract: daemon results — cold or warm —
-	//    are bit-identical to the in-process engine.
-	local, err := engine.Run(tasks, 0)
+	//    are bit-identical to an in-process Runner.
+	local := optirand.NewRunner(optirand.WithWorkers(0))
+	defer local.Close()
+	ref, err := local.Sweep(ctx, sweep)
 	if err != nil {
 		log.Fatal(err)
 	}
-	identical := reflect.DeepEqual(cold, warm)
-	for i := range local {
-		identical = identical && reflect.DeepEqual(local[i].Campaign, cold[i])
+	identical := true
+	for i := range ref {
+		identical = identical &&
+			reflect.DeepEqual(ref[i].Campaign, cold[i].Campaign) &&
+			reflect.DeepEqual(ref[i].Campaign, warm[i].Campaign)
 	}
 	fmt.Printf("remote == local, cold == warm: %v\n", identical)
-	for i, r := range local[:2] {
-		fmt.Printf("  %-22s coverage %.1f %%\n", tasks[i].Label, 100*r.Campaign.Coverage())
+	for _, r := range ref[:2] {
+		fmt.Printf("  %-22s coverage %.1f %%\n", r.Task.Label, 100*r.Campaign.Coverage())
 	}
 }

@@ -58,6 +58,14 @@ type Options struct {
 // positionally. Multiple Run calls may be in flight concurrently —
 // their items interleave on one queue, which is what lets a service
 // daemon bound its total compute with a single fleet.
+//
+// The dispatcher additionally coalesces duplicate work in flight
+// (singleflight): tasks with equal content address (wire identity
+// hash) that are queued or executing at the same time — within one
+// batch or across concurrently submitted batches — execute once, and
+// every submitter receives its own copy of the one result. Combined
+// with the result cache this makes a thundering herd of identical
+// sweeps cost one execution total.
 type Dispatcher struct {
 	exec        Executor
 	q           *queue
@@ -65,11 +73,17 @@ type Dispatcher struct {
 	maxAttempts int
 	wg          sync.WaitGroup
 
+	// fmu guards inflight, the singleflight table. Lock order: fmu
+	// before any batch.mu (the worker checks batch abandonment while
+	// holding fmu); never the reverse.
+	fmu      sync.Mutex
+	inflight map[string]*flight
+
 	mu     sync.Mutex
 	closed bool
 }
 
-var _ engine.Backend = (*Dispatcher)(nil)
+var _ engine.StreamBackend = (*Dispatcher)(nil)
 
 // NewDispatcher starts the worker fleet and returns the dispatcher.
 // Call Close to stop the fleet; Run must not be called after (or
@@ -88,6 +102,7 @@ func NewDispatcher(exec Executor, opts Options) *Dispatcher {
 		q:           newQueue(),
 		cache:       opts.Cache,
 		maxAttempts: maxAttempts,
+		inflight:    make(map[string]*flight),
 	}
 	for w := 0; w < workers; w++ {
 		d.wg.Add(1)
@@ -114,22 +129,36 @@ func (d *Dispatcher) Close() {
 // workItem is one queued task execution.
 type workItem struct {
 	task     *engine.Task
-	key      string // identity hash; "" when caching is off
+	key      string // content address (wire identity hash)
 	idx      int    // slot in the batch's results
 	attempts int
 	batch    *batch
 }
 
-// batch tracks one Run call's outstanding items.
+// flight is one in-progress execution of a content address: the leader
+// is the queued item that will run it, waiters are duplicate
+// submissions (from this or other batches) that share the outcome.
+type flight struct {
+	leader  *workItem
+	waiters []*workItem
+}
+
+// event is one finished item: a result or a terminal error. Cache
+// hits never travel as events — they are served inline at submission.
+type event struct {
+	idx int
+	res engine.TaskResult
+	err error
+}
+
+// batch tracks one Run call's outstanding items. events is buffered to
+// the batch size, so workers delivering to an abandoned batch never
+// block.
 type batch struct {
-	mu      sync.Mutex
-	results []engine.TaskResult
-	cached  []bool
-	err     error
-	pending int
-	done    chan struct{}
-	// abandoned is set when the submitter stopped waiting (context
-	// cancellation): queued items are skipped instead of executed.
+	ctx    context.Context
+	events chan event
+
+	mu        sync.Mutex
 	abandoned bool
 }
 
@@ -146,33 +175,17 @@ func (b *batch) isAbandoned() bool {
 	return b.abandoned
 }
 
-// complete stores a finished item's result.
+// complete delivers a finished item's result.
 func (b *batch) complete(idx int, res engine.TaskResult) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.results[idx] = res
-	b.finishLocked()
+	b.events <- event{idx: idx, res: res}
 }
 
-// fail records a permanently failed item. The first failure dooms the
-// whole batch (Run returns one error), so it also abandons the batch:
-// its still-queued items are skipped instead of executed, and the
-// submitter gets the error as soon as the fleet drains them.
+// fail delivers a permanently failed item. It also abandons the batch:
+// one failed item dooms the whole Run, so its still-queued siblings
+// are skipped instead of executed.
 func (b *batch) fail(idx int, err error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.err == nil {
-		b.err = err
-	}
-	b.abandoned = true
-	b.finishLocked()
-}
-
-func (b *batch) finishLocked() {
-	b.pending--
-	if b.pending == 0 {
-		close(b.done)
-	}
+	b.abandon()
+	b.events <- event{idx: idx, err: err}
 }
 
 // worker drains the queue until the dispatcher closes.
@@ -183,41 +196,125 @@ func (d *Dispatcher) worker() {
 		if !ok {
 			return
 		}
-		if it.batch.isAbandoned() {
-			// The batch is cancelled or already failed; don't spend
-			// compute on a result nobody will read. fail keeps the
-			// first (real) error, so this sentinel never surfaces.
-			it.batch.fail(it.idx, context.Canceled)
-			continue
+		d.process(it)
+	}
+}
+
+// liveCtx returns the context of a batch still waiting on it (the
+// leader's, or failing that any waiter's). A batch whose context is
+// already cancelled counts as dead even before its submitter marked
+// it abandoned — executing (or requeueing) under a cancelled context
+// would just spin. When every interested batch is dead the flight is
+// resolved instead, returning ok=false together with the items to
+// fail — checked and removed under one lock, so a duplicate submitted
+// concurrently can never be attached to a flight that was just
+// declared dead.
+func (d *Dispatcher) liveCtx(it *workItem) (ctx context.Context, dead []*workItem, ok bool) {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	items := d.flightItemsLocked(it)
+	for _, w := range items {
+		if !w.batch.isAbandoned() && w.batch.ctx.Err() == nil {
+			return w.batch.ctx, nil, true
 		}
-		start := time.Now()
-		res, err := d.exec(it.task)
-		if err != nil {
-			it.attempts++
-			if it.attempts < d.maxAttempts && !IsPermanent(err) {
-				d.q.push(it) // requeue: next free worker retries it
-				continue
-			}
-			it.batch.fail(it.idx, fmt.Errorf("dist: task %q failed after %d attempts: %w",
-				it.task.Label, it.attempts, err))
-			continue
+	}
+	d.removeFlightLocked(it)
+	return nil, items, false
+}
+
+// resolveFlight removes it's flight from the singleflight table and
+// returns every item sharing the outcome (the leader first).
+func (d *Dispatcher) resolveFlight(it *workItem) []*workItem {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	items := d.flightItemsLocked(it)
+	d.removeFlightLocked(it)
+	return items
+}
+
+func (d *Dispatcher) flightItemsLocked(it *workItem) []*workItem {
+	items := []*workItem{it}
+	if fl := d.inflight[it.key]; fl != nil && fl.leader == it {
+		items = append(items, fl.waiters...)
+	}
+	return items
+}
+
+func (d *Dispatcher) removeFlightLocked(it *workItem) {
+	if fl := d.inflight[it.key]; fl != nil && fl.leader == it {
+		delete(d.inflight, it.key)
+	}
+}
+
+// process executes one queued item and delivers the outcome to every
+// batch waiting on its content address.
+func (d *Dispatcher) process(it *workItem) {
+	ctx, dead, ok := d.liveCtx(it)
+	if !ok {
+		// Every interested batch is cancelled or already failed;
+		// don't spend compute on a result nobody will read. fail
+		// prefers real errors over this sentinel, so it never
+		// surfaces.
+		for _, w := range dead {
+			w.batch.fail(w.idx, context.Canceled)
 		}
-		if d.cache != nil && it.key != "" {
-			d.cache.Put(it.key, res)
+		return
+	}
+	start := time.Now()
+	res, err := d.exec(ctx, it.task)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The batch whose context the execution was bound to hung
+			// up mid-attempt; that is not the task's failure, so it
+			// burns no attempt. Requeue: the next pop re-evaluates
+			// liveness and either executes under a still-live
+			// waiter's context or skips the item when every
+			// interested batch is gone — a foreign cancellation can
+			// never fail (or exhaust the attempts of) a live batch
+			// sharing the flight.
+			d.q.push(it)
+			return
 		}
-		it.batch.complete(it.idx, engine.TaskResult{
-			Task:     it.task,
-			Campaign: res,
-			Elapsed:  time.Since(start),
+		it.attempts++
+		if it.attempts < d.maxAttempts && !IsPermanent(err) {
+			d.q.push(it) // requeue: next free worker retries it
+			return
+		}
+		err = fmt.Errorf("dist: task %q failed after %d attempts: %w",
+			it.task.Label, it.attempts, err)
+		for _, w := range d.resolveFlight(it) {
+			w.batch.fail(w.idx, err)
+		}
+		return
+	}
+	if d.cache != nil {
+		// Stored before the flight resolves, so a duplicate arriving
+		// in between hits the cache instead of re-executing.
+		d.cache.Put(it.key, res)
+	}
+	elapsed := time.Since(start)
+	for i, w := range d.resolveFlight(it) {
+		r := res
+		if i > 0 {
+			// Waiters get their own deep copy: sharing one result
+			// across batches would let one caller's mutation corrupt
+			// another's bytes.
+			r = cloneCampaign(res)
+		}
+		w.batch.complete(w.idx, engine.TaskResult{
+			Task:     w.task,
+			Campaign: r,
+			Elapsed:  elapsed,
 		})
 	}
 }
 
 // Run implements engine.Backend: results are positional and
 // bit-identical to an in-process engine.Run for every fleet size,
-// retry schedule, and cache temperature.
-func (d *Dispatcher) Run(tasks []*engine.Task) ([]engine.TaskResult, error) {
-	results, _, err := d.RunCached(context.Background(), tasks)
+// retry schedule, and cache temperature. See RunCached for the
+// cancellation contract.
+func (d *Dispatcher) Run(ctx context.Context, tasks []*engine.Task) ([]engine.TaskResult, error) {
+	results, _, err := d.RunCached(ctx, tasks)
 	return results, err
 }
 
@@ -226,59 +323,110 @@ func (d *Dispatcher) Run(tasks []*engine.Task) ([]engine.TaskResult, error) {
 // immediately with ctx's error and the batch is abandoned: its queued
 // items are dropped unexecuted so a disconnected submitter stops
 // consuming the fleet (the item a worker is mid-campaign on still
-// completes — campaigns are not interruptible).
+// completes — campaigns are not interruptible — unless another live
+// batch shares it, its result is discarded).
 func (d *Dispatcher) RunCached(ctx context.Context, tasks []*engine.Task) ([]engine.TaskResult, []bool, error) {
+	results := make([]engine.TaskResult, len(tasks))
+	cached := make([]bool, len(tasks))
+	err := d.runEach(ctx, tasks, func(i int, r engine.TaskResult, fromCache bool) {
+		results[i] = r
+		cached[i] = fromCache
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, cached, nil
+}
+
+// RunEach implements engine.StreamBackend: fn observes each task's
+// result as it lands — cache hits immediately at submission, executed
+// tasks in completion order — while the batch is still running. fn is
+// called serially from the calling goroutine; collecting by index
+// reproduces Run's positional slice exactly.
+func (d *Dispatcher) RunEach(ctx context.Context, tasks []*engine.Task, fn func(i int, r engine.TaskResult)) error {
+	return d.runEach(ctx, tasks, func(i int, r engine.TaskResult, _ bool) {
+		fn(i, r)
+	})
+}
+
+// runEach is the submission core shared by Run, RunCached and RunEach.
+func (d *Dispatcher) runEach(ctx context.Context, tasks []*engine.Task, fn func(i int, r engine.TaskResult, cached bool)) error {
 	d.mu.Lock()
 	closed := d.closed
 	d.mu.Unlock()
 	if closed {
-		return nil, nil, fmt.Errorf("dist: dispatcher is closed")
+		return fmt.Errorf("dist: dispatcher is closed")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	for _, t := range tasks {
 		if err := t.Validate(); err != nil {
-			return nil, nil, err
+			return err
 		}
 	}
-
-	b := &batch{
-		results: make([]engine.TaskResult, len(tasks)),
-		cached:  make([]bool, len(tasks)),
-		pending: len(tasks),
-		done:    make(chan struct{}),
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if len(tasks) == 0 {
-		return b.results, b.cached, nil
+		return nil
 	}
 
-	// Serve cache hits immediately; enqueue the misses.
-	var misses []*workItem
+	b := &batch{ctx: ctx, events: make(chan event, len(tasks))}
+
+	// Serve cache hits inline; enqueue the misses, coalescing items
+	// whose content address is already queued or executing.
+	pending := 0
+	var enqueue []*workItem
 	for i, t := range tasks {
-		var key string
+		key := wire.FromTask(t).IdentityHash()
 		if d.cache != nil {
-			key = wire.FromTask(t).IdentityHash()
 			if res, ok := d.cache.Get(key); ok {
-				b.mu.Lock()
-				b.results[i] = engine.TaskResult{Task: t, Campaign: res}
-				b.cached[i] = true
-				b.finishLocked()
-				b.mu.Unlock()
+				fn(i, engine.TaskResult{Task: t, Campaign: res}, true)
 				continue
 			}
 		}
-		misses = append(misses, &workItem{task: t, key: key, idx: i, batch: b})
+		it := &workItem{task: t, key: key, idx: i, batch: b}
+		pending++
+		d.fmu.Lock()
+		if fl := d.inflight[key]; fl != nil {
+			fl.waiters = append(fl.waiters, it)
+			d.fmu.Unlock()
+			continue
+		}
+		d.inflight[key] = &flight{leader: it}
+		d.fmu.Unlock()
+		enqueue = append(enqueue, it)
 	}
-	for _, it := range misses {
+	for _, it := range enqueue {
 		d.q.push(it)
 	}
-	select {
-	case <-b.done:
-	case <-ctx.Done():
-		b.abandon()
-		return nil, nil, ctx.Err()
-	}
 
-	if b.err != nil {
-		return nil, nil, b.err
+	// Drain one event per pending item. The first real failure dooms
+	// the batch (it was abandoned by fail), but every item still
+	// delivers an event, so the loop always terminates; cancellation
+	// sentinels from skipped siblings never mask the root cause.
+	var firstErr, sentinel error
+	for received := 0; received < pending; received++ {
+		select {
+		case ev := <-b.events:
+			switch {
+			case ev.err == nil:
+				if firstErr == nil {
+					fn(ev.idx, ev.res, false)
+				}
+			case errors.Is(ev.err, context.Canceled) && sentinel == nil:
+				sentinel = ev.err
+			case !errors.Is(ev.err, context.Canceled) && firstErr == nil:
+				firstErr = ev.err
+			}
+		case <-ctx.Done():
+			b.abandon()
+			return ctx.Err()
+		}
 	}
-	return b.results, b.cached, nil
+	if firstErr != nil {
+		return firstErr
+	}
+	return sentinel
 }

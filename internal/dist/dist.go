@@ -33,6 +33,8 @@
 package dist
 
 import (
+	"context"
+
 	"optirand/internal/engine"
 	"optirand/internal/sim"
 )
@@ -43,13 +45,19 @@ import (
 // contract (equal tasks produce equal results). A returned error marks
 // the attempt — not the task — as failed; the dispatcher requeues the
 // task until Options.MaxAttempts is exhausted.
-type Executor func(t *engine.Task) (*sim.CampaignResult, error)
+//
+// ctx is the submitting batch's context (or, under in-flight dedup,
+// the context of a batch still waiting on the task): network executors
+// must bind their requests to it so a cancelled submitter aborts its
+// in-flight I/O. In-process executors may ignore it — campaigns are
+// not interruptible by design.
+type Executor func(ctx context.Context, t *engine.Task) (*sim.CampaignResult, error)
 
 // LocalExecutor runs the campaign on the calling goroutine. It is the
 // executor behind the service daemon's worker fleet and the simplest
 // way to put the dispatcher (queue, cache, retry) in front of
 // in-process execution.
-func LocalExecutor(t *engine.Task) (*sim.CampaignResult, error) {
+func LocalExecutor(_ context.Context, t *engine.Task) (*sim.CampaignResult, error) {
 	return t.Execute().Campaign, nil
 }
 

@@ -9,11 +9,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"optirand/internal/engine"
 	"optirand/internal/fault"
 	"optirand/internal/gen"
 	"optirand/internal/sim"
+	"optirand/internal/wire"
 )
 
 // testTasks expands a small circuits × weightings × seeds grid into
@@ -67,13 +69,13 @@ func campaigns(results []engine.TaskResult) []*sim.CampaignResult {
 // bit-identical to the in-process pool for several fleet sizes.
 func TestDispatcherMatchesEngineRun(t *testing.T) {
 	tasks := testTasks(t)
-	ref, err := engine.Run(tasks, 1)
+	ref, err := engine.Run(context.Background(), tasks, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 3, 16} {
 		d := NewDispatcher(LocalExecutor, Options{Workers: workers})
-		got, err := d.Run(tasks)
+		got, err := d.Run(context.Background(), tasks)
 		d.Close()
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -89,14 +91,14 @@ func TestDispatcherMatchesEngineRun(t *testing.T) {
 // produces results bit-identical to the serial reference.
 func TestDispatcherRetryRequeue(t *testing.T) {
 	tasks := testTasks(t)
-	ref, err := engine.Run(tasks, 1)
+	ref, err := engine.Run(context.Background(), tasks, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var mu sync.Mutex
 	seen := make(map[*engine.Task]int)
-	flaky := func(task *engine.Task) (*sim.CampaignResult, error) {
+	flaky := func(_ context.Context, task *engine.Task) (*sim.CampaignResult, error) {
 		mu.Lock()
 		seen[task]++
 		n := seen[task]
@@ -104,12 +106,12 @@ func TestDispatcherRetryRequeue(t *testing.T) {
 		if n == 1 {
 			return nil, fmt.Errorf("injected worker failure for %s", task.Label)
 		}
-		return LocalExecutor(task)
+		return LocalExecutor(context.Background(), task)
 	}
 
 	d := NewDispatcher(flaky, Options{Workers: 4, MaxAttempts: 3})
 	defer d.Close()
-	got, err := d.Run(tasks)
+	got, err := d.Run(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,12 +129,12 @@ func TestDispatcherRetryRequeue(t *testing.T) {
 // batch with a descriptive error.
 func TestDispatcherPermanentFailure(t *testing.T) {
 	tasks := testTasks(t)[:3]
-	broken := func(task *engine.Task) (*sim.CampaignResult, error) {
+	broken := func(_ context.Context, task *engine.Task) (*sim.CampaignResult, error) {
 		return nil, fmt.Errorf("backend down")
 	}
 	d := NewDispatcher(broken, Options{Workers: 2, MaxAttempts: 2})
 	defer d.Close()
-	if _, err := d.Run(tasks); err == nil {
+	if _, err := d.Run(context.Background(), tasks); err == nil {
 		t.Fatal("expected batch failure")
 	} else if want := "after 2 attempts"; !strings.Contains(err.Error(), want) {
 		t.Fatalf("error %q does not mention %q", err, want)
@@ -145,13 +147,13 @@ func TestDispatcherPermanentFailure(t *testing.T) {
 func TestDispatcherPermanentErrorFailsFast(t *testing.T) {
 	tasks := testTasks(t)[:4]
 	var execs atomic.Int64
-	rejecting := func(task *engine.Task) (*sim.CampaignResult, error) {
+	rejecting := func(_ context.Context, task *engine.Task) (*sim.CampaignResult, error) {
 		execs.Add(1)
 		return nil, Permanent(fmt.Errorf("wire: version 9 not supported"))
 	}
 	d := NewDispatcher(rejecting, Options{Workers: 1, MaxAttempts: 3})
 	defer d.Close()
-	if _, err := d.Run(tasks); err == nil {
+	if _, err := d.Run(context.Background(), tasks); err == nil {
 		t.Fatal("expected batch failure")
 	} else if !IsPermanent(err) {
 		t.Fatalf("permanence not preserved through the batch error: %v", err)
@@ -171,12 +173,12 @@ func TestDispatcherContextCancel(t *testing.T) {
 	started := make(chan struct{})
 	block := make(chan struct{})
 	var execs atomic.Int64
-	slow := func(task *engine.Task) (*sim.CampaignResult, error) {
+	slow := func(_ context.Context, task *engine.Task) (*sim.CampaignResult, error) {
 		if execs.Add(1) == 1 {
 			close(started)
 			<-block // hold the single worker mid-campaign
 		}
-		return LocalExecutor(task)
+		return LocalExecutor(context.Background(), task)
 	}
 	d := NewDispatcher(slow, Options{Workers: 1})
 	defer d.Close()
@@ -196,7 +198,12 @@ func TestDispatcherContextCancel(t *testing.T) {
 
 	// A fresh batch drains behind the abandoned items; when it
 	// finishes, only the held item and this sentinel have executed.
-	if _, err := d.Run(tasks[:1]); err != nil {
+	// (The sentinel is a task the cancelled batch also submitted: if
+	// its queued item has not been popped yet, in-flight dedup makes
+	// the live sentinel a waiter on it, and the skip logic must still
+	// execute it — a queued task is only skipped when *every* batch
+	// interested in it is gone.)
+	if _, err := d.Run(context.Background(), tasks[1:2]); err != nil {
 		t.Fatal(err)
 	}
 	if got := execs.Load(); got != 2 {
@@ -209,9 +216,9 @@ func TestDispatcherContextCancel(t *testing.T) {
 func TestDispatcherCache(t *testing.T) {
 	tasks := testTasks(t)
 	var execs atomic.Int64
-	counting := func(task *engine.Task) (*sim.CampaignResult, error) {
+	counting := func(_ context.Context, task *engine.Task) (*sim.CampaignResult, error) {
 		execs.Add(1)
-		return LocalExecutor(task)
+		return LocalExecutor(context.Background(), task)
 	}
 	d := NewDispatcher(counting, Options{Workers: 4, Cache: NewCache(64)})
 	defer d.Close()
@@ -268,7 +275,7 @@ func TestDispatcherCache(t *testing.T) {
 // fleet and checks positional integrity of every batch.
 func TestDispatcherConcurrentBatches(t *testing.T) {
 	tasks := testTasks(t)
-	ref, err := engine.Run(tasks, 1)
+	ref, err := engine.Run(context.Background(), tasks, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +288,7 @@ func TestDispatcherConcurrentBatches(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, err := d.Run(tasks)
+			got, err := d.Run(context.Background(), tasks)
 			if err != nil {
 				errs[g] = err
 				return
@@ -342,5 +349,238 @@ func TestCacheCopies(t *testing.T) {
 	got2, _ := c.Get("k")
 	if got2.FirstDetected[0] != 5 {
 		t.Fatal("Get did not copy")
+	}
+}
+
+// TestDispatcherSingleflight proves in-flight dedup: equal tasks
+// submitted concurrently — across batches and within one — execute
+// once, and every submitter receives the identical result. Run under
+// -race to certify the flight table.
+func TestDispatcherSingleflight(t *testing.T) {
+	task := testTasks(t)[0]
+	ref, err := engine.Run(context.Background(), []*engine.Task{task}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var execs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	blocking := func(_ context.Context, tk *engine.Task) (*sim.CampaignResult, error) {
+		if execs.Add(1) == 1 {
+			close(started)
+		}
+		<-release // hold every execution until all batches are queued
+		return LocalExecutor(context.Background(), tk)
+	}
+	d := NewDispatcher(blocking, Options{Workers: 4})
+	defer d.Close()
+
+	const batches = 8
+	var wg sync.WaitGroup
+	errs := make([]error, batches)
+	results := make([][]engine.TaskResult, batches)
+	for g := 0; g < batches; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each batch holds the same task twice: dedup must also
+			// coalesce duplicates inside one batch.
+			cp := *task
+			results[g], errs[g] = d.Run(context.Background(), []*engine.Task{task, &cp})
+		}()
+	}
+	<-started
+	// Hold the one execution until every duplicate has registered on
+	// its flight (2 per batch, minus the executing leader), so no
+	// batch can arrive after the flight resolved and re-execute.
+	key := wire.FromTask(task).IdentityHash()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		d.fmu.Lock()
+		waiters := 0
+		if fl := d.inflight[key]; fl != nil {
+			waiters = len(fl.waiters)
+		}
+		d.fmu.Unlock()
+		if waiters == 2*batches-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d waiters registered, want %d", waiters, 2*batches-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions of one content address, want 1 (singleflight)", got)
+	}
+	for g := 0; g < batches; g++ {
+		if errs[g] != nil {
+			t.Fatalf("batch %d: %v", g, errs[g])
+		}
+		for slot, r := range results[g] {
+			if !reflect.DeepEqual(ref[0].Campaign, r.Campaign) {
+				t.Fatalf("batch %d slot %d: shared result differs from the reference", g, slot)
+			}
+		}
+	}
+
+	// Waiters must get their own copies: mutating one batch's result
+	// cannot corrupt another's.
+	results[0][0].Campaign.FirstDetected[0] = -1
+	if results[1][0].Campaign.FirstDetected[0] == -1 {
+		t.Fatal("singleflight shared one mutable result across batches")
+	}
+}
+
+// TestDispatcherSingleflightFailure proves a permanently failing
+// execution fails every batch waiting on it.
+func TestDispatcherSingleflightFailure(t *testing.T) {
+	task := testTasks(t)[0]
+	release := make(chan struct{})
+	broken := func(_ context.Context, tk *engine.Task) (*sim.CampaignResult, error) {
+		<-release
+		return nil, Permanent(fmt.Errorf("backend down"))
+	}
+	d := NewDispatcher(broken, Options{Workers: 2})
+	defer d.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[g] = d.Run(context.Background(), []*engine.Task{task})
+		}()
+	}
+	// Batches that coalesced onto the blocked flight share its
+	// failure; any that arrive after it resolved execute (and fail)
+	// themselves — either way every submitter must see the error.
+	close(release)
+	wg.Wait()
+	for g, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "backend down") {
+			t.Fatalf("batch %d: err = %v, want the shared execution failure", g, err)
+		}
+	}
+}
+
+// TestDispatcherRunEach proves the dispatcher's streaming contract:
+// per-index delivery, exactly once, merging identical to Run — cold
+// and warm cache.
+func TestDispatcherRunEach(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(LocalExecutor, Options{Workers: 3, Cache: NewCache(64)})
+	defer d.Close()
+
+	for _, temp := range []string{"cold", "warm"} {
+		got := make([]engine.TaskResult, len(tasks))
+		calls := 0
+		err := d.RunEach(context.Background(), tasks, func(i int, r engine.TaskResult) {
+			calls++
+			if got[i].Campaign != nil {
+				t.Fatalf("%s: slot %d delivered twice", temp, i)
+			}
+			got[i] = r
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", temp, err)
+		}
+		if calls != len(tasks) {
+			t.Fatalf("%s: %d deliveries, want %d", temp, calls, len(tasks))
+		}
+		if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+			t.Fatalf("%s: streamed merge differs from engine.Run", temp)
+		}
+	}
+}
+
+// TestDispatcherForeignCancelDoesNotFailLiveBatch pins the
+// singleflight cancellation semantics: when the batch whose context an
+// execution was bound to hangs up mid-attempt, the aborted attempt
+// burns no retry budget and a live batch sharing the flight still gets
+// its result — one submitter's cancellation can never surface as an
+// error in another's.
+func TestDispatcherForeignCancelDoesNotFailLiveBatch(t *testing.T) {
+	task := testTasks(t)[0]
+	ref, err := engine.Run(context.Background(), []*engine.Task{task}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	aborting := func(ctx context.Context, tk *engine.Task) (*sim.CampaignResult, error) {
+		if calls.Add(1) == 1 {
+			close(started)
+			<-release
+			// The first attempt was bound to the cancelled batch's
+			// context: model the aborted network request.
+			return nil, fmt.Errorf("request aborted: %w", ctx.Err())
+		}
+		return LocalExecutor(ctx, tk)
+	}
+	// MaxAttempts 1: under the old accounting the aborted attempt
+	// would exhaust the budget and fail the live batch.
+	d := NewDispatcher(aborting, Options{Workers: 1, MaxAttempts: 1})
+	defer d.Close()
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() {
+		_, err := d.Run(ctxA, []*engine.Task{task})
+		errA <- err
+	}()
+	<-started
+
+	// A live second batch coalesces onto the executing flight.
+	cp := *task
+	resB := make(chan []engine.TaskResult, 1)
+	errB := make(chan error, 1)
+	go func() {
+		r, err := d.Run(context.Background(), []*engine.Task{&cp})
+		resB <- r
+		errB <- err
+	}()
+	key := wire.FromTask(task).IdentityHash()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		d.fmu.Lock()
+		waiters := 0
+		if fl := d.inflight[key]; fl != nil {
+			waiters = len(fl.waiters)
+		}
+		d.fmu.Unlock()
+		if waiters == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second batch never registered on the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelA()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch A: err = %v, want context.Canceled", err)
+	}
+	close(release) // the in-flight attempt now aborts with A's ctx error
+
+	if err := <-errB; err != nil {
+		t.Fatalf("batch B failed on A's cancellation: %v", err)
+	}
+	got := <-resB
+	if !reflect.DeepEqual(ref[0].Campaign, got[0].Campaign) {
+		t.Fatal("batch B's result differs from the reference after the retried attempt")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("%d executions, want 2 (aborted attempt + retry under the live context)", n)
 	}
 }

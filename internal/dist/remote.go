@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,11 +14,13 @@ import (
 	"optirand/internal/wire"
 )
 
-// Client talks to an optirandd service. Adjust HTTP.Timeout for the
-// workload: campaigns are long requests by design, and a /v1/sweep
-// answers only when its whole batch is done, so the right bound grows
-// with grid size (0 disables the timeout entirely — the CLIs' -remote
-// paths do that and leave interruption to the user).
+// Client talks to an optirandd service. Every request is bound to the
+// caller's context, so cancelling it aborts the in-flight HTTP
+// exchange; adjust HTTP.Timeout for the workload on top of that:
+// campaigns are long requests by design, and a /v1/sweep answers only
+// when its whole batch is done, so the right bound grows with grid
+// size (0 disables the timeout entirely — the CLIs' -remote paths do
+// that and leave interruption to context cancellation).
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -36,7 +39,7 @@ func NewClient(addr string) *Client {
 }
 
 // post sends one wire value and decodes the wire response.
-func (cl *Client) post(path string, req, resp any) (http.Header, error) {
+func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.Header, error) {
 	body, err := wire.JSON.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -45,7 +48,15 @@ func (cl *Client) post(path string, req, resp any) (http.Header, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	r, err := httpClient.Post(cl.BaseURL+path, "application/json", bytes.NewReader(body))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	r, err := httpClient.Do(httpReq)
 	if err != nil {
 		return nil, err
 	}
@@ -71,9 +82,9 @@ func (cl *Client) post(path string, req, resp any) (http.Header, error) {
 
 // Campaign runs one task on the service; cached reports whether the
 // service answered from its result cache.
-func (cl *Client) Campaign(t *engine.Task) (res *sim.CampaignResult, cached bool, err error) {
+func (cl *Client) Campaign(ctx context.Context, t *engine.Task) (res *sim.CampaignResult, cached bool, err error) {
 	var out wire.CampaignResult
-	hdr, err := cl.post("/v1/campaign", wire.FromTask(t), &out)
+	hdr, err := cl.post(ctx, "/v1/campaign", wire.FromTask(t), &out)
 	if err != nil {
 		return nil, false, err
 	}
@@ -86,13 +97,13 @@ func (cl *Client) Campaign(t *engine.Task) (res *sim.CampaignResult, cached bool
 
 // Sweep runs a task batch on the service in one request; results are
 // positional, cacheHits counts tasks the service answered from cache.
-func (cl *Client) Sweep(tasks []*engine.Task) (results []*sim.CampaignResult, cacheHits int, err error) {
+func (cl *Client) Sweep(ctx context.Context, tasks []*engine.Task) (results []*sim.CampaignResult, cacheHits int, err error) {
 	req := wire.SweepRequest{V: wire.Version, Tasks: make([]wire.Task, len(tasks))}
 	for i, t := range tasks {
 		req.Tasks[i] = *wire.FromTask(t)
 	}
 	var out wire.SweepResponse
-	if _, err := cl.post("/v1/sweep", &req, &out); err != nil {
+	if _, err := cl.post(ctx, "/v1/sweep", &req, &out); err != nil {
 		return nil, 0, err
 	}
 	if len(out.Results) != len(tasks) {
@@ -108,10 +119,10 @@ func (cl *Client) Sweep(tasks []*engine.Task) (results []*sim.CampaignResult, ca
 }
 
 // Optimize runs the paper's OPTIMIZE procedure on the service.
-func (cl *Client) Optimize(req *wire.OptimizeRequest) (*wire.OptimizeResult, error) {
+func (cl *Client) Optimize(ctx context.Context, req *wire.OptimizeRequest) (*wire.OptimizeResult, error) {
 	req.V = wire.Version
 	var out wire.OptimizeResult
-	if _, err := cl.post("/v1/optimize", req, &out); err != nil {
+	if _, err := cl.post(ctx, "/v1/optimize", req, &out); err != nil {
 		return nil, err
 	}
 	if err := wire.CheckVersion(out.V); err != nil {
@@ -121,13 +132,15 @@ func (cl *Client) Optimize(req *wire.OptimizeRequest) (*wire.OptimizeResult, err
 }
 
 // RemoteExecutor adapts a service client to the Executor seam: each
-// task becomes one /v1/campaign request. Put a Dispatcher in front of
-// it for fan-out, client-side caching, and retry of transient network
-// failures; the resulting backend is bit-identical to Local by the
-// service's equivalence contract.
+// task becomes one /v1/campaign request bound to the submitting
+// batch's context (cancelling the batch aborts its in-flight
+// requests). Put a Dispatcher in front of it for fan-out, client-side
+// caching, in-flight dedup, and retry of transient network failures;
+// the resulting backend is bit-identical to Local by the service's
+// equivalence contract.
 func RemoteExecutor(cl *Client) Executor {
-	return func(t *engine.Task) (*sim.CampaignResult, error) {
-		res, _, err := cl.Campaign(t)
+	return func(ctx context.Context, t *engine.Task) (*sim.CampaignResult, error) {
+		res, _, err := cl.Campaign(ctx, t)
 		return res, err
 	}
 }

@@ -1,6 +1,8 @@
 package dist
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -34,7 +36,7 @@ func startService(t *testing.T, opts ServerOptions) *Client {
 // bit-identical to the in-process engine.Run.
 func TestServiceSweepEquivalence(t *testing.T) {
 	tasks := testTasks(t)
-	ref, err := engine.Run(tasks, 1)
+	ref, err := engine.Run(context.Background(), tasks, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestServiceSweepEquivalence(t *testing.T) {
 	// Cold cache, several client fan-out widths.
 	for _, workers := range []int{1, 4} {
 		d := NewDispatcher(RemoteExecutor(cl), Options{Workers: workers})
-		got, err := d.Run(tasks)
+		got, err := d.Run(context.Background(), tasks)
 		d.Close()
 		if err != nil {
 			t.Fatalf("remote workers=%d: %v", workers, err)
@@ -61,7 +63,7 @@ func TestServiceSweepEquivalence(t *testing.T) {
 	}
 	d := RemoteBackend(cl, 5)
 	defer d.Close()
-	got, err := d.Run(perm)
+	got, err := d.Run(context.Background(), perm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestServiceSweepEquivalence(t *testing.T) {
 
 	// Warm cache: the whole sweep must now be served from cache, and
 	// byte-identically.
-	results, hits, err := cl.Sweep(tasks)
+	results, hits, err := cl.Sweep(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,12 +104,12 @@ func indexOf(t *testing.T, tasks []*engine.Task, task *engine.Task) int {
 // cache, exercising the server-side fleet.
 func TestServiceSweepEndpointCold(t *testing.T) {
 	tasks := testTasks(t)
-	ref, err := engine.Run(tasks, 1)
+	ref, err := engine.Run(context.Background(), tasks, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cl := startService(t, ServerOptions{Workers: 4, CacheSize: 256})
-	results, hits, err := cl.Sweep(tasks)
+	results, hits, err := cl.Sweep(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +127,14 @@ func TestServiceCampaignCacheHeader(t *testing.T) {
 	task := testTasks(t)[0]
 	cl := startService(t, ServerOptions{Workers: 2, CacheSize: 16})
 
-	cold, cached, err := cl.Campaign(task)
+	cold, cached, err := cl.Campaign(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cached {
 		t.Fatal("first request reported a cache hit")
 	}
-	warm, cached, err := cl.Campaign(task)
+	warm, cached, err := cl.Campaign(context.Background(), task)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestServiceCacheDisabled(t *testing.T) {
 	task := testTasks(t)[0]
 	cl := startService(t, ServerOptions{Workers: 2, CacheSize: -1})
 	for i := 0; i < 2; i++ {
-		if _, cached, err := cl.Campaign(task); err != nil {
+		if _, cached, err := cl.Campaign(context.Background(), task); err != nil {
 			t.Fatal(err)
 		} else if cached {
 			t.Fatal("cache hit with caching disabled")
@@ -176,7 +178,7 @@ func TestServiceOptimize(t *testing.T) {
 	}
 
 	cl := startService(t, ServerOptions{Workers: 2})
-	got, err := cl.Optimize(&wire.OptimizeRequest{
+	got, err := cl.Optimize(context.Background(), &wire.OptimizeRequest{
 		Circuit:   *wire.FromCircuit(c),
 		Faults:    wire.FromFaults(faults),
 		Quantize:  0.05,
@@ -230,10 +232,10 @@ func TestServiceRejectsBadRequests(t *testing.T) {
 func TestServiceStats(t *testing.T) {
 	task := testTasks(t)[0]
 	cl := startService(t, ServerOptions{Workers: 2, SimWorkers: 1, CacheSize: 8})
-	if _, _, err := cl.Campaign(task); err != nil {
+	if _, _, err := cl.Campaign(context.Background(), task); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.Campaign(task); err != nil {
+	if _, _, err := cl.Campaign(context.Background(), task); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := http.Get(cl.BaseURL + "/v1/stats")
@@ -260,4 +262,58 @@ func readAll(t *testing.T, resp *http.Response) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// TestServiceMidBatchCancel proves context cancellation propagates
+// through the remote stack against a live daemon: the submitting
+// dispatcher returns ctx.Err() mid-batch, queued requests are
+// abandoned, and the client/daemon pair stays healthy for the next
+// batch.
+func TestServiceMidBatchCancel(t *testing.T) {
+	tasks := testTasks(t)
+	cl := startService(t, ServerOptions{Workers: 2, CacheSize: -1})
+	d := NewDispatcher(RemoteExecutor(cl), Options{Workers: 1})
+	defer d.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	err := d.RunEach(ctx, tasks, func(int, engine.TaskResult) {
+		delivered++
+		if delivered == 1 {
+			cancel() // first campaign landed: hang up mid-batch
+		}
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered >= len(tasks) {
+		t.Fatalf("%d campaigns delivered after mid-batch cancel (queued requests not abandoned)", delivered)
+	}
+
+	// The connection pool and the daemon must both survive the
+	// abandonment: a fresh batch still matches the local reference.
+	ref, err := engine.Run(context.Background(), tasks[:2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Run(context.Background(), tasks[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+		t.Fatal("post-cancel batch differs from the local reference")
+	}
+}
+
+// TestServiceClientContextCancel proves a single blocking /v1/sweep
+// call aborts with the context.
+func TestServiceClientContextCancel(t *testing.T) {
+	tasks := testTasks(t)
+	cl := startService(t, ServerOptions{Workers: 1, CacheSize: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := cl.Sweep(ctx, tasks); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }

@@ -28,10 +28,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sync"
 	"time"
 
 	"optirand/internal/circuit"
@@ -114,8 +114,26 @@ func (t *Task) Execute() TaskResult {
 // backends (in-process pool, multi-process work queue, remote service)
 // can never change a reported number. All tasks must be validated
 // before any is started.
+//
+// Run must honor ctx: when the context is cancelled, still-queued work
+// is abandoned promptly and Run returns ctx.Err(). Individual
+// campaigns are not interruptible — a task a worker is mid-campaign on
+// completes (its result is discarded), which bounds the cancellation
+// latency by one campaign, not by the batch.
 type Backend interface {
-	Run(tasks []*Task) ([]TaskResult, error)
+	Run(ctx context.Context, tasks []*Task) ([]TaskResult, error)
+}
+
+// StreamBackend is a Backend that can additionally deliver per-task
+// results as they complete, before the whole batch is done — the
+// execution contract behind streaming sweeps. fn is called serially
+// from the submitting goroutine (implementations must not require it
+// to be concurrency-safe), in completion order, with the task's batch
+// index; the index mapping is exactly the positional contract of Run,
+// so collecting RunEach results by index reproduces Run's slice.
+type StreamBackend interface {
+	Backend
+	RunEach(ctx context.Context, tasks []*Task, fn func(i int, r TaskResult)) error
 }
 
 // Local is the in-process backend: a bounded pool of worker goroutines
@@ -126,14 +144,46 @@ type Local struct {
 	Workers int
 }
 
+var _ StreamBackend = Local{}
+
+// indexedResult pairs a completed task's result with its batch index.
+type indexedResult struct {
+	i int
+	r TaskResult
+}
+
 // Run implements Backend on the in-process pool.
-func (l Local) Run(tasks []*Task) ([]TaskResult, error) {
+func (l Local) Run(ctx context.Context, tasks []*Task) ([]TaskResult, error) {
+	results := make([]TaskResult, len(tasks))
+	err := l.RunEach(ctx, tasks, func(i int, r TaskResult) {
+		results[i] = r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunEach implements StreamBackend on the in-process pool: fn observes
+// each campaign as it completes. On cancellation the pool stops
+// issuing work and RunEach returns ctx.Err(); workers already
+// mid-campaign finish in the background (campaigns are not
+// interruptible) and their results are discarded.
+func (l Local) RunEach(ctx context.Context, tasks []*Task, fn func(i int, r TaskResult)) error {
 	for _, t := range tasks {
 		if err := t.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	results := make([]TaskResult, len(tasks))
+	if len(tasks) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers := l.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -143,35 +193,58 @@ func (l Local) Run(tasks []*Task) ([]TaskResult, error) {
 	}
 	if workers <= 1 {
 		for i, t := range tasks {
-			results[i] = t.Execute()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i, t.Execute())
 		}
-		return results, nil
+		return nil
 	}
 
 	idx := make(chan int)
-	var wg sync.WaitGroup
+	// Buffered to len(tasks): a worker finishing after cancellation
+	// must never block on a channel nobody drains.
+	done := make(chan indexedResult, len(tasks))
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
 			for i := range idx {
-				results[i] = tasks[i].Execute()
+				done <- indexedResult{i, tasks[i].Execute()}
 			}
 		}()
 	}
-	for i := range tasks {
-		idx <- i
+	go func() {
+		defer close(idx)
+		for i := range tasks {
+			// Checked before the select: with a worker ready and the
+			// context already cancelled both cases would be viable and
+			// Go picks randomly — the explicit check keeps "abandoned
+			// promptly" deterministic.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for n := 0; n < len(tasks); n++ {
+		select {
+		case res := <-done:
+			fn(res.i, res.r)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	close(idx)
-	wg.Wait()
-	return results, nil
+	return nil
 }
 
 // Run executes every task on an in-process pool of workers goroutines
 // (<= 0 selects GOMAXPROCS). It is shorthand for Local{workers}.Run —
-// see Backend for the execution contract.
-func Run(tasks []*Task, workers int) ([]TaskResult, error) {
-	return Local{Workers: workers}.Run(tasks)
+// see Backend for the execution and cancellation contract.
+func Run(ctx context.Context, tasks []*Task, workers int) ([]TaskResult, error) {
+	return Local{Workers: workers}.Run(ctx, tasks)
 }
 
 // TaskSeed derives a per-task seed from a base seed and the task's

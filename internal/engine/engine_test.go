@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -65,12 +67,12 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 	if len(tasks) != 3*3*3 {
 		t.Fatalf("grid expansion: got %d tasks, want 27", len(tasks))
 	}
-	ref, err := Run(tasks, 1)
+	ref, err := Run(context.Background(), tasks, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 5, 32, -1} {
-		got, err := Run(tasks, workers)
+		got, err := Run(context.Background(), tasks, workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +84,7 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 	nested := testSweep(t)
 	nested.SimWorkers = 3
 	nestedTasks := nested.Tasks()
-	got, err := Run(nestedTasks, 4)
+	got, err := Run(context.Background(), nestedTasks, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,12 +99,12 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 // re-expanded and re-run must reproduce itself exactly (run under
 // -race to certify the pool).
 func TestRunRepeatable(t *testing.T) {
-	ref, err := Run(testSweep(t).Tasks(), 4)
+	ref, err := Run(context.Background(), testSweep(t).Tasks(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for rep := 0; rep < 2; rep++ {
-		got, err := Run(testSweep(t).Tasks(), 4)
+		got, err := Run(context.Background(), testSweep(t).Tasks(), 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,8 +180,77 @@ func TestRunValidation(t *testing.T) {
 		{Label: "short-weights", Circuit: c, WeightSets: [][]float64{{0.5, 0.5}}},
 	}
 	for _, task := range bad {
-		if _, err := Run([]*Task{task}, 1); err == nil {
+		if _, err := Run(context.Background(), []*Task{task}, 1); err == nil {
 			t.Errorf("task %s: expected validation error", task.Label)
+		}
+	}
+}
+
+// TestRunEachMatchesRun proves the streaming contract: collecting
+// RunEach deliveries by index reproduces Run's positional slice for
+// every pool size, and fn is called exactly once per task.
+func TestRunEachMatchesRun(t *testing.T) {
+	tasks := testSweep(t).Tasks()
+	ref, err := Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got := make([]TaskResult, len(tasks))
+		calls := 0
+		err := Local{Workers: workers}.RunEach(context.Background(), tasks, func(i int, r TaskResult) {
+			calls++
+			if got[i].Campaign != nil {
+				t.Fatalf("workers=%d: slot %d delivered twice", workers, i)
+			}
+			got[i] = r
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls != len(tasks) {
+			t.Fatalf("workers=%d: %d deliveries, want %d", workers, calls, len(tasks))
+		}
+		if !reflect.DeepEqual(stripElapsed(ref), stripElapsed(got)) {
+			t.Fatalf("workers=%d: streamed merge differs from Run", workers)
+		}
+	}
+}
+
+// TestRunContextCancellation proves the pool abandons queued work
+// promptly and returns ctx.Err(), serial and parallel.
+func TestRunContextCancellation(t *testing.T) {
+	tasks := testSweep(t).Tasks()
+
+	// Already-cancelled context: nothing runs at all.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(cancelled, tasks, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled serial run: err = %v, want context.Canceled", err)
+	}
+	if _, err := Run(cancelled, tasks, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled parallel run: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-batch cancellation: cancel from inside the delivery callback
+	// and demand an early exit with ctx.Err().
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		delivered := 0
+		err := Local{Workers: workers}.RunEach(ctx, tasks, func(int, TaskResult) {
+			delivered++
+			if delivered == 2 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The pool may finish campaigns already in flight (one per
+		// worker) but must not run the whole grid.
+		if delivered >= len(tasks) {
+			t.Fatalf("workers=%d: %d deliveries after mid-batch cancel (queued work not abandoned)", workers, delivered)
 		}
 	}
 }

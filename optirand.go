@@ -10,13 +10,26 @@
 // minimizes the objective J_N(X) = Σ_f exp(-N·p_f(X)) over the fault
 // set, shrinking the required test length by orders of magnitude.
 //
-// The typical flow:
+// The typical flow — kept compiling by Example_runner in
+// example_test.go, so it cannot drift from the real signatures:
 //
-//	c, _ := optirand.ParseBenchFile("mydesign.bench")   // or a built-in benchmark
+//	c, _ := optirand.ParseBenchFile("mydesign.bench") // or a built-in benchmark
 //	faults := optirand.CollapsedFaults(c)
-//	res, _ := optirand.OptimizeWeights(c, faults, optirand.OptimizeOptions{})
-//	cov := optirand.SimulateRandomTest(c, faults, res.Weights, 10000, 1)
-//	fmt.Println(res.FinalN, cov.Coverage())
+//	r := optirand.NewRunner() // or WithWorkers(8), WithRemote("host:8417"), …
+//	defer r.Close()
+//	opt, _ := r.Optimize(ctx, optirand.OptimizeSpec{Circuit: c, Faults: faults})
+//	cov, _ := r.Campaign(ctx, optirand.CampaignSpec{
+//		Circuit: c, Faults: faults,
+//		Source:   optirand.Weights(opt.Weights),
+//		Patterns: 10000,
+//	})
+//	fmt.Println(opt.FinalN, cov.Coverage())
+//
+// Runner is the execution surface: one handle that runs campaigns,
+// optimizations, and sweep grids on an in-process pool, behind a
+// content-addressed cache, or on a remote optirandd service — with
+// bit-identical results on every backend. The pre-Runner entry points
+// (SimulateRandomTest and friends) remain as deprecated wrappers.
 //
 // The heavy lifting lives in internal packages: gate-level circuit
 // model, bench-format I/O, 64-way parallel fault simulation, BDD-exact
@@ -27,8 +40,10 @@
 package optirand
 
 import (
+	"context"
 	"io"
 	"os"
+	"runtime"
 
 	"optirand/internal/atpg"
 	"optirand/internal/bench"
@@ -179,19 +194,44 @@ func ExpectedCoverage(probs []float64, n float64) float64 {
 	return testlen.ExpectedCoverage(probs, n)
 }
 
+// mustCampaign backs the deprecated facade wrappers: it runs one spec
+// on a throwaway local Runner and panics on spec errors — the
+// pre-Runner functions had no error returns, and their failure mode
+// for invalid input (mismatched weight lengths, nil circuits) was a
+// panic deep inside the simulator anyway.
+func mustCampaign(r *Runner, spec CampaignSpec) *CampaignResult {
+	defer r.Close()
+	res, err := r.Campaign(context.Background(), spec)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 // OptimizeWeights runs the paper's OPTIMIZE procedure: coordinate
 // descent on J_N with per-coordinate Newton minimization, returning the
 // optimized per-input probabilities.
+//
+// Deprecated: use Runner.Optimize with an OptimizeSpec, which also
+// runs on remote backends. This wrapper delegates to a local Runner.
 func OptimizeWeights(c *Circuit, faults []Fault, opts OptimizeOptions) (*OptimizeResult, error) {
-	return core.Optimize(c, faults, opts)
+	r := NewRunner()
+	defer r.Close()
+	return r.Optimize(context.Background(), OptimizeSpec{Circuit: c, Faults: faults, Options: opts})
 }
 
 // SimulateRandomTest fault-simulates nPatterns weighted random patterns
 // (64-way parallel, event-driven, with fault dropping) and reports the
 // achieved coverage. curveStep > 0 additionally samples the coverage
 // curve every curveStep patterns.
+//
+// Deprecated: use Runner.Campaign with a CampaignSpec whose Source is
+// Weights(weights). This wrapper delegates to a local Runner.
 func SimulateRandomTest(c *Circuit, faults []Fault, weights []float64, nPatterns int, seed uint64, curveStep int) *CampaignResult {
-	return sim.RunCampaign(c, faults, weights, nPatterns, seed, curveStep)
+	return mustCampaign(NewRunner(WithSeed(seed)), CampaignSpec{
+		Circuit: c, Faults: faults, Source: Weights(weights),
+		Patterns: nPatterns, Seed: seed, CurveStep: curveStep,
+	})
 }
 
 // SimulateRandomTestWorkers is SimulateRandomTest with the fault list
@@ -199,8 +239,17 @@ func SimulateRandomTest(c *Circuit, faults []Fault, weights []float64, nPatterns
 // worker replays the identical seeded pattern stream against its
 // shard, so the result is bit-identical to the serial campaign for
 // every worker count.
+//
+// Deprecated: use Runner.Campaign on a Runner built with
+// WithSimWorkers(workers). This wrapper delegates to exactly that.
 func SimulateRandomTestWorkers(c *Circuit, faults []Fault, weights []float64, nPatterns int, seed uint64, curveStep, workers int) *CampaignResult {
-	return sim.RunCampaignWorkers(c, faults, weights, nPatterns, seed, curveStep, workers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return mustCampaign(NewRunner(WithSeed(seed), WithSimWorkers(workers)), CampaignSpec{
+		Circuit: c, Faults: faults, Source: Weights(weights),
+		Patterns: nPatterns, Seed: seed, CurveStep: curveStep,
+	})
 }
 
 // MultiDistributionResult reports the §5.3 extension: several weight
@@ -219,23 +268,44 @@ func OptimizeMultiDistribution(c *Circuit, faults []Fault, maxParts int, opts Op
 
 // SimulateRandomTestMixture fault-simulates patterns drawn from several
 // weight sets in rotation (one 64-pattern batch per set).
+//
+// Deprecated: use Runner.Campaign with a CampaignSpec whose Source is
+// Mixture(weightSets...). This wrapper delegates to a local Runner.
 func SimulateRandomTestMixture(c *Circuit, faults []Fault, weightSets [][]float64, nPatterns int, seed uint64, curveStep int) *CampaignResult {
-	return sim.RunCampaignMixture(c, faults, weightSets, nPatterns, seed, curveStep)
+	return mustCampaign(NewRunner(WithSeed(seed)), CampaignSpec{
+		Circuit: c, Faults: faults, Source: Mixture(weightSets...),
+		Patterns: nPatterns, Seed: seed, CurveStep: curveStep,
+	})
 }
 
 // SimulateRandomTestMixtureWorkers is SimulateRandomTestMixture with
 // the fault list sharded across workers goroutines (<= 0 selects
 // GOMAXPROCS); bit-identical to the serial mixture campaign.
+//
+// Deprecated: use Runner.Campaign on a Runner built with
+// WithSimWorkers(workers). This wrapper delegates to exactly that.
 func SimulateRandomTestMixtureWorkers(c *Circuit, faults []Fault, weightSets [][]float64, nPatterns int, seed uint64, curveStep, workers int) *CampaignResult {
-	return sim.RunCampaignMixtureWorkers(c, faults, weightSets, nPatterns, seed, curveStep, workers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return mustCampaign(NewRunner(WithSeed(seed), WithSimWorkers(workers)), CampaignSpec{
+		Circuit: c, Faults: faults, Source: Mixture(weightSets...),
+		Patterns: nPatterns, Seed: seed, CurveStep: curveStep,
+	})
 }
 
 // SimulateWithSource fault-simulates patterns from an external source:
 // next is called once per 64-pattern batch and must fill one word per
 // primary input (bit k of word i = input i in pattern k). Use it to
 // drive the simulation from hardware models such as NewWeightedLFSR.
+//
+// Deprecated: use Runner.Campaign with a CampaignSpec whose Source is
+// Stream(next). This wrapper delegates to a local Runner.
 func SimulateWithSource(c *Circuit, faults []Fault, next func(dst []uint64), nPatterns, curveStep int) *CampaignResult {
-	return sim.RunCampaignSource(c, faults, next, nPatterns, curveStep)
+	return mustCampaign(NewRunner(), CampaignSpec{
+		Circuit: c, Faults: faults, Source: Stream(next),
+		Patterns: nPatterns, CurveStep: curveStep,
+	})
 }
 
 // NewWeightedLFSR builds the hardware-faithful weighted pattern source:

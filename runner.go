@@ -1,0 +1,282 @@
+package optirand
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"optirand/internal/core"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// Runner is a context-aware execution handle over the paper's whole
+// pipeline: it runs campaigns, optimizations, and sweep grids on a
+// configurable backend — in-process serial, in-process parallel,
+// dispatcher-cached, or a remote optirandd service — with bit-identical
+// results on every one of them by construction. Configure it with
+// functional options:
+//
+//	local := optirand.NewRunner()                                  // serial, in-process
+//	pool  := optirand.NewRunner(optirand.WithWorkers(8))           // bounded worker pool
+//	cloud := optirand.NewRunner(optirand.WithRemote("host:8417"),  // optirandd service
+//	        optirand.WithCache(1024))                              // + client-side result cache
+//
+// The same CampaignSpec, OptimizeSpec, or SweepSpec produces the same
+// bytes on each of the three — the equivalence contract the internal
+// engine.Backend seam enforces — so scaling a workload is a
+// constructor change, not a code change.
+//
+// A Runner is safe for concurrent use. Close releases its worker
+// fleet; a plain local Runner holds no resources and Close is then a
+// no-op.
+type Runner struct {
+	workers     int
+	simWorkers  int
+	cacheSize   int
+	maxAttempts int
+	seed        uint64
+	remote      string
+	timeout     time.Duration
+	timeoutSet  bool
+
+	backend engine.Backend
+	disp    *dist.Dispatcher
+	client  *dist.Client
+}
+
+// Option configures a Runner under construction.
+type Option func(*Runner)
+
+// WithWorkers bounds the number of campaigns executing concurrently
+// (the task-level pool or remote fan-out width). n <= 0 selects
+// GOMAXPROCS; the default is 1, the serial reference. Results are
+// identical for every value.
+func WithWorkers(n int) Option { return func(r *Runner) { r.workers = n } }
+
+// WithSimWorkers shards the fault list inside each campaign across n
+// goroutines (<= 1 keeps campaigns serial). Every shard replays the
+// identical seeded pattern stream, so results are identical for every
+// value; this only trades intra- against inter-campaign parallelism.
+// Remote Runners ignore it — the daemon applies its own -simworkers
+// policy, which cannot change results either.
+func WithSimWorkers(n int) Option { return func(r *Runner) { r.simWorkers = n } }
+
+// WithRemote executes campaigns, sweeps, and optimizations on an
+// optirandd service at addr (host:port or URL) instead of in-process.
+// WithWorkers then bounds the number of concurrent requests; transient
+// network failures are retried (deterministic 4xx rejections fail
+// fast).
+func WithRemote(addr string) Option { return func(r *Runner) { r.remote = addr } }
+
+// WithRemoteTimeout bounds each HTTP request against a remote Runner
+// (default 10 minutes; 0 disables the timeout — campaigns are long
+// requests by design, and context cancellation still applies).
+func WithRemoteTimeout(d time.Duration) Option {
+	return func(r *Runner) { r.timeout = d; r.timeoutSet = true }
+}
+
+// WithCache keeps a content-addressed result cache of up to n
+// campaigns (keyed by task identity — circuit, faults, weights,
+// patterns, seed — never by label or scheduling): resubmitting a
+// campaign returns the identical bytes without executing. The cache
+// fronts whichever backend the Runner uses, and enables in-flight
+// dedup: concurrent submissions of equal tasks execute once.
+func WithCache(n int) Option { return func(r *Runner) { r.cacheSize = n } }
+
+// WithSeed sets the Runner's default PRNG seed, used when a
+// CampaignSpec.Seed or SweepSpec.BaseSeed is 0 (the default default
+// is 1).
+func WithSeed(seed uint64) Option { return func(r *Runner) { r.seed = seed } }
+
+// WithMaxAttempts bounds executions per task before a batch fails
+// (default 3); attempts beyond the first migrate to whichever worker
+// frees up. Only meaningful for Runners with a dispatcher (remote or
+// cached).
+func WithMaxAttempts(n int) Option { return func(r *Runner) { r.maxAttempts = n } }
+
+// NewRunner builds a Runner from functional options. The zero-option
+// Runner is the serial in-process reference every other configuration
+// is bit-identical to.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{seed: 1, workers: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	var cache *dist.Cache
+	if r.cacheSize > 0 {
+		cache = dist.NewCache(r.cacheSize)
+	}
+	switch {
+	case r.remote != "":
+		r.client = dist.NewClient(r.remote)
+		if r.timeoutSet {
+			r.client.HTTP.Timeout = r.timeout
+		}
+		r.disp = dist.NewDispatcher(dist.RemoteExecutor(r.client), dist.Options{
+			Workers:     r.workers,
+			MaxAttempts: r.maxAttempts,
+			Cache:       cache,
+		})
+		r.backend = r.disp
+	case cache != nil:
+		r.disp = dist.NewDispatcher(dist.LocalExecutor, dist.Options{
+			Workers:     r.workers,
+			MaxAttempts: r.maxAttempts,
+			Cache:       cache,
+		})
+		r.backend = r.disp
+	default:
+		r.backend = engine.Local{Workers: r.workers}
+	}
+	return r
+}
+
+// Close releases the Runner's worker fleet, if it has one. Finish
+// in-flight calls first; Close is idempotent.
+func (r *Runner) Close() error {
+	if r.disp != nil {
+		r.disp.Close()
+	}
+	return nil
+}
+
+// Remote reports the service address the Runner executes on ("" for
+// in-process Runners).
+func (r *Runner) Remote() string { return r.remote }
+
+// Campaign runs one fault-simulation campaign described by spec and
+// reports the achieved coverage. Weights and Mixture campaigns run on
+// the Runner's backend (pool, cache, or service) and are bit-identical
+// across all of them; Stream campaigns execute serially in-process
+// (the source is an opaque callback) and are rejected by remote
+// Runners.
+func (r *Runner) Campaign(ctx context.Context, spec CampaignSpec) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Source.IsStream() {
+		if r.remote != "" {
+			return nil, fmt.Errorf("optirand: campaign %q: Stream sources cannot run on a remote Runner (a callback is not serializable); use a local Runner", spec.label())
+		}
+		if spec.Circuit == nil {
+			return nil, fmt.Errorf("optirand: campaign %q: nil circuit", spec.label())
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return sim.RunCampaignSource(spec.Circuit, spec.Faults, spec.Source.next, spec.Patterns, spec.CurveStep), nil
+	}
+	results, err := r.Batch(ctx, []CampaignSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0].Campaign, nil
+}
+
+// Batch runs several campaign specs as one submission: they fan out
+// over the Runner's backend and results return positionally
+// (results[i] answers specs[i]). Use Sweep for grids whose seeds
+// should derive from task identity; use Batch when each spec carries
+// its own explicit seed.
+func (r *Runner) Batch(ctx context.Context, specs []CampaignSpec) ([]TaskResult, error) {
+	tasks := make([]*Task, len(specs))
+	for i := range specs {
+		t, err := specs[i].task(r)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return r.backend.Run(ctx, tasks)
+}
+
+// Sweep expands the grid into its task list and runs it on the
+// Runner's backend. Results are positional in circuit-major,
+// weighting-middle, repetition-minor order (the expansion order of
+// the spec) and bit-identical for every backend and worker count.
+func (r *Runner) Sweep(ctx context.Context, spec SweepSpec) ([]TaskResult, error) {
+	tasks, err := spec.tasks(r)
+	if err != nil {
+		return nil, err
+	}
+	return r.backend.Run(ctx, tasks)
+}
+
+// SweepEach is Sweep's streaming variant: fn observes each task's
+// result as it lands (cache hits first, executed campaigns in
+// completion order) instead of waiting for the whole grid. fn is
+// called serially from the calling goroutine with the task's position
+// i in the grid's expansion order; collecting results by i reproduces
+// Sweep's slice exactly. On cancellation SweepEach abandons queued
+// work promptly and returns ctx.Err(); results already delivered
+// remain valid.
+func (r *Runner) SweepEach(ctx context.Context, spec SweepSpec, fn func(i int, res TaskResult)) error {
+	tasks, err := spec.tasks(r)
+	if err != nil {
+		return err
+	}
+	if sb, ok := r.backend.(engine.StreamBackend); ok {
+		return sb.RunEach(ctx, tasks, fn)
+	}
+	results, err := r.backend.Run(ctx, tasks)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		fn(i, res)
+	}
+	return nil
+}
+
+// Optimize runs the paper's OPTIMIZE procedure for spec — coordinate
+// descent on J_N with per-coordinate Newton minimization — in-process
+// or, for a remote Runner, on the optirandd service (identical
+// weights either way; the wire carries only the portable option
+// subset, so remote optimization rejects advanced OptimizeOptions).
+func (r *Runner) Optimize(ctx context.Context, spec OptimizeSpec) (*OptimizeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if r.client == nil {
+		return core.Optimize(spec.Circuit, spec.Faults, spec.Options)
+	}
+	o := spec.Options
+	if o.Alpha != 0 || o.MinWeight != 0 || o.MaxWeight != 0 || o.InitialWeights != nil ||
+		o.HardFaultFloor != 0 || o.PadFactor != 0 || o.RedundancyFloor != 0 ||
+		o.NewtonIters != 0 || o.Jitter != 0 || o.UseBisection || o.DisableIncremental {
+		return nil, fmt.Errorf("optirand: remote optimization carries only Confidence, Quantize, MaxSweeps, and Workers over the wire; run advanced OptimizeOptions on a local Runner")
+	}
+	if spec.Circuit == nil {
+		return nil, fmt.Errorf("optirand: optimize: nil circuit")
+	}
+	start := time.Now()
+	out, err := r.client.Optimize(ctx, &wire.OptimizeRequest{
+		Circuit:    *wire.FromCircuit(spec.Circuit),
+		Faults:     wire.FromFaults(spec.Faults),
+		Confidence: o.Confidence,
+		Quantize:   o.Quantize,
+		MaxSweeps:  o.MaxSweeps,
+		Workers:    o.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// History does not travel over the wire; every result-determining
+	// field does. Elapsed is stamped client-side (wall time of the
+	// round trip, network included).
+	return &OptimizeResult{
+		Weights:            out.Weights,
+		InitialN:           out.InitialN,
+		FinalN:             out.FinalN,
+		Sweeps:             out.Sweeps,
+		Analyses:           out.Analyses,
+		SuspectedRedundant: out.SuspectedRedundant,
+		Elapsed:            time.Since(start),
+	}, nil
+}

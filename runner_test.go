@@ -1,0 +1,372 @@
+package optirand_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optirand"
+	"optirand/internal/dist"
+)
+
+// testSweepSpec builds a small circuits × weightings × seeds grid
+// (including a mixture source) shared by the cross-backend suites.
+func testSweepSpec(t *testing.T) (optirand.SweepSpec, int) {
+	t.Helper()
+	spec := optirand.SweepSpec{
+		BaseSeed:    1987,
+		Repetitions: 2,
+		Patterns:    320,
+		CurveStep:   100,
+	}
+	cells := 0
+	for _, name := range []string{"c432", "c880"} {
+		b, ok := optirand.BenchmarkByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		c := b.Build()
+		n := c.NumInputs()
+		uniform := optirand.UniformWeights(c)
+		skewed := make([]float64, n)
+		for i := range skewed {
+			skewed[i] = 0.1 + 0.8*float64(i)/float64(n)
+		}
+		spec.Circuits = append(spec.Circuits, optirand.SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  optirand.CollapsedFaults(c),
+			Weightings: []optirand.SweepWeighting{
+				{Name: "uniform", Source: optirand.Weights(uniform)},
+				{Name: "mixture", Source: optirand.Mixture(uniform, skewed)},
+			},
+		})
+		cells += 2
+	}
+	return spec, cells * spec.Repetitions
+}
+
+// startDaemon hosts an optirandd handler on a loopback listener and
+// returns its address.
+func startDaemon(t *testing.T, opts dist.ServerOptions) string {
+	t.Helper()
+	srv := dist.NewServer(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	t.Cleanup(func() {
+		httpSrv.Close()
+		srv.Close()
+	})
+	return ln.Addr().String()
+}
+
+// equalResults demands two result sets agree positionally in label,
+// seed, and every campaign byte.
+func equalResults(t *testing.T, label string, ref, got []optirand.TaskResult) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i].Task.Label != got[i].Task.Label || ref[i].Task.Seed != got[i].Task.Seed {
+			t.Fatalf("%s: slot %d is task %s/%d, want %s/%d", label, i,
+				got[i].Task.Label, got[i].Task.Seed, ref[i].Task.Label, ref[i].Task.Seed)
+		}
+		if !reflect.DeepEqual(ref[i].Campaign, got[i].Campaign) {
+			t.Fatalf("%s: slot %d (%s): campaign differs from the serial reference", label, i, ref[i].Task.Label)
+		}
+	}
+}
+
+// TestRunnerCrossBackendEquivalence is the acceptance contract of the
+// Runner redesign: one SweepSpec produces byte-identical results on
+// every backend a Runner can be constructed with — local-serial,
+// local-parallel at several worker counts, dispatcher-cached (cold and
+// warm), and a live optirandd daemon (cold and warm, with and without
+// a client-side cache).
+func TestRunnerCrossBackendEquivalence(t *testing.T) {
+	ctx := context.Background()
+	spec, nTasks := testSweepSpec(t)
+
+	serial := optirand.NewRunner(optirand.WithWorkers(1))
+	defer serial.Close()
+	ref, err := serial.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != nTasks {
+		t.Fatalf("grid expanded to %d tasks, want %d", len(ref), nTasks)
+	}
+
+	runners := map[string]*optirand.Runner{
+		"local-parallel-2":   optirand.NewRunner(optirand.WithWorkers(2)),
+		"local-parallel-3":   optirand.NewRunner(optirand.WithWorkers(3), optirand.WithSimWorkers(2)),
+		"local-parallel-max": optirand.NewRunner(optirand.WithWorkers(0)),
+		"dispatcher-cached":  optirand.NewRunner(optirand.WithWorkers(3), optirand.WithCache(64)),
+		"remote-daemon": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 3, SimWorkers: 2, CacheSize: 256})),
+			optirand.WithWorkers(4)),
+		"remote-client-cached": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: -1})),
+			optirand.WithWorkers(2), optirand.WithCache(64)),
+	}
+	for label, r := range runners {
+		got, err := r.Sweep(ctx, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		equalResults(t, label+"/cold", ref, got)
+		// Second submission: cached backends answer from their
+		// content-addressed caches, uncached ones re-execute — the
+		// bytes cannot differ either way.
+		warm, err := r.Sweep(ctx, spec)
+		if err != nil {
+			t.Fatalf("%s warm: %v", label, err)
+		}
+		equalResults(t, label+"/warm", ref, warm)
+		r.Close()
+	}
+}
+
+// TestRunnerSweepEachMatchesSweep proves the streaming contract on
+// every backend kind: SweepEach delivers each result exactly once,
+// and the positional merge reproduces Sweep's slice byte for byte.
+func TestRunnerSweepEachMatchesSweep(t *testing.T) {
+	ctx := context.Background()
+	spec, nTasks := testSweepSpec(t)
+
+	serial := optirand.NewRunner()
+	defer serial.Close()
+	ref, err := serial.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runners := map[string]*optirand.Runner{
+		"local-serial":      optirand.NewRunner(optirand.WithWorkers(1)),
+		"local-parallel":    optirand.NewRunner(optirand.WithWorkers(4)),
+		"dispatcher-cached": optirand.NewRunner(optirand.WithWorkers(2), optirand.WithCache(64)),
+		"remote-daemon": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 64})),
+			optirand.WithWorkers(3)),
+	}
+	for label, r := range runners {
+		for _, temp := range []string{"cold", "warm"} {
+			got := make([]optirand.TaskResult, nTasks)
+			calls := 0
+			err := r.SweepEach(ctx, spec, func(i int, res optirand.TaskResult) {
+				calls++
+				if got[i].Campaign != nil {
+					t.Fatalf("%s/%s: slot %d delivered twice", label, temp, i)
+				}
+				got[i] = res
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", label, temp, err)
+			}
+			if calls != nTasks {
+				t.Fatalf("%s/%s: %d deliveries, want %d", label, temp, calls, nTasks)
+			}
+			equalResults(t, label+"/"+temp, ref, got)
+		}
+		r.Close()
+	}
+}
+
+// TestRunnerDeprecatedFacadeDelegates proves the pre-Runner facade
+// functions produce byte-identical results to their Runner spellings —
+// they are documented as thin wrappers and must stay that way.
+func TestRunnerDeprecatedFacadeDelegates(t *testing.T) {
+	ctx := context.Background()
+	b, _ := optirand.BenchmarkByName("c432")
+	c := b.Build()
+	faults := optirand.CollapsedFaults(c)
+	uniform := optirand.UniformWeights(c)
+	skewed := make([]float64, len(uniform))
+	for i := range skewed {
+		skewed[i] = 0.2 + 0.6*float64(i)/float64(len(skewed))
+	}
+	r := optirand.NewRunner(optirand.WithSimWorkers(3))
+	defer r.Close()
+
+	plain, err := r.Campaign(ctx, optirand.CampaignSpec{
+		Circuit: c, Faults: faults, Source: optirand.Weights(uniform),
+		Patterns: 700, Seed: 9, CurveStep: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := optirand.SimulateRandomTest(c, faults, uniform, 700, 9, 128); !reflect.DeepEqual(plain, got) {
+		t.Fatal("SimulateRandomTest differs from Runner.Campaign")
+	}
+	if got := optirand.SimulateRandomTestWorkers(c, faults, uniform, 700, 9, 128, 3); !reflect.DeepEqual(plain, got) {
+		t.Fatal("SimulateRandomTestWorkers differs from Runner.Campaign")
+	}
+
+	mix, err := r.Campaign(ctx, optirand.CampaignSpec{
+		Circuit: c, Faults: faults, Source: optirand.Mixture(uniform, skewed),
+		Patterns: 700, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := [][]float64{uniform, skewed}
+	if got := optirand.SimulateRandomTestMixture(c, faults, sets, 700, 9, 0); !reflect.DeepEqual(mix, got) {
+		t.Fatal("SimulateRandomTestMixture differs from Runner.Campaign")
+	}
+	if got := optirand.SimulateRandomTestMixtureWorkers(c, faults, sets, 700, 9, 0, 2); !reflect.DeepEqual(mix, got) {
+		t.Fatal("SimulateRandomTestMixtureWorkers differs from Runner.Campaign")
+	}
+
+	// Stream sources: the LFSR hardware model through both spellings.
+	src1 := optirand.NewWeightedLFSR(uniform, 4)
+	viaRunner, err := r.Campaign(ctx, optirand.CampaignSpec{
+		Circuit: c, Faults: faults, Source: optirand.Stream(src1.NextWords), Patterns: 640,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := optirand.NewWeightedLFSR(uniform, 4)
+	if got := optirand.SimulateWithSource(c, faults, src2.NextWords, 640, 0); !reflect.DeepEqual(viaRunner, got) {
+		t.Fatal("SimulateWithSource differs from Runner.Campaign")
+	}
+}
+
+// TestRunnerOptimizeRemoteMatchesLocal proves Runner.Optimize produces
+// identical weights and test lengths in-process and through a live
+// daemon, and that non-portable options are rejected remotely with a
+// useful error.
+func TestRunnerOptimizeRemoteMatchesLocal(t *testing.T) {
+	ctx := context.Background()
+	b, _ := optirand.BenchmarkByName("s1")
+	c := b.Build()
+	faults := optirand.CollapsedFaults(c)
+	spec := optirand.OptimizeSpec{
+		Circuit: c, Faults: faults,
+		Options: optirand.OptimizeOptions{Quantize: 0.05, MaxSweeps: 4},
+	}
+
+	local := optirand.NewRunner()
+	defer local.Close()
+	ref, err := local.Optimize(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote := optirand.NewRunner(optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2})))
+	defer remote.Close()
+	got, err := remote.Optimize(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Weights, got.Weights) {
+		t.Fatal("remote optimization weights differ from local")
+	}
+	if ref.InitialN != got.InitialN || ref.FinalN != got.FinalN || ref.Sweeps != got.Sweeps {
+		t.Fatalf("remote lengths (%g, %g, %d) differ from local (%g, %g, %d)",
+			got.InitialN, got.FinalN, got.Sweeps, ref.InitialN, ref.FinalN, ref.Sweeps)
+	}
+
+	badSpec := spec
+	badSpec.Options.Jitter = 0.1
+	if _, err := remote.Optimize(ctx, badSpec); err == nil || !strings.Contains(err.Error(), "wire") {
+		t.Fatalf("non-portable remote options: err = %v, want a wire-portability error", err)
+	}
+}
+
+// TestRunnerStreamRules pins the Stream-source policy: local Runners
+// execute them in-process, remote Runners and sweeps reject them with
+// actionable errors, and an empty source is caught before execution.
+func TestRunnerStreamRules(t *testing.T) {
+	ctx := context.Background()
+	b, _ := optirand.BenchmarkByName("c432")
+	c := b.Build()
+	faults := optirand.CollapsedFaults(c)
+
+	remote := optirand.NewRunner(optirand.WithRemote("127.0.0.1:1")) // never dialled
+	defer remote.Close()
+	src := optirand.NewWeightedLFSR(optirand.UniformWeights(c), 1)
+	_, err := remote.Campaign(ctx, optirand.CampaignSpec{
+		Circuit: c, Faults: faults, Source: optirand.Stream(src.NextWords), Patterns: 64,
+	})
+	if err == nil || !strings.Contains(err.Error(), "remote") {
+		t.Fatalf("stream on remote Runner: err = %v, want a remote-rejection error", err)
+	}
+
+	local := optirand.NewRunner()
+	defer local.Close()
+	_, err = local.Sweep(ctx, optirand.SweepSpec{
+		Patterns: 64,
+		Circuits: []optirand.SweepCircuit{{
+			Name: "c432", Circuit: c, Faults: faults,
+			Weightings: []optirand.SweepWeighting{{Name: "hw", Source: optirand.Stream(src.NextWords)}},
+		}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "swept") {
+		t.Fatalf("stream in sweep: err = %v, want a sweep-rejection error", err)
+	}
+
+	_, err = local.Campaign(ctx, optirand.CampaignSpec{Circuit: c, Faults: faults, Patterns: 64})
+	if err == nil || !strings.Contains(err.Error(), "pattern source") {
+		t.Fatalf("zero source: err = %v, want a no-pattern-source error", err)
+	}
+}
+
+// TestRunnerMidBatchCancelAgainstDaemon cancels a streaming sweep
+// after its first delivery against a live optirandd: SweepEach must
+// return ctx.Err() without draining the grid, and the Runner must
+// stay usable afterwards.
+func TestRunnerMidBatchCancelAgainstDaemon(t *testing.T) {
+	spec, nTasks := testSweepSpec(t)
+	r := optirand.NewRunner(
+		optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 1, CacheSize: -1})),
+		optirand.WithWorkers(1))
+	defer r.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	err := r.SweepEach(ctx, spec, func(int, optirand.TaskResult) {
+		delivered++
+		if delivered == 1 {
+			cancel()
+		}
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered >= nTasks {
+		t.Fatalf("%d campaigns delivered after mid-batch cancel", delivered)
+	}
+
+	// Local Runners honor cancellation the same way.
+	local := optirand.NewRunner(optirand.WithWorkers(2))
+	defer local.Close()
+	cancelled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := local.Sweep(cancelled, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled local sweep: err = %v, want context.Canceled", err)
+	}
+
+	// The remote Runner survives the abandonment.
+	res, err := r.Campaign(context.Background(), optirand.CampaignSpec{
+		Circuit:  spec.Circuits[0].Circuit,
+		Faults:   spec.Circuits[0].Faults,
+		Source:   optirand.Weights(optirand.UniformWeights(spec.Circuits[0].Circuit)),
+		Patterns: 320,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patterns != 320 {
+		t.Fatalf("post-cancel campaign ran %d patterns, want 320", res.Patterns)
+	}
+}

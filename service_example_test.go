@@ -1,6 +1,7 @@
 package optirand_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -8,14 +9,14 @@ import (
 
 	"optirand"
 	"optirand/internal/dist"
-	"optirand/internal/engine"
 )
 
-// Example_service runs a sweep through an in-process optirandd daemon
-// (the flow of examples/service): cold submission executes on the
-// daemon's worker fleet, warm re-submission is answered from the
-// content-addressed result cache, and both are bit-identical to the
-// in-process engine.
+// Example_service runs one SweepSpec through two Runners — an
+// in-process pool and an optirandd daemon (the flow of
+// examples/service): the cold submission executes on the daemon's
+// worker fleet, the warm re-submission is answered from its
+// content-addressed result cache, and all three result sets are
+// bit-identical.
 func Example_service() {
 	srv := dist.NewServer(dist.ServerOptions{Workers: 2, CacheSize: 64})
 	defer srv.Close()
@@ -29,40 +30,44 @@ func Example_service() {
 
 	b, _ := optirand.BenchmarkByName("c432")
 	c := b.Build()
-	sweep := &engine.Sweep{BaseSeed: 1987, Repetitions: 2, Patterns: 500}
-	sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+	sweep := optirand.SweepSpec{BaseSeed: 1987, Repetitions: 2, Patterns: 500}
+	sweep.Circuits = append(sweep.Circuits, optirand.SweepCircuit{
 		Name:    "c432",
 		Circuit: c,
 		Faults:  optirand.CollapsedFaults(c),
-		Weightings: []engine.Weighting{
-			{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+		Weightings: []optirand.SweepWeighting{
+			{Name: "conventional", Source: optirand.Weights(optirand.UniformWeights(c))},
 		},
 	})
-	tasks := sweep.Tasks()
 
-	client := dist.NewClient(ln.Addr().String())
-	cold, coldHits, err := client.Sweep(tasks)
+	ctx := context.Background()
+	remote := optirand.NewRunner(optirand.WithRemote(ln.Addr().String()), optirand.WithWorkers(2))
+	defer remote.Close()
+	local := optirand.NewRunner()
+	defer local.Close()
+
+	cold, err := remote.Sweep(ctx, sweep)
 	if err != nil {
 		panic(err)
 	}
-	warm, warmHits, err := client.Sweep(tasks)
+	warm, err := remote.Sweep(ctx, sweep)
 	if err != nil {
 		panic(err)
 	}
-	local, err := engine.Run(tasks, 0)
+	ref, err := local.Sweep(ctx, sweep)
 	if err != nil {
 		panic(err)
 	}
 
-	identical := reflect.DeepEqual(cold, warm)
-	for i := range local {
-		identical = identical && reflect.DeepEqual(local[i].Campaign, cold[i])
+	identical := true
+	for i := range ref {
+		identical = identical &&
+			reflect.DeepEqual(ref[i].Campaign, cold[i].Campaign) &&
+			reflect.DeepEqual(ref[i].Campaign, warm[i].Campaign)
 	}
-	fmt.Println("cold cache hits:", coldHits)
-	fmt.Println("warm cache hits:", warmHits)
+	fmt.Println("tasks:", len(ref))
 	fmt.Println("remote == local, cold == warm:", identical)
 	// Output:
-	// cold cache hits: 0
-	// warm cache hits: 2
+	// tasks: 2
 	// remote == local, cold == warm: true
 }

@@ -1,0 +1,223 @@
+package optirand
+
+import (
+	"fmt"
+
+	"optirand/internal/engine"
+)
+
+// Re-exported engine types: a Task is one fully described
+// fault-simulation campaign, a TaskResult pairs it with its outcome.
+// Runner.Sweep and Runner.Batch return TaskResults positionally.
+type (
+	// Task is one executable campaign (circuit × faults × weight sets
+	// × pattern budget × seed). Specs compile to Tasks; inspect
+	// TaskResult.Task to identify a result.
+	Task = engine.Task
+	// TaskResult pairs a Task with its campaign outcome and wall time.
+	TaskResult = engine.TaskResult
+)
+
+// PatternSource selects where a campaign's random patterns come from.
+// The zero value is invalid; construct one with Weights (a single
+// weight set), Mixture (the §5.3 rotation over several weight sets),
+// or Stream (an external 64-pattern batch generator, e.g. a hardware
+// LFSR model).
+//
+// Weights and Mixture sources are pure data: they travel over the
+// wire, shard across fault-list workers, and content-address into the
+// result cache, so campaigns using them are bit-identical on every
+// Runner backend. A Stream source is an opaque callback — it cannot be
+// serialized, replayed, or cached, so stream campaigns always execute
+// serially in-process and are rejected by remote Runners and sweeps.
+type PatternSource struct {
+	sets [][]float64
+	next func(dst []uint64)
+}
+
+// Weights draws every pattern from one weight set: weights[i] is the
+// probability that primary input i is 1.
+func Weights(weights []float64) PatternSource {
+	return PatternSource{sets: [][]float64{weights}}
+}
+
+// Mixture rotates 64-pattern batches through several weight sets —
+// the paper's §5.3 extension for partitioned fault sets (see
+// OptimizeMultiDistribution).
+func Mixture(weightSets ...[]float64) PatternSource {
+	return PatternSource{sets: weightSets}
+}
+
+// Stream draws patterns from an external source: next is called once
+// per 64-pattern batch and must fill one word per primary input (bit k
+// of word i = input i in pattern k). Use it to drive campaigns from
+// hardware models such as NewWeightedLFSR.
+func Stream(next func(dst []uint64)) PatternSource {
+	return PatternSource{next: next}
+}
+
+// IsStream reports whether the source is an external batch generator.
+func (s PatternSource) IsStream() bool { return s.next != nil }
+
+// WeightSets returns the source's weight sets (nil for Stream
+// sources). The slice is not copied; treat it as read-only.
+func (s PatternSource) WeightSets() [][]float64 { return s.sets }
+
+// CampaignSpec declares one fault-simulation campaign. Zero-valued
+// fields select defaults: Label defaults to the circuit name, Seed 0
+// selects the Runner's seed (WithSeed, default 1).
+type CampaignSpec struct {
+	// Label identifies the campaign in TaskResults and error messages.
+	Label string
+	// Circuit is the netlist under test.
+	Circuit *Circuit
+	// Faults is the campaign's fault list (typically CollapsedFaults).
+	Faults []Fault
+	// Source supplies the random patterns: Weights, Mixture, or
+	// Stream.
+	Source PatternSource
+	// Patterns is the pattern budget.
+	Patterns int
+	// Seed makes the campaign reproducible; 0 selects the Runner's
+	// seed. Ignored for Stream sources (the stream owns its state).
+	Seed uint64
+	// CurveStep > 0 samples the coverage curve every CurveStep
+	// patterns.
+	CurveStep int
+}
+
+// task compiles the spec into an executable engine task under the
+// runner's defaults.
+func (spec *CampaignSpec) task(r *Runner) (*Task, error) {
+	if spec.Source.IsStream() {
+		return nil, fmt.Errorf("optirand: campaign %q: Stream sources are process-local (not serializable or replayable); they cannot compile to a task", spec.label())
+	}
+	if len(spec.Source.sets) == 0 {
+		return nil, fmt.Errorf("optirand: campaign %q: no pattern source (construct one with Weights, Mixture, or Stream)", spec.label())
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = r.seed
+	}
+	t := &Task{
+		Label:      spec.label(),
+		Circuit:    spec.Circuit,
+		Faults:     spec.Faults,
+		WeightSets: spec.Source.sets,
+		Patterns:   spec.Patterns,
+		Seed:       seed,
+		CurveStep:  spec.CurveStep,
+		SimWorkers: r.simWorkers,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (spec *CampaignSpec) label() string {
+	if spec.Label != "" {
+		return spec.Label
+	}
+	if spec.Circuit != nil {
+		return spec.Circuit.Name
+	}
+	return ""
+}
+
+// OptimizeSpec declares one run of the paper's OPTIMIZE procedure.
+type OptimizeSpec struct {
+	// Circuit is the netlist to optimize input probabilities for.
+	Circuit *Circuit
+	// Faults is the fault set F of the objective J_N.
+	Faults []Fault
+	// Options configures the optimizer; the zero value selects the
+	// paper defaults. On a remote Runner only the wire-portable subset
+	// (Confidence, Quantize, MaxSweeps, Workers) may be non-zero.
+	Options OptimizeOptions
+}
+
+// SweepWeighting names one weight configuration of a sweep cell.
+type SweepWeighting struct {
+	// Name identifies the configuration ("uniform", "optimized", …) in
+	// task labels and seeds (see TaskSeed in the engine contract).
+	Name string
+	// Source supplies the patterns; Stream sources cannot be swept.
+	Source PatternSource
+}
+
+// SweepCircuit is one circuit of a sweep grid together with its fault
+// list and the weightings to campaign with.
+type SweepCircuit struct {
+	// Name identifies the circuit in task labels and seeds.
+	Name string
+	// Circuit is the netlist under test.
+	Circuit *Circuit
+	// Faults is the fault list shared by the circuit's campaigns.
+	Faults []Fault
+	// Weightings are the weight configurations to cross with seeds.
+	Weightings []SweepWeighting
+	// Patterns overrides SweepSpec.Patterns for this circuit when > 0.
+	Patterns int
+}
+
+// SweepSpec declares a multi-circuit × multi-weighting × multi-seed
+// campaign grid. Per-task seeds derive from the base seed and the
+// task's identity (circuit name, weighting name, repetition index),
+// never from execution order, so a grid can grow, shrink, or reorder
+// without reseeding surviving tasks — and produces identical results
+// on every Runner backend.
+type SweepSpec struct {
+	// BaseSeed roots every task seed; 0 selects the Runner's seed.
+	BaseSeed uint64
+	// Repetitions is the number of independently seeded campaigns per
+	// (circuit, weighting) cell; values < 1 mean 1.
+	Repetitions int
+	// Patterns is the default per-campaign pattern budget.
+	Patterns int
+	// CurveStep > 0 samples coverage curves every CurveStep patterns.
+	CurveStep int
+	// Circuits are the grid's rows.
+	Circuits []SweepCircuit
+}
+
+// tasks expands the grid exactly like the engine's sweep (identical
+// labels and task seeds), applying the runner's defaults.
+func (spec *SweepSpec) tasks(r *Runner) ([]*Task, error) {
+	base := spec.BaseSeed
+	if base == 0 {
+		base = r.seed
+	}
+	s := &engine.Sweep{
+		BaseSeed:    base,
+		Repetitions: spec.Repetitions,
+		Patterns:    spec.Patterns,
+		CurveStep:   spec.CurveStep,
+		SimWorkers:  r.simWorkers,
+	}
+	for _, sc := range spec.Circuits {
+		ec := engine.SweepCircuit{
+			Name:     sc.Name,
+			Circuit:  sc.Circuit,
+			Faults:   sc.Faults,
+			Patterns: sc.Patterns,
+		}
+		for _, wt := range sc.Weightings {
+			if wt.Source.IsStream() {
+				return nil, fmt.Errorf("optirand: sweep %s/%s: Stream sources cannot be swept (a sweep's campaigns must be replayable from their seeds)", sc.Name, wt.Name)
+			}
+			if len(wt.Source.sets) == 0 {
+				return nil, fmt.Errorf("optirand: sweep %s/%s: no pattern source", sc.Name, wt.Name)
+			}
+			ec.Weightings = append(ec.Weightings, engine.Weighting{Name: wt.Name, Sets: wt.Source.sets})
+		}
+		s.Circuits = append(s.Circuits, ec)
+	}
+	tasks := s.Tasks()
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
