@@ -3,13 +3,13 @@
 # engine (fault-sharded campaigns, concurrent PREPARE, the sweep
 # orchestrator, the dist queue/dispatcher/daemon) under the race
 # detector; `make bench` runs the Go benchmarks; `make parbench` /
-# `make servebench` emit the machine-readable performance summaries
-# BENCH_parallel.json / BENCH_service.json; `make serve` starts the
-# optirandd HTTP daemon.
+# `make servebench` / `make internbench` emit the machine-readable
+# performance summaries BENCH_parallel.json / BENCH_service.json /
+# BENCH_intern.json; `make serve` starts the optirandd HTTP daemon.
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench parbench serve servebench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench internbench vet fmt clean
 
 all: build test
 
@@ -41,6 +41,9 @@ serve:
 servebench:
 	$(GO) run ./cmd/benchgen -servebench
 
+internbench:
+	$(GO) run ./cmd/benchgen -internbench
+
 vet:
 	$(GO) vet ./...
 
@@ -49,4 +52,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json BENCH_service.json coverage.out coverage.txt
+	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json coverage.out coverage.txt

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+
+	"optirand"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+	"optirand/internal/report"
+)
+
+var (
+	flagInternbench = flag.Bool("internbench", false, "benchmark circuit interning (inline vs by-ref request bytes), write a JSON summary")
+	flagInternOut   = flag.String("internout", "BENCH_intern.json", "internbench: summary output path")
+	flagInternCirc  = flag.String("interncircuits", "c880", "internbench: comma-separated circuits")
+	flagInternN     = flag.Int("internn", 256, "internbench: patterns per campaign")
+	flagInternReps  = flag.Int("internreps", 24, "internbench: seeds per circuit × weighting cell")
+)
+
+// internSummary is the BENCH_intern.json schema: the transport-cost
+// measurement behind content-addressed circuit interning. Bytes are
+// HTTP request bytes (method + URI + body as sent, compression
+// included), summed over every request a sweep needs — for the
+// interned client that includes the residency probes and blob
+// uploads, so the reduction is end-to-end honest.
+type internSummary struct {
+	GOMAXPROCS           int     `json:"gomaxprocs"`
+	Seed                 uint64  `json:"seed"`
+	Circuits             string  `json:"circuits"`
+	Tasks                int     `json:"tasks"`
+	Patterns             int     `json:"patterns"`
+	InlineRequests       int     `json:"inline_requests"`
+	InlineRequestBytes   int64   `json:"inline_request_bytes"`
+	InternedRequests     int     `json:"interned_requests"`
+	InternedRequestBytes int64   `json:"interned_request_bytes"`
+	Reduction            float64 `json:"reduction"` // inline / interned, first (upload-inclusive) sweep
+	WarmRequests         int     `json:"warm_requests"`
+	WarmRequestBytes     int64   `json:"warm_request_bytes"`
+	WarmReduction        float64 `json:"warm_reduction"` // inline / warm (pure by-ref, steady state)
+	IdenticalResults     bool    `json:"identical_results"`
+}
+
+// countingTransport counts the bytes of every outgoing request:
+// request line plus body as actually sent (so client-side gzip is
+// measured, not hidden).
+type countingTransport struct {
+	base http.RoundTripper
+
+	mu       sync.Mutex
+	requests int
+	bytes    int64
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := req.ContentLength
+	if n < 0 {
+		n = 0
+	}
+	t.mu.Lock()
+	t.requests++
+	t.bytes += n + int64(len(req.Method)+len(req.URL.RequestURI()))
+	t.mu.Unlock()
+	return t.base.RoundTrip(req)
+}
+
+func (t *countingTransport) snapshot() (int, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests, t.bytes
+}
+
+// internbenchTasks expands the benchmarked circuits into a many-seed
+// sweep grid — the workload interning exists for: one circuit and
+// fault list shared by every task of its rows.
+func internbenchTasks(seed uint64) []*engine.Task {
+	sweep := &engine.Sweep{
+		BaseSeed:    seed,
+		Repetitions: *flagInternReps,
+		Patterns:    *flagInternN,
+	}
+	for _, name := range strings.Split(*flagInternCirc, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := optirand.BenchmarkByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown circuit %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		c := b.Build()
+		skewed := make([]float64, c.NumInputs())
+		for i := range skewed {
+			skewed[i] = 0.1 + 0.8*float64(i)/float64(len(skewed))
+		}
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  optirand.CollapsedFaults(c),
+			Weightings: []engine.Weighting{
+				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+				{Name: "skewed", Sets: [][]float64{skewed}},
+			},
+		})
+	}
+	return sweep.Tasks()
+}
+
+// internDaemon starts a fresh daemon on a loopback listener and
+// returns a byte-counting client for it plus a shutdown func.
+func internDaemon(inline bool) (*dist.Client, *countingTransport, func()) {
+	srv := dist.NewServer(dist.ServerOptions{Workers: runtime.GOMAXPROCS(0), CacheSize: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed on shutdown
+	cl := dist.NewClient(ln.Addr().String())
+	ct := &countingTransport{base: http.DefaultTransport}
+	cl.HTTP.Transport = ct
+	cl.DisableIntern = inline
+	return cl, ct, func() {
+		httpSrv.Close()
+		srv.Close()
+	}
+}
+
+// internbench measures the request bytes a many-seed sweep costs with
+// inline tasks versus content-addressed (interned) tasks, cold
+// (including the one-time blob negotiation) and warm (pure by-ref) —
+// the ~100× transport win the blob store exists for.
+func internbench() {
+	const seed = 1987
+	tasks := internbenchTasks(seed)
+
+	// In-process reference for the identity check.
+	ref, err := engine.Run(context.Background(), tasks, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Inline transport: every task carries its circuit and faults.
+	inlineCl, inlineCt, stopInline := internDaemon(true)
+	inlineRes, _, err := inlineCl.Sweep(context.Background(), tasks)
+	stopInline()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: inline sweep: %v\n", err)
+		os.Exit(1)
+	}
+	inlineReqs, inlineBytes := inlineCt.snapshot()
+
+	// Interned transport against a fresh daemon: the first sweep pays
+	// the probes and blob uploads, the second is pure by-ref.
+	internCl, internCt, stopIntern := internDaemon(false)
+	defer stopIntern()
+	internRes, _, err := internCl.Sweep(context.Background(), tasks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: interned sweep: %v\n", err)
+		os.Exit(1)
+	}
+	internReqs, internBytes := internCt.snapshot()
+	warmRes, _, err := internCl.Sweep(context.Background(), tasks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: warm interned sweep: %v\n", err)
+		os.Exit(1)
+	}
+	warmReqsTotal, warmBytesTotal := internCt.snapshot()
+	warmReqs, warmBytes := warmReqsTotal-internReqs, warmBytesTotal-internBytes
+
+	identical := reflect.DeepEqual(inlineRes, internRes) && reflect.DeepEqual(inlineRes, warmRes)
+	for i := range ref {
+		identical = identical && reflect.DeepEqual(ref[i].Campaign, internRes[i])
+	}
+
+	summary := internSummary{
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Seed:                 seed,
+		Circuits:             *flagInternCirc,
+		Tasks:                len(tasks),
+		Patterns:             *flagInternN,
+		InlineRequests:       inlineReqs,
+		InlineRequestBytes:   inlineBytes,
+		InternedRequests:     internReqs,
+		InternedRequestBytes: internBytes,
+		Reduction:            float64(inlineBytes) / float64(internBytes),
+		WarmRequests:         warmReqs,
+		WarmRequestBytes:     warmBytes,
+		WarmReduction:        float64(inlineBytes) / float64(warmBytes),
+		IdenticalResults:     identical,
+	}
+
+	t := report.NewTable("Circuit interning transport cost (request bytes per sweep)",
+		"Transport", "Requests", "Bytes", "Reduction")
+	t.Add("inline", fmt.Sprint(inlineReqs), fmt.Sprint(inlineBytes), "1.0x")
+	t.Add("interned (cold: probes + blob uploads)", fmt.Sprint(internReqs), fmt.Sprint(internBytes),
+		fmt.Sprintf("%.1fx", summary.Reduction))
+	t.Add("interned (warm: by-ref only)", fmt.Sprint(warmReqs), fmt.Sprint(warmBytes),
+		fmt.Sprintf("%.1fx", summary.WarmReduction))
+	t.Add("identical results", fmt.Sprint(identical), "", "")
+	fmt.Print(t)
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagInternOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagInternOut)
+}

@@ -11,6 +11,8 @@
 //	                                     # throughput -> BENCH_parallel.json
 //	benchgen -servebench                 # optirandd service throughput and
 //	                                     # cache-hit latency -> BENCH_service.json
+//	benchgen -internbench                # inline vs content-addressed task
+//	                                     # request bytes -> BENCH_intern.json
 package main
 
 import (
@@ -195,6 +197,8 @@ func main() {
 		parbench()
 	case *flagServebench:
 		servebench()
+	case *flagInternbench:
+		internbench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

@@ -7,20 +7,32 @@
 //	optirandd                              # serve on :8417, GOMAXPROCS workers
 //	optirandd -addr 127.0.0.1:9000 -workers 8 -simworkers 2
 //	optirandd -cachesize 4096              # bigger result cache
+//	optirandd -cache-dir /var/lib/optirand # persist the warm set across restarts
 //
 // Endpoints (JSON wire format, versioned; see internal/wire):
 //
-//	POST /v1/optimize   run the paper's OPTIMIZE procedure for a circuit
-//	POST /v1/campaign   run one fault-simulation campaign
-//	POST /v1/sweep      run a task batch; results return positionally
-//	GET  /v1/stats      worker fleet and result-cache counters
+//	POST /v1/optimize     run the paper's OPTIMIZE procedure for a circuit
+//	POST /v1/campaign     run one fault-simulation campaign
+//	POST /v1/sweep        run a task batch; results return positionally
+//	                      (streamed per task as NDJSON when the client
+//	                      sends Accept: application/x-ndjson)
+//	PUT  /v1/blobs/{hash} upload a content-addressed circuit/fault blob
+//	GET  /v1/blobs/{hash} fetch one (HEAD probes residency)
+//	GET  /v1/stats        fleet, cache, blob store, and dedup counters
 //
 // All campaign work flows through one bounded worker fleet and a
 // content-addressed result cache keyed by task identity, so repeated
 // circuit × weighting × seed submissions are answered from cache with
-// byte-identical payloads. A sweep answered by the daemon is
-// bit-identical to the same sweep run in-process by engine.Run — any
-// worker count, any submission order, cold or warm cache.
+// byte-identical payloads. Sweep tasks may reference their circuit
+// and fault list by content address (upload once via /v1/blobs,
+// reference by hash thereafter — the client negotiates this
+// automatically), cutting request bytes by orders of magnitude for
+// many-seed grids. With -cache-dir the result cache is written to
+// disk on shutdown and reloaded on start, so a restarted daemon keeps
+// its warm set. A sweep answered by the daemon is bit-identical to
+// the same sweep run in-process by engine.Run — any worker count, any
+// submission order, cold or warm cache, streamed or batched, inline
+// or by-ref.
 package main
 
 import (
@@ -42,6 +54,8 @@ var (
 	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker fleet size (shared by all requests)")
 	flagSimWorkers = flag.Int("simworkers", 1, "fault-shard workers inside each campaign (results identical for any count)")
 	flagCacheSize  = flag.Int("cachesize", 1024, "content-addressed result cache entries (negative disables caching)")
+	flagCacheDir   = flag.String("cache-dir", "", "persist the result cache here (loaded on start, written on shutdown)")
+	flagBlobBytes  = flag.Int64("blob-bytes", 0, "content-addressed blob store byte budget (0 selects the default)")
 	flagRetries    = flag.Int("maxattempts", 3, "execution attempts per task before a batch fails")
 )
 
@@ -51,10 +65,15 @@ func main() {
 		Workers:     *flagWorkers,
 		SimWorkers:  *flagSimWorkers,
 		CacheSize:   *flagCacheSize,
+		CacheDir:    *flagCacheDir,
+		BlobBytes:   *flagBlobBytes,
 		MaxAttempts: *flagRetries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "optirandd: "+format+"\n", args...)
+		},
 	})
 	defer srv.Close()
-	fmt.Printf("optirandd: serving /v1/{optimize,campaign,sweep,stats} on %s (%d workers)\n",
+	fmt.Printf("optirandd: serving /v1/{optimize,campaign,sweep,blobs,stats} on %s (%d workers)\n",
 		*flagAddr, *flagWorkers)
 
 	// ^C drains gracefully: stop accepting, let in-flight requests

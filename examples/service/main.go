@@ -2,7 +2,9 @@
 // pointed at an optirandd daemon — produces bit-identical results;
 // re-submitting the sweep is answered from the daemon's
 // content-addressed result cache. SweepEach streams each campaign as
-// it lands.
+// it lands — here over the wire, as the daemon's NDJSON sweep
+// response — and the shared circuit travels once (content-addressed
+// interning), not once per task.
 //
 //	go run ./examples/service
 //
@@ -13,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -58,9 +61,13 @@ func main() {
 		})
 	}
 
-	// 3. A remote Runner submits it to the service, streaming each
-	//    campaign as the daemon's fleet finishes it (cold cache).
-	remote := optirand.NewRunner(optirand.WithRemote(ln.Addr().String()), optirand.WithWorkers(4))
+	// 3. A remote Runner submits it to the service as one streaming
+	//    /v1/sweep request: the daemon's fleet fans the batch out, and
+	//    each campaign crosses the network the moment it finishes
+	//    (cold cache). The circuit and fault list are interned by
+	//    content address — uploaded once, referenced by hash in every
+	//    task.
+	remote := optirand.NewRunner(optirand.WithRemote(ln.Addr().String()), optirand.WithRemoteStreaming())
 	defer remote.Close()
 	var cold []optirand.TaskResult
 	start := time.Now()
@@ -106,4 +113,22 @@ func main() {
 	for _, r := range ref[:2] {
 		fmt.Printf("  %-22s coverage %.1f %%\n", r.Task.Label, 100*r.Campaign.Coverage())
 	}
+
+	// 6. /v1/stats shows what the transport saved: the grid's two
+	//    circuits and fault lists live in the blob store (uploaded
+	//    once each), and the warm sweep was pure cache hits.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Cache *dist.CacheStats `json:"cache"`
+		Blobs *dist.BlobStats  `json:"blobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon stats: %d interned blobs (%d bytes), %d cache hits / %d entries\n",
+		stats.Blobs.Entries, stats.Blobs.Bytes, stats.Cache.Hits, stats.Cache.Entries)
 }

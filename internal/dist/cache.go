@@ -2,6 +2,10 @@ package dist
 
 import (
 	"container/list"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"optirand/internal/sim"
@@ -12,13 +16,17 @@ import (
 // Eviction is least-recently-used. Get and Put deep-copy, so cached
 // results are immutable no matter what callers do with theirs — a
 // cache hit returns exactly the bytes a fresh execution would.
+// Save/Load spill the contents to disk (gob, atomic write), so a
+// restarted daemon keeps its warm set.
 type Cache struct {
-	mu     sync.Mutex
-	max    int
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
-	hits   uint64
-	misses uint64
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+	persists uint64
+	loaded   uint64
 }
 
 type cacheEntry struct {
@@ -81,16 +89,119 @@ func (c *Cache) Put(key string, res *sim.CampaignResult) {
 	}
 }
 
-// CacheStats is a point-in-time cache counter snapshot.
+// CacheStats is a point-in-time cache counter snapshot. Persists
+// counts completed Save calls, Loaded the entries restored by Load —
+// both zero on a cache that never touched disk.
 type CacheStats struct {
-	Entries int    `json:"entries"`
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Persists uint64 `json:"persists"`
+	Loaded   uint64 `json:"loaded"`
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: c.ll.Len(), Hits: c.hits, Misses: c.misses}
+	return CacheStats{
+		Entries:  c.ll.Len(),
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Persists: c.persists,
+		Loaded:   c.loaded,
+	}
+}
+
+// cacheSnapshot is the on-disk (gob) form of a cache: entries in
+// most-recently-used-first order, versioned so a format change cannot
+// be misread as a warm set. Results are stored as values — the deep
+// copies the cache already holds — so a loaded cache is as immutable
+// as a live one.
+type cacheSnapshot struct {
+	Version int
+	Entries []cacheSnapshotEntry
+}
+
+type cacheSnapshotEntry struct {
+	Key string
+	Res sim.CampaignResult
+}
+
+// cacheSnapshotVersion gates Load: a snapshot written by a different
+// snapshot layout is skipped (the daemon just starts cold).
+const cacheSnapshotVersion = 1
+
+// Save writes the cache's current contents to path atomically (temp
+// file in the same directory, then rename), so a crash mid-write
+// leaves either the old snapshot or the new one, never a torn file.
+// Concurrent Get/Put during Save affect only whether they are
+// included; the snapshot itself is taken under the lock.
+func (c *Cache) Save(path string) error {
+	c.mu.Lock()
+	snap := cacheSnapshot{Version: cacheSnapshotVersion}
+	snap.Entries = make([]cacheSnapshotEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		snap.Entries = append(snap.Entries, cacheSnapshotEntry{Key: e.key, Res: *e.res})
+	}
+	c.mu.Unlock()
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dist: persist cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(&snap); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dist: persist cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dist: persist cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("dist: persist cache: %w", err)
+	}
+	c.mu.Lock()
+	c.persists++
+	c.mu.Unlock()
+	return nil
+}
+
+// Load restores a snapshot written by Save into the cache, preserving
+// recency order and respecting the cache's own size bound (the
+// least-recent overflow is dropped). A missing file is not an error —
+// the daemon's first start has nothing to warm from — and returns 0.
+// Loaded entries are counted in Stats().Loaded.
+func (c *Cache) Load(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("dist: load cache: %w", err)
+	}
+	defer f.Close()
+	var snap cacheSnapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("dist: load cache %s: %w", path, err)
+	}
+	if snap.Version != cacheSnapshotVersion {
+		return 0, fmt.Errorf("dist: load cache %s: snapshot version %d not supported (want %d)",
+			path, snap.Version, cacheSnapshotVersion)
+	}
+	// Entries were saved most-recent-first; Put pushes to the front, so
+	// inserting in reverse reproduces the saved recency order exactly.
+	n := 0
+	for i := len(snap.Entries) - 1; i >= 0; i-- {
+		e := snap.Entries[i]
+		res := e.Res
+		c.Put(e.Key, &res)
+		n++
+	}
+	c.mu.Lock()
+	c.loaded += uint64(n)
+	c.mu.Unlock()
+	return n, nil
 }

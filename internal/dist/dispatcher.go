@@ -73,11 +73,12 @@ type Dispatcher struct {
 	maxAttempts int
 	wg          sync.WaitGroup
 
-	// fmu guards inflight, the singleflight table. Lock order: fmu
-	// before any batch.mu (the worker checks batch abandonment while
-	// holding fmu); never the reverse.
-	fmu      sync.Mutex
-	inflight map[string]*flight
+	// fmu guards inflight, the singleflight table, and coalesced. Lock
+	// order: fmu before any batch.mu (the worker checks batch
+	// abandonment while holding fmu); never the reverse.
+	fmu       sync.Mutex
+	inflight  map[string]*flight
+	coalesced uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -349,6 +350,29 @@ func (d *Dispatcher) RunEach(ctx context.Context, tasks []*engine.Task, fn func(
 	})
 }
 
+// RunEachCached is RunEach, additionally reporting per delivery
+// whether the result was served from the content-addressed cache — the
+// streaming primitive behind the daemon's NDJSON sweep responses,
+// which forward both the result and its cache temperature per task.
+func (d *Dispatcher) RunEachCached(ctx context.Context, tasks []*engine.Task, fn func(i int, r engine.TaskResult, cached bool)) error {
+	return d.runEach(ctx, tasks, fn)
+}
+
+// DispatcherStats is a point-in-time dispatcher counter snapshot.
+// Coalesced counts task submissions that attached to an already
+// queued or executing flight (singleflight dedup) instead of
+// enqueueing their own execution.
+type DispatcherStats struct {
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// Stats snapshots the counters.
+func (d *Dispatcher) Stats() DispatcherStats {
+	d.fmu.Lock()
+	defer d.fmu.Unlock()
+	return DispatcherStats{Coalesced: d.coalesced}
+}
+
 // runEach is the submission core shared by Run, RunCached and RunEach.
 func (d *Dispatcher) runEach(ctx context.Context, tasks []*engine.Task, fn func(i int, r engine.TaskResult, cached bool)) error {
 	d.mu.Lock()
@@ -391,6 +415,7 @@ func (d *Dispatcher) runEach(ctx context.Context, tasks []*engine.Task, fn func(
 		d.fmu.Lock()
 		if fl := d.inflight[key]; fl != nil {
 			fl.waiters = append(fl.waiters, it)
+			d.coalesced++
 			d.fmu.Unlock()
 			continue
 		}

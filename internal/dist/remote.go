@@ -2,14 +2,20 @@ package dist
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
+	"optirand/internal/circuit"
 	"optirand/internal/engine"
+	"optirand/internal/fault"
 	"optirand/internal/sim"
 	"optirand/internal/wire"
 )
@@ -17,13 +23,51 @@ import (
 // Client talks to an optirandd service. Every request is bound to the
 // caller's context, so cancelling it aborts the in-flight HTTP
 // exchange; adjust HTTP.Timeout for the workload on top of that:
-// campaigns are long requests by design, and a /v1/sweep answers only
-// when its whole batch is done, so the right bound grows with grid
-// size (0 disables the timeout entirely — the CLIs' -remote paths do
-// that and leave interruption to context cancellation).
+// campaigns are long requests by design, so the right bound grows
+// with grid size (0 disables the timeout entirely — the CLIs' -remote
+// paths do that and leave interruption to context cancellation).
+//
+// # Transport negotiation
+//
+// The client adapts to its peer without configuration:
+//
+//   - Circuit interning. Unless DisableIntern is set, tasks travel
+//     by content address: the first use of a circuit (and fault list)
+//     probes HEAD /v1/blobs/{hash}, uploads the blob on a miss, and
+//     every task thereafter references it by hash — cutting request
+//     bytes by orders of magnitude for many-seed sweeps. A daemon
+//     without blob endpoints answers the upload with 404, and the
+//     client falls back to inline tasks for the connection's lifetime.
+//     A daemon that evicted a blob answers 422, and the client
+//     re-uploads and retries once, transparently.
+//
+//   - Gzip. Responses advertise gzip request support via a header;
+//     once seen, the client compresses request bodies above a size
+//     threshold (tiny control requests stay uncompressed). Response
+//     bodies are compressed by the daemon under the same threshold
+//     and inflated transparently by net/http.
+//
+//   - Streaming sweeps. SweepEach asks for an NDJSON response and
+//     delivers each campaign as the daemon completes it; a daemon
+//     that answers with a batch JSON body instead (an older build)
+//     degrades to whole-batch delivery.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// DisableIntern forces every task to carry its circuit and fault
+	// list inline, disabling blob negotiation entirely.
+	DisableIntern bool
+
+	// mu guards the negotiated-transport state below.
+	mu sync.Mutex
+	// blobSupport is the learned blob-endpoint capability: 0 unknown,
+	// +1 supported, -1 unsupported (old daemon; stay inline).
+	blobSupport int
+	// uploaded records content addresses this client has verified
+	// resident on the daemon (probe hit or successful upload).
+	uploaded map[string]bool
+	// gzipOK is set once any response advertises gzip request support.
+	gzipOK bool
 }
 
 // NewClient returns a client for addr, which may be a bare host:port
@@ -38,12 +82,29 @@ func NewClient(addr string) *Client {
 	}
 }
 
-// post sends one wire value and decodes the wire response.
-func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.Header, error) {
-	body, err := wire.JSON.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
+// httpError is a non-2xx service answer, keeping the status code so
+// callers can distinguish retryable conditions (422 unresolved ref)
+// from deterministic rejections.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// isUnresolvedRef reports whether err is the daemon's "unknown blob
+// ref" answer — the one 4xx that IS worth retrying, after re-uploading
+// the blob (the daemon evicted it between negotiation and use).
+func isUnresolvedRef(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.status == http.StatusUnprocessableEntity
+}
+
+// do sends one HTTP request with the negotiated transport: the body is
+// gzip-compressed when the daemon has advertised support and it clears
+// the size threshold, and every response updates the gzip capability.
+// The caller owns the response body.
+func (cl *Client) do(ctx context.Context, method, path string, body []byte, header http.Header) (*http.Response, error) {
 	httpClient := cl.HTTP
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -51,12 +112,54 @@ func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.He
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+path, bytes.NewReader(body))
+	cl.mu.Lock()
+	gzipOK := cl.gzipOK
+	cl.mu.Unlock()
+	var reader io.Reader
+	compressed := false
+	if body != nil {
+		if gzipOK && len(body) >= gzipThreshold {
+			var buf bytes.Buffer
+			zw := gzip.NewWriter(&buf)
+			if _, err := zw.Write(body); err == nil && zw.Close() == nil {
+				reader = &buf
+				compressed = true
+			} else {
+				reader = bytes.NewReader(body) // compression failed: send plain
+			}
+		} else {
+			reader = bytes.NewReader(body)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cl.BaseURL+path, reader)
 	if err != nil {
 		return nil, err
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	r, err := httpClient.Do(httpReq)
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	if compressed {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.Get(gzipHeader) == "1" {
+		cl.mu.Lock()
+		cl.gzipOK = true
+		cl.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// post sends one wire value and decodes the wire response.
+func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.Header, error) {
+	body, err := wire.JSON.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	r, err := cl.do(ctx, http.MethodPost, path, body, http.Header{"Content-Type": []string{"application/json"}})
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +169,15 @@ func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.He
 		return nil, err
 	}
 	if r.StatusCode != http.StatusOK {
-		err := fmt.Errorf("dist: %s: %s: %s", path, r.Status, strings.TrimSpace(string(data)))
-		if r.StatusCode >= 400 && r.StatusCode < 500 {
+		err := error(&httpError{
+			status: r.StatusCode,
+			msg:    fmt.Sprintf("dist: %s: %s: %s", path, r.Status, strings.TrimSpace(string(data))),
+		})
+		if r.StatusCode >= 400 && r.StatusCode < 500 && !isUnresolvedRef(err) {
 			// The service rejected the request (bad wire, version
-			// mismatch): deterministic, retrying cannot help.
+			// mismatch): deterministic, retrying cannot help. An
+			// unresolved-ref 422 stays retryable — the caller
+			// re-uploads the blob first.
 			err = Permanent(err)
 		}
 		return nil, err
@@ -80,11 +188,166 @@ func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.He
 	return r.Header, nil
 }
 
+// blobsSupported returns the learned blob capability (see Client).
+func (cl *Client) blobsSupported() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.blobSupport
+}
+
+// markUploaded records a content address as resident on the daemon.
+func (cl *Client) markUploaded(hash string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.blobSupport = 1
+	if cl.uploaded == nil {
+		cl.uploaded = make(map[string]bool)
+	}
+	cl.uploaded[hash] = true
+}
+
+// forgetUploads drops the residency knowledge so the next interning
+// pass re-probes and re-uploads — the recovery step after the daemon
+// reports an unresolved ref (its blob store evicted something we
+// uploaded earlier).
+func (cl *Client) forgetUploads() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.uploaded = nil
+}
+
+// ensureBlob makes hash resident on the daemon if it can: probe, then
+// upload on a miss. It returns true when the daemon holds the blob,
+// false when the task should stay inline — because the daemon has no
+// blob endpoints (marked unsupported for the connection's lifetime)
+// or because negotiation failed transiently (the main request will
+// surface any real fault).
+func (cl *Client) ensureBlob(ctx context.Context, hash string, blob []byte) bool {
+	cl.mu.Lock()
+	known := cl.uploaded[hash]
+	cl.mu.Unlock()
+	if known {
+		return true
+	}
+	probe, err := cl.do(ctx, http.MethodHead, "/v1/blobs/"+hash, nil, nil)
+	if err != nil {
+		return false
+	}
+	probe.Body.Close()
+	if probe.StatusCode == http.StatusOK {
+		cl.markUploaded(hash)
+		return true
+	}
+	// Probe missed — either the blob is absent or the daemon predates
+	// blob endpoints (both answer 404). The upload disambiguates: a
+	// blob-capable daemon accepts it, an old daemon 404s the route.
+	put, err := cl.do(ctx, http.MethodPut, "/v1/blobs/"+hash, blob, nil)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, put.Body) //nolint:errcheck // drain for connection reuse
+	put.Body.Close()
+	switch {
+	case put.StatusCode < 300:
+		cl.markUploaded(hash)
+		return true
+	case put.StatusCode == http.StatusNotFound || put.StatusCode == http.StatusMethodNotAllowed:
+		cl.mu.Lock()
+		cl.blobSupport = -1
+		cl.mu.Unlock()
+	}
+	return false
+}
+
+// internBlob is one negotiated blob: its content address and whether
+// the daemon holds it.
+type internBlob struct {
+	ref      string
+	resident bool
+}
+
+// faultsKey identifies a fault slice by backing storage, so the tasks
+// of one sweep — which share their circuit's fault list — dedupe to
+// one serialization.
+type faultsKey struct {
+	first *fault.Fault
+	n     int
+}
+
+// internTasks converts engine tasks to wire form, interning circuit
+// and fault-list blobs by content address where the daemon holds
+// them. Tasks whose blobs cannot be negotiated stay inline — the
+// by-ref and inline spellings hash and execute identically, so
+// interning is purely a transport optimization. Each distinct circuit
+// and fault list is serialized, hashed, and negotiated once per call,
+// however many tasks share it (a many-seed sweep shares one circuit
+// across the whole grid).
+func (cl *Client) internTasks(ctx context.Context, tasks []*engine.Task) []wire.Task {
+	wts := make([]wire.Task, len(tasks))
+	for i, t := range tasks {
+		wts[i] = *wire.FromTask(t)
+	}
+	if cl.DisableIntern || cl.blobsSupported() < 0 {
+		return wts
+	}
+	circuits := make(map[*circuit.Circuit]internBlob)
+	faultLists := make(map[faultsKey]internBlob)
+	for i := range wts {
+		if cl.blobsSupported() < 0 {
+			break // learned mid-batch that the daemon is old: stay inline
+		}
+		cb, ok := circuits[tasks[i].Circuit]
+		if !ok {
+			blob, hash := wts[i].Circuit.Blob()
+			cb = internBlob{ref: hash, resident: cl.ensureBlob(ctx, hash, blob)}
+			circuits[tasks[i].Circuit] = cb
+		}
+		if cb.resident {
+			wts[i].Circuit = nil
+			wts[i].CircuitRef = cb.ref
+		}
+		if fs := tasks[i].Faults; len(fs) > 0 {
+			k := faultsKey{first: &fs[0], n: len(fs)}
+			fb, ok := faultLists[k]
+			if !ok {
+				blob, hash := wire.FaultsBlob(wts[i].Faults)
+				fb = internBlob{ref: hash, resident: cl.ensureBlob(ctx, hash, blob)}
+				faultLists[k] = fb
+			}
+			if fb.resident {
+				wts[i].Faults = nil
+				wts[i].FaultsRef = fb.ref
+			}
+		}
+	}
+	return wts
+}
+
+// withReupload runs attempt, and on the daemon's unresolved-ref
+// answer (it evicted a blob the client thought resident) re-interns —
+// re-uploading the missing blobs — and retries once.
+func (cl *Client) withReupload(attempt func(retry bool) error) error {
+	err := attempt(false)
+	if err != nil && isUnresolvedRef(err) {
+		cl.forgetUploads()
+		err = attempt(true)
+	}
+	return err
+}
+
 // Campaign runs one task on the service; cached reports whether the
-// service answered from its result cache.
+// service answered from its result cache. The task's circuit and
+// fault list are interned by content address when the daemon supports
+// it (see Client).
 func (cl *Client) Campaign(ctx context.Context, t *engine.Task) (res *sim.CampaignResult, cached bool, err error) {
 	var out wire.CampaignResult
-	hdr, err := cl.post(ctx, "/v1/campaign", wire.FromTask(t), &out)
+	var hdr http.Header
+	err = cl.withReupload(func(bool) error {
+		wts := cl.internTasks(ctx, []*engine.Task{t})
+		var err error
+		hdr, err = cl.post(ctx, "/v1/campaign", &wts[0], &out)
+		return err
+	})
 	if err != nil {
 		return nil, false, err
 	}
@@ -98,12 +361,13 @@ func (cl *Client) Campaign(ctx context.Context, t *engine.Task) (res *sim.Campai
 // Sweep runs a task batch on the service in one request; results are
 // positional, cacheHits counts tasks the service answered from cache.
 func (cl *Client) Sweep(ctx context.Context, tasks []*engine.Task) (results []*sim.CampaignResult, cacheHits int, err error) {
-	req := wire.SweepRequest{V: wire.Version, Tasks: make([]wire.Task, len(tasks))}
-	for i, t := range tasks {
-		req.Tasks[i] = *wire.FromTask(t)
-	}
 	var out wire.SweepResponse
-	if _, err := cl.post(ctx, "/v1/sweep", &req, &out); err != nil {
+	err = cl.withReupload(func(bool) error {
+		req := wire.SweepRequest{V: wire.Version, Tasks: cl.internTasks(ctx, tasks)}
+		_, err := cl.post(ctx, "/v1/sweep", &req, &out)
+		return err
+	})
+	if err != nil {
 		return nil, 0, err
 	}
 	if len(out.Results) != len(tasks) {
@@ -116,6 +380,126 @@ func (cl *Client) Sweep(ctx context.Context, tasks []*engine.Task) (results []*s
 		}
 	}
 	return results, out.CacheHits, nil
+}
+
+// SweepEach runs a task batch as one streaming request: fn observes
+// each task's result as the daemon completes it (cache hits first,
+// then completion order), with its request index and cache
+// temperature — the network half of engine.StreamBackend.RunEach. fn
+// is called serially from the calling goroutine; collecting by index
+// reproduces Sweep's positional slice exactly. Against a daemon that
+// does not stream (an older build answering plain JSON), every result
+// is delivered when the batch response lands, with cache temperatures
+// unknown (reported false). cacheHits counts cache-served tasks
+// either way.
+func (cl *Client) SweepEach(ctx context.Context, tasks []*engine.Task, fn func(i int, res *sim.CampaignResult, cached bool)) (cacheHits int, err error) {
+	err = cl.withReupload(func(bool) error {
+		var err error
+		cacheHits, err = cl.sweepEachOnce(ctx, tasks, fn)
+		return err
+	})
+	return cacheHits, err
+}
+
+func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn func(i int, res *sim.CampaignResult, cached bool)) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := wire.SweepRequest{V: wire.Version, Tasks: cl.internTasks(ctx, tasks)}
+	body, err := wire.JSON.Marshal(&req)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := cl.do(ctx, http.MethodPost, "/v1/sweep", body, http.Header{
+		"Content-Type": []string{"application/json"},
+		"Accept":       []string{ndjsonContentType},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		err := error(&httpError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("dist: /v1/sweep: %s: %s", resp.Status, strings.TrimSpace(string(data))),
+		})
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && !isUnresolvedRef(err) {
+			err = Permanent(err)
+		}
+		return 0, err
+	}
+
+	if !strings.Contains(resp.Header.Get("Content-Type"), ndjsonContentType) {
+		// The daemon answered in batch form: deliver everything at
+		// once. Per-task cache temperature does not survive this path.
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		var out wire.SweepResponse
+		if err := wire.JSON.Unmarshal(data, &out); err != nil {
+			return 0, fmt.Errorf("dist: /v1/sweep: bad response: %w", err)
+		}
+		if len(out.Results) != len(tasks) {
+			return 0, fmt.Errorf("dist: sweep returned %d results for %d tasks", len(out.Results), len(tasks))
+		}
+		for i := range out.Results {
+			res, err := out.Results[i].Build()
+			if err != nil {
+				return 0, err
+			}
+			fn(i, res, false)
+		}
+		return out.CacheHits, nil
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	seen := make([]bool, len(tasks))
+	delivered := 0
+	for {
+		// Checked per event, not just per read: on a fast link the
+		// whole stream may already sit in the decoder's buffer, and a
+		// cancelled caller must still stop receiving promptly.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		var ev wire.SweepEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return 0, fmt.Errorf("dist: sweep stream ended after %d of %d results without a trailer", delivered, len(tasks))
+			}
+			return 0, fmt.Errorf("dist: sweep stream: %w", err)
+		}
+		if err := wire.CheckVersion(ev.V); err != nil {
+			return 0, err
+		}
+		switch {
+		case ev.Error != "":
+			return 0, fmt.Errorf("dist: sweep: %s", ev.Error)
+		case ev.Done:
+			if delivered != len(tasks) {
+				return 0, fmt.Errorf("dist: sweep stream delivered %d of %d results", delivered, len(tasks))
+			}
+			return ev.CacheHits, nil
+		default:
+			if ev.Index < 0 || ev.Index >= len(tasks) || ev.Result == nil {
+				return 0, fmt.Errorf("dist: sweep stream: bad event (index %d of %d)", ev.Index, len(tasks))
+			}
+			if seen[ev.Index] {
+				// A duplicate would also mask a missing slot behind the
+				// trailer's delivered-count check, leaving a nil result.
+				return 0, fmt.Errorf("dist: sweep stream: duplicate result for index %d", ev.Index)
+			}
+			seen[ev.Index] = true
+			res, err := ev.Result.Build()
+			if err != nil {
+				return 0, err
+			}
+			delivered++
+			fn(ev.Index, res, ev.Cached)
+		}
+	}
 }
 
 // Optimize runs the paper's OPTIMIZE procedure on the service.
@@ -134,10 +518,11 @@ func (cl *Client) Optimize(ctx context.Context, req *wire.OptimizeRequest) (*wir
 // RemoteExecutor adapts a service client to the Executor seam: each
 // task becomes one /v1/campaign request bound to the submitting
 // batch's context (cancelling the batch aborts its in-flight
-// requests). Put a Dispatcher in front of it for fan-out, client-side
-// caching, in-flight dedup, and retry of transient network failures;
-// the resulting backend is bit-identical to Local by the service's
-// equivalence contract.
+// requests), with the circuit and fault list interned by content
+// address when the daemon supports it. Put a Dispatcher in front of
+// it for fan-out, client-side caching, in-flight dedup, and retry of
+// transient network failures; the resulting backend is bit-identical
+// to Local by the service's equivalence contract.
 func RemoteExecutor(cl *Client) Executor {
 	return func(ctx context.Context, t *engine.Task) (*sim.CampaignResult, error) {
 		res, _, err := cl.Campaign(ctx, t)
@@ -151,4 +536,64 @@ func RemoteExecutor(cl *Client) Executor {
 // fail fast). Close it when done.
 func RemoteBackend(cl *Client, workers int) *Dispatcher {
 	return NewDispatcher(RemoteExecutor(cl), Options{Workers: workers})
+}
+
+// Service is the whole-batch remote backend: where RemoteExecutor
+// turns every task into its own /v1/campaign request, Service submits
+// each Run or RunEach batch as ONE /v1/sweep request and lets the
+// daemon's dispatcher do the fan-out. RunEach consumes the daemon's
+// NDJSON stream, so per-task results arrive across the network as
+// they complete — the wire half of the streaming sweep contract.
+// Results are bit-identical to every other backend by the service's
+// equivalence contract.
+//
+// Compared to a Dispatcher over RemoteExecutor, Service trades
+// client-side retry and client-side caching for a single round trip
+// per batch: a failed batch fails as a unit (the daemon retries
+// individual tasks internally per its MaxAttempts).
+type Service struct {
+	Client *Client
+}
+
+var _ engine.StreamBackend = Service{}
+
+// Run implements engine.Backend as one /v1/sweep request.
+func (s Service) Run(ctx context.Context, tasks []*engine.Task) ([]engine.TaskResult, error) {
+	results := make([]engine.TaskResult, len(tasks))
+	err := s.RunEach(ctx, tasks, func(i int, r engine.TaskResult) {
+		results[i] = r
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunEach implements engine.StreamBackend as one streaming /v1/sweep
+// request: fn observes each task's result as the daemon reports it.
+func (s Service) RunEach(ctx context.Context, tasks []*engine.Task, fn func(i int, r engine.TaskResult)) error {
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	_, err := s.Client.SweepEach(ctx, tasks, func(i int, res *sim.CampaignResult, _ bool) {
+		fn(i, engine.TaskResult{Task: tasks[i], Campaign: res, Elapsed: time.Since(start)})
+	})
+	if err != nil && ctx.Err() != nil {
+		// The transport error is the symptom; the cancellation is the
+		// cause, and the Backend contract reports it as ctx.Err().
+		return ctx.Err()
+	}
+	return err
 }

@@ -1,10 +1,17 @@
 package dist
 
 import (
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 
 	"optirand/internal/core"
 	"optirand/internal/engine"
@@ -13,6 +20,26 @@ import (
 
 // cacheHeader reports per-request cache temperature to clients.
 const cacheHeader = "X-Optirand-Cache"
+
+// gzipHeader advertises, on every response, that the service accepts
+// gzip-compressed request bodies (Content-Encoding: gzip). Clients
+// learn it from their first exchange and compress large bodies
+// thereafter; a daemon predating the header simply never receives
+// compressed requests.
+const gzipHeader = "X-Optirand-Gzip"
+
+// gzipThreshold is the body size (bytes) below which compression is
+// skipped in both directions: tiny control requests and responses
+// cost more to deflate than to send.
+const gzipThreshold = 4 << 10
+
+// ndjsonContentType is the streaming sweep response format: one
+// wire.SweepEvent per line, flushed per task.
+const ndjsonContentType = "application/x-ndjson"
+
+// cacheSnapshotFile is the result-cache snapshot filename inside
+// ServerOptions.CacheDir.
+const cacheSnapshotFile = "results.gob"
 
 // ServerOptions configures the service daemon.
 type ServerOptions struct {
@@ -28,37 +55,59 @@ type ServerOptions struct {
 	// CacheSize bounds the content-addressed result cache in entries
 	// (0 selects 1024; < 0 disables caching).
 	CacheSize int
+	// CacheDir, when non-empty, persists the result cache: the daemon
+	// loads CacheDir/results.gob on start and writes it back (atomic
+	// temp-and-rename) on Close, so a restart keeps its warm set.
+	// Ignored when caching is disabled.
+	CacheDir string
+	// BlobBytes bounds the content-addressed blob store backing
+	// /v1/blobs (<= 0 selects DefaultBlobStoreBytes).
+	BlobBytes int64
 	// MaxAttempts bounds executions per task (default 3).
 	MaxAttempts int
+	// Logf, when non-nil, receives operational messages (cache
+	// load/save outcomes). The library never writes to stderr itself.
+	Logf func(format string, args ...any)
 }
 
 // Server is the optimization service: an http.Handler exposing
 //
-//	POST /v1/optimize  wire.OptimizeRequest → wire.OptimizeResult
-//	POST /v1/campaign  wire.Task            → wire.CampaignResult
-//	POST /v1/sweep     wire.SweepRequest    → wire.SweepResponse
-//	GET  /v1/stats     service + cache counters
+//	POST /v1/optimize     wire.OptimizeRequest → wire.OptimizeResult
+//	POST /v1/campaign     wire.Task            → wire.CampaignResult
+//	POST /v1/sweep        wire.SweepRequest    → wire.SweepResponse,
+//	                      or an NDJSON stream of wire.SweepEvent when
+//	                      the client sends Accept: application/x-ndjson
+//	PUT  /v1/blobs/{hash} upload a content-addressed blob
+//	GET  /v1/blobs/{hash} fetch one (HEAD probes residency)
+//	GET  /v1/stats        service, cache, blob, and dispatcher counters
 //
 // Campaign and sweep execution flows through one queue-backed
 // dispatcher (bounded fleet, content-addressed cache), so a sweep
 // answered by the daemon is bit-identical to the same sweep run
-// in-process — any worker count, any shard order, cold or warm cache.
-// The X-Optirand-Cache response header reports "hit" when a campaign
-// was served entirely from cache.
+// in-process — any worker count, any shard order, cold or warm cache,
+// streamed or batched, inline or by-ref. Tasks may reference their
+// circuit and fault list by content address (see wire.Task); the
+// daemon resolves them against the blob store and answers a missing
+// blob with 422 so the client re-uploads and retries. The
+// X-Optirand-Cache response header reports "hit" when a campaign was
+// served entirely from cache.
 type Server struct {
 	opts  ServerOptions
 	disp  *Dispatcher
 	cache *Cache
+	blobs *BlobStore
 	mux   *http.ServeMux
 	// optSem bounds concurrent /v1/optimize runs to the fleet size:
 	// optimization is the most expensive procedure in the system and
 	// runs on request goroutines, so without the bound N clients would
 	// mean N unbounded optimizer loops next to the campaign fleet.
-	optSem chan struct{}
+	optSem    chan struct{}
+	closeOnce sync.Once
 }
 
 // NewServer starts the worker fleet and returns the handler. Call
-// Close to stop the fleet.
+// Close to stop the fleet (and, with CacheDir set, persist the result
+// cache).
 func NewServer(opts ServerOptions) *Server {
 	var cache *Cache
 	if opts.CacheSize >= 0 {
@@ -72,9 +121,13 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.SimWorkers <= 0 {
 		opts.SimWorkers = 1
 	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
 	s := &Server{
 		opts:  opts,
 		cache: cache,
+		blobs: NewBlobStore(opts.BlobBytes),
 		disp: NewDispatcher(LocalExecutor, Options{
 			Workers:     opts.Workers,
 			MaxAttempts: opts.MaxAttempts,
@@ -83,52 +136,183 @@ func NewServer(opts ServerOptions) *Server {
 		mux:    http.NewServeMux(),
 		optSem: make(chan struct{}, opts.Workers),
 	}
+	if cache != nil && opts.CacheDir != "" {
+		path := filepath.Join(opts.CacheDir, cacheSnapshotFile)
+		if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+			opts.Logf("cache dir %s unusable, persistence disabled: %v", opts.CacheDir, err)
+			s.opts.CacheDir = ""
+		} else if n, err := cache.Load(path); err != nil {
+			opts.Logf("cache snapshot %s unreadable, starting cold: %v", path, err)
+		} else if n > 0 {
+			opts.Logf("restored %d cached results from %s", n, path)
+		}
+	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("PUT /v1/blobs/{hash}", s.handleBlobPut)
+	s.mux.HandleFunc("GET /v1/blobs/{hash}", s.handleBlobGet)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Every response advertises gzip request support, so a client
+	// learns it from its first exchange whatever endpoint that hits.
+	w.Header().Set(gzipHeader, "1")
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the worker fleet. In-flight requests must finish first
-// (shut the http.Server down before closing).
-func (s *Server) Close() { s.disp.Close() }
+// Close stops the worker fleet and, when CacheDir is configured,
+// persists the result cache snapshot. In-flight requests must finish
+// first (shut the http.Server down before closing). Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.disp.Close()
+		if s.cache != nil && s.opts.CacheDir != "" {
+			path := filepath.Join(s.opts.CacheDir, cacheSnapshotFile)
+			if err := s.cache.Save(path); err != nil {
+				s.opts.Logf("cache snapshot not persisted: %v", err)
+			} else {
+				s.opts.Logf("persisted %d cached results to %s", s.cache.Stats().Entries, path)
+			}
+		}
+	})
+}
 
-// decode reads one JSON wire value from the request body.
+// requestBody returns the request body, transparently inflating
+// gzip-compressed requests (Content-Encoding: gzip).
+func requestBody(r *http.Request) (io.Reader, error) {
+	if !strings.Contains(r.Header.Get("Content-Encoding"), "gzip") {
+		return r.Body, nil
+	}
+	zr, err := gzip.NewReader(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("bad gzip request body: %v", err)
+	}
+	return zr, nil
+}
+
+// decode reads one JSON wire value from the (possibly compressed)
+// request body.
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(v); err != nil {
+	body, err := requestBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
 		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
 		return false
 	}
 	return true
 }
 
-// respond writes one JSON wire value.
-func respond(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+// acceptsGzip reports whether the client can read a gzip response
+// body. The Go http client advertises and transparently inflates it
+// by default.
+func acceptsGzip(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept-Encoding"), "gzip")
 }
 
-// buildTasks converts and validates a batch of wire tasks, applying
-// the server's intra-campaign sharding policy.
-func (s *Server) buildTasks(ws []wire.Task) ([]*engine.Task, error) {
+// writeBody delivers one response payload, compressing it when the
+// client accepts gzip and the body clears the size threshold.
+func writeBody(w http.ResponseWriter, r *http.Request, contentType string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	if len(body) >= gzipThreshold && acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzip.NewWriter(w)
+		zw.Write(body) //nolint:errcheck // the connection owns delivery
+		zw.Close()     //nolint:errcheck
+		return
+	}
+	w.Write(body) //nolint:errcheck
+}
+
+// respond writes one JSON wire value.
+func respond(w http.ResponseWriter, r *http.Request, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, r, "application/json", body)
+}
+
+// resolveTask rewrites a by-ref task to inline form against the blob
+// store; the returned status is the HTTP status for err (422 for a
+// missing blob — retryable after an upload — 400 for a corrupt one).
+func (s *Server) resolveTask(wt *wire.Task) (status int, err error) {
+	err = wt.Resolve(s.blobs.Get)
+	if err == nil {
+		return http.StatusOK, nil
+	}
+	var unresolved *wire.UnresolvedRefError
+	if errors.As(err, &unresolved) {
+		return http.StatusUnprocessableEntity, err
+	}
+	return http.StatusBadRequest, err
+}
+
+// buildTasks resolves, converts, and validates a batch of wire tasks,
+// applying the server's intra-campaign sharding policy.
+func (s *Server) buildTasks(ws []wire.Task) ([]*engine.Task, int, error) {
 	tasks := make([]*engine.Task, len(ws))
 	for i := range ws {
+		if status, err := s.resolveTask(&ws[i]); err != nil {
+			return nil, status, fmt.Errorf("task %d: %w", i, err)
+		}
 		t, err := ws[i].Build()
 		if err != nil {
-			return nil, fmt.Errorf("task %d: %w", i, err)
+			return nil, http.StatusBadRequest, fmt.Errorf("task %d: %w", i, err)
 		}
 		t.SimWorkers = s.opts.SimWorkers
 		tasks[i] = t
 	}
-	return tasks, nil
+	return tasks, http.StatusOK, nil
+}
+
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	body, err := requestBody(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.blobs.Put(r.PathValue("hash"), data); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrBlobTooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if r.Method == http.MethodHead {
+		// Residency probe: no body, and no recency bump — probing every
+		// circuit of a sweep must not evict what the sweep still needs.
+		if !s.blobs.Has(hash) {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, ok := s.blobs.Get(hash)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown blob %s", hash), http.StatusNotFound)
+		return
+	}
+	writeBody(w, r, "application/json", data)
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
@@ -136,9 +320,9 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &wt) {
 		return
 	}
-	tasks, err := s.buildTasks([]wire.Task{wt})
+	tasks, status, err := s.buildTasks([]wire.Task{wt})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), status)
 		return
 	}
 	results, cached, err := s.disp.RunCached(r.Context(), tasks)
@@ -151,7 +335,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set(cacheHeader, "miss")
 	}
-	respond(w, wire.FromCampaign(results[0].Campaign))
+	respond(w, r, wire.FromCampaign(results[0].Campaign))
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -163,9 +347,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	tasks, err := s.buildTasks(req.Tasks)
+	tasks, status, err := s.buildTasks(req.Tasks)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), ndjsonContentType) {
+		s.streamSweep(w, r, tasks)
 		return
 	}
 	results, cached, err := s.disp.RunCached(r.Context(), tasks)
@@ -183,7 +371,53 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			resp.CacheHits++
 		}
 	}
-	respond(w, &resp)
+	respond(w, r, &resp)
+}
+
+// streamSweep answers a sweep as an NDJSON stream: one wire.SweepEvent
+// per task, written and flushed as the fleet completes it (cache hits
+// first, then completion order), then a trailer with Done and the
+// batch's cache-hit count. This is the wire half of the streaming
+// contract: a remote engine.StreamBackend.RunEach observes per-task
+// results across the network instead of waiting for the whole batch.
+// Events are not gzip-compressed — per-line flushing is the point, and
+// buffering inside a compressor would defeat it.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, tasks []*engine.Task) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(ev *wire.SweepEvent) {
+		wrote = true
+		enc.Encode(ev) //nolint:errcheck // the connection owns delivery
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	cacheHits := 0
+	err := s.disp.RunEachCached(r.Context(), tasks, func(i int, res engine.TaskResult, cached bool) {
+		if cached {
+			cacheHits++
+		}
+		emit(&wire.SweepEvent{
+			V:      wire.Version,
+			Index:  i,
+			Result: wire.FromCampaign(res.Campaign),
+			Cached: cached,
+		})
+	})
+	if err != nil {
+		if !wrote {
+			// Nothing streamed yet (validation failed, or the batch
+			// failed before its first completion): a plain HTTP error
+			// is still expressible.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		emit(&wire.SweepEvent{V: wire.Version, Index: -1, Error: err.Error()})
+		return
+	}
+	emit(&wire.SweepEvent{V: wire.Version, Index: -1, Done: true, CacheHits: cacheHits})
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -223,7 +457,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	respond(w, &wire.OptimizeResult{
+	respond(w, r, &wire.OptimizeResult{
 		V:                  wire.Version,
 		Weights:            res.Weights,
 		InitialN:           res.InitialN,
@@ -236,10 +470,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
-	WireVersion int         `json:"wire_version"`
-	Workers     int         `json:"workers"`
-	SimWorkers  int         `json:"sim_workers"`
-	Cache       *CacheStats `json:"cache,omitempty"`
+	WireVersion int              `json:"wire_version"`
+	Workers     int              `json:"workers"`
+	SimWorkers  int              `json:"sim_workers"`
+	CacheDir    string           `json:"cache_dir,omitempty"`
+	Cache       *CacheStats      `json:"cache,omitempty"`
+	Blobs       *BlobStats       `json:"blobs,omitempty"`
+	Dispatcher  *DispatcherStats `json:"dispatcher,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -247,10 +484,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WireVersion: wire.Version,
 		Workers:     s.opts.Workers,
 		SimWorkers:  s.opts.SimWorkers,
+		CacheDir:    s.opts.CacheDir,
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()
 		resp.Cache = &st
 	}
-	respond(w, &resp)
+	bst := s.blobs.Stats()
+	resp.Blobs = &bst
+	dst := s.disp.Stats()
+	resp.Dispatcher = &dst
+	respond(w, r, &resp)
 }

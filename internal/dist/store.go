@@ -1,0 +1,144 @@
+package dist
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"optirand/internal/wire"
+)
+
+// ErrBlobTooLarge marks a Put whose blob exceeds the store's whole
+// byte budget — it could never be resident, so the service answers
+// 413 instead of a generic rejection.
+var ErrBlobTooLarge = errors.New("blob exceeds the store byte budget")
+
+// BlobStore is a bounded, concurrency-safe, content-addressed blob
+// store: keys are canonical SHA-256 addresses (wire.HashBytes), values
+// opaque byte blobs — circuit and fault-list wire encodings in
+// practice. It backs the daemon's /v1/blobs endpoints, letting sweep
+// clients upload a circuit once and reference it by hash in every
+// task thereafter. Eviction is least-recently-used by total byte
+// size, so a daemon serving many distinct circuits keeps the hot ones
+// resident; an evicted blob is never an error, just a re-upload (the
+// service answers unresolved refs with a retryable status).
+type BlobStore struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	puts, gets, hits, misses, evictions uint64
+}
+
+type blobEntry struct {
+	hash string
+	data []byte
+}
+
+// DefaultBlobStoreBytes is the default byte budget of a BlobStore —
+// generous next to the benchmark circuits (tens of KB each) while
+// bounding a daemon's memory against hostile or runaway uploads.
+const DefaultBlobStoreBytes = 64 << 20
+
+// NewBlobStore returns a store holding at most maxBytes of blob data
+// (maxBytes <= 0 selects DefaultBlobStoreBytes).
+func NewBlobStore(maxBytes int64) *BlobStore {
+	if maxBytes <= 0 {
+		maxBytes = DefaultBlobStoreBytes
+	}
+	return &BlobStore{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Put stores data under hash after verifying the content address —
+// the store's trust boundary: everything inside it is known to match
+// its key, so resolvers need not re-hash on every Get. Oversized
+// blobs (larger than the whole budget) and mismatched hashes are
+// rejected; storing an existing blob refreshes its recency.
+func (s *BlobStore) Put(hash string, data []byte) error {
+	if got := wire.HashBytes(data); got != hash {
+		return fmt.Errorf("dist: blob content hashes to %s, not %s", got, hash)
+	}
+	if int64(len(data)) > s.maxBytes {
+		return fmt.Errorf("dist: blob %s is %d bytes, store budget is %d: %w", hash, len(data), s.maxBytes, ErrBlobTooLarge)
+	}
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if el, ok := s.items[hash]; ok {
+		s.ll.MoveToFront(el)
+		return nil
+	}
+	s.items[hash] = s.ll.PushFront(&blobEntry{hash: hash, data: cp})
+	s.bytes += int64(len(cp))
+	for s.bytes > s.maxBytes {
+		last := s.ll.Back()
+		e := last.Value.(*blobEntry)
+		s.ll.Remove(last)
+		delete(s.items, e.hash)
+		s.bytes -= int64(len(e.data))
+		s.evictions++
+	}
+	return nil
+}
+
+// Get returns the blob stored under hash. The returned slice is the
+// store's own copy; callers must treat it as read-only (resolvers
+// decode it immediately, they never alias it into results).
+func (s *BlobStore) Get(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	el, ok := s.items[hash]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*blobEntry).data, true
+}
+
+// Has reports whether hash is resident without touching recency — the
+// probe clients use before deciding whether to upload.
+func (s *BlobStore) Has(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.items[hash]
+	return ok
+}
+
+// BlobStats is a point-in-time blob store counter snapshot.
+type BlobStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	Puts      uint64 `json:"puts"`
+	Gets      uint64 `json:"gets"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the counters.
+func (s *BlobStore) Stats() BlobStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return BlobStats{
+		Entries:   s.ll.Len(),
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+		Puts:      s.puts,
+		Gets:      s.gets,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+	}
+}

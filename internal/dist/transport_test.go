@@ -1,0 +1,521 @@
+package dist
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// TestBlobStore covers the content-addressed store's contract:
+// hash-verified puts, LRU-by-bytes eviction, probe without recency,
+// and the counters /v1/stats reports.
+func TestBlobStore(t *testing.T) {
+	blob := func(s string) (string, []byte) {
+		data := []byte(s)
+		return wire.HashBytes(data), data
+	}
+
+	s := NewBlobStore(64) // tiny budget to force eviction
+	h1, d1 := blob("circuit-one-bytes-00000000")
+	h2, d2 := blob("circuit-two-bytes-11111111")
+	h3, d3 := blob("circuit-three-bytes-222222")
+
+	if err := s.Put(h1, d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("deadbeef", d1); err == nil {
+		t.Fatal("hash-mismatched blob accepted")
+	}
+	if got, ok := s.Get(h1); !ok || string(got) != string(d1) {
+		t.Fatal("stored blob not returned")
+	}
+	if _, ok := s.Get(h2); ok {
+		t.Fatal("missing blob returned")
+	}
+
+	// Two ~26-byte blobs fit the 64-byte budget; a third evicts the
+	// least recently used. h1 was touched by Get after h2's Put... so
+	// insert h2, re-touch h1, then h3 must evict h2.
+	if err := s.Put(h2, d2); err != nil {
+		t.Fatal(err)
+	}
+	s.Get(h1)
+	if err := s.Put(h3, d3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(h2) {
+		t.Fatal("LRU blob not evicted")
+	}
+	if !s.Has(h1) || !s.Has(h3) {
+		t.Fatal("recently used blobs evicted")
+	}
+
+	// A blob larger than the whole budget is rejected outright.
+	hBig, dBig := blob(strings.Repeat("x", 65))
+	if err := s.Put(hBig, dBig); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("oversized blob: err=%v", err)
+	}
+
+	st := s.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Bytes > 64 {
+		t.Fatalf("stats %+v: want 2 entries, 1 eviction, <= 64 bytes", st)
+	}
+}
+
+// TestCachePersistence proves the result cache round-trips through
+// its gob snapshot: same entries, same recency order, counted in
+// stats; and that a missing snapshot is a cold start, not an error.
+func TestCachePersistence(t *testing.T) {
+	task := testTasks(t)[0]
+	res := task.Execute().Campaign
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.gob")
+
+	c := NewCache(2)
+	c.Put("a", res)
+	c.Put("b", res)
+	c.Put("c", res) // evicts "a"; recency now c, b
+	c.Get("b")      // recency now b, c
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Persists; got != 1 {
+		t.Fatalf("persists = %d, want 1", got)
+	}
+
+	back := NewCache(2)
+	n, err := back.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d entries, want 2", n)
+	}
+	if got := back.Stats().Loaded; got != 2 {
+		t.Fatalf("loaded counter = %d, want 2", got)
+	}
+	got, ok := back.Get("b")
+	if !ok || !reflect.DeepEqual(got, res) {
+		t.Fatal("loaded cache returns different bytes")
+	}
+	// Recency survived the round trip: inserting one more entry must
+	// evict "c" (least recent), not "b".
+	back.Put("d", res)
+	if _, ok := back.Get("b"); !ok {
+		t.Fatal("most-recent entry evicted after load")
+	}
+	if _, ok := back.Get("c"); ok {
+		t.Fatal("least-recent entry survived eviction after load")
+	}
+
+	// Missing snapshot: cold start, no error.
+	cold := NewCache(2)
+	if n, err := cold.Load(filepath.Join(dir, "absent.gob")); n != 0 || err != nil {
+		t.Fatalf("missing snapshot: n=%d err=%v", n, err)
+	}
+
+	// Corrupt snapshot: a real error, not a silent warm set.
+	bad := filepath.Join(dir, "bad.gob")
+	os.WriteFile(bad, []byte("not a gob"), 0o644)
+	if _, err := cold.Load(bad); err == nil {
+		t.Fatal("corrupt snapshot loaded without error")
+	}
+}
+
+// refSpy wraps a handler and records, per /v1/sweep and /v1/campaign
+// request, whether any task arrived by-ref and how many bytes the
+// request body carried.
+type refSpy struct {
+	next http.Handler
+
+	mu         sync.Mutex
+	sweeps     int
+	byRef      int
+	inline     int
+	gzipBodies int
+}
+
+func (s *refSpy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && (r.URL.Path == "/v1/sweep" || r.URL.Path == "/v1/campaign") {
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		gzipped := strings.Contains(r.Header.Get("Content-Encoding"), "gzip")
+		plain := body
+		if gzipped {
+			zr, err := gzip.NewReader(strings.NewReader(string(body)))
+			if err == nil {
+				plain, _ = io.ReadAll(zr)
+			}
+		}
+		s.mu.Lock()
+		s.sweeps++
+		if gzipped {
+			s.gzipBodies++
+		}
+		if strings.Contains(string(plain), `"circuit_ref"`) {
+			s.byRef++
+		}
+		if strings.Contains(string(plain), `"gates"`) {
+			s.inline++
+		}
+		s.mu.Unlock()
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+	}
+	s.next.ServeHTTP(w, r)
+}
+
+// TestServiceInterning is the transport tentpole's happy path: a
+// sweep client uploads each circuit and fault list once, references
+// them by hash in every task, produces bytes identical to the inline
+// transport, and recovers transparently (re-upload + retry) when the
+// daemon loses its blobs.
+func TestServiceInterning(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(ServerOptions{Workers: 3, CacheSize: 256})
+	spy := &refSpy{next: srv}
+	ts := httptest.NewServer(spy)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	cl := NewClient(ts.URL)
+
+	results, _, err := cl.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), results) {
+		t.Fatal("interned sweep differs from engine.Run")
+	}
+	spy.mu.Lock()
+	byRef, inline := spy.byRef, spy.inline
+	spy.mu.Unlock()
+	if byRef == 0 {
+		t.Fatal("no request traveled by-ref (interning never engaged)")
+	}
+	if inline != 0 {
+		t.Fatal("an interned sweep still carried an inline circuit")
+	}
+
+	// The daemon's blob store holds one circuit and one fault-list
+	// blob per distinct circuit (3 circuits in testTasks).
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Blobs == nil || stats.Blobs.Entries != 6 {
+		t.Fatalf("blob stats %+v, want 6 entries", stats.Blobs)
+	}
+
+	// Blob loss recovery: point the same client (which believes its
+	// blobs are resident) at a fresh daemon with an empty store. The
+	// by-ref sweep answers 422, the client re-uploads and retries —
+	// invisibly to the caller.
+	srv2 := NewServer(ServerOptions{Workers: 2, CacheSize: -1})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+	cl.BaseURL = ts2.URL
+	results2, _, err := cl.Sweep(context.Background(), tasks[:4])
+	if err != nil {
+		t.Fatalf("sweep after blob loss: %v", err)
+	}
+	if !reflect.DeepEqual(campaigns(ref[:4]), results2) {
+		t.Fatal("post-recovery sweep differs from engine.Run")
+	}
+}
+
+// TestServiceStreamingSweep proves the NDJSON sweep path end to end:
+// per-task delivery with correct indices and cache temperatures, a
+// positional merge identical to the serial reference, and the Service
+// backend (whole-batch Run/RunEach) built on it.
+func TestServiceStreamingSweep(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startService(t, ServerOptions{Workers: 3, SimWorkers: 2, CacheSize: 256})
+
+	for _, temp := range []string{"cold", "warm"} {
+		got := make([]*sim.CampaignResult, len(tasks))
+		cachedCount := 0
+		calls := 0
+		hits, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, cached bool) {
+			calls++
+			if got[i] != nil {
+				t.Fatalf("%s: slot %d delivered twice", temp, i)
+			}
+			got[i] = res
+			if cached {
+				cachedCount++
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", temp, err)
+		}
+		if calls != len(tasks) {
+			t.Fatalf("%s: %d deliveries, want %d", temp, calls, len(tasks))
+		}
+		if !reflect.DeepEqual(campaigns(ref), got) {
+			t.Fatalf("%s: streamed sweep differs from engine.Run", temp)
+		}
+		if temp == "cold" && (hits != 0 || cachedCount != 0) {
+			t.Fatalf("cold: %d trailer hits, %d cached deliveries, want 0", hits, cachedCount)
+		}
+		if temp == "warm" && (hits != len(tasks) || cachedCount != len(tasks)) {
+			t.Fatalf("warm: %d trailer hits, %d cached deliveries, want %d", hits, cachedCount, len(tasks))
+		}
+	}
+
+	// The Service backend: one /v1/sweep per batch, same bytes.
+	svc := Service{Client: cl}
+	got, err := svc.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+		t.Fatal("Service.Run differs from engine.Run")
+	}
+}
+
+// oldDaemon simulates a daemon predating the transport PR: no
+// /v1/blobs routes (404), no NDJSON streaming (batch JSON sweeps
+// only). Everything else forwards to a real server — which, because
+// the client must fall back to inline tasks, never sees a ref.
+func oldDaemon(t *testing.T, opts ServerOptions) (*Client, *refSpy) {
+	t.Helper()
+	srv := NewServer(opts)
+	spy := &refSpy{next: srv}
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/blobs/") {
+			http.NotFound(w, r)
+			return
+		}
+		r.Header.Del("Accept") // an old daemon knows nothing of NDJSON
+		spy.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return NewClient(ts.URL), spy
+}
+
+// TestServiceOldDaemonFallback proves the negotiation downgrades
+// cleanly: against a daemon without blob endpoints the client falls
+// back to inline tasks (after one failed upload, remembered for the
+// connection's lifetime), and SweepEach degrades to whole-batch
+// delivery when the daemon answers plain JSON — same bytes on every
+// path.
+func TestServiceOldDaemonFallback(t *testing.T) {
+	tasks := testTasks(t)[:6]
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, spy := oldDaemon(t, ServerOptions{Workers: 2, CacheSize: 64})
+
+	results, _, err := cl.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), results) {
+		t.Fatal("inline-fallback sweep differs from engine.Run")
+	}
+	spy.mu.Lock()
+	byRef, inline := spy.byRef, spy.inline
+	spy.mu.Unlock()
+	if byRef != 0 {
+		t.Fatal("a by-ref task reached an old daemon")
+	}
+	if inline == 0 {
+		t.Fatal("no inline task observed")
+	}
+	if got := cl.blobsSupported(); got != -1 {
+		t.Fatalf("blob support = %d after fallback, want -1 (remembered)", got)
+	}
+
+	// Streaming degrades to batch delivery: every result still lands
+	// exactly once, positionally identical.
+	got := make([]*sim.CampaignResult, len(tasks))
+	if _, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool) {
+		got[i] = res
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), got) {
+		t.Fatal("batch-fallback SweepEach differs from engine.Run")
+	}
+}
+
+// TestServiceGzipNegotiation proves request compression engages only
+// after the daemon advertises it and only above the size threshold:
+// the first (discovery) request is plain, later large bodies travel
+// gzipped, and the daemon decodes them to byte-identical results.
+func TestServiceGzipNegotiation(t *testing.T) {
+	tasks := testTasks(t)[:2]
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(ServerOptions{Workers: 2, CacheSize: -1})
+	spy := &refSpy{next: srv}
+	ts := httptest.NewServer(spy)
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	cl := NewClient(ts.URL)
+	cl.DisableIntern = true // keep bodies large so the threshold is met
+
+	// First exchange: the client has not seen the advertisement yet.
+	first, _, err := cl.Campaign(context.Background(), tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy.mu.Lock()
+	afterFirst := spy.gzipBodies
+	spy.mu.Unlock()
+	if afterFirst != 0 {
+		t.Fatal("first request compressed before the daemon advertised support")
+	}
+
+	// Second exchange: large inline body, now compressed.
+	second, _, err := cl.Campaign(context.Background(), tasks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy.mu.Lock()
+	afterSecond := spy.gzipBodies
+	spy.mu.Unlock()
+	if afterSecond == 0 {
+		t.Fatal("large request body not compressed after advertisement")
+	}
+	if !reflect.DeepEqual(first, second) || !reflect.DeepEqual(ref[0].Campaign, second) {
+		t.Fatal("compressed request produced different bytes")
+	}
+
+	// Small bodies stay plain: an interned warm task is far below the
+	// threshold.
+	cl2 := NewClient(ts.URL)
+	if _, _, err := cl2.Campaign(context.Background(), tasks[1]); err != nil { // learn gzip + upload blobs
+		t.Fatal(err)
+	}
+	spy.mu.Lock()
+	before := spy.gzipBodies
+	spy.mu.Unlock()
+	if _, _, err := cl2.Campaign(context.Background(), tasks[1]); err != nil { // warm: tiny by-ref body
+		t.Fatal(err)
+	}
+	spy.mu.Lock()
+	after := spy.gzipBodies
+	spy.mu.Unlock()
+	if after != before {
+		t.Fatal("tiny by-ref request body was compressed despite the threshold")
+	}
+}
+
+// TestServicePersistedCacheRestart proves the daemon's warm set
+// survives a restart: results are byte-identical and served from the
+// reloaded cache, with the load counted in /v1/stats.
+func TestServicePersistedCacheRestart(t *testing.T) {
+	tasks := testTasks(t)[:6]
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	srv1 := NewServer(ServerOptions{Workers: 2, CacheSize: 64, CacheDir: dir})
+	ts1 := httptest.NewServer(srv1)
+	cl1 := NewClient(ts1.URL)
+	cold, hits, err := cl1.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("cold sweep reported %d cache hits", hits)
+	}
+	ts1.Close()
+	srv1.Close() // persists the snapshot
+
+	srv2 := NewServer(ServerOptions{Workers: 2, CacheSize: 64, CacheDir: dir})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+	cl2 := NewClient(ts2.URL)
+	warm, hits, err := cl2.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != len(tasks) {
+		t.Fatalf("restarted daemon answered %d/%d from cache", hits, len(tasks))
+	}
+	if !reflect.DeepEqual(cold, warm) || !reflect.DeepEqual(campaigns(ref), warm) {
+		t.Fatal("post-restart sweep differs from the pre-restart bytes")
+	}
+
+	resp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache == nil || stats.Cache.Loaded != uint64(len(tasks)) {
+		t.Fatalf("cache stats %+v, want %d loaded entries", stats.Cache, len(tasks))
+	}
+}
+
+// TestServiceStatsCounters checks the new observability surface:
+// singleflight coalescing and blob counters reported by /v1/stats.
+func TestServiceStatsCounters(t *testing.T) {
+	task := testTasks(t)[0]
+	cl := startService(t, ServerOptions{Workers: 1, CacheSize: -1})
+
+	// A sweep containing the same task twice: the duplicate coalesces
+	// onto the first's flight (no cache involved — caching is off).
+	results, _, err := cl.Sweep(context.Background(), []*engine.Task{task, task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0], results[1]) {
+		t.Fatal("coalesced duplicate returned different bytes")
+	}
+
+	resp, err := http.Get(cl.BaseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dispatcher == nil || stats.Dispatcher.Coalesced == 0 {
+		t.Fatalf("dispatcher stats %+v, want coalesced > 0", stats.Dispatcher)
+	}
+	if stats.Blobs == nil || stats.Blobs.Entries == 0 || stats.Blobs.Puts == 0 {
+		t.Fatalf("blob stats %+v, want interned circuit blobs", stats.Blobs)
+	}
+	if stats.Cache != nil {
+		t.Fatalf("cache stats %+v reported with caching disabled", stats.Cache)
+	}
+}

@@ -130,7 +130,11 @@ type Backend interface {
 // from the submitting goroutine (implementations must not require it
 // to be concurrency-safe), in completion order, with the task's batch
 // index; the index mapping is exactly the positional contract of Run,
-// so collecting RunEach results by index reproduces Run's slice.
+// so collecting RunEach results by index reproduces Run's slice. The
+// contract holds across the network too: the dist package implements
+// it in-process (Dispatcher) and over one streaming service request
+// per batch (Service, consuming the daemon's per-task NDJSON sweep
+// response).
 type StreamBackend interface {
 	Backend
 	RunEach(ctx context.Context, tasks []*Task, fn func(i int, r TaskResult)) error

@@ -121,14 +121,16 @@ func copyWeightSets(sets [][]float64) [][]float64 {
 	return out
 }
 
-// FromTask captures an engine task in wire form. Scheduling knobs
-// (Task.SimWorkers) are intentionally dropped: they cannot change the
-// result, so they are not part of the task's wire identity.
+// FromTask captures an engine task in wire form — the inline
+// spelling. Scheduling knobs (Task.SimWorkers) are intentionally
+// dropped: they cannot change the result, so they are not part of the
+// task's wire identity. Use ByRef to convert to the content-addressed
+// spelling.
 func FromTask(t *engine.Task) *Task {
 	return &Task{
 		V:          Version,
 		Label:      t.Label,
-		Circuit:    *FromCircuit(t.Circuit),
+		Circuit:    FromCircuit(t.Circuit),
 		Faults:     FromFaults(t.Faults),
 		WeightSets: copyWeightSets(t.WeightSets),
 		Patterns:   t.Patterns,
@@ -137,12 +139,93 @@ func FromTask(t *engine.Task) *Task {
 	}
 }
 
+// ByRef returns the task's content-addressed spelling: the circuit
+// and fault list are replaced by their blob addresses, and the blobs
+// themselves are returned for uploading. The by-ref task hashes
+// identically to t (IdentityHash is defined over this form) and
+// rebuilds identically once Resolve restores the blobs. A task
+// already by-ref comes back unchanged with nil blobs.
+func (t *Task) ByRef() (ref Task, circuitBlob, faultsBlob []byte) {
+	ref = *t
+	if ref.Circuit != nil {
+		circuitBlob, ref.CircuitRef = ref.Circuit.Blob()
+		ref.Circuit = nil
+	}
+	if ref.Faults != nil {
+		faultsBlob, ref.FaultsRef = FaultsBlob(ref.Faults)
+		ref.Faults = nil
+	}
+	return ref, circuitBlob, faultsBlob
+}
+
+// UnresolvedRefError reports a by-ref task whose blob the resolver
+// does not hold. It is deliberately a distinct type: the service maps
+// it to a distinct HTTP status so clients can re-upload the blob and
+// retry instead of failing the batch.
+type UnresolvedRefError struct {
+	Kind string // "circuit" or "faults"
+	Hash string
+}
+
+func (e *UnresolvedRefError) Error() string {
+	return fmt.Sprintf("wire: unknown %s ref %s (upload the blob and retry)", e.Kind, e.Hash)
+}
+
+// Resolve rewrites a by-ref task into inline form by fetching its
+// blobs through lookup (a blob store, keyed by content address).
+// Inline tasks pass through untouched; a missing blob is reported as
+// an *UnresolvedRefError. Resolve does not re-verify the blob hashes:
+// the blob store verifies on Put, which is the trust boundary.
+func (t *Task) Resolve(lookup func(hash string) ([]byte, bool)) error {
+	if t.Circuit == nil && t.CircuitRef != "" {
+		data, ok := lookup(t.CircuitRef)
+		if !ok {
+			return &UnresolvedRefError{Kind: "circuit", Hash: t.CircuitRef}
+		}
+		c, err := DecodeCircuitBlob(data)
+		if err != nil {
+			return err
+		}
+		t.Circuit = c
+		t.CircuitRef = ""
+	}
+	if t.Faults == nil && t.FaultsRef != "" {
+		data, ok := lookup(t.FaultsRef)
+		if !ok {
+			return &UnresolvedRefError{Kind: "faults", Hash: t.FaultsRef}
+		}
+		fs, err := DecodeFaultsBlob(data)
+		if err != nil {
+			return err
+		}
+		t.Faults = fs
+		t.FaultsRef = ""
+	}
+	return nil
+}
+
 // Build reconstructs the engine task (with SimWorkers unset; the
 // executing backend chooses its own intra-campaign sharding) and
-// validates it.
+// validates it. By-ref tasks must be Resolved first; a task carrying
+// both spellings of one component is ambiguous and rejected.
 func (t *Task) Build() (*engine.Task, error) {
 	if err := CheckVersion(t.V); err != nil {
 		return nil, err
+	}
+	if t.Circuit != nil && t.CircuitRef != "" {
+		return nil, fmt.Errorf("wire: task %q carries both an inline circuit and circuit ref %s", t.Label, t.CircuitRef)
+	}
+	if t.Faults != nil && t.FaultsRef != "" {
+		return nil, fmt.Errorf("wire: task %q carries both inline faults and faults ref %s", t.Label, t.FaultsRef)
+	}
+	if t.Circuit == nil {
+		if t.CircuitRef != "" {
+			return nil, fmt.Errorf("wire: task %q: unresolved circuit ref %s (resolve against a blob store before building)", t.Label, t.CircuitRef)
+		}
+		return nil, fmt.Errorf("wire: task %q has no circuit", t.Label)
+	}
+	if t.FaultsRef != "" && t.Faults == nil {
+		return nil, fmt.Errorf("wire: task %q: unresolved faults ref %s (resolve against a blob store before building)", t.Label, t.FaultsRef)
 	}
 	c, err := t.Circuit.Build()
 	if err != nil {

@@ -6,21 +6,91 @@ import (
 	"fmt"
 )
 
+// HashBytes returns the hex SHA-256 of data — the content-address
+// function shared by every blob kind (circuits, fault lists) and by
+// task identity. Addresses are comparable across processes because
+// they are computed over canonical wire bytes.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// mustMarshal encodes a wire value canonically. The wire types contain
+// only marshalable fields; failure is a programming error, not an
+// input condition.
+func mustMarshal(v any) []byte {
+	data, err := JSON.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("wire: canonical encoding failed: %v", err))
+	}
+	return data
+}
+
+// Blob returns the circuit's canonical bytes and their content
+// address. The address is what a by-ref Task carries as CircuitRef
+// and what the blob store files the bytes under.
+func (w *Circuit) Blob() (data []byte, hash string) {
+	data = mustMarshal(w)
+	return data, HashBytes(data)
+}
+
+// Hash returns the circuit's content address without retaining the
+// canonical bytes.
+func (w *Circuit) Hash() string {
+	_, h := w.Blob()
+	return h
+}
+
+// DecodeCircuitBlob reconstructs a circuit blob stored by Blob,
+// rejecting foreign wire versions.
+func DecodeCircuitBlob(data []byte) (*Circuit, error) {
+	var c Circuit
+	if err := JSON.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("wire: bad circuit blob: %w", err)
+	}
+	if err := CheckVersion(c.V); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// FaultsBlob returns a fault list's canonical bytes and their content
+// address (the by-ref Task's FaultsRef). Fault lists carry no version
+// field of their own: they are only meaningful inside a versioned
+// Task, whose version gates decoding.
+func FaultsBlob(fs []Fault) (data []byte, hash string) {
+	data = mustMarshal(fs)
+	return data, HashBytes(data)
+}
+
+// DecodeFaultsBlob reconstructs a fault-list blob stored by
+// FaultsBlob.
+func DecodeFaultsBlob(data []byte) ([]Fault, error) {
+	var fs []Fault
+	if err := JSON.Unmarshal(data, &fs); err != nil {
+		return nil, fmt.Errorf("wire: bad fault-list blob: %w", err)
+	}
+	return fs, nil
+}
+
 // IdentityHash returns the content address of the task: the SHA-256 of
-// its canonical JSON encoding with the display label cleared. Two tasks
-// share a hash exactly when they must produce bit-identical campaigns —
-// same circuit, fault list, weight sets, pattern budget, seed, and
-// curve sampling — whatever they are called and however they are
-// scheduled. The dist package's result cache keys on it.
+// its canonical JSON encoding with the display label cleared and the
+// circuit and fault list replaced by their content addresses. Two
+// tasks share a hash exactly when they must produce bit-identical
+// campaigns — same circuit, fault list, weight sets, pattern budget,
+// seed, and curve sampling — whatever they are called, however they
+// are scheduled, and whichever spelling (inline or by-ref) they
+// travel in. The dist package's result cache keys on it.
 func (t *Task) IdentityHash() string {
 	id := *t
 	id.Label = ""
-	data, err := JSON.Marshal(&id)
-	if err != nil {
-		// The wire types contain only marshalable fields; failure here
-		// is a programming error, not an input condition.
-		panic(fmt.Sprintf("wire: canonical task encoding failed: %v", err))
+	if id.Circuit != nil {
+		id.CircuitRef = id.Circuit.Hash()
+		id.Circuit = nil
 	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:])
+	if id.Faults != nil {
+		_, id.FaultsRef = FaultsBlob(id.Faults)
+		id.Faults = nil
+	}
+	return HashBytes(mustMarshal(&id))
 }

@@ -47,7 +47,13 @@ import (
 )
 
 // Version is the wire-format version this package reads and writes.
-const Version = 1
+// Version 2 re-typed Task.Circuit to a pointer and added the
+// content-addressed by-ref task form (CircuitRef/FaultsRef): a task
+// may reference its circuit and fault list by canonical SHA-256
+// instead of carrying them inline, and decoders must resolve those
+// references against a blob store before building. A version-1
+// decoder rejects every version-2 task — by-ref or inline — outright.
+const Version = 2
 
 // Circuit is the wire form of a combinational network. Gate order is
 // the circuit's own gate order; fanins are gate indices, so the
@@ -83,11 +89,21 @@ type Fault struct {
 // sizes): those are execution details of whichever backend runs the
 // task, and results are bit-identical across all of them, so they do
 // not belong to task identity.
+//
+// The circuit and fault list travel in one of two forms: inline
+// (Circuit / Faults) or by content address (CircuitRef / FaultsRef,
+// the canonical SHA-256 of the corresponding blob — see Circuit.Hash
+// and FaultsBlob). By-ref tasks must be resolved against a blob store
+// (Resolve) before Build; IdentityHash is defined over the by-ref
+// canonical form, so the two spellings of one task hash identically
+// and hit the same cache entries.
 type Task struct {
 	V          int         `json:"v"`
 	Label      string      `json:"label,omitempty"`
-	Circuit    Circuit     `json:"circuit"`
-	Faults     []Fault     `json:"faults"`
+	Circuit    *Circuit    `json:"circuit,omitempty"`
+	CircuitRef string      `json:"circuit_ref,omitempty"`
+	Faults     []Fault     `json:"faults,omitempty"`
+	FaultsRef  string      `json:"faults_ref,omitempty"`
 	WeightSets [][]float64 `json:"weight_sets"`
 	Patterns   int         `json:"patterns"`
 	Seed       uint64      `json:"seed"`
@@ -149,6 +165,21 @@ type SweepResponse struct {
 	V         int              `json:"v"`
 	Results   []CampaignResult `json:"results"`
 	CacheHits int              `json:"cache_hits"`
+}
+
+// SweepEvent is one line of a streaming (NDJSON) sweep response: the
+// service emits one event per task as it completes — in completion
+// order, carrying the task's request index — then a trailer event
+// with Done set and the batch's cache-hit count. A service-side
+// failure travels as an event with Error set; the stream ends there.
+type SweepEvent struct {
+	V         int             `json:"v"`
+	Index     int             `json:"index"`
+	Result    *CampaignResult `json:"result,omitempty"`
+	Cached    bool            `json:"cached,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Done      bool            `json:"done,omitempty"`
+	CacheHits int             `json:"cache_hits,omitempty"`
 }
 
 // CheckVersion rejects any wire version other than Version (see the

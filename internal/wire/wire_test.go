@@ -3,6 +3,9 @@ package wire
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -17,18 +20,18 @@ import (
 // bump Version (incompatible change) or revert (accidental drift). The
 // values were produced by hashing JSON.Marshal(FromCircuit(b.Build())).
 var goldenCircuitHash = map[string]string{
-	"s1":    "ce6b96885b9e1e0a86bd7a2660bb1d707290070656dbfd332abb48013a23c7fd",
-	"s2":    "321cfdb5830104a8fe6b906a1fb9c2a91c3cf3b9a5962b5fdebc07cd9474a5b2",
-	"c432":  "d804f3c509aee9390d6187f025e60ab0236b35a3b7b93f737d6d6a3b3e483207",
-	"c499":  "0b0419b6c1e1474984df5d8753cef9d53abea323843fa031807481eddc5452e3",
-	"c880":  "1584ba35e60282815a5f00362cf8a168373c2282b53030fa5dd6ff837f29261c",
-	"c1355": "955525acc8963931c534ff7481e61c1ae50e0b0103cf651a4aaac60d14808952",
-	"c1908": "2c8fe3773070fc91c09aa0a9fcf6626ec3176fbb17736377548c1d9f193441b2",
-	"c2670": "0c49f63a503253aa73f5bb13ae92d60d934fdfd59a8a8066fcbb27c4df8962ad",
-	"c3540": "18d57461f06da24cd1f658db7a612fcacb393cb0ee55115411a47d0b6acb1ecf",
-	"c5315": "87b37b0446e494631494403ab6d6cdfa011f98061b4a3f600e8a9be16a7570f2",
-	"c6288": "8ebb78ed288f6257db66eb0a627ab9ffed2383e76bcbf4f4b29e6a32139aaedc",
-	"c7552": "aa87b4f5686f818c73f01c249661647333153d17d3ca4e673332a4c6e764a7c8",
+	"s1":    "bf959f1d96b408a699a6d9194f8adfa0f920c701ec7a961e38391c0a56b65cd1",
+	"s2":    "f4db8d6013fe82aeb1c06eb405994da0cd776562a8f5c2a4d35bedce2ba60b49",
+	"c432":  "c86cd02c277b018ae62df0dae6c3a3126425484347b8759caf25edaa5588f229",
+	"c499":  "a4ca458268073217b1f67de25ef0cb23544b33ce589f700524c70f08c8e6424e",
+	"c880":  "60f836c7a4cfcaa3fd75787192235f3bd89879332da546be4b1218ad417bc1cc",
+	"c1355": "ffe53437f8bfcaca4d609f1ae00e1c2072988b6e1ffbb3ac14c54a3c6884fce3",
+	"c1908": "8bc71e5b25fd75b82d5cb51699cdf686c7d39d8d95148ef9a6b446ad71a5a1d6",
+	"c2670": "9116a701947977faf921b959b947812deb1506a9c9af533c126c0a646df70d96",
+	"c3540": "a6e0ce4854645aa58989ebf0a6d2b923462b90b150dd6d5b0bd24c219b321b99",
+	"c5315": "94a407937f5f2c13c7637dda781e202dc242a1b8f7befd80b8104009c9c04dd6",
+	"c6288": "f26fc0e147e2047d656d67e0098c02631b1d3fee3402e927d932a3833249020a",
+	"c7552": "8141351b6a404fb8b8b2c216ef1f49e9b3d03675dfac977f98b47a6b642c5dfa",
 }
 
 // TestCircuitRoundTripAllBenchmarks proves circuit → wire → circuit is
@@ -139,7 +142,7 @@ func testTask(t *testing.T) *Task {
 	return &Task{
 		V:          Version,
 		Label:      "c432/mixture#0",
-		Circuit:    *FromCircuit(c),
+		Circuit:    FromCircuit(c),
 		Faults:     FromFaults(faults),
 		WeightSets: [][]float64{uniform, skewed},
 		Patterns:   320,
@@ -233,13 +236,121 @@ func TestIdentityHash(t *testing.T) {
 		"curve":    func(w *Task) { w.CurveStep++ },
 		"weights":  func(w *Task) { w.WeightSets = copyWeightSets(w.WeightSets); w.WeightSets[0][0] = 0.25 },
 		"faults":   func(w *Task) { w.Faults = append([]Fault(nil), w.Faults[:len(w.Faults)-1]...) },
-		"circuit":  func(w *Task) { w.Circuit.Name = "renamed" },
+		"circuit": func(w *Task) {
+			c := *w.Circuit
+			c.Name = "renamed"
+			w.Circuit = &c
+		},
 	}
 	for name, mutate := range mutations {
 		m := *base
 		mutate(&m)
 		if m.IdentityHash() == h {
 			t.Errorf("mutation %q did not change the identity hash", name)
+		}
+	}
+
+	// The content-addressed spelling is the canonical form IdentityHash
+	// is defined over: a by-ref task must hash identically to its
+	// inline original, or the daemon's result cache would split on
+	// transport spelling.
+	ref, circuitBlob, faultsBlob := base.ByRef()
+	if ref.IdentityHash() != h {
+		t.Error("by-ref task hashes differently from its inline form")
+	}
+	if circuitBlob == nil || faultsBlob == nil {
+		t.Fatal("ByRef returned no blobs for an inline task")
+	}
+	if HashBytes(circuitBlob) != ref.CircuitRef || HashBytes(faultsBlob) != ref.FaultsRef {
+		t.Error("blob content addresses do not match the refs the task carries")
+	}
+}
+
+// TestTaskByRefResolveRoundTrip proves the content-addressed spelling
+// is lossless: ByRef then Resolve reproduces the inline task exactly,
+// and the rebuilt engine task runs the identical campaign.
+func TestTaskByRefResolveRoundTrip(t *testing.T) {
+	base := testTask(t)
+	ref, circuitBlob, faultsBlob := base.ByRef()
+	if ref.Circuit != nil || ref.Faults != nil {
+		t.Fatal("by-ref task still carries inline payloads")
+	}
+
+	// A by-ref task must not build before resolution.
+	if _, err := ref.Build(); err == nil || !strings.Contains(err.Error(), "unresolved") {
+		t.Fatalf("unresolved by-ref task built, err=%v", err)
+	}
+
+	blobs := map[string][]byte{ref.CircuitRef: circuitBlob, ref.FaultsRef: faultsBlob}
+	resolved := ref
+	if err := resolved.Resolve(func(h string) ([]byte, bool) { d, ok := blobs[h]; return d, ok }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resolved.Circuit, base.Circuit) || !reflect.DeepEqual(resolved.Faults, base.Faults) {
+		t.Fatal("resolved task differs from the inline original")
+	}
+
+	refTask, err := resolved.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlineTask, err := base.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refTask.Execute().Campaign, inlineTask.Execute().Campaign) {
+		t.Fatal("campaign of resolved by-ref task differs from inline")
+	}
+
+	// A missing blob is a typed, retryable error naming the hash.
+	missing := ref
+	err = missing.Resolve(func(string) ([]byte, bool) { return nil, false })
+	var unresolved *UnresolvedRefError
+	if !errors.As(err, &unresolved) || unresolved.Hash != ref.CircuitRef {
+		t.Fatalf("missing blob: err=%v, want *UnresolvedRefError for the circuit ref", err)
+	}
+
+	// Carrying both spellings of one component is ambiguous.
+	both := *base
+	both.CircuitRef = ref.CircuitRef
+	if _, err := both.Build(); err == nil || !strings.Contains(err.Error(), "both") {
+		t.Fatalf("task with inline circuit and circuit ref accepted, err=%v", err)
+	}
+}
+
+// TestVersionNegotiationOldDecoder replays the version-1 decoder's
+// logic (decode, then reject any v != 1) against current tasks: a
+// version-2 task — by-ref especially — must be rejected outright by
+// the version check, before the old decoder could trip over fields it
+// does not know. This is the negotiation contract the client's inline
+// fallback depends on: an old daemon says "version 2 not supported",
+// it never half-interprets a by-ref task as an empty circuit.
+func TestVersionNegotiationOldDecoder(t *testing.T) {
+	const oldVersion = Version - 1
+	// oldDecode is what a version-1 Task.Build did first: version-gate
+	// the value before looking at any payload field.
+	oldDecode := func(data []byte) error {
+		var v struct {
+			V int `json:"v"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		if v.V != oldVersion {
+			return fmt.Errorf("wire: version %d not supported (want %d)", v.V, oldVersion)
+		}
+		return nil
+	}
+
+	inline := testTask(t)
+	byref, _, _ := inline.ByRef()
+	for name, task := range map[string]*Task{"inline": inline, "by-ref": &byref} {
+		data, err := JSON.Marshal(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := oldDecode(data); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("%s v%d task accepted by a v%d decoder, err=%v", name, Version, oldVersion, err)
 		}
 	}
 }
@@ -277,8 +388,10 @@ func TestBuildRejectsCorruptWire(t *testing.T) {
 	w := testTask(t)
 
 	badType := *w
-	badType.Circuit.Gates = append([]Gate(nil), w.Circuit.Gates...)
-	badType.Circuit.Gates[0].Type = "FLUX"
+	bc := *w.Circuit
+	bc.Gates = append([]Gate(nil), w.Circuit.Gates...)
+	bc.Gates[0].Type = "FLUX"
+	badType.Circuit = &bc
 	if _, err := badType.Build(); err == nil {
 		t.Error("unknown gate type accepted")
 	}

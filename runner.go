@@ -41,6 +41,8 @@ type Runner struct {
 	remote      string
 	timeout     time.Duration
 	timeoutSet  bool
+	streaming   bool
+	inline      bool
 
 	backend engine.Backend
 	disp    *dist.Dispatcher
@@ -78,6 +80,28 @@ func WithRemoteTimeout(d time.Duration) Option {
 	return func(r *Runner) { r.timeout = d; r.timeoutSet = true }
 }
 
+// WithRemoteStreaming routes a remote Runner's batches through single
+// /v1/sweep requests instead of per-task /v1/campaign fan-out: the
+// daemon's own dispatcher spreads the batch over its fleet, and
+// SweepEach consumes the daemon's streaming (NDJSON) response, so
+// per-task results cross the network as they complete. Results are
+// bit-identical to every other backend. The trade: one round trip per
+// batch, but WithWorkers, WithCache, and WithMaxAttempts do not apply
+// (the daemon's fleet, cache, and retry policy govern). Because one
+// request now spans a whole batch, the default per-request timeout is
+// disabled — interrupt with context cancellation, or bound requests
+// explicitly with WithRemoteTimeout. Ignored for in-process Runners.
+func WithRemoteStreaming() Option { return func(r *Runner) { r.streaming = true } }
+
+// WithInlineCircuits disables circuit interning on a remote Runner:
+// every task carries its circuit and fault list inline instead of by
+// content address. Interning is purely a transport optimization
+// (results are identical either way, and the client already falls
+// back to inline against daemons without blob support); this option
+// exists for debugging and measurement. Ignored for in-process
+// Runners.
+func WithInlineCircuits() Option { return func(r *Runner) { r.inline = true } }
+
 // WithCache keeps a content-addressed result cache of up to n
 // campaigns (keyed by task identity — circuit, faults, weights,
 // patterns, seed — never by label or scheduling): resubmitting a
@@ -114,6 +138,17 @@ func NewRunner(opts ...Option) *Runner {
 		r.client = dist.NewClient(r.remote)
 		if r.timeoutSet {
 			r.client.HTTP.Timeout = r.timeout
+		}
+		r.client.DisableIntern = r.inline
+		if r.streaming {
+			if !r.timeoutSet {
+				// One request now spans a whole batch, so the default
+				// 10-minute per-request bound — sized for single
+				// campaigns — would cut long sweeps mid-stream.
+				r.client.HTTP.Timeout = 0
+			}
+			r.backend = dist.Service{Client: r.client}
+			break
 		}
 		r.disp = dist.NewDispatcher(dist.RemoteExecutor(r.client), dist.Options{
 			Workers:     r.workers,

@@ -2,6 +2,7 @@ package optirand_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net"
 	"net/http"
@@ -111,9 +112,21 @@ func TestRunnerCrossBackendEquivalence(t *testing.T) {
 		"local-parallel-3":   optirand.NewRunner(optirand.WithWorkers(3), optirand.WithSimWorkers(2)),
 		"local-parallel-max": optirand.NewRunner(optirand.WithWorkers(0)),
 		"dispatcher-cached":  optirand.NewRunner(optirand.WithWorkers(3), optirand.WithCache(64)),
-		"remote-daemon": optirand.NewRunner(
+		// The default remote transport interns circuits and fault
+		// lists by content address…
+		"remote-interned": optirand.NewRunner(
 			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 3, SimWorkers: 2, CacheSize: 256})),
 			optirand.WithWorkers(4)),
+		// …and must be byte-identical to the same daemon fed inline
+		// tasks.
+		"remote-inline": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 3, CacheSize: 256})),
+			optirand.WithWorkers(4), optirand.WithInlineCircuits()),
+		// Whole-batch transport: one /v1/sweep request per sweep, the
+		// daemon's fleet does the fan-out, results stream back NDJSON.
+		"remote-streamed": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, SimWorkers: 2, CacheSize: 256})),
+			optirand.WithRemoteStreaming()),
 		"remote-client-cached": optirand.NewRunner(
 			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: -1})),
 			optirand.WithWorkers(2), optirand.WithCache(64)),
@@ -133,6 +146,54 @@ func TestRunnerCrossBackendEquivalence(t *testing.T) {
 		}
 		equalResults(t, label+"/warm", ref, warm)
 		r.Close()
+	}
+
+	// Persisted-cache-after-restart: a daemon warms its cache, shuts
+	// down (persisting the snapshot), and a fresh daemon loaded from
+	// the same directory answers the whole grid from cache —
+	// byte-identical to the serial reference.
+	dir := t.TempDir()
+	srv1 := dist.NewServer(dist.ServerOptions{Workers: 2, CacheSize: 256, CacheDir: dir})
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv1 := &http.Server{Handler: srv1}
+	go httpSrv1.Serve(ln1)
+	r1 := optirand.NewRunner(optirand.WithRemote(ln1.Addr().String()), optirand.WithWorkers(3))
+	got, err := r1.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("pre-restart: %v", err)
+	}
+	equalResults(t, "remote-persisted/pre-restart", ref, got)
+	r1.Close()
+	httpSrv1.Close()
+	srv1.Close() // persists the warm set
+
+	r2 := optirand.NewRunner(
+		optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 256, CacheDir: dir})),
+		optirand.WithWorkers(3))
+	defer r2.Close()
+	warm, err := r2.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("post-restart: %v", err)
+	}
+	equalResults(t, "remote-persisted/post-restart", ref, warm)
+	// The restarted daemon must have answered from its reloaded cache,
+	// not by re-executing: its stats report one hit per task.
+	resp, err := http.Get("http://" + r2.Remote() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cache *dist.CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache == nil || stats.Cache.Hits != uint64(nTasks) || stats.Cache.Loaded == 0 {
+		t.Fatalf("restarted daemon cache stats %+v, want %d hits from a loaded snapshot", stats.Cache, nTasks)
 	}
 }
 
@@ -157,6 +218,11 @@ func TestRunnerSweepEachMatchesSweep(t *testing.T) {
 		"remote-daemon": optirand.NewRunner(
 			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 64})),
 			optirand.WithWorkers(3)),
+		// One streaming /v1/sweep request per SweepEach: each delivery
+		// crosses the network as the daemon completes it.
+		"remote-streamed": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 64})),
+			optirand.WithRemoteStreaming()),
 	}
 	for label, r := range runners {
 		for _, temp := range []string{"cold", "warm"} {
@@ -345,6 +411,28 @@ func TestRunnerMidBatchCancelAgainstDaemon(t *testing.T) {
 	}
 	if delivered >= nTasks {
 		t.Fatalf("%d campaigns delivered after mid-batch cancel", delivered)
+	}
+
+	// A streaming-transport Runner reports cancellation mid-stream the
+	// same way: ctx.Err(), not a transport error.
+	streamed := optirand.NewRunner(
+		optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 1, CacheSize: -1})),
+		optirand.WithRemoteStreaming())
+	defer streamed.Close()
+	sctx, scancel := context.WithCancel(context.Background())
+	sdelivered := 0
+	err = streamed.SweepEach(sctx, spec, func(int, optirand.TaskResult) {
+		sdelivered++
+		if sdelivered == 1 {
+			scancel()
+		}
+	})
+	scancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("streamed: err = %v, want context.Canceled", err)
+	}
+	if sdelivered >= nTasks {
+		t.Fatalf("streamed: %d campaigns delivered after mid-stream cancel", sdelivered)
 	}
 
 	// Local Runners honor cancellation the same way.
