@@ -1,15 +1,17 @@
 # Build/test entry points. `make test` is the tier-1 gate; `make
 # test-race` additionally certifies the parallel and distributed
-# engine (fault-sharded campaigns, concurrent PREPARE, the sweep
-# orchestrator, the dist queue/dispatcher/daemon) under the race
-# detector; `make bench` runs the Go benchmarks; `make parbench` /
-# `make servebench` / `make internbench` emit the machine-readable
+# engine (fault-sharded campaigns, pattern-range sharding, the shared
+# good machine, concurrent PREPARE, the sweep orchestrator, the dist
+# queue/dispatcher/daemon) under the race detector; `make bench` runs
+# the Go benchmarks; `make parbench` / `make servebench` /
+# `make internbench` / `make simbench` emit the machine-readable
 # performance summaries BENCH_parallel.json / BENCH_service.json /
-# BENCH_intern.json; `make serve` starts the optirandd HTTP daemon.
+# BENCH_intern.json / BENCH_sim.json; `make serve` starts the
+# optirandd HTTP daemon.
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench parbench serve servebench internbench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench vet fmt clean
 
 all: build test
 
@@ -44,6 +46,9 @@ servebench:
 internbench:
 	$(GO) run ./cmd/benchgen -internbench
 
+simbench:
+	$(GO) run ./cmd/benchgen -simbench
+
 vet:
 	$(GO) vet ./...
 
@@ -52,4 +57,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json coverage.out coverage.txt
+	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json coverage.out coverage.txt

@@ -13,6 +13,8 @@
 //	                                     # cache-hit latency -> BENCH_service.json
 //	benchgen -internbench                # inline vs content-addressed task
 //	                                     # request bytes -> BENCH_intern.json
+//	benchgen -simbench                   # compiled vs pre-PR fault-simulation
+//	                                     # kernel throughput -> BENCH_sim.json
 package main
 
 import (
@@ -199,6 +201,8 @@ func main() {
 		servebench()
 	case *flagInternbench:
 		internbench()
+	case *flagSimbench:
+		simbench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

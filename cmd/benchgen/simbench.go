@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/prng"
+	"optirand/internal/report"
+	"optirand/internal/sim"
+)
+
+var (
+	flagSimbench = flag.Bool("simbench", false, "benchmark the compiled fault-simulation kernel vs the frozen pre-compile kernel, write a JSON summary")
+	flagSimOut   = flag.String("simout", "BENCH_sim.json", "simbench: summary output path")
+	flagSimCirc  = flag.String("simcircuits", "c2670,c7552", "simbench: comma-separated circuits (default: the chain-heavy random-pattern-resistant pair, where the compiled kernel's gain is largest; fanout-mesh circuits like c6288 sit nearer 1.2x)")
+	flagSimN     = flag.Int("simn", 2048, "simbench: patterns per campaign measurement")
+	flagSimMinMS = flag.Int("simminms", 300, "simbench: minimum measured time per configuration (ms)")
+)
+
+// simCircuit is the simbench record of one circuit.
+type simCircuit struct {
+	Name   string `json:"name"`
+	Gates  int    `json:"gates"`
+	Faults int    `json:"faults"`
+	// DetectWordsPerSec is the compiled kernel's single-thread
+	// DetectWord throughput: full collapsed-fault-list passes against
+	// one fixed 64-pattern batch, counted as fault evaluations per
+	// second. LegacyDetectWordsPerSec is the identical measurement on
+	// the frozen pre-PR kernel; Speedup is their ratio.
+	DetectWordsPerSec       float64 `json:"detect_words_per_sec"`
+	LegacyDetectWordsPerSec float64 `json:"legacy_detect_words_per_sec"`
+	Speedup                 float64 `json:"speedup_vs_legacy"`
+	// CampaignPatternsPerSec is end-to-end serial campaign throughput
+	// (good machine + detection + fault dropping) in patterns/sec.
+	CampaignPatternsPerSec float64 `json:"campaign_patterns_per_sec"`
+	// AllocsPerDetect / AllocsPerRun are steady-state allocations per
+	// DetectWord call and per good-machine Run (must be 0).
+	AllocsPerDetect float64 `json:"allocs_per_detect"`
+	AllocsPerRun    float64 `json:"allocs_per_run"`
+	// PatternShardsIdentical / SharedGoodIdentical report that the
+	// pattern-range-sharded and shared-good-machine campaigns
+	// reproduced the serial campaign bit for bit.
+	PatternShardsIdentical bool `json:"pattern_shards_identical"`
+	SharedGoodIdentical    bool `json:"shared_goodmachine_identical"`
+}
+
+// simSummary is the BENCH_sim.json schema.
+type simSummary struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Seed       uint64       `json:"seed"`
+	Patterns   int          `json:"patterns"`
+	Circuits   []simCircuit `json:"circuits"`
+}
+
+// simCampaignsEqual is campaignsEqual over the internal result type.
+func simCampaignsEqual(a, b *sim.CampaignResult) bool {
+	if a.TotalFaults != b.TotalFaults || a.Detected != b.Detected || a.Patterns != b.Patterns {
+		return false
+	}
+	for i := range a.FirstDetected {
+		if a.FirstDetected[i] != b.FirstDetected[i] {
+			return false
+		}
+	}
+	if len(a.Curve) != len(b.Curve) {
+		return false
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// simbench measures the compiled kernel against the retained pre-PR
+// kernel and seeds the simulation performance trajectory
+// (BENCH_sim.json). All measurements are single-thread by
+// construction (one simulator, one goroutine); the equivalence flags
+// double as an end-to-end smoke test of the new campaign modes.
+func simbench() {
+	const seed = 1987
+	minTime := time.Duration(*flagSimMinMS) * time.Millisecond
+	summary := simSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+		Patterns:   *flagSimN,
+	}
+	t := report.NewTable("Fault-simulation kernel (compiled vs pre-PR legacy, single thread)",
+		"Circuit", "Faults", "Compiled f-evals/s", "Legacy f-evals/s", "Speedup",
+		"Campaign pat/s", "Allocs/op", "Shards==serial", "SharedGM==serial")
+
+	for _, name := range strings.Split(*flagSimCirc, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := gen.ByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown circuit %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		c := b.Build()
+		faults := fault.New(c).Reps
+		weights := make([]float64, c.NumInputs())
+		for i := range weights {
+			weights[i] = 0.5
+		}
+
+		// One fixed batch for the kernel micro-measurement.
+		rng := prng.New(seed)
+		words := make([]uint64, c.NumInputs())
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		s := sim.NewSimulator(c)
+		fs := sim.NewFaultSimulator(s)
+		s.SetInputs(words)
+		s.Run()
+		lk := sim.NewLegacyKernel(c)
+		lk.SetInputs(words)
+		lk.Run()
+
+		newT := measure(minTime, func() {
+			for _, f := range faults {
+				fs.DetectWord(f)
+			}
+		})
+		oldT := measure(minTime, func() {
+			for _, f := range faults {
+				lk.DetectWord(f)
+			}
+		})
+
+		sc := simCircuit{
+			Name:                    name,
+			Gates:                   c.NumGates(),
+			Faults:                  len(faults),
+			DetectWordsPerSec:       float64(len(faults)) / newT.Seconds(),
+			LegacyDetectWordsPerSec: float64(len(faults)) / oldT.Seconds(),
+			Speedup:                 oldT.Seconds() / newT.Seconds(),
+		}
+
+		// Steady-state allocation guards (mirrors the sim test suite).
+		pick := faults[len(faults)/2]
+		sc.AllocsPerDetect = testing.AllocsPerRun(100, func() { fs.DetectWord(pick) })
+		sc.AllocsPerRun = testing.AllocsPerRun(100, func() {
+			s.SetInputs(words)
+			s.Run()
+		})
+
+		// End-to-end serial campaign throughput, plus the equivalence
+		// flags for the two new scheduling modes.
+		var ref *sim.CampaignResult
+		d := measure(minTime, func() {
+			ref = sim.RunCampaign(c, faults, weights, *flagSimN, seed, 0)
+		})
+		sc.CampaignPatternsPerSec = float64(*flagSimN) / d.Seconds()
+		shards := sim.RunCampaignPatternShards(c, faults, weights, *flagSimN, seed, 0, 4)
+		sc.PatternShardsIdentical = simCampaignsEqual(ref, shards)
+		shared := sim.RunCampaignConfig(c, faults, [][]float64{weights}, seed, sim.CampaignConfig{
+			Patterns: *flagSimN, Workers: 2, GoodMachine: sim.GoodMachineShared,
+		})
+		sc.SharedGoodIdentical = simCampaignsEqual(ref, shared)
+
+		summary.Circuits = append(summary.Circuits, sc)
+		t.Add(name, fmt.Sprint(sc.Faults),
+			report.Sci(sc.DetectWordsPerSec), report.Sci(sc.LegacyDetectWordsPerSec),
+			fmt.Sprintf("%.2fx", sc.Speedup), report.Sci(sc.CampaignPatternsPerSec),
+			fmt.Sprintf("%.0f/%.0f", sc.AllocsPerDetect, sc.AllocsPerRun),
+			fmt.Sprint(sc.PatternShardsIdentical), fmt.Sprint(sc.SharedGoodIdentical))
+	}
+	fmt.Print(t)
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagSimOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagSimOut)
+}

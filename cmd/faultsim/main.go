@@ -13,6 +13,11 @@
 // -workers shards the fault list across goroutines; every worker
 // replays the identical seeded pattern stream, so results are
 // bit-identical for any worker count (default GOMAXPROCS).
+// -shards N instead shards the PATTERN stream into N contiguous batch
+// ranges (the better cut for small fault lists with huge pattern
+// budgets), and -goodmachine shared|auto runs one good simulation per
+// batch instead of one per worker (a win on fanout-heavy circuits);
+// every combination is bit-identical to the serial run.
 //
 // -remote routes the campaign to an optirandd service instead of
 // running it in-process. Local and remote runs are one Runner
@@ -48,6 +53,8 @@ var (
 	flagCurve    = flag.Int("curve", 0, "print the coverage curve sampled every N patterns")
 	flagUndet    = flag.Bool("undetected", false, "list faults left undetected")
 	flagWorkers  = flag.Int("workers", runtime.GOMAXPROCS(0), "fault-simulation worker goroutines (results are identical for any count)")
+	flagShards   = flag.Int("shards", 0, "shard the PATTERN stream into this many batch ranges instead of sharding the fault list (>1; results identical for any count)")
+	flagGoodM    = flag.String("goodmachine", "replay", "good-machine strategy for fault-sharded runs: replay, shared, or auto (results identical)")
 	flagRemote   = flag.String("remote", "", "optirandd address (host:port or URL); runs the campaign on the service instead of in-process")
 	flagRemoteTO = flag.Duration("remotetimeout", 0, "request timeout against -remote (0 = none; campaigns are long requests by design)")
 )
@@ -86,9 +93,26 @@ func main() {
 
 	faults := optirand.CollapsedFaults(c)
 
+	var goodMachine optirand.GoodMachineMode
+	switch *flagGoodM {
+	case "replay":
+		goodMachine = optirand.GoodMachineReplay
+	case "shared":
+		goodMachine = optirand.GoodMachineShared
+	case "auto":
+		goodMachine = optirand.GoodMachineAuto
+	default:
+		fatalf("unknown -goodmachine %q (want replay, shared, or auto)", *flagGoodM)
+	}
+
 	// One Runner serves both execution modes; ^C cancels the campaign
 	// (queued work is abandoned, the in-flight request aborts).
-	opts := []optirand.Option{optirand.WithSeed(*flagSeed), optirand.WithSimWorkers(*flagWorkers)}
+	opts := []optirand.Option{
+		optirand.WithSeed(*flagSeed),
+		optirand.WithSimWorkers(*flagWorkers),
+		optirand.WithSimShards(*flagShards),
+		optirand.WithGoodMachine(goodMachine),
+	}
 	if *flagRemote != "" {
 		opts = append(opts, optirand.WithRemote(*flagRemote), optirand.WithRemoteTimeout(*flagRemoteTO))
 	}

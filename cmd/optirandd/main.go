@@ -8,6 +8,7 @@
 //	optirandd -addr 127.0.0.1:9000 -workers 8 -simworkers 2
 //	optirandd -cachesize 4096              # bigger result cache
 //	optirandd -cache-dir /var/lib/optirand # persist the warm set across restarts
+//	optirandd -cache-dir D -cache-snapshot 30s  # + periodic snapshots (crash-safe)
 //
 // Endpoints (JSON wire format, versioned; see internal/wire):
 //
@@ -55,6 +56,8 @@ var (
 	flagSimWorkers = flag.Int("simworkers", 1, "fault-shard workers inside each campaign (results identical for any count)")
 	flagCacheSize  = flag.Int("cachesize", 1024, "content-addressed result cache entries (negative disables caching)")
 	flagCacheDir   = flag.String("cache-dir", "", "persist the result cache here (loaded on start, written on shutdown)")
+	flagSnapshot   = flag.Duration("cache-snapshot", 0, "with -cache-dir: also persist the cache every interval (e.g. 30s), so a crash loses at most one interval of warm results")
+	flagSnapDirty  = flag.Int("cache-snapshot-dirty", 1, "minimum new results since the last snapshot for a -cache-snapshot tick to write")
 	flagBlobBytes  = flag.Int64("blob-bytes", 0, "content-addressed blob store byte budget (0 selects the default)")
 	flagRetries    = flag.Int("maxattempts", 3, "execution attempts per task before a batch fails")
 )
@@ -62,12 +65,14 @@ var (
 func main() {
 	flag.Parse()
 	srv := dist.NewServer(dist.ServerOptions{
-		Workers:     *flagWorkers,
-		SimWorkers:  *flagSimWorkers,
-		CacheSize:   *flagCacheSize,
-		CacheDir:    *flagCacheDir,
-		BlobBytes:   *flagBlobBytes,
-		MaxAttempts: *flagRetries,
+		Workers:          *flagWorkers,
+		SimWorkers:       *flagSimWorkers,
+		CacheSize:        *flagCacheSize,
+		CacheDir:         *flagCacheDir,
+		SnapshotInterval: *flagSnapshot,
+		SnapshotDirty:    *flagSnapDirty,
+		BlobBytes:        *flagBlobBytes,
+		MaxAttempts:      *flagRetries,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "optirandd: "+format+"\n", args...)
 		},

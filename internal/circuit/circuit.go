@@ -10,8 +10,12 @@
 package circuit
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the supported combinational gate functions.
@@ -124,6 +128,9 @@ type Circuit struct {
 	level    []int   // longest path from any input/constant
 	order    []int   // topological order (levelized)
 	inputPos map[int]int
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // NumGates returns the total number of gates including primary inputs.
@@ -269,6 +276,43 @@ func (c *Circuit) SupportInputs(g int) []int {
 	}
 	sort.Ints(sup)
 	return sup
+}
+
+// Fingerprint returns the canonical content address of the circuit's
+// structure: a hex SHA-256 over gate types, fanin lists, input order,
+// and the output list. Names are excluded — they cannot influence
+// simulation — so two same-structure circuits decoded independently
+// (an engine task and a wire-decoded copy on a dist worker) share one
+// fingerprint and therefore one compiled-simulation artifact. Computed
+// once and cached; circuits are immutable after construction.
+func (c *Circuit) Fingerprint() string {
+	c.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [binary.MaxVarintLen64]byte
+		put := func(v int) {
+			n := binary.PutUvarint(buf[:], uint64(v))
+			h.Write(buf[:n])
+		}
+		put(len(c.Gates))
+		for g := range c.Gates {
+			gate := &c.Gates[g]
+			put(int(gate.Type))
+			put(len(gate.Fanin))
+			for _, f := range gate.Fanin {
+				put(f)
+			}
+		}
+		put(len(c.Inputs))
+		for _, g := range c.Inputs {
+			put(g)
+		}
+		put(len(c.Outputs))
+		for _, g := range c.Outputs {
+			put(g)
+		}
+		c.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return c.fp
 }
 
 // Stats summarizes the structural properties of a circuit.

@@ -327,3 +327,32 @@ func TestGateNameFallback(t *testing.T) {
 		t.Errorf("FindGate(zzz) = %d, want -1", got)
 	}
 }
+
+// TestFingerprint pins the compile-cache key's contract: structure
+// determines the fingerprint, names do not, and any structural edit —
+// gate type, wiring, output list — changes it.
+func TestFingerprint(t *testing.T) {
+	build := func(name, gateName string, tp GateType, output bool) *Circuit {
+		b := NewBuilder(name)
+		ins := b.Inputs("x", 2)
+		g := b.Add(tp, gateName, ins[0], ins[1])
+		b.Output("y", g)
+		if output {
+			b.Output("z", ins[0])
+		}
+		return b.MustBuild()
+	}
+	base := build("a", "g", And, false)
+	if got := build("b", "renamed", And, false).Fingerprint(); got != base.Fingerprint() {
+		t.Error("renaming circuit and gates changed the fingerprint")
+	}
+	if got := build("a", "g", Nand, false).Fingerprint(); got == base.Fingerprint() {
+		t.Error("changing a gate type kept the fingerprint")
+	}
+	if got := build("a", "g", And, true).Fingerprint(); got == base.Fingerprint() {
+		t.Error("adding an output kept the fingerprint")
+	}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Error("fingerprint not stable across calls")
+	}
+}

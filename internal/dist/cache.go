@@ -27,6 +27,7 @@ type Cache struct {
 	misses   uint64
 	persists uint64
 	loaded   uint64
+	gen      uint64 // mutation counter: bumped by every Put
 }
 
 type cacheEntry struct {
@@ -76,6 +77,7 @@ func (c *Cache) Put(key string, res *sim.CampaignResult) {
 	cp := cloneCampaign(res)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gen++
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).res = cp
 		c.ll.MoveToFront(el)
@@ -98,6 +100,15 @@ type CacheStats struct {
 	Misses   uint64 `json:"misses"`
 	Persists uint64 `json:"persists"`
 	Loaded   uint64 `json:"loaded"`
+}
+
+// Generation returns the cache's mutation count (Puts since
+// creation, loads included). Snapshot schedulers compare generations
+// to skip writing a snapshot nothing has changed under.
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // Stats snapshots the counters.

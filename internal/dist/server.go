@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"optirand/internal/core"
 	"optirand/internal/engine"
@@ -60,6 +61,16 @@ type ServerOptions struct {
 	// temp-and-rename) on Close, so a restart keeps its warm set.
 	// Ignored when caching is disabled.
 	CacheDir string
+	// SnapshotInterval, when > 0 with CacheDir set, additionally
+	// persists the result cache periodically, so a crash (as opposed
+	// to a graceful shutdown) loses at most one interval's worth of
+	// warm results. Each tick snapshots only if the cache accumulated
+	// at least SnapshotDirty new results since the last write (see
+	// below); clean ticks cost nothing.
+	SnapshotInterval time.Duration
+	// SnapshotDirty is the minimum number of new results that makes a
+	// snapshot tick write (default 1 — any change persists).
+	SnapshotDirty int
 	// BlobBytes bounds the content-addressed blob store backing
 	// /v1/blobs (<= 0 selects DefaultBlobStoreBytes).
 	BlobBytes int64
@@ -102,6 +113,8 @@ type Server struct {
 	// runs on request goroutines, so without the bound N clients would
 	// mean N unbounded optimizer loops next to the campaign fleet.
 	optSem    chan struct{}
+	snapStop  chan struct{}
+	snapWG    sync.WaitGroup
 	closeOnce sync.Once
 }
 
@@ -146,6 +159,14 @@ func NewServer(opts ServerOptions) *Server {
 		} else if n > 0 {
 			opts.Logf("restored %d cached results from %s", n, path)
 		}
+		if s.opts.CacheDir != "" && opts.SnapshotInterval > 0 {
+			s.snapStop = make(chan struct{})
+			s.snapWG.Add(1)
+			// The dirty baseline is captured here, before any request
+			// can run: results cached while the goroutine is still
+			// being scheduled must count as unpersisted.
+			go s.snapshotLoop(path, cache.Generation())
+		}
 	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
@@ -164,11 +185,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// snapshotLoop persists the result cache every SnapshotInterval while
+// the server runs, skipping ticks on which fewer than SnapshotDirty
+// new results accumulated since the last write. Completed snapshots
+// show up in /v1/stats as cache.persists.
+func (s *Server) snapshotLoop(path string, lastGen uint64) {
+	defer s.snapWG.Done()
+	dirty := uint64(s.opts.SnapshotDirty)
+	if dirty < 1 {
+		dirty = 1
+	}
+	ticker := time.NewTicker(s.opts.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-ticker.C:
+			gen := s.cache.Generation()
+			if gen-lastGen < dirty {
+				continue
+			}
+			if err := s.cache.Save(path); err != nil {
+				s.opts.Logf("periodic cache snapshot failed: %v", err)
+				continue
+			}
+			lastGen = gen
+			s.opts.Logf("periodic snapshot: persisted %d cached results", s.cache.Stats().Entries)
+		}
+	}
+}
+
 // Close stops the worker fleet and, when CacheDir is configured,
 // persists the result cache snapshot. In-flight requests must finish
 // first (shut the http.Server down before closing). Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			s.snapWG.Wait()
+		}
 		s.disp.Close()
 		if s.cache != nil && s.opts.CacheDir != "" {
 			path := filepath.Join(s.opts.CacheDir, cacheSnapshotFile)
@@ -374,50 +430,95 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	respond(w, r, &resp)
 }
 
+// streamEncoder writes NDJSON events with per-event delivery. When
+// compressing, each event is followed by a gzip Flush — which emits a
+// sync block the peer's decompressor can decode through — and then
+// the HTTP flush, so compression recovers the stream's bytes without
+// buffering away its timeliness.
+type streamEncoder struct {
+	enc     *json.Encoder
+	zw      *gzip.Writer
+	flusher http.Flusher
+	wrote   bool
+}
+
+// newStreamEncoder stacks the NDJSON encoder over w, inserting a
+// flush-aware gzip layer when compress is set. Call close when done.
+func newStreamEncoder(w io.Writer, flusher http.Flusher, compress bool) *streamEncoder {
+	e := &streamEncoder{flusher: flusher}
+	if compress {
+		e.zw = gzip.NewWriter(w)
+		e.enc = json.NewEncoder(e.zw)
+	} else {
+		e.enc = json.NewEncoder(w)
+	}
+	return e
+}
+
+// emit writes one event and pushes it all the way to the peer.
+func (e *streamEncoder) emit(ev *wire.SweepEvent) {
+	e.wrote = true
+	e.enc.Encode(ev) //nolint:errcheck // the connection owns delivery
+	if e.zw != nil {
+		e.zw.Flush() //nolint:errcheck
+	}
+	if e.flusher != nil {
+		e.flusher.Flush()
+	}
+}
+
+// close finishes the compression layer (writing the gzip trailer).
+func (e *streamEncoder) close() {
+	if e.zw != nil {
+		e.zw.Close() //nolint:errcheck
+	}
+}
+
 // streamSweep answers a sweep as an NDJSON stream: one wire.SweepEvent
 // per task, written and flushed as the fleet completes it (cache hits
 // first, then completion order), then a trailer with Done and the
 // batch's cache-hit count. This is the wire half of the streaming
 // contract: a remote engine.StreamBackend.RunEach observes per-task
 // results across the network instead of waiting for the whole batch.
-// Events are not gzip-compressed — per-line flushing is the point, and
-// buffering inside a compressor would defeat it.
+// When the client accepts gzip the stream is compressed flush-aware:
+// every event ends with a gzip sync point, so per-event delivery
+// survives compression and large streamed results recover most of
+// their bytes.
 func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, tasks []*engine.Task) {
 	w.Header().Set("Content-Type", ndjsonContentType)
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	wrote := false
-	emit := func(ev *wire.SweepEvent) {
-		wrote = true
-		enc.Encode(ev) //nolint:errcheck // the connection owns delivery
-		if flusher != nil {
-			flusher.Flush()
-		}
+	compress := acceptsGzip(r)
+	if compress {
+		w.Header().Set("Content-Encoding", "gzip")
 	}
+	flusher, _ := w.(http.Flusher)
+	enc := newStreamEncoder(w, flusher, compress)
 	cacheHits := 0
 	err := s.disp.RunEachCached(r.Context(), tasks, func(i int, res engine.TaskResult, cached bool) {
 		if cached {
 			cacheHits++
 		}
-		emit(&wire.SweepEvent{
+		enc.emit(&wire.SweepEvent{
 			V:      wire.Version,
 			Index:  i,
 			Result: wire.FromCampaign(res.Campaign),
 			Cached: cached,
 		})
 	})
-	if err != nil {
-		if !wrote {
-			// Nothing streamed yet (validation failed, or the batch
-			// failed before its first completion): a plain HTTP error
-			// is still expressible.
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		emit(&wire.SweepEvent{V: wire.Version, Index: -1, Error: err.Error()})
+	switch {
+	case err != nil && !enc.wrote:
+		// Nothing streamed yet (validation failed, or the batch failed
+		// before its first completion): a plain HTTP error is still
+		// expressible. The unused gzip layer never wrote its header,
+		// but the advertised encoding must be withdrawn first.
+		w.Header().Del("Content-Encoding")
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	case err != nil:
+		enc.emit(&wire.SweepEvent{V: wire.Version, Index: -1, Error: err.Error()})
+	default:
+		enc.emit(&wire.SweepEvent{V: wire.Version, Index: -1, Done: true, CacheHits: cacheHits})
 	}
-	emit(&wire.SweepEvent{V: wire.Version, Index: -1, Done: true, CacheHits: cacheHits})
+	enc.close()
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -470,13 +571,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
-	WireVersion int              `json:"wire_version"`
-	Workers     int              `json:"workers"`
-	SimWorkers  int              `json:"sim_workers"`
-	CacheDir    string           `json:"cache_dir,omitempty"`
-	Cache       *CacheStats      `json:"cache,omitempty"`
-	Blobs       *BlobStats       `json:"blobs,omitempty"`
-	Dispatcher  *DispatcherStats `json:"dispatcher,omitempty"`
+	WireVersion int    `json:"wire_version"`
+	Workers     int    `json:"workers"`
+	SimWorkers  int    `json:"sim_workers"`
+	CacheDir    string `json:"cache_dir,omitempty"`
+	// SnapshotInterval reports the periodic cache-snapshot cadence
+	// ("0s" when only shutdown persistence is active); completed
+	// snapshots — periodic and shutdown alike — are counted in
+	// cache.persists.
+	SnapshotInterval string           `json:"snapshot_interval,omitempty"`
+	Cache            *CacheStats      `json:"cache,omitempty"`
+	Blobs            *BlobStats       `json:"blobs,omitempty"`
+	Dispatcher       *DispatcherStats `json:"dispatcher,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +591,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:     s.opts.Workers,
 		SimWorkers:  s.opts.SimWorkers,
 		CacheDir:    s.opts.CacheDir,
+	}
+	if s.snapStop != nil { // the snapshot loop actually runs
+		resp.SnapshotInterval = s.opts.SnapshotInterval.String()
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"optirand/internal/engine"
 	"optirand/internal/sim"
@@ -517,5 +518,245 @@ func TestServiceStatsCounters(t *testing.T) {
 	}
 	if stats.Cache != nil {
 		t.Fatalf("cache stats %+v reported with caching disabled", stats.Cache)
+	}
+}
+
+// streamingSweepRaw issues one raw NDJSON /v1/sweep request with the
+// given Accept-Encoding (empty = none) against a live server and
+// returns the response headers and raw body bytes.
+func streamingSweepRaw(t *testing.T, baseURL string, tasks []*engine.Task, acceptEncoding string) (http.Header, []byte) {
+	t.Helper()
+	wts := make([]wire.Task, len(tasks))
+	for i, task := range tasks {
+		wts[i] = *wire.FromTask(task)
+	}
+	body, err := wire.JSON.Marshal(&wire.SweepRequest{V: wire.Version, Tasks: wts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sweep", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ndjsonContentType)
+	if acceptEncoding != "" {
+		req.Header.Set("Accept-Encoding", acceptEncoding)
+	}
+	// DisableCompression keeps the transport from negotiating (and
+	// transparently inflating) gzip behind the test's back.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %s: %s", resp.Status, raw)
+	}
+	return resp.Header, raw
+}
+
+// decodeSweepStream parses an NDJSON event stream, returning the
+// per-task events slotted by index (events arrive in completion
+// order, which legitimately differs between runs) plus the trailer.
+func decodeSweepStream(t *testing.T, r io.Reader, nTasks int) (events []*wire.SweepEvent, trailer wire.SweepEvent) {
+	t.Helper()
+	events = make([]*wire.SweepEvent, nTasks)
+	dec := json.NewDecoder(r)
+	for {
+		var ev wire.SweepEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		if ev.Index < 0 {
+			for i, e := range events {
+				if e == nil {
+					t.Fatalf("no event for task %d before the trailer", i)
+				}
+			}
+			return events, ev
+		}
+		if ev.Index >= nTasks || events[ev.Index] != nil {
+			t.Fatalf("bad or duplicate event index %d", ev.Index)
+		}
+		cp := ev
+		events[ev.Index] = &cp
+	}
+}
+
+// TestStreamingSweepGzipNegotiation covers the flush-aware gzip layer
+// of NDJSON sweeps: a client advertising gzip gets a compressed
+// stream that inflates to the same events a plain client receives,
+// and the compressed stream is materially smaller — the bytes the
+// plain streaming path was leaving on the table.
+func TestStreamingSweepGzipNegotiation(t *testing.T) {
+	tasks := testTasks(t)
+	cl := startService(t, ServerOptions{Workers: 2, CacheSize: 256})
+
+	plainHdr, plain := streamingSweepRaw(t, cl.BaseURL, tasks, "")
+	if enc := plainHdr.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("plain client got Content-Encoding %q", enc)
+	}
+	plainEvents, plainTrailer := decodeSweepStream(t, strings.NewReader(string(plain)), len(tasks))
+	if !plainTrailer.Done {
+		t.Fatalf("plain stream: done=%v", plainTrailer.Done)
+	}
+
+	zHdr, zBody := streamingSweepRaw(t, cl.BaseURL, tasks, "gzip")
+	if enc := zHdr.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("gzip client got Content-Encoding %q", enc)
+	}
+	zr, err := gzip.NewReader(strings.NewReader(string(zBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zEvents, zTrailer := decodeSweepStream(t, zr, len(tasks))
+	if !zTrailer.Done {
+		t.Fatalf("gzip stream: done=%v", zTrailer.Done)
+	}
+
+	// Same results either way (the second request is answered from
+	// cache, which cannot change bytes), and a real size win.
+	for i := range plainEvents {
+		a, err := plainEvents[i].Result.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := zEvents[i].Result.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("event %d differs between plain and gzip streams", i)
+		}
+	}
+	if len(zBody) >= len(plain) {
+		t.Fatalf("gzip stream (%d bytes) not smaller than plain (%d bytes)", len(zBody), len(plain))
+	}
+
+	// The standard client path (transparent decompression) still
+	// round-trips through SweepEach.
+	got := make([]*sim.CampaignResult, len(tasks))
+	if _, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool) {
+		got[i] = res
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want, err := plainEvents[i].Result.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("SweepEach result %d differs from raw stream", i)
+		}
+	}
+}
+
+// TestStreamEncoderFlushDelivery proves the compressed stream stays
+// per-event deliverable: an event written and flushed while the
+// stream is still open must be decodable on the reading side — gzip's
+// Flush emits the sync block that makes it so. Without the flush the
+// decoder would block on the pipe, and the test would time out.
+func TestStreamEncoderFlushDelivery(t *testing.T) {
+	pr, pw := io.Pipe()
+	enc := newStreamEncoder(pw, nil, true)
+	emitted := make(chan struct{})
+	go func() {
+		defer close(emitted)
+		enc.emit(&wire.SweepEvent{V: wire.Version, Index: 7, Cached: true})
+	}()
+
+	zr, err := gzip.NewReader(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev wire.SweepEvent
+	if err := json.NewDecoder(zr).Decode(&ev); err != nil {
+		t.Fatalf("mid-stream decode: %v", err)
+	}
+	if ev.Index != 7 || !ev.Cached {
+		t.Fatalf("decoded %+v", ev)
+	}
+	// Tear down reader-first (close() flushes the gzip trailer into
+	// the pipe, which would block forever against a parked reader),
+	// and join the emitter before touching the shared writer.
+	pr.Close()
+	<-emitted
+	enc.close()
+	pw.Close()
+}
+
+// serverStats fetches /v1/stats.
+func serverStats(t *testing.T, baseURL string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServerPeriodicSnapshot covers the crash-safety follow-on: with
+// SnapshotInterval set, the daemon persists its warm set while
+// RUNNING (no graceful shutdown involved), counts the snapshot in
+// /v1/stats, and a sibling daemon pointed at the directory restores
+// it.
+func TestServerPeriodicSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	tasks := testTasks(t)[:2]
+	cl := startService(t, ServerOptions{
+		Workers:          1,
+		CacheSize:        64,
+		CacheDir:         dir,
+		SnapshotInterval: 5 * time.Millisecond,
+	})
+	if _, _, err := cl.Campaign(context.Background(), tasks[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var persists uint64
+	for time.Now().Before(deadline) {
+		if st := serverStats(t, cl.BaseURL); st.Cache != nil && st.Cache.Persists > 0 {
+			persists = st.Cache.Persists
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if persists == 0 {
+		t.Fatal("no periodic snapshot happened while the server was running")
+	}
+	if st := serverStats(t, cl.BaseURL); st.SnapshotInterval == "" {
+		t.Error("stats does not report the snapshot interval")
+	}
+
+	// The on-disk snapshot is live before any shutdown: a fresh cache
+	// (and a fresh daemon) can restore the result.
+	fresh := NewCache(64)
+	n, err := fresh.Load(filepath.Join(dir, cacheSnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("snapshot holds %d entries, want >= 1", n)
+	}
+
+	// A clean tick (nothing new) must not write again.
+	before := serverStats(t, cl.BaseURL).Cache.Persists
+	time.Sleep(50 * time.Millisecond)
+	after := serverStats(t, cl.BaseURL).Cache.Persists
+	if after != before {
+		t.Errorf("clean ticks wrote %d extra snapshots", after-before)
 	}
 }

@@ -66,6 +66,18 @@ type Task struct {
 	// the campaign serial). Task-level and campaign-level parallelism
 	// compose; for many small tasks prefer task-level only.
 	SimWorkers int
+	// SimShards > 1 shards the campaign's PATTERN stream into
+	// contiguous batch ranges instead of sharding the fault list — the
+	// right cut for small-fault/large-pattern campaigns. Overrides
+	// SimWorkers when set. Like SimWorkers, it is a scheduling knob:
+	// results are bit-identical for every value, and it does not
+	// travel over the wire.
+	SimShards int
+	// GoodMachine selects the good-machine strategy for fault-sharded
+	// campaigns (replay per worker, shared per batch, or an automatic
+	// cost-based pick). A scheduling knob like SimWorkers: every mode
+	// is bit-identical, and it does not travel over the wire.
+	GoodMachine sim.GoodMachine
 }
 
 // TaskResult pairs a task with its campaign outcome.
@@ -102,8 +114,13 @@ func (t *Task) Execute() TaskResult {
 	if simWorkers <= 0 {
 		simWorkers = 1
 	}
-	res := sim.RunCampaignMixtureWorkers(t.Circuit, t.Faults, t.WeightSets,
-		t.Patterns, t.Seed, t.CurveStep, simWorkers)
+	res := sim.RunCampaignConfig(t.Circuit, t.Faults, t.WeightSets, t.Seed, sim.CampaignConfig{
+		Patterns:      t.Patterns,
+		CurveStep:     t.CurveStep,
+		Workers:       simWorkers,
+		PatternShards: t.SimShards,
+		GoodMachine:   t.GoodMachine,
+	})
 	return TaskResult{Task: t, Campaign: res, Elapsed: time.Since(start)}
 }
 
@@ -299,10 +316,13 @@ type Sweep struct {
 	Repetitions int
 	// Patterns is the default per-campaign pattern budget.
 	Patterns int
-	// CurveStep and SimWorkers are copied into every task.
-	CurveStep  int
-	SimWorkers int
-	Circuits   []SweepCircuit
+	// CurveStep, SimWorkers, SimShards, and GoodMachine are copied into
+	// every task.
+	CurveStep   int
+	SimWorkers  int
+	SimShards   int
+	GoodMachine sim.GoodMachine
+	Circuits    []SweepCircuit
 }
 
 // Tasks expands the grid into the task list, in circuit-major,
@@ -322,14 +342,16 @@ func (s *Sweep) Tasks() []*Task {
 		for _, wt := range sc.Weightings {
 			for r := 0; r < reps; r++ {
 				tasks = append(tasks, &Task{
-					Label:      fmt.Sprintf("%s/%s#%d", sc.Name, wt.Name, r),
-					Circuit:    sc.Circuit,
-					Faults:     sc.Faults,
-					WeightSets: wt.Sets,
-					Patterns:   patterns,
-					Seed:       TaskSeed(s.BaseSeed, HashName(sc.Name), HashName(wt.Name), uint64(r)),
-					CurveStep:  s.CurveStep,
-					SimWorkers: s.SimWorkers,
+					Label:       fmt.Sprintf("%s/%s#%d", sc.Name, wt.Name, r),
+					Circuit:     sc.Circuit,
+					Faults:      sc.Faults,
+					WeightSets:  wt.Sets,
+					Patterns:    patterns,
+					Seed:        TaskSeed(s.BaseSeed, HashName(sc.Name), HashName(wt.Name), uint64(r)),
+					CurveStep:   s.CurveStep,
+					SimWorkers:  s.SimWorkers,
+					SimShards:   s.SimShards,
+					GoodMachine: s.GoodMachine,
 				})
 			}
 		}

@@ -9,6 +9,7 @@ import (
 
 	"optirand/internal/fault"
 	"optirand/internal/gen"
+	"optirand/internal/sim"
 )
 
 // testSweep builds a small multi-circuit × multi-weighting ×
@@ -251,6 +252,52 @@ func TestRunContextCancellation(t *testing.T) {
 		// worker) but must not run the whole grid.
 		if delivered >= len(tasks) {
 			t.Fatalf("workers=%d: %d deliveries after mid-batch cancel (queued work not abandoned)", workers, delivered)
+		}
+	}
+}
+
+// TestTaskSchedulingKnobInvariance proves the new intra-campaign
+// scheduling knobs — pattern-range sharding and the shared/auto
+// good-machine modes — cannot change a task's campaign: every
+// combination reproduces the plain serial execution. (That they stay
+// out of the wire identity is pinned by
+// wire.TestSchedulingKnobsExcludedFromIdentity.)
+func TestTaskSchedulingKnobInvariance(t *testing.T) {
+	base := testSweep(t).Tasks()
+	ref, err := Run(context.Background(), base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configure := func(simWorkers, simShards int, gm sim.GoodMachine) []*Task {
+		tasks := make([]*Task, len(base))
+		for i, src := range base {
+			cp := *src
+			cp.SimWorkers = simWorkers
+			cp.SimShards = simShards
+			cp.GoodMachine = gm
+			tasks[i] = &cp
+		}
+		return tasks
+	}
+	cases := []struct {
+		name                  string
+		simWorkers, simShards int
+		gm                    sim.GoodMachine
+	}{
+		{"pattern-shards", 0, 3, sim.GoodMachineReplay},
+		{"shared-goodmachine", 3, 0, sim.GoodMachineShared},
+		{"auto-goodmachine", 3, 0, sim.GoodMachineAuto},
+		{"shards-override-workers", 4, 2, sim.GoodMachineShared},
+	}
+	for _, tc := range cases {
+		got, err := Run(context.Background(), configure(tc.simWorkers, tc.simShards, tc.gm), 2)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(ref[i].Campaign, got[i].Campaign) {
+				t.Fatalf("%s: task %d (%s) diverged from serial", tc.name, i, base[i].Label)
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"optirand/internal/circuit"
 	"optirand/internal/fault"
@@ -198,6 +199,327 @@ func runCampaign(c *circuit.Circuit, faults []fault.Fault, newGen func() batchGe
 	}
 	wg.Wait()
 	return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+}
+
+// GoodMachine selects how fault-sharded parallel campaigns obtain
+// their good-machine values. Every mode is bit-identical to the serial
+// campaign; the choice is purely a cost trade.
+type GoodMachine uint8
+
+const (
+	// GoodMachineReplay duplicates the good simulation per worker: each
+	// fault-shard worker owns a simulator pair and replays the whole
+	// pattern stream. Zero cross-worker state, zero synchronization —
+	// the right default when per-fault cone propagation dominates.
+	GoodMachineReplay GoodMachine = iota
+	// GoodMachineShared runs ONE good simulation per 64-pattern batch
+	// and fans DetectWord out across fault-shard workers against it,
+	// with a barrier per batch. It buys back the duplicated good-machine
+	// work of replay mode — a win on fanout-heavy circuits where the
+	// good simulation is not negligible next to the fault cones.
+	GoodMachineShared
+	// GoodMachineAuto picks between the two by a simple cost model:
+	// shared when the good-machine work replay mode would duplicate
+	// per batch clears a fixed threshold, replay otherwise.
+	GoodMachineAuto
+)
+
+// sharedGoodMachineThreshold is the Auto cutover: replay mode is kept
+// unless it would duplicate at least this many word-operations of
+// good-machine work per batch (gates + fanin edges, summed over the
+// extra workers) — enough to dwarf the two goroutine barriers per
+// batch that shared mode pays instead.
+const sharedGoodMachineThreshold = 1 << 14
+
+// pickShared resolves a GoodMachine mode against the campaign shape.
+func pickShared(c *circuit.Circuit, workers int, mode GoodMachine) bool {
+	if workers <= 1 {
+		return false // shared and replay coincide; take the simpler path
+	}
+	switch mode {
+	case GoodMachineShared:
+		return true
+	case GoodMachineAuto:
+		return (workers-1)*c.NumLines() >= sharedGoodMachineThreshold
+	}
+	return false
+}
+
+// CampaignConfig bundles the scheduling knobs of a campaign. None of
+// them can change a result — every combination is bit-identical to
+// the serial path — so none of them is part of a task's wire identity.
+type CampaignConfig struct {
+	// Patterns is the pattern budget.
+	Patterns int
+	// CurveStep > 0 samples the coverage curve every CurveStep patterns.
+	CurveStep int
+	// Workers shards the fault list across goroutines (<= 0 selects
+	// GOMAXPROCS, 1 is serial). Ignored when PatternShards > 1.
+	Workers int
+	// PatternShards > 1 shards the pattern stream into contiguous
+	// batch ranges instead of sharding the fault list — the right cut
+	// for small-fault/large-pattern workloads where fault shards would
+	// be too narrow to pay for their duplicated good machines.
+	PatternShards int
+	// GoodMachine selects the good-machine strategy for fault-sharded
+	// campaigns (see the mode constants). The zero value is replay.
+	GoodMachine GoodMachine
+}
+
+// RunCampaignConfig is the general campaign entry point: weightSets
+// behaves as in RunCampaignMixture (one set = plain weighted stream,
+// several = the §5.3 batch rotation), and cfg selects the scheduling.
+// Every configuration returns bit-identical results.
+func RunCampaignConfig(c *circuit.Circuit, faults []fault.Fault, weightSets [][]float64,
+	seed uint64, cfg CampaignConfig) *CampaignResult {
+
+	if len(weightSets) == 0 {
+		panic("sim: RunCampaignConfig: no weight sets")
+	}
+	var newGen func() batchGen
+	if len(weightSets) == 1 {
+		newGen = weightedGen(weightSets[0], seed)
+	} else {
+		newGen = mixtureGen(weightSets, seed)
+	}
+	if cfg.PatternShards > 1 {
+		return runCampaignPatternShards(c, faults, newGen, cfg.Patterns, cfg.CurveStep, cfg.PatternShards)
+	}
+	workers := normWorkers(cfg.Workers, len(faults))
+	if pickShared(c, workers, cfg.GoodMachine) {
+		return runCampaignShared(c, faults, newGen, cfg.Patterns, cfg.CurveStep, workers)
+	}
+	return runCampaign(c, faults, newGen, cfg.Patterns, cfg.CurveStep, cfg.Workers)
+}
+
+// runCampaignShared is the shared-good-machine campaign: one good
+// simulation per batch, DetectWord fanned out over fault-shard
+// workers, a barrier per batch. firstDetected entries are written by
+// exactly one worker each (shards partition the fault list), and the
+// pattern stream is generated once instead of once per worker.
+func runCampaignShared(c *circuit.Circuit, faults []fault.Fault, newGen func() batchGen,
+	nPatterns, curveStep, workers int) *CampaignResult {
+
+	firstDetected := make([]int, len(faults))
+	if nPatterns <= 0 || len(faults) == 0 {
+		return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+	}
+
+	good := NewSimulator(c)
+	fss := make([]*FaultSimulator, workers)
+	shards := make([][]int, workers)
+	n := len(faults)
+	for w := 0; w < workers; w++ {
+		fss[w] = NewFaultSimulator(good)
+		lo, hi := w*n/workers, (w+1)*n/workers
+		shard := make([]int, hi-lo)
+		for i := range shard {
+			shard[i] = lo + i
+		}
+		shards[w] = shard
+	}
+
+	// Persistent workers, one per fault shard: the per-batch barrier is
+	// two channel handoffs (dispatch + WaitGroup), not a goroutine
+	// spawn — the whole point of this mode is shaving per-batch cost.
+	type sharedBatch struct {
+		applied int
+		mask    uint64
+	}
+	var wg sync.WaitGroup
+	work := make([]chan sharedBatch, workers)
+	for w := range fss {
+		work[w] = make(chan sharedBatch)
+		go func(w int) {
+			for b := range work[w] {
+				kept := shards[w][:0]
+				for _, fi := range shards[w] {
+					det := fss[w].DetectWord(faults[fi]) & b.mask
+					if det == 0 {
+						kept = append(kept, fi)
+						continue
+					}
+					firstDetected[fi] = b.applied + bits.TrailingZeros64(det) + 1
+				}
+				shards[w] = kept
+				wg.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range work {
+			close(ch)
+		}
+	}()
+
+	gen := newGen()
+	words := make([]uint64, c.NumInputs())
+	alive := n
+	applied := 0
+	for b := 0; applied < nPatterns && alive > 0; b++ {
+		batch := 64
+		if rem := nPatterns - applied; rem < batch {
+			batch = rem
+		}
+		batchMask := ^uint64(0)
+		if batch < 64 {
+			batchMask = (uint64(1) << uint(batch)) - 1
+		}
+		gen(b, words)
+		good.SetInputs(words)
+		good.Run()
+
+		// The good machine is frozen for the batch; workers only read
+		// it while propagating their own fault overlays.
+		for w := range fss {
+			if len(shards[w]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			work[w] <- sharedBatch{applied: applied, mask: batchMask}
+		}
+		wg.Wait()
+		alive = 0
+		for w := range shards {
+			alive += len(shards[w])
+		}
+		applied += batch
+	}
+	return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+}
+
+// atomicMinDetection lowers *addr to d unless an earlier (smaller,
+// non-zero) detection index is already recorded; 0 means "not yet
+// detected". Pattern ranges are disjoint, so whatever the store
+// interleaving, the surviving value is the global minimum — the index
+// the serial campaign would have reported.
+func atomicMinDetection(addr *int64, d int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if cur != 0 && cur <= d {
+			return
+		}
+		if atomic.CompareAndSwapInt64(addr, cur, d) {
+			return
+		}
+	}
+}
+
+// runPatternRange simulates batches [loBatch, hiBatch) of the stream
+// against the full fault list, recording first detections into the
+// shared firstDet array (atomic min). Fault dropping works across
+// range boundaries through firstDet itself: once an EARLIER range has
+// detected a fault, its global first-detection index is settled
+// (indices in this range are strictly larger) and the fault is
+// dropped here; a detection by a LATER range must not drop it — this
+// range could still find an earlier one.
+func runPatternRange(c *circuit.Circuit, faults []fault.Fault, gen batchGen,
+	loBatch, hiBatch, nPatterns int, firstDet []int64) {
+
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	words := make([]uint64, c.NumInputs())
+	// Generators are stateful streams: reach the range's first batch by
+	// generating and discarding its predecessors. Pattern generation is
+	// cheap next to simulating the range.
+	for b := 0; b < loBatch; b++ {
+		gen(b, words)
+	}
+
+	alive := make([]int, len(faults))
+	for i := range alive {
+		alive[i] = i
+	}
+	rangeStart := int64(loBatch * 64)
+	for b := loBatch; b < hiBatch && len(alive) > 0; b++ {
+		base := b * 64
+		batch := 64
+		if rem := nPatterns - base; rem < batch {
+			batch = rem // partial final batch of the whole campaign
+		}
+		batchMask := ^uint64(0)
+		if batch < 64 {
+			batchMask = (uint64(1) << uint(batch)) - 1
+		}
+		gen(b, words)
+		s.SetInputs(words)
+		s.Run()
+
+		kept := alive[:0]
+		for _, fi := range alive {
+			if v := atomic.LoadInt64(&firstDet[fi]); v != 0 && v <= rangeStart {
+				continue // settled by an earlier range: drop
+			}
+			det := fs.DetectWord(faults[fi]) & batchMask
+			if det == 0 {
+				kept = append(kept, fi)
+				continue
+			}
+			// Detected in this range: later batches here can only give
+			// larger indices, so the fault drops locally too.
+			atomicMinDetection(&firstDet[fi], int64(base+bits.TrailingZeros64(det)+1))
+		}
+		alive = kept
+	}
+}
+
+// runCampaignPatternShards shards the pattern stream into contiguous
+// batch ranges, one goroutine per range, each simulating the full
+// fault list over its range. FirstDetected merges as the per-fault
+// minimum across ranges (the atomic handshake in runPatternRange),
+// and assembleResult rebuilds the rest — so the report is
+// bit-identical to the serial campaign for every shard count.
+func runCampaignPatternShards(c *circuit.Circuit, faults []fault.Fault, newGen func() batchGen,
+	nPatterns, curveStep, shards int) *CampaignResult {
+
+	firstDetected := make([]int, len(faults))
+	if nPatterns <= 0 || len(faults) == 0 {
+		return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+	}
+	nBatches := (nPatterns + 63) / 64
+	if shards > nBatches {
+		shards = nBatches // an empty range would be pure overhead
+	}
+	if shards <= 1 {
+		shard := make([]int, len(faults))
+		for i := range shard {
+			shard[i] = i
+		}
+		runShard(c, faults, shard, firstDetected, newGen(), nPatterns)
+		return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+	}
+
+	firstDet := make([]int64, len(faults))
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		lo, hi := sh*nBatches/shards, (sh+1)*nBatches/shards
+		gen := newGen()
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			runPatternRange(c, faults, gen, lo, hi, nPatterns, firstDet)
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i, v := range firstDet {
+		firstDetected[i] = int(v)
+	}
+	return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
+}
+
+// RunCampaignPatternShards is RunCampaign with the PATTERN stream
+// sharded into contiguous batch ranges instead of the fault list —
+// the right cut for small-fault/large-pattern workloads. Each of the
+// shards goroutines replays the seeded stream to its range and
+// simulates every fault over it; per-fault first detections merge as
+// the minimum across ranges, with a detected-index handshake so a
+// fault settled by an earlier range is dropped by later ones. The
+// result is bit-identical to the serial campaign for every shard
+// count.
+func RunCampaignPatternShards(c *circuit.Circuit, faults []fault.Fault, weights []float64,
+	nPatterns int, seed uint64, curveStep, shards int) *CampaignResult {
+
+	return runCampaignPatternShards(c, faults, weightedGen(weights, seed), nPatterns, curveStep, shards)
 }
 
 // weightedGen returns a batchGen factory replaying the weighted random

@@ -1,0 +1,347 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"optirand/internal/circuit"
+)
+
+// This file is the compiled circuit representation behind the
+// simulation kernels: the gate graph is flattened once per circuit
+// into CSR-packed fanin/fanout arrays, a levelized evaluation order,
+// and per-gate opcodes, so the hot loops of Simulator.Run and
+// FaultSimulator.DetectWord touch nothing but flat slices — no
+// per-gate method lookups, closures, or pointer-chasing through Gate
+// structs, and no steady-state allocations.
+
+// Opcode bases. Together with a per-gate 64-bit inversion mask they
+// are the package's single gate-evaluation truth source: every
+// word-parallel evaluation — good machine, faulty machine, forced-pin
+// fault activation — reduces to evalGate over one of these bases.
+// Inverting types fold into the mask (NAND = opAnd + inverted output,
+// NOT = opBuf + inverted, CONST1 = opConst + inverted), and the
+// dominant two-input shape of each n-ary function gets a fused opcode
+// with no reduction loop — which is what lets eleven gate types share
+// a handful of straight-line cases.
+const (
+	opAnd2  uint8 = iota // exactly two fanins, conjunction
+	opOr2                // exactly two fanins, disjunction
+	opXor2               // exactly two fanins, parity
+	opBuf                // one fanin, identity
+	opAnd                // n-ary conjunction
+	opOr                 // n-ary disjunction
+	opXor                // n-ary parity
+	opConst              // no fanin; the value is the inversion mask
+)
+
+// opcode compiles a gate type (with its fanin count) to its opcode
+// base and inversion mask. Input gates are never evaluated (their
+// words are applied, not computed), so they have no opcode.
+func opcode(t circuit.GateType, nFanin int) (op uint8, inv uint64) {
+	two := func(wide, fused uint8) uint8 {
+		if nFanin == 2 {
+			return fused
+		}
+		return wide
+	}
+	switch t {
+	case circuit.Buf:
+		return opBuf, 0
+	case circuit.Not:
+		return opBuf, ^uint64(0)
+	case circuit.And:
+		return two(opAnd, opAnd2), 0
+	case circuit.Nand:
+		return two(opAnd, opAnd2), ^uint64(0)
+	case circuit.Or:
+		return two(opOr, opOr2), 0
+	case circuit.Nor:
+		return two(opOr, opOr2), ^uint64(0)
+	case circuit.Xor:
+		return two(opXor, opXor2), 0
+	case circuit.Xnor:
+		return two(opXor, opXor2), ^uint64(0)
+	case circuit.Const0:
+		return opConst, 0
+	case circuit.Const1:
+		return opConst, ^uint64(0)
+	}
+	panic(fmt.Sprintf("sim: opcode: unexpected gate type %v", t))
+}
+
+// evalGate computes a gate function over the 64-pattern words that
+// fanin indexes into val. It is the single evaluation truth source of
+// the package (see the opcode constants): the good machine passes its
+// value array, the faulty machine its mirrored overlay, and forced-pin
+// activation an identity-indexed gather — one switch owns the boolean
+// semantics for all three.
+// The fused straight-line opcodes live here so the whole function
+// stays within the compiler's inlining budget — the n-ary reductions
+// (loops disqualify a function from inlining) are delegated to
+// evalGateWide. Each opcode's semantics is defined in exactly one
+// place across the pair.
+func evalGate(op uint8, inv uint64, fanin []int32, val []uint64) uint64 {
+	if op <= opXor2 {
+		a, b := val[fanin[0]], val[fanin[1]]
+		switch op {
+		case opAnd2:
+			return (a & b) ^ inv
+		case opOr2:
+			return (a | b) ^ inv
+		}
+		return a ^ b ^ inv
+	}
+	return evalGateWide(op, inv, fanin, val)
+}
+
+// evalGateWide evaluates the single-input and n-ary reduction opcodes
+// (see evalGate).
+// Kept out of line so that evalGate itself stays inlinable — folding
+// the loops back in would push it over the budget and reinstate a
+// function call on the dominant two-input path.
+//
+//go:noinline
+func evalGateWide(op uint8, inv uint64, fanin []int32, val []uint64) uint64 {
+	var w uint64
+	switch op {
+	case opBuf:
+		w = val[fanin[0]]
+	case opAnd:
+		w = ^uint64(0)
+		for _, f := range fanin {
+			w &= val[f]
+		}
+	case opOr:
+		for _, f := range fanin {
+			w |= val[f]
+		}
+	case opXor:
+		for _, f := range fanin {
+			w ^= val[f]
+		}
+	case opConst:
+		// The constant's value is entirely in inv.
+	}
+	return w ^ inv
+}
+
+// gateNode packs the per-gate static data the hot loops touch — the
+// opcode, inversion mask, CSR spans, and packed level/worklist-slot —
+// into one self-contained 32-byte record, so visiting a gate costs
+// one cache line of metadata instead of a line per parallel array.
+type gateNode struct {
+	inv       uint64
+	levelSlot uint64 // levelStart[level] in the high 32 bits, level in the low 32
+	faninAt   int32
+	fanoutAt  int32
+	faninN    uint16
+	fanoutN   uint16
+	op        uint8
+	_         [3]byte
+}
+
+// Compiled is the immutable flat form of one circuit structure. It
+// holds no scratch state, so one Compiled is shared — concurrently —
+// by every Simulator and FaultSimulator of a circuit, across
+// campaigns, engine workers, and dist requests (see compiledFor).
+type Compiled struct {
+	nGates   int
+	maxFanin int
+	depth    int
+
+	// CSR fanin values: gate g reads
+	// fanin[nodes[g].faninAt : nodes[g].faninAt+nodes[g].faninN].
+	fanin []int32
+	// CSR fanout, pre-filtered to consumers whose cone reaches a
+	// primary output (one entry per consuming pin, spans addressed
+	// through nodes like fanin). Consumers outside that cone are
+	// dropped at compile time — their values may flip, but nothing
+	// observable ever depends on them, so fault propagation is
+	// bit-identical without ever visiting them.
+	fanout []int32
+
+	order []int32 // levelized topological order, non-input gates only
+	// levelStart[l] is the first slot of level l in a fault
+	// simulator's flat worklist: levels partition the gates, so giving
+	// every level a segment sized to its gate count makes enqueueing a
+	// plain indexed store — no growth checks, no slice headers.
+	levelStart []int32
+	// nodes is the packed per-gate metadata (see gateNode) — the
+	// single source of each gate's opcode, inversion mask, CSR spans,
+	// and level/worklist slot.
+	nodes []gateNode
+
+	// dupFanin[g] reports that some driver feeds gate g on more than
+	// one pin. Branch-fault activation normally forces a pin by poking
+	// the driver's mirrored value; with a duplicated driver that would
+	// force the sibling pins too, so those (rare) gates take a
+	// gathered-operand activation instead.
+	dupFanin []bool
+
+	inputs  []int32 // gate index of each primary input, in input order
+	outputs []int32 // observed gate indices
+	isOut   []bool  // gate is a primary output
+
+	// reachesOut[g] reports whether gate g's forward cone (including g
+	// itself) contains a primary output — the static cone-of-influence
+	// membership the fault simulator uses to cut dead propagation: a
+	// fault effect entering a gate with reachesOut false can never be
+	// observed, so it is neither propagated nor scanned.
+	reachesOut []bool
+}
+
+// Compile flattens c. It is pure and deterministic; prefer
+// compiledFor, which caches compiles by structural fingerprint.
+func Compile(c *circuit.Circuit) *Compiled {
+	n := c.NumGates()
+	cc := &Compiled{
+		nGates:     n,
+		depth:      c.Depth(),
+		isOut:      make([]bool, n),
+		reachesOut: make([]bool, n),
+		dupFanin:   make([]bool, n),
+	}
+	// Build-time scratch; everything the kernels need lands in nodes.
+	op := make([]uint8, n)
+	inv := make([]uint64, n)
+	level := make([]int32, n)
+	faninStart := make([]int32, n+1)
+	fanoutStart := make([]int32, n+1)
+	nFanin := 0
+	for g := 0; g < n; g++ {
+		gate := &c.Gates[g]
+		if gate.Type != circuit.Input {
+			op[g], inv[g] = opcode(gate.Type, len(gate.Fanin))
+		}
+		if len(gate.Fanin) > cc.maxFanin {
+			cc.maxFanin = len(gate.Fanin)
+		}
+		for i, f := range gate.Fanin {
+			for _, e := range gate.Fanin[:i] {
+				if e == f {
+					cc.dupFanin[g] = true
+				}
+			}
+		}
+		nFanin += len(gate.Fanin)
+		level[g] = int32(c.Level(g))
+	}
+	cc.fanin = make([]int32, 0, nFanin)
+	for g := 0; g < n; g++ {
+		faninStart[g] = int32(len(cc.fanin))
+		for _, f := range c.Gates[g].Fanin {
+			cc.fanin = append(cc.fanin, int32(f))
+		}
+	}
+	faninStart[n] = int32(len(cc.fanin))
+
+	cc.inputs = make([]int32, len(c.Inputs))
+	for i, g := range c.Inputs {
+		cc.inputs[i] = int32(g)
+	}
+	cc.outputs = make([]int32, len(c.Outputs))
+	for i, g := range c.Outputs {
+		cc.outputs[i] = int32(g)
+		cc.isOut[g] = true
+	}
+
+	order := c.TopoOrder()
+	cc.order = make([]int32, 0, n-len(c.Inputs))
+	for _, g := range order {
+		if c.Gates[g].Type != circuit.Input {
+			cc.order = append(cc.order, int32(g))
+		}
+	}
+
+	// reachesOut: reverse topological sweep over the forward edges.
+	for i := len(order) - 1; i >= 0; i-- {
+		g := order[i]
+		r := cc.isOut[g]
+		for _, p := range c.Fanout(g) {
+			r = r || cc.reachesOut[p.Gate]
+		}
+		cc.reachesOut[g] = r
+	}
+
+	// Fanout CSR, observable consumers only (see the field comment).
+	cc.fanout = make([]int32, 0, nFanin)
+	for g := 0; g < n; g++ {
+		fanoutStart[g] = int32(len(cc.fanout))
+		for _, p := range c.Fanout(g) {
+			if cc.reachesOut[p.Gate] {
+				cc.fanout = append(cc.fanout, int32(p.Gate))
+			}
+		}
+	}
+	fanoutStart[n] = int32(len(cc.fanout))
+
+	// levelStart: prefix sums of the per-level gate counts.
+	cc.levelStart = make([]int32, cc.depth+2)
+	for g := 0; g < n; g++ {
+		cc.levelStart[level[g]+1]++
+	}
+	for l := 1; l < len(cc.levelStart); l++ {
+		cc.levelStart[l] += cc.levelStart[l-1]
+	}
+	cc.nodes = make([]gateNode, n)
+	for g := 0; g < n; g++ {
+		faninN := faninStart[g+1] - faninStart[g]
+		fanoutN := fanoutStart[g+1] - fanoutStart[g]
+		if faninN > 0xffff || fanoutN > 0xffff {
+			panic(fmt.Sprintf("sim: Compile: gate %d has %d fanins / %d observable fanouts; the compiled node caps both at 65535", g, faninN, fanoutN))
+		}
+		cc.nodes[g] = gateNode{
+			inv:       inv[g],
+			levelSlot: uint64(cc.levelStart[level[g]])<<32 | uint64(uint32(level[g])),
+			faninAt:   faninStart[g],
+			fanoutAt:  fanoutStart[g],
+			faninN:    uint16(faninN),
+			fanoutN:   uint16(fanoutN),
+			op:        op[g],
+		}
+	}
+	return cc
+}
+
+// compiledCacheMax bounds the process-wide compile cache. Test suites
+// churn through thousands of throwaway circuits; when the bound is
+// hit the cache is simply cleared — compiles are cheap relative to
+// any campaign, only re-compiling a hot circuit costs anything, and a
+// workload hot on >64 distinct circuits is already dominated by
+// simulation time.
+const compiledCacheMax = 64
+
+var compiledCache = struct {
+	sync.Mutex
+	m map[string]*Compiled
+}{m: make(map[string]*Compiled, 16)}
+
+// compiledFor returns the shared compiled form of c, keyed by the
+// circuit's canonical structural fingerprint — so engine workers and
+// dist requests that decode their own *circuit.Circuit copies of one
+// netlist all land on a single compile.
+func compiledFor(c *circuit.Circuit) *Compiled {
+	fp := c.Fingerprint()
+	compiledCache.Lock()
+	cc := compiledCache.m[fp]
+	compiledCache.Unlock()
+	if cc != nil {
+		return cc
+	}
+	// Compile outside the lock: a duplicate concurrent compile of the
+	// same circuit is idempotent and cheaper than serializing distinct
+	// circuits' compiles behind one mutex.
+	cc = Compile(c)
+	compiledCache.Lock()
+	if prior, ok := compiledCache.m[fp]; ok {
+		cc = prior // keep the first one so callers share one artifact
+	} else {
+		if len(compiledCache.m) >= compiledCacheMax {
+			compiledCache.m = make(map[string]*Compiled, 16)
+		}
+		compiledCache.m[fp] = cc
+	}
+	compiledCache.Unlock()
+	return cc
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/prng"
+)
+
+// applyBatch drives one 64-pattern batch through both kernels.
+func applyBatch(s *Simulator, lk *LegacyKernel, words []uint64) {
+	s.SetInputs(words)
+	s.Run()
+	lk.SetInputs(words)
+	lk.Run()
+}
+
+// TestCompiledMatchesLegacy is the differential suite: on every
+// generated benchmark circuit, the compiled kernel's good-machine
+// values and per-fault detection masks must equal the frozen pre-PR
+// kernel's, over the full uncollapsed fault universe.
+func TestCompiledMatchesLegacy(t *testing.T) {
+	for _, b := range gen.Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			c := b.Build()
+			u := fault.New(c)
+			s := NewSimulator(c)
+			lk := NewLegacyKernel(c)
+			rng := prng.New(2026)
+			words := make([]uint64, c.NumInputs())
+			for trial := 0; trial < 2; trial++ {
+				for i := range words {
+					words[i] = rng.Uint64()
+				}
+				applyBatch(s, lk, words)
+				for g := 0; g < c.NumGates(); g++ {
+					if s.Value(g) != lk.Value(g) {
+						t.Fatalf("good machine diverges at gate %d: compiled %x legacy %x",
+							g, s.Value(g), lk.Value(g))
+					}
+				}
+				fs := NewFaultSimulator(s)
+				for _, f := range u.All {
+					if got, want := fs.DetectWord(f), lk.DetectWord(f); got != want {
+						t.Fatalf("fault %v: compiled mask %x, legacy mask %x", f.Describe(c), got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledMatchesLegacyRandom repeats the differential check on
+// random circuits (odd fanins, dangling gates, XOR trees) that the
+// curated benchmarks do not cover.
+func TestCompiledMatchesLegacyRandom(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		c := randomCircuit(seed, 6, 40)
+		u := fault.New(c)
+		s := NewSimulator(c)
+		fs := NewFaultSimulator(s)
+		lk := NewLegacyKernel(c)
+		rng := prng.New(seed * 31)
+		words := make([]uint64, c.NumInputs())
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		applyBatch(s, lk, words)
+		for _, f := range u.All {
+			if got, want := fs.DetectWord(f), lk.DetectWord(f); got != want {
+				t.Fatalf("seed %d fault %v: compiled %x legacy %x", seed, f.Describe(c), got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledCacheShared: two independently built copies of one
+// netlist structure must land on one compiled artifact, and circuits
+// differing only in names must share it too.
+func TestCompiledCacheShared(t *testing.T) {
+	b, _ := gen.ByName("c880")
+	c1, c2 := b.Build(), b.Build()
+	if c1 == c2 {
+		t.Fatal("Build returned a shared circuit; the test needs independent copies")
+	}
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Fatal("independently built copies disagree on fingerprint")
+	}
+	if compiledFor(c1) != compiledFor(c2) {
+		t.Error("independently built copies did not share one compiled artifact")
+	}
+	other, _ := gen.ByName("c432")
+	if compiledFor(other.Build()) == compiledFor(c1) {
+		t.Error("different structures shared a compiled artifact")
+	}
+}
+
+// TestDetectWordZeroAllocs pins the steady-state allocation contract:
+// after a warm-up pass over the fault list, neither the good-machine
+// Run nor DetectWord may allocate.
+func TestDetectWordZeroAllocs(t *testing.T) {
+	b, _ := gen.ByName("c880")
+	c := b.Build()
+	faults := fault.New(c).Reps
+	s := NewSimulator(c)
+	fs := NewFaultSimulator(s)
+	rng := prng.New(7)
+	words := make([]uint64, c.NumInputs())
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	s.SetInputs(words)
+	s.Run()
+	for _, f := range faults { // warm the worklist buckets
+		fs.DetectWord(f)
+	}
+
+	if n := testing.AllocsPerRun(50, func() {
+		s.SetInputs(words)
+		s.Run()
+	}); n != 0 {
+		t.Errorf("Simulator.Run allocates %.1f times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		for _, f := range faults {
+			fs.DetectWord(f)
+		}
+	}); n != 0 {
+		t.Errorf("DetectWord allocates %.1f times per fault-list pass, want 0", n)
+	}
+}
+
+// kernelBenchSetup builds one warmed batch for a benchmark circuit.
+func kernelBenchSetup(b *testing.B, name string) (*circuit.Circuit, []fault.Fault, []uint64) {
+	b.Helper()
+	bm, ok := gen.ByName(name)
+	if !ok {
+		b.Fatalf("missing benchmark %s", name)
+	}
+	c := bm.Build()
+	faults := fault.New(c).Reps
+	rng := prng.New(1987)
+	words := make([]uint64, c.NumInputs())
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	return c, faults, words
+}
+
+// BenchmarkDetectWord measures the compiled detection kernel: one
+// iteration is a full fault-list pass against a fixed batch.
+func BenchmarkDetectWord(b *testing.B) {
+	for _, name := range []string{"c880", "c2670", "c6288"} {
+		b.Run(name, func(b *testing.B) {
+			c, faults, words := kernelBenchSetup(b, name)
+			s := NewSimulator(c)
+			fs := NewFaultSimulator(s)
+			s.SetInputs(words)
+			s.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range faults {
+					fs.DetectWord(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectWordLegacy is the identical measurement on the
+// frozen pre-PR kernel — the old-vs-new comparison of BENCH_sim.
+func BenchmarkDetectWordLegacy(b *testing.B) {
+	for _, name := range []string{"c880", "c2670", "c6288"} {
+		b.Run(name, func(b *testing.B) {
+			c, faults, words := kernelBenchSetup(b, name)
+			lk := NewLegacyKernel(c)
+			lk.SetInputs(words)
+			lk.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range faults {
+					lk.DetectWord(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGoodRun measures the compiled good-machine evaluation.
+func BenchmarkGoodRun(b *testing.B) {
+	c, _, words := kernelBenchSetup(b, "c6288")
+	s := NewSimulator(c)
+	s.SetInputs(words)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run()
+	}
+}
+
+// BenchmarkGoodRunLegacy measures the pre-PR good-machine evaluation.
+func BenchmarkGoodRunLegacy(b *testing.B) {
+	c, _, words := kernelBenchSetup(b, "c6288")
+	lk := NewLegacyKernel(c)
+	lk.SetInputs(words)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk.Run()
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+
+	"optirand/internal/circuit"
+	"optirand/internal/fault"
+)
+
+// LegacyKernel is the frozen pre-compile fault-simulation kernel: the
+// interpreter that walked circuit.Gate structs directly, with
+// per-gate closure evaluation and per-event Fanout/Level method
+// lookups. It is retained verbatim (modulo renaming) as the
+// differential-testing baseline and the reference point for the
+// BENCH_sim speedup trajectory — every production path runs on the
+// compiled kernel in sim.go. Do not grow it.
+type LegacyKernel struct {
+	c   *circuit.Circuit
+	val []uint64
+
+	fval    []uint64
+	fEpoch  []uint32
+	qEpoch  []uint32
+	epoch   uint32
+	buckets [][]int
+	touched []int
+}
+
+// NewLegacyKernel returns the pre-compile kernel for c: good machine
+// and fault propagation in one object.
+func NewLegacyKernel(c *circuit.Circuit) *LegacyKernel {
+	return &LegacyKernel{
+		c:       c,
+		val:     make([]uint64, c.NumGates()),
+		fval:    make([]uint64, c.NumGates()),
+		fEpoch:  make([]uint32, c.NumGates()),
+		qEpoch:  make([]uint32, c.NumGates()),
+		buckets: make([][]int, c.Depth()+1),
+	}
+}
+
+// SetInputs assigns all primary input words.
+func (lk *LegacyKernel) SetInputs(words []uint64) {
+	if len(words) != len(lk.c.Inputs) {
+		panic(fmt.Sprintf("sim: LegacyKernel.SetInputs: got %d words, want %d", len(words), len(lk.c.Inputs)))
+	}
+	for pos, w := range words {
+		lk.val[lk.c.Inputs[pos]] = w
+	}
+}
+
+// Run evaluates the good machine in topological order.
+func (lk *LegacyKernel) Run() {
+	for _, g := range lk.c.TopoOrder() {
+		gate := &lk.c.Gates[g]
+		if gate.Type == circuit.Input {
+			continue
+		}
+		lk.val[g] = legacyEvalWord(gate.Type, gate.Fanin, lk.val)
+	}
+}
+
+// Value returns the good-machine word on gate g.
+func (lk *LegacyKernel) Value(g int) uint64 { return lk.val[g] }
+
+// legacyEvalWord is the pre-compile good-machine gate switch.
+func legacyEvalWord(t circuit.GateType, fanin []int, val []uint64) uint64 {
+	switch t {
+	case circuit.Buf:
+		return val[fanin[0]]
+	case circuit.Not:
+		return ^val[fanin[0]]
+	case circuit.And, circuit.Nand:
+		w := ^uint64(0)
+		for _, f := range fanin {
+			w &= val[f]
+		}
+		if t == circuit.Nand {
+			return ^w
+		}
+		return w
+	case circuit.Or, circuit.Nor:
+		var w uint64
+		for _, f := range fanin {
+			w |= val[f]
+		}
+		if t == circuit.Nor {
+			return ^w
+		}
+		return w
+	case circuit.Xor, circuit.Xnor:
+		var w uint64
+		for _, f := range fanin {
+			w ^= val[f]
+		}
+		if t == circuit.Xnor {
+			return ^w
+		}
+		return w
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return ^uint64(0)
+	}
+	panic(fmt.Sprintf("sim: legacyEvalWord: unexpected gate type %v", t))
+}
+
+func (lk *LegacyKernel) value(g int) uint64 {
+	if lk.fEpoch[g] == lk.epoch {
+		return lk.fval[g]
+	}
+	return lk.val[g]
+}
+
+func (lk *LegacyKernel) enqueue(g int) {
+	if lk.qEpoch[g] != lk.epoch {
+		lk.qEpoch[g] = lk.epoch
+		lvl := lk.c.Level(g)
+		lk.buckets[lvl] = append(lk.buckets[lvl], g)
+	}
+}
+
+func (lk *LegacyKernel) setFaulty(g int, w uint64) {
+	if lk.fEpoch[g] != lk.epoch {
+		lk.fEpoch[g] = lk.epoch
+		lk.touched = append(lk.touched, g)
+	}
+	lk.fval[g] = w
+}
+
+// evalFaulty is the pre-compile faulty-machine gate switch, with its
+// original per-pin closure.
+func (lk *LegacyKernel) evalFaulty(g int, forcePin int, forceVal uint64) uint64 {
+	gate := &lk.c.Gates[g]
+	in := func(pin int) uint64 {
+		if pin == forcePin {
+			return forceVal
+		}
+		return lk.value(gate.Fanin[pin])
+	}
+	switch gate.Type {
+	case circuit.Buf:
+		return in(0)
+	case circuit.Not:
+		return ^in(0)
+	case circuit.And, circuit.Nand:
+		w := ^uint64(0)
+		for pin := range gate.Fanin {
+			w &= in(pin)
+		}
+		if gate.Type == circuit.Nand {
+			return ^w
+		}
+		return w
+	case circuit.Or, circuit.Nor:
+		var w uint64
+		for pin := range gate.Fanin {
+			w |= in(pin)
+		}
+		if gate.Type == circuit.Nor {
+			return ^w
+		}
+		return w
+	case circuit.Xor, circuit.Xnor:
+		var w uint64
+		for pin := range gate.Fanin {
+			w ^= in(pin)
+		}
+		if gate.Type == circuit.Xnor {
+			return ^w
+		}
+		return w
+	case circuit.Const0:
+		return 0
+	case circuit.Const1:
+		return ^uint64(0)
+	case circuit.Input:
+		return lk.val[g]
+	}
+	panic(fmt.Sprintf("sim: LegacyKernel.evalFaulty: unexpected gate type %v", gate.Type))
+}
+
+// DetectWord is the pre-compile detection kernel; semantically
+// identical to FaultSimulator.DetectWord by the differential suite.
+func (lk *LegacyKernel) DetectWord(f fault.Fault) uint64 {
+	lk.epoch++
+	if lk.epoch == 0 {
+		for i := range lk.fEpoch {
+			lk.fEpoch[i] = 0
+			lk.qEpoch[i] = 0
+		}
+		lk.epoch = 1
+	}
+	lk.touched = lk.touched[:0]
+
+	forced := uint64(0)
+	if f.Stuck == 1 {
+		forced = ^uint64(0)
+	}
+	if f.IsStem() {
+		g := f.Gate
+		if forced == lk.val[g] {
+			return 0
+		}
+		lk.setFaulty(g, forced)
+		for _, p := range lk.c.Fanout(g) {
+			lk.enqueue(p.Gate)
+		}
+	} else {
+		g := f.Gate
+		nv := lk.evalFaulty(g, f.Pin, forced)
+		if nv == lk.val[g] {
+			return 0
+		}
+		lk.setFaulty(g, nv)
+		for _, p := range lk.c.Fanout(g) {
+			lk.enqueue(p.Gate)
+		}
+	}
+
+	for lvl := 0; lvl < len(lk.buckets); lvl++ {
+		bucket := lk.buckets[lvl]
+		for _, g := range bucket {
+			if lk.fEpoch[g] == lk.epoch {
+				continue
+			}
+			nv := lk.evalFaulty(g, -1, 0)
+			if nv != lk.val[g] {
+				lk.setFaulty(g, nv)
+				for _, p := range lk.c.Fanout(g) {
+					lk.enqueue(p.Gate)
+				}
+			}
+		}
+		lk.buckets[lvl] = bucket[:0]
+	}
+
+	var detect uint64
+	for _, g := range lk.touched {
+		if lk.c.IsOutput(g) {
+			detect |= lk.fval[g] ^ lk.val[g]
+		}
+	}
+	return detect
+}

@@ -7,6 +7,13 @@
 // good-machine values and propagates only the difference cone of each
 // fault, which keeps per-fault cost proportional to the disturbed region
 // rather than the whole circuit.
+//
+// Both kernels run on a compiled circuit representation (see
+// compiled.go): CSR-packed fanin/fanout arrays, a levelized order, and
+// per-gate opcodes, built once per circuit structure and shared by
+// every simulator of that circuit. The hot loops are flat — no
+// closures, no per-event method lookups — and allocation-free in
+// steady state; compiled_test.go pins both properties.
 package sim
 
 import (
@@ -20,12 +27,21 @@ import (
 // a time.
 type Simulator struct {
 	c   *circuit.Circuit
+	cc  *Compiled
 	val []uint64
+	// runGen counts completed Run calls. Fault simulators use it to
+	// refresh their faulty-value mirrors lazily, once per batch.
+	runGen uint64
 }
 
 // NewSimulator returns a simulator for c with all values zero.
 func NewSimulator(c *circuit.Circuit) *Simulator {
-	return &Simulator{c: c, val: make([]uint64, c.NumGates())}
+	cc := compiledFor(c)
+	return &Simulator{
+		c:   c,
+		cc:  cc,
+		val: make([]uint64, cc.nGates),
+	}
 }
 
 // Circuit returns the simulated circuit.
@@ -34,250 +50,384 @@ func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
 // SetInputWord assigns the 64-pattern word of the primary input at
 // position pos (index into Circuit().Inputs).
 func (s *Simulator) SetInputWord(pos int, w uint64) {
-	s.val[s.c.Inputs[pos]] = w
+	s.val[s.cc.inputs[pos]] = w
 }
 
 // SetInputs assigns all primary input words. len(words) must equal the
 // number of primary inputs.
 func (s *Simulator) SetInputs(words []uint64) {
-	if len(words) != len(s.c.Inputs) {
-		panic(fmt.Sprintf("sim: SetInputs: got %d words, want %d", len(words), len(s.c.Inputs)))
+	if len(words) != len(s.cc.inputs) {
+		panic(fmt.Sprintf("sim: SetInputs: got %d words, want %d", len(words), len(s.cc.inputs)))
 	}
 	for pos, w := range words {
-		s.val[s.c.Inputs[pos]] = w
+		s.val[s.cc.inputs[pos]] = w
 	}
 }
 
 // Run evaluates every gate in topological order.
 func (s *Simulator) Run() {
-	for _, g := range s.c.TopoOrder() {
-		gate := &s.c.Gates[g]
-		if gate.Type == circuit.Input {
-			continue
-		}
-		s.val[g] = evalWord(gate.Type, gate.Fanin, s.val)
+	cc := s.cc
+	val := s.val
+	nodes := cc.nodes
+	for _, gi := range cc.order {
+		g := int(gi)
+		nd := &nodes[g]
+		val[g] = evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], val)
 	}
+	s.runGen++
 }
 
 // Value returns the 64-pattern word currently on gate g's output.
 func (s *Simulator) Value(g int) uint64 { return s.val[g] }
 
 // OutputWord returns the word of the i-th primary output.
-func (s *Simulator) OutputWord(i int) uint64 { return s.val[s.c.Outputs[i]] }
-
-// evalWord computes a gate function over 64 patterns. fanin values are
-// read from val.
-func evalWord(t circuit.GateType, fanin []int, val []uint64) uint64 {
-	switch t {
-	case circuit.Buf:
-		return val[fanin[0]]
-	case circuit.Not:
-		return ^val[fanin[0]]
-	case circuit.And, circuit.Nand:
-		w := ^uint64(0)
-		for _, f := range fanin {
-			w &= val[f]
-		}
-		if t == circuit.Nand {
-			return ^w
-		}
-		return w
-	case circuit.Or, circuit.Nor:
-		var w uint64
-		for _, f := range fanin {
-			w |= val[f]
-		}
-		if t == circuit.Nor {
-			return ^w
-		}
-		return w
-	case circuit.Xor, circuit.Xnor:
-		var w uint64
-		for _, f := range fanin {
-			w ^= val[f]
-		}
-		if t == circuit.Xnor {
-			return ^w
-		}
-		return w
-	case circuit.Const0:
-		return 0
-	case circuit.Const1:
-		return ^uint64(0)
-	}
-	panic(fmt.Sprintf("sim: evalWord: unexpected gate type %v", t))
-}
+func (s *Simulator) OutputWord(i int) uint64 { return s.val[s.cc.outputs[i]] }
 
 // FaultSimulator propagates single stuck-at faults against the current
-// good-machine state of an embedded Simulator.
+// good-machine state of an embedded Simulator. Several FaultSimulators
+// may share one Simulator: DetectWord only reads the good machine, so
+// as long as nothing mutates it concurrently (SetInputs/Run), shared
+// fault simulators may run DetectWord in parallel — the shared
+// good-machine campaign mode is built on exactly that.
 type FaultSimulator struct {
 	sim *Simulator
-	c   *circuit.Circuit
+	cc  *Compiled
 
-	fval    []uint64 // faulty value per gate, valid iff fEpoch == epoch
-	fEpoch  []uint32
-	qEpoch  []uint32 // queued-this-round marker
-	epoch   uint32
-	buckets [][]int // worklist bucketed by level
-	touched []int   // gates whose faulty value differs this round
+	// fval mirrors the good-machine values except on the gates of the
+	// current fault's difference cone (listed in touched). The mirror
+	// makes faulty gate evaluation identical to good evaluation — one
+	// indexed load per fanin, no per-fanin validity check — at the
+	// cost of an O(gates) copy once per batch (goodGen tracks it) and
+	// an O(cone) repair after each fault.
+	fval    []uint64
+	goodGen uint64 // sim.runGen the mirror was last refreshed at
+
+	// qEpoch[g] is the last round gate g was enqueued in — the
+	// worklist membership test, one generation counter instead of a
+	// clear-per-round bitmap.
+	qEpoch []uint32
+	epoch  uint32
+	// queue is the flat propagation worklist: level l's entries live
+	// in queue[levelStart[l] : levelStart[l]+qLen[l]]. Every level's
+	// segment is sized to its gate population (Compiled.levelStart),
+	// so enqueueing is a single indexed store.
+	queue   []int32
+	qLen    []int32
+	touched []int32 // gates whose faulty value differs this round
+	// pending counts enqueued-but-undrained gates; the drain walks
+	// levels upward until it reaches zero, so trailing empty levels
+	// are never scanned and no per-enqueue maximum is maintained.
+	pending int
+
+	// Forced-pin activation scratch for gates with duplicated drivers:
+	// identity fanin indices over gathered values, so even that rare
+	// path flows through the same evalGate truth source.
+	actIdx []int32
+	actVal []uint64
 }
 
 // NewFaultSimulator wraps a good-machine simulator. The caller drives
 // the good machine (SetInputs + Run) and then queries DetectWord per
 // fault for the same 64 patterns.
 func NewFaultSimulator(s *Simulator) *FaultSimulator {
-	c := s.Circuit()
-	return &FaultSimulator{
-		sim:     s,
-		c:       c,
-		fval:    make([]uint64, c.NumGates()),
-		fEpoch:  make([]uint32, c.NumGates()),
-		qEpoch:  make([]uint32, c.NumGates()),
-		buckets: make([][]int, c.Depth()+1),
+	cc := s.cc
+	fs := &FaultSimulator{
+		sim:    s,
+		cc:     cc,
+		fval:   make([]uint64, cc.nGates),
+		qEpoch: make([]uint32, cc.nGates),
+		queue:  make([]int32, cc.nGates),
+		qLen:   make([]int32, cc.depth+1),
+		actIdx: make([]int32, cc.maxFanin),
+		actVal: make([]uint64, cc.maxFanin),
 	}
+	for i := range fs.actIdx {
+		fs.actIdx[i] = int32(i)
+	}
+	// goodGen 0 == runGen 0 would skip the first refresh; force it.
+	fs.goodGen = ^uint64(0)
+	return fs
 }
 
 // Good returns the embedded good-machine simulator.
 func (fs *FaultSimulator) Good() *Simulator { return fs.sim }
 
-func (fs *FaultSimulator) value(g int) uint64 {
-	if fs.fEpoch[g] == fs.epoch {
-		return fs.fval[g]
+// enqueueFanout queues every observable consumer of gate g (the
+// compiled fanout CSR holds exactly those).
+func (fs *FaultSimulator) enqueueFanout(nd *gateNode) {
+	cc := fs.cc
+	epoch := fs.epoch
+	qEpoch, queue, qLen := fs.qEpoch, fs.queue, fs.qLen
+	n := 0
+	for _, p := range cc.fanout[nd.fanoutAt : nd.fanoutAt+int32(nd.fanoutN)] {
+		if qEpoch[p] == epoch {
+			continue // already queued this round
+		}
+		qEpoch[p] = epoch
+		ls := cc.nodes[p].levelSlot
+		lvl := int32(uint32(ls))
+		queue[int32(ls>>32)+qLen[lvl]] = p
+		qLen[lvl]++
+		n++
 	}
-	return fs.sim.val[g]
-}
-
-func (fs *FaultSimulator) enqueue(g int) {
-	if fs.qEpoch[g] != fs.epoch {
-		fs.qEpoch[g] = fs.epoch
-		lvl := fs.c.Level(g)
-		fs.buckets[lvl] = append(fs.buckets[lvl], g)
-	}
-}
-
-func (fs *FaultSimulator) setFaulty(g int, w uint64) {
-	if fs.fEpoch[g] != fs.epoch {
-		fs.fEpoch[g] = fs.epoch
-		fs.touched = append(fs.touched, g)
-	}
-	fs.fval[g] = w
-}
-
-// evalFaulty computes gate g's output in the faulty machine, with input
-// pin forcePin (if >= 0) forced to forceVal.
-func (fs *FaultSimulator) evalFaulty(g int, forcePin int, forceVal uint64) uint64 {
-	gate := &fs.c.Gates[g]
-	in := func(pin int) uint64 {
-		if pin == forcePin {
-			return forceVal
-		}
-		return fs.value(gate.Fanin[pin])
-	}
-	switch gate.Type {
-	case circuit.Buf:
-		return in(0)
-	case circuit.Not:
-		return ^in(0)
-	case circuit.And, circuit.Nand:
-		w := ^uint64(0)
-		for pin := range gate.Fanin {
-			w &= in(pin)
-		}
-		if gate.Type == circuit.Nand {
-			return ^w
-		}
-		return w
-	case circuit.Or, circuit.Nor:
-		var w uint64
-		for pin := range gate.Fanin {
-			w |= in(pin)
-		}
-		if gate.Type == circuit.Nor {
-			return ^w
-		}
-		return w
-	case circuit.Xor, circuit.Xnor:
-		var w uint64
-		for pin := range gate.Fanin {
-			w ^= in(pin)
-		}
-		if gate.Type == circuit.Xnor {
-			return ^w
-		}
-		return w
-	case circuit.Const0:
-		return 0
-	case circuit.Const1:
-		return ^uint64(0)
-	case circuit.Input:
-		return fs.sim.val[g] // inputs hold their applied word
-	}
-	panic(fmt.Sprintf("sim: evalFaulty: unexpected gate type %v", gate.Type))
+	fs.pending += n
 }
 
 // DetectWord returns the mask of patterns (bits) in the current 64-slot
 // batch that detect fault f: patterns where at least one primary output
 // differs between good and faulty machine. The good machine must have
-// been Run for the batch first.
+// been Run for the batch first. Allocation-free in steady state.
 func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
-	fs.epoch++
-	if fs.epoch == 0 { // uint32 wrap: invalidate all markers
-		for i := range fs.fEpoch {
-			fs.fEpoch[i] = 0
-			fs.qEpoch[i] = 0
-		}
-		fs.epoch = 1
+	cc := fs.cc
+	good := fs.sim.val
+	site := int32(f.Gate)
+	// The fault effect enters the circuit at the site gate's output
+	// (for a branch fault, the forced pin changes only that gate's own
+	// evaluation). If no primary output lies in its forward cone the
+	// effect is unobservable for every pattern — skip the propagation.
+	if !cc.reachesOut[site] {
+		return 0
 	}
+	if fs.goodGen != fs.sim.runGen {
+		copy(fs.fval, good)
+		fs.goodGen = fs.sim.runGen
+	}
+
 	fs.touched = fs.touched[:0]
+	fval := fs.fval
 
 	forced := uint64(0)
 	if f.Stuck == 1 {
 		forced = ^uint64(0)
 	}
+	var nv uint64
 	if f.IsStem() {
-		g := f.Gate
-		if forced == fs.sim.val[g] {
-			return 0 // fault never activated in this batch
-		}
-		fs.setFaulty(g, forced)
-		for _, p := range fs.c.Fanout(g) {
-			fs.enqueue(p.Gate)
-		}
+		nv = forced
 	} else {
-		g := f.Gate
-		nv := fs.evalFaulty(g, f.Pin, forced)
-		if nv == fs.sim.val[g] {
-			return 0
-		}
-		fs.setFaulty(g, nv)
-		for _, p := range fs.c.Fanout(g) {
-			fs.enqueue(p.Gate)
+		// Activation of a branch fault: evaluate the site gate with pin
+		// f.Pin forced. Nothing else of the faulty machine differs yet,
+		// so the mirror holds good-machine words everywhere — poking
+		// the driver's mirrored value forces exactly this pin, through
+		// the same evalGate call shape as propagation. A driver feeding
+		// the gate on several pins would leak onto its siblings, so
+		// those (rare, precompiled) gates gather operands instead.
+		g := int(site)
+		nd := &cc.nodes[g]
+		lo, hi := nd.faninAt, nd.faninAt+int32(nd.faninN)
+		if !cc.dupFanin[g] {
+			drv := cc.fanin[lo+int32(f.Pin)]
+			save := fval[drv]
+			fval[drv] = forced
+			nv = evalGate(nd.op, nd.inv, cc.fanin[lo:hi], fval)
+			fval[drv] = save
+		} else {
+			n := int(hi - lo)
+			for k := lo; k < hi; k++ {
+				fs.actVal[k-lo] = good[cc.fanin[k]]
+			}
+			fs.actVal[f.Pin] = forced
+			nv = evalGate(nd.op, nd.inv, fs.actIdx[:n], fs.actVal)
 		}
 	}
+	if nv == good[site] {
+		return 0 // fault never activated in this batch
+	}
+	var detect uint64
+	fval[site] = nv
+	fs.touched = append(fs.touched, site)
+	if cc.isOut[site] {
+		detect = nv ^ good[site]
+	}
 
-	// Propagate strictly in level order; every update flows forward.
-	for lvl := 0; lvl < len(fs.buckets); lvl++ {
-		bucket := fs.buckets[lvl]
-		for _, g := range bucket {
-			if fs.fEpoch[g] == fs.epoch {
-				continue // value already forced (fault site)
+	// Chain fast path: while the difference frontier stays narrow
+	// (see chase), follow it directly — level order is respected by
+	// construction and the worklist machinery is never engaged.
+	// Fanout-free chains and die-at-the-stem splits dominate these
+	// netlists, so most propagation resolves right here; the drain
+	// below also re-enters this path whenever its frontier narrows
+	// back to one gate.
+	frontier, second, live := fs.chase(&cc.nodes[site], good, &detect)
+
+	if live && detect != ^uint64(0) {
+		// The frontier fans out: fall back to levelized worklist
+		// propagation. Every update flows forward, so enqueues land
+		// only on levels above the one being drained (fanout edges
+		// strictly increase level) and a level's segment is complete —
+		// its count stable — by the time the loop reaches it. The
+		// drain walks upward until nothing is pending; everything
+		// enqueued is strictly downstream of the frontier, so the scan
+		// starts just above it, and no frontier gate can re-enter the
+		// queue (that would need a cycle).
+		fs.epoch++
+		if fs.epoch == 0 { // uint32 wrap: invalidate all queue markers
+			for i := range fs.qEpoch {
+				fs.qEpoch[i] = 0
 			}
-			nv := fs.evalFaulty(g, -1, 0)
-			if nv != fs.sim.val[g] {
-				fs.setFaulty(g, nv)
-				for _, p := range fs.c.Fanout(g) {
-					fs.enqueue(p.Gate)
+			fs.epoch = 1
+		}
+		fs.enqueueFanout(frontier)
+		if second != nil {
+			// A two-gate frontier: chase returns the lower-level node
+			// first, so the drain's start level covers both.
+			fs.enqueueFanout(second)
+		}
+		lvl := int32(uint32(frontier.levelSlot))
+		for fs.pending > 0 {
+			lvl++
+			n := fs.qLen[lvl]
+			if n == 0 {
+				continue
+			}
+			fs.qLen[lvl] = 0
+			fs.pending -= int(n)
+			base := cc.levelStart[lvl]
+			var last *gateNode
+			for _, gi := range fs.queue[base : base+n] {
+				g := int(gi)
+				nd := &cc.nodes[g]
+				nv := evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+				if nv != good[g] {
+					fval[g] = nv
+					fs.touched = append(fs.touched, gi)
+					if cc.isOut[g] {
+						detect |= nv ^ good[g]
+					}
+					fs.enqueueFanout(nd)
+					last = nd
 				}
 			}
+			// Once every pattern of the batch detects, propagating
+			// further cannot change the result: stop, discarding
+			// whatever is still queued.
+			if detect == ^uint64(0) {
+				for fs.pending > 0 {
+					lvl++
+					fs.pending -= int(fs.qLen[lvl])
+					fs.qLen[lvl] = 0
+				}
+				break
+			}
+			// Chain re-entry: if exactly one gate is pending and the
+			// last change has a single consumer, that consumer IS the
+			// pending gate (every enqueued-undrained gate is in the
+			// union of changed gates' consumers, which pending == 1
+			// collapses to one). Pop it without touching the worklist
+			// again and chase the chain; if the chase ends at a new
+			// fan-out point, resume the drain from its level.
+			if fs.pending == 1 && last != nil && last.fanoutN == 1 {
+				p := cc.fanout[last.fanoutAt]
+				nd := &cc.nodes[p]
+				pl := int32(uint32(nd.levelSlot))
+				fs.qLen[pl] = 0
+				fs.pending = 0
+				nv := evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+				if nv == good[p] {
+					break // the only live difference died
+				}
+				fval[p] = nv
+				fs.touched = append(fs.touched, p)
+				if cc.isOut[p] {
+					detect |= nv ^ good[p]
+				}
+				var alive bool
+				frontier, second, alive = fs.chase(nd, good, &detect)
+				if !alive || detect == ^uint64(0) {
+					break
+				}
+				fs.enqueueFanout(frontier)
+				if second != nil {
+					fs.enqueueFanout(second)
+				}
+				lvl = int32(uint32(frontier.levelSlot))
+			}
 		}
-		fs.buckets[lvl] = bucket[:0]
 	}
 
-	var detect uint64
-	for _, g := range fs.touched {
-		if fs.c.IsOutput(g) {
-			detect |= fs.fval[g] ^ fs.sim.val[g]
-		}
+	// Repair the mirror.
+	for _, gi := range fs.touched {
+		fval[gi] = good[gi]
 	}
 	return detect
+}
+
+// chase follows the difference frontier while it stays narrow: one
+// gate with one observable consumer (the fanout-free-chain case), or
+// one gate with two consumers of which at most one keeps the
+// difference alive (a stem whose other branch dies at a
+// non-sensitized gate — the dominant stem shape in these netlists).
+// Detections accumulate into *detect. It returns the one or two nodes
+// of the final frontier and whether the difference is still live;
+// callers must have applied the initial frontier's value to the
+// mirror already, and must fall back to worklist propagation when two
+// nodes return.
+func (fs *FaultSimulator) chase(frontier *gateNode, good []uint64, detect *uint64) (a, b *gateNode, live bool) {
+	cc := fs.cc
+	fval := fs.fval
+	// applyEval evaluates gate p against the mirror and applies a
+	// changed value, reporting whether the difference survived.
+	applyEval := func(p int32, nd *gateNode) bool {
+		nv := evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+		if nv == good[p] {
+			return false
+		}
+		fval[p] = nv
+		fs.touched = append(fs.touched, p)
+		if cc.isOut[p] {
+			*detect |= nv ^ good[p]
+		}
+		return true
+	}
+	for {
+		switch frontier.fanoutN {
+		case 0:
+			return frontier, nil, false // ran off the end of the cone
+		case 1:
+			p := cc.fanout[frontier.fanoutAt]
+			nd := &cc.nodes[p]
+			if !applyEval(p, nd) {
+				return frontier, nil, false // the only live difference died
+			}
+			frontier = nd
+		case 2:
+			p1, p2 := cc.fanout[frontier.fanoutAt], cc.fanout[frontier.fanoutAt+1]
+			if p1 == p2 {
+				// One consumer reading the stem on two pins.
+				nd := &cc.nodes[p1]
+				if !applyEval(p1, nd) {
+					return frontier, nil, false
+				}
+				frontier = nd
+				continue
+			}
+			n1, n2 := &cc.nodes[p1], &cc.nodes[p2]
+			if int32(uint32(n1.levelSlot)) > int32(uint32(n2.levelSlot)) {
+				p1, p2, n1, n2 = p2, p1, n2, n1
+			}
+			// Evaluating p2 here is sound only if none of its fanins
+			// can still change — i.e. nothing strictly downstream of
+			// p1 (level ≥ l1+1, excluding p1 itself) feeds it. That
+			// holds exactly when l2 ≤ l1+1; wider splits go to the
+			// levelized worklist, which re-settles everything in
+			// order.
+			if int32(uint32(n2.levelSlot)) > int32(uint32(n1.levelSlot))+1 {
+				return frontier, nil, true
+			}
+			// p2 may consume p1 itself, so p1 settles first (equal
+			// levels cannot feed each other).
+			ch1 := applyEval(p1, n1)
+			ch2 := applyEval(p2, n2)
+			switch {
+			case ch1 && ch2:
+				return n1, n2, true // genuine two-gate frontier
+			case ch1:
+				frontier = n1
+			case ch2:
+				frontier = n2
+			default:
+				return frontier, nil, false // both branches died
+			}
+		default:
+			return frontier, nil, true
+		}
+	}
 }

@@ -122,7 +122,8 @@ func copyWeightSets(sets [][]float64) [][]float64 {
 }
 
 // FromTask captures an engine task in wire form — the inline
-// spelling. Scheduling knobs (Task.SimWorkers) are intentionally
+// spelling. Scheduling knobs (Task.SimWorkers, Task.SimShards,
+// Task.GoodMachine) are intentionally
 // dropped: they cannot change the result, so they are not part of the
 // task's wire identity. Use ByRef to convert to the content-addressed
 // spelling.

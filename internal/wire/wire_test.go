@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"optirand/internal/engine"
 	"optirand/internal/fault"
 	"optirand/internal/gen"
 	"optirand/internal/sim"
@@ -414,5 +415,31 @@ func TestBuildRejectsCorruptWire(t *testing.T) {
 	badWeights.WeightSets = [][]float64{{0.5}}
 	if _, err := badWeights.Build(); err == nil {
 		t.Error("short weight set accepted")
+	}
+}
+
+// TestSchedulingKnobsExcludedFromIdentity: the engine's intra-campaign
+// scheduling knobs (fault-shard workers, pattern shards, good-machine
+// mode) cannot change results, so they must not change a task's
+// content address either.
+func TestSchedulingKnobsExcludedFromIdentity(t *testing.T) {
+	b, _ := gen.ByName("c432")
+	c := b.Build()
+	faults := fault.New(c).Reps
+	weights := make([]float64, c.NumInputs())
+	for i := range weights {
+		weights[i] = 0.5
+	}
+	task := &engine.Task{
+		Label: "plain", Circuit: c, Faults: faults,
+		WeightSets: [][]float64{weights}, Patterns: 128, Seed: 9,
+	}
+	knobbed := *task
+	knobbed.Label = "knobbed"
+	knobbed.SimWorkers = 8
+	knobbed.SimShards = 4
+	knobbed.GoodMachine = sim.GoodMachineShared
+	if FromTask(task).IdentityHash() != FromTask(&knobbed).IdentityHash() {
+		t.Fatal("scheduling knobs leaked into the task's wire identity")
 	}
 }

@@ -35,6 +35,8 @@ import (
 type Runner struct {
 	workers     int
 	simWorkers  int
+	simShards   int
+	goodMachine GoodMachineMode
 	cacheSize   int
 	maxAttempts int
 	seed        uint64
@@ -65,6 +67,24 @@ func WithWorkers(n int) Option { return func(r *Runner) { r.workers = n } }
 // Remote Runners ignore it — the daemon applies its own -simworkers
 // policy, which cannot change results either.
 func WithSimWorkers(n int) Option { return func(r *Runner) { r.simWorkers = n } }
+
+// WithSimShards shards each campaign's PATTERN stream into n
+// contiguous batch ranges simulated concurrently (<= 1 keeps the
+// stream unsharded; overrides WithSimWorkers when set) — the right
+// cut for small-fault/large-pattern campaigns, where fault shards
+// would be too narrow to pay for their duplicated good machines.
+// Per-fault first detections merge as the minimum across ranges, so
+// results are identical for every value. Remote Runners ignore it —
+// the daemon applies its own scheduling policy, which cannot change
+// results either.
+func WithSimShards(n int) Option { return func(r *Runner) { r.simShards = n } }
+
+// WithGoodMachine selects the good-machine strategy for fault-sharded
+// campaigns: replay per worker (the default), one shared good
+// simulation per batch (GoodMachineShared — a win on fanout-heavy
+// circuits), or an automatic cost-based pick (GoodMachineAuto).
+// Results are identical for every mode; remote Runners ignore it.
+func WithGoodMachine(m GoodMachineMode) Option { return func(r *Runner) { r.goodMachine = m } }
 
 // WithRemote executes campaigns, sweeps, and optimizations on an
 // optirandd service at addr (host:port or URL) instead of in-process.

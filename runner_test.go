@@ -111,7 +111,15 @@ func TestRunnerCrossBackendEquivalence(t *testing.T) {
 		"local-parallel-2":   optirand.NewRunner(optirand.WithWorkers(2)),
 		"local-parallel-3":   optirand.NewRunner(optirand.WithWorkers(3), optirand.WithSimWorkers(2)),
 		"local-parallel-max": optirand.NewRunner(optirand.WithWorkers(0)),
-		"dispatcher-cached":  optirand.NewRunner(optirand.WithWorkers(3), optirand.WithCache(64)),
+		// Intra-campaign scheduling of the compiled kernel: pattern
+		// ranges instead of fault shards, and the shared/auto
+		// good-machine modes — all bit-identical by construction.
+		"local-pattern-shards": optirand.NewRunner(optirand.WithWorkers(2), optirand.WithSimShards(3)),
+		"local-shared-goodmachine": optirand.NewRunner(
+			optirand.WithSimWorkers(3), optirand.WithGoodMachine(optirand.GoodMachineShared)),
+		"local-auto-goodmachine": optirand.NewRunner(
+			optirand.WithSimWorkers(2), optirand.WithGoodMachine(optirand.GoodMachineAuto)),
+		"dispatcher-cached": optirand.NewRunner(optirand.WithWorkers(3), optirand.WithCache(64)),
 		// The default remote transport interns circuits and fault
 		// lists by content address…
 		"remote-interned": optirand.NewRunner(

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"optirand/internal/engine"
+	"optirand/internal/sim"
 )
 
 // Re-exported engine types: a Task is one fully described
@@ -16,6 +17,23 @@ type (
 	Task = engine.Task
 	// TaskResult pairs a Task with its campaign outcome and wall time.
 	TaskResult = engine.TaskResult
+)
+
+// GoodMachineMode selects how fault-sharded campaigns obtain their
+// good-machine values (see WithGoodMachine). Every mode is
+// bit-identical to the serial campaign; the choice is purely a cost
+// trade.
+type GoodMachineMode = sim.GoodMachine
+
+const (
+	// GoodMachineReplay duplicates the good simulation per fault-shard
+	// worker (the default: zero synchronization).
+	GoodMachineReplay GoodMachineMode = sim.GoodMachineReplay
+	// GoodMachineShared runs one good simulation per 64-pattern batch
+	// and fans detection out across workers against it.
+	GoodMachineShared GoodMachineMode = sim.GoodMachineShared
+	// GoodMachineAuto picks between the two by a simple cost model.
+	GoodMachineAuto GoodMachineMode = sim.GoodMachineAuto
 )
 
 // PatternSource selects where a campaign's random patterns come from.
@@ -100,14 +118,16 @@ func (spec *CampaignSpec) task(r *Runner) (*Task, error) {
 		seed = r.seed
 	}
 	t := &Task{
-		Label:      spec.label(),
-		Circuit:    spec.Circuit,
-		Faults:     spec.Faults,
-		WeightSets: spec.Source.sets,
-		Patterns:   spec.Patterns,
-		Seed:       seed,
-		CurveStep:  spec.CurveStep,
-		SimWorkers: r.simWorkers,
+		Label:       spec.label(),
+		Circuit:     spec.Circuit,
+		Faults:      spec.Faults,
+		WeightSets:  spec.Source.sets,
+		Patterns:    spec.Patterns,
+		Seed:        seed,
+		CurveStep:   spec.CurveStep,
+		SimWorkers:  r.simWorkers,
+		SimShards:   r.simShards,
+		GoodMachine: r.goodMachine,
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
@@ -194,6 +214,8 @@ func (spec *SweepSpec) tasks(r *Runner) ([]*Task, error) {
 		Patterns:    spec.Patterns,
 		CurveStep:   spec.CurveStep,
 		SimWorkers:  r.simWorkers,
+		SimShards:   r.simShards,
+		GoodMachine: r.goodMachine,
 	}
 	for _, sc := range spec.Circuits {
 		ec := engine.SweepCircuit{
