@@ -4,14 +4,14 @@
 # good machine, concurrent PREPARE, the sweep orchestrator, the dist
 # queue/dispatcher/daemon) under the race detector; `make bench` runs
 # the Go benchmarks; `make parbench` / `make servebench` /
-# `make internbench` / `make simbench` emit the machine-readable
-# performance summaries BENCH_parallel.json / BENCH_service.json /
-# BENCH_intern.json / BENCH_sim.json; `make serve` starts the
-# optirandd HTTP daemon.
+# `make internbench` / `make simbench` / `make sweepbench` emit the
+# machine-readable performance summaries BENCH_parallel.json /
+# BENCH_service.json / BENCH_intern.json / BENCH_sim.json /
+# BENCH_sweep.json; `make serve` starts the optirandd HTTP daemon.
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench vet fmt clean
 
 all: build test
 
@@ -49,6 +49,9 @@ internbench:
 simbench:
 	$(GO) run ./cmd/benchgen -simbench
 
+sweepbench:
+	$(GO) run ./cmd/benchgen -sweepbench
+
 vet:
 	$(GO) vet ./...
 
@@ -57,4 +60,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json coverage.out coverage.txt
+	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json BENCH_sweep.json coverage.out coverage.txt

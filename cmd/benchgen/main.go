@@ -203,6 +203,8 @@ func main() {
 		internbench()
 	case *flagSimbench:
 		simbench()
+	case *flagSweepbench:
+		sweepbench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

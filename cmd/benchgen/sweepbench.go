@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"optirand"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+)
+
+var (
+	flagSweepbench = flag.Bool("sweepbench", false, "benchmark materialized vs streamed sweep generation memory and journal resume overhead, write a JSON summary")
+	flagSweepOut   = flag.String("sweepout", "BENCH_sweep.json", "sweepbench: summary output path")
+	flagSweepSizes = flag.String("sweepsizes", "10000,100000,1000000", "sweepbench: comma-separated grid sizes (tasks) for the generation-memory measurement")
+	flagSweepN     = flag.Int("sweepn", 256, "sweepbench: patterns per campaign in the execution and resume measurements")
+	flagSweepReps  = flag.Int("sweepreps", 16, "sweepbench: seeds per cell of the execution and resume grid")
+)
+
+// sweepGridPoint is the generation-memory record of one grid size:
+// what it costs to hold the whole task slice versus walking the same
+// grid through Sweep.EachTask with nothing retained.
+type sweepGridPoint struct {
+	Tasks int `json:"tasks"`
+	// MaterializedBytes is the heap growth retained while the
+	// Tasks() slice is alive; MaterializedAllocs the allocations the
+	// expansion performed.
+	MaterializedBytes   uint64  `json:"materialized_bytes"`
+	MaterializedAllocs  uint64  `json:"materialized_allocs"`
+	BytesPerTask        float64 `json:"materialized_bytes_per_task"`
+	StreamedBytes       uint64  `json:"streamed_bytes"`
+	StreamedAllocs      uint64  `json:"streamed_allocs"`
+	RetainedBytesRatio  float64 `json:"retained_bytes_ratio"` // materialized / max(streamed, 1)
+	StreamedTasksViewed int     `json:"streamed_tasks_viewed"`
+}
+
+// sweepResume is the journal-overhead record: the same grid run cold
+// with a journal attached (every result appended as it lands), then
+// replayed entirely from that journal by a fresh run.
+type sweepResume struct {
+	Tasks         int     `json:"tasks"`
+	Patterns      int     `json:"patterns"`
+	BareSeconds   float64 `json:"bare_seconds"`   // no journal
+	ColdSeconds   float64 `json:"cold_seconds"`   // journal attached, all misses
+	WriteOverhead float64 `json:"write_overhead"` // cold / bare
+	ReplaySeconds float64 `json:"replay_seconds"` // all journal hits, zero executions
+	ReplaySpeedup float64 `json:"replay_speedup"` // cold / replay
+	JournalBytes  int64   `json:"journal_bytes"`
+	BytesPerEntry float64 `json:"journal_bytes_per_entry"`
+	Identical     bool    `json:"identical_results"` // bare == cold == replay, byte for byte
+}
+
+// sweepSummary is the BENCH_sweep.json schema.
+type sweepSummary struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"numcpu"`
+	Seed       uint64           `json:"seed"`
+	Grid       []sweepGridPoint `json:"generation"`
+	Resume     sweepResume      `json:"resume"`
+}
+
+// sweepGenGrid builds a one-circuit sweep whose Repetitions dial
+// expands it to exactly n tasks — the million-point shape the
+// streaming seam exists for.
+func sweepGenGrid(seed uint64, n int) *engine.Sweep {
+	b, _ := optirand.BenchmarkByName("c432")
+	c := b.Build()
+	return &engine.Sweep{
+		BaseSeed:    seed,
+		Repetitions: n,
+		Patterns:    64,
+		Circuits: []engine.SweepCircuit{{
+			Name:    "c432",
+			Circuit: c,
+			Faults:  optirand.CollapsedFaults(c),
+			Weightings: []engine.Weighting{
+				{Name: "conventional", Sets: [][]float64{optirand.UniformWeights(c)}},
+			},
+		}},
+	}
+}
+
+// heapDelta runs fn between two GC-settled heap readings and reports
+// the retained-byte growth and the allocation count fn performed.
+func heapDelta(fn func()) (retained uint64, allocs uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		retained = after.HeapAlloc - before.HeapAlloc
+	}
+	return retained, after.Mallocs - before.Mallocs
+}
+
+// sweepbench measures the two costs the streaming-sweep work targets:
+// the memory a materialized task slice pins versus the EachTask
+// generator (per grid size), and what the sweep journal costs to
+// write and buys on resume.
+func sweepbench() {
+	const seed = 1987
+	summary := sweepSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+	}
+
+	// Generation memory: materialize the grid and hold it, then walk
+	// the identical grid through the generator retaining nothing.
+	for _, field := range strings.Split(*flagSweepSizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "benchgen: bad -sweepsizes entry %q\n", field)
+			os.Exit(2)
+		}
+		sweep := sweepGenGrid(seed, n)
+
+		var tasks []*engine.Task
+		matBytes, matAllocs := heapDelta(func() { tasks = sweep.Tasks() })
+		if len(tasks) != n {
+			fmt.Fprintf(os.Stderr, "benchgen: grid expanded to %d tasks, want %d\n", len(tasks), n)
+			os.Exit(1)
+		}
+		tasks = nil
+
+		viewed := 0
+		strBytes, strAllocs := heapDelta(func() {
+			if err := sweep.EachTask(func(i int, t *engine.Task) error {
+				viewed++
+				return nil
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+				os.Exit(1)
+			}
+		})
+
+		ratio := float64(matBytes)
+		if strBytes > 0 {
+			ratio = float64(matBytes) / float64(strBytes)
+		}
+		summary.Grid = append(summary.Grid, sweepGridPoint{
+			Tasks:               n,
+			MaterializedBytes:   matBytes,
+			MaterializedAllocs:  matAllocs,
+			BytesPerTask:        float64(matBytes) / float64(n),
+			StreamedBytes:       strBytes,
+			StreamedAllocs:      strAllocs,
+			RetainedBytesRatio:  ratio,
+			StreamedTasksViewed: viewed,
+		})
+	}
+
+	// Resume overhead: a modest grid run three ways — bare, cold with
+	// a journal attached, and replayed entirely from that journal.
+	ctx := context.Background()
+	backend := engine.Local{Workers: runtime.GOMAXPROCS(0)}
+	grid := sweepGenGrid(seed, *flagSweepReps)
+	grid.Patterns = *flagSweepN
+	nTasks := grid.NumTasks()
+
+	collect := func(opts dist.SourceOptions) ([]*optirand.CampaignResult, time.Duration) {
+		out := make([]*optirand.CampaignResult, nTasks)
+		start := time.Now()
+		err := dist.RunSource(ctx, backend, grid, opts, func(i int, r engine.TaskResult) {
+			out[i] = r.Campaign
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return out, time.Since(start)
+	}
+
+	bare, bareDur := collect(dist.SourceOptions{})
+
+	dir, err := os.MkdirTemp("", "sweepbench-journal-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	jpath := filepath.Join(dir, "sweep.journal")
+
+	openJournal := func() *dist.Journal {
+		j, err := dist.OpenJournal(jpath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		return j
+	}
+
+	j := openJournal()
+	cold, coldDur := collect(dist.SourceOptions{Journal: j})
+	j.Close()
+	fi, err := os.Stat(jpath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	j = openJournal()
+	replay, replayDur := collect(dist.SourceOptions{Journal: j})
+	j.Close()
+
+	summary.Resume = sweepResume{
+		Tasks:         nTasks,
+		Patterns:      *flagSweepN,
+		BareSeconds:   bareDur.Seconds(),
+		ColdSeconds:   coldDur.Seconds(),
+		WriteOverhead: coldDur.Seconds() / bareDur.Seconds(),
+		ReplaySeconds: replayDur.Seconds(),
+		ReplaySpeedup: coldDur.Seconds() / replayDur.Seconds(),
+		JournalBytes:  fi.Size(),
+		BytesPerEntry: float64(fi.Size()) / float64(nTasks),
+		Identical:     reflect.DeepEqual(bare, cold) && reflect.DeepEqual(bare, replay),
+	}
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*flagSweepOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sweepbench: wrote %s (%d grid sizes; resume replay %0.1fx over cold, journal %s)\n",
+		*flagSweepOut, len(summary.Grid), summary.Resume.ReplaySpeedup, byteCount(fi.Size()))
+}
+
+// byteCount renders n in binary units.
+func byteCount(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%0.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%0.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

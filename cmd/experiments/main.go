@@ -57,6 +57,7 @@ var (
 	flagSweepReps  = flag.Int("sweepreps", 5, "sweep: independently seeded campaigns per circuit × weighting cell")
 	flagRemote     = flag.String("remote", "", "optirandd address (host:port or URL); run campaign grids on the service instead of in-process")
 	flagRemoteTO   = flag.Duration("remotetimeout", 0, "per-request timeout against -remote (0 = none; grids are long requests by design)")
+	flagJournal    = flag.String("journal", "", "journal completed campaigns in this directory and resume from it: an interrupted experiment re-run replays finished grid cells instead of recomputing")
 )
 
 // runner executes every campaign grid of the experiments: one Runner,
@@ -79,6 +80,9 @@ func newRunner() *optirand.Runner {
 	}
 	if *flagRemote != "" {
 		opts = append(opts, optirand.WithRemote(*flagRemote), optirand.WithRemoteTimeout(*flagRemoteTO))
+	}
+	if *flagJournal != "" {
+		opts = append(opts, optirand.WithJournal(*flagJournal))
 	}
 	return optirand.NewRunner(opts...)
 }

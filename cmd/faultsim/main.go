@@ -57,6 +57,7 @@ var (
 	flagGoodM    = flag.String("goodmachine", "replay", "good-machine strategy for fault-sharded runs: replay, shared, or auto (results identical)")
 	flagRemote   = flag.String("remote", "", "optirandd address (host:port or URL); runs the campaign on the service instead of in-process")
 	flagRemoteTO = flag.Duration("remotetimeout", 0, "request timeout against -remote (0 = none; campaigns are long requests by design)")
+	flagJournal  = flag.String("journal", "", "journal completed results in this directory and resume from it: a re-run with identical parameters replays instead of recomputing")
 )
 
 func fatalf(format string, args ...any) {
@@ -115,6 +116,9 @@ func main() {
 	}
 	if *flagRemote != "" {
 		opts = append(opts, optirand.WithRemote(*flagRemote), optirand.WithRemoteTimeout(*flagRemoteTO))
+	}
+	if *flagJournal != "" {
+		opts = append(opts, optirand.WithJournal(*flagJournal))
 	}
 	r := optirand.NewRunner(opts...)
 	defer r.Close()

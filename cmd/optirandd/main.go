@@ -60,6 +60,7 @@ var (
 	flagSnapDirty  = flag.Int("cache-snapshot-dirty", 1, "minimum new results since the last snapshot for a -cache-snapshot tick to write")
 	flagBlobBytes  = flag.Int64("blob-bytes", 0, "content-addressed blob store byte budget (0 selects the default)")
 	flagRetries    = flag.Int("maxattempts", 3, "execution attempts per task before a batch fails")
+	flagJournal    = flag.String("journal", "", "journal every completed result in this directory and serve journaled tasks without re-executing, so a daemon restart resumes half-done sweeps")
 )
 
 func main() {
@@ -71,6 +72,7 @@ func main() {
 		CacheDir:         *flagCacheDir,
 		SnapshotInterval: *flagSnapshot,
 		SnapshotDirty:    *flagSnapDirty,
+		JournalDir:       *flagJournal,
 		BlobBytes:        *flagBlobBytes,
 		MaxAttempts:      *flagRetries,
 		Logf: func(format string, args ...any) {

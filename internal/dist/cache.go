@@ -184,7 +184,9 @@ func (c *Cache) Save(path string) error {
 // recency order and respecting the cache's own size bound (the
 // least-recent overflow is dropped). A missing file is not an error —
 // the daemon's first start has nothing to warm from — and returns 0.
-// Loaded entries are counted in Stats().Loaded.
+// The returned count (mirrored in Stats().Loaded) is the entries still
+// resident after the load — the warm set actually restored — not the
+// snapshot's size.
 func (c *Cache) Load(path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -204,14 +206,31 @@ func (c *Cache) Load(path string) (int, error) {
 	}
 	// Entries were saved most-recent-first; Put pushes to the front, so
 	// inserting in reverse reproduces the saved recency order exactly.
-	n := 0
-	for i := len(snap.Entries) - 1; i >= 0; i-- {
-		e := snap.Entries[i]
+	// A snapshot larger than this cache's bound is pre-trimmed to its
+	// most-recent entries: inserting the overflow would only churn it
+	// straight back out.
+	c.mu.Lock()
+	limit := c.max
+	c.mu.Unlock()
+	insert := snap.Entries
+	if len(insert) > limit {
+		insert = insert[:limit]
+	}
+	for i := len(insert) - 1; i >= 0; i-- {
+		e := insert[i]
 		res := e.Res
 		c.Put(e.Key, &res)
-		n++
 	}
+	// Report the warm set actually restored: only snapshot keys still
+	// resident count — concurrent Puts (or an undersized cache) may
+	// have evicted some before Load returns.
+	n := 0
 	c.mu.Lock()
+	for _, e := range insert {
+		if _, ok := c.items[e.Key]; ok {
+			n++
+		}
+	}
 	c.loaded += uint64(n)
 	c.mu.Unlock()
 	return n, nil

@@ -50,6 +50,12 @@ type Options struct {
 	// and stores every fresh result. Caches may be shared between
 	// dispatchers.
 	Cache *Cache
+	// Journal, if non-nil, is a second, persistent result tier behind
+	// the cache: tasks it already holds are served without executing
+	// (surviving process restarts, unlike the cache's bounded LRU), and
+	// every fresh result is appended as it completes — a restarted
+	// daemon resumes half-done sweeps instead of recomputing them.
+	Journal *Journal
 }
 
 // Dispatcher is a queue-backed engine.Backend: Run submits a batch to
@@ -70,6 +76,7 @@ type Dispatcher struct {
 	exec        Executor
 	q           *queue
 	cache       *Cache
+	journal     *Journal
 	maxAttempts int
 	wg          sync.WaitGroup
 
@@ -102,6 +109,7 @@ func NewDispatcher(exec Executor, opts Options) *Dispatcher {
 		exec:        exec,
 		q:           newQueue(),
 		cache:       opts.Cache,
+		journal:     opts.Journal,
 		maxAttempts: maxAttempts,
 		inflight:    make(map[string]*flight),
 	}
@@ -293,6 +301,11 @@ func (d *Dispatcher) process(it *workItem) {
 		// in between hits the cache instead of re-executing.
 		d.cache.Put(it.key, res)
 	}
+	if d.journal != nil {
+		// Durability is best-effort: an append failure is sticky in the
+		// journal and must not fail the execution that just succeeded.
+		_ = d.journal.Append(it.key, res)
+	}
 	elapsed := time.Since(start)
 	for i, w := range d.resolveFlight(it) {
 		r := res
@@ -406,6 +419,20 @@ func (d *Dispatcher) runEach(ctx context.Context, tasks []*engine.Task, fn func(
 		key := wire.FromTask(t).IdentityHash()
 		if d.cache != nil {
 			if res, ok := d.cache.Get(key); ok {
+				fn(i, engine.TaskResult{Task: t, Campaign: res}, true)
+				continue
+			}
+		}
+		if d.journal != nil {
+			// The journal is the persistent tier behind the LRU cache: a
+			// hit means some earlier process already ran this task. Get
+			// decodes a fresh copy per call, and a read failure simply
+			// demotes the task to execution — recomputing is always
+			// correct, replaying an unreadable record is not.
+			if res, ok, err := d.journal.Get(key); err == nil && ok {
+				if d.cache != nil {
+					d.cache.Put(key, res)
+				}
 				fn(i, engine.TaskResult{Task: t, Campaign: res}, true)
 				continue
 			}

@@ -22,6 +22,12 @@ import (
 // engine tasks (27 tasks over three generated circuits).
 func testTasks(t *testing.T) []*engine.Task {
 	t.Helper()
+	return testGrid(t).Tasks()
+}
+
+// testGrid is testTasks's grid in streamable (TaskSource) form.
+func testGrid(t *testing.T) *engine.Sweep {
+	t.Helper()
 	sweep := &engine.Sweep{
 		BaseSeed:    1987,
 		Repetitions: 3,
@@ -53,7 +59,7 @@ func testTasks(t *testing.T) []*engine.Task {
 			},
 		})
 	}
-	return sweep.Tasks()
+	return sweep
 }
 
 // campaigns projects results onto their deterministic payload.

@@ -1,0 +1,328 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"optirand/internal/sim"
+)
+
+// Journal is an append-only on-disk log of completed campaign results
+// keyed by task content address (wire identity hash) — the durability
+// half of resumable sweeps. As a sweep's results land they are
+// appended; a process that dies mid-sweep reopens the journal and
+// replays the journaled results instead of recomputing them, executing
+// only the residue. Because the key is the task's content address, a
+// journaled result is by construction byte-identical to what a fresh
+// execution would produce, so a resumed sweep merges bit-identically
+// with an uninterrupted one — and journals may be shared across sweeps
+// (a key from one sweep correctly answers the same task in another).
+//
+// # File format and crash tolerance
+//
+// The file is a magic+version header followed by self-contained
+// records: a 4-byte big-endian payload length, the payload (one
+// gob-encoded journalEntry per record, each with its own encoder so
+// records decode independently), and the payload's CRC-32. Appends are
+// single contiguous writes, so a crash mid-append leaves a short final
+// record: OpenJournal detects the torn tail and truncates the file to
+// the last whole record, losing at most the one result that was being
+// written. A record that is fully present but fails its CRC is not a
+// torn append — it is corruption, and OpenJournal rejects the file
+// rather than silently replaying damaged results.
+//
+// Appends go through the OS page cache without per-record fsync: a
+// process crash loses nothing (the kernel owns the pages), a machine
+// crash loses at most the unflushed tail, which the torn-record path
+// absorbs on reopen.
+//
+// The in-memory footprint is one index entry (key and file offset) per
+// record — results themselves stay on disk and are decoded on demand
+// by Get, so resuming a half-done million-task sweep does not load
+// half a million results into memory.
+//
+// A Journal is safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	index   map[string]recordPos
+	end     int64 // append offset
+	appends uint64
+	replays uint64
+	err     error // sticky append failure; Append reports it thereafter
+}
+
+// recordPos locates one record's payload inside the journal file.
+type recordPos struct {
+	off int64 // payload offset
+	n   int   // payload length
+}
+
+// journalEntry is the gob payload of one record.
+type journalEntry struct {
+	Key string
+	Res sim.CampaignResult
+}
+
+// journalMagic identifies (and versions) a journal file; a future
+// format change bumps the trailing version byte, and OpenJournal
+// rejects files it cannot have written.
+var journalMagic = []byte("optirand-journal\x01")
+
+// recordHeaderLen is the per-record framing overhead: the payload
+// length prefix plus the trailing CRC-32.
+const recordHeaderLen = 4
+
+// journalCRC is the record checksum (CRC-32/IEEE over the payload).
+func journalCRC(payload []byte) uint32 {
+	return crc32.ChecksumIEEE(payload)
+}
+
+// OpenJournal opens (creating if absent) the journal at path, scans
+// its records to rebuild the key index, truncates a torn final record
+// (the residue of a crash mid-append), and positions for appending.
+// A file with a foreign header or a corrupt interior record is
+// rejected — better to fail a resume loudly than to replay damage.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dist: open journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, index: make(map[string]recordPos)}
+	if err := j.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// scan reads the header and every record, building the index and
+// truncating a torn tail.
+func (j *Journal) scan() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("dist: journal %s: %w", j.path, err)
+	}
+	size := info.Size()
+	if size == 0 {
+		// Fresh file: stamp the header.
+		if _, err := j.f.WriteAt(journalMagic, 0); err != nil {
+			return fmt.Errorf("dist: journal %s: write header: %w", j.path, err)
+		}
+		j.end = int64(len(journalMagic))
+		return nil
+	}
+	header := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(io.NewSectionReader(j.f, 0, size), header); err != nil || !bytes.Equal(header, journalMagic) {
+		return fmt.Errorf("dist: journal %s: not an optirand journal (bad or truncated header)", j.path)
+	}
+	r := bufReaderAt{f: j.f, size: size}
+	off := int64(len(journalMagic))
+	for off < size {
+		var lenBuf [4]byte
+		if !r.read(off, lenBuf[:]) {
+			return j.truncateTail(off) // torn: length prefix incomplete
+		}
+		n := int64(binary.BigEndian.Uint32(lenBuf[:]))
+		payloadOff := off + 4
+		recEnd := payloadOff + n + recordHeaderLen
+		if recEnd > size || n == 0 {
+			return j.truncateTail(off) // torn: record extends past EOF
+		}
+		payload := make([]byte, n)
+		var crcBuf [4]byte
+		if !r.read(payloadOff, payload) || !r.read(payloadOff+n, crcBuf[:]) {
+			return j.truncateTail(off)
+		}
+		if binary.BigEndian.Uint32(crcBuf[:]) != journalCRC(payload) {
+			// The record is fully present yet damaged: corruption, not a
+			// torn append. Refuse to resume from it.
+			return fmt.Errorf("dist: journal %s: record at offset %d fails its checksum (journal corrupt)", j.path, off)
+		}
+		key, err := decodeJournalKey(payload)
+		if err != nil {
+			return fmt.Errorf("dist: journal %s: record at offset %d: %w", j.path, off, err)
+		}
+		if _, dup := j.index[key]; !dup {
+			// Equal keys hold equal results by the identity contract;
+			// the first record wins so Get never depends on append races.
+			j.index[key] = recordPos{off: payloadOff, n: int(n)}
+		}
+		off = recEnd
+	}
+	j.end = off
+	return nil
+}
+
+// truncateTail discards a torn final record so the journal ends on the
+// last whole entry.
+func (j *Journal) truncateTail(validEnd int64) error {
+	if err := j.f.Truncate(validEnd); err != nil {
+		return fmt.Errorf("dist: journal %s: truncate torn record: %w", j.path, err)
+	}
+	j.end = validEnd
+	return nil
+}
+
+// bufReaderAt wraps bounded ReadAt calls for the scan loop.
+type bufReaderAt struct {
+	f    *os.File
+	size int64
+}
+
+func (r bufReaderAt) read(off int64, dst []byte) bool {
+	if off+int64(len(dst)) > r.size {
+		return false
+	}
+	_, err := r.f.ReadAt(dst, off)
+	return err == nil
+}
+
+// decodeJournalKey extracts a record's key without retaining its
+// result (the scan keeps offsets, not payloads).
+func decodeJournalKey(payload []byte) (string, error) {
+	var e journalEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return "", fmt.Errorf("bad record payload: %w", err)
+	}
+	return e.Key, nil
+}
+
+// Len reports the number of distinct journaled results.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.index)
+}
+
+// Path reports the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Has reports whether key is journaled.
+func (j *Journal) Has(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.index[key]
+	return ok
+}
+
+// Get returns the journaled result for key, decoded fresh from disk —
+// every call yields an independent copy, so replayed results are as
+// immutable as cached ones. The error is non-nil only for an I/O or
+// decode failure on a record the open-time scan checksummed, i.e.
+// the file changed underneath us.
+func (j *Journal) Get(key string) (*sim.CampaignResult, bool, error) {
+	j.mu.Lock()
+	pos, ok := j.index[key]
+	if ok {
+		j.replays++
+	}
+	f := j.f
+	j.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	payload := make([]byte, pos.n)
+	if _, err := f.ReadAt(payload, pos.off); err != nil {
+		return nil, false, fmt.Errorf("dist: journal %s: read record: %w", j.path, err)
+	}
+	var e journalEntry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return nil, false, fmt.Errorf("dist: journal %s: decode record: %w", j.path, err)
+	}
+	return &e.Res, true, nil
+}
+
+// Append journals one completed result under its task content address.
+// The record is framed and written as one contiguous write, so a crash
+// leaves at most a torn tail the next OpenJournal truncates. Appending
+// an already-journaled key is a no-op (the existing record already
+// holds the identical bytes). A write failure is sticky: the journal
+// stops accepting appends and every later Append reports the original
+// error, but replay of what was journaled keeps working — durability
+// degrades, execution does not stop.
+func (j *Journal) Append(key string, res *sim.CampaignResult) error {
+	if res == nil {
+		return errors.New("dist: journal: nil result")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&journalEntry{Key: key, Res: *res}); err != nil {
+		return fmt.Errorf("dist: journal: encode record: %w", err)
+	}
+	payload := buf.Bytes()
+	rec := make([]byte, 0, 4+len(payload)+4)
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.BigEndian.AppendUint32(rec, journalCRC(payload))
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if _, ok := j.index[key]; ok {
+		return nil
+	}
+	if _, err := j.f.WriteAt(rec, j.end); err != nil {
+		j.err = fmt.Errorf("dist: journal %s: append: %w", j.path, err)
+		return j.err
+	}
+	j.index[key] = recordPos{off: j.end + 4, n: len(payload)}
+	j.end += int64(len(rec))
+	j.appends++
+	return nil
+}
+
+// Err reports the sticky append failure, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// JournalStats is a point-in-time journal counter snapshot. Entries is
+// the number of distinct journaled results, Appends the results
+// written by this process, Replays the Get hits served.
+type JournalStats struct {
+	Entries int    `json:"entries"`
+	Appends uint64 `json:"appends"`
+	Replays uint64 `json:"replays"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Stats snapshots the counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JournalStats{Entries: len(j.index), Appends: j.appends, Replays: j.replays}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Close releases the journal's file handle. Appended records are
+// already in the OS page cache; Close additionally syncs them so a
+// cleanly closed journal survives machine failure too.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	syncErr := j.f.Sync()
+	closeErr := j.f.Close()
+	j.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,483 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// journalResults runs the test grid serially and returns each task's
+// key and result.
+func journalResults(t *testing.T) ([]string, []*sim.CampaignResult) {
+	t.Helper()
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(tasks))
+	for i, task := range tasks {
+		keys[i] = wire.FromTask(task).IdentityHash()
+	}
+	return keys, campaigns(ref)
+}
+
+// TestJournalRoundTrip proves append → close → reopen → replay is
+// lossless and that replayed results are independent copies.
+func TestJournalRoundTrip(t *testing.T) {
+	keys, results := journalResults(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("fresh journal has %d entries", j.Len())
+	}
+	for i, key := range keys {
+		if err := j.Append(key, results[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != len(keys) {
+		t.Fatalf("reopened journal has %d entries, want %d", j.Len(), len(keys))
+	}
+	for i, key := range keys {
+		got, ok, err := j.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", i, ok, err)
+		}
+		if !reflect.DeepEqual(got, results[i]) {
+			t.Fatalf("entry %d replayed differently than appended", i)
+		}
+		// Mutating a replayed copy must not reach the journal.
+		got.Detected = ^got.Detected
+		again, _, _ := j.Get(key)
+		if !reflect.DeepEqual(again, results[i]) {
+			t.Fatalf("entry %d: replayed copies share state", i)
+		}
+	}
+	if _, ok, _ := j.Get("no-such-key"); ok {
+		t.Fatal("Get hit on an absent key")
+	}
+	st := j.Stats()
+	if st.Entries != len(keys) || st.Replays == 0 || st.Appends != 0 {
+		t.Fatalf("stats after reopen = %+v", st)
+	}
+}
+
+// TestJournalDuplicateAppend proves re-appending a journaled key is a
+// no-op: same byte length, same entry count.
+func TestJournalDuplicateAppend(t *testing.T) {
+	keys, results := journalResults(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(keys[0], results[0]); err != nil {
+		t.Fatal(err)
+	}
+	size := fileSize(t, path)
+	if err := j.Append(keys[0], results[1]); err != nil {
+		t.Fatal(err)
+	}
+	if fileSize(t, path) != size {
+		t.Fatal("duplicate append grew the journal")
+	}
+	if got, _, _ := j.Get(keys[0]); !reflect.DeepEqual(got, results[0]) {
+		t.Fatal("duplicate append replaced the first record")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// TestJournalTornFinalRecord proves a crash mid-append (a short final
+// record) is absorbed on reopen: the whole records survive, the torn
+// tail is truncated, and appending continues cleanly.
+func TestJournalTornFinalRecord(t *testing.T) {
+	keys, results := journalResults(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const whole = 5
+	for i := 0; i < whole+1; i++ {
+		if err := j.Append(keys[i], results[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final record at several depths: mid-CRC, mid-payload,
+	// and a lone half-written length prefix.
+	for _, cut := range []int64{3, 40, sizeOfRecord(t, path, whole) - 2} {
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		copyFile(t, path, torn)
+		if err := os.Truncate(torn, fileSize(t, path)-cut); err != nil {
+			t.Fatal(err)
+		}
+		j, err := OpenJournal(torn)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after torn append: %v", cut, err)
+		}
+		if j.Len() != whole {
+			t.Fatalf("cut=%d: %d entries survived, want %d", cut, j.Len(), whole)
+		}
+		for i := 0; i < whole; i++ {
+			got, ok, err := j.Get(keys[i])
+			if err != nil || !ok || !reflect.DeepEqual(got, results[i]) {
+				t.Fatalf("cut=%d: entry %d damaged by tail truncation", cut, i)
+			}
+		}
+		// The journal must accept appends again — the torn task simply
+		// re-executes and re-journals.
+		if err := j.Append(keys[whole], results[whole]); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j, err = OpenJournal(torn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Len() != whole+1 {
+			t.Fatalf("cut=%d: re-journaled entry lost on reopen", cut)
+		}
+		j.Close()
+	}
+}
+
+// sizeOfRecord walks the journal's framing to report record idx's full
+// on-disk size (length prefix + payload + CRC).
+func sizeOfRecord(t *testing.T, path string, idx int) int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(journalMagic))
+	for i := 0; ; i++ {
+		n := int64(data[off])<<24 | int64(data[off+1])<<16 | int64(data[off+2])<<8 | int64(data[off+3])
+		size := 4 + n + 4
+		if i == idx {
+			return size
+		}
+		off += size
+	}
+}
+
+func copyFile(t *testing.T, from, to string) {
+	t.Helper()
+	data, err := os.ReadFile(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(to, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCorruptionRejected proves damage that is not a torn tail
+// fails the open loudly instead of replaying bad results: a flipped
+// payload byte in an interior record, and a file that is not a journal
+// at all.
+func TestJournalCorruptionRejected(t *testing.T) {
+	keys, results := journalResults(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(keys[i], results[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(len(journalMagic)) + sizeOfRecord(t, path, 0) + 4 + 10
+	data[off] ^= 0xff
+	corrupt := filepath.Join(t.TempDir(), "corrupt.journal")
+	if err := os.WriteFile(corrupt, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(corrupt); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt journal opened: err = %v", err)
+	}
+
+	// A foreign file is rejected by its header.
+	foreign := filepath.Join(t.TempDir(), "foreign.journal")
+	if err := os.WriteFile(foreign, []byte("definitely not a journal, but long enough to read"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(foreign); err == nil || !strings.Contains(err.Error(), "not an optirand journal") {
+		t.Fatalf("foreign file opened as journal: err = %v", err)
+	}
+}
+
+// countingBackend wraps a Dispatcher over an executor that counts real
+// executions — the instrument for proving residue-only re-execution.
+func countingBackend(t *testing.T, executed *atomic.Int64) *Dispatcher {
+	t.Helper()
+	exec := func(ctx context.Context, task *engine.Task) (*sim.CampaignResult, error) {
+		executed.Add(1)
+		return LocalExecutor(ctx, task)
+	}
+	return NewDispatcher(exec, Options{Workers: 4})
+}
+
+// TestRunSourceJournalEquivalence proves a journaled streamed run is
+// bit-identical to the serial engine baseline across window sizes, and
+// that an immediate re-run replays everything without executing.
+func TestRunSourceJournalEquivalence(t *testing.T) {
+	grid := testGrid(t)
+	tasks := grid.Tasks()
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 4, len(tasks), 0} {
+		path := filepath.Join(t.TempDir(), "sweep.journal")
+		j, err := OpenJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var executed atomic.Int64
+		d := countingBackend(t, &executed)
+
+		got := make([]engine.TaskResult, grid.NumTasks())
+		err = RunSource(context.Background(), d, grid, SourceOptions{Window: window, Journal: j}, func(i int, r engine.TaskResult) {
+			got[i] = r
+		})
+		if err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+			t.Fatalf("window=%d: journaled streamed run differs from serial baseline", window)
+		}
+		if n := executed.Load(); n != int64(len(tasks)) {
+			t.Fatalf("window=%d: cold run executed %d of %d", window, n, len(tasks))
+		}
+
+		// Second pass over the same journal: pure replay.
+		executed.Store(0)
+		again := make([]engine.TaskResult, grid.NumTasks())
+		err = RunSource(context.Background(), d, grid, SourceOptions{Window: window, Journal: j}, func(i int, r engine.TaskResult) {
+			again[i] = r
+		})
+		d.Close()
+		if err != nil {
+			t.Fatalf("window=%d: replay run: %v", window, err)
+		}
+		if n := executed.Load(); n != 0 {
+			t.Fatalf("window=%d: replay run executed %d tasks", window, n)
+		}
+		if !reflect.DeepEqual(campaigns(ref), campaigns(again)) {
+			t.Fatalf("window=%d: replayed results differ from baseline", window)
+		}
+		for i, r := range again {
+			if r.Elapsed != 0 {
+				t.Fatalf("window=%d: replayed result %d has nonzero Elapsed", window, i)
+			}
+		}
+		j.Close()
+	}
+}
+
+// TestRunSourceKillAndResume is the crash-restart e2e: a sweep killed
+// mid-flight (context cancellation after a handful of deliveries) and
+// restarted against the reopened journal produces results
+// byte-identical to an uninterrupted run while re-executing only the
+// unjournaled residue.
+func TestRunSourceKillAndResume(t *testing.T) {
+	grid := testGrid(t)
+	tasks := grid.Tasks()
+	total := len(tasks)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First incarnation: die after 5 deliveries.
+	const killAfter = 5
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	d := countingBackend(t, &executed)
+	delivered := 0
+	err = RunSource(ctx, d, grid, SourceOptions{Window: 3, Journal: j}, func(int, engine.TaskResult) {
+		delivered++
+		if delivered == killAfter {
+			cancel()
+		}
+	})
+	cancel()
+	d.Close()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run: err = %v, want context.Canceled", err)
+	}
+	if delivered >= total {
+		t.Fatalf("killed run delivered all %d tasks", delivered)
+	}
+	// Simulate process death: the journal is abandoned without Close.
+	journaled := j.Len()
+	if journaled == 0 {
+		t.Fatal("nothing journaled before the kill")
+	}
+
+	// Second incarnation: reopen and resume.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer j2.Close()
+	if j2.Len() != journaled {
+		t.Fatalf("reopened journal has %d entries, first process wrote %d", j2.Len(), journaled)
+	}
+	executed.Store(0)
+	d2 := countingBackend(t, &executed)
+	defer d2.Close()
+	merged := make([]engine.TaskResult, total)
+	seen := 0
+	err = RunSource(context.Background(), d2, grid, SourceOptions{Window: 3, Journal: j2}, func(i int, r engine.TaskResult) {
+		merged[i] = r
+		seen++
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if seen != total {
+		t.Fatalf("resumed run delivered %d of %d", seen, total)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(merged)) {
+		t.Fatal("resumed results differ from an uninterrupted run")
+	}
+	// Only the residue executed.
+	if n := executed.Load(); n != int64(total-journaled) {
+		t.Fatalf("resume executed %d tasks, want exactly the residue %d", executed.Load(), total-journaled)
+	}
+	// Replayed slots carry zero Elapsed (the work predates this run).
+	replays := 0
+	for _, r := range merged {
+		if r.Elapsed == 0 {
+			replays++
+		}
+	}
+	if replays < journaled {
+		t.Fatalf("%d zero-Elapsed replays, want >= %d journaled", replays, journaled)
+	}
+}
+
+// TestDispatcherJournalTier proves the daemon-side integration: a
+// dispatcher restarted with the same journal serves the whole batch
+// from it — no executions — and reports the replays as cached.
+func TestDispatcherJournalTier(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed atomic.Int64
+	exec := func(ctx context.Context, task *engine.Task) (*sim.CampaignResult, error) {
+		executed.Add(1)
+		return LocalExecutor(ctx, task)
+	}
+
+	d := NewDispatcher(exec, Options{Workers: 4, Journal: j})
+	got, err := d.Run(context.Background(), tasks)
+	d.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+		t.Fatal("journaling dispatcher differs from engine.Run")
+	}
+	if n := executed.Load(); n != int64(len(tasks)) {
+		t.Fatalf("cold dispatcher executed %d of %d", n, len(tasks))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart the daemon": fresh dispatcher, no cache, reopened journal.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	executed.Store(0)
+	d2 := NewDispatcher(exec, Options{Workers: 4, Journal: j2})
+	defer d2.Close()
+	fromJournal := 0
+	merged := make([]engine.TaskResult, len(tasks))
+	err = d2.RunEachCached(context.Background(), tasks, func(i int, r engine.TaskResult, cached bool) {
+		merged[i] = r
+		if cached {
+			fromJournal++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n != 0 {
+		t.Fatalf("restarted dispatcher executed %d tasks despite a full journal", n)
+	}
+	if fromJournal != len(tasks) {
+		t.Fatalf("%d of %d deliveries marked cached", fromJournal, len(tasks))
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(merged)) {
+		t.Fatal("journal-served results differ from baseline")
+	}
+	if st := j2.Stats(); st.Replays == 0 {
+		t.Fatalf("journal stats show no replays: %+v", st)
+	}
+}

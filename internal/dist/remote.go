@@ -26,6 +26,9 @@ import (
 // campaigns are long requests by design, so the right bound grows
 // with grid size (0 disables the timeout entirely — the CLIs' -remote
 // paths do that and leave interruption to context cancellation).
+// Streaming sweeps (SweepEach) are exempt from the whole-exchange
+// reading of Timeout — a stream is as long as its grid — and treat it
+// as a per-event inactivity bound instead; see SweepEach.
 //
 // # Transport negotiation
 //
@@ -105,7 +108,13 @@ func isUnresolvedRef(err error) bool {
 // the size threshold, and every response updates the gzip capability.
 // The caller owns the response body.
 func (cl *Client) do(ctx context.Context, method, path string, body []byte, header http.Header) (*http.Response, error) {
-	httpClient := cl.HTTP
+	return cl.doWith(ctx, cl.HTTP, method, path, body, header)
+}
+
+// doWith is do over an explicit http.Client — the seam that lets
+// streaming requests run on a variant of cl.HTTP without its
+// whole-exchange Timeout.
+func (cl *Client) doWith(ctx context.Context, httpClient *http.Client, method, path string, body []byte, header http.Header) (*http.Response, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
@@ -384,15 +393,24 @@ func (cl *Client) Sweep(ctx context.Context, tasks []*engine.Task) (results []*s
 
 // SweepEach runs a task batch as one streaming request: fn observes
 // each task's result as the daemon completes it (cache hits first,
-// then completion order), with its request index and cache
-// temperature — the network half of engine.StreamBackend.RunEach. fn
-// is called serially from the calling goroutine; collecting by index
-// reproduces Sweep's positional slice exactly. Against a daemon that
-// does not stream (an older build answering plain JSON), every result
-// is delivered when the batch response lands, with cache temperatures
-// unknown (reported false). cacheHits counts cache-served tasks
-// either way.
-func (cl *Client) SweepEach(ctx context.Context, tasks []*engine.Task, fn func(i int, res *sim.CampaignResult, cached bool)) (cacheHits int, err error) {
+// then completion order), with its request index, cache temperature,
+// and the task's own service-side execution time (zero for cache hits
+// and for daemons too old to report it) — the network half of
+// engine.StreamBackend.RunEach. fn is called serially from the calling
+// goroutine; collecting by index reproduces Sweep's positional slice
+// exactly. Against a daemon that does not stream (an older build
+// answering plain JSON), every result is delivered when the batch
+// response lands, with cache temperatures unknown (reported false).
+// cacheHits counts cache-served tasks either way.
+//
+// The HTTP client's Timeout does not bound the whole stream — a sweep
+// is as long as its grid, and a fixed exchange deadline would truncate
+// large batches mid-stream. Instead it bounds inactivity: the request
+// runs on a timeout-free variant of cl.HTTP, and the stream fails —
+// naming the deadline as the cause — only when no event arrives for a
+// whole Timeout. A stream making progress lives forever; a stalled one
+// fails within Timeout.
+func (cl *Client) SweepEach(ctx context.Context, tasks []*engine.Task, fn func(i int, res *sim.CampaignResult, cached bool, elapsed time.Duration)) (cacheHits int, err error) {
 	err = cl.withReupload(func(bool) error {
 		var err error
 		cacheHits, err = cl.sweepEachOnce(ctx, tasks, fn)
@@ -401,21 +419,64 @@ func (cl *Client) SweepEach(ctx context.Context, tasks []*engine.Task, fn func(i
 	return cacheHits, err
 }
 
-func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn func(i int, res *sim.CampaignResult, cached bool)) (int, error) {
+// streamHTTP returns cl.HTTP minus its whole-exchange Timeout (same
+// Transport, so the connection pool is shared), plus that timeout for
+// the caller to repurpose as the stream's inactivity bound.
+func (cl *Client) streamHTTP() (*http.Client, time.Duration) {
+	base := cl.HTTP
+	if base == nil {
+		base = http.DefaultClient
+	}
+	if base.Timeout == 0 {
+		return base, 0
+	}
+	c := *base
+	c.Timeout = 0
+	return &c, base.Timeout
+}
+
+func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn func(i int, res *sim.CampaignResult, cached bool, elapsed time.Duration)) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
+	// Streamed sweeps outlive any fixed exchange deadline, so the
+	// configured Timeout becomes an inactivity watchdog instead: armed
+	// before the request, re-armed on every event, firing by cancelling
+	// the request with a cause that names the deadline. streamCause
+	// translates the resulting transport error back into that cause so
+	// a stalled stream fails with "no event within X", not a cryptic
+	// "context canceled" — while a genuine caller cancellation (the
+	// parent context) passes through untouched.
+	httpClient, stall := cl.streamHTTP()
+	var watchdog *time.Timer
+	streamCause := func(err error) error { return err }
+	if stall > 0 {
+		sctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		stallErr := fmt.Errorf("dist: sweep stream: no event within %v (inactivity deadline; stream stalled)", stall)
+		watchdog = time.AfterFunc(stall, func() { cancel(stallErr) })
+		defer watchdog.Stop()
+		ctx = sctx
+		streamCause = func(err error) error {
+			if err != nil && errors.Is(context.Cause(sctx), stallErr) {
+				return stallErr
+			}
+			return err
+		}
+	}
+
 	req := wire.SweepRequest{V: wire.Version, Tasks: cl.internTasks(ctx, tasks)}
 	body, err := wire.JSON.Marshal(&req)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := cl.do(ctx, http.MethodPost, "/v1/sweep", body, http.Header{
+	resp, err := cl.doWith(ctx, httpClient, http.MethodPost, "/v1/sweep", body, http.Header{
 		"Content-Type": []string{"application/json"},
 		"Accept":       []string{ndjsonContentType},
 	})
 	if err != nil {
-		return 0, err
+		return 0, streamCause(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -449,7 +510,7 @@ func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn fu
 			if err != nil {
 				return 0, err
 			}
-			fn(i, res, false)
+			fn(i, res, false, 0)
 		}
 		return out.CacheHits, nil
 	}
@@ -462,14 +523,21 @@ func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn fu
 		// whole stream may already sit in the decoder's buffer, and a
 		// cancelled caller must still stop receiving promptly.
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, streamCause(err)
 		}
 		var ev wire.SweepEvent
 		if err := dec.Decode(&ev); err != nil {
+			if cause := streamCause(err); cause != err {
+				return 0, cause
+			}
 			if err == io.EOF {
 				return 0, fmt.Errorf("dist: sweep stream ended after %d of %d results without a trailer", delivered, len(tasks))
 			}
 			return 0, fmt.Errorf("dist: sweep stream: %w", err)
+		}
+		if watchdog != nil {
+			// An event arrived: the stream is alive, re-arm the bound.
+			watchdog.Reset(stall)
 		}
 		if err := wire.CheckVersion(ev.V); err != nil {
 			return 0, err
@@ -497,7 +565,7 @@ func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn fu
 				return 0, err
 			}
 			delivered++
-			fn(ev.Index, res, ev.Cached)
+			fn(ev.Index, res, ev.Cached, time.Duration(ev.ElapsedNS))
 		}
 	}
 }
@@ -586,9 +654,12 @@ func (s Service) RunEach(ctx context.Context, tasks []*engine.Task, fn func(i in
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	start := time.Now()
-	_, err := s.Client.SweepEach(ctx, tasks, func(i int, res *sim.CampaignResult, _ bool) {
-		fn(i, engine.TaskResult{Task: tasks[i], Campaign: res, Elapsed: time.Since(start)})
+	// Elapsed is the task's own service-side execution time, carried
+	// per event — not time since the batch started — matching what
+	// Local and Dispatcher report. Cache hits and pre-ElapsedNS daemons
+	// report zero.
+	_, err := s.Client.SweepEach(ctx, tasks, func(i int, res *sim.CampaignResult, _ bool, elapsed time.Duration) {
+		fn(i, engine.TaskResult{Task: tasks[i], Campaign: res, Elapsed: elapsed})
 	})
 	if err != nil && ctx.Err() != nil {
 		// The transport error is the symptom; the cancellation is the

@@ -42,6 +42,10 @@ const ndjsonContentType = "application/x-ndjson"
 // ServerOptions.CacheDir.
 const cacheSnapshotFile = "results.gob"
 
+// journalFile is the sweep-journal filename inside
+// ServerOptions.JournalDir (and a Runner's WithJournal directory).
+const journalFile = "sweep.journal"
+
 // ServerOptions configures the service daemon.
 type ServerOptions struct {
 	// Workers is the size of the shared campaign worker fleet
@@ -71,6 +75,16 @@ type ServerOptions struct {
 	// SnapshotDirty is the minimum number of new results that makes a
 	// snapshot tick write (default 1 — any change persists).
 	SnapshotDirty int
+	// JournalDir, when non-empty, journals every completed result to
+	// JournalDir/sweep.journal (append-only, content-addressed) and
+	// serves journaled tasks without re-executing — so a restarted
+	// daemon resumes half-done sweeps from disk rather than recomputing
+	// them. Unlike the cache snapshot (a bounded LRU written
+	// periodically), the journal is unbounded and written per result. A
+	// torn final record (crash mid-append) is truncated and absorbed on
+	// open; a corrupt journal is refused — the daemon logs it and runs
+	// without resume rather than replaying damage.
+	JournalDir string
 	// BlobBytes bounds the content-addressed blob store backing
 	// /v1/blobs (<= 0 selects DefaultBlobStoreBytes).
 	BlobBytes int64
@@ -103,11 +117,12 @@ type ServerOptions struct {
 // X-Optirand-Cache response header reports "hit" when a campaign was
 // served entirely from cache.
 type Server struct {
-	opts  ServerOptions
-	disp  *Dispatcher
-	cache *Cache
-	blobs *BlobStore
-	mux   *http.ServeMux
+	opts    ServerOptions
+	disp    *Dispatcher
+	cache   *Cache
+	blobs   *BlobStore
+	journal *Journal
+	mux     *http.ServeMux
 	// optSem bounds concurrent /v1/optimize runs to the fleet size:
 	// optimization is the most expensive procedure in the system and
 	// runs on request goroutines, so without the bound N clients would
@@ -137,14 +152,29 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	var journal *Journal
+	if opts.JournalDir != "" {
+		if err := os.MkdirAll(opts.JournalDir, 0o755); err != nil {
+			opts.Logf("journal dir %s unusable, resume disabled: %v", opts.JournalDir, err)
+		} else if j, err := OpenJournal(filepath.Join(opts.JournalDir, journalFile)); err != nil {
+			opts.Logf("journal unusable, resume disabled: %v", err)
+		} else {
+			journal = j
+			if n := j.Len(); n > 0 {
+				opts.Logf("resuming from %d journaled results in %s", n, j.Path())
+			}
+		}
+	}
 	s := &Server{
-		opts:  opts,
-		cache: cache,
-		blobs: NewBlobStore(opts.BlobBytes),
+		opts:    opts,
+		cache:   cache,
+		blobs:   NewBlobStore(opts.BlobBytes),
+		journal: journal,
 		disp: NewDispatcher(LocalExecutor, Options{
 			Workers:     opts.Workers,
 			MaxAttempts: opts.MaxAttempts,
 			Cache:       cache,
+			Journal:     journal,
 		}),
 		mux:    http.NewServeMux(),
 		optSem: make(chan struct{}, opts.Workers),
@@ -226,6 +256,11 @@ func (s *Server) Close() {
 			s.snapWG.Wait()
 		}
 		s.disp.Close()
+		if s.journal != nil {
+			if err := s.journal.Close(); err != nil {
+				s.opts.Logf("journal not cleanly closed: %v", err)
+			}
+		}
 		if s.cache != nil && s.opts.CacheDir != "" {
 			path := filepath.Join(s.opts.CacheDir, cacheSnapshotFile)
 			if err := s.cache.Save(path); err != nil {
@@ -498,10 +533,11 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, tasks []*en
 			cacheHits++
 		}
 		enc.emit(&wire.SweepEvent{
-			V:      wire.Version,
-			Index:  i,
-			Result: wire.FromCampaign(res.Campaign),
-			Cached: cached,
+			V:         wire.Version,
+			Index:     i,
+			Result:    wire.FromCampaign(res.Campaign),
+			Cached:    cached,
+			ElapsedNS: res.Elapsed.Nanoseconds(),
 		})
 	})
 	switch {
@@ -580,9 +616,11 @@ type statsResponse struct {
 	// snapshots — periodic and shutdown alike — are counted in
 	// cache.persists.
 	SnapshotInterval string           `json:"snapshot_interval,omitempty"`
+	JournalDir       string           `json:"journal_dir,omitempty"`
 	Cache            *CacheStats      `json:"cache,omitempty"`
 	Blobs            *BlobStats       `json:"blobs,omitempty"`
 	Dispatcher       *DispatcherStats `json:"dispatcher,omitempty"`
+	Journal          *JournalStats    `json:"journal,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -603,5 +641,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Blobs = &bst
 	dst := s.disp.Stats()
 	resp.Dispatcher = &dst
+	if s.journal != nil {
+		resp.JournalDir = s.opts.JournalDir
+		jst := s.journal.Stats()
+		resp.Journal = &jst
+	}
 	respond(w, r, &resp)
 }

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"context"
+
+	"optirand/internal/engine"
+	"optirand/internal/wire"
+)
+
+// SourceOptions configures RunSource.
+type SourceOptions struct {
+	// Window bounds how many tasks are materialized and in flight at
+	// once (<= 0 selects engine.DefaultSourceWindow).
+	Window int
+	// Journal, if non-nil, makes the run resumable: tasks whose content
+	// address is already journaled are replayed through fn without
+	// executing, and every freshly executed result is appended as it
+	// lands — so a killed run restarted with the same journal executes
+	// only the residue.
+	Journal *Journal
+}
+
+// RunSource executes a streamed task source on b in bounded windows,
+// optionally journaling for resumability. It preserves engine.RunSource's
+// contracts — positional indices, bit-identical-to-serial campaigns,
+// validate-the-whole-source-before-running — and adds the journal
+// consult per task: a hit is delivered immediately (with zero Elapsed,
+// like a cache hit — the work happened in some earlier process), a
+// miss joins the current window. Windows therefore hold only residue,
+// so a mostly-journaled million-task resume submits almost nothing.
+//
+// A journal append failure does not stop the run (the journal's sticky
+// error is inspectable via Journal.Err); a journal read failure does —
+// replaying a result we cannot read would break the byte-identity
+// contract.
+func RunSource(ctx context.Context, b engine.Backend, src engine.TaskSource, opts SourceOptions, fn func(i int, r engine.TaskResult)) error {
+	window := opts.Window
+	if window <= 0 {
+		window = engine.DefaultSourceWindow
+	}
+	if opts.Journal == nil {
+		return engine.RunSource(ctx, b, src, window, fn)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Validate the entire source up front, as every backend does for a
+	// materialized batch: a malformed grid cell fails the sweep before
+	// any campaign runs (or any journal record is written). Generation
+	// is cheap struct assembly, so this streaming pass costs no memory.
+	if err := src.EachTask(func(_ int, t *engine.Task) error { return t.Validate() }); err != nil {
+		return err
+	}
+
+	j := opts.Journal
+	sb, streaming := b.(engine.StreamBackend)
+	// The current window's residue: tasks plus their original source
+	// indices and content addresses, in parallel.
+	buf := make([]*engine.Task, 0, window)
+	idxs := make([]int, 0, window)
+	keys := make([]string, 0, window)
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		deliver := func(k int, r engine.TaskResult) {
+			// Journal before handing the result to fn: if fn panics or
+			// the process dies right after, the completed work is on
+			// disk. Append errors are sticky in the journal and must
+			// not fail a long sweep mid-flight.
+			_ = j.Append(keys[k], r.Campaign)
+			fn(idxs[k], r)
+		}
+		if streaming {
+			if err := sb.RunEach(ctx, buf, deliver); err != nil {
+				return err
+			}
+		} else {
+			results, err := b.Run(ctx, buf)
+			if err != nil {
+				return err
+			}
+			for k, r := range results {
+				deliver(k, r)
+			}
+		}
+		buf, idxs, keys = buf[:0], idxs[:0], keys[:0]
+		return nil
+	}
+
+	err := src.EachTask(func(i int, t *engine.Task) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		key := wire.FromTask(t).IdentityHash()
+		res, ok, jerr := j.Get(key)
+		if jerr != nil {
+			return jerr
+		}
+		if ok {
+			fn(i, engine.TaskResult{Task: t, Campaign: res})
+			return nil
+		}
+		buf = append(buf, t)
+		idxs = append(idxs, i)
+		keys = append(keys, key)
+		if len(buf) == window {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
+}

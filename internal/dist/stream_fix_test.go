@@ -1,0 +1,250 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// fakeStreamDaemon is an httptest daemon whose /v1/sweep handler is
+// fully scripted — the instrument for pinning wire-level client
+// behavior (event timing fields, stream pacing) that a real server
+// cannot produce deterministically.
+func fakeStreamDaemon(t *testing.T, handler func(w http.ResponseWriter, n int)) *Client {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" {
+			http.NotFound(w, r)
+			return
+		}
+		var req wire.SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", ndjsonContentType)
+		handler(w, len(req.Tasks))
+	}))
+	t.Cleanup(ts.Close)
+	cl := NewClient(ts.URL)
+	cl.DisableIntern = true
+	return cl
+}
+
+// emitEvent writes one NDJSON event and flushes it to the peer.
+func emitEvent(w http.ResponseWriter, ev *wire.SweepEvent) {
+	json.NewEncoder(w).Encode(ev) //nolint:errcheck
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestServiceRunEachPerTaskElapsed pins the streamed-task timing fix:
+// each delivered TaskResult carries the task's own service-side
+// execution time from the event's elapsed_ns — not time since the
+// batch started, which grew monotonically with stream position.
+func TestServiceRunEachPerTaskElapsed(t *testing.T) {
+	tasks := testTasks(t)[:4]
+	res := tasks[0].Execute().Campaign
+	wres := wire.FromCampaign(res)
+
+	// Scripted per-task elapsed values — deliberately non-monotonic, so
+	// any batch-relative clock would disagree on every index.
+	want := []time.Duration{90 * time.Millisecond, 10 * time.Millisecond, 0, 40 * time.Millisecond}
+	cl := fakeStreamDaemon(t, func(w http.ResponseWriter, n int) {
+		for i := 0; i < n; i++ {
+			emitEvent(w, &wire.SweepEvent{
+				V:         wire.Version,
+				Index:     i,
+				Result:    wres,
+				ElapsedNS: want[i].Nanoseconds(),
+			})
+		}
+		emitEvent(w, &wire.SweepEvent{V: wire.Version, Index: -1, Done: true})
+	})
+
+	got := make([]time.Duration, len(tasks))
+	err := Service{Client: cl}.RunEach(context.Background(), tasks, func(i int, r engine.TaskResult) {
+		got[i] = r.Elapsed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("per-task Elapsed = %v, want the event values %v", got, want)
+	}
+}
+
+// TestServiceElapsedOverWire proves the real daemon round trip: a
+// served sweep reports nonzero per-task execution time for executed
+// tasks and zero for cache-served ones (no execution happened).
+func TestServiceElapsedOverWire(t *testing.T) {
+	tasks := testTasks(t)[:4]
+	cl := startService(t, ServerOptions{Workers: 2, CacheSize: 64})
+	svc := Service{Client: cl}
+
+	for _, temp := range []string{"cold", "warm"} {
+		err := svc.RunEach(context.Background(), tasks, func(i int, r engine.TaskResult) {
+			if temp == "cold" && r.Elapsed <= 0 {
+				t.Errorf("cold: task %d Elapsed = %v, want > 0", i, r.Elapsed)
+			}
+			if temp == "warm" && r.Elapsed != 0 {
+				t.Errorf("warm: cache-served task %d Elapsed = %v, want 0", i, r.Elapsed)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", temp, err)
+		}
+	}
+}
+
+// TestCacheLoadCountsResident pins the restore-accounting fix: loading
+// a snapshot bigger than the cache's bound reports the warm set
+// actually resident, not the snapshot's size.
+func TestCacheLoadCountsResident(t *testing.T) {
+	res := testTasks(t)[0].Execute().Campaign
+	path := filepath.Join(t.TempDir(), "results.gob")
+
+	big := NewCache(5)
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		big.Put(k, res) // recency ends most-recent-first: e d c b a
+	}
+	if err := big.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	small := NewCache(2)
+	n, err := small.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Load reported %d restored entries into a 2-entry cache, want 2", n)
+	}
+	if got := small.Stats().Loaded; got != 2 {
+		t.Fatalf("Stats().Loaded = %d, want 2", got)
+	}
+	if got := small.Stats().Entries; got != 2 {
+		t.Fatalf("resident entries = %d, want 2", got)
+	}
+	// The survivors are the snapshot's most-recent entries.
+	for _, k := range []string{"e", "d"} {
+		if _, ok := small.Get(k); !ok {
+			t.Fatalf("most-recent snapshot entry %q not resident after load", k)
+		}
+	}
+	for _, k := range []string{"c", "b", "a"} {
+		if _, ok := small.Get(k); ok {
+			t.Fatalf("overflow snapshot entry %q resident after load", k)
+		}
+	}
+}
+
+// TestSweepStreamOutlivesTimeout pins the long-stream half of the
+// timeout fix: a streamed sweep whose total duration exceeds the HTTP
+// client's Timeout succeeds as long as events keep arriving inside it.
+func TestSweepStreamOutlivesTimeout(t *testing.T) {
+	tasks := testTasks(t)[:6]
+	res := tasks[0].Execute().Campaign
+	wres := wire.FromCampaign(res)
+
+	const gap = 150 * time.Millisecond // per event; 6 events = 900ms total
+	cl := fakeStreamDaemon(t, func(w http.ResponseWriter, n int) {
+		for i := 0; i < n; i++ {
+			time.Sleep(gap)
+			emitEvent(w, &wire.SweepEvent{V: wire.Version, Index: i, Result: wres})
+		}
+		emitEvent(w, &wire.SweepEvent{V: wire.Version, Index: -1, Done: true})
+	})
+	cl.HTTP.Timeout = 500 * time.Millisecond // < total, > per-event gap
+
+	start := time.Now()
+	delivered := 0
+	_, err := cl.SweepEach(context.Background(), tasks, func(int, *sim.CampaignResult, bool, time.Duration) {
+		delivered++
+	})
+	if err != nil {
+		t.Fatalf("stream making progress died at Timeout: %v (after %v)", err, time.Since(start))
+	}
+	if delivered != len(tasks) {
+		t.Fatalf("delivered %d of %d", delivered, len(tasks))
+	}
+	if total := time.Since(start); total <= cl.HTTP.Timeout {
+		t.Fatalf("stream finished in %v, inside Timeout %v — the test proved nothing", total, cl.HTTP.Timeout)
+	}
+}
+
+// TestSweepStreamStallSurfacesDeadline pins the other half: a stream
+// that stops producing events fails within the inactivity bound, and
+// the error names the deadline instead of a bare "context canceled".
+func TestSweepStreamStallSurfacesDeadline(t *testing.T) {
+	tasks := testTasks(t)[:3]
+	res := tasks[0].Execute().Campaign
+	wres := wire.FromCampaign(res)
+
+	stalled := make(chan struct{})
+	cl := fakeStreamDaemon(t, func(w http.ResponseWriter, _ int) {
+		emitEvent(w, &wire.SweepEvent{V: wire.Version, Index: 0, Result: wres})
+		<-stalled // wedge: no further events, no trailer
+	})
+	defer close(stalled)
+	cl.HTTP.Timeout = 200 * time.Millisecond
+
+	start := time.Now()
+	delivered := 0
+	_, err := cl.SweepEach(context.Background(), tasks, func(int, *sim.CampaignResult, bool, time.Duration) {
+		delivered++
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled stream reported success")
+	}
+	if !strings.Contains(err.Error(), "no event within") {
+		t.Fatalf("stall error does not name the inactivity deadline: %v", err)
+	}
+	if !strings.Contains(err.Error(), fmt.Sprint(cl.HTTP.Timeout)) {
+		t.Fatalf("stall error does not state the configured bound: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d events before the stall, want 1", delivered)
+	}
+	if elapsed > 10*cl.HTTP.Timeout {
+		t.Fatalf("stall detected after %v, far beyond the %v bound", elapsed, cl.HTTP.Timeout)
+	}
+}
+
+// TestSweepStreamCallerCancellation proves the watchdog does not
+// swallow a genuine caller cancellation: the parent context's error
+// still surfaces as itself.
+func TestSweepStreamCallerCancellation(t *testing.T) {
+	tasks := testTasks(t)[:3]
+	res := tasks[0].Execute().Campaign
+	wres := wire.FromCampaign(res)
+
+	wedged := make(chan struct{})
+	cl := fakeStreamDaemon(t, func(w http.ResponseWriter, _ int) {
+		emitEvent(w, &wire.SweepEvent{V: wire.Version, Index: 0, Result: wres})
+		<-wedged
+	})
+	defer close(wedged)
+	cl.HTTP.Timeout = time.Hour // watchdog far away; the caller hangs up first
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := cl.SweepEach(ctx, tasks, func(int, *sim.CampaignResult, bool, time.Duration) {
+		cancel() // hang up after the first delivery
+	})
+	if err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("caller cancellation surfaced as %v, want context.Canceled", err)
+	}
+}

@@ -261,7 +261,7 @@ func TestServiceStreamingSweep(t *testing.T) {
 		got := make([]*sim.CampaignResult, len(tasks))
 		cachedCount := 0
 		calls := 0
-		hits, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, cached bool) {
+		hits, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, cached bool, _ time.Duration) {
 			calls++
 			if got[i] != nil {
 				t.Fatalf("%s: slot %d delivered twice", temp, i)
@@ -357,7 +357,7 @@ func TestServiceOldDaemonFallback(t *testing.T) {
 	// Streaming degrades to batch delivery: every result still lands
 	// exactly once, positionally identical.
 	got := make([]*sim.CampaignResult, len(tasks))
-	if _, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool) {
+	if _, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool, _ time.Duration) {
 		got[i] = res
 	}); err != nil {
 		t.Fatal(err)
@@ -482,6 +482,70 @@ func TestServicePersistedCacheRestart(t *testing.T) {
 	resp.Body.Close()
 	if stats.Cache == nil || stats.Cache.Loaded != uint64(len(tasks)) {
 		t.Fatalf("cache stats %+v, want %d loaded entries", stats.Cache, len(tasks))
+	}
+}
+
+// TestServiceJournalRestartResume proves the journal tier end to end
+// over the wire: a daemon started with JournalDir and NO result cache
+// journals every completed sweep result, and a restarted daemon on the
+// same directory answers the whole sweep from the journal —
+// byte-identical, zero re-execution, counted as hits, and visible in
+// /v1/stats.
+func TestServiceJournalRestartResume(t *testing.T) {
+	tasks := testTasks(t)[:6]
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// CacheSize: -1 — caching off, so the restarted daemon can only
+	// answer from the journal, not from a reloaded snapshot.
+	srv1 := NewServer(ServerOptions{Workers: 2, CacheSize: -1, JournalDir: dir})
+	ts1 := httptest.NewServer(srv1)
+	cl1 := NewClient(ts1.URL)
+	cold, hits, err := cl1.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 {
+		t.Fatalf("cold sweep reported %d hits", hits)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	srv2 := NewServer(ServerOptions{Workers: 2, CacheSize: -1, JournalDir: dir})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(func() { ts2.Close(); srv2.Close() })
+	cl2 := NewClient(ts2.URL)
+	warm, hits, err := cl2.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != len(tasks) {
+		t.Fatalf("restarted daemon answered %d/%d from the journal", hits, len(tasks))
+	}
+	if !reflect.DeepEqual(cold, warm) || !reflect.DeepEqual(campaigns(ref), warm) {
+		t.Fatal("post-restart sweep differs from the pre-restart bytes")
+	}
+
+	resp, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.JournalDir != dir {
+		t.Fatalf("stats journal_dir = %q, want %q", stats.JournalDir, dir)
+	}
+	if stats.Journal == nil || stats.Journal.Entries != len(tasks) {
+		t.Fatalf("journal stats %+v, want %d entries", stats.Journal, len(tasks))
+	}
+	if stats.Journal.Replays != uint64(len(tasks)) {
+		t.Fatalf("journal stats count %d replays, want %d", stats.Journal.Replays, len(tasks))
 	}
 }
 
@@ -642,7 +706,7 @@ func TestStreamingSweepGzipNegotiation(t *testing.T) {
 	// The standard client path (transparent decompression) still
 	// round-trips through SweepEach.
 	got := make([]*sim.CampaignResult, len(tasks))
-	if _, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool) {
+	if _, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool, _ time.Duration) {
 		got[i] = res
 	}); err != nil {
 		t.Fatal(err)

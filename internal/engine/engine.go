@@ -325,15 +325,70 @@ type Sweep struct {
 	Circuits    []SweepCircuit
 }
 
-// Tasks expands the grid into the task list, in circuit-major,
-// weighting-middle, repetition-minor order. Each task's seed is
-// TaskSeed(BaseSeed, HashName(circuit), HashName(weighting), rep).
-func (s *Sweep) Tasks() []*Task {
+// TaskSource streams a task list without requiring it to be
+// materialized — the engine's seam for sweeps whose grids are too
+// large to hold as a []*Task. Task i of the source is the task that
+// would occupy slot i of the materialized list, so positional results
+// collected from a streamed run reproduce a materialized run exactly.
+//
+// EachTask calls fn once per task in positional order and stops at the
+// first error, which it returns. Every *Task handed to fn is freshly
+// assembled and remains valid after fn returns (tasks are small
+// structs referencing the source's shared circuits and fault lists),
+// so a caller may retain a bounded window of them; retaining all of
+// them just rebuilds the materialized list.
+type TaskSource interface {
+	NumTasks() int
+	EachTask(fn func(i int, t *Task) error) error
+}
+
+// SliceSource adapts a materialized task list to the TaskSource seam.
+type SliceSource []*Task
+
+// NumTasks implements TaskSource.
+func (s SliceSource) NumTasks() int { return len(s) }
+
+// EachTask implements TaskSource.
+func (s SliceSource) EachTask(fn func(i int, t *Task) error) error {
+	for i, t := range s {
+		if err := fn(i, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ TaskSource = (*Sweep)(nil)
+	_ TaskSource = SliceSource(nil)
+)
+
+// NumTasks returns the grid's task count without expanding it.
+func (s *Sweep) NumTasks() int {
 	reps := s.Repetitions
 	if reps < 1 {
 		reps = 1
 	}
-	var tasks []*Task
+	n := 0
+	for _, sc := range s.Circuits {
+		n += len(sc.Weightings) * reps
+	}
+	return n
+}
+
+// EachTask streams the grid's tasks in circuit-major, weighting-middle,
+// repetition-minor order — the generator form of Tasks, implementing
+// TaskSource. Each task's seed is TaskSeed(BaseSeed, HashName(circuit),
+// HashName(weighting), rep), a pure function of task identity, so the
+// streamed and materialized expansions are identical task for task.
+// Memory is constant in grid size: one task exists per fn call unless
+// the caller retains it.
+func (s *Sweep) EachTask(fn func(i int, t *Task) error) error {
+	reps := s.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	i := 0
 	for _, sc := range s.Circuits {
 		patterns := s.Patterns
 		if sc.Patterns > 0 {
@@ -341,7 +396,7 @@ func (s *Sweep) Tasks() []*Task {
 		}
 		for _, wt := range sc.Weightings {
 			for r := 0; r < reps; r++ {
-				tasks = append(tasks, &Task{
+				t := &Task{
 					Label:       fmt.Sprintf("%s/%s#%d", sc.Name, wt.Name, r),
 					Circuit:     sc.Circuit,
 					Faults:      sc.Faults,
@@ -352,9 +407,93 @@ func (s *Sweep) Tasks() []*Task {
 					SimWorkers:  s.SimWorkers,
 					SimShards:   s.SimShards,
 					GoodMachine: s.GoodMachine,
-				})
+				}
+				if err := fn(i, t); err != nil {
+					return err
+				}
+				i++
 			}
 		}
 	}
+	return nil
+}
+
+// Tasks expands the grid into the materialized task list — EachTask
+// collected into a slice. Prefer EachTask (or RunSource) for grids
+// whose size makes a []*Task worth avoiding.
+func (s *Sweep) Tasks() []*Task {
+	tasks := make([]*Task, 0, s.NumTasks())
+	s.EachTask(func(_ int, t *Task) error { //nolint:errcheck // fn never errors
+		tasks = append(tasks, t)
+		return nil
+	})
 	return tasks
+}
+
+// DefaultSourceWindow is the RunSource window when the caller passes
+// one <= 0: large enough to keep a worker fleet busy and amortize
+// per-window overhead, small enough that client memory stays constant
+// in grid size.
+const DefaultSourceWindow = 256
+
+// RunSource executes a streamed task source on b in bounded windows of
+// at most window tasks (<= 0 selects DefaultSourceWindow): at no point
+// are more than window tasks materialized, whatever the source's size.
+// fn observes every task's result with its source-positional index —
+// collecting by index reproduces the materialized Run slice — and is
+// called serially from this goroutine; within a window delivery is the
+// backend's RunEach streaming order (completion order) when b is a
+// StreamBackend, positional otherwise.
+//
+// The whole source is validated (one streaming pass, nothing retained)
+// before any task executes, preserving the Backend contract; execution
+// is bit-identical to running the materialized list because windowing
+// is pure scheduling. On cancellation RunSource abandons unstarted
+// windows and returns ctx.Err().
+func RunSource(ctx context.Context, b Backend, src TaskSource, window int, fn func(i int, r TaskResult)) error {
+	if window <= 0 {
+		window = DefaultSourceWindow
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := src.EachTask(func(_ int, t *Task) error { return t.Validate() }); err != nil {
+		return err
+	}
+	sb, streaming := b.(StreamBackend)
+	buf := make([]*Task, 0, window)
+	base := 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		var err error
+		if streaming {
+			err = sb.RunEach(ctx, buf, func(j int, r TaskResult) { fn(base+j, r) })
+		} else {
+			var results []TaskResult
+			if results, err = b.Run(ctx, buf); err == nil {
+				for j, r := range results {
+					fn(base+j, r)
+				}
+			}
+		}
+		base += len(buf)
+		buf = buf[:0]
+		return err
+	}
+	err := src.EachTask(func(_ int, t *Task) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		buf = append(buf, t)
+		if len(buf) >= window {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
 }

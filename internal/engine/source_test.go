@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"optirand/internal/gen"
+)
+
+// TestSweepEachTaskMatchesTasks proves the generator and the
+// materialized expansion yield identical tasks in identical order.
+func TestSweepEachTaskMatchesTasks(t *testing.T) {
+	sweep := testSweep(t)
+	want := sweep.Tasks()
+	if n := sweep.NumTasks(); n != len(want) {
+		t.Fatalf("NumTasks = %d, Tasks yields %d", n, len(want))
+	}
+	i := 0
+	err := sweep.EachTask(func(got int, task *Task) error {
+		if got != i {
+			t.Fatalf("EachTask index %d, want %d", got, i)
+		}
+		if !reflect.DeepEqual(task, want[i]) {
+			t.Fatalf("task %d differs between EachTask and Tasks", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("EachTask yielded %d tasks, want %d", i, len(want))
+	}
+}
+
+// TestSweepEachTaskStopsOnError proves the generator propagates fn's
+// first error and stops generating.
+func TestSweepEachTaskStopsOnError(t *testing.T) {
+	sweep := testSweep(t)
+	boom := errors.New("boom")
+	calls := 0
+	err := sweep.EachTask(func(i int, _ *Task) error {
+		calls++
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 5 {
+		t.Fatalf("fn called %d times after error at index 4, want 5", calls)
+	}
+}
+
+// TestSliceSourceRoundTrip pins the adapter: a materialized list seen
+// through the TaskSource seam is itself.
+func TestSliceSourceRoundTrip(t *testing.T) {
+	tasks := testSweep(t).Tasks()
+	src := SliceSource(tasks)
+	if src.NumTasks() != len(tasks) {
+		t.Fatalf("NumTasks = %d, want %d", src.NumTasks(), len(tasks))
+	}
+	err := src.EachTask(func(i int, task *Task) error {
+		if task != tasks[i] {
+			t.Fatalf("task %d is not the slice's pointer", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSourceMatchesRun proves windowed streamed execution is
+// bit-identical and positionally identical to the materialized run,
+// for windows smaller than, equal to, and larger than the grid, on
+// both the serial and pooled local backend.
+func TestRunSourceMatchesRun(t *testing.T) {
+	sweep := testSweep(t)
+	tasks := sweep.Tasks()
+	ref, err := Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		for _, window := range []int{1, 5, len(tasks), 4 * len(tasks), 0} {
+			got := make([]TaskResult, sweep.NumTasks())
+			seen := 0
+			err := RunSource(context.Background(), Local{Workers: workers}, sweep, window, func(i int, r TaskResult) {
+				got[i] = r
+				seen++
+			})
+			if err != nil {
+				t.Fatalf("workers=%d window=%d: %v", workers, window, err)
+			}
+			if seen != len(tasks) {
+				t.Fatalf("workers=%d window=%d: delivered %d of %d", workers, window, seen, len(tasks))
+			}
+			if !reflect.DeepEqual(stripElapsed(ref), stripElapsed(got)) {
+				t.Fatalf("workers=%d window=%d: streamed results differ from materialized run", workers, window)
+			}
+		}
+	}
+}
+
+// TestRunSourceValidatesBeforeRunning proves a malformed task anywhere
+// in the source fails the run before any campaign executes.
+func TestRunSourceValidatesBeforeRunning(t *testing.T) {
+	sweep := testSweep(t)
+	// Break the last cell: weight-set length mismatch.
+	last := &sweep.Circuits[len(sweep.Circuits)-1]
+	last.Weightings[len(last.Weightings)-1].Sets = [][]float64{{0.5}}
+	delivered := 0
+	err := RunSource(context.Background(), Local{}, sweep, 4, func(int, TaskResult) { delivered++ })
+	if err == nil {
+		t.Fatal("want validation error")
+	}
+	if delivered != 0 {
+		t.Fatalf("%d results delivered despite validation failure", delivered)
+	}
+}
+
+// TestRunSourceCancellation proves a cancelled context stops window
+// submission promptly and surfaces ctx.Err().
+func TestRunSourceCancellation(t *testing.T) {
+	sweep := testSweep(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	err := RunSource(ctx, Local{Workers: 2}, sweep, 3, func(int, TaskResult) {
+		delivered++
+		if delivered == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered >= sweep.NumTasks() {
+		t.Fatalf("all %d tasks delivered despite cancellation", delivered)
+	}
+}
+
+// TestSweepEachTaskConstantMemory pins the tentpole's memory claim on
+// the generation side: streaming a million-task grid must not
+// accumulate heap, while materializing even a fifth of it measurably
+// does. (Execution-side windowing is RunSource's bounded buffer by
+// construction; BENCH_sweep.json measures both.)
+func TestSweepEachTaskConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-task generation sweep")
+	}
+	b, ok := gen.ByName("c432")
+	if !ok {
+		t.Fatal("missing benchmark c432")
+	}
+	c := b.Build()
+	n := c.NumInputs()
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 0.5
+	}
+	sweep := &Sweep{
+		BaseSeed:    7,
+		Repetitions: 250000,
+		Patterns:    64,
+		Circuits: []SweepCircuit{{
+			Name:    "c432",
+			Circuit: c,
+			Weightings: []Weighting{
+				{Name: "w0", Sets: [][]float64{uniform}},
+				{Name: "w1", Sets: [][]float64{uniform}},
+				{Name: "w2", Sets: [][]float64{uniform}},
+				{Name: "w3", Sets: [][]float64{uniform}},
+			},
+		}},
+	}
+	const grid = 1000000
+	if sweep.NumTasks() != grid {
+		t.Fatalf("grid = %d, want %d", sweep.NumTasks(), grid)
+	}
+
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	before := heap()
+	count := 0
+	if err := sweep.EachTask(func(int, *Task) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	streamedGrowth := int64(heap()) - int64(before)
+	if count != grid {
+		t.Fatalf("streamed %d tasks, want %d", count, grid)
+	}
+	// One retained task at a time: post-GC heap growth must be noise,
+	// not O(grid). 8 MB of slack is ~25x GC jitter and ~1/30 of what
+	// materializing this grid costs.
+	const slack = 8 << 20
+	if streamedGrowth > slack {
+		t.Fatalf("streamed generation grew the heap by %d bytes (want < %d)", streamedGrowth, slack)
+	}
+
+	// Reference point: materializing a 200k-task slice of the same
+	// grid retains at least ~100 bytes per task.
+	sweep.Repetitions = 50000
+	before = heap()
+	tasks := sweep.Tasks()
+	materializedGrowth := int64(heap()) - int64(before)
+	if len(tasks) != 200000 {
+		t.Fatalf("materialized %d tasks, want 200000", len(tasks))
+	}
+	if materializedGrowth < int64(len(tasks))*100 {
+		t.Fatalf("materialized growth %d bytes implausibly small", materializedGrowth)
+	}
+	if streamedGrowth*4 > materializedGrowth {
+		t.Fatalf("streamed growth %d not clearly below materialized growth %d", streamedGrowth, materializedGrowth)
+	}
+	runtime.KeepAlive(tasks)
+}

@@ -172,11 +172,19 @@ type SweepResponse struct {
 // order, carrying the task's request index — then a trailer event
 // with Done set and the batch's cache-hit count. A service-side
 // failure travels as an event with Error set; the stream ends there.
+//
+// ElapsedNS is the task's own execution time on the service, in
+// nanoseconds — not time since the batch started — so a streaming
+// client reports per-task Elapsed consistent with local backends. It
+// is zero for cache-served tasks (no execution happened) and absent
+// from events written by older daemons (an optional field: no version
+// bump, per the package policy).
 type SweepEvent struct {
 	V         int             `json:"v"`
 	Index     int             `json:"index"`
 	Result    *CampaignResult `json:"result,omitempty"`
 	Cached    bool            `json:"cached,omitempty"`
+	ElapsedNS int64           `json:"elapsed_ns,omitempty"`
 	Error     string          `json:"error,omitempty"`
 	Done      bool            `json:"done,omitempty"`
 	CacheHits int             `json:"cache_hits,omitempty"`

@@ -3,6 +3,9 @@ package optirand
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"optirand/internal/core"
@@ -45,10 +48,16 @@ type Runner struct {
 	timeoutSet  bool
 	streaming   bool
 	inline      bool
+	journalDir  string
 
 	backend engine.Backend
 	disp    *dist.Dispatcher
 	client  *dist.Client
+
+	// jmu guards journals, the lazily opened per-directory journals
+	// (NewRunner cannot fail, so opening waits for first use).
+	jmu      sync.Mutex
+	journals map[string]*dist.Journal
 }
 
 // Option configures a Runner under construction.
@@ -122,6 +131,18 @@ func WithRemoteStreaming() Option { return func(r *Runner) { r.streaming = true 
 // Runners.
 func WithInlineCircuits() Option { return func(r *Runner) { r.inline = true } }
 
+// WithJournal makes the Runner's sweeps and batches resumable:
+// completed results are appended to a journal (file sweep.journal in
+// dir, created as needed) as they land, keyed by task content address,
+// and any later run over the same journal — same process or a
+// restarted one — replays journaled results instead of recomputing,
+// executing only the residue. Because journal keys are task identity
+// hashes, replayed results are byte-identical to fresh execution, and
+// a resumed sweep is indistinguishable from an uninterrupted one. A
+// SweepSpec.Journal overrides dir per sweep. The journal survives the
+// Runner (Close syncs it); delete the directory to start over.
+func WithJournal(dir string) Option { return func(r *Runner) { r.journalDir = dir } }
+
 // WithCache keeps a content-addressed result cache of up to n
 // campaigns (keyed by task identity — circuit, faults, weights,
 // patterns, seed — never by label or scheduling): resubmitting a
@@ -189,13 +210,68 @@ func NewRunner(opts ...Option) *Runner {
 	return r
 }
 
-// Close releases the Runner's worker fleet, if it has one. Finish
-// in-flight calls first; Close is idempotent.
+// Close releases the Runner's worker fleet, if it has one, and syncs
+// and closes any journals it opened. Finish in-flight calls first;
+// Close is idempotent.
 func (r *Runner) Close() error {
 	if r.disp != nil {
 		r.disp.Close()
 	}
-	return nil
+	r.jmu.Lock()
+	journals := r.journals
+	r.journals = nil
+	r.jmu.Unlock()
+	var firstErr error
+	for _, j := range journals {
+		if err := j.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// journal returns the Runner's open journal for dir, opening (and
+// resuming) it on first use. Journals are cached per directory and
+// closed by Close.
+func (r *Runner) journal(dir string) (*dist.Journal, error) {
+	r.jmu.Lock()
+	defer r.jmu.Unlock()
+	if j, ok := r.journals[dir]; ok {
+		return j, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("optirand: journal directory: %w", err)
+	}
+	j, err := dist.OpenJournal(filepath.Join(dir, "sweep.journal"))
+	if err != nil {
+		return nil, err
+	}
+	if r.journals == nil {
+		r.journals = make(map[string]*dist.Journal)
+	}
+	r.journals[dir] = j
+	return j, nil
+}
+
+// runSource is the execution core behind Sweep, SweepEach, and Batch:
+// windowed streaming submission over the Runner's backend — tasks are
+// generated, validated, and submitted in bounded windows, never
+// materialized whole — consulting and feeding the resolved journal
+// (specDir overriding the Runner's WithJournal directory) when one is
+// configured.
+func (r *Runner) runSource(ctx context.Context, specDir string, src engine.TaskSource, fn func(i int, res TaskResult)) error {
+	dir := specDir
+	if dir == "" {
+		dir = r.journalDir
+	}
+	var j *dist.Journal
+	if dir != "" {
+		var err error
+		if j, err = r.journal(dir); err != nil {
+			return err
+		}
+	}
+	return dist.RunSource(ctx, r.backend, src, dist.SourceOptions{Journal: j}, fn)
 }
 
 // Remote reports the service address the Runner executes on ("" for
@@ -245,45 +321,56 @@ func (r *Runner) Batch(ctx context.Context, specs []CampaignSpec) ([]TaskResult,
 		}
 		tasks[i] = t
 	}
-	return r.backend.Run(ctx, tasks)
-}
-
-// Sweep expands the grid into its task list and runs it on the
-// Runner's backend. Results are positional in circuit-major,
-// weighting-middle, repetition-minor order (the expansion order of
-// the spec) and bit-identical for every backend and worker count.
-func (r *Runner) Sweep(ctx context.Context, spec SweepSpec) ([]TaskResult, error) {
-	tasks, err := spec.tasks(r)
+	results := make([]TaskResult, len(tasks))
+	err := r.runSource(ctx, "", engine.SliceSource(tasks), func(i int, res TaskResult) {
+		results[i] = res
+	})
 	if err != nil {
 		return nil, err
 	}
-	return r.backend.Run(ctx, tasks)
+	return results, nil
+}
+
+// Sweep runs the grid on the Runner's backend and collects the whole
+// result slice. Results are positional in circuit-major,
+// weighting-middle, repetition-minor order (the expansion order of
+// the spec) and bit-identical for every backend and worker count.
+// Tasks are generated, validated, and submitted as a bounded-memory
+// stream — only the result slice is grid-sized; use SweepEach to
+// stream results too.
+func (r *Runner) Sweep(ctx context.Context, spec SweepSpec) ([]TaskResult, error) {
+	src, err := spec.source(r)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]TaskResult, src.NumTasks())
+	err = r.runSource(ctx, spec.Journal, src, func(i int, res TaskResult) {
+		results[i] = res
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // SweepEach is Sweep's streaming variant: fn observes each task's
-// result as it lands (cache hits first, executed campaigns in
-// completion order) instead of waiting for the whole grid. fn is
-// called serially from the calling goroutine with the task's position
-// i in the grid's expansion order; collecting results by i reproduces
-// Sweep's slice exactly. On cancellation SweepEach abandons queued
-// work promptly and returns ctx.Err(); results already delivered
-// remain valid.
+// result as it lands (journal replays and cache hits first within
+// their window, executed campaigns in completion order) instead of
+// waiting for the whole grid — and the grid itself streams, so client
+// memory stays constant in grid size: tasks are generated and
+// submitted in bounded windows, never materialized as one slice. fn
+// is called serially from the calling goroutine with the task's
+// position i in the grid's expansion order; collecting results by i
+// reproduces Sweep's slice exactly. On cancellation SweepEach
+// abandons queued work promptly and returns ctx.Err(); results
+// already delivered remain valid (and, with a journal, survive for
+// the resumed run).
 func (r *Runner) SweepEach(ctx context.Context, spec SweepSpec, fn func(i int, res TaskResult)) error {
-	tasks, err := spec.tasks(r)
+	src, err := spec.source(r)
 	if err != nil {
 		return err
 	}
-	if sb, ok := r.backend.(engine.StreamBackend); ok {
-		return sb.RunEach(ctx, tasks, fn)
-	}
-	results, err := r.backend.Run(ctx, tasks)
-	if err != nil {
-		return err
-	}
-	for i, res := range results {
-		fn(i, res)
-	}
-	return nil
+	return r.runSource(ctx, spec.Journal, src, fn)
 }
 
 // Optimize runs the paper's OPTIMIZE procedure for spec — coordinate

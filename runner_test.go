@@ -466,3 +466,84 @@ func TestRunnerMidBatchCancelAgainstDaemon(t *testing.T) {
 		t.Fatalf("post-cancel campaign ran %d patterns, want 320", res.Patterns)
 	}
 }
+
+// TestRunnerJournalKillAndResume is the crash-resume contract at the
+// public API: a sweep killed mid-flight leaves a journal from which a
+// *fresh* Runner — a new process, as far as the library can tell —
+// completes the sweep byte-identically, replaying the already-done
+// prefix instead of recomputing it. Both journal spellings are
+// exercised: the killed run names the directory per-spec
+// (SweepSpec.Journal), the resuming run inherits it Runner-wide
+// (WithJournal).
+func TestRunnerJournalKillAndResume(t *testing.T) {
+	spec, nTasks := testSweepSpec(t)
+
+	plain := optirand.NewRunner(optirand.WithWorkers(1))
+	defer plain.Close()
+	ref, err := plain.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation one: journal via the per-spec field, "crash" by
+	// cancelling the context after a few deliveries. Every result
+	// delivered before the kill is journaled (append-before-deliver).
+	dir := t.TempDir()
+	spec.Journal = dir
+	first := optirand.NewRunner(optirand.WithWorkers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := 0
+	err = first.SweepEach(ctx, spec, func(int, optirand.TaskResult) {
+		killed++
+		if killed == 3 {
+			cancel()
+		}
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed sweep: err = %v, want context.Canceled", err)
+	}
+	if killed < 3 || killed >= nTasks {
+		t.Fatalf("kill landed after %d/%d deliveries; the resume would prove nothing", killed, nTasks)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation two: a fresh Runner pointed at the same directory via
+	// the Runner-wide option finishes the sweep. The journaled prefix
+	// replays (zero Elapsed — no campaign ran), the residue executes,
+	// and the merged slice is byte-identical to the uninterrupted run.
+	spec.Journal = ""
+	second := optirand.NewRunner(optirand.WithWorkers(2), optirand.WithJournal(dir))
+	defer second.Close()
+	got, err := second.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "resumed", ref, got)
+	replays := 0
+	for _, r := range got {
+		if r.Elapsed == 0 {
+			replays++
+		}
+	}
+	if replays < killed {
+		t.Fatalf("%d zero-elapsed replays, want >= %d (every pre-kill delivery was journaled)", replays, killed)
+	}
+
+	// Incarnation three: the journal now holds the whole grid, so a
+	// further rerun executes nothing at all.
+	third := optirand.NewRunner(optirand.WithWorkers(3), optirand.WithJournal(dir))
+	defer third.Close()
+	again, err := third.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalResults(t, "full-replay", ref, again)
+	for i, r := range again {
+		if r.Elapsed != 0 {
+			t.Fatalf("full replay executed slot %d (%s) afresh", i, r.Task.Label)
+		}
+	}
+}

@@ -199,11 +199,21 @@ type SweepSpec struct {
 	CurveStep int
 	// Circuits are the grid's rows.
 	Circuits []SweepCircuit
+	// Journal, when non-empty, makes this sweep resumable: completed
+	// results are logged to a journal in the named directory as they
+	// land, and a re-run of the sweep (same grid, same journal) replays
+	// them instead of recomputing, executing only the residue — with
+	// results byte-identical to an uninterrupted run. Overrides the
+	// Runner's WithJournal directory for this sweep.
+	Journal string
 }
 
-// tasks expands the grid exactly like the engine's sweep (identical
-// labels and task seeds), applying the runner's defaults.
-func (spec *SweepSpec) tasks(r *Runner) ([]*Task, error) {
+// source compiles the grid into its streaming engine form (identical
+// labels and task seeds to the materialized expansion), applying the
+// runner's defaults. Task-level validation happens when the source
+// runs — the runner's streaming executor validates the whole grid
+// before the first campaign, in constant memory.
+func (spec *SweepSpec) source(r *Runner) (*engine.Sweep, error) {
 	base := spec.BaseSeed
 	if base == 0 {
 		base = r.seed
@@ -235,11 +245,5 @@ func (spec *SweepSpec) tasks(r *Runner) ([]*Task, error) {
 		}
 		s.Circuits = append(s.Circuits, ec)
 	}
-	tasks := s.Tasks()
-	for _, t := range tasks {
-		if err := t.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	return tasks, nil
+	return s, nil
 }
