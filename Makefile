@@ -7,11 +7,13 @@
 # `make internbench` / `make simbench` / `make sweepbench` emit the
 # machine-readable performance summaries BENCH_parallel.json /
 # BENCH_service.json / BENCH_intern.json / BENCH_sim.json /
-# BENCH_sweep.json; `make serve` starts the optirandd HTTP daemon.
+# BENCH_sweep.json; `make fedbench` benchmarks a federated daemon
+# tree (1-leaf vs N-leaf, route affinity, leaf-kill requeue) into
+# BENCH_fed.json; `make serve` starts the optirandd HTTP daemon.
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench fedbench vet fmt clean
 
 all: build test
 
@@ -52,6 +54,9 @@ simbench:
 sweepbench:
 	$(GO) run ./cmd/benchgen -sweepbench
 
+fedbench:
+	$(GO) run ./cmd/benchgen -fedbench
+
 vet:
 	$(GO) vet ./...
 
@@ -60,4 +65,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json BENCH_sweep.json coverage.out coverage.txt
+	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json BENCH_sweep.json BENCH_fed.json coverage.out coverage.txt

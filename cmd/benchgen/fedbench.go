@@ -1,0 +1,307 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+	"optirand/internal/report"
+	"optirand/internal/sim"
+)
+
+var (
+	flagFedbench  = flag.Bool("fedbench", false, "benchmark a federated daemon tree (1 leaf vs N leaves, route affinity, leaf-kill requeue), write a JSON summary")
+	flagFedOut    = flag.String("fedout", "BENCH_fed.json", "fedbench: summary output path")
+	flagFedLeaves = flag.Int("fedleaves", 3, "fedbench: leaf daemons behind the front")
+)
+
+// fedLeafRecord is the per-leaf slice of the tree benchmark.
+type fedLeafRecord struct {
+	Routed        uint64 `json:"routed"`
+	WarmCacheHits uint64 `json:"warm_cache_hits"`
+}
+
+// fedSummary is the BENCH_fed.json schema: what a federation front
+// buys over a single daemon, and what a leaf death costs.
+type fedSummary struct {
+	GOMAXPROCS           int             `json:"gomaxprocs"`
+	NumCPU               int             `json:"numcpu"`
+	Seed                 uint64          `json:"seed"`
+	Tasks                int             `json:"tasks"`
+	Leaves               int             `json:"leaves"`
+	OneLeafColdSeconds   float64         `json:"one_leaf_cold_seconds"`
+	TreeColdSeconds      float64         `json:"tree_cold_seconds"`
+	TreeSpeedup          float64         `json:"tree_speedup_vs_one_leaf"`
+	TreeWarmSeconds      float64         `json:"tree_warm_seconds"`
+	RouteAffinityHitRate float64         `json:"route_affinity_hit_rate"`
+	PerLeaf              []fedLeafRecord `json:"per_leaf"`
+	KillSweepSeconds     float64         `json:"kill_sweep_seconds"`
+	ReroutedTasks        uint64          `json:"rerouted_tasks"`
+	RequeueRecoveryMS    float64         `json:"requeue_recovery_ms"`
+	IdenticalToInProc    bool            `json:"identical_to_inprocess"`
+}
+
+// fedDaemon is one loopback daemon of the benchmark tree.
+type fedDaemon struct {
+	addr    string
+	httpSrv *http.Server
+	srv     *dist.Server
+	once    sync.Once
+}
+
+// kill tears the daemon down hard: in-flight connections drop, exactly
+// what a crashed leaf looks like to the front.
+func (d *fedDaemon) kill() {
+	d.once.Do(func() {
+		d.httpSrv.Close()
+		d.srv.Close()
+	})
+}
+
+func startFedDaemon(opts dist.ServerOptions) *fedDaemon {
+	srv := dist.NewServer(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	d := &fedDaemon{addr: ln.Addr().String(), httpSrv: &http.Server{Handler: srv}, srv: srv}
+	go d.httpSrv.Serve(ln) //nolint:errcheck // closed by kill
+	return d
+}
+
+// fedStatsPage is the slice of /v1/stats the benchmark reads back.
+type fedStatsPage struct {
+	Cache      *dist.CacheStats      `json:"cache"`
+	Federation *dist.FederationStats `json:"federation"`
+}
+
+func fetchStats(addr string) *fedStatsPage {
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: stats %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	var page fedStatsPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: stats %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	return &page
+}
+
+// startTree brings up nLeaves leaf daemons and a front routing to
+// them. The front's own result cache is disabled so every repeated
+// task is answered by the leaf the ring maps it to — that is the
+// route-affinity effect being measured, not front-side caching.
+func startTree(nLeaves int) (front *fedDaemon, leaves []*fedDaemon) {
+	leafURLs := make([]string, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		l := startFedDaemon(dist.ServerOptions{
+			Workers:   runtime.GOMAXPROCS(0),
+			CacheSize: 4096,
+			Role:      dist.RoleLeaf,
+		})
+		leaves = append(leaves, l)
+		leafURLs[i] = l.addr
+	}
+	front = startFedDaemon(dist.ServerOptions{
+		Workers:        runtime.GOMAXPROCS(0),
+		CacheSize:      -1,
+		Upstreams:      leafURLs,
+		HealthInterval: 100 * time.Millisecond,
+		RetryDelay:     5 * time.Millisecond,
+	})
+	return front, leaves
+}
+
+func killTree(front *fedDaemon, leaves []*fedDaemon) {
+	front.kill()
+	for _, l := range leaves {
+		l.kill()
+	}
+}
+
+// fedbench measures the daemon tree: a 1-leaf baseline sweep, the same
+// sweep cold across N leaves, the warm pass (route affinity sends each
+// task back to the leaf whose cache holds it), and a sweep with one
+// live-routed leaf killed mid-flight (requeue onto survivors, answers
+// still byte-identical to in-process execution).
+func fedbench() {
+	const seed = 1987
+	tasks := servebenchTasks(seed)
+	ref, err := engine.Run(context.Background(), tasks, runtime.GOMAXPROCS(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	identical := func(results []*sim.CampaignResult) bool {
+		ok := len(results) == len(ref)
+		for i := range ref {
+			ok = ok && reflect.DeepEqual(ref[i].Campaign, results[i])
+		}
+		return ok
+	}
+	allIdentical := true
+
+	// 1-leaf baseline: a front routing everything to one leaf.
+	front, leaves := startTree(1)
+	cl := dist.NewClient(front.addr)
+	start := time.Now()
+	res, _, err := cl.Sweep(context.Background(), tasks)
+	oneLeafCold := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: 1-leaf sweep: %v\n", err)
+		os.Exit(1)
+	}
+	allIdentical = allIdentical && identical(res)
+	killTree(front, leaves)
+
+	// N-leaf tree, cold then warm.
+	nLeaves := *flagFedLeaves
+	front, leaves = startTree(nLeaves)
+	cl = dist.NewClient(front.addr)
+	start = time.Now()
+	res, _, err = cl.Sweep(context.Background(), tasks)
+	treeCold := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: tree cold sweep: %v\n", err)
+		os.Exit(1)
+	}
+	allIdentical = allIdentical && identical(res)
+	coldHits := make([]uint64, nLeaves)
+	for i, l := range leaves {
+		if s := fetchStats(l.addr); s.Cache != nil {
+			coldHits[i] = s.Cache.Hits
+		}
+	}
+
+	start = time.Now()
+	res, _, err = cl.Sweep(context.Background(), tasks)
+	treeWarm := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: tree warm sweep: %v\n", err)
+		os.Exit(1)
+	}
+	allIdentical = allIdentical && identical(res)
+
+	var perLeaf []fedLeafRecord
+	var warmHits uint64
+	frontStats := fetchStats(front.addr)
+	for i, l := range leaves {
+		var rec fedLeafRecord
+		if s := fetchStats(l.addr); s.Cache != nil {
+			rec.WarmCacheHits = s.Cache.Hits - coldHits[i]
+		}
+		if frontStats.Federation != nil && i < len(frontStats.Federation.PerLeaf) {
+			rec.Routed = frontStats.Federation.PerLeaf[i].Routed
+		}
+		warmHits += rec.WarmCacheHits
+		perLeaf = append(perLeaf, rec)
+	}
+	killTree(front, leaves)
+
+	// Leaf kill mid-sweep: fresh cold tree, kill a leaf that has
+	// already been routed work once results start arriving, and let
+	// the front requeue its in-flight tasks onto the survivors.
+	front, leaves = startTree(nLeaves)
+	cl = dist.NewClient(front.addr)
+	killRes := make([]*sim.CampaignResult, len(tasks))
+	var (
+		killTime    time.Time
+		recoveredAt time.Time
+		done        int
+	)
+	start = time.Now()
+	_, err = cl.SweepEach(context.Background(), tasks, func(i int, r *sim.CampaignResult, _ bool, _ time.Duration) {
+		killRes[i] = r
+		done++
+		if !killTime.IsZero() && recoveredAt.IsZero() {
+			recoveredAt = time.Now()
+		}
+		if killTime.IsZero() && done >= 1 {
+			// Pick a victim the ring has actually routed work to.
+			if s := fetchStats(front.addr); s.Federation != nil {
+				for j, ls := range s.Federation.PerLeaf {
+					if ls.Alive && ls.Routed > 0 {
+						leaves[j].kill()
+						killTime = time.Now()
+						break
+					}
+				}
+			}
+		}
+	})
+	killSweep := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: kill sweep: %v\n", err)
+		os.Exit(1)
+	}
+	allIdentical = allIdentical && identical(killRes)
+	var rerouted uint64
+	if s := fetchStats(front.addr); s.Federation != nil {
+		for _, ls := range s.Federation.PerLeaf {
+			rerouted += ls.Failures
+		}
+	}
+	recovery := 0.0
+	if !killTime.IsZero() && !recoveredAt.IsZero() {
+		recovery = recoveredAt.Sub(killTime).Seconds() * 1000
+	}
+	killTree(front, leaves)
+
+	summary := fedSummary{
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		NumCPU:               runtime.NumCPU(),
+		Seed:                 seed,
+		Tasks:                len(tasks),
+		Leaves:               nLeaves,
+		OneLeafColdSeconds:   oneLeafCold.Seconds(),
+		TreeColdSeconds:      treeCold.Seconds(),
+		TreeSpeedup:          oneLeafCold.Seconds() / treeCold.Seconds(),
+		TreeWarmSeconds:      treeWarm.Seconds(),
+		RouteAffinityHitRate: float64(warmHits) / float64(len(tasks)),
+		PerLeaf:              perLeaf,
+		KillSweepSeconds:     killSweep.Seconds(),
+		ReroutedTasks:        rerouted,
+		RequeueRecoveryMS:    recovery,
+		IdenticalToInProc:    allIdentical,
+	}
+
+	t := report.NewTable(fmt.Sprintf("Federated daemon tree (%d leaves over loopback HTTP)", nLeaves),
+		"Metric", "Value")
+	t.Add("sweep tasks", fmt.Sprint(summary.Tasks))
+	t.Add("cold sweep, 1 leaf", oneLeafCold.Round(time.Millisecond).String())
+	t.Add(fmt.Sprintf("cold sweep, %d leaves", nLeaves), treeCold.Round(time.Millisecond).String())
+	t.Add("tree speedup", fmt.Sprintf("%.2fx", summary.TreeSpeedup))
+	t.Add("warm sweep (leaf caches)", treeWarm.Round(time.Microsecond).String())
+	t.Add("route-affinity hit rate", fmt.Sprintf("%.2f", summary.RouteAffinityHitRate))
+	t.Add("kill sweep (1 leaf dies)", killSweep.Round(time.Millisecond).String())
+	t.Add("rerouted tasks", fmt.Sprint(summary.ReroutedTasks))
+	t.Add("requeue recovery", fmt.Sprintf("%.1f ms", summary.RequeueRecoveryMS))
+	t.Add("identical to in-process", fmt.Sprint(summary.IdenticalToInProc))
+	fmt.Print(t)
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagFedOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagFedOut)
+}

@@ -15,6 +15,10 @@
 //	                                     # request bytes -> BENCH_intern.json
 //	benchgen -simbench                   # compiled vs pre-PR fault-simulation
 //	                                     # kernel throughput -> BENCH_sim.json
+//	benchgen -fedbench                   # federated daemon tree: 1-leaf vs
+//	                                     # N-leaf throughput, route-affinity
+//	                                     # cache hits, leaf-kill requeue
+//	                                     # -> BENCH_fed.json
 package main
 
 import (
@@ -205,6 +209,8 @@ func main() {
 		simbench()
 	case *flagSweepbench:
 		sweepbench()
+	case *flagFedbench:
+		fedbench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

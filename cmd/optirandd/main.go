@@ -10,6 +10,22 @@
 //	optirandd -cache-dir /var/lib/optirand # persist the warm set across restarts
 //	optirandd -cache-dir D -cache-snapshot 30s  # + periodic snapshots (crash-safe)
 //
+// A daemon tree — one front routing to a fleet of leaf daemons on a
+// consistent-hash ring keyed by circuit, so each leaf keeps a hot
+// compiled-circuit/blob/result-cache working set:
+//
+//	optirandd -role leaf -addr :8421       # leaves: ordinary daemons
+//	optirandd -role leaf -addr :8422
+//	optirandd -addr :8417 \
+//	    -upstream :8421 -upstream :8422    # the front (role "front")
+//
+// The front probes each leaf's GET /v1/healthz every -health-interval:
+// a dead leaf leaves the ring and its in-flight tasks requeue onto the
+// survivors (after the -retry-delay backoff); a recovered leaf rejoins
+// at the same ring positions, so its circuits come back to it warm.
+// Tree answers are byte-identical to a standalone daemon's, and to
+// in-process execution.
+//
 // Endpoints (JSON wire format, versioned; see internal/wire):
 //
 //	POST /v1/optimize     run the paper's OPTIMIZE procedure for a circuit
@@ -19,7 +35,9 @@
 //	                      sends Accept: application/x-ndjson)
 //	PUT  /v1/blobs/{hash} upload a content-addressed circuit/fault blob
 //	GET  /v1/blobs/{hash} fetch one (HEAD probes residency)
-//	GET  /v1/stats        fleet, cache, blob store, and dedup counters
+//	GET  /v1/stats        fleet, cache, blob store, dedup, and (on a
+//	                      front) per-leaf federation counters
+//	GET  /v1/healthz      cheap liveness + role/readiness payload
 //
 // All campaign work flows through one bounded worker fleet and a
 // content-addressed result cache keyed by task identity, so repeated
@@ -33,7 +51,7 @@
 // its warm set. A sweep answered by the daemon is bit-identical to
 // the same sweep run in-process by engine.Run — any worker count, any
 // submission order, cold or warm cache, streamed or batched, inline
-// or by-ref.
+// or by-ref, standalone or routed through a federation front.
 package main
 
 import (
@@ -45,14 +63,30 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"optirand/internal/dist"
 )
 
+// upstreamFlags collects repeated -upstream values (each of which may
+// itself be a comma-separated list).
+type upstreamFlags []string
+
+func (u *upstreamFlags) String() string { return strings.Join(*u, ",") }
+
+func (u *upstreamFlags) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*u = append(*u, s)
+		}
+	}
+	return nil
+}
+
 var (
 	flagAddr       = flag.String("addr", "127.0.0.1:8417", "listen address (loopback by default; the service is unauthenticated)")
-	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker fleet size (shared by all requests)")
+	flagWorkers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker fleet size (shared by all requests; on a front, the routed-request fan-out width)")
 	flagSimWorkers = flag.Int("simworkers", 1, "fault-shard workers inside each campaign (results identical for any count)")
 	flagCacheSize  = flag.Int("cachesize", 1024, "content-addressed result cache entries (negative disables caching)")
 	flagCacheDir   = flag.String("cache-dir", "", "persist the result cache here (loaded on start, written on shutdown)")
@@ -60,10 +94,15 @@ var (
 	flagSnapDirty  = flag.Int("cache-snapshot-dirty", 1, "minimum new results since the last snapshot for a -cache-snapshot tick to write")
 	flagBlobBytes  = flag.Int64("blob-bytes", 0, "content-addressed blob store byte budget (0 selects the default)")
 	flagRetries    = flag.Int("maxattempts", 3, "execution attempts per task before a batch fails")
+	flagRetryDelay = flag.Duration("retry-delay", 100*time.Millisecond, "base of the jittered exponential backoff between a task's retry attempts (0 requeues immediately)")
 	flagJournal    = flag.String("journal", "", "journal every completed result in this directory and serve journaled tasks without re-executing, so a daemon restart resumes half-done sweeps")
+	flagHealthInt  = flag.Duration("health-interval", 2*time.Second, "with -upstream: leaf health-check cadence (dead leaves leave the routing ring, recovered ones rejoin)")
+	flagRole       = flag.String("role", "", "role label reported by /v1/stats and /v1/healthz (default: front with -upstream, standalone otherwise; label fleet members leaf)")
 )
 
 func main() {
+	var upstreams upstreamFlags
+	flag.Var(&upstreams, "upstream", "run as a federation front routing tasks to this leaf daemon (repeatable, or comma-separated)")
 	flag.Parse()
 	srv := dist.NewServer(dist.ServerOptions{
 		Workers:          *flagWorkers,
@@ -75,17 +114,27 @@ func main() {
 		JournalDir:       *flagJournal,
 		BlobBytes:        *flagBlobBytes,
 		MaxAttempts:      *flagRetries,
+		RetryDelay:       *flagRetryDelay,
+		Upstreams:        upstreams,
+		HealthInterval:   *flagHealthInt,
+		Role:             *flagRole,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "optirandd: "+format+"\n", args...)
 		},
 	})
 	defer srv.Close()
-	fmt.Printf("optirandd: serving /v1/{optimize,campaign,sweep,blobs,stats} on %s (%d workers)\n",
-		*flagAddr, *flagWorkers)
+	if len(upstreams) > 0 {
+		fmt.Printf("optirandd: federation front on %s routing to %d leaves (%s), %d concurrent routed requests\n",
+			*flagAddr, len(upstreams), strings.Join(upstreams, ", "), *flagWorkers)
+	} else {
+		fmt.Printf("optirandd: serving /v1/{optimize,campaign,sweep,blobs,stats,healthz} on %s (%d workers)\n",
+			*flagAddr, *flagWorkers)
+	}
 
 	// ^C drains gracefully: stop accepting, let in-flight requests
 	// finish (their own contexts cancel when clients hang up), then
-	// stop the worker fleet via the deferred Close.
+	// stop the worker fleet — and, on a front, the federation health
+	// checker — via the deferred Close.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	httpSrv := &http.Server{Addr: *flagAddr, Handler: srv}

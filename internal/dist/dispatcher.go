@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
@@ -56,6 +57,23 @@ type Options struct {
 	// every fresh result is appended as it completes — a restarted
 	// daemon resumes half-done sweeps instead of recomputing them.
 	Journal *Journal
+	// RetryDelay is the base delay before a failed attempt requeues.
+	// Successive failures of one item back off exponentially (×2 per
+	// attempt, capped by RetryMaxDelay) with uniform jitter over the
+	// top half of each delay, so a burst of failures against one dead
+	// executor neither hot-loops nor thunders back in lockstep. Zero
+	// (the default) requeues immediately — right for in-process
+	// executors, whose failures are deterministic, and for tests;
+	// network executors should set it so a momentarily unreachable
+	// service is not hammered MaxAttempts times in microseconds. The
+	// wait never occupies a worker and never delays cancellation: the
+	// item sits in a timer, the fleet keeps draining other work, and a
+	// batch cancelled mid-backoff returns immediately (the delayed
+	// requeue then finds no live waiter and is dropped).
+	RetryDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff (0 selects
+	// 32 × RetryDelay).
+	RetryMaxDelay time.Duration
 }
 
 // Dispatcher is a queue-backed engine.Backend: Run submits a batch to
@@ -78,6 +96,8 @@ type Dispatcher struct {
 	cache       *Cache
 	journal     *Journal
 	maxAttempts int
+	retryDelay  time.Duration
+	retryMax    time.Duration
 	wg          sync.WaitGroup
 
 	// fmu guards inflight, the singleflight table, and coalesced. Lock
@@ -105,12 +125,18 @@ func NewDispatcher(exec Executor, opts Options) *Dispatcher {
 	if maxAttempts <= 0 {
 		maxAttempts = 3
 	}
+	retryMax := opts.RetryMaxDelay
+	if retryMax <= 0 {
+		retryMax = 32 * opts.RetryDelay
+	}
 	d := &Dispatcher{
 		exec:        exec,
 		q:           newQueue(),
 		cache:       opts.Cache,
 		journal:     opts.Journal,
 		maxAttempts: maxAttempts,
+		retryDelay:  opts.RetryDelay,
+		retryMax:    retryMax,
 		inflight:    make(map[string]*flight),
 	}
 	for w := 0; w < workers; w++ {
@@ -286,7 +312,7 @@ func (d *Dispatcher) process(it *workItem) {
 		}
 		it.attempts++
 		if it.attempts < d.maxAttempts && !IsPermanent(err) {
-			d.q.push(it) // requeue: next free worker retries it
+			d.requeue(it) // after the backoff, the next free worker retries it
 			return
 		}
 		err = fmt.Errorf("dist: task %q failed after %d attempts: %w",
@@ -321,6 +347,42 @@ func (d *Dispatcher) process(it *workItem) {
 			Elapsed:  elapsed,
 		})
 	}
+}
+
+// requeue returns a failed item to the queue after its backoff delay
+// (immediately when Options.RetryDelay is zero). The delay runs on a
+// timer, not a worker: no fleet slot is held, and a batch cancelled
+// mid-backoff is not made to wait — its Run returns on ctx.Done while
+// the timer fires into liveCtx's dead-batch path (or a closed queue's
+// no-op push) later.
+func (d *Dispatcher) requeue(it *workItem) {
+	delay := d.backoff(it.attempts)
+	if delay <= 0 {
+		d.q.push(it)
+		return
+	}
+	time.AfterFunc(delay, func() { d.q.push(it) })
+}
+
+// backoff computes the jittered exponential delay before retry
+// attempt number attempts (1-based count of failures so far): the
+// base delay doubles per failure, capped, with the top half of each
+// step jittered uniformly so synchronized failures spread out.
+func (d *Dispatcher) backoff(attempts int) time.Duration {
+	if d.retryDelay <= 0 {
+		return 0
+	}
+	delay := d.retryDelay
+	for i := 1; i < attempts && delay < d.retryMax; i++ {
+		delay *= 2
+	}
+	if delay > d.retryMax {
+		delay = d.retryMax
+	}
+	// Uniform over [delay/2, delay]: enough spread to break lockstep,
+	// while the mean stays close to the nominal schedule. rand.Int64N
+	// is process-global and locked — fine at retry frequency.
+	return delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
 }
 
 // Run implements engine.Backend: results are positional and

@@ -1,0 +1,401 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// Daemon roles, as reported by /v1/healthz and /v1/stats. A daemon
+// cannot detect that it is someone's upstream, so "leaf" is an
+// operator-applied label (optirandd -role leaf); "front" is implied
+// by running with upstreams.
+const (
+	RoleStandalone = "standalone"
+	RoleFront      = "front"
+	RoleLeaf       = "leaf"
+)
+
+// FederationOptions configures a Federation.
+type FederationOptions struct {
+	// Replicas is the number of virtual ring points per leaf
+	// (<= 0 selects the ring default). More points smooth the circuit
+	// distribution across leaves.
+	Replicas int
+	// HealthInterval is the cadence of the background leaf health
+	// checker (0 selects 2s; < 0 disables it — leaves then leave the
+	// ring only on request failures and never rejoin, so disabling is
+	// for tests that drive CheckNow themselves).
+	HealthInterval time.Duration
+	// HealthTimeout bounds each individual health probe (0 selects
+	// 5s). A leaf that cannot answer /v1/healthz within it counts as
+	// down.
+	HealthTimeout time.Duration
+	// LeafTimeout bounds each routed campaign request (0 selects the
+	// leaf client default of 10 minutes; < 0 disables the timeout —
+	// context cancellation still applies).
+	LeafTimeout time.Duration
+	// Logf, when non-nil, receives membership transitions (leaf down,
+	// leaf rejoined). The library never writes to stderr itself.
+	Logf func(format string, args ...any)
+}
+
+// leafState is the federation's view of one leaf daemon.
+type leafState struct {
+	url    string
+	client *Client
+
+	// The fields below are guarded by the Federation's mu.
+	alive     bool
+	downSince time.Time
+	lastErr   string
+	routed    uint64 // campaign requests routed here
+	failures  uint64 // routed requests that failed (and were requeued by the dispatcher)
+	probes    uint64 // health probes sent
+	probeFail uint64 // health probes that failed
+}
+
+// Federation routes content-addressed tasks to a fleet of leaf
+// daemons over a consistent-hash ring keyed by each task's circuit
+// fingerprint, so every leaf keeps a hot working set — compiled
+// circuits, interned blobs, cached results — for the stable subset of
+// circuits it owns. It is the execution core of a front daemon
+// (optirandd -upstream): put a Dispatcher in front of its Executor
+// (FederatedBackend, or the Server's own wiring) and the front gains
+// the dispatcher's LRU result cache, in-flight singleflight dedup on
+// task identity, and retry/requeue — which is exactly the failover
+// path: a routed request that fails marks its leaf out of the ring
+// synchronously, the dispatcher requeues the attempt, and the retry
+// re-routes onto the surviving leaves.
+//
+// A background health checker probes every leaf's GET /v1/healthz on
+// a fixed cadence: probes failing marks a leaf down (out of the
+// ring), probes succeeding marks it back up. Because ring positions
+// are a pure function of the leaf's URL, a rejoining leaf re-enters
+// at exactly the points it held before — the circuits it owned come
+// back to it, and its caches are warm for them.
+//
+// Results are byte-identical to local execution by construction: the
+// ring only decides where a task runs, and every backend is bound to
+// the engine's equivalence contract.
+type Federation struct {
+	opts FederationOptions
+
+	mu     sync.Mutex
+	ring   *Ring
+	leaves map[string]*leafState
+	order  []string // configured order, for stable stats listings
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	closeOne sync.Once
+}
+
+// NewFederation builds a federation over the given leaf base URLs
+// (host:port or URL, as accepted by NewClient; duplicates collapse).
+// Every leaf starts live and on the ring; the health checker then
+// maintains membership. Close the federation when done.
+func NewFederation(upstreams []string, opts FederationOptions) (*Federation, error) {
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = 2 * time.Second
+	}
+	if opts.HealthTimeout <= 0 {
+		opts.HealthTimeout = 5 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	f := &Federation{
+		opts:   opts,
+		ring:   NewRing(opts.Replicas),
+		leaves: make(map[string]*leafState),
+		stop:   make(chan struct{}),
+	}
+	for _, u := range upstreams {
+		cl := NewClient(u)
+		if opts.LeafTimeout != 0 {
+			if opts.LeafTimeout < 0 {
+				cl.HTTP.Timeout = 0
+			} else {
+				cl.HTTP.Timeout = opts.LeafTimeout
+			}
+		}
+		if _, dup := f.leaves[cl.BaseURL]; dup {
+			continue
+		}
+		f.leaves[cl.BaseURL] = &leafState{url: cl.BaseURL, client: cl, alive: true}
+		f.order = append(f.order, cl.BaseURL)
+		f.ring.Add(cl.BaseURL)
+	}
+	if len(f.leaves) == 0 {
+		return nil, fmt.Errorf("dist: federation needs at least one upstream leaf")
+	}
+	if opts.HealthInterval > 0 {
+		f.wg.Add(1)
+		go f.healthLoop()
+	}
+	return f, nil
+}
+
+// Close stops the health checker. It does not wait for in-flight
+// routed requests — close the dispatcher in front of the federation
+// first.
+func (f *Federation) Close() {
+	f.closeOne.Do(func() {
+		close(f.stop)
+		f.wg.Wait()
+	})
+}
+
+// Leaves returns the configured leaf URLs in configuration order.
+func (f *Federation) Leaves() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+// RouteKey returns t's consistent-hash routing key: the circuit's
+// structural fingerprint. Every task of one circuit — whatever its
+// weights, seeds, or wire spelling (inline or CircuitRef) — shares a
+// key and therefore a leaf, which is what keeps that leaf's compiled
+// circuit, blobs, and cached results hot for it.
+func RouteKey(t *engine.Task) string {
+	return t.Circuit.Fingerprint()
+}
+
+// route picks the live leaf owning key, counting the routing
+// decision. ok is false when no leaf is live.
+func (f *Federation) route(key string) (*leafState, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	url, ok := f.ring.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	l := f.leaves[url]
+	l.routed++
+	return l, true
+}
+
+// markDown takes a leaf out of the ring after a failed request or
+// probe. Idempotent; concurrent failures of in-flight requests to one
+// dead leaf all land here, the first transition logs.
+func (f *Federation) markDown(l *leafState, cause error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	l.lastErr = cause.Error()
+	if !l.alive {
+		return
+	}
+	l.alive = false
+	l.downSince = time.Now()
+	f.ring.Remove(l.url)
+	f.opts.Logf("federation: leaf %s marked down (%d live): %v", l.url, f.ring.Len(), cause)
+}
+
+// markUp returns a recovered leaf to the ring — at exactly the
+// virtual points it held before, so its circuits route back to it.
+// The client's blob-residency knowledge is dropped: a leaf that died
+// and came back may have restarted with an empty blob store, and
+// re-probing is cheaper than a round of 422 re-upload retries.
+func (f *Federation) markUp(l *leafState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l.alive {
+		return
+	}
+	l.alive = true
+	l.lastErr = ""
+	l.downSince = time.Time{}
+	l.client.forgetUploads()
+	f.ring.Add(l.url)
+	f.opts.Logf("federation: leaf %s rejoined (%d live)", l.url, f.ring.Len())
+}
+
+// healthLoop drives CheckNow on the configured cadence until Close.
+func (f *Federation) healthLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-ticker.C:
+			f.CheckNow(context.Background())
+		}
+	}
+}
+
+// CheckNow probes every leaf's /v1/healthz once, concurrently, and
+// updates ring membership from the outcomes: an unready or
+// unreachable leaf leaves the ring, a recovered one rejoins. The
+// health loop calls it on a cadence; tests (and a front that wants a
+// synchronous membership refresh) may call it directly.
+func (f *Federation) CheckNow(ctx context.Context) {
+	f.mu.Lock()
+	leaves := make([]*leafState, 0, len(f.leaves))
+	for _, url := range f.order {
+		leaves = append(leaves, f.leaves[url])
+	}
+	f.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, l := range leaves {
+		wg.Add(1)
+		go func(l *leafState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, f.opts.HealthTimeout)
+			defer cancel()
+			h, err := l.client.Healthz(pctx)
+			f.mu.Lock()
+			l.probes++
+			if err != nil {
+				l.probeFail++
+			}
+			f.mu.Unlock()
+			switch {
+			case err != nil:
+				f.markDown(l, err)
+			case !h.Ready:
+				f.markDown(l, fmt.Errorf("leaf reports not ready (status %q)", h.Status))
+			default:
+				f.markUp(l)
+			}
+		}(l)
+	}
+	wg.Wait()
+}
+
+// FederatedExecutor adapts a federation to the Executor seam: each
+// task routes to the live leaf owning its circuit and becomes one
+// /v1/campaign request there, with the circuit and fault list
+// interned by content address against that leaf (the front probes and
+// uploads blobs to the owning leaf transparently, so interning keeps
+// paying across the tree). A failed request marks the leaf down
+// before the error returns, so the dispatcher's requeued retry
+// re-routes onto the survivors — the leaf-death failover path. When
+// no leaf is live the attempt fails retryably: the health checker may
+// restore a leaf between attempts.
+func FederatedExecutor(f *Federation) Executor {
+	return func(ctx context.Context, t *engine.Task) (*sim.CampaignResult, error) {
+		l, ok := f.route(RouteKey(t))
+		if !ok {
+			return nil, fmt.Errorf("dist: federation: no live leaves (of %d configured)", len(f.Leaves()))
+		}
+		res, _, err := l.client.Campaign(ctx, t)
+		if err != nil && ctx.Err() == nil {
+			f.mu.Lock()
+			l.failures++
+			f.mu.Unlock()
+			if !IsPermanent(err) {
+				// Transport failures and leaf-side 5xx take the leaf out
+				// of the ring so the retry lands elsewhere. Permanent
+				// rejections (4xx) are the task's problem, not the
+				// leaf's — it stays up.
+				f.markDown(l, err)
+			}
+			return nil, fmt.Errorf("leaf %s: %w", l.url, err)
+		}
+		return res, err
+	}
+}
+
+// FederatedBackend is the convenience composition a front runs: a
+// dispatcher fanning out up to workers concurrent routed requests
+// through the federation, retrying failed attempts (which re-route
+// around dead leaves) with the given backoff. The Server wires the
+// same composition itself when ServerOptions.Upstreams is set, adding
+// its result cache and journal tiers. Close the dispatcher, then the
+// federation.
+func FederatedBackend(f *Federation, workers int) *Dispatcher {
+	return NewDispatcher(FederatedExecutor(f), Options{Workers: workers})
+}
+
+// FederationStats is a point-in-time snapshot of tree routing and
+// health, listed per leaf in configuration order — the payload behind
+// a front's /v1/stats federation section, so a whole tree is
+// debuggable from one curl.
+type FederationStats struct {
+	Leaves     int         `json:"leaves"`
+	Live       int         `json:"live"`
+	Routed     uint64      `json:"routed"`
+	Failures   uint64      `json:"failures"`
+	PerLeaf    []LeafStats `json:"per_leaf"`
+	RingPoints int         `json:"ring_points_per_leaf"`
+}
+
+// LeafStats is one leaf's slice of FederationStats.
+type LeafStats struct {
+	URL       string  `json:"url"`
+	Alive     bool    `json:"alive"`
+	Routed    uint64  `json:"routed"`
+	Failures  uint64  `json:"failures"`
+	Probes    uint64  `json:"probes"`
+	ProbeFail uint64  `json:"probe_failures"`
+	LastError string  `json:"last_error,omitempty"`
+	DownFor   float64 `json:"down_seconds,omitempty"`
+}
+
+// Stats snapshots the federation's counters.
+func (f *Federation) Stats() FederationStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FederationStats{
+		Leaves:     len(f.leaves),
+		Live:       f.ring.Len(),
+		RingPoints: f.ring.replicas,
+	}
+	for _, url := range f.order {
+		l := f.leaves[url]
+		ls := LeafStats{
+			URL:       l.url,
+			Alive:     l.alive,
+			Routed:    l.routed,
+			Failures:  l.failures,
+			Probes:    l.probes,
+			ProbeFail: l.probeFail,
+			LastError: l.lastErr,
+		}
+		if !l.alive && !l.downSince.IsZero() {
+			ls.DownFor = time.Since(l.downSince).Seconds()
+		}
+		st.Routed += l.routed
+		st.Failures += l.failures
+		st.PerLeaf = append(st.PerLeaf, ls)
+	}
+	return st
+}
+
+// Healthz fetches the daemon's GET /v1/healthz liveness payload. The
+// endpoint is deliberately version-free and uncompressed, so any
+// load balancer — or an older client — can read it; a daemon
+// predating it answers 404, which callers should treat as down.
+func (cl *Client) Healthz(ctx context.Context) (*wire.Health, error) {
+	resp, err := cl.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &httpError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("dist: /v1/healthz: %s", resp.Status),
+		}
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: /v1/healthz: %w", err)
+	}
+	var h wire.Health
+	if err := wire.JSON.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("dist: /v1/healthz: bad payload: %w", err)
+	}
+	return &h, nil
+}

@@ -1,0 +1,404 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// TestRingDeterministicMinimalDisruption pins the consistent-hash
+// contract: removing a node moves only that node's keys, and a node
+// that re-enters the ring restores the exact original mapping —
+// positions are a pure function of the node name.
+func TestRingDeterministicMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://leaf-a", "http://leaf-b", "http://leaf-c"}
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := make([]string, 600)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("circuit-fingerprint-%d", i)
+	}
+	before := make(map[string]string, len(keys))
+	owned := make(map[string]int)
+	for _, k := range keys {
+		n, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on a populated ring")
+		}
+		before[k] = n
+		owned[n]++
+	}
+	// Every node must own a real share of the keyspace — virtual
+	// points exist precisely to smooth the distribution.
+	for _, n := range nodes {
+		if owned[n] < len(keys)/10 {
+			t.Fatalf("node %s owns %d/%d keys; the ring is badly unbalanced: %v", n, owned[n], len(keys), owned)
+		}
+	}
+
+	r.Remove("http://leaf-b")
+	for _, k := range keys {
+		n, _ := r.Lookup(k)
+		if before[k] != "http://leaf-b" && n != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed in the ring", k, before[k], n)
+		}
+		if before[k] == "http://leaf-b" && n == "http://leaf-b" {
+			t.Fatalf("key %s still maps to the removed node", k)
+		}
+	}
+
+	// Rejoin: byte-for-byte the original mapping.
+	r.Add("http://leaf-b")
+	for _, k := range keys {
+		if n, _ := r.Lookup(k); n != before[k] {
+			t.Fatalf("after rejoin key %s maps to %s, want %s", k, n, before[k])
+		}
+	}
+
+	// Adding an existing node is a no-op, not a duplication.
+	points := len(r.points)
+	r.Add("http://leaf-b")
+	if len(r.points) != points {
+		t.Fatalf("re-adding a present node grew the ring %d -> %d points", points, len(r.points))
+	}
+}
+
+// TestHealthzEndpoint proves GET /v1/healthz answers a version-free,
+// never-gzipped liveness payload carrying the daemon's role.
+func TestHealthzEndpoint(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 1, Role: RoleLeaf})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ask for gzip explicitly: the endpoint must ignore it. (Setting
+	// the header manually also disables the transport's transparent
+	// decompression, so a gzipped body would fail the decode below.)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("healthz answered Content-Encoding %q; liveness must never be compressed", enc)
+	}
+	var h wire.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Role != RoleLeaf || !h.Ready {
+		t.Fatalf("healthz payload %+v, want ok/leaf/ready", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime %v", h.UptimeSeconds)
+	}
+
+	// The client helper reads the same payload.
+	cl := NewClient(ts.Listener.Addr().String())
+	got, err := cl.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Role != RoleLeaf || !got.Ready {
+		t.Fatalf("client healthz payload %+v, want leaf/ready", got)
+	}
+}
+
+// TestFederationRouteAffinity proves every task of one circuit routes
+// to the same leaf (the key is the circuit fingerprint), and that the
+// federation's routing agrees with a bare ring over the leaf URLs.
+func TestFederationRouteAffinity(t *testing.T) {
+	var leaves []*httptest.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := NewServer(ServerOptions{Workers: 1})
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		leaves = append(leaves, ts)
+		urls = append(urls, ts.Listener.Addr().String())
+	}
+	f, err := NewFederation(urls, FederationOptions{HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	ref := NewRing(0)
+	for _, u := range f.Leaves() {
+		ref.Add(u)
+	}
+	owner := make(map[string]string) // circuit name -> leaf URL
+	for _, task := range testTasks(t) {
+		key := RouteKey(task)
+		l, ok := f.route(key)
+		if !ok {
+			t.Fatal("route failed with all leaves live")
+		}
+		want, _ := ref.Lookup(key)
+		if l.url != want {
+			t.Fatalf("federation routed %s to %s, ring says %s", task.Label, l.url, want)
+		}
+		name := task.Circuit.Name
+		if prev, seen := owner[name]; seen && prev != l.url {
+			t.Fatalf("circuit %s routed to both %s and %s; route affinity broken", name, prev, l.url)
+		}
+		owner[name] = l.url
+	}
+}
+
+// TestFederatedBackendMatchesEngineRun runs the full grid through a
+// dispatcher over a 3-leaf federation — cold, then warm — and demands
+// byte-identity with the serial in-process reference.
+func TestFederatedBackendMatchesEngineRun(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := NewServer(ServerOptions{Workers: 2, CacheSize: 256})
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		urls = append(urls, ts.Listener.Addr().String())
+	}
+	f, err := NewFederation(urls, FederationOptions{HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d := FederatedBackend(f, 4)
+	defer d.Close()
+
+	for _, pass := range []string{"cold", "warm"} {
+		got, err := d.Run(context.Background(), tasks)
+		if err != nil {
+			t.Fatalf("%s: %v", pass, err)
+		}
+		if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+			t.Fatalf("%s: federated results differ from engine.Run", pass)
+		}
+	}
+	st := f.Stats()
+	if st.Live != 3 || st.Leaves != 3 {
+		t.Fatalf("stats report %d/%d live leaves, want 3/3", st.Live, st.Leaves)
+	}
+	if st.Routed < uint64(len(tasks)) {
+		t.Fatalf("stats report %d routed requests for %d tasks", st.Routed, len(tasks))
+	}
+}
+
+// TestFederationFailoverAndRejoin kills the leaf that owns a circuit,
+// proves the dispatcher's requeued retries re-route its tasks onto the
+// survivor byte-identically, and then restarts the leaf on the same
+// address: the next health check returns it to the ring at its old
+// positions, and its circuit routes back to it.
+func TestFederationFailoverAndRejoin(t *testing.T) {
+	tasks := testTasks(t)
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two daemons on pinned listeners so one can be restarted on the
+	// same address later.
+	type daemon struct {
+		addr    string
+		srv     *Server
+		httpSrv *http.Server
+	}
+	start := func(addr string) *daemon {
+		srv := NewServer(ServerOptions{Workers: 2, CacheSize: 64})
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &daemon{addr: ln.Addr().String(), srv: srv, httpSrv: &http.Server{Handler: srv}}
+		go d.httpSrv.Serve(ln)
+		return d
+	}
+	stop := func(d *daemon) {
+		d.httpSrv.Close()
+		d.srv.Close()
+	}
+	a, b := start("127.0.0.1:0"), start("127.0.0.1:0")
+	defer stop(a)
+
+	f, err := NewFederation([]string{a.addr, b.addr}, FederationOptions{HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Find the leaf owning the first task's circuit and kill it before
+	// any request flows — every task of that circuit must fail over.
+	key := RouteKey(tasks[0])
+	ownerURL, _ := f.ring.Lookup(key)
+	victim, survivor := b, a
+	if ownerURL == NewClient(a.addr).BaseURL {
+		victim, survivor = a, b
+	}
+	stop(victim)
+	defer stop(survivor)
+
+	d := NewDispatcher(FederatedExecutor(f), Options{Workers: 4, MaxAttempts: 3})
+	defer d.Close()
+	got, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("run with a dead leaf: %v", err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+		t.Fatal("failover results differ from engine.Run")
+	}
+	st := f.Stats()
+	if st.Live != 1 {
+		t.Fatalf("%d live leaves after the kill, want 1", st.Live)
+	}
+	var victimStats *LeafStats
+	for i := range st.PerLeaf {
+		if st.PerLeaf[i].URL == NewClient(victim.addr).BaseURL {
+			victimStats = &st.PerLeaf[i]
+		}
+	}
+	if victimStats == nil || victimStats.Alive || victimStats.Failures == 0 {
+		t.Fatalf("victim stats %+v, want dead with recorded failures", victimStats)
+	}
+
+	// Restart on the same address; an explicit health check readmits
+	// the leaf, and the circuit it owned routes back to it.
+	restarted := start(victim.addr)
+	defer stop(restarted)
+	f.CheckNow(context.Background())
+	st = f.Stats()
+	if st.Live != 2 {
+		t.Fatalf("%d live leaves after the rejoin, want 2", st.Live)
+	}
+	if back, _ := f.ring.Lookup(key); back != ownerURL {
+		t.Fatalf("after rejoin the circuit routes to %s, want its old owner %s", back, ownerURL)
+	}
+	rerun, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("run after rejoin: %v", err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(rerun)) {
+		t.Fatal("post-rejoin results differ from engine.Run")
+	}
+}
+
+// TestFederationNoLiveLeaves proves the executor fails retryably —
+// not panics, not hangs — when every leaf is down.
+func TestFederationNoLiveLeaves(t *testing.T) {
+	// A listener that is closed immediately: connection refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	f, err := NewFederation([]string{addr}, FederationOptions{HealthInterval: -1, HealthTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.CheckNow(context.Background())
+	if st := f.Stats(); st.Live != 0 {
+		t.Fatalf("%d live leaves with the only daemon down, want 0", st.Live)
+	}
+
+	exec := FederatedExecutor(f)
+	_, err = exec(context.Background(), testTasks(t)[0])
+	if err == nil || !strings.Contains(err.Error(), "no live leaves") {
+		t.Fatalf("err = %v, want a no-live-leaves error", err)
+	}
+	if IsPermanent(err) {
+		t.Fatal("no-live-leaves must stay retryable: the health checker may restore a leaf between attempts")
+	}
+}
+
+// TestDispatcherRetryBackoff proves failed attempts wait out the
+// jittered exponential backoff instead of hot-looping: with a 20ms
+// base, two failures cost at least 10ms + 20ms (the jitter floors)
+// before the third attempt succeeds.
+func TestDispatcherRetryBackoff(t *testing.T) {
+	task := testTasks(t)[0]
+	ref, err := engine.Run(context.Background(), []*engine.Task{task}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	attempts := 0
+	flaky := func(ctx context.Context, tk *engine.Task) (*sim.CampaignResult, error) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			return nil, fmt.Errorf("injected failure %d", n)
+		}
+		return LocalExecutor(ctx, tk)
+	}
+	d := NewDispatcher(flaky, Options{Workers: 2, MaxAttempts: 3, RetryDelay: 20 * time.Millisecond})
+	defer d.Close()
+
+	start := time.Now()
+	got, err := d.Run(context.Background(), []*engine.Task{task})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaigns(ref), campaigns(got)) {
+		t.Fatal("retried result differs from engine.Run")
+	}
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("two retries completed in %v; the backoff (>= 10ms + 20ms) was not honored", elapsed)
+	}
+
+	// The backoff schedule itself: exponential, jittered within
+	// [delay/2, delay], capped.
+	capped := NewDispatcher(LocalExecutor, Options{RetryDelay: 10 * time.Millisecond, RetryMaxDelay: 40 * time.Millisecond})
+	defer capped.Close()
+	for attempt, want := range map[int][2]time.Duration{
+		1:  {5 * time.Millisecond, 10 * time.Millisecond},
+		2:  {10 * time.Millisecond, 20 * time.Millisecond},
+		3:  {20 * time.Millisecond, 40 * time.Millisecond},
+		10: {20 * time.Millisecond, 40 * time.Millisecond}, // capped
+	} {
+		for i := 0; i < 50; i++ {
+			if got := capped.backoff(attempt); got < want[0] || got > want[1] {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]", attempt, got, want[0], want[1])
+			}
+		}
+	}
+	zero := NewDispatcher(LocalExecutor, Options{})
+	defer zero.Close()
+	if got := zero.backoff(5); got != 0 {
+		t.Fatalf("backoff with no RetryDelay = %v, want 0 (immediate requeue)", got)
+	}
+}

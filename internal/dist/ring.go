@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the default number of virtual points each node
+// contributes to a Ring. More points smooth the key distribution
+// across nodes; the hash positions depend only on the node's name, so
+// the count trades balance against Lookup table size, never mapping
+// stability.
+const ringReplicas = 64
+
+// Ring is a consistent-hash ring: it maps content-address keys (task
+// route keys, circuit fingerprints) to named nodes such that
+//
+//   - the mapping is a pure function of the current node set — two
+//     rings holding the same nodes agree on every key, whatever order
+//     the nodes were added or how often they left and rejoined — and
+//
+//   - removing a node remaps only the keys it owned; every other key
+//     keeps its node. That minimal-disruption property is what keeps
+//     each leaf daemon's compiled-circuit/blob/result-cache working
+//     set hot across fleet membership changes.
+//
+// Each node occupies replicas pseudo-random points on a 64-bit hash
+// circle (SHA-256 of "name#i"); a key belongs to the node owning the
+// first point at or clockwise after the key's own hash. Ring is not
+// safe for concurrent use; the Federation serializes access.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted ascending by hash
+	nodes    map[string]bool
+}
+
+// ringPoint is one virtual node position on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual points per
+// node (<= 0 selects the default).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = ringReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// ringHash positions a string on the hash circle. SHA-256 rather than
+// a fast non-cryptographic hash: ring hashes happen once per
+// membership change and once per task, and the keys being placed are
+// themselves hex SHA-256 content addresses, so uniformity matters
+// more than speed.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts node's virtual points. Adding a present node is a
+// no-op, so a leaf rejoining after an outage lands on exactly the
+// points it held before — deterministic re-entry.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: ringHash(node + "#" + strconv.Itoa(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes node's virtual points; keys it owned fall through to
+// their clockwise successors. Removing an absent node is a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports whether node is currently on the ring.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the current node set in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the node owning key — the first virtual point at or
+// clockwise after the key's hash, wrapping at the top of the circle.
+// ok is false exactly when the ring is empty.
+func (r *Ring) Lookup(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the key sits past the last point
+	}
+	return r.points[i].node, true
+}

@@ -90,8 +90,34 @@ type ServerOptions struct {
 	BlobBytes int64
 	// MaxAttempts bounds executions per task (default 3).
 	MaxAttempts int
+	// RetryDelay is the base of the jittered exponential backoff
+	// between a task's retry attempts (see Options.RetryDelay; 0
+	// requeues immediately). Fronts should set it: a retry against a
+	// fleet with every leaf down would otherwise burn MaxAttempts in
+	// microseconds, before the health checker can restore anything.
+	RetryDelay time.Duration
+	// Upstreams, when non-empty, runs the daemon as a federation
+	// front: instead of executing campaigns on a local worker fleet,
+	// every task routes to the leaf daemon (another optirandd) that
+	// owns the task's circuit on a consistent-hash ring, so each leaf
+	// keeps a hot compiled-circuit/blob/result-cache working set. The
+	// front's own dispatcher still provides the LRU result cache,
+	// singleflight dedup, journal tier, and retry — a failed leaf is
+	// marked out of the ring and the retry re-routes onto survivors.
+	// Workers then bounds concurrent routed requests rather than local
+	// campaigns.
+	Upstreams []string
+	// HealthInterval is the front's leaf health-check cadence
+	// (0 selects 2s, < 0 disables the checker). Ignored without
+	// Upstreams.
+	HealthInterval time.Duration
+	// Role overrides the role label reported by /v1/healthz and
+	// /v1/stats. Defaults to "front" when Upstreams is set and
+	// "standalone" otherwise; operators label fleet members "leaf".
+	Role string
 	// Logf, when non-nil, receives operational messages (cache
-	// load/save outcomes). The library never writes to stderr itself.
+	// load/save outcomes, federation membership transitions). The
+	// library never writes to stderr itself.
 	Logf func(format string, args ...any)
 }
 
@@ -104,7 +130,10 @@ type ServerOptions struct {
 //	                      the client sends Accept: application/x-ndjson
 //	PUT  /v1/blobs/{hash} upload a content-addressed blob
 //	GET  /v1/blobs/{hash} fetch one (HEAD probes residency)
-//	GET  /v1/stats        service, cache, blob, and dispatcher counters
+//	GET  /v1/stats        service, cache, blob, dispatcher, and (on
+//	                      fronts) federation counters
+//	GET  /v1/healthz      cheap liveness + role/readiness (version-free,
+//	                      never gzipped; what federation fronts probe)
 //
 // Campaign and sweep execution flows through one queue-backed
 // dispatcher (bounded fleet, content-addressed cache), so a sweep
@@ -122,6 +151,9 @@ type Server struct {
 	cache   *Cache
 	blobs   *BlobStore
 	journal *Journal
+	fed     *Federation
+	role    string
+	started time.Time
 	mux     *http.ServeMux
 	// optSem bounds concurrent /v1/optimize runs to the fleet size:
 	// optimization is the most expensive procedure in the system and
@@ -165,14 +197,46 @@ func NewServer(opts ServerOptions) *Server {
 			}
 		}
 	}
+	// Role wiring: with upstreams the daemon is a federation front —
+	// its executor routes every task to the owning leaf instead of
+	// simulating locally, while the dispatcher in front of it keeps
+	// providing the cache, singleflight, journal, and retry tiers
+	// (retry being the leaf-failover path).
+	exec := LocalExecutor
+	role := opts.Role
+	var fed *Federation
+	if len(opts.Upstreams) > 0 {
+		f, err := NewFederation(opts.Upstreams, FederationOptions{
+			HealthInterval: opts.HealthInterval,
+			Logf:           opts.Logf,
+		})
+		if err != nil {
+			// Unreachable for a non-empty upstream list; degrade loudly
+			// to local execution rather than panic in a constructor.
+			opts.Logf("federation unusable, executing locally: %v", err)
+		} else {
+			fed = f
+			exec = FederatedExecutor(f)
+			if role == "" {
+				role = RoleFront
+			}
+		}
+	}
+	if role == "" {
+		role = RoleStandalone
+	}
 	s := &Server{
 		opts:    opts,
 		cache:   cache,
 		blobs:   NewBlobStore(opts.BlobBytes),
 		journal: journal,
-		disp: NewDispatcher(LocalExecutor, Options{
+		fed:     fed,
+		role:    role,
+		started: time.Now(),
+		disp: NewDispatcher(exec, Options{
 			Workers:     opts.Workers,
 			MaxAttempts: opts.MaxAttempts,
+			RetryDelay:  opts.RetryDelay,
 			Cache:       cache,
 			Journal:     journal,
 		}),
@@ -202,9 +266,24 @@ func NewServer(opts ServerOptions) *Server {
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("PUT /v1/blobs/{hash}", s.handleBlobPut)
 	s.mux.HandleFunc("GET /v1/blobs/{hash}", s.handleBlobGet)
 	return s
+}
+
+// handleHealthz answers the liveness probe: a tiny version-free JSON
+// payload (status, role, readiness, uptime), never gzipped, no
+// authentication — cheap enough for load balancers to hit every
+// second, and the signal the federation health checker routes on.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&wire.Health{ //nolint:errcheck // the connection owns delivery
+		Status:        "ok",
+		Role:          s.role,
+		Ready:         true,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -256,6 +335,11 @@ func (s *Server) Close() {
 			s.snapWG.Wait()
 		}
 		s.disp.Close()
+		if s.fed != nil {
+			// After the dispatcher: no routed request can be in flight
+			// once the fleet has drained.
+			s.fed.Close()
+		}
 		if s.journal != nil {
 			if err := s.journal.Close(); err != nil {
 				s.opts.Logf("journal not cleanly closed: %v", err)
@@ -607,10 +691,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
-	WireVersion int    `json:"wire_version"`
-	Workers     int    `json:"workers"`
-	SimWorkers  int    `json:"sim_workers"`
-	CacheDir    string `json:"cache_dir,omitempty"`
+	WireVersion int `json:"wire_version"`
+	// Role is the daemon's place in a tree ("front", "leaf",
+	// "standalone") and UptimeSeconds its age; on fronts, Federation
+	// carries per-leaf route and health counters — together they make
+	// a whole daemon tree debuggable from one curl per node.
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	SimWorkers    int     `json:"sim_workers"`
+	CacheDir      string  `json:"cache_dir,omitempty"`
 	// SnapshotInterval reports the periodic cache-snapshot cadence
 	// ("0s" when only shutdown persistence is active); completed
 	// snapshots — periodic and shutdown alike — are counted in
@@ -621,14 +711,17 @@ type statsResponse struct {
 	Blobs            *BlobStats       `json:"blobs,omitempty"`
 	Dispatcher       *DispatcherStats `json:"dispatcher,omitempty"`
 	Journal          *JournalStats    `json:"journal,omitempty"`
+	Federation       *FederationStats `json:"federation,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
-		WireVersion: wire.Version,
-		Workers:     s.opts.Workers,
-		SimWorkers:  s.opts.SimWorkers,
-		CacheDir:    s.opts.CacheDir,
+		WireVersion:   wire.Version,
+		Role:          s.role,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.opts.Workers,
+		SimWorkers:    s.opts.SimWorkers,
+		CacheDir:      s.opts.CacheDir,
 	}
 	if s.snapStop != nil { // the snapshot loop actually runs
 		resp.SnapshotInterval = s.opts.SnapshotInterval.String()
@@ -645,6 +738,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.JournalDir = s.opts.JournalDir
 		jst := s.journal.Stats()
 		resp.Journal = &jst
+	}
+	if s.fed != nil {
+		fst := s.fed.Stats()
+		resp.Federation = &fst
 	}
 	respond(w, r, &resp)
 }

@@ -190,6 +190,28 @@ type SweepEvent struct {
 	CacheHits int             `json:"cache_hits,omitempty"`
 }
 
+// Health is the GET /v1/healthz payload: cheap liveness plus the
+// daemon's role in a federated tree. Deliberately version-free —
+// load balancers and federation health checkers must be able to read
+// it from any daemon generation, and a liveness probe that rejects
+// its peer over a format version would defeat its purpose. It is also
+// never compressed: the payload is tiny and probers should not need
+// content negotiation.
+type Health struct {
+	// Status is "ok" on a serving daemon.
+	Status string `json:"status"`
+	// Role is the daemon's place in a tree: "front" (routes to
+	// upstream leaves), "leaf" (an operator-applied label on fleet
+	// members), or "standalone".
+	Role string `json:"role"`
+	// Ready reports whether the daemon is accepting work. A draining
+	// daemon may answer liveness with Ready false; federation fronts
+	// route around it.
+	Ready bool `json:"ready"`
+	// UptimeSeconds is the daemon's time since start.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 // CheckVersion rejects any wire version other than Version (see the
 // package comment for the policy).
 func CheckVersion(v int) error {

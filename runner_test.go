@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"optirand"
 	"optirand/internal/dist"
@@ -55,18 +57,58 @@ func testSweepSpec(t *testing.T) (optirand.SweepSpec, int) {
 // returns its address.
 func startDaemon(t *testing.T, opts dist.ServerOptions) string {
 	t.Helper()
-	srv := dist.NewServer(opts)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
+	return startLeafDaemon(t, opts).addr
+}
+
+// testDaemon is a restartable daemon for federation tests: kill drops
+// it hard (in-flight connections included — a crashed leaf), restart
+// brings a fresh daemon up on the same address so the ring readmits it
+// at its old positions.
+type testDaemon struct {
+	t    *testing.T
+	addr string
+	opts dist.ServerOptions
+
+	mu      sync.Mutex
+	srv     *dist.Server
+	httpSrv *http.Server
+}
+
+// startLeafDaemon hosts a daemon on a loopback listener (or on
+// d.addr when restarting) and registers cleanup.
+func startLeafDaemon(t *testing.T, opts dist.ServerOptions) *testDaemon {
+	t.Helper()
+	d := &testDaemon{t: t, addr: "127.0.0.1:0", opts: opts}
+	d.restart()
+	t.Cleanup(d.kill)
+	return d
+}
+
+func (d *testDaemon) kill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.httpSrv == nil {
+		return
 	}
-	httpSrv := &http.Server{Handler: srv}
-	go httpSrv.Serve(ln)
-	t.Cleanup(func() {
-		httpSrv.Close()
-		srv.Close()
-	})
-	return ln.Addr().String()
+	d.httpSrv.Close()
+	d.srv.Close()
+	d.httpSrv, d.srv = nil, nil
+}
+
+func (d *testDaemon) restart() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.httpSrv != nil {
+		d.t.Fatalf("daemon %s restarted while running", d.addr)
+	}
+	srv := dist.NewServer(d.opts)
+	ln, err := net.Listen("tcp", d.addr)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	d.addr = ln.Addr().String()
+	d.srv, d.httpSrv = srv, &http.Server{Handler: srv}
+	go d.httpSrv.Serve(ln)
 }
 
 // equalResults demands two result sets agree positionally in label,
@@ -138,6 +180,22 @@ func TestRunnerCrossBackendEquivalence(t *testing.T) {
 		"remote-client-cached": optirand.NewRunner(
 			optirand.WithRemote(startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: -1})),
 			optirand.WithWorkers(2), optirand.WithCache(64)),
+		// A federated tree: a front daemon routing every task to one of
+		// three leaf daemons over the consistent-hash ring. The front's
+		// own cache is disabled so the warm pass re-routes — leaf-side
+		// route affinity must answer it byte-identically anyway.
+		"federated-tree": optirand.NewRunner(
+			optirand.WithRemote(startDaemon(t, dist.ServerOptions{
+				Workers:   3,
+				CacheSize: -1,
+				Upstreams: []string{
+					startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 256, Role: dist.RoleLeaf}),
+					startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 256, Role: dist.RoleLeaf}),
+					startDaemon(t, dist.ServerOptions{Workers: 2, CacheSize: 256, Role: dist.RoleLeaf}),
+				},
+				RetryDelay: 5 * time.Millisecond,
+			})),
+			optirand.WithWorkers(4)),
 	}
 	for label, r := range runners {
 		got, err := r.Sweep(ctx, spec)
@@ -203,6 +261,158 @@ func TestRunnerCrossBackendEquivalence(t *testing.T) {
 	if stats.Cache == nil || stats.Cache.Hits != uint64(nTasks) || stats.Cache.Loaded == 0 {
 		t.Fatalf("restarted daemon cache stats %+v, want %d hits from a loaded snapshot", stats.Cache, nTasks)
 	}
+}
+
+// frontFederation fetches the federation section of a front daemon's
+// /v1/stats.
+func frontFederation(t *testing.T, addr string) *dist.FederationStats {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Role       string                `json:"role"`
+		Federation *dist.FederationStats `json:"federation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Role != dist.RoleFront || stats.Federation == nil {
+		t.Fatalf("daemon %s reports role %q with federation %v; want a front with federation stats", addr, stats.Role, stats.Federation)
+	}
+	return stats.Federation
+}
+
+// TestRunnerFederatedTreeKillAndRejoin is the federation acceptance
+// contract at the public API: a sweep through a 3-leaf tree survives a
+// leaf killed mid-sweep — the front requeues the dead leaf's tasks
+// onto the survivors — byte-identical to the serial in-process
+// reference; the restarted leaf rejoins the ring via the health
+// checker; and upstream order is irrelevant (a front configured with
+// the leaves in a different order answers identically).
+func TestRunnerFederatedTreeKillAndRejoin(t *testing.T) {
+	ctx := context.Background()
+	spec, nTasks := testSweepSpec(t)
+
+	serial := optirand.NewRunner(optirand.WithWorkers(1))
+	defer serial.Close()
+	ref, err := serial.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leafOpts := dist.ServerOptions{Workers: 2, CacheSize: 64, Role: dist.RoleLeaf}
+	leaves := []*testDaemon{
+		startLeafDaemon(t, leafOpts),
+		startLeafDaemon(t, leafOpts),
+		startLeafDaemon(t, leafOpts),
+	}
+	// Deliberately not configuration order: the ring hashes URLs, so
+	// upstream order must not matter.
+	upstreams := []string{leaves[2].addr, leaves[0].addr, leaves[1].addr}
+	front := startLeafDaemon(t, dist.ServerOptions{
+		Workers:        3,
+		CacheSize:      -1, // every pass re-routes; identity must come from the tree itself
+		Upstreams:      upstreams,
+		HealthInterval: 100 * time.Millisecond,
+		RetryDelay:     5 * time.Millisecond,
+	})
+	r := optirand.NewRunner(optirand.WithRemote(front.addr), optirand.WithWorkers(4))
+	defer r.Close()
+
+	// Cold pass, killing a leaf that has live routed work as soon as
+	// the first result arrives. The kill drops its in-flight
+	// connections, so the front must mark it down and requeue.
+	var killOnce sync.Once
+	var victim *testDaemon
+	got := make([]optirand.TaskResult, nTasks)
+	err = r.SweepEach(ctx, spec, func(i int, res optirand.TaskResult) {
+		got[i] = res
+		killOnce.Do(func() {
+			for _, ls := range frontFederation(t, front.addr).PerLeaf {
+				if !ls.Alive || ls.Routed == 0 {
+					continue
+				}
+				for _, l := range leaves {
+					if strings.HasSuffix(ls.URL, l.addr) {
+						victim = l
+					}
+				}
+				break
+			}
+			if victim == nil {
+				t.Error("no live leaf with routed work to kill")
+				return
+			}
+			victim.kill()
+		})
+	})
+	if err != nil {
+		t.Fatalf("sweep with a mid-flight leaf kill: %v", err)
+	}
+	equalResults(t, "federated/kill", ref, got)
+	if victim == nil {
+		t.Fatal("the kill never happened")
+	}
+
+	// The health checker notices the corpse even with no traffic.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := frontFederation(t, front.addr)
+		if st.Live == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("front still reports %d live leaves %v after the kill", st.Live, st.PerLeaf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Survivors carry the whole grid.
+	midkill, err := r.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("sweep on the survivors: %v", err)
+	}
+	equalResults(t, "federated/survivors", ref, midkill)
+
+	// Restart on the same address: the health loop readmits the leaf
+	// at its old ring positions, and the tree still answers
+	// byte-identically.
+	victim.restart()
+	for {
+		st := frontFederation(t, front.addr)
+		if st.Live == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("front reports %d live leaves %v; the restarted leaf never rejoined", st.Live, st.PerLeaf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rejoined, err := r.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("sweep after the rejoin: %v", err)
+	}
+	equalResults(t, "federated/rejoined", ref, rejoined)
+
+	// A front over the same leaves in a different upstream order is
+	// the same tree: ring positions hash from leaf URLs, not indices.
+	front2 := startLeafDaemon(t, dist.ServerOptions{
+		Workers:        3,
+		CacheSize:      -1,
+		Upstreams:      []string{leaves[0].addr, leaves[1].addr, leaves[2].addr},
+		HealthInterval: 100 * time.Millisecond,
+		RetryDelay:     5 * time.Millisecond,
+	})
+	r2 := optirand.NewRunner(optirand.WithRemote(front2.addr), optirand.WithWorkers(3))
+	defer r2.Close()
+	reordered, err := r2.Sweep(ctx, spec)
+	if err != nil {
+		t.Fatalf("sweep through the reordered front: %v", err)
+	}
+	equalResults(t, "federated/reordered-front", ref, reordered)
 }
 
 // TestRunnerSweepEachMatchesSweep proves the streaming contract on
