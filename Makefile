@@ -7,13 +7,15 @@
 # `make internbench` / `make simbench` / `make sweepbench` emit the
 # machine-readable performance summaries BENCH_parallel.json /
 # BENCH_service.json / BENCH_intern.json / BENCH_sim.json /
-# BENCH_sweep.json; `make fedbench` benchmarks a federated daemon
+# BENCH_sweep.json ; `make fedbench` benchmarks a federated daemon
 # tree (1-leaf vs N-leaf, route affinity, leaf-kill requeue) into
-# BENCH_fed.json; `make serve` starts the optirandd HTTP daemon.
+# BENCH_fed.json; `make adaptbench` compares closed-loop (adaptive)
+# campaigns against the static optimum into BENCH_adapt.json;
+# `make serve` starts the optirandd HTTP daemon.
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench fedbench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench fedbench adaptbench vet fmt clean
 
 all: build test
 
@@ -57,6 +59,9 @@ sweepbench:
 fedbench:
 	$(GO) run ./cmd/benchgen -fedbench
 
+adaptbench:
+	$(GO) run ./cmd/benchgen -adaptbench
+
 vet:
 	$(GO) vet ./...
 
@@ -65,4 +70,4 @@ fmt:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json BENCH_sweep.json BENCH_fed.json coverage.out coverage.txt
+	rm -f BENCH_parallel.json BENCH_service.json BENCH_intern.json BENCH_sim.json BENCH_sweep.json BENCH_fed.json BENCH_adapt.json coverage.out coverage.txt

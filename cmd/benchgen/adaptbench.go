@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+
+	"optirand"
+	"optirand/internal/adapt"
+	"optirand/internal/report"
+)
+
+var (
+	flagAdaptbench = flag.Bool("adaptbench", false, "benchmark closed-loop (adaptive) campaigns vs the static optimized test, write a JSON summary")
+	flagAdaptOut   = flag.String("adaptout", "BENCH_adapt.json", "adaptbench: summary output path")
+	flagAdaptCirc  = flag.String("adaptcircuits", "s1,c7552", "adaptbench: comma-separated circuits (default: the random-pattern-resistant pair where residual re-optimization pays)")
+	flagAdaptN     = flag.Int("adaptn", 0, "adaptbench: pattern budget per campaign (0 = each circuit's evaluation budget)")
+)
+
+// adaptTarget compares one coverage target: the pattern count at
+// which each campaign first reached it (0 = not reached in budget).
+type adaptTarget struct {
+	Coverage         float64 `json:"coverage"`
+	StaticPatterns   int     `json:"static_patterns"`
+	AdaptivePatterns int     `json:"adaptive_patterns"`
+	// AdaptiveWin: the adaptive campaign reached the target in
+	// strictly fewer patterns than the static optimum (or reached a
+	// target the static run never did).
+	AdaptiveWin bool `json:"adaptive_win"`
+}
+
+// adaptCircuit is the adaptbench record of one circuit. Both
+// campaigns start from the same §5-optimized weights and the same
+// seed; the adaptive one re-optimizes against the undetected residue
+// at every block boundary.
+type adaptCircuit struct {
+	Name             string        `json:"name"`
+	Faults           int           `json:"faults"`
+	Budget           int           `json:"budget"`
+	StaticCoverage   float64       `json:"static_coverage"`
+	AdaptiveCoverage float64       `json:"adaptive_coverage"`
+	Rounds           int           `json:"rounds"`
+	Reopts           int           `json:"reopts"`
+	ReweightMSRound  float64       `json:"reweight_ms_per_round"`
+	Deterministic    bool          `json:"deterministic_across_workers"`
+	Targets          []adaptTarget `json:"targets"`
+}
+
+// adaptSummary is the BENCH_adapt.json schema.
+type adaptSummary struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"numcpu"`
+	Seed       uint64         `json:"seed"`
+	Strategy   string         `json:"strategy"`
+	Circuits   []adaptCircuit `json:"circuits"`
+}
+
+// curvePatternsTo returns the first curve sample at or above target
+// coverage, 0 if the campaign never got there.
+func curvePatternsTo(res *optirand.CampaignResult, target float64) int {
+	for _, p := range res.Curve {
+		if p.Coverage >= target {
+			return p.Patterns
+		}
+	}
+	return 0
+}
+
+// adaptbench measures test-length reduction of closed-loop campaigns
+// against the static optimum at fixed coverage targets, plus the
+// re-weighting overhead per round and the determinism of the loop
+// across worker counts.
+func adaptbench() {
+	const seed = 1987
+	ctx := context.Background()
+	targets := []float64{0.90, 0.95, 0.99}
+
+	serial := optirand.NewRunner(optirand.WithSimWorkers(1))
+	defer serial.Close()
+	parallel := optirand.NewRunner(
+		optirand.WithSimWorkers(runtime.GOMAXPROCS(0)), optirand.WithGoodMachine(optirand.GoodMachineAuto))
+	defer parallel.Close()
+
+	summary := adaptSummary{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+		Strategy:   "reopt",
+	}
+	t := report.NewTable("Adaptive vs static campaigns (patterns to coverage; 0 = not reached)",
+		"Circuit", "Budget", "Target", "Static", "Adaptive", "Win", "Reweight/round", "Deterministic")
+	for _, name := range strings.Split(*flagAdaptCirc, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := optirand.BenchmarkByName(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgen: unknown circuit %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		c := b.Build()
+		faults := optirand.CollapsedFaults(c)
+		budget := *flagAdaptN
+		if budget <= 0 {
+			budget = b.SimPatterns
+		}
+
+		opt, err := serial.Optimize(ctx, optirand.OptimizeSpec{
+			Circuit: c, Faults: faults,
+			Options: optirand.OptimizeOptions{Quantize: 0.05},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: optimize %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		static := optirand.Weights(opt.Weights)
+		adaptive := optirand.Adaptive(static,
+			optirand.AdaptiveReopt(),
+			optirand.AdaptiveBlock(budget/8),
+			optirand.AdaptiveReoptSweeps(2))
+		spec := func(src optirand.PatternSource) optirand.CampaignSpec {
+			return optirand.CampaignSpec{
+				Circuit: c, Faults: faults, Source: src,
+				Patterns: budget, Seed: seed, CurveStep: 64,
+			}
+		}
+
+		staticRes, err := serial.Campaign(ctx, spec(static))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %s static: %v\n", name, err)
+			os.Exit(1)
+		}
+		before := adapt.GlobalStats()
+		adaptiveRes, err := serial.Campaign(ctx, spec(adaptive))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %s adaptive: %v\n", name, err)
+			os.Exit(1)
+		}
+		after := adapt.GlobalStats()
+
+		// The same closed loop on a parallel backend must be invisible
+		// in the bytes.
+		adaptivePar, err := parallel.Campaign(ctx, spec(adaptive))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %s adaptive parallel: %v\n", name, err)
+			os.Exit(1)
+		}
+		deterministic := reflect.DeepEqual(adaptiveRes, adaptivePar)
+
+		info := adaptiveRes.Adaptive
+		rounds := after.Rounds - before.Rounds
+		reweightMS := 0.0
+		if rounds > 0 {
+			reweightMS = float64(after.ReweightNS-before.ReweightNS) / 1e6 / float64(rounds)
+		}
+		ac := adaptCircuit{
+			Name:             name,
+			Faults:           len(faults),
+			Budget:           budget,
+			StaticCoverage:   staticRes.Coverage(),
+			AdaptiveCoverage: adaptiveRes.Coverage(),
+			Rounds:           len(info.Rounds),
+			Reopts:           info.Reopts,
+			ReweightMSRound:  reweightMS,
+			Deterministic:    deterministic,
+		}
+		for _, target := range targets {
+			st := curvePatternsTo(staticRes, target)
+			ad := curvePatternsTo(adaptiveRes, target)
+			win := ad > 0 && (st == 0 || ad < st)
+			ac.Targets = append(ac.Targets, adaptTarget{
+				Coverage: target, StaticPatterns: st, AdaptivePatterns: ad, AdaptiveWin: win,
+			})
+			t.Add(name, report.Count(budget), report.Pct(target),
+				report.Count(st), report.Count(ad), fmt.Sprint(win),
+				fmt.Sprintf("%.1f ms", reweightMS), fmt.Sprint(deterministic))
+		}
+		summary.Circuits = append(summary.Circuits, ac)
+	}
+	fmt.Print(t)
+
+	data, err := json.MarshalIndent(&summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*flagAdaptOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *flagAdaptOut)
+}

@@ -19,6 +19,10 @@
 //	                                     # N-leaf throughput, route-affinity
 //	                                     # cache hits, leaf-kill requeue
 //	                                     # -> BENCH_fed.json
+//	benchgen -adaptbench                 # closed-loop (adaptive) campaigns vs
+//	                                     # the static optimum: patterns to
+//	                                     # coverage targets, re-weight overhead
+//	                                     # -> BENCH_adapt.json
 package main
 
 import (
@@ -211,6 +215,8 @@ func main() {
 		sweepbench()
 	case *flagFedbench:
 		fedbench()
+	case *flagAdaptbench:
+		adaptbench()
 	case *flagList:
 		t := report.NewTable("Built-in evaluation circuits", "Name", "Paper", "Description")
 		for _, b := range optirand.Benchmarks() {

@@ -9,6 +9,17 @@
 //	faultsim -bench design.bench -n 4096 -curve 512
 //	faultsim -circuit c6288 -n 100000 -workers 8  # fault-sharded parallel run
 //	faultsim -circuit c6288 -n 100000 -remote localhost:8417
+//	faultsim -circuit c880 -n 8192 -adaptive              # closed-loop campaign
+//	faultsim -circuit c880 -n 8192 -adaptive -adaptive-strategy bandit
+//
+// -adaptive closes the loop between simulation and weights: the
+// campaign runs in blocks, and at each block boundary the pattern
+// source is re-weighted from the still-undetected fault residue —
+// either by re-running the weight optimizer against the residue
+// (reopt, the default) or by a deterministic multi-armed bandit over
+// candidate weight sets (bandit). The schedule of updates is a pure
+// function of the campaign seed, so adaptive runs stay bit-identical
+// across worker counts and local/remote execution.
 //
 // -workers shards the fault list across goroutines; every worker
 // replays the identical seeded pattern stream, so results are
@@ -58,6 +69,12 @@ var (
 	flagRemote   = flag.String("remote", "", "optirandd address (host:port or URL); runs the campaign on the service instead of in-process")
 	flagRemoteTO = flag.Duration("remotetimeout", 0, "request timeout against -remote (0 = none; campaigns are long requests by design)")
 	flagJournal  = flag.String("journal", "", "journal completed results in this directory and resume from it: a re-run with identical parameters replays instead of recomputing")
+
+	flagAdaptive  = flag.Bool("adaptive", false, "close the loop: re-weight the pattern source at block boundaries from the still-undetected faults (deterministic; works locally and against -remote)")
+	flagAdaStrat  = flag.String("adaptive-strategy", "reopt", "re-weighting strategy: reopt (re-optimize against the residue) or bandit (UCB over the mixture's weight sets)")
+	flagAdaBlock  = flag.Int("adaptive-block", 0, "patterns per adaptive block, rounded to 64 (0 = default)")
+	flagAdaStall  = flag.Int("adaptive-stall", 0, "stop after this many consecutive zero-detection blocks (0 = default)")
+	flagAdaTarget = flag.Float64("adaptive-target", 0, "stop once this fault coverage is reached (0 = run the whole budget)")
 )
 
 func fatalf(format string, args ...any) {
@@ -129,10 +146,36 @@ func main() {
 	// non-interruptible campaign is still finishing.
 	go func() { <-ctx.Done(); stop() }()
 
+	source := optirand.Weights(weights)
+	if *flagAdaptive {
+		var aopts []optirand.AdaptiveOption
+		switch *flagAdaStrat {
+		case "reopt":
+			aopts = append(aopts, optirand.AdaptiveReopt())
+		case "bandit":
+			// The bandit needs arms to choose between: the base weights
+			// plus the classic flat probe sets.
+			source = optirand.Mixture(weights, flat(c, 0.25), flat(c, 0.5), flat(c, 0.75))
+			aopts = append(aopts, optirand.AdaptiveBandit(0))
+		default:
+			fatalf("unknown -adaptive-strategy %q (want reopt or bandit)", *flagAdaStrat)
+		}
+		if *flagAdaBlock > 0 {
+			aopts = append(aopts, optirand.AdaptiveBlock(*flagAdaBlock))
+		}
+		if *flagAdaStall > 0 {
+			aopts = append(aopts, optirand.AdaptiveStall(*flagAdaStall))
+		}
+		if *flagAdaTarget > 0 {
+			aopts = append(aopts, optirand.AdaptiveTarget(*flagAdaTarget))
+		}
+		source = optirand.Adaptive(source, aopts...)
+	}
+
 	res, err := r.Campaign(ctx, optirand.CampaignSpec{
 		Circuit:   c,
 		Faults:    faults,
-		Source:    optirand.Weights(weights),
+		Source:    source,
 		Patterns:  *flagN,
 		Seed:      *flagSeed,
 		CurveStep: *flagCurve,
@@ -147,6 +190,26 @@ func main() {
 		c.Name, len(faults), report.Count(res.Patterns))
 	fmt.Printf("detected %d / %d faults: coverage %s\n",
 		res.Detected, res.TotalFaults, report.Pct(res.Coverage()))
+	if a := res.Adaptive; a != nil {
+		why := "budget exhausted"
+		switch {
+		case a.TargetHit:
+			why = "target coverage reached"
+		case a.Stalled:
+			why = "coverage stalled"
+		}
+		fmt.Printf("adaptive %s: %d rounds, %d re-optimizations (%s)\n", a.Strategy, len(a.Rounds), a.Reopts, why)
+		t := report.NewTable("Adaptive rounds", "Round", "Set", "Patterns", "Detected", "Coverage", "Reweighted")
+		for _, rs := range a.Rounds {
+			re := ""
+			if rs.Reoptimized {
+				re = "yes"
+			}
+			t.Add(fmt.Sprint(rs.Round), fmt.Sprint(rs.WeightSet), report.Count(rs.Patterns),
+				fmt.Sprint(rs.Detected), report.Pct(rs.Coverage), re)
+		}
+		fmt.Print(t)
+	}
 	if *flagCurve > 0 {
 		t := report.NewTable("Coverage curve", "Patterns", "Detected", "Coverage")
 		for _, p := range res.Curve {
@@ -162,6 +225,15 @@ func main() {
 			}
 		}
 	}
+}
+
+// flat returns a weight set with every input pinned to p.
+func flat(c *optirand.Circuit, p float64) []float64 {
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = p
+	}
+	return w
 }
 
 func loadWeights(c *optirand.Circuit, path string, weights []float64) error {

@@ -1,0 +1,392 @@
+// Package adapt closes the loop between fault simulation and input
+// weights: a block-adaptive campaign runs a block of patterns, inspects
+// the still-undetected fault residue at the block boundary, re-weights,
+// and repeats until the budget is exhausted, coverage stalls, or a
+// target coverage is reached.
+//
+// Two re-weighting strategies are provided:
+//
+//   - Residual re-optimization (StrategyReopt): re-run the paper's
+//     PREPARE/optimize step (internal/core) restricted to the alive
+//     fault set, seeding the coordinate descent from the current
+//     weights. The campaign starts from a single weight set — typically
+//     the static §5 optimum — and sharpens it toward whatever faults
+//     the patterns so far failed to catch.
+//
+//   - Deterministic multi-armed bandit (StrategyBandit): the campaign's
+//     weight sets are the arms; each block plays one arm and scores it
+//     by detections per pattern. Arm selection is UCB1, or seeded
+//     epsilon-greedy when Config.Epsilon > 0. All randomness derives
+//     from the campaign seed and round index, never from a wall clock.
+//
+// Determinism is the package's load-bearing property: every update
+// happens only at a block boundary, each block's pattern stream is
+// seeded by RoundSeed(campaign seed, round), and core.Optimize is
+// bit-identical for every worker count — so an adaptive campaign is a
+// pure function of (circuit, faults, config, seed) and byte-identical
+// across worker counts, pattern shards, good-machine modes, and every
+// engine backend, exactly like an open-loop campaign.
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"optirand/internal/circuit"
+	"optirand/internal/core"
+	"optirand/internal/fault"
+	"optirand/internal/prng"
+	"optirand/internal/sim"
+)
+
+// Strategy names. They are wire-portable identifiers (see the wire
+// package's AdaptiveSpec), so renaming one is a format change.
+const (
+	// StrategyReopt re-optimizes the weights on the alive fault residue
+	// at each block boundary. Requires exactly one starting weight set.
+	StrategyReopt = "reopt"
+	// StrategyBandit treats the campaign's weight sets as bandit arms
+	// and plays the empirically best one per block. Requires at least
+	// two weight sets.
+	StrategyBandit = "bandit"
+)
+
+// Defaults applied by Run for zero-valued Config fields.
+const (
+	// DefaultBlockPatterns is the per-round pattern block (4×64).
+	DefaultBlockPatterns = 256
+	// DefaultStallRounds terminates after this many consecutive
+	// zero-detection blocks.
+	DefaultStallRounds = 3
+	// DefaultReoptMaxSweeps caps each residual re-optimization's
+	// coordinate-descent sweeps — boundaries refine, they do not
+	// restart the full procedure.
+	DefaultReoptMaxSweeps = 4
+)
+
+// Config selects the adaptive control loop. It is part of task
+// identity: two campaigns with different configs are different
+// campaigns, and the config travels over the wire with the task.
+// Scheduling knobs (worker counts, shards) are NOT here — they cannot
+// change a result.
+type Config struct {
+	// Strategy is StrategyReopt or StrategyBandit. Empty selects reopt
+	// for a single weight set and bandit for several.
+	Strategy string
+	// BlockPatterns is the pattern budget per round; <= 0 selects
+	// DefaultBlockPatterns.
+	BlockPatterns int
+	// StallRounds terminates the loop after this many consecutive
+	// zero-detection rounds; <= 0 selects DefaultStallRounds.
+	StallRounds int
+	// TargetCoverage in (0,1] stops the loop once reached; 0 runs to
+	// the pattern budget.
+	TargetCoverage float64
+	// Epsilon in (0,1) selects seeded epsilon-greedy arm selection for
+	// the bandit; 0 selects UCB1. Ignored by reopt.
+	Epsilon float64
+	// ReoptMaxSweeps caps each residual re-optimization's sweeps; <= 0
+	// selects DefaultReoptMaxSweeps. Ignored by the bandit.
+	ReoptMaxSweeps int
+}
+
+// withDefaults resolves the empty strategy and zero-valued knobs.
+func (cfg Config) withDefaults(nSets int) Config {
+	if cfg.Strategy == "" {
+		if nSets > 1 {
+			cfg.Strategy = StrategyBandit
+		} else {
+			cfg.Strategy = StrategyReopt
+		}
+	}
+	if cfg.BlockPatterns <= 0 {
+		cfg.BlockPatterns = DefaultBlockPatterns
+	}
+	if cfg.StallRounds <= 0 {
+		cfg.StallRounds = DefaultStallRounds
+	}
+	if cfg.ReoptMaxSweeps <= 0 {
+		cfg.ReoptMaxSweeps = DefaultReoptMaxSweeps
+	}
+	return cfg
+}
+
+// Validate reports the first problem of cfg against a campaign with
+// nSets weight sets.
+func (cfg *Config) Validate(nSets int) error {
+	switch cfg.withDefaults(nSets).Strategy {
+	case StrategyReopt:
+		if nSets != 1 {
+			return fmt.Errorf("adapt: strategy %q wants exactly 1 starting weight set, got %d", StrategyReopt, nSets)
+		}
+	case StrategyBandit:
+		if nSets < 2 {
+			return fmt.Errorf("adapt: strategy %q wants at least 2 candidate weight sets (arms), got %d", StrategyBandit, nSets)
+		}
+	default:
+		return fmt.Errorf("adapt: unknown strategy %q (want %q or %q)", cfg.Strategy, StrategyReopt, StrategyBandit)
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon >= 1 {
+		return fmt.Errorf("adapt: epsilon %v out of range [0,1)", cfg.Epsilon)
+	}
+	if cfg.TargetCoverage < 0 || cfg.TargetCoverage > 1 {
+		return fmt.Errorf("adapt: target coverage %v out of range [0,1]", cfg.TargetCoverage)
+	}
+	return nil
+}
+
+// RoundSeed derives block round's pattern-stream seed from the
+// campaign seed by the same SplitMix64 chaining the engine uses for
+// task seeds — a pure function of (campaign seed, round), so blocks
+// keep their streams whatever happened in earlier rounds.
+func RoundSeed(seed uint64, round int) uint64 {
+	h := prng.New(seed).Uint64()
+	return prng.New(h ^ (uint64(round) + 0x9e3779b97f4a7c15)).Uint64()
+}
+
+// Stats is a snapshot of the package's process-wide activity counters,
+// surfaced by the daemon's /v1/stats. Counters are cumulative since
+// process start; they observe execution, never influence results.
+type Stats struct {
+	Campaigns  int64 `json:"campaigns"`
+	Rounds     int64 `json:"rounds"`
+	Reopts     int64 `json:"reoptimizations"`
+	ArmPulls   int64 `json:"arm_pulls"`
+	ReweightNS int64 `json:"reweight_ns"`
+}
+
+var stats struct {
+	campaigns, rounds, reopts, armPulls, reweightNS atomic.Int64
+}
+
+// GlobalStats snapshots the process-wide adaptive counters.
+func GlobalStats() Stats {
+	return Stats{
+		Campaigns:  stats.campaigns.Load(),
+		Rounds:     stats.rounds.Load(),
+		Reopts:     stats.reopts.Load(),
+		ArmPulls:   stats.armPulls.Load(),
+		ReweightNS: stats.reweightNS.Load(),
+	}
+}
+
+// bandit is the deterministic arm-selection state: per-arm pull counts
+// and cumulative per-pattern detection rewards.
+type bandit struct {
+	pulls  []int
+	reward []float64
+	eps    float64
+	seed   uint64
+}
+
+// pick selects the arm for round. The first len(arms) rounds play each
+// arm once in index order (both policies need initial estimates); after
+// that, UCB1 when eps == 0, seeded epsilon-greedy otherwise. Ties break
+// to the lowest index, so selection is deterministic.
+func (b *bandit) pick(round int) int {
+	k := len(b.pulls)
+	if round < k {
+		return round
+	}
+	if b.eps > 0 {
+		// The exploration coin and the explored arm derive from the
+		// campaign seed and round only.
+		rng := prng.New(RoundSeed(b.seed, round) ^ 0xada9d1cebaddecaf)
+		if rng.Float64() < b.eps {
+			return rng.Intn(k)
+		}
+		return b.exploit(func(a int) float64 { return b.reward[a] / float64(b.pulls[a]) })
+	}
+	t := float64(round)
+	return b.exploit(func(a int) float64 {
+		return b.reward[a]/float64(b.pulls[a]) + math.Sqrt(2*math.Log(t)/float64(b.pulls[a]))
+	})
+}
+
+func (b *bandit) exploit(score func(a int) float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	for a := range b.pulls {
+		if s := score(a); s > bestScore {
+			best, bestScore = a, s
+		}
+	}
+	return best
+}
+
+// Run executes a block-adaptive campaign: weightSets are the starting
+// weights (one set for reopt, the candidate arms for the bandit), seed
+// roots every block's pattern stream, and sched carries the total
+// pattern budget, curve sampling, and the scheduling knobs each block
+// runs under. The result is a pure function of (c, faults, weightSets,
+// seed, cfg) — byte-identical for every sched.Workers/PatternShards/
+// GoodMachine combination — with FirstDetected holding global 1-based
+// pattern indices and Curve the concatenated per-block curves, each
+// point attributed to its round and weight-set id.
+func Run(c *circuit.Circuit, faults []fault.Fault, weightSets [][]float64,
+	seed uint64, cfg Config, sched sim.CampaignConfig) *sim.CampaignResult {
+
+	cfg = cfg.withDefaults(len(weightSets))
+	stats.campaigns.Add(1)
+
+	total := len(faults)
+	budget := sched.Patterns
+	info := &sim.AdaptiveInfo{Strategy: cfg.Strategy}
+	res := &sim.CampaignResult{
+		TotalFaults:   total,
+		FirstDetected: make([]int, total),
+		Adaptive:      info,
+	}
+	if budget <= 0 || total == 0 {
+		res.Patterns = budget
+		res.Curve = append(res.Curve, sim.CoveragePoint{Patterns: 0, Detected: 0, Coverage: res.Coverage()})
+		return res
+	}
+
+	isBandit := cfg.Strategy == StrategyBandit
+	var arms *bandit
+	var curWeights []float64
+	reoptVersion := 0
+	if isBandit {
+		arms = &bandit{
+			pulls:  make([]int, len(weightSets)),
+			reward: make([]float64, len(weightSets)),
+			eps:    cfg.Epsilon,
+			seed:   seed,
+		}
+		info.ArmPulls = arms.pulls
+	} else {
+		curWeights = append([]float64(nil), weightSets[0]...)
+	}
+
+	alive := make([]int, total)
+	for i := range alive {
+		alive[i] = i
+	}
+	sub := make([]fault.Fault, 0, total)
+	applied, detected, zeroRounds := 0, 0, 0
+
+	for round := 0; applied < budget && len(alive) > 0; round++ {
+		stats.rounds.Add(1)
+		block := cfg.BlockPatterns
+		if rem := budget - applied; rem < block {
+			block = rem
+		}
+
+		var ws []float64
+		var wsID int
+		if isBandit {
+			wsID = arms.pick(round)
+			ws = weightSets[wsID]
+			arms.pulls[wsID]++
+			stats.armPulls.Add(1)
+		} else {
+			ws, wsID = curWeights, reoptVersion
+		}
+
+		sub = sub[:0]
+		for _, fi := range alive {
+			sub = append(sub, faults[fi])
+		}
+		blockCfg := sched
+		blockCfg.Patterns = block
+		blockRes := sim.RunCampaignConfig(c, sub, [][]float64{ws}, RoundSeed(seed, round), blockCfg)
+
+		// Merge the block into the global report: local first-detection
+		// indices are block-relative, global ones offset by the patterns
+		// already applied; the block's curve points shift the same way
+		// and carry the round's attribution.
+		for _, p := range blockRes.Curve {
+			if p.Patterns == 0 {
+				continue
+			}
+			d := detected + p.Detected
+			res.Curve = append(res.Curve, sim.CoveragePoint{
+				Patterns:  applied + p.Patterns,
+				Detected:  d,
+				Coverage:  float64(d) / float64(total),
+				Round:     round,
+				WeightSet: wsID,
+			})
+		}
+		blockDet := 0
+		kept := alive[:0]
+		for i, fi := range alive {
+			if fd := blockRes.FirstDetected[i]; fd > 0 {
+				res.FirstDetected[fi] = applied + fd
+				blockDet++
+			} else {
+				kept = append(kept, fi)
+			}
+		}
+		alive = kept
+		detected += blockDet
+		applied += blockRes.Patterns
+		cov := float64(detected) / float64(total)
+
+		if isBandit {
+			arms.reward[wsID] += float64(blockDet) / float64(block)
+		}
+
+		stat := sim.RoundStat{
+			Round: round, WeightSet: wsID,
+			Patterns: applied, Detected: detected, Coverage: cov,
+		}
+
+		if cfg.TargetCoverage > 0 && cov >= cfg.TargetCoverage {
+			info.TargetHit = true
+			info.Rounds = append(info.Rounds, stat)
+			break
+		}
+		if blockDet == 0 {
+			zeroRounds++
+		} else {
+			zeroRounds = 0
+		}
+		if zeroRounds >= cfg.StallRounds {
+			info.Stalled = true
+			info.Rounds = append(info.Rounds, stat)
+			break
+		}
+
+		// Residual re-optimization at the boundary, for rounds still to
+		// come: restrict the optimizer to the alive residue, seeded from
+		// the current weights. A residue the optimizer rejects (every
+		// fault suspected redundant) keeps the current weights — the
+		// stall counter bounds how long that can go on.
+		if !isBandit && len(alive) > 0 && applied < budget {
+			sub = sub[:0]
+			for _, fi := range alive {
+				sub = append(sub, faults[fi])
+			}
+			start := time.Now()
+			opt, err := core.Optimize(c, sub, core.Options{
+				MaxSweeps:      cfg.ReoptMaxSweeps,
+				InitialWeights: curWeights,
+				Workers:        sched.Workers,
+			})
+			stats.reweightNS.Add(time.Since(start).Nanoseconds())
+			if err == nil {
+				curWeights = opt.Weights
+				reoptVersion++
+				info.Reopts++
+				stat.Reoptimized = true
+				stats.reopts.Add(1)
+			}
+		}
+		info.Rounds = append(info.Rounds, stat)
+	}
+
+	res.Detected = detected
+	res.Patterns = applied
+	last := sim.CoveragePoint{Patterns: applied, Detected: detected, Coverage: res.Coverage()}
+	if n := len(info.Rounds); n > 0 {
+		last.Round = info.Rounds[n-1].Round
+		last.WeightSet = info.Rounds[n-1].WeightSet
+	}
+	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
+		res.Curve = append(res.Curve, last)
+	}
+	return res
+}

@@ -1,0 +1,261 @@
+package adapt_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"optirand/internal/adapt"
+	"optirand/internal/circuit"
+	"optirand/internal/engine"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/sim"
+)
+
+func buildCircuit(t *testing.T, name string) (*circuit.Circuit, []fault.Fault) {
+	t.Helper()
+	b, ok := gen.ByName(name)
+	if !ok {
+		t.Fatalf("unknown circuit %q", name)
+	}
+	c := b.Build()
+	return c, fault.New(c).Reps
+}
+
+func uniform(c *circuit.Circuit) []float64 {
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = 0.5
+	}
+	return w
+}
+
+// biased returns a weight set with every input at p.
+func biased(c *circuit.Circuit, p float64) []float64 {
+	w := make([]float64, c.NumInputs())
+	for i := range w {
+		w[i] = p
+	}
+	return w
+}
+
+// TestRoundSeedMatchesTaskSeed pins the round-seed derivation to the
+// engine's TaskSeed chain: adapt cannot import engine (engine imports
+// adapt), so it replicates the SplitMix64 recipe — this test is the
+// tripwire should either side drift.
+func TestRoundSeedMatchesTaskSeed(t *testing.T) {
+	for _, base := range []uint64{1, 1987, 0xdeadbeef} {
+		for round := 0; round < 5; round++ {
+			want := engine.TaskSeed(base, uint64(round))
+			if got := adapt.RoundSeed(base, round); got != want {
+				t.Fatalf("RoundSeed(%d, %d) = %#x, want TaskSeed's %#x", base, round, got, want)
+			}
+		}
+	}
+}
+
+// TestDeterminismAcrossScheduling is the property test of the
+// subsystem: with a fixed seed, the adaptive result is byte-identical
+// across worker counts, pattern shards, and good-machine modes — for
+// both strategies.
+func TestDeterminismAcrossScheduling(t *testing.T) {
+	c, faults := buildCircuit(t, "c432")
+	const seed, budget = 1987, 1536
+
+	cases := []struct {
+		name string
+		sets [][]float64
+		cfg  adapt.Config
+	}{
+		{"reopt", [][]float64{uniform(c)},
+			adapt.Config{Strategy: adapt.StrategyReopt, BlockPatterns: 256, ReoptMaxSweeps: 2}},
+		{"bandit-ucb", [][]float64{uniform(c), biased(c, 0.3), biased(c, 0.7)},
+			adapt.Config{Strategy: adapt.StrategyBandit, BlockPatterns: 192}},
+		{"bandit-egreedy", [][]float64{uniform(c), biased(c, 0.25)},
+			adapt.Config{Strategy: adapt.StrategyBandit, BlockPatterns: 256, Epsilon: 0.2}},
+	}
+	scheds := []sim.CampaignConfig{
+		{Workers: 1},
+		{Workers: 2},
+		{Workers: runtime.GOMAXPROCS(0)},
+		{Workers: 1, PatternShards: 3},
+		{Workers: 2, GoodMachine: sim.GoodMachineShared},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ref *sim.CampaignResult
+			for i, sched := range scheds {
+				sched.Patterns = budget
+				sched.CurveStep = 128
+				got := adapt.Run(c, faults, tc.sets, seed, tc.cfg, sched)
+				if i == 0 {
+					ref = got
+					if len(got.Adaptive.Rounds) < 2 {
+						t.Fatalf("want an actually adaptive run, got %d rounds", len(got.Adaptive.Rounds))
+					}
+					continue
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("sched %+v diverges from serial reference:\n got %+v\nwant %+v", sched, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismRepeatable re-runs one adaptive campaign and demands
+// identical results — the same-seed ⇒ same-bytes half of the property.
+func TestDeterminismRepeatable(t *testing.T) {
+	c, faults := buildCircuit(t, "c880")
+	sets := [][]float64{uniform(c)}
+	cfg := adapt.Config{Strategy: adapt.StrategyReopt, BlockPatterns: 256, ReoptMaxSweeps: 2}
+	sched := sim.CampaignConfig{Patterns: 1024, CurveStep: 256, Workers: 2}
+	a := adapt.Run(c, faults, sets, 7, cfg, sched)
+	b := adapt.Run(c, faults, sets, 7, cfg, sched)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\nvs\n%+v", a, b)
+	}
+	if reflect.DeepEqual(a, adapt.Run(c, faults, sets, 8, cfg, sched)) {
+		t.Fatal("different seeds produced identical campaigns")
+	}
+}
+
+// TestStallTermination is the 0%-detectable edge case: weight sets
+// pinned to all-zero inputs repeat one pattern forever, so after the
+// first block nothing new is ever detected. The loop must terminate by
+// stall detection (and, with stall detection effectively disabled, by
+// the pattern budget) — never loop forever.
+func TestStallTermination(t *testing.T) {
+	c, faults := buildCircuit(t, "c432")
+	frozen := [][]float64{biased(c, 0), biased(c, 0)} // both arms generate only the all-zero pattern
+
+	cfg := adapt.Config{Strategy: adapt.StrategyBandit, BlockPatterns: 128, StallRounds: 2}
+	res := adapt.Run(c, faults, frozen, 3, cfg, sim.CampaignConfig{Patterns: 1 << 20, Workers: 2})
+	if !res.Adaptive.Stalled {
+		t.Fatalf("want stall termination, got %+v", res.Adaptive)
+	}
+	if res.Patterns >= 1<<20 {
+		t.Fatalf("stall did not save the budget: %d patterns applied", res.Patterns)
+	}
+	if res.Detected >= res.TotalFaults {
+		t.Fatalf("frozen stream should leave faults undetected (got %d/%d)", res.Detected, res.TotalFaults)
+	}
+
+	// Stall detection out of reach: the budget must still bound the loop.
+	cfg.StallRounds = 1 << 30
+	res = adapt.Run(c, faults, frozen, 3, cfg, sim.CampaignConfig{Patterns: 4096, Workers: 1})
+	if res.Adaptive.Stalled || res.Patterns != 4096 {
+		t.Fatalf("want budget termination at 4096 patterns, got %d (stalled=%v)", res.Patterns, res.Adaptive.Stalled)
+	}
+}
+
+// TestTargetCoverageStops checks early exit once the target is reached.
+func TestTargetCoverageStops(t *testing.T) {
+	c, faults := buildCircuit(t, "c432")
+	cfg := adapt.Config{Strategy: adapt.StrategyReopt, BlockPatterns: 128, TargetCoverage: 0.5, ReoptMaxSweeps: 1}
+	res := adapt.Run(c, faults, [][]float64{uniform(c)}, 1, cfg, sim.CampaignConfig{Patterns: 1 << 20, Workers: 1})
+	if !res.Adaptive.TargetHit {
+		t.Fatalf("want target termination, got %+v", res.Adaptive)
+	}
+	if res.Coverage() < 0.5 {
+		t.Fatalf("target reported hit at coverage %v", res.Coverage())
+	}
+	if res.Patterns >= 1<<20 {
+		t.Fatalf("target did not save the budget: %d patterns", res.Patterns)
+	}
+}
+
+// TestProvenance sanity-checks the recorded rounds: cumulative
+// patterns/detections must match the result, curve points must carry
+// their round's attribution, and bandit pulls must sum to the rounds.
+func TestProvenance(t *testing.T) {
+	c, faults := buildCircuit(t, "c880")
+	sets := [][]float64{uniform(c), biased(c, 0.3)}
+	res := adapt.Run(c, faults, sets, 11,
+		adapt.Config{Strategy: adapt.StrategyBandit, BlockPatterns: 192},
+		sim.CampaignConfig{Patterns: 960, CurveStep: 64, Workers: 2})
+
+	info := res.Adaptive
+	if info == nil || info.Strategy != adapt.StrategyBandit {
+		t.Fatalf("missing/wrong adaptive info: %+v", info)
+	}
+	lastRound := info.Rounds[len(info.Rounds)-1]
+	if lastRound.Patterns != res.Patterns || lastRound.Detected != res.Detected {
+		t.Fatalf("final round %+v does not match result (%d patterns, %d detected)",
+			lastRound, res.Patterns, res.Detected)
+	}
+	pulls := 0
+	for _, p := range info.ArmPulls {
+		pulls += p
+	}
+	if pulls != len(info.Rounds) {
+		t.Fatalf("arm pulls %v (sum %d) != %d rounds", info.ArmPulls, pulls, len(info.Rounds))
+	}
+	for _, p := range res.Curve {
+		if p.Patterns == 0 {
+			continue
+		}
+		round := info.Rounds[p.Round]
+		if p.WeightSet != round.WeightSet {
+			t.Fatalf("curve point %+v attributed to set %d, round %d ran set %d",
+				p, p.WeightSet, p.Round, round.WeightSet)
+		}
+	}
+	// FirstDetected indices are global and consistent with Detected.
+	det := 0
+	for _, fd := range res.FirstDetected {
+		if fd < 0 || fd > res.Patterns {
+			t.Fatalf("first-detection index %d out of range [0,%d]", fd, res.Patterns)
+		}
+		if fd > 0 {
+			det++
+		}
+	}
+	if det != res.Detected {
+		t.Fatalf("FirstDetected says %d detected, result says %d", det, res.Detected)
+	}
+}
+
+// TestValidate covers the config validation matrix.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		cfg   adapt.Config
+		nSets int
+		ok    bool
+	}{
+		{adapt.Config{}, 1, true},  // defaults to reopt
+		{adapt.Config{}, 3, true},  // defaults to bandit
+		{adapt.Config{Strategy: adapt.StrategyReopt}, 2, false},
+		{adapt.Config{Strategy: adapt.StrategyBandit}, 1, false},
+		{adapt.Config{Strategy: "annealing"}, 1, false},
+		{adapt.Config{Epsilon: 1.5}, 2, false},
+		{adapt.Config{TargetCoverage: 2}, 1, false},
+		{adapt.Config{Strategy: adapt.StrategyBandit, Epsilon: 0.1, TargetCoverage: 0.99}, 2, true},
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate(tc.nSets)
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate(%+v, %d) = %v, want ok=%v", i, tc.cfg, tc.nSets, err, tc.ok)
+		}
+	}
+}
+
+// TestStatsCounters checks the process-wide counters move.
+func TestStatsCounters(t *testing.T) {
+	c, faults := buildCircuit(t, "c432")
+	before := adapt.GlobalStats()
+	res := adapt.Run(c, faults, [][]float64{uniform(c)}, 5,
+		adapt.Config{Strategy: adapt.StrategyReopt, BlockPatterns: 128, ReoptMaxSweeps: 1},
+		sim.CampaignConfig{Patterns: 512, Workers: 1})
+	after := adapt.GlobalStats()
+	if after.Campaigns != before.Campaigns+1 {
+		t.Fatalf("campaigns %d -> %d", before.Campaigns, after.Campaigns)
+	}
+	if got := after.Rounds - before.Rounds; got != int64(len(res.Adaptive.Rounds)) {
+		t.Fatalf("rounds counter moved %d, result has %d rounds", got, len(res.Adaptive.Rounds))
+	}
+	if after.Reopts-before.Reopts != int64(res.Adaptive.Reopts) {
+		t.Fatalf("reopt counter moved %d, result says %d", after.Reopts-before.Reopts, res.Adaptive.Reopts)
+	}
+}

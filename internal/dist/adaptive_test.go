@@ -1,0 +1,143 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optirand/internal/adapt"
+	"optirand/internal/engine"
+)
+
+// adaptiveTask returns one of the grid's mixture tasks upgraded to a
+// closed-loop bandit campaign.
+func adaptiveTask(t *testing.T) *engine.Task {
+	t.Helper()
+	for _, task := range testTasks(t) {
+		if len(task.WeightSets) > 1 {
+			task.Adaptive = &adapt.Config{
+				Strategy:      adapt.StrategyBandit,
+				BlockPatterns: 128,
+			}
+			return task
+		}
+	}
+	t.Fatal("no mixture task in the grid")
+	return nil
+}
+
+// TestServiceAdaptiveEquivalence runs an adaptive campaign through
+// the daemon — cold and warm cache — and demands bytes identical to
+// in-process execution, round provenance included. The warm pass also
+// exercises the cache's deep copy of the adaptive report.
+func TestServiceAdaptiveEquivalence(t *testing.T) {
+	task := adaptiveTask(t)
+	ref := task.Execute().Campaign
+	if ref.Adaptive == nil || len(ref.Adaptive.Rounds) < 2 {
+		t.Fatalf("reference is not meaningfully adaptive: %+v", ref.Adaptive)
+	}
+
+	cl := startService(t, ServerOptions{Workers: 2, CacheSize: 64})
+	cold, _, err := cl.Campaign(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, cold) {
+		t.Fatal("remote adaptive campaign differs from in-process execution")
+	}
+	warm, _, err := cl.Campaign(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, warm) {
+		t.Fatal("cached adaptive campaign differs from in-process execution")
+	}
+	// Mutating the first answer must not bleed into the cache.
+	cold.Adaptive.Rounds[0].Detected = -1
+	cold.Adaptive.ArmPulls[0] = -1
+	again, _, err := cl.Campaign(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, again) {
+		t.Fatal("cached adaptive report aliased a caller's copy")
+	}
+}
+
+// TestServiceOldDaemonAdaptiveRejection proves the failure mode the
+// version bump exists for: a daemon predating adaptive campaigns
+// refuses the task outright — a permanent, diagnosable error — rather
+// than decoding the fields it knows and silently running the campaign
+// open-loop. The fake daemon replays the version-2 per-task gate: on
+// /v1/campaign the body IS the task, so its `v` — stamped
+// VersionAdaptive for closed-loop work — is the first thing checked.
+func TestServiceOldDaemonAdaptiveRejection(t *testing.T) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/blobs/") {
+			http.NotFound(w, r) // old daemons predate interning too
+			return
+		}
+		var wt struct {
+			V int `json:"v"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&wt); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if wt.V != 2 {
+			http.Error(w, fmt.Sprintf("task 0: wire: version %d not supported (want 2)", wt.V),
+				http.StatusBadRequest)
+			return
+		}
+		t.Error("an adaptive task passed an old daemon's version gate")
+		http.Error(w, "unreachable", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(handler)
+	t.Cleanup(ts.Close)
+	cl := NewClient(ts.URL)
+
+	res, _, err := cl.Campaign(context.Background(), adaptiveTask(t))
+	if err == nil {
+		t.Fatalf("old daemon returned a result for an adaptive task: %+v", res)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("version rejection should be permanent (no retry can help), got %v", err)
+	}
+	if !strings.Contains(err.Error(), "version 3") {
+		t.Fatalf("rejection does not name the version mismatch: %v", err)
+	}
+}
+
+// TestServiceStatsAdaptive checks /v1/stats grows an adaptive section
+// whose counters move when the daemon executes closed-loop campaigns.
+func TestServiceStatsAdaptive(t *testing.T) {
+	before := adapt.GlobalStats() // counters are process-wide
+	cl := startService(t, ServerOptions{Workers: 1, CacheSize: -1})
+	if _, _, err := cl.Campaign(context.Background(), adaptiveTask(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(cl.BaseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Adaptive == nil {
+		t.Fatal("/v1/stats has no adaptive section")
+	}
+	if stats.Adaptive.Campaigns <= before.Campaigns {
+		t.Fatalf("adaptive campaign counter did not move: %d -> %d", before.Campaigns, stats.Adaptive.Campaigns)
+	}
+	if stats.Adaptive.Rounds <= before.Rounds || stats.Adaptive.ArmPulls <= before.ArmPulls {
+		t.Fatalf("round/arm counters did not move: %+v vs %+v", before, stats.Adaptive)
+	}
+}

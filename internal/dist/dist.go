@@ -76,5 +76,17 @@ func cloneCampaign(r *sim.CampaignResult) *sim.CampaignResult {
 		cp.Curve = make([]sim.CoveragePoint, len(r.Curve))
 		copy(cp.Curve, r.Curve)
 	}
+	if r.Adaptive != nil {
+		a := *r.Adaptive
+		if r.Adaptive.Rounds != nil {
+			a.Rounds = make([]sim.RoundStat, len(r.Adaptive.Rounds))
+			copy(a.Rounds, r.Adaptive.Rounds)
+		}
+		if r.Adaptive.ArmPulls != nil {
+			a.ArmPulls = make([]int, len(r.Adaptive.ArmPulls))
+			copy(a.ArmPulls, r.Adaptive.ArmPulls)
+		}
+		cp.Adaptive = &a
+	}
 	return &cp
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"optirand/internal/adapt"
 	"optirand/internal/core"
 	"optirand/internal/engine"
 	"optirand/internal/wire"
@@ -712,6 +713,11 @@ type statsResponse struct {
 	Dispatcher       *DispatcherStats `json:"dispatcher,omitempty"`
 	Journal          *JournalStats    `json:"journal,omitempty"`
 	Federation       *FederationStats `json:"federation,omitempty"`
+	// Adaptive counts this process's block-adaptive campaign activity
+	// (rounds executed, re-optimize invocations, bandit arm pulls) —
+	// the adapt package's process-wide counters, so in-process library
+	// use shows up here too.
+	Adaptive *adapt.Stats `json:"adaptive,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -743,5 +749,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		fst := s.fed.Stats()
 		resp.Federation = &fst
 	}
+	ast := adapt.GlobalStats()
+	resp.Adaptive = &ast
 	respond(w, r, &resp)
 }

@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"time"
 
+	"optirand/internal/adapt"
 	"optirand/internal/circuit"
 	"optirand/internal/fault"
 	"optirand/internal/prng"
@@ -62,6 +63,12 @@ type Task struct {
 	// CurveStep > 0 samples the coverage curve every CurveStep
 	// patterns.
 	CurveStep int
+	// Adaptive, when non-nil, runs the campaign as a block-adaptive
+	// closed loop (see internal/adapt): blocks of patterns alternate
+	// with re-weighting at block boundaries, under the config's
+	// strategy. Unlike the scheduling knobs below it CHANGES the
+	// result, so it is part of task identity and travels over the wire.
+	Adaptive *adapt.Config
 	// SimWorkers shards the fault list inside the campaign (<= 0 keeps
 	// the campaign serial). Task-level and campaign-level parallelism
 	// compose; for many small tasks prefer task-level only.
@@ -102,6 +109,11 @@ func (t *Task) Validate() error {
 				t.Label, k, len(ws), t.Circuit.NumInputs())
 		}
 	}
+	if t.Adaptive != nil {
+		if err := t.Adaptive.Validate(len(t.WeightSets)); err != nil {
+			return fmt.Errorf("engine: task %q: %w", t.Label, err)
+		}
+	}
 	return nil
 }
 
@@ -114,13 +126,19 @@ func (t *Task) Execute() TaskResult {
 	if simWorkers <= 0 {
 		simWorkers = 1
 	}
-	res := sim.RunCampaignConfig(t.Circuit, t.Faults, t.WeightSets, t.Seed, sim.CampaignConfig{
+	cfg := sim.CampaignConfig{
 		Patterns:      t.Patterns,
 		CurveStep:     t.CurveStep,
 		Workers:       simWorkers,
 		PatternShards: t.SimShards,
 		GoodMachine:   t.GoodMachine,
-	})
+	}
+	var res *sim.CampaignResult
+	if t.Adaptive != nil {
+		res = adapt.Run(t.Circuit, t.Faults, t.WeightSets, t.Seed, *t.Adaptive, cfg)
+	} else {
+		res = sim.RunCampaignConfig(t.Circuit, t.Faults, t.WeightSets, t.Seed, cfg)
+	}
 	return TaskResult{Task: t, Campaign: res, Elapsed: time.Since(start)}
 }
 
@@ -293,6 +311,9 @@ type Weighting struct {
 	Name string
 	// Sets is the configuration's weight-set list (usually length 1).
 	Sets [][]float64
+	// Adaptive, when non-nil, runs the configuration's campaigns as
+	// block-adaptive closed loops (copied to Task.Adaptive).
+	Adaptive *adapt.Config
 }
 
 // SweepCircuit is one circuit of a sweep together with its fault list
@@ -404,6 +425,7 @@ func (s *Sweep) EachTask(fn func(i int, t *Task) error) error {
 					Patterns:    patterns,
 					Seed:        TaskSeed(s.BaseSeed, HashName(sc.Name), HashName(wt.Name), uint64(r)),
 					CurveStep:   s.CurveStep,
+					Adaptive:    wt.Adaptive,
 					SimWorkers:  s.SimWorkers,
 					SimShards:   s.SimShards,
 					GoodMachine: s.GoodMachine,

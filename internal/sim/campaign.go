@@ -16,6 +16,49 @@ type CoveragePoint struct {
 	Patterns int
 	Detected int
 	Coverage float64 // Detected / TotalFaults
+	// Round is the adaptive round that generated the batch ending at
+	// this sample; 0 for non-adaptive campaigns.
+	Round int
+	// WeightSet identifies the weight set that generated that batch:
+	// the rotation index b%k for mixture campaigns, the round's
+	// weight-set id (bandit arm or re-optimization version) for
+	// adaptive ones, 0 for single-set campaigns.
+	WeightSet int
+}
+
+// RoundStat records one block of an adaptive campaign: the weight set
+// it ran under and the cumulative state at its boundary.
+type RoundStat struct {
+	Round     int // 0-based block index
+	WeightSet int // weight-set id used for the block (arm index or re-opt version)
+	Patterns  int // cumulative patterns applied after the block
+	Detected  int // cumulative detections after the block
+	Coverage  float64
+	// Reoptimized reports that a residual re-optimization ran at this
+	// block's boundary and produced the NEXT block's weights.
+	Reoptimized bool
+}
+
+// AdaptiveInfo records the provenance of a block-adaptive campaign
+// (see internal/adapt): one RoundStat per executed block plus the
+// loop's termination condition. It is part of the campaign result
+// proper — a pure function of (circuit, faults, config, seed), never
+// of scheduling — so it travels over the wire and caches with the
+// rest of the report.
+type AdaptiveInfo struct {
+	// Strategy is the re-weighting rule ("reopt" or "bandit").
+	Strategy string
+	// Rounds holds one entry per executed block, in order.
+	Rounds []RoundStat
+	// Reopts counts residual re-optimizations that produced new weights.
+	Reopts int
+	// ArmPulls[a] counts blocks run under bandit arm a (nil for reopt).
+	ArmPulls []int
+	// Stalled reports termination by stall detection (consecutive
+	// zero-detection blocks) before the pattern budget ran out.
+	Stalled bool
+	// TargetHit reports termination by reaching the target coverage.
+	TargetHit bool
 }
 
 // CampaignResult reports a random-test fault-simulation campaign.
@@ -29,6 +72,9 @@ type CampaignResult struct {
 	// Curve samples coverage after each 64-pattern batch boundary
 	// requested via curveStep (always includes the final point).
 	Curve []CoveragePoint
+	// Adaptive carries round provenance for block-adaptive campaigns;
+	// nil for open-loop ones.
+	Adaptive *AdaptiveInfo
 }
 
 // Coverage returns the final fault coverage in [0,1].
@@ -102,7 +148,7 @@ func assembleResult(total, nPatterns, curveStep int, firstDetected []int) *Campa
 		FirstDetected: firstDetected,
 	}
 	if nPatterns <= 0 || total == 0 {
-		res.Curve = append(res.Curve, CoveragePoint{0, 0, res.Coverage()})
+		res.Curve = append(res.Curve, CoveragePoint{Patterns: 0, Detected: 0, Coverage: res.Coverage()})
 		return res
 	}
 
@@ -127,7 +173,7 @@ func assembleResult(total, nPatterns, curveStep int, firstDetected []int) *Campa
 		alive -= perBatch[b]
 		applied += batch
 		if curveStep > 0 && (applied >= nextSample || applied == nPatterns) {
-			res.Curve = append(res.Curve, CoveragePoint{applied, res.Detected, res.Coverage()})
+			res.Curve = append(res.Curve, CoveragePoint{Patterns: applied, Detected: res.Detected, Coverage: res.Coverage()})
 			for nextSample <= applied {
 				nextSample += curveStep
 			}
@@ -136,11 +182,29 @@ func assembleResult(total, nPatterns, curveStep int, firstDetected []int) *Campa
 	if applied < nPatterns {
 		applied = nPatterns // all faults detected early; remaining patterns are free
 	}
-	last := CoveragePoint{applied, res.Detected, res.Coverage()}
+	last := CoveragePoint{Patterns: applied, Detected: res.Detected, Coverage: res.Coverage()}
 	if len(res.Curve) == 0 || res.Curve[len(res.Curve)-1] != last {
 		res.Curve = append(res.Curve, last)
 	}
 	res.Patterns = applied
+	return res
+}
+
+// attributeMixture stamps each curve point with the weight set that
+// generated the batch ending at that sample: batch b of a k-set
+// mixture draws from set b%k. Attribution is a pure function of the
+// assembled result (a point at P patterns closes batch (P-1)/64), so
+// every execution strategy of one campaign agrees on it. Single-set
+// campaigns (k <= 1) keep the zero attribution.
+func attributeMixture(res *CampaignResult, k int) *CampaignResult {
+	if k <= 1 {
+		return res
+	}
+	for i := range res.Curve {
+		if p := res.Curve[i].Patterns; p > 0 {
+			res.Curve[i].WeightSet = ((p - 1) / 64) % k
+		}
+	}
 	return res
 }
 
@@ -283,13 +347,14 @@ func RunCampaignConfig(c *circuit.Circuit, faults []fault.Fault, weightSets [][]
 		newGen = mixtureGen(weightSets, seed)
 	}
 	if cfg.PatternShards > 1 {
-		return runCampaignPatternShards(c, faults, newGen, cfg.Patterns, cfg.CurveStep, cfg.PatternShards)
+		res := runCampaignPatternShards(c, faults, newGen, cfg.Patterns, cfg.CurveStep, cfg.PatternShards)
+		return attributeMixture(res, len(weightSets))
 	}
 	workers := normWorkers(cfg.Workers, len(faults))
 	if pickShared(c, workers, cfg.GoodMachine) {
-		return runCampaignShared(c, faults, newGen, cfg.Patterns, cfg.CurveStep, workers)
+		return attributeMixture(runCampaignShared(c, faults, newGen, cfg.Patterns, cfg.CurveStep, workers), len(weightSets))
 	}
-	return runCampaign(c, faults, newGen, cfg.Patterns, cfg.CurveStep, cfg.Workers)
+	return attributeMixture(runCampaign(c, faults, newGen, cfg.Patterns, cfg.CurveStep, cfg.Workers), len(weightSets))
 }
 
 // runCampaignShared is the shared-good-machine campaign: one good
@@ -601,7 +666,8 @@ func RunCampaignMixtureWorkers(c *circuit.Circuit, faults []fault.Fault, weightS
 	if len(weightSets) == 1 {
 		return runCampaign(c, faults, weightedGen(weightSets[0], seed), nPatterns, curveStep, workers)
 	}
-	return runCampaign(c, faults, mixtureGen(weightSets, seed), nPatterns, curveStep, workers)
+	res := runCampaign(c, faults, mixtureGen(weightSets, seed), nPatterns, curveStep, workers)
+	return attributeMixture(res, len(weightSets))
 }
 
 // EstimateDetectProbs estimates the detection probability of each fault

@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 
+	"optirand/internal/adapt"
 	"optirand/internal/circuit"
 	"optirand/internal/engine"
 	"optirand/internal/fault"
@@ -121,15 +122,51 @@ func copyWeightSets(sets [][]float64) [][]float64 {
 	return out
 }
 
+// FromAdaptiveConfig captures an adaptive control-loop config in wire
+// form (nil stays nil).
+func FromAdaptiveConfig(cfg *adapt.Config) *AdaptiveSpec {
+	if cfg == nil {
+		return nil
+	}
+	return &AdaptiveSpec{
+		Strategy:       cfg.Strategy,
+		BlockPatterns:  cfg.BlockPatterns,
+		StallRounds:    cfg.StallRounds,
+		TargetCoverage: cfg.TargetCoverage,
+		Epsilon:        cfg.Epsilon,
+		ReoptMaxSweeps: cfg.ReoptMaxSweeps,
+	}
+}
+
+// Build reconstructs the adaptive config (nil stays nil).
+func (s *AdaptiveSpec) Build() *adapt.Config {
+	if s == nil {
+		return nil
+	}
+	return &adapt.Config{
+		Strategy:       s.Strategy,
+		BlockPatterns:  s.BlockPatterns,
+		StallRounds:    s.StallRounds,
+		TargetCoverage: s.TargetCoverage,
+		Epsilon:        s.Epsilon,
+		ReoptMaxSweeps: s.ReoptMaxSweeps,
+	}
+}
+
 // FromTask captures an engine task in wire form — the inline
 // spelling. Scheduling knobs (Task.SimWorkers, Task.SimShards,
 // Task.GoodMachine) are intentionally
 // dropped: they cannot change the result, so they are not part of the
 // task's wire identity. Use ByRef to convert to the content-addressed
-// spelling.
+// spelling. Adaptive tasks are stamped VersionAdaptive so that old
+// decoders reject them instead of running them open-loop.
 func FromTask(t *engine.Task) *Task {
+	v := Version
+	if t.Adaptive != nil {
+		v = VersionAdaptive
+	}
 	return &Task{
-		V:          Version,
+		V:          v,
 		Label:      t.Label,
 		Circuit:    FromCircuit(t.Circuit),
 		Faults:     FromFaults(t.Faults),
@@ -137,6 +174,7 @@ func FromTask(t *engine.Task) *Task {
 		Patterns:   t.Patterns,
 		Seed:       t.Seed,
 		CurveStep:  t.CurveStep,
+		Adaptive:   FromAdaptiveConfig(t.Adaptive),
 	}
 }
 
@@ -210,7 +248,7 @@ func (t *Task) Resolve(lookup func(hash string) ([]byte, bool)) error {
 // validates it. By-ref tasks must be Resolved first; a task carrying
 // both spellings of one component is ambiguous and rejected.
 func (t *Task) Build() (*engine.Task, error) {
-	if err := CheckVersion(t.V); err != nil {
+	if err := checkValueVersion(t.V, t.Adaptive != nil); err != nil {
 		return nil, err
 	}
 	if t.Circuit != nil && t.CircuitRef != "" {
@@ -244,6 +282,7 @@ func (t *Task) Build() (*engine.Task, error) {
 		Patterns:   t.Patterns,
 		Seed:       t.Seed,
 		CurveStep:  t.CurveStep,
+		Adaptive:   t.Adaptive.Build(),
 	}
 	if err := task.Validate(); err != nil {
 		return nil, err
@@ -251,25 +290,72 @@ func (t *Task) Build() (*engine.Task, error) {
 	return task, nil
 }
 
-// FromCampaign captures a campaign report in wire form.
+// fromAdaptiveInfo captures adaptive round provenance in wire form
+// (nil stays nil).
+func fromAdaptiveInfo(a *sim.AdaptiveInfo) *AdaptiveInfo {
+	if a == nil {
+		return nil
+	}
+	w := &AdaptiveInfo{
+		Strategy:  a.Strategy,
+		Rounds:    make([]RoundStat, len(a.Rounds)),
+		Reopts:    a.Reopts,
+		ArmPulls:  copyInts(a.ArmPulls),
+		Stalled:   a.Stalled,
+		TargetHit: a.TargetHit,
+	}
+	for i, rs := range a.Rounds {
+		w.Rounds[i] = RoundStat(rs)
+	}
+	return w
+}
+
+// build reconstructs adaptive round provenance (nil stays nil).
+func (w *AdaptiveInfo) build() *sim.AdaptiveInfo {
+	if w == nil {
+		return nil
+	}
+	a := &sim.AdaptiveInfo{
+		Strategy:  w.Strategy,
+		Reopts:    w.Reopts,
+		ArmPulls:  copyInts(w.ArmPulls),
+		Stalled:   w.Stalled,
+		TargetHit: w.TargetHit,
+	}
+	if w.Rounds != nil {
+		a.Rounds = make([]sim.RoundStat, len(w.Rounds))
+		for i, rs := range w.Rounds {
+			a.Rounds[i] = sim.RoundStat(rs)
+		}
+	}
+	return a
+}
+
+// FromCampaign captures a campaign report in wire form. Adaptive
+// reports carry the VersionAdaptive stamp (see FromTask).
 func FromCampaign(r *sim.CampaignResult) *CampaignResult {
+	v := Version
+	if r.Adaptive != nil {
+		v = VersionAdaptive
+	}
 	w := &CampaignResult{
-		V:             Version,
+		V:             v,
 		TotalFaults:   r.TotalFaults,
 		Detected:      r.Detected,
 		Patterns:      r.Patterns,
 		FirstDetected: copyInts(r.FirstDetected),
 		Curve:         make([]CoveragePoint, len(r.Curve)),
+		Adaptive:      fromAdaptiveInfo(r.Adaptive),
 	}
 	for i, p := range r.Curve {
-		w.Curve[i] = CoveragePoint{Patterns: p.Patterns, Detected: p.Detected, Coverage: p.Coverage}
+		w.Curve[i] = CoveragePoint(p)
 	}
 	return w
 }
 
 // Build reconstructs the campaign report.
 func (w *CampaignResult) Build() (*sim.CampaignResult, error) {
-	if err := CheckVersion(w.V); err != nil {
+	if err := checkValueVersion(w.V, w.Adaptive != nil); err != nil {
 		return nil, err
 	}
 	r := &sim.CampaignResult{
@@ -278,9 +364,10 @@ func (w *CampaignResult) Build() (*sim.CampaignResult, error) {
 		Patterns:      w.Patterns,
 		FirstDetected: copyInts(w.FirstDetected),
 		Curve:         make([]sim.CoveragePoint, len(w.Curve)),
+		Adaptive:      w.Adaptive.build(),
 	}
 	for i, p := range w.Curve {
-		r.Curve[i] = sim.CoveragePoint{Patterns: p.Patterns, Detected: p.Detected, Coverage: p.Coverage}
+		r.Curve[i] = sim.CoveragePoint(p)
 	}
 	return r, nil
 }

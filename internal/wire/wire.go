@@ -46,14 +46,27 @@ import (
 	"fmt"
 )
 
-// Version is the wire-format version this package reads and writes.
-// Version 2 re-typed Task.Circuit to a pointer and added the
-// content-addressed by-ref task form (CircuitRef/FaultsRef): a task
-// may reference its circuit and fault list by canonical SHA-256
-// instead of carrying them inline, and decoders must resolve those
-// references against a blob store before building. A version-1
-// decoder rejects every version-2 task — by-ref or inline — outright.
+// Version is the wire-format version this package reads and writes
+// for open-loop values. Version 2 re-typed Task.Circuit to a pointer
+// and added the content-addressed by-ref task form
+// (CircuitRef/FaultsRef): a task may reference its circuit and fault
+// list by canonical SHA-256 instead of carrying them inline, and
+// decoders must resolve those references against a blob store before
+// building. A version-1 decoder rejects every version-2 task — by-ref
+// or inline — outright.
 const Version = 2
+
+// VersionAdaptive is the wire-format version stamped on tasks and
+// results that carry adaptive-campaign fields (Task.Adaptive,
+// CampaignResult.Adaptive). An adaptive task run open-loop would be a
+// silent semantic change — the worst possible failure for a
+// determinism contract — so the adaptive fields deliberately ride a
+// version bump instead of the usual optional-field compatibility: a
+// version-2 decoder (an old daemon) REJECTS an adaptive task with a
+// version error rather than executing it without the control loop.
+// Non-adaptive values keep Version, so their canonical bytes, identity
+// hashes, caches, and journals are untouched by the addition.
+const VersionAdaptive = 3
 
 // Circuit is the wire form of a combinational network. Gate order is
 // the circuit's own gate order; fanins are gate indices, so the
@@ -108,16 +121,61 @@ type Task struct {
 	Patterns   int         `json:"patterns"`
 	Seed       uint64      `json:"seed"`
 	CurveStep  int         `json:"curve_step,omitempty"`
+	// Adaptive, when present, makes the task a block-adaptive campaign
+	// (wire version VersionAdaptive). It is part of IdentityHash: an
+	// adaptive campaign and its open-loop twin are different campaigns
+	// and must never share a cache entry.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 }
 
-// CoveragePoint is one sample of a coverage curve.
+// AdaptiveSpec is the wire form of an adaptive campaign's control-loop
+// config (internal/adapt's Config). Everything here changes results,
+// so everything here is task identity.
+type AdaptiveSpec struct {
+	Strategy       string  `json:"strategy"`
+	BlockPatterns  int     `json:"block_patterns,omitempty"`
+	StallRounds    int     `json:"stall_rounds,omitempty"`
+	TargetCoverage float64 `json:"target_coverage,omitempty"`
+	Epsilon        float64 `json:"epsilon,omitempty"`
+	ReoptMaxSweeps int     `json:"reopt_max_sweeps,omitempty"`
+}
+
+// CoveragePoint is one sample of a coverage curve. Round and WeightSet
+// attribute the sample's batch to the adaptive round and weight set
+// that generated it; both are optional fields that encode away for
+// open-loop single-set campaigns, keeping their canonical bytes
+// unchanged.
 type CoveragePoint struct {
-	Patterns int     `json:"patterns"`
-	Detected int     `json:"detected"`
-	Coverage float64 `json:"coverage"`
+	Patterns  int     `json:"patterns"`
+	Detected  int     `json:"detected"`
+	Coverage  float64 `json:"coverage"`
+	Round     int     `json:"round,omitempty"`
+	WeightSet int     `json:"weight_set,omitempty"`
 }
 
-// CampaignResult is the wire form of a campaign report.
+// RoundStat is the wire form of one adaptive round's provenance.
+type RoundStat struct {
+	Round       int     `json:"round"`
+	WeightSet   int     `json:"weight_set"`
+	Patterns    int     `json:"patterns"`
+	Detected    int     `json:"detected"`
+	Coverage    float64 `json:"coverage"`
+	Reoptimized bool    `json:"reoptimized,omitempty"`
+}
+
+// AdaptiveInfo is the wire form of an adaptive campaign's round
+// provenance (sim.AdaptiveInfo).
+type AdaptiveInfo struct {
+	Strategy  string      `json:"strategy"`
+	Rounds    []RoundStat `json:"rounds"`
+	Reopts    int         `json:"reopts,omitempty"`
+	ArmPulls  []int       `json:"arm_pulls,omitempty"`
+	Stalled   bool        `json:"stalled,omitempty"`
+	TargetHit bool        `json:"target_hit,omitempty"`
+}
+
+// CampaignResult is the wire form of a campaign report. Results of
+// adaptive campaigns carry Adaptive and the VersionAdaptive stamp.
 type CampaignResult struct {
 	V             int             `json:"v"`
 	TotalFaults   int             `json:"total_faults"`
@@ -125,6 +183,7 @@ type CampaignResult struct {
 	Patterns      int             `json:"patterns"`
 	FirstDetected []int           `json:"first_detected"`
 	Curve         []CoveragePoint `json:"curve"`
+	Adaptive      *AdaptiveInfo   `json:"adaptive,omitempty"`
 }
 
 // OptimizeRequest asks the service to run the paper's OPTIMIZE
@@ -213,10 +272,31 @@ type Health struct {
 }
 
 // CheckVersion rejects any wire version other than Version (see the
-// package comment for the policy).
+// package comment for the policy). Envelopes and open-loop values use
+// it directly; values that may legitimately carry VersionAdaptive
+// (tasks, campaign results) go through checkValueVersion instead.
 func CheckVersion(v int) error {
 	if v != Version {
 		return fmt.Errorf("wire: version %d not supported (want %d)", v, Version)
+	}
+	return nil
+}
+
+// checkValueVersion enforces the version/payload pairing of a value
+// that may be adaptive: open-loop values must carry Version, adaptive
+// ones VersionAdaptive. A mismatch either way is rejected — in
+// particular an adaptive payload under the open-loop version, which
+// an old decoder would otherwise misread as a plain campaign.
+func checkValueVersion(v int, adaptive bool) error {
+	want := Version
+	if adaptive {
+		want = VersionAdaptive
+	}
+	if v != want {
+		if adaptive {
+			return fmt.Errorf("wire: adaptive value carries version %d (want %d)", v, want)
+		}
+		return CheckVersion(v)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"optirand/internal/adapt"
 	"optirand/internal/engine"
 	"optirand/internal/fault"
 	"optirand/internal/gen"
@@ -441,5 +442,163 @@ func TestSchedulingKnobsExcludedFromIdentity(t *testing.T) {
 	knobbed.GoodMachine = sim.GoodMachineShared
 	if FromTask(task).IdentityHash() != FromTask(&knobbed).IdentityHash() {
 		t.Fatal("scheduling knobs leaked into the task's wire identity")
+	}
+}
+
+// adaptiveTestTask returns testTask upgraded to an adaptive bandit
+// campaign (the two weight sets become the arms).
+func adaptiveTestTask(t *testing.T) *engine.Task {
+	t.Helper()
+	wt := testTask(t)
+	et, err := wt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	et.Adaptive = &adapt.Config{
+		Strategy:       adapt.StrategyBandit,
+		BlockPatterns:  128,
+		StallRounds:    2,
+		TargetCoverage: 0.97,
+		Epsilon:        0.1,
+	}
+	return et
+}
+
+// TestAdaptiveTaskRoundTrip: an adaptive task survives both codecs,
+// carries VersionAdaptive, and its rebuilt form executes to the same
+// campaign — including the round provenance — as the original.
+func TestAdaptiveTaskRoundTrip(t *testing.T) {
+	et := adaptiveTestTask(t)
+	w := FromTask(et)
+	if w.V != VersionAdaptive {
+		t.Fatalf("adaptive task stamped v%d, want %d", w.V, VersionAdaptive)
+	}
+	for _, codec := range Codecs {
+		data, err := codec.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name, err)
+		}
+		var back Task
+		if err := codec.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", codec.Name, err)
+		}
+		rebuilt, err := back.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name, err)
+		}
+		if !reflect.DeepEqual(rebuilt.Adaptive, et.Adaptive) {
+			t.Fatalf("%s: adaptive config did not survive: %+v vs %+v", codec.Name, rebuilt.Adaptive, et.Adaptive)
+		}
+		if !reflect.DeepEqual(rebuilt.Execute().Campaign, et.Execute().Campaign) {
+			t.Fatalf("%s: rebuilt adaptive task executes differently", codec.Name)
+		}
+	}
+}
+
+// TestAdaptiveResultRoundTrip: an adaptive campaign report — rounds,
+// arm pulls, attributed curve — survives the wire exactly.
+func TestAdaptiveResultRoundTrip(t *testing.T) {
+	res := adaptiveTestTask(t).Execute().Campaign
+	if res.Adaptive == nil || len(res.Adaptive.Rounds) == 0 {
+		t.Fatalf("want an adaptive result with rounds, got %+v", res.Adaptive)
+	}
+	w := FromCampaign(res)
+	if w.V != VersionAdaptive {
+		t.Fatalf("adaptive result stamped v%d, want %d", w.V, VersionAdaptive)
+	}
+	for _, codec := range Codecs {
+		data, err := codec.Marshal(w)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name, err)
+		}
+		var back CampaignResult
+		if err := codec.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", codec.Name, err)
+		}
+		rebuilt, err := back.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name, err)
+		}
+		if !reflect.DeepEqual(rebuilt, res) {
+			t.Fatalf("%s: adaptive result did not round-trip:\n%+v\nvs\n%+v", codec.Name, rebuilt, res)
+		}
+	}
+}
+
+// TestAdaptiveVersionNegotiation proves an old (version-2) daemon
+// cleanly rejects adaptive tasks instead of silently running them
+// open-loop: the adaptive stamp fails the old decoder's version gate
+// before any payload field is interpreted. It also pins the other
+// directions: the current decoder rejects an adaptive payload
+// smuggled under v2 and a v3 stamp with no adaptive payload.
+func TestAdaptiveVersionNegotiation(t *testing.T) {
+	w := FromTask(adaptiveTestTask(t))
+
+	// The version-2 decoder's first move, replayed byte for byte:
+	// version-gate before payload.
+	oldDecode := func(data []byte) error {
+		var v struct {
+			V int `json:"v"`
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		if v.V != Version {
+			return fmt.Errorf("wire: version %d not supported (want %d)", v.V, Version)
+		}
+		return nil
+	}
+	data, err := JSON.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oldDecode(data); err == nil || !strings.Contains(err.Error(), "version 3") {
+		t.Fatalf("old daemon accepted an adaptive task (err=%v) — it would run open-loop", err)
+	}
+
+	// Adaptive payload under the open-loop version: malformed, rejected.
+	smuggled := *w
+	smuggled.V = Version
+	if _, err := smuggled.Build(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v2-stamped adaptive task accepted, err=%v", err)
+	}
+
+	// VersionAdaptive without the payload that justifies it: rejected.
+	bare := testTask(t)
+	bare.V = VersionAdaptive
+	if _, err := bare.Build(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v3-stamped open-loop task accepted, err=%v", err)
+	}
+
+	// Same pairing rule for results.
+	res := &CampaignResult{V: Version, Adaptive: &AdaptiveInfo{Strategy: "reopt"}}
+	if _, err := res.Build(); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v2-stamped adaptive result accepted, err=%v", err)
+	}
+}
+
+// TestAdaptiveIdentityHash: the adaptive config is part of task
+// identity — an adaptive campaign must never share a cache entry with
+// its open-loop twin or with a differently configured loop — while
+// open-loop tasks hash exactly as before the field existed.
+func TestAdaptiveIdentityHash(t *testing.T) {
+	et := adaptiveTestTask(t)
+	open := *et
+	open.Adaptive = nil
+	h := FromTask(et).IdentityHash()
+	if h == FromTask(&open).IdentityHash() {
+		t.Fatal("adaptive task shares identity with its open-loop twin")
+	}
+	tweaked := *et
+	cfg := *et.Adaptive
+	cfg.BlockPatterns = 256
+	tweaked.Adaptive = &cfg
+	if h == FromTask(&tweaked).IdentityHash() {
+		t.Fatal("different adaptive configs share a task identity")
+	}
+	// The by-ref spelling hashes identically, like every task.
+	ref, _, _ := FromTask(et).ByRef()
+	if ref.IdentityHash() != h {
+		t.Fatal("adaptive by-ref task hashes differently from inline")
 	}
 }

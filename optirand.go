@@ -82,6 +82,11 @@ type (
 	CampaignResult = sim.CampaignResult
 	// CoveragePoint is one sample of a coverage curve.
 	CoveragePoint = sim.CoveragePoint
+	// AdaptiveInfo records the round provenance of a block-adaptive
+	// campaign (CampaignResult.Adaptive; see the Adaptive source).
+	AdaptiveInfo = sim.AdaptiveInfo
+	// RoundStat is one adaptive round's boundary state.
+	RoundStat = sim.RoundStat
 	// Benchmark describes one built-in evaluation circuit with its
 	// paper reference data.
 	Benchmark = gen.Benchmark

@@ -46,9 +46,16 @@ func testSweepSpec(t *testing.T) (optirand.SweepSpec, int) {
 			Weightings: []optirand.SweepWeighting{
 				{Name: "uniform", Source: optirand.Weights(uniform)},
 				{Name: "mixture", Source: optirand.Mixture(uniform, skewed)},
+				// Closed-loop campaigns ride the same grid: both
+				// re-weighting strategies must be byte-identical on
+				// every backend, like everything else.
+				{Name: "adaptive-reopt", Source: optirand.Adaptive(optirand.Weights(uniform),
+					optirand.AdaptiveReopt(), optirand.AdaptiveBlock(128), optirand.AdaptiveReoptSweeps(1))},
+				{Name: "adaptive-bandit", Source: optirand.Adaptive(optirand.Mixture(uniform, skewed),
+					optirand.AdaptiveBandit(0.1), optirand.AdaptiveBlock(128))},
 			},
 		})
-		cells += 2
+		cells += 4
 	}
 	return spec, cells * spec.Repetitions
 }

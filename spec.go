@@ -3,6 +3,7 @@ package optirand
 import (
 	"fmt"
 
+	"optirand/internal/adapt"
 	"optirand/internal/engine"
 	"optirand/internal/sim"
 )
@@ -49,8 +50,9 @@ const (
 // serialized, replayed, or cached, so stream campaigns always execute
 // serially in-process and are rejected by remote Runners and sweeps.
 type PatternSource struct {
-	sets [][]float64
-	next func(dst []uint64)
+	sets     [][]float64
+	next     func(dst []uint64)
+	adaptive *adapt.Config
 }
 
 // Weights draws every pattern from one weight set: weights[i] is the
@@ -74,12 +76,91 @@ func Stream(next func(dst []uint64)) PatternSource {
 	return PatternSource{next: next}
 }
 
+// Adaptive wraps a Weights or Mixture source in the block-adaptive
+// control loop (internal/adapt): the campaign runs blocks of patterns
+// and re-weights at each block boundary from the still-undetected
+// fault residue. A Weights source re-optimizes its single set on the
+// residue (strategy "reopt"); a Mixture source's sets become the arms
+// of a deterministic multi-armed bandit (strategy "bandit"); options
+// override the defaults. All updates happen only at block boundaries
+// with seeds derived from the campaign seed and round index, so an
+// adaptive campaign — like every other campaign — is a pure function
+// of (circuit, faults, config, seed), byte-identical across worker
+// counts and across local, remote, and federated backends. Stream
+// sources cannot be adaptive (the loop must own the pattern stream).
+func Adaptive(src PatternSource, opts ...AdaptiveOption) PatternSource {
+	cfg := &adapt.Config{}
+	for _, o := range opts {
+		o(cfg)
+	}
+	src.adaptive = cfg
+	return src
+}
+
+// AdaptiveOption configures an Adaptive source.
+type AdaptiveOption func(*adapt.Config)
+
+// AdaptiveReopt selects residual re-optimization: at each block
+// boundary the paper's optimize step re-runs restricted to the alive
+// fault set, seeded from the current weights. Requires a single-set
+// (Weights) source. This is the default for Weights sources.
+func AdaptiveReopt() AdaptiveOption {
+	return func(c *adapt.Config) { c.Strategy = adapt.StrategyReopt }
+}
+
+// AdaptiveBandit selects the deterministic multi-armed bandit over the
+// source's weight sets: epsilon 0 plays UCB1, epsilon in (0,1) plays
+// seeded epsilon-greedy. Requires a Mixture source with at least two
+// sets. Bandit with epsilon 0 is the default for Mixture sources.
+func AdaptiveBandit(epsilon float64) AdaptiveOption {
+	return func(c *adapt.Config) {
+		c.Strategy = adapt.StrategyBandit
+		c.Epsilon = epsilon
+	}
+}
+
+// AdaptiveBlock sets the per-round pattern block (default 256).
+func AdaptiveBlock(patterns int) AdaptiveOption {
+	return func(c *adapt.Config) { c.BlockPatterns = patterns }
+}
+
+// AdaptiveStall sets how many consecutive zero-detection rounds
+// terminate the loop (default 3).
+func AdaptiveStall(rounds int) AdaptiveOption {
+	return func(c *adapt.Config) { c.StallRounds = rounds }
+}
+
+// AdaptiveTarget stops the loop once coverage reaches target (in
+// (0,1]; 0, the default, runs to the pattern budget).
+func AdaptiveTarget(coverage float64) AdaptiveOption {
+	return func(c *adapt.Config) { c.TargetCoverage = coverage }
+}
+
+// AdaptiveReoptSweeps caps each residual re-optimization's
+// coordinate-descent sweeps (default 4).
+func AdaptiveReoptSweeps(n int) AdaptiveOption {
+	return func(c *adapt.Config) { c.ReoptMaxSweeps = n }
+}
+
 // IsStream reports whether the source is an external batch generator.
 func (s PatternSource) IsStream() bool { return s.next != nil }
+
+// IsAdaptive reports whether the source runs the block-adaptive loop.
+func (s PatternSource) IsAdaptive() bool { return s.adaptive != nil }
 
 // WeightSets returns the source's weight sets (nil for Stream
 // sources). The slice is not copied; treat it as read-only.
 func (s PatternSource) WeightSets() [][]float64 { return s.sets }
+
+// adaptiveConfig returns a private copy of the source's adaptive
+// config, so tasks compiled from one source cannot alias each other's.
+func (s PatternSource) adaptiveConfig() *adapt.Config {
+	if s.adaptive == nil {
+		return nil
+	}
+	cfg := *s.adaptive
+	return &cfg
+}
 
 // CampaignSpec declares one fault-simulation campaign. Zero-valued
 // fields select defaults: Label defaults to the circuit name, Seed 0
@@ -125,6 +206,7 @@ func (spec *CampaignSpec) task(r *Runner) (*Task, error) {
 		Patterns:    spec.Patterns,
 		Seed:        seed,
 		CurveStep:   spec.CurveStep,
+		Adaptive:    spec.Source.adaptiveConfig(),
 		SimWorkers:  r.simWorkers,
 		SimShards:   r.simShards,
 		GoodMachine: r.goodMachine,
@@ -241,7 +323,11 @@ func (spec *SweepSpec) source(r *Runner) (*engine.Sweep, error) {
 			if len(wt.Source.sets) == 0 {
 				return nil, fmt.Errorf("optirand: sweep %s/%s: no pattern source", sc.Name, wt.Name)
 			}
-			ec.Weightings = append(ec.Weightings, engine.Weighting{Name: wt.Name, Sets: wt.Source.sets})
+			ec.Weightings = append(ec.Weightings, engine.Weighting{
+				Name:     wt.Name,
+				Sets:     wt.Source.sets,
+				Adaptive: wt.Source.adaptiveConfig(),
+			})
 		}
 		s.Circuits = append(s.Circuits, ec)
 	}
