@@ -25,8 +25,11 @@ build:
 test: build
 	$(GO) test ./...
 
+# The sim differential suites run full uncollapsed fault universes;
+# under the race detector on a small runner that can exceed go test's
+# default 10-minute per-package timeout, so give it headroom.
 test-race: build
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Coverage profile over every package with tests, plus the
 # per-function summary CI uploads as a job artifact.

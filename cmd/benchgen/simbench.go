@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -18,33 +19,44 @@ import (
 )
 
 var (
-	flagSimbench = flag.Bool("simbench", false, "benchmark the compiled fault-simulation kernel vs the frozen pre-compile kernel, write a JSON summary")
+	flagSimbench = flag.Bool("simbench", false, "benchmark the wide-word fault-simulation kernels vs the frozen pre-compile kernel, write a JSON summary")
 	flagSimOut   = flag.String("simout", "BENCH_sim.json", "simbench: summary output path")
-	flagSimCirc  = flag.String("simcircuits", "c2670,c7552", "simbench: comma-separated circuits (default: the chain-heavy random-pattern-resistant pair, where the compiled kernel's gain is largest; fanout-mesh circuits like c6288 sit nearer 1.2x)")
+	flagSimCirc  = flag.String("simcircuits", "c2670,c7552,c499,c1355", "simbench: comma-separated circuits (chain-heavy random-pattern-resistant pair plus the XOR-dominated parity meshes where the diff-word path engages)")
 	flagSimN     = flag.Int("simn", 2048, "simbench: patterns per campaign measurement")
 	flagSimMinMS = flag.Int("simminms", 300, "simbench: minimum measured time per configuration (ms)")
 )
 
-// simCircuit is the simbench record of one circuit.
+// simCircuit is the simbench record of one circuit. Kernel throughput
+// is counted in fault-words per second: one fault-word is one
+// 64-pattern detection mask for one fault, so a W-lane DetectWords
+// call contributes W fault-words and the widths are directly
+// comparable with the one-word legacy and narrow kernels.
 type simCircuit struct {
 	Name   string `json:"name"`
 	Gates  int    `json:"gates"`
 	Faults int    `json:"faults"`
-	// DetectWordsPerSec is the compiled kernel's single-thread
-	// DetectWord throughput: full collapsed-fault-list passes against
-	// one fixed 64-pattern batch, counted as fault evaluations per
-	// second. LegacyDetectWordsPerSec is the identical measurement on
-	// the frozen pre-PR kernel; Speedup is their ratio.
-	DetectWordsPerSec       float64 `json:"detect_words_per_sec"`
+	// LanesChosen is the lane width the compiler picked for this
+	// circuit (chooseLanes); the W4/W8 columns force the width.
+	LanesChosen             int     `json:"lanes_chosen"`
+	DetectWordsPerSec       float64 `json:"detect_words_per_sec"` // wide kernel at the chosen width
 	LegacyDetectWordsPerSec float64 `json:"legacy_detect_words_per_sec"`
-	Speedup                 float64 `json:"speedup_vs_legacy"`
+	W1DetectWordsPerSec     float64 `json:"w1_detect_words_per_sec"` // narrow compiled kernel
+	W4DetectWordsPerSec     float64 `json:"w4_detect_words_per_sec"`
+	W8DetectWordsPerSec     float64 `json:"w8_detect_words_per_sec"`
+	Speedup                 float64 `json:"speedup_vs_legacy"` // chosen width vs legacy
 	// CampaignPatternsPerSec is end-to-end serial campaign throughput
-	// (good machine + detection + fault dropping) in patterns/sec.
+	// (good machine + detection + fault dropping) in patterns/sec,
+	// running on the wide-group batch loop.
 	CampaignPatternsPerSec float64 `json:"campaign_patterns_per_sec"`
-	// AllocsPerDetect / AllocsPerRun are steady-state allocations per
-	// DetectWord call and per good-machine Run (must be 0).
-	AllocsPerDetect float64 `json:"allocs_per_detect"`
-	AllocsPerRun    float64 `json:"allocs_per_run"`
+	// Steady-state allocations (all must be 0): per narrow
+	// DetectWord/Run and per wide DetectWords/RunWide call.
+	AllocsPerDetect     float64 `json:"allocs_per_detect"`
+	AllocsPerRun        float64 `json:"allocs_per_run"`
+	AllocsPerDetectWide float64 `json:"allocs_per_detect_wide"`
+	AllocsPerRunWide    float64 `json:"allocs_per_run_wide"`
+	// WideIdentical reports that DetectWords reproduced the legacy
+	// kernel's mask on every lane, for every fault, at every width.
+	WideIdentical bool `json:"wide_identical"`
 	// PatternShardsIdentical / SharedGoodIdentical report that the
 	// pattern-range-sharded and shared-good-machine campaigns
 	// reproduced the serial campaign bit for bit.
@@ -54,11 +66,14 @@ type simCircuit struct {
 
 // simSummary is the BENCH_sim.json schema.
 type simSummary struct {
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"numcpu"`
-	Seed       uint64       `json:"seed"`
-	Patterns   int          `json:"patterns"`
-	Circuits   []simCircuit `json:"circuits"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Seed       uint64 `json:"seed"`
+	Patterns   int    `json:"patterns"`
+	// AggregateSpeedup is the geometric mean of the per-circuit
+	// chosen-width speedups over the legacy kernel.
+	AggregateSpeedup float64      `json:"aggregate_speedup_vs_legacy"`
+	Circuits         []simCircuit `json:"circuits"`
 }
 
 // simCampaignsEqual is campaignsEqual over the internal result type.
@@ -82,11 +97,75 @@ func simCampaignsEqual(a, b *sim.CampaignResult) bool {
 	return true
 }
 
-// simbench measures the compiled kernel against the retained pre-PR
-// kernel and seeds the simulation performance trajectory
-// (BENCH_sim.json). All measurements are single-thread by
+// wideGroup loads one fixed W-lane pattern group and runs the good
+// machine; lane 0 carries words so the W=1-comparable batch is lane 0.
+func wideGroup(s *sim.Simulator, rng *prng.SplitMix64, nIn int) {
+	w := s.Lanes()
+	words := make([]uint64, nIn)
+	for l := 0; l < w; l++ {
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		s.SetInputsLane(l, words)
+	}
+	s.RunWide()
+}
+
+// measureWide times full fault-list DetectWords passes on a prepared
+// wide simulator and returns fault-words per second.
+func measureWide(minTime time.Duration, fs *sim.FaultSimulator, faults []fault.Fault, w int) float64 {
+	var det [8]uint64
+	d := measure(minTime, func() {
+		for _, f := range faults {
+			fs.DetectWords(f, det[:])
+		}
+	})
+	return float64(len(faults)*w) / d.Seconds()
+}
+
+// checkWideIdentical verifies DetectWords ≡ legacy DetectWord on every
+// lane for every fault over nGroups random groups.
+func checkWideIdentical(c *gen.Benchmark, faults []fault.Fault, s *sim.Simulator, lk *sim.LegacyKernel, seed uint64, nGroups int) bool {
+	fs := sim.NewFaultSimulator(s)
+	w := s.Lanes()
+	rng := prng.New(seed)
+	nIn := s.Circuit().NumInputs()
+	words := make([]uint64, nIn)
+	group := make([][]uint64, w)
+	for l := range group {
+		group[l] = make([]uint64, nIn)
+	}
+	var det [8]uint64
+	for gi := 0; gi < nGroups; gi++ {
+		for l := 0; l < w; l++ {
+			for i := range group[l] {
+				group[l][i] = rng.Uint64()
+			}
+			s.SetInputsLane(l, group[l])
+		}
+		s.RunWide()
+		for l := 0; l < w; l++ {
+			copy(words, group[l])
+			lk.SetInputs(words)
+			lk.Run()
+			for _, f := range faults {
+				fs.DetectWords(f, det[:])
+				if det[l] != lk.DetectWord(f) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// simbench measures the wide-word kernels against the retained pre-PR
+// kernel at every lane width and seeds the simulation performance
+// trajectory (BENCH_sim.json). All measurements are single-thread by
 // construction (one simulator, one goroutine); the equivalence flags
-// double as an end-to-end smoke test of the new campaign modes.
+// double as an end-to-end smoke test, and any false flag makes the
+// process exit non-zero after the summary is written so CI fails
+// while still uploading the artifact.
 func simbench() {
 	const seed = 1987
 	minTime := time.Duration(*flagSimMinMS) * time.Millisecond
@@ -96,10 +175,12 @@ func simbench() {
 		Seed:       seed,
 		Patterns:   *flagSimN,
 	}
-	t := report.NewTable("Fault-simulation kernel (compiled vs pre-PR legacy, single thread)",
-		"Circuit", "Faults", "Compiled f-evals/s", "Legacy f-evals/s", "Speedup",
-		"Campaign pat/s", "Allocs/op", "Shards==serial", "SharedGM==serial")
+	t := report.NewTable("Fault-simulation kernels (wide-word vs pre-compile legacy, single thread)",
+		"Circuit", "Faults", "W", "Wide f-words/s", "Legacy f-words/s", "W1/W4/W8 f-words/s",
+		"Speedup", "Campaign pat/s", "Allocs", "Wide==legacy", "Shards==serial", "SharedGM==serial")
 
+	logSpeedups := 0.0
+	allIdentical := true
 	for _, name := range strings.Split(*flagSimCirc, ",") {
 		name = strings.TrimSpace(name)
 		b, ok := gen.ByName(name)
@@ -114,7 +195,7 @@ func simbench() {
 			weights[i] = 0.5
 		}
 
-		// One fixed batch for the kernel micro-measurement.
+		// One fixed batch for the one-word kernels (legacy, narrow).
 		rng := prng.New(seed)
 		words := make([]uint64, c.NumInputs())
 		for i := range words {
@@ -128,36 +209,65 @@ func simbench() {
 		lk.SetInputs(words)
 		lk.Run()
 
-		newT := measure(minTime, func() {
+		w1 := float64(len(faults)) / measure(minTime, func() {
 			for _, f := range faults {
 				fs.DetectWord(f)
 			}
-		})
-		oldT := measure(minTime, func() {
+		}).Seconds()
+		legacy := float64(len(faults)) / measure(minTime, func() {
 			for _, f := range faults {
 				lk.DetectWord(f)
 			}
-		})
+		}).Seconds()
 
 		sc := simCircuit{
 			Name:                    name,
 			Gates:                   c.NumGates(),
 			Faults:                  len(faults),
-			DetectWordsPerSec:       float64(len(faults)) / newT.Seconds(),
-			LegacyDetectWordsPerSec: float64(len(faults)) / oldT.Seconds(),
-			Speedup:                 oldT.Seconds() / newT.Seconds(),
+			LanesChosen:             s.Lanes(),
+			LegacyDetectWordsPerSec: legacy,
+			W1DetectWordsPerSec:     w1,
+			WideIdentical:           true,
 		}
 
-		// Steady-state allocation guards (mirrors the sim test suite).
+		// Wide kernels at both forced widths over one fixed group.
+		perW := map[int]float64{}
+		for _, lanes := range []int{4, 8} {
+			ws := sim.NewSimulatorLanes(c, lanes)
+			wideGroup(ws, prng.New(seed), c.NumInputs())
+			wfs := sim.NewFaultSimulator(ws)
+			perW[lanes] = measureWide(minTime, wfs, faults, lanes)
+			if !checkWideIdentical(&b, faults, ws, lk, seed+uint64(lanes), 2) {
+				sc.WideIdentical = false
+			}
+			// Restore the one-word kernels' batch on the legacy
+			// kernel for the next width's check.
+			lk.SetInputs(words)
+			lk.Run()
+		}
+		sc.W4DetectWordsPerSec = perW[4]
+		sc.W8DetectWordsPerSec = perW[8]
+		sc.DetectWordsPerSec = perW[sc.LanesChosen]
+		sc.Speedup = sc.DetectWordsPerSec / legacy
+		logSpeedups += math.Log(sc.Speedup)
+
+		// Steady-state allocation guards (mirror the sim test suite).
 		pick := faults[len(faults)/2]
 		sc.AllocsPerDetect = testing.AllocsPerRun(100, func() { fs.DetectWord(pick) })
 		sc.AllocsPerRun = testing.AllocsPerRun(100, func() {
 			s.SetInputs(words)
 			s.Run()
 		})
+		var det [8]uint64
+		ws := sim.NewSimulatorLanes(c, sc.LanesChosen)
+		wideGroup(ws, prng.New(seed), c.NumInputs())
+		wfs := sim.NewFaultSimulator(ws)
+		wfs.DetectWords(pick, det[:]) // warm lane state
+		sc.AllocsPerDetectWide = testing.AllocsPerRun(100, func() { wfs.DetectWords(pick, det[:]) })
+		sc.AllocsPerRunWide = testing.AllocsPerRun(100, func() { ws.RunWide() })
 
-		// End-to-end serial campaign throughput, plus the equivalence
-		// flags for the two new scheduling modes.
+		// End-to-end serial campaign throughput (wide-group batch
+		// loop), plus the equivalence flags for the scheduling modes.
 		var ref *sim.CampaignResult
 		d := measure(minTime, func() {
 			ref = sim.RunCampaign(c, faults, weights, *flagSimN, seed, 0)
@@ -169,15 +279,23 @@ func simbench() {
 			Patterns: *flagSimN, Workers: 2, GoodMachine: sim.GoodMachineShared,
 		})
 		sc.SharedGoodIdentical = simCampaignsEqual(ref, shared)
+		allIdentical = allIdentical && sc.WideIdentical && sc.PatternShardsIdentical && sc.SharedGoodIdentical
 
 		summary.Circuits = append(summary.Circuits, sc)
-		t.Add(name, fmt.Sprint(sc.Faults),
+		t.Add(name, fmt.Sprint(sc.Faults), fmt.Sprint(sc.LanesChosen),
 			report.Sci(sc.DetectWordsPerSec), report.Sci(sc.LegacyDetectWordsPerSec),
+			fmt.Sprintf("%s/%s/%s", report.Sci(w1), report.Sci(perW[4]), report.Sci(perW[8])),
 			fmt.Sprintf("%.2fx", sc.Speedup), report.Sci(sc.CampaignPatternsPerSec),
-			fmt.Sprintf("%.0f/%.0f", sc.AllocsPerDetect, sc.AllocsPerRun),
+			fmt.Sprintf("%.0f/%.0f/%.0f/%.0f", sc.AllocsPerDetect, sc.AllocsPerRun,
+				sc.AllocsPerDetectWide, sc.AllocsPerRunWide),
+			fmt.Sprint(sc.WideIdentical),
 			fmt.Sprint(sc.PatternShardsIdentical), fmt.Sprint(sc.SharedGoodIdentical))
 	}
+	if n := len(summary.Circuits); n > 0 {
+		summary.AggregateSpeedup = math.Exp(logSpeedups / float64(n))
+	}
 	fmt.Print(t)
+	fmt.Printf("aggregate speedup vs legacy (geomean): %.2fx\n", summary.AggregateSpeedup)
 
 	data, err := json.MarshalIndent(&summary, "", "  ")
 	if err != nil {
@@ -190,4 +308,8 @@ func simbench() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *flagSimOut)
+	if !allIdentical {
+		fmt.Fprintln(os.Stderr, "benchgen: equivalence flag false — kernels disagree; failing")
+		os.Exit(1)
+	}
 }

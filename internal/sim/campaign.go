@@ -92,46 +92,89 @@ func (r *CampaignResult) Coverage() float64 {
 // campaigns bit-identical to serial ones.
 type batchGen func(batchNo int, dst []uint64)
 
+// loadLaneGroup fills the good machine's lanes with up to W
+// consecutive batches of the stream starting at batch *b / pattern
+// *applied, advancing both. It returns the number of lanes filled (m)
+// and writes each lane's valid-pattern mask into masks (0 for unused
+// lanes — their stale values are harmless because every extraction
+// masks per lane). Lane l of the group always starts at pattern
+// groupBase + l*64: only the campaign's final batch can be partial.
+func loadLaneGroup(s *Simulator, gen batchGen, b *int, applied *int, nPatterns int,
+	words []uint64, masks *[8]uint64) int {
+
+	w := s.Lanes()
+	m := 0
+	for ; m < w && *applied < nPatterns; m++ {
+		batch := 64
+		if rem := nPatterns - *applied; rem < batch {
+			batch = rem
+		}
+		masks[m] = ^uint64(0)
+		if batch < 64 {
+			masks[m] = (uint64(1) << uint(batch)) - 1
+		}
+		gen(*b, words)
+		s.SetInputsLane(m, words)
+		*b++
+		*applied += batch
+	}
+	for l := m; l < w; l++ {
+		masks[l] = 0
+	}
+	return m
+}
+
+// firstLaneDetection extracts the earliest detecting pattern index
+// from a wide detection group: lanes are consecutive batches, so the
+// first non-empty lane (after masking) holds the first detection. 0
+// means no detection in the group — exactly the serial per-batch
+// bookkeeping, which is what keeps wide campaigns bit-identical.
+func firstLaneDetection(det []uint64, masks *[8]uint64, m, groupBase int) int {
+	for l := 0; l < m; l++ {
+		if d := det[l] & masks[l]; d != 0 {
+			return groupBase + l*64 + bits.TrailingZeros64(d) + 1
+		}
+	}
+	return 0
+}
+
 // runShard simulates the batch stream against the faults selected by
 // shard (indices into faults), filling firstDetected at those indices.
 // Detected faults are dropped from further simulation; the shard stops
 // early once every one of its faults is detected. runShard takes
 // ownership of shard (it is compacted in place as faults drop) and of
 // its simulators and generator, so shards run concurrently without
-// sharing.
+// sharing. The stream runs through the wide kernels, W batches per
+// group (dropping happens at group granularity; first detections are
+// per pattern either way, so results match the serial batch loop
+// exactly).
 func runShard(c *circuit.Circuit, faults []fault.Fault, shard []int,
 	firstDetected []int, gen batchGen, nPatterns int) {
 
 	s := NewSimulator(c)
 	fs := NewFaultSimulator(s)
+	w := s.Lanes()
 	words := make([]uint64, c.NumInputs())
+	var det, masks [8]uint64
 	alive := shard
 
-	applied := 0
-	for b := 0; applied < nPatterns && len(alive) > 0; b++ {
-		batch := 64
-		if rem := nPatterns - applied; rem < batch {
-			batch = rem
-		}
-		batchMask := ^uint64(0)
-		if batch < 64 {
-			batchMask = (uint64(1) << uint(batch)) - 1
-		}
-		gen(b, words)
-		s.SetInputs(words)
-		s.Run()
+	applied, b := 0, 0
+	for applied < nPatterns && len(alive) > 0 {
+		groupBase := applied
+		m := loadLaneGroup(s, gen, &b, &applied, nPatterns, words, &masks)
+		s.RunWide()
 
 		kept := alive[:0]
 		for _, fi := range alive {
-			det := fs.DetectWord(faults[fi]) & batchMask
-			if det == 0 {
+			fs.DetectWords(faults[fi], det[:w])
+			first := firstLaneDetection(det[:w], &masks, m, groupBase)
+			if first == 0 {
 				kept = append(kept, fi)
 				continue
 			}
-			firstDetected[fi] = applied + bits.TrailingZeros64(det) + 1
+			firstDetected[fi] = first
 		}
 		alive = kept
-		applied += batch
 	}
 }
 
@@ -384,27 +427,33 @@ func runCampaignShared(c *circuit.Circuit, faults []fault.Fault, newGen func() b
 		shards[w] = shard
 	}
 
-	// Persistent workers, one per fault shard: the per-batch barrier is
+	// Persistent workers, one per fault shard: the per-group barrier is
 	// two channel handoffs (dispatch + WaitGroup), not a goroutine
-	// spawn — the whole point of this mode is shaving per-batch cost.
-	type sharedBatch struct {
-		applied int
-		mask    uint64
+	// spawn — and wide groups mean one barrier per W batches instead
+	// of one per batch, shaving exactly the cost this mode exists to
+	// shave.
+	type sharedGroup struct {
+		groupBase int
+		m         int
+		masks     [8]uint64
 	}
+	lanes := good.Lanes()
 	var wg sync.WaitGroup
-	work := make([]chan sharedBatch, workers)
+	work := make([]chan sharedGroup, workers)
 	for w := range fss {
-		work[w] = make(chan sharedBatch)
+		work[w] = make(chan sharedGroup)
 		go func(w int) {
-			for b := range work[w] {
+			var det [8]uint64
+			for grp := range work[w] {
 				kept := shards[w][:0]
 				for _, fi := range shards[w] {
-					det := fss[w].DetectWord(faults[fi]) & b.mask
-					if det == 0 {
+					fss[w].DetectWords(faults[fi], det[:lanes])
+					first := firstLaneDetection(det[:lanes], &grp.masks, grp.m, grp.groupBase)
+					if first == 0 {
 						kept = append(kept, fi)
 						continue
 					}
-					firstDetected[fi] = b.applied + bits.TrailingZeros64(det) + 1
+					firstDetected[fi] = first
 				}
 				shards[w] = kept
 				wg.Done()
@@ -420,35 +469,26 @@ func runCampaignShared(c *circuit.Circuit, faults []fault.Fault, newGen func() b
 	gen := newGen()
 	words := make([]uint64, c.NumInputs())
 	alive := n
-	applied := 0
-	for b := 0; applied < nPatterns && alive > 0; b++ {
-		batch := 64
-		if rem := nPatterns - applied; rem < batch {
-			batch = rem
-		}
-		batchMask := ^uint64(0)
-		if batch < 64 {
-			batchMask = (uint64(1) << uint(batch)) - 1
-		}
-		gen(b, words)
-		good.SetInputs(words)
-		good.Run()
+	applied, b := 0, 0
+	for applied < nPatterns && alive > 0 {
+		grp := sharedGroup{groupBase: applied}
+		grp.m = loadLaneGroup(good, gen, &b, &applied, nPatterns, words, &grp.masks)
+		good.RunWide()
 
-		// The good machine is frozen for the batch; workers only read
+		// The good machine is frozen for the group; workers only read
 		// it while propagating their own fault overlays.
 		for w := range fss {
 			if len(shards[w]) == 0 {
 				continue
 			}
 			wg.Add(1)
-			work[w] <- sharedBatch{applied: applied, mask: batchMask}
+			work[w] <- grp
 		}
 		wg.Wait()
 		alive = 0
 		for w := range shards {
 			alive += len(shards[w])
 		}
-		applied += batch
 	}
 	return assembleResult(len(faults), nPatterns, curveStep, firstDetected)
 }
@@ -483,7 +523,9 @@ func runPatternRange(c *circuit.Circuit, faults []fault.Fault, gen batchGen,
 
 	s := NewSimulator(c)
 	fs := NewFaultSimulator(s)
+	w := s.Lanes()
 	words := make([]uint64, c.NumInputs())
+	var det, masks [8]uint64
 	// Generators are stateful streams: reach the range's first batch by
 	// generating and discarding its predecessors. Pattern generation is
 	// cheap next to simulating the range.
@@ -496,33 +538,45 @@ func runPatternRange(c *circuit.Circuit, faults []fault.Fault, gen batchGen,
 		alive[i] = i
 	}
 	rangeStart := int64(loBatch * 64)
-	for b := loBatch; b < hiBatch && len(alive) > 0; b++ {
-		base := b * 64
-		batch := 64
-		if rem := nPatterns - base; rem < batch {
-			batch = rem // partial final batch of the whole campaign
+	for b := loBatch; b < hiBatch && len(alive) > 0; {
+		// Fill up to W lanes with the range's next batches. Only the
+		// whole campaign's final batch can be partial, and it is the
+		// last batch of any range holding it — so lane l always starts
+		// at pattern groupBase + l*64.
+		groupBase := b * 64
+		m := 0
+		for ; m < w && b < hiBatch; m++ {
+			batch := 64
+			if rem := nPatterns - b*64; rem < batch {
+				batch = rem // partial final batch of the whole campaign
+			}
+			masks[m] = ^uint64(0)
+			if batch < 64 {
+				masks[m] = (uint64(1) << uint(batch)) - 1
+			}
+			gen(b, words)
+			s.SetInputsLane(m, words)
+			b++
 		}
-		batchMask := ^uint64(0)
-		if batch < 64 {
-			batchMask = (uint64(1) << uint(batch)) - 1
+		for l := m; l < w; l++ {
+			masks[l] = 0
 		}
-		gen(b, words)
-		s.SetInputs(words)
-		s.Run()
+		s.RunWide()
 
 		kept := alive[:0]
 		for _, fi := range alive {
 			if v := atomic.LoadInt64(&firstDet[fi]); v != 0 && v <= rangeStart {
 				continue // settled by an earlier range: drop
 			}
-			det := fs.DetectWord(faults[fi]) & batchMask
-			if det == 0 {
+			fs.DetectWords(faults[fi], det[:w])
+			first := firstLaneDetection(det[:w], &masks, m, groupBase)
+			if first == 0 {
 				kept = append(kept, fi)
 				continue
 			}
 			// Detected in this range: later batches here can only give
 			// larger indices, so the fault drops locally too.
-			atomicMinDetection(&firstDet[fi], int64(base+bits.TrailingZeros64(det)+1))
+			atomicMinDetection(&firstDet[fi], int64(first))
 		}
 		alive = kept
 	}
@@ -681,17 +735,31 @@ func EstimateDetectProbs(c *circuit.Circuit, faults []fault.Fault, weights []flo
 
 	s := NewSimulator(c)
 	fs := NewFaultSimulator(s)
+	lanes := s.Lanes()
 	rng := prng.New(seed)
 	in := make([]uint64, c.NumInputs())
 	count := make([]int, len(faults))
+	var det [8]uint64
 
-	for w := 0; w < words; w++ {
-		rng.WeightedWords(in, weights)
-		s.SetInputs(in)
-		s.Run()
-		for i, f := range faults {
-			count[i] += bits.OnesCount64(fs.DetectWord(f))
+	// Wide groups of up to W batches; unused lanes of a final short
+	// group hold stale values and are simply not counted.
+	for done := 0; done < words; {
+		m := lanes
+		if rem := words - done; rem < m {
+			m = rem
 		}
+		for l := 0; l < m; l++ {
+			rng.WeightedWords(in, weights)
+			s.SetInputsLane(l, in)
+		}
+		s.RunWide()
+		for i, f := range faults {
+			fs.DetectWords(f, det[:lanes])
+			for l := 0; l < m; l++ {
+				count[i] += bits.OnesCount64(det[l])
+			}
+		}
+		done += m
 	}
 	probs := make([]float64, len(faults))
 	total := float64(64 * words)

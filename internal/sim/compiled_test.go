@@ -151,10 +151,39 @@ func kernelBenchSetup(b *testing.B, name string) (*circuit.Circuit, []fault.Faul
 	return c, faults, words
 }
 
+// BenchmarkDetectWords measures the wide detection kernel at the
+// compiler-chosen width: one iteration is a full fault-list pass
+// against a fixed W-lane group, i.e. W 64-pattern batches.
+func BenchmarkDetectWords(b *testing.B) {
+	for _, name := range []string{"c880", "c2670", "c499", "c1355"} {
+		b.Run(name, func(b *testing.B) {
+			c, faults, words := kernelBenchSetup(b, name)
+			s := NewSimulator(c)
+			fs := NewFaultSimulator(s)
+			rng := prng.New(1987)
+			for l := 0; l < s.Lanes(); l++ {
+				for i := range words {
+					words[i] = rng.Uint64()
+				}
+				s.SetInputsLane(l, words)
+			}
+			s.RunWide()
+			var det [8]uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, f := range faults {
+					fs.DetectWords(f, det[:])
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDetectWord measures the compiled detection kernel: one
 // iteration is a full fault-list pass against a fixed batch.
 func BenchmarkDetectWord(b *testing.B) {
-	for _, name := range []string{"c880", "c2670", "c6288"} {
+	for _, name := range []string{"c880", "c2670", "c6288", "c499", "c1355"} {
 		b.Run(name, func(b *testing.B) {
 			c, faults, words := kernelBenchSetup(b, name)
 			s := NewSimulator(c)

@@ -14,6 +14,17 @@
 // every simulator of that circuit. The hot loops are flat — no
 // closures, no per-event method lookups — and allocation-free in
 // steady state; compiled_test.go pins both properties.
+//
+// On top of the single-word kernels here, wide.go batches W=4/8 words
+// per gate visit (RunWide/DetectWords) so one opcode dispatch, one CSR
+// walk, and one worklist drain amortize across W pattern batches; the
+// campaign loops run on the wide entry points, and this file's
+// single-word paths remain as the W=1 degenerate case and the
+// differential anchor. Both widths share two propagation shortcuts
+// compiled into the gate flags: diff-word propagation through linear
+// (parity-transparent) gates, which composes toggle masks instead of
+// gathering fanins, and the flagSureOut dominator cut, which ends a
+// sole-live-difference chase as soon as its detection is decided.
 package sim
 
 import (
@@ -32,6 +43,9 @@ type Simulator struct {
 	// runGen counts completed Run calls. Fault simulators use it to
 	// refresh their faulty-value mirrors lazily, once per batch.
 	runGen uint64
+	// wide holds the W-lane good-machine state (see wide.go), allocated
+	// on first wide use so narrow-only users never pay for it.
+	wide *simWide
 }
 
 // NewSimulator returns a simulator for c with all values zero.
@@ -44,8 +58,29 @@ func NewSimulator(c *circuit.Circuit) *Simulator {
 	}
 }
 
+// NewSimulatorLanes is NewSimulator with the wide-kernel word width W
+// forced to lanes (4 or 8) instead of the compiler's choice. Every
+// width is bit-identical; forcing exists for the per-width benchmarks
+// and the differential suite.
+func NewSimulatorLanes(c *circuit.Circuit, lanes int) *Simulator {
+	if lanes != 4 && lanes != 8 {
+		panic(fmt.Sprintf("sim: NewSimulatorLanes: width %d not supported (want 4 or 8)", lanes))
+	}
+	cc := compiledForLanes(c, lanes)
+	return &Simulator{
+		c:   c,
+		cc:  cc,
+		val: make([]uint64, cc.nGates),
+	}
+}
+
 // Circuit returns the simulated circuit.
 func (s *Simulator) Circuit() *circuit.Circuit { return s.c }
+
+// Lanes returns the wide-kernel word width W the circuit was compiled
+// for — the number of 64-pattern words each RunWide/DetectWords call
+// carries.
+func (s *Simulator) Lanes() int { return s.cc.lanes }
 
 // SetInputWord assigns the 64-pattern word of the primary input at
 // position pos (index into Circuit().Inputs).
@@ -106,6 +141,12 @@ type FaultSimulator struct {
 	// worklist membership test, one generation counter instead of a
 	// clear-per-round bitmap.
 	qEpoch []uint32
+	// gEpoch[g] is meaningful for fused macro sinks only (see
+	// fuseXorMacros): the last round g was enqueued from a physical
+	// pin, i.e. by a fault inside its macro. Such visits must gather
+	// the sink's fanins — its tog word only ever carries macro-edge
+	// (fused-input) toggles, which never fire on those rounds.
+	gEpoch []uint32
 	epoch  uint32
 	// queue is the flat propagation worklist: level l's entries live
 	// in queue[levelStart[l] : levelStart[l]+qLen[l]]. Every level's
@@ -119,11 +160,24 @@ type FaultSimulator struct {
 	// are never scanned and no per-enqueue maximum is maintained.
 	pending int
 
+	// tog[g] accumulates, while gate g sits enqueued, the XOR of the
+	// toggle masks (faulty XOR good) of the changed fanins that
+	// enqueued it — one contribution per consuming pin, so a driver
+	// read twice by a parity gate cancels itself. For linear gates
+	// (flagLinear) that accumulated word IS the output toggle, and the
+	// drain evaluates them as good^tog with no fanin gather: the
+	// diff-word path.
+	tog []uint64
+
 	// Forced-pin activation scratch for gates with duplicated drivers:
 	// identity fanin indices over gathered values, so even that rare
 	// path flows through the same evalGate truth source.
 	actIdx []int32
 	actVal []uint64
+
+	// wide holds the W-lane mirror/toggle state (see wide.go),
+	// allocated on first DetectWords use.
+	wide *fsWide
 }
 
 // NewFaultSimulator wraps a good-machine simulator. The caller drives
@@ -136,8 +190,10 @@ func NewFaultSimulator(s *Simulator) *FaultSimulator {
 		cc:     cc,
 		fval:   make([]uint64, cc.nGates),
 		qEpoch: make([]uint32, cc.nGates),
+		gEpoch: make([]uint32, cc.nGates),
 		queue:  make([]int32, cc.nGates),
 		qLen:   make([]int32, cc.depth+1),
+		tog:    make([]uint64, cc.nGates),
 		actIdx: make([]int32, cc.maxFanin),
 		actVal: make([]uint64, cc.maxFanin),
 	}
@@ -153,18 +209,29 @@ func NewFaultSimulator(s *Simulator) *FaultSimulator {
 func (fs *FaultSimulator) Good() *Simulator { return fs.sim }
 
 // enqueueFanout queues every observable consumer of gate g (the
-// compiled fanout CSR holds exactly those).
-func (fs *FaultSimulator) enqueueFanout(nd *gateNode) {
+// compiled fanout CSR holds exactly those), accumulating g's toggle
+// mask into each consumer's tog word — per consuming pin, so the
+// parity cancellation of duplicated drivers falls out of the CSR shape.
+func (fs *FaultSimulator) enqueueFanout(g int32) {
 	cc := fs.cc
+	nd := &cc.nodes[g]
+	tg := fs.fval[g] ^ fs.sim.val[g]
 	epoch := fs.epoch
-	qEpoch, queue, qLen := fs.qEpoch, fs.queue, fs.qLen
+	qEpoch, queue, qLen, tog := fs.qEpoch, fs.queue, fs.qLen, fs.tog
 	n := 0
-	for _, p := range cc.fanout[nd.fanoutAt : nd.fanoutAt+int32(nd.fanoutN)] {
+	for _, e := range cc.fanout[nd.fanoutAt : nd.fanoutAt+int32(nd.fanoutN)] {
+		p := e & edgeIndexMask // macro edges carry the sink in the low bits
 		if qEpoch[p] == epoch {
-			continue // already queued this round
+			tog[p] ^= tg // another toggled pin on an already-queued gate
+			continue
 		}
 		qEpoch[p] = epoch
-		ls := cc.nodes[p].levelSlot
+		tog[p] = tg
+		pn := &cc.nodes[p]
+		if e >= 0 && pn.flags&flagMacroSink != 0 {
+			fs.gEpoch[p] = epoch // physical pin into a fused sink: force a gather
+		}
+		ls := pn.levelSlot
 		lvl := int32(uint32(ls))
 		queue[int32(ls>>32)+qLen[lvl]] = p
 		qLen[lvl]++
@@ -235,9 +302,24 @@ func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
 	var detect uint64
 	fval[site] = nv
 	fs.touched = append(fs.touched, site)
-	if cc.isOut[site] {
-		detect = nv ^ good[site]
+
+	// One epoch per propagation round: the chase stamps every gate it
+	// evaluates into qEpoch so later shortcuts can tell a fresh gate
+	// from one whose value already absorbed applied fanin toggles, and
+	// the drain reuses the same stamps for queue dedup — so a
+	// chase-settled gate is never re-queued (and never has toggles
+	// double-counted into it).
+	fs.epoch++
+	if fs.epoch == 0 { // uint32 wrap: invalidate all stamps
+		for i := range fs.qEpoch {
+			fs.qEpoch[i] = 0
+		}
+		for i := range fs.gEpoch {
+			fs.gEpoch[i] = 0
+		}
+		fs.epoch = 1
 	}
+	epoch := fs.epoch
 
 	// Chain fast path: while the difference frontier stays narrow
 	// (see chase), follow it directly — level order is respected by
@@ -245,8 +327,10 @@ func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
 	// Fanout-free chains and die-at-the-stem splits dominate these
 	// netlists, so most propagation resolves right here; the drain
 	// below also re-enters this path whenever its frontier narrows
-	// back to one gate.
-	frontier, second, live := fs.chase(&cc.nodes[site], good, &detect)
+	// back to one gate. The chase also owns the sole-live-difference
+	// shortcuts: detection at outputs and sureOut dominators, and the
+	// gather-free pass-through at linear consumers.
+	a, b, live := fs.chase(site, nv^good[site], &detect)
 
 	if live && detect != ^uint64(0) {
 		// The frontier fans out: fall back to levelized worklist
@@ -258,20 +342,16 @@ func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
 		// enqueued is strictly downstream of the frontier, so the scan
 		// starts just above it, and no frontier gate can re-enter the
 		// queue (that would need a cycle).
-		fs.epoch++
-		if fs.epoch == 0 { // uint32 wrap: invalidate all queue markers
-			for i := range fs.qEpoch {
-				fs.qEpoch[i] = 0
-			}
-			fs.epoch = 1
+		fs.enqueueFanout(a)
+		if b >= 0 {
+			// A two-gate frontier: chase returns the lower-level gate
+			// first, so the drain's start level covers both. b may
+			// consume a, but its chase stamp keeps a's dispatch from
+			// re-queueing it — b's value is final and its own fanout
+			// is dispatched right here.
+			fs.enqueueFanout(b)
 		}
-		fs.enqueueFanout(frontier)
-		if second != nil {
-			// A two-gate frontier: chase returns the lower-level node
-			// first, so the drain's start level covers both.
-			fs.enqueueFanout(second)
-		}
-		lvl := int32(uint32(frontier.levelSlot))
+		lvl := int32(uint32(cc.nodes[a].levelSlot))
 		for fs.pending > 0 {
 			lvl++
 			n := fs.qLen[lvl]
@@ -281,19 +361,31 @@ func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
 			fs.qLen[lvl] = 0
 			fs.pending -= int(n)
 			base := cc.levelStart[lvl]
-			var last *gateNode
+			last := int32(-1)
 			for _, gi := range fs.queue[base : base+n] {
 				g := int(gi)
 				nd := &cc.nodes[g]
-				nv := evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+				var nv uint64
+				if nd.flags&flagLinear != 0 &&
+					(nd.flags&flagMacroSink == 0 || fs.gEpoch[g] != epoch) {
+					// Diff-word visit: the toggles accumulated at
+					// enqueue time compose linearly through a parity
+					// gate, so its new value needs no fanin gather. A
+					// macro sink reached on a physical pin this round
+					// (gEpoch) gathers instead — the fault is inside
+					// its macro and tog carries nothing.
+					nv = good[g] ^ fs.tog[g]
+				} else {
+					nv = evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+				}
 				if nv != good[g] {
 					fval[g] = nv
 					fs.touched = append(fs.touched, gi)
 					if cc.isOut[g] {
 						detect |= nv ^ good[g]
 					}
-					fs.enqueueFanout(nd)
-					last = nd
+					fs.enqueueFanout(gi)
+					last = gi
 				}
 			}
 			// Once every pattern of the batch detects, propagating
@@ -314,31 +406,34 @@ func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
 			// collapses to one). Pop it without touching the worklist
 			// again and chase the chain; if the chase ends at a new
 			// fan-out point, resume the drain from its level.
-			if fs.pending == 1 && last != nil && last.fanoutN == 1 {
-				p := cc.fanout[last.fanoutAt]
+			if fs.pending == 1 && last >= 0 && cc.nodes[last].fanoutN == 1 {
+				p := cc.fanout[cc.nodes[last].fanoutAt] & edgeIndexMask
 				nd := &cc.nodes[p]
 				pl := int32(uint32(nd.levelSlot))
 				fs.qLen[pl] = 0
 				fs.pending = 0
-				nv := evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+				var nv uint64
+				if nd.flags&flagLinear != 0 &&
+					(nd.flags&flagMacroSink == 0 || fs.gEpoch[p] != epoch) {
+					nv = good[p] ^ fs.tog[p]
+				} else {
+					nv = evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+				}
 				if nv == good[p] {
 					break // the only live difference died
 				}
 				fval[p] = nv
 				fs.touched = append(fs.touched, p)
-				if cc.isOut[p] {
-					detect |= nv ^ good[p]
-				}
 				var alive bool
-				frontier, second, alive = fs.chase(nd, good, &detect)
+				a, b, alive = fs.chase(p, nv^good[p], &detect)
 				if !alive || detect == ^uint64(0) {
 					break
 				}
-				fs.enqueueFanout(frontier)
-				if second != nil {
-					fs.enqueueFanout(second)
+				fs.enqueueFanout(a)
+				if b >= 0 {
+					fs.enqueueFanout(b)
 				}
-				lvl = int32(uint32(frontier.levelSlot))
+				lvl = int32(uint32(cc.nodes[a].levelSlot))
 			}
 		}
 	}
@@ -355,48 +450,121 @@ func (fs *FaultSimulator) DetectWord(f fault.Fault) uint64 {
 // one gate with two consumers of which at most one keeps the
 // difference alive (a stem whose other branch dies at a
 // non-sensitized gate — the dominant stem shape in these netlists).
-// Detections accumulate into *detect. It returns the one or two nodes
-// of the final frontier and whether the difference is still live;
-// callers must have applied the initial frontier's value to the
+// Detections accumulate into *detect.
+//
+// The chase runs under the sole-live-difference invariant — every
+// changed gate except the frontier has had all its consumers settle —
+// which licenses three shortcuts the general drain cannot take:
+//
+//   - sureOut cut (dominator shortcut): a frontier carrying toggle
+//     curT into a flagSureOut gate contributes exactly curT to the
+//     detect mask and nothing downstream can add patterns beyond it
+//     (every later toggle of a single source is a subset of curT), so
+//     the round ends on the spot — primary outputs and the dominators
+//     of fanout-free parity chains both stop here.
+//   - linear pass-through: a single-pin linear consumer's new value is
+//     good^curT by construction — no fanin gather. The shortcut is
+//     only taken for gates not yet evaluated this round (no qEpoch
+//     stamp): a gate the chase already gathered has absorbed the
+//     applied toggles of its fanins, so re-walking an edge into it
+//     (reconvergence through a sibling) would double-count — those
+//     gates re-gather instead, which is exact against the mirror.
+//   - parity self-cancellation: a linear consumer reading the frontier
+//     on both pins receives curT^curT = 0 — the difference dies
+//     without evaluating anything.
+//
+// It returns the one or two gates of the final frontier (b == -1 for
+// none; a is the lower-level gate) and whether the difference is still
+// live; callers must have applied the initial frontier's value to the
 // mirror already, and must fall back to worklist propagation when two
-// nodes return.
-func (fs *FaultSimulator) chase(frontier *gateNode, good []uint64, detect *uint64) (a, b *gateNode, live bool) {
+// gates return.
+func (fs *FaultSimulator) chase(g int32, curT uint64, detect *uint64) (a, b int32, live bool) {
 	cc := fs.cc
 	fval := fs.fval
-	// applyEval evaluates gate p against the mirror and applies a
-	// changed value, reporting whether the difference survived.
-	applyEval := func(p int32, nd *gateNode) bool {
-		nv := evalGate(nd.op, nd.inv, cc.fanin[nd.faninAt:nd.faninAt+int32(nd.faninN)], fval)
+	good := fs.sim.val
+	frontier := g
+	nd := &cc.nodes[g]
+	qEpoch, epoch := fs.qEpoch, fs.epoch
+	// evalToggle evaluates gate p against the mirror, applies a changed
+	// value, and returns the new toggle mask (0 if the difference died).
+	// The qEpoch stamp records that p's value now reflects every toggle
+	// applied to the mirror — even a dead difference absorbed its fanin
+	// edges, so pass-throughs must not re-walk them.
+	evalToggle := func(p int32, pn *gateNode) uint64 {
+		qEpoch[p] = epoch
+		nv := evalGate(pn.op, pn.inv, cc.fanin[pn.faninAt:pn.faninAt+int32(pn.faninN)], fval)
 		if nv == good[p] {
-			return false
+			return 0
 		}
 		fval[p] = nv
 		fs.touched = append(fs.touched, p)
-		if cc.isOut[p] {
-			*detect |= nv ^ good[p]
-		}
-		return true
+		return nv ^ good[p]
 	}
 	for {
-		switch frontier.fanoutN {
+		if nd.flags&flagSureOut != 0 &&
+			(cc.isOut[frontier] || qEpoch[cc.fanout[nd.fanoutAt]&edgeIndexMask] != epoch) {
+			// Dominator cut: detection decided. A non-output sure gate
+			// has exactly one consumer, the head of a fresh linear
+			// chain to an output — but if that consumer was already
+			// evaluated this round (a reconvergent sibling that
+			// settled), its value absorbed this edge and the chain
+			// claim is void: fall through and re-gather it instead.
+			*detect |= curT
+			return frontier, -1, false
+		}
+		switch nd.fanoutN {
 		case 0:
-			return frontier, nil, false // ran off the end of the cone
+			return frontier, -1, false // ran off the end of the cone
 		case 1:
-			p := cc.fanout[frontier.fanoutAt]
-			nd := &cc.nodes[p]
-			if !applyEval(p, nd) {
-				return frontier, nil, false // the only live difference died
+			e := cc.fanout[nd.fanoutAt]
+			p := e & edgeIndexMask
+			pn := &cc.nodes[p]
+			// The single edge is toggle-transparent when the consumer
+			// is linear — except a fused macro sink reached on a
+			// physical pin (the fault is inside its macro), which must
+			// gather its fanins like any nonlinear gate.
+			if pn.flags&flagLinear != 0 && (e < 0 || pn.flags&flagMacroSink == 0) {
+				if qEpoch[p] != epoch {
+					qEpoch[p] = epoch
+					fval[p] = good[p] ^ curT // linear pass-through
+					fs.touched = append(fs.touched, p)
+					frontier, nd = p, pn
+					continue
+				}
+				if e < 0 {
+					// A macro edge into a sink already queued this
+					// round: its physical fanins do not carry this
+					// toggle, so a gather here would drop it — hand the
+					// frontier to the worklist, whose enqueue composes
+					// macro-edge toggles into the sink's tog word.
+					return frontier, -1, true
+				}
 			}
-			frontier = nd
+			t := evalToggle(p, pn)
+			if t == 0 {
+				return frontier, -1, false // the only live difference died
+			}
+			frontier, nd, curT = p, pn, t
 		case 2:
-			p1, p2 := cc.fanout[frontier.fanoutAt], cc.fanout[frontier.fanoutAt+1]
+			e1, e2 := cc.fanout[nd.fanoutAt], cc.fanout[nd.fanoutAt+1]
+			if e1 < 0 || e2 < 0 {
+				// Macro edges on a split frontier: hand both to the
+				// worklist, whose enqueue dispatches tagged edges
+				// exactly (tog for sinks, queue for the rest).
+				return frontier, -1, true
+			}
+			p1, p2 := e1, e2
 			if p1 == p2 {
 				// One consumer reading the stem on two pins.
-				nd := &cc.nodes[p1]
-				if !applyEval(p1, nd) {
-					return frontier, nil, false
+				pn := &cc.nodes[p1]
+				if pn.flags&flagLinear != 0 {
+					return frontier, -1, false // curT^curT: parity cancels
 				}
-				frontier = nd
+				t := evalToggle(p1, pn)
+				if t == 0 {
+					return frontier, -1, false
+				}
+				frontier, nd, curT = p1, pn, t
 				continue
 			}
 			n1, n2 := &cc.nodes[p1], &cc.nodes[p2]
@@ -410,24 +578,52 @@ func (fs *FaultSimulator) chase(frontier *gateNode, good []uint64, detect *uint6
 			// levelized worklist, which re-settles everything in
 			// order.
 			if int32(uint32(n2.levelSlot)) > int32(uint32(n1.levelSlot))+1 {
-				return frontier, nil, true
+				return frontier, -1, true
 			}
 			// p2 may consume p1 itself, so p1 settles first (equal
 			// levels cannot feed each other).
-			ch1 := applyEval(p1, n1)
-			ch2 := applyEval(p2, n2)
+			var t1 uint64
+			if n1.flags&flagLinear != 0 && qEpoch[p1] != epoch {
+				qEpoch[p1] = epoch
+				t1 = curT
+				fval[p1] = good[p1] ^ curT
+				fs.touched = append(fs.touched, p1)
+			} else {
+				t1 = evalToggle(p1, n1)
+			}
+			var t2 uint64
+			if n2.flags&flagLinear != 0 && t1 == 0 && qEpoch[p2] != epoch {
+				// The pass-through is only safe while the frontier is
+				// still p2's sole toggled fanin — if p1 changed too,
+				// p2 may consume it, so gather instead.
+				t2 = curT
+				fval[p2] = good[p2] ^ curT
+				fs.touched = append(fs.touched, p2)
+			} else {
+				t2 = evalToggle(p2, n2)
+			}
 			switch {
-			case ch1 && ch2:
-				return n1, n2, true // genuine two-gate frontier
-			case ch1:
-				frontier = n1
-			case ch2:
-				frontier = n2
+			case t1 != 0 && t2 != 0:
+				// Two live differences: the sole-live shortcuts are
+				// off the table (their cones may reconverge and
+				// cancel), and these frontier gates are never visited
+				// again, so record their own output detections here.
+				if cc.isOut[p1] {
+					*detect |= t1
+				}
+				if cc.isOut[p2] {
+					*detect |= t2
+				}
+				return p1, p2, true
+			case t1 != 0:
+				frontier, nd, curT = p1, n1, t1
+			case t2 != 0:
+				frontier, nd, curT = p2, n2, t2
 			default:
-				return frontier, nil, false // both branches died
+				return frontier, -1, false // both branches died
 			}
 		default:
-			return frontier, nil, true
+			return frontier, -1, true
 		}
 	}
 }
