@@ -15,7 +15,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench fedbench adaptbench vet fmt clean
+.PHONY: all build test test-race cover bench parbench serve servebench internbench simbench sweepbench fedbench adaptbench chaos fuzz-smoke vet fmt clean
 
 all: build test
 
@@ -64,6 +64,20 @@ fedbench:
 
 adaptbench:
 	$(GO) run ./cmd/benchgen -adaptbench
+
+# The chaos equivalence suite: seeded fault-injection scenarios that
+# must end byte-identical to serial, run under the race detector.
+chaos: build
+	$(GO) test -race -timeout 30m ./internal/chaos/
+
+# A short coverage-guided run per fuzzer — enough to catch an instant
+# decoder or framing regression without tying up CI. The committed
+# corpora under testdata/fuzz run on every plain `make test` already.
+FUZZTIME ?= 10s
+fuzz-smoke: build
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzTaskDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzCircuitDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/dist/ -run '^$$' -fuzz FuzzJournalScan -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...

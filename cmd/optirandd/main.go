@@ -9,6 +9,13 @@
 //	optirandd -cachesize 4096              # bigger result cache
 //	optirandd -cache-dir /var/lib/optirand # persist the warm set across restarts
 //	optirandd -cache-dir D -cache-snapshot 30s  # + periodic snapshots (crash-safe)
+//	optirandd -queue-limit 256             # shed with 429 + Retry-After past the watermark
+//	optirandd -drain-timeout 1m            # SIGTERM: finish in-flight work for up to 1m
+//
+// On SIGINT or SIGTERM the daemon drains instead of dying: healthz
+// flips to "draining" (fronts route around it), new work is shed with
+// 503 + Retry-After, and in-flight requests get -drain-timeout to
+// finish before the listener is forced closed.
 //
 // A daemon tree — one front routing to a fleet of leaf daemons on a
 // consistent-hash ring keyed by circuit, so each leaf keeps a hot
@@ -64,6 +71,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"optirand/internal/dist"
@@ -98,6 +106,8 @@ var (
 	flagJournal    = flag.String("journal", "", "journal every completed result in this directory and serve journaled tasks without re-executing, so a daemon restart resumes half-done sweeps")
 	flagHealthInt  = flag.Duration("health-interval", 2*time.Second, "with -upstream: leaf health-check cadence (dead leaves leave the routing ring, recovered ones rejoin)")
 	flagRole       = flag.String("role", "", "role label reported by /v1/stats and /v1/healthz (default: front with -upstream, standalone otherwise; label fleet members leaf)")
+	flagQueueLimit = flag.Int("queue-limit", 0, "shed new work with 429 + Retry-After once this many tasks are queued (0 disables admission control)")
+	flagDrainTime  = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM: how long to let in-flight requests finish before forcing shutdown")
 )
 
 func main() {
@@ -115,6 +125,7 @@ func main() {
 		BlobBytes:        *flagBlobBytes,
 		MaxAttempts:      *flagRetries,
 		RetryDelay:       *flagRetryDelay,
+		QueueLimit:       *flagQueueLimit,
 		Upstreams:        upstreams,
 		HealthInterval:   *flagHealthInt,
 		Role:             *flagRole,
@@ -131,11 +142,14 @@ func main() {
 			*flagAddr, *flagWorkers)
 	}
 
-	// ^C drains gracefully: stop accepting, let in-flight requests
-	// finish (their own contexts cancel when clients hang up), then
-	// stop the worker fleet — and, on a front, the federation health
-	// checker — via the deferred Close.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT/SIGTERM drains gracefully: BeginDrain first, so
+	// /v1/healthz answers "draining" (federation fronts route around
+	// this daemon) and new work is shed with 503 + Retry-After while
+	// in-flight requests finish; then the HTTP shutdown waits up to
+	// -drain-timeout for those to complete, and the deferred Close
+	// stops the worker fleet — and, on a front, the federation health
+	// checker.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	httpSrv := &http.Server{Addr: *flagAddr, Handler: srv}
 	errc := make(chan error, 1)
@@ -147,11 +161,26 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "optirandd: interrupt — draining in-flight requests")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		fmt.Fprintf(os.Stderr, "optirandd: signal — draining in-flight requests (up to %v)\n", *flagDrainTime)
+		srv.BeginDrain()
+		// Grace window: keep the listener open so fronts and load
+		// balancers can observe the drain over fresh connections
+		// (healthz answers "draining", new work is shed 503) instead
+		// of finding a vanished socket. Then stop accepting and wait
+		// out in-flight requests on the rest of the budget; when that
+		// expires, force-close the survivors — their clients retry
+		// elsewhere, and the worker fleet finishes its current
+		// campaigns before the deferred Close lets the process exit.
+		grace := *flagDrainTime / 4
+		if grace > 2*time.Second {
+			grace = 2 * time.Second
+		}
+		time.Sleep(grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *flagDrainTime-grace)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "optirandd: shutdown: %v\n", err)
+			fmt.Fprintf(os.Stderr, "optirandd: drain budget spent — closing remaining connections: %v\n", err)
+			httpSrv.Close() //nolint:errcheck // already on the forced-exit path
 		}
 	}
 }

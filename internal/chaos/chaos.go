@@ -1,0 +1,179 @@
+// Package chaos is a deterministic, seed-scripted fault injector for
+// the dist layer. It wraps the seams the real system already exposes —
+// dist.Executor (task-level delays, transient errors, duplicate
+// deliveries), http.RoundTripper under a dist.Client (connection
+// resets, 5xx bursts with Retry-After, truncated response bodies,
+// corrupted blob uploads), http.Handler over a dist.Server (leaf-side
+// error bursts), and dist.JournalIO (torn writes, ENOSPC, bit flips) —
+// and drives every injection decision from one SplitMix64 stream
+// seeded by (seed, scenario).
+//
+// Determinism is the point: the schedule's decision stream is a pure
+// function of its seed and scenario name, so any failure a chaos run
+// flushes out replays from two small values. Under concurrency the
+// mapping of decisions to calls follows goroutine interleaving — what
+// stays fixed is the stream itself and, by the repo's equivalence
+// contract, the final results: every scenario must end byte-identical
+// to a serial in-process run, whatever was injected along the way.
+//
+// Every decision is recorded in the schedule's log (site, draw index,
+// outcome), so a test can assert both that faults actually fired and
+// that replaying a seed reproduces the identical injection schedule.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Decision is one recorded injection decision: the draw index in the
+// schedule's stream, the site label that consumed it, and the outcome.
+type Decision struct {
+	// Index is the decision's position in the schedule's stream,
+	// starting at 0.
+	Index uint64
+	// Site labels the seam and fault that drew it, e.g.
+	// "executor.err" or "transport.truncate".
+	Site string
+	// Hit reports whether the fault fired.
+	Hit bool
+	// Arg carries the fault's parameter when it has one (delay in
+	// nanoseconds, truncation offset, flipped bit index); 0 otherwise.
+	Arg int64
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("#%d %s hit=%v arg=%d", d.Index, d.Site, d.Hit, d.Arg)
+}
+
+// Schedule is a deterministic injection-decision stream: a SplitMix64
+// generator seeded from (seed, scenario), advanced one 64-bit draw per
+// decision, with every decision logged. A Schedule is safe for
+// concurrent use; each decision is atomic, so the stream never tears.
+type Schedule struct {
+	seed     uint64
+	scenario string
+
+	mu    sync.Mutex
+	state uint64
+	n     uint64
+	log   []Decision
+	hits  map[string]int
+}
+
+// NewSchedule builds the decision stream for (seed, scenario). Equal
+// arguments yield an identical stream — that is the replay contract.
+func NewSchedule(seed uint64, scenario string) *Schedule {
+	h := fnv.New64a()
+	h.Write([]byte(scenario)) //nolint:errcheck // fnv never fails
+	return &Schedule{
+		seed:     seed,
+		scenario: scenario,
+		state:    seed ^ h.Sum64(),
+		hits:     make(map[string]int),
+	}
+}
+
+// Seed and Scenario echo the schedule's identity, for failure messages.
+func (s *Schedule) Seed() uint64     { return s.seed }
+func (s *Schedule) Scenario() string { return s.scenario }
+
+// splitmix64 is the SplitMix64 step: state += golden gamma, output the
+// finalized mix. Tiny, full-period, and statistically clean enough for
+// fault scheduling.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// decide draws one value, maps it through draw, and logs the decision.
+func (s *Schedule) decide(site string, draw func(uint64) (bool, int64)) (bool, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := splitmix64(&s.state)
+	h, a := draw(v)
+	s.log = append(s.log, Decision{Index: s.n, Site: site, Hit: h, Arg: a})
+	s.n++
+	if h {
+		s.hits[site]++
+	}
+	return h, a
+}
+
+// Hit decides one permille-weighted fault: true with probability
+// permille/1000 (0 never, >= 1000 always). One draw is consumed even
+// when permille is 0, so adding or removing a fault's configuration
+// never shifts the rest of the schedule.
+func (s *Schedule) Hit(site string, permille int) bool {
+	h, _ := s.decide(site, func(v uint64) (bool, int64) {
+		return int(v%1000) < permille, 0
+	})
+	return h
+}
+
+// Duration decides a delay fault: with probability permille/1000 a
+// uniformly drawn duration in (0, max]; 0 otherwise (and when max <= 0).
+func (s *Schedule) Duration(site string, permille int, max time.Duration) time.Duration {
+	_, a := s.decide(site, func(v uint64) (bool, int64) {
+		if int(v%1000) >= permille || max <= 0 {
+			return false, 0
+		}
+		// Reuse the draw's high bits for the magnitude so one decision
+		// stays one draw.
+		return true, 1 + int64((v>>10)%uint64(max))
+	})
+	return time.Duration(a)
+}
+
+// Intn decides a fault parameter: with probability permille/1000 a
+// uniform value in [0, n); -1 otherwise (and when n <= 0).
+func (s *Schedule) Intn(site string, permille int, n int) int64 {
+	_, a := s.decide(site, func(v uint64) (bool, int64) {
+		if int(v%1000) >= permille || n <= 0 {
+			return false, -1
+		}
+		return true, int64((v >> 10) % uint64(n))
+	})
+	return a
+}
+
+// note records a fault firing that was decided by configuration (a
+// counted fault like "tear the Nth write") rather than a draw: it
+// shows up in Hits but neither consumes nor shifts the decision
+// stream.
+func (s *Schedule) note(site string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits[site]++
+}
+
+// Log returns a copy of the decisions made so far, in draw order.
+func (s *Schedule) Log() []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Decision(nil), s.log...)
+}
+
+// Hits reports how many times the fault at site fired — the assertion
+// a scenario uses to prove it actually injected something.
+func (s *Schedule) Hits(site string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits[site]
+}
+
+// TotalHits reports fault firings across all sites.
+func (s *Schedule) TotalHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.hits {
+		n += c
+	}
+	return n
+}

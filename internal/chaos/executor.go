@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+)
+
+// ErrInjected is the root of every error the chaos layer fabricates;
+// test assertions use errors.Is to tell injected failures from real
+// ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// ExecutorFaults configures task-level injection for WrapExecutor.
+// All rates are permille (out of 1000) per executed task.
+type ExecutorFaults struct {
+	// ErrPermille fails the attempt with a transient (retryable)
+	// injected error, without running the underlying executor.
+	ErrPermille int
+	// DupPermille delivers the task twice: the underlying executor
+	// runs to completion two times and the second result is returned —
+	// the at-least-once delivery a requeue race can produce, which the
+	// equivalence contract must absorb (equal tasks yield equal bytes).
+	DupPermille int
+	// DelayPermille stalls the attempt by a scheduled duration in
+	// (0, MaxDelay] before executing, reshuffling completion order —
+	// which must not reshuffle results.
+	DelayPermille int
+	// MaxDelay bounds injected stalls (0 disables DelayPermille).
+	MaxDelay time.Duration
+}
+
+// WrapExecutor wraps exec with scheduled task-level faults. Decisions
+// are drawn in a fixed order per call (delay, error, duplicate), so a
+// scenario's schedule is reproducible from its seed.
+func (s *Schedule) WrapExecutor(exec dist.Executor, f ExecutorFaults) dist.Executor {
+	return func(ctx context.Context, t *engine.Task) (*sim.CampaignResult, error) {
+		if d := s.Duration("executor.delay", f.DelayPermille, f.MaxDelay); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if s.Hit("executor.err", f.ErrPermille) {
+			return nil, fmt.Errorf("%w: executor attempt dropped", ErrInjected)
+		}
+		dup := s.Hit("executor.dup", f.DupPermille)
+		res, err := exec(ctx, t)
+		if err != nil || !dup {
+			return res, err
+		}
+		return exec(ctx, t)
+	}
+}

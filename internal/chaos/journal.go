@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+
+	"optirand/internal/dist"
+)
+
+// JournalFaults configures file-layer injection for WrapJournal.
+// Counts are in successful record appends (WriteAt calls past the
+// header), so a scenario can say "tear the 5th append" exactly.
+type JournalFaults struct {
+	// TornAfter, when > 0, lets that many appends through and then
+	// tears the next one: half its bytes reach the file and the write
+	// fails — the on-disk shape of a crash mid-append, which the next
+	// OpenJournal must truncate away. Later writes fail cleanly.
+	TornAfter int
+	// ENOSPCAfter, when > 0, lets that many appends through and then
+	// fails every later one with ENOSPC, no bytes written — the disk
+	// filled up. Torn wins if both trigger on the same write.
+	ENOSPCAfter int
+	// FlipBitInWrite, when > 0, flips one bit of the Nth append's
+	// payload on its way to disk (the write succeeds) — silent media
+	// corruption that the journal's CRC must catch loudly on reopen.
+	FlipBitInWrite int
+}
+
+// faultJournalIO wraps a dist.JournalIO with scheduled write faults.
+type faultJournalIO struct {
+	dist.JournalIO
+	s *Schedule
+	f JournalFaults
+
+	mu     sync.Mutex
+	writes int  // record appends observed (header write excluded)
+	dead   bool // a torn/ENOSPC fault has fired; writes keep failing
+}
+
+// WrapJournal returns the wrap function dist.OpenJournalIO accepts,
+// injecting f's faults into the journal's writes. Reads, truncation,
+// and scanning stay real — the point is to feed the real recovery
+// code a damaged file.
+func (s *Schedule) WrapJournal(f JournalFaults) func(dist.JournalIO) dist.JournalIO {
+	return func(io dist.JournalIO) dist.JournalIO {
+		return &faultJournalIO{JournalIO: io, s: s, f: f}
+	}
+}
+
+func (j *faultJournalIO) WriteAt(p []byte, off int64) (int, error) {
+	if off == 0 {
+		// The magic header of a fresh file: not an append, let it be.
+		return j.JournalIO.WriteAt(p, off)
+	}
+	j.mu.Lock()
+	j.writes++
+	n := j.writes
+	dead := j.dead
+	tear := !dead && j.f.TornAfter > 0 && n > j.f.TornAfter
+	nospc := !dead && !tear && j.f.ENOSPCAfter > 0 && n > j.f.ENOSPCAfter
+	flip := !dead && !tear && !nospc && j.f.FlipBitInWrite > 0 && n == j.f.FlipBitInWrite
+	if tear || nospc {
+		j.dead = true
+	}
+	j.mu.Unlock()
+
+	switch {
+	case dead:
+		return 0, fmt.Errorf("%w: journal write after device failure", ErrInjected)
+	case tear:
+		cut := len(p) / 2
+		j.s.note("journal.torn")
+		if cut > 0 {
+			j.JournalIO.WriteAt(p[:cut], off) //nolint:errcheck // the tear is the outcome either way
+		}
+		return cut, fmt.Errorf("%w: torn write (%d of %d bytes)", ErrInjected, cut, len(p))
+	case nospc:
+		j.s.note("journal.enospc")
+		return 0, fmt.Errorf("%w: write: %w", ErrInjected, syscall.ENOSPC)
+	case flip:
+		bit := j.s.Intn("journal.flipbit", 1000, len(p)*8)
+		cp := append([]byte(nil), p...)
+		if bit >= 0 && len(cp) > 0 {
+			cp[bit/8] ^= 1 << (bit % 8)
+		}
+		return j.JournalIO.WriteAt(cp, off)
+	default:
+		return j.JournalIO.WriteAt(p, off)
+	}
+}

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Goroutines snapshots the live goroutines as normalized-stack →
+// count. Normalization drops the goroutine header (ID and state),
+// argument values, and code offsets, keeping only the frame function
+// names and call sites — so two goroutines parked in the same place
+// compare equal whatever their IDs or stack arguments.
+//
+// Use with CheckGoroutines to assert a component's Close actually
+// releases its workers:
+//
+//	before := chaos.Goroutines()
+//	... start and Close the component ...
+//	if err := chaos.CheckGoroutines(before, time.Second); err != nil { t.Fatal(err) }
+func Goroutines() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	counts := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		key := normalizeStack(g)
+		if key == "" {
+			continue
+		}
+		counts[key]++
+	}
+	return counts
+}
+
+// normalizeStack reduces one goroutine dump block to its comparable
+// key; "" means the goroutine should be ignored (the snapshotting
+// goroutine itself, or momentarily running scheduler internals).
+func normalizeStack(g string) string {
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return ""
+	}
+	if strings.Contains(lines[0], "[running]") {
+		// The only goroutine reliably running during the snapshot is the
+		// one taking it; transiently running goroutines churn the
+		// comparison, and a LEAK is by definition parked, not running.
+		return ""
+	}
+	var frames []string
+	for _, ln := range lines[1:] {
+		if strings.HasPrefix(ln, "\t") {
+			// File:line — keep it, minus the volatile +0x offset.
+			if i := strings.LastIndex(ln, " +0x"); i >= 0 {
+				ln = ln[:i]
+			}
+			frames = append(frames, strings.TrimSpace(ln))
+			continue
+		}
+		// Function call — drop the argument values.
+		if i := strings.LastIndex(ln, "("); i >= 0 && !strings.HasPrefix(ln, "created by") {
+			ln = ln[:i]
+		}
+		frames = append(frames, ln)
+	}
+	return strings.Join(frames, "|")
+}
+
+// CheckGoroutines compares the current goroutine population against a
+// before-snapshot, retrying until it settles or wait elapses: nil when
+// every goroutine count is back at (or below) its before level, else
+// an error naming the leaked stacks. The retry absorbs benign
+// shutdown races — goroutines that are finished but not yet reaped.
+func CheckGoroutines(before map[string]int, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	var leaks []string
+	for {
+		leaks = leaks[:0]
+		after := Goroutines()
+		for key, n := range after {
+			if n > before[key] {
+				leaks = append(leaks, fmt.Sprintf("%d leaked at %s", n-before[key], strings.ReplaceAll(key, "|", "\n\t")))
+			}
+		}
+		if len(leaks) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			sort.Strings(leaks)
+			return fmt.Errorf("chaos: %d goroutine stack(s) leaked after %v:\n%s",
+				len(leaks), wait, strings.Join(leaks, "\n"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,573 @@
+// Chaos equivalence suite: every scenario injects a deterministic,
+// seed-scripted fault schedule into one backend composition and then
+// asserts the strongest property the repo has — the final results are
+// byte-identical to a serial in-process run. Faults may reorder,
+// retry, duplicate, truncate, and corrupt along the way; they may
+// never change a byte of the answer.
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"optirand"
+	"optirand/internal/chaos"
+	"optirand/internal/dist"
+	"optirand/internal/engine"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/sim"
+)
+
+// chaosSeed scripts every scenario in this file; change it and every
+// scenario replays a different — equally deterministic — fault
+// history.
+const chaosSeed = 1987
+
+// chaosTasks expands the suite's circuits × weightings × seeds grid
+// (27 tasks over three generated circuits — the same shape the dist
+// equivalence tests use).
+func chaosTasks(t *testing.T) []*engine.Task {
+	t.Helper()
+	sweep := &engine.Sweep{
+		BaseSeed:    1987,
+		Repetitions: 3,
+		Patterns:    320,
+		CurveStep:   100,
+	}
+	for _, name := range []string{"c432", "c880", "c1908"} {
+		b, ok := gen.ByName(name)
+		if !ok {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		c := b.Build()
+		faults := fault.New(c).Reps
+		n := c.NumInputs()
+		uniform := make([]float64, n)
+		skewed := make([]float64, n)
+		for i := range uniform {
+			uniform[i] = 0.5
+			skewed[i] = 0.1 + 0.8*float64(i)/float64(n)
+		}
+		sweep.Circuits = append(sweep.Circuits, engine.SweepCircuit{
+			Name:    name,
+			Circuit: c,
+			Faults:  faults,
+			Weightings: []engine.Weighting{
+				{Name: "uniform", Sets: [][]float64{uniform}},
+				{Name: "skewed", Sets: [][]float64{skewed}},
+				{Name: "mixture", Sets: [][]float64{uniform, skewed}},
+			},
+		})
+	}
+	return sweep.Tasks()
+}
+
+// serialRef runs the grid serially in-process: the byte-identity
+// reference every scenario compares against.
+func serialRef(t *testing.T, tasks []*engine.Task) []*sim.CampaignResult {
+	t.Helper()
+	ref, err := engine.Run(context.Background(), tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return campaignsOf(ref)
+}
+
+// campaignsOf projects results onto their deterministic payload.
+func campaignsOf(results []engine.TaskResult) []*sim.CampaignResult {
+	out := make([]*sim.CampaignResult, len(results))
+	for i, r := range results {
+		out[i] = r.Campaign
+	}
+	return out
+}
+
+// mustIdentical fails the scenario unless got is byte-identical to
+// the serial reference.
+func mustIdentical(t *testing.T, sched *chaos.Schedule, ref, got []*sim.CampaignResult) {
+	t.Helper()
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("results diverge from serial under chaos (seed=%d scenario=%q, %d injections)",
+			sched.Seed(), sched.Scenario(), sched.TotalHits())
+	}
+}
+
+// mustInject fails the scenario unless the fault at site actually
+// fired — a scenario that injected nothing proved nothing.
+func mustInject(t *testing.T, sched *chaos.Schedule, site string) {
+	t.Helper()
+	if sched.Hits(site) == 0 {
+		t.Fatalf("scenario %q injected no %s faults: schedule too quiet to prove anything (seed=%d)",
+			sched.Scenario(), site, sched.Seed())
+	}
+}
+
+// TestChaosDuplicateDelivery drives the dispatcher with an executor
+// that randomly stalls, fails transiently, and delivers tasks TWICE —
+// the at-least-once residue of requeue races. Retry absorbs the
+// failures, the identity contract absorbs the duplicates, and the
+// batch must come out byte-identical to serial.
+func TestChaosDuplicateDelivery(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+
+	sched := chaos.NewSchedule(chaosSeed, "duplicate-delivery")
+	exec := sched.WrapExecutor(dist.LocalExecutor, chaos.ExecutorFaults{
+		ErrPermille:   300,
+		DupPermille:   300,
+		DelayPermille: 300,
+		MaxDelay:      2 * time.Millisecond,
+	})
+	d := dist.NewDispatcher(exec, dist.Options{Workers: 8, MaxAttempts: 10, RetryDelay: time.Millisecond})
+	defer d.Close()
+
+	results, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("batch failed under chaos (seed=%d): %v", chaosSeed, err)
+	}
+	mustInject(t, sched, "executor.dup")
+	mustInject(t, sched, "executor.err")
+	mustIdentical(t, sched, ref, campaignsOf(results))
+}
+
+// TestChaos5xxBurst puts a scripted 503 burst (with Retry-After)
+// between a dispatcher-backed remote client and a real daemon. The
+// client must classify the bursts retryable, honor the advertised
+// delay inside its capped backoff, and finish byte-identical.
+func TestChaos5xxBurst(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+
+	srv := dist.NewServer(dist.ServerOptions{Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sched := chaos.NewSchedule(chaosSeed, "5xx-burst")
+	cl := dist.NewClient(ts.URL)
+	cl.HTTP.Transport = sched.WrapTransport(nil, chaos.TransportFaults{
+		Code5xxPermille: 250,
+		RetryAfter:      time.Second, // capped by the dispatcher's RetryMaxDelay below
+		ResetPermille:   50,
+	})
+	d := dist.NewDispatcher(dist.RemoteExecutor(cl), dist.Options{
+		Workers:     8,
+		MaxAttempts: 12,
+		RetryDelay:  time.Millisecond, // RetryMaxDelay defaults to 32×: the 1s hint is capped to 32ms
+	})
+	defer d.Close()
+
+	results, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("batch failed under 5xx burst (seed=%d): %v", chaosSeed, err)
+	}
+	mustInject(t, sched, "transport.5xx")
+	mustIdentical(t, sched, ref, campaignsOf(results))
+}
+
+// TestChaosStreamTruncation cuts the daemon's NDJSON sweep stream
+// short at scripted offsets. A truncated stream must fail loudly
+// (never deliver a partial batch as complete), and a retried sweep —
+// served warm from the daemon's cache — must come out byte-identical.
+func TestChaosStreamTruncation(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+
+	srv := dist.NewServer(dist.ServerOptions{Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sched := chaos.NewSchedule(chaosSeed, "stream-truncation")
+	cl := dist.NewClient(ts.URL)
+	cl.HTTP.Transport = sched.WrapTransport(nil, chaos.TransportFaults{TruncatePermille: 400})
+
+	var got []*sim.CampaignResult
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		batch := make([]*sim.CampaignResult, len(tasks))
+		_, err := cl.SweepEach(context.Background(), tasks, func(i int, res *sim.CampaignResult, _ bool, _ time.Duration) {
+			batch[i] = res
+		})
+		if err == nil {
+			got = batch
+			break
+		}
+		lastErr = err
+	}
+	if got == nil {
+		t.Fatalf("no clean sweep in 100 attempts (seed=%d): last error: %v", chaosSeed, lastErr)
+	}
+	mustInject(t, sched, "transport.truncate")
+	mustIdentical(t, sched, ref, got)
+}
+
+// TestChaosCorruptBlob flips one bit in every blob upload. The
+// daemon's content-address verification must reject the damaged
+// bytes, the client must quarantine-and-continue — tasks stay inline
+// — and the sweep must come out byte-identical anyway.
+func TestChaosCorruptBlob(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+
+	srv := dist.NewServer(dist.ServerOptions{Workers: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	sched := chaos.NewSchedule(chaosSeed, "corrupt-blob")
+	cl := dist.NewClient(ts.URL)
+	cl.HTTP.Transport = sched.WrapTransport(nil, chaos.TransportFaults{CorruptPutPermille: 1000})
+
+	results, hits, err := cl.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("sweep failed under blob corruption (seed=%d): %v", chaosSeed, err)
+	}
+	_ = hits
+	mustInject(t, sched, "transport.corruptput")
+	mustIdentical(t, sched, ref, results)
+}
+
+// TestChaosTornJournalResume tears the journal mid-append (the
+// on-disk shape of a crash) during a first sweep, then resumes from
+// the damaged file: the first sweep must finish byte-identical with
+// durability degraded (sticky append error), the reopen must truncate
+// the torn tail, and the resumed sweep must replay the surviving
+// records and come out byte-identical too.
+func TestChaosTornJournalResume(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	sched := chaos.NewSchedule(chaosSeed, "torn-journal")
+	j, err := dist.OpenJournalIO(path, sched.WrapJournal(chaos.JournalFaults{TornAfter: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dist.NewDispatcher(dist.LocalExecutor, dist.Options{Workers: 4, Journal: j})
+	results, err := d.Run(context.Background(), tasks)
+	d.Close()
+	if err != nil {
+		t.Fatalf("batch failed under journal tear (seed=%d): %v", chaosSeed, err)
+	}
+	mustIdentical(t, sched, ref, campaignsOf(results))
+	mustInject(t, sched, "journal.torn")
+	if jerr := j.Err(); !errors.Is(jerr, chaos.ErrInjected) {
+		t.Fatalf("journal error = %v, want the injected torn-write error (sticky)", jerr)
+	}
+	j.Close()
+
+	// Reopen clean: the torn record must be truncated away, the five
+	// whole ones must survive and replay.
+	j2, err := dist.OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopening the torn journal: %v (the torn tail must be absorbed, not rejected)", err)
+	}
+	defer j2.Close()
+	if n := j2.Len(); n != 5 {
+		t.Fatalf("journal replayed %d records after the tear, want 5 (the appends before it)", n)
+	}
+	d2 := dist.NewDispatcher(dist.LocalExecutor, dist.Options{Workers: 4, Journal: j2})
+	defer d2.Close()
+	resumed, err := d2.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIdentical(t, sched, ref, campaignsOf(resumed))
+	if st := j2.Stats(); st.Replays < 5 || st.Entries != len(tasks) {
+		t.Fatalf("resume stats = %+v, want >=5 replays and %d entries", st, len(tasks))
+	}
+}
+
+// TestChaosJournalENOSPC fills the disk under the journal after three
+// appends: durability must degrade (sticky ENOSPC), execution must
+// not — the sweep finishes byte-identical and the three durable
+// records survive a clean reopen.
+func TestChaosJournalENOSPC(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	sched := chaos.NewSchedule(chaosSeed, "journal-enospc")
+	j, err := dist.OpenJournalIO(path, sched.WrapJournal(chaos.JournalFaults{ENOSPCAfter: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dist.NewDispatcher(dist.LocalExecutor, dist.Options{Workers: 4, Journal: j})
+	results, err := d.Run(context.Background(), tasks)
+	d.Close()
+	if err != nil {
+		t.Fatalf("batch failed under ENOSPC (seed=%d): %v", chaosSeed, err)
+	}
+	mustIdentical(t, sched, ref, campaignsOf(results))
+	if jerr := j.Err(); !errors.Is(jerr, syscall.ENOSPC) {
+		t.Fatalf("journal error = %v, want ENOSPC", jerr)
+	}
+	j.Close()
+
+	j2, err := dist.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n := j2.Len(); n != 3 {
+		t.Fatalf("journal holds %d records after ENOSPC, want the 3 durable ones", n)
+	}
+}
+
+// TestChaosJournalBitFlip flips one bit of a record on its way to
+// disk. The write "succeeds" — silent media corruption — and the next
+// open must reject the file loudly at its CRC rather than replay
+// damaged results.
+func TestChaosJournalBitFlip(t *testing.T) {
+	tasks := chaosTasks(t)[:4]
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	sched := chaos.NewSchedule(chaosSeed, "journal-bitflip")
+	j, err := dist.OpenJournalIO(path, sched.WrapJournal(chaos.JournalFaults{FlipBitInWrite: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dist.NewDispatcher(dist.LocalExecutor, dist.Options{Workers: 1, Journal: j})
+	if _, err := d.Run(context.Background(), tasks); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	j.Close()
+
+	_, err = dist.OpenJournal(path)
+	if err == nil {
+		t.Fatal("reopening a bit-flipped journal succeeded: silent corruption would replay damaged results")
+	}
+	if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("reopen error = %v, want a loud checksum/corruption rejection", err)
+	}
+}
+
+// TestChaosLeafFlap runs the full tree — client → front → three real
+// leaf daemons — with scripted 500 bursts at every leaf. The front
+// must mark flapping leaves down, fail over, route back as the health
+// checker restores them, and the sweep must come out byte-identical.
+func TestChaosLeafFlap(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+
+	sched := chaos.NewSchedule(chaosSeed, "leaf-flap")
+	var upstreams []string
+	for i := 0; i < 3; i++ {
+		leaf := dist.NewServer(dist.ServerOptions{Workers: 2, Role: dist.RoleLeaf})
+		defer leaf.Close()
+		lts := httptest.NewServer(sched.WrapHandler(leaf, chaos.HandlerFaults{Code5xxPermille: 150}))
+		defer lts.Close()
+		upstreams = append(upstreams, lts.URL)
+	}
+	front := dist.NewServer(dist.ServerOptions{
+		Workers:        8,
+		Upstreams:      upstreams,
+		HealthInterval: 25 * time.Millisecond,
+		MaxAttempts:    10,
+		RetryDelay:     2 * time.Millisecond,
+	})
+	defer front.Close()
+	fts := httptest.NewServer(front)
+	defer fts.Close()
+
+	cl := dist.NewClient(fts.URL)
+	results, _, err := cl.Sweep(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("tree sweep failed under leaf flap (seed=%d): %v", chaosSeed, err)
+	}
+	mustInject(t, sched, "handler.5xx")
+	mustIdentical(t, sched, ref, results)
+
+	// The flap must be visible in the front's stats: failures counted,
+	// and the per-leaf consecutive-failure gauge present in the wire
+	// shape (zeroed again wherever a later success landed).
+	var stats struct {
+		Federation *dist.FederationStats `json:"federation"`
+	}
+	resp, err := http.Get(fts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Federation == nil || stats.Federation.Failures == 0 {
+		t.Fatalf("federation stats = %+v, want visible routed failures after a flap", stats.Federation)
+	}
+	if len(stats.Federation.PerLeaf) != 3 {
+		t.Fatalf("per-leaf stats for %d leaves, want 3", len(stats.Federation.PerLeaf))
+	}
+}
+
+// TestChaosOverloadShedAndDrain is the overload acceptance scenario:
+// a daemon with a tiny admission watermark sheds a saturating batch
+// with 429 + Retry-After, the backing-off client still completes the
+// sweep byte-identically, a drain then flips healthz and sheds with
+// 503 — and nothing leaks a goroutine once everything is closed.
+func TestChaosOverloadShedAndDrain(t *testing.T) {
+	tasks := chaosTasks(t)
+	ref := serialRef(t, tasks)
+	before := chaos.Goroutines()
+
+	srv := dist.NewServer(dist.ServerOptions{Workers: 1, QueueLimit: 1})
+	ts := httptest.NewServer(srv)
+	cl := dist.NewClient(ts.URL)
+	d := dist.NewDispatcher(dist.RemoteExecutor(cl), dist.Options{
+		Workers:     8,
+		MaxAttempts: 50,
+		RetryDelay:  2 * time.Millisecond, // caps the daemon's 1s Retry-After at 64ms
+	})
+
+	results, err := d.Run(context.Background(), tasks)
+	if err != nil {
+		t.Fatalf("saturating batch failed: %v", err)
+	}
+	mustIdentical(t, chaos.NewSchedule(0, "overload"), ref, campaignsOf(results))
+
+	var stats struct {
+		Overload *dist.OverloadStats `json:"overload"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Overload == nil || stats.Overload.Shed429 == 0 || stats.Overload.RetryAfterIssued == 0 {
+		t.Fatalf("overload stats = %+v, want shed 429s with Retry-After after a saturating batch", stats.Overload)
+	}
+
+	// Drain: healthz flips, new work is shed with 503 + Retry-After.
+	srv.BeginDrain()
+	h, err := cl.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Ready || h.Status != "draining" {
+		t.Fatalf("healthz during drain = %+v, want status draining / not ready", h)
+	}
+	post, err := http.Post(ts.URL+"/v1/campaign", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("campaign during drain answered %d, want 503", post.StatusCode)
+	}
+	if post.Header.Get("Retry-After") == "" {
+		t.Fatal("drain shed without a Retry-After header")
+	}
+
+	// Full teardown must release every goroutine the stack spawned.
+	d.Close()
+	ts.Close()
+	srv.Close()
+	if err := chaos.CheckGoroutines(before, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosRunnerCloseNoLeak asserts the public Runner's fleet
+// teardown releases its goroutines — the library-embedding shape of
+// the same drain guarantee the daemon test proves.
+func TestChaosRunnerCloseNoLeak(t *testing.T) {
+	before := chaos.Goroutines()
+	r := optirand.NewRunner(optirand.WithWorkers(8), optirand.WithCache(64))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.CheckGoroutines(before, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosScheduleReplay proves the replay contract: two schedules
+// built from the same (seed, scenario) and driven through the same
+// serial call sequence produce the identical injection log, decision
+// by decision.
+func TestChaosScheduleReplay(t *testing.T) {
+	drive := func() []chaos.Decision {
+		sched := chaos.NewSchedule(42, "replay")
+		exec := sched.WrapExecutor(
+			func(context.Context, *engine.Task) (*sim.CampaignResult, error) {
+				return &sim.CampaignResult{}, nil
+			},
+			chaos.ExecutorFaults{ErrPermille: 300, DupPermille: 300, DelayPermille: 200, MaxDelay: time.Microsecond},
+		)
+		for i := 0; i < 40; i++ {
+			exec(context.Background(), nil) //nolint:errcheck // decisions are the output
+		}
+		rt := sched.WrapTransport(stubTransport{}, chaos.TransportFaults{
+			ResetPermille:      200,
+			Code5xxPermille:    200,
+			TruncatePermille:   200,
+			CorruptPutPermille: 500,
+			SlowPermille:       100,
+			MaxDelay:           time.Microsecond,
+		})
+		for i := 0; i < 40; i++ {
+			method, path := http.MethodPost, "/v1/sweep"
+			if i%3 == 0 {
+				method, path = http.MethodPut, "/v1/blobs/deadbeef"
+			}
+			req, err := http.NewRequest(method, "http://chaos.invalid"+path, strings.NewReader("payload"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp, err := rt.RoundTrip(req); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return sched.Log()
+	}
+	a, b := drive(), drive()
+	if len(a) == 0 {
+		t.Fatal("empty injection log: the drive sequence made no decisions")
+	}
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if i < len(b) && a[i] != b[i] {
+				t.Fatalf("injection schedules diverge at decision %d: %v vs %v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("injection schedules differ in length: %d vs %d", len(a), len(b))
+	}
+}
+
+// stubTransport answers every round trip with a small 200.
+type stubTransport struct{}
+
+func (stubTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	body := strings.Repeat("x", 256)
+	return &http.Response{
+		Status:     "200 OK",
+		StatusCode: http.StatusOK,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1, ProtoMinor: 1,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}, nil
+}

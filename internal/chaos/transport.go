@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TransportFaults configures HTTP-level injection for WrapTransport.
+// All rates are permille per round trip; decisions are drawn in a
+// fixed order per call (slow, reset, 5xx, corrupt-put, truncate), one
+// draw each whether or not the fault is configured, so a scenario's
+// schedule never shifts when a rate is zeroed.
+type TransportFaults struct {
+	// ResetPermille fails the round trip before it starts — the
+	// client-visible shape of a connection reset.
+	ResetPermille int
+	// Code5xxPermille short-circuits the round trip with a synthesized
+	// 503 Service Unavailable carrying Retry-After (see RetryAfter) —
+	// a load-shedding burst without the server's involvement.
+	Code5xxPermille int
+	// RetryAfter is the synthesized 503's Retry-After value, rounded
+	// up to whole seconds (0 selects 1s).
+	RetryAfter time.Duration
+	// CorruptPutPermille flips one scheduled bit in the body of a blob
+	// upload (PUT /v1/blobs/...), exercising the server's
+	// content-address verification; other requests are untouched.
+	CorruptPutPermille int
+	// TruncatePermille cuts the response body short at a scheduled
+	// offset — a mid-stream disconnect for NDJSON sweeps, a partial
+	// body for batch responses.
+	TruncatePermille int
+	// SlowPermille stalls the round trip by a scheduled duration in
+	// (0, MaxDelay] before it starts.
+	SlowPermille int
+	// MaxDelay bounds injected stalls (0 disables SlowPermille).
+	MaxDelay time.Duration
+}
+
+// faultTransport implements http.RoundTripper over a schedule.
+type faultTransport struct {
+	base http.RoundTripper
+	s    *Schedule
+	f    TransportFaults
+}
+
+// WrapTransport wraps base (nil selects http.DefaultTransport) with
+// scheduled HTTP faults. Install it as the Transport of a
+// dist.Client's HTTP client.
+func (s *Schedule) WrapTransport(base http.RoundTripper, f TransportFaults) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &faultTransport{base: base, s: s, f: f}
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if d := t.s.Duration("transport.slow", t.f.SlowPermille, t.f.MaxDelay); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		}
+	}
+	if t.s.Hit("transport.reset", t.f.ResetPermille) {
+		closeBody(req)
+		return nil, fmt.Errorf("%w: connection reset by peer (%s %s)", ErrInjected, req.Method, req.URL.Path)
+	}
+	if t.s.Hit("transport.5xx", t.f.Code5xxPermille) {
+		closeBody(req)
+		return t.synth503(req), nil
+	}
+	if bit := t.s.Intn("transport.corruptput", t.putCorruptPermille(req), 1<<20); bit >= 0 {
+		if err := corruptBody(req, bit); err != nil {
+			return nil, err
+		}
+	}
+	cut := t.s.Intn("transport.truncate", t.f.TruncatePermille, 8<<10)
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || cut < 0 {
+		return resp, err
+	}
+	resp.Body = &truncatingBody{rc: resp.Body, left: 64 + cut}
+	return resp, nil
+}
+
+// putCorruptPermille narrows blob-upload corruption to blob PUTs; all
+// other requests draw with rate 0, keeping the stream aligned.
+func (t *faultTransport) putCorruptPermille(req *http.Request) int {
+	if req.Method == http.MethodPut && strings.Contains(req.URL.Path, "/v1/blobs/") {
+		return t.f.CorruptPutPermille
+	}
+	return 0
+}
+
+// synth503 fabricates the load-shed answer a draining or saturated
+// daemon would send.
+func (t *faultTransport) synth503(req *http.Request) *http.Response {
+	secs := int((t.f.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	body := "chaos: injected 503 burst"
+	h := make(http.Header)
+	h.Set("Retry-After", strconv.Itoa(secs))
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// corruptBody reads the request body, flips bit (modulo the body's
+// size), and reinstalls it. The Content-Length is unchanged — the
+// bytes are the same count, just wrong.
+func corruptBody(req *http.Request, bit int64) error {
+	if req.Body == nil {
+		return nil
+	}
+	data, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		return fmt.Errorf("chaos: corrupt-put read: %w", err)
+	}
+	if len(data) > 0 {
+		i := bit % int64(len(data)*8)
+		data[i/8] ^= 1 << (i % 8)
+	}
+	req.Body = io.NopCloser(bytes.NewReader(data))
+	return nil
+}
+
+// truncatingBody delivers at most left bytes, then fails the read the
+// way a dropped connection does.
+type truncatingBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (b *truncatingBody) Read(p []byte) (int, error) {
+	if b.left <= 0 {
+		return 0, fmt.Errorf("%w: response body truncated", ErrInjected)
+	}
+	if int64(len(p)) > b.left {
+		p = p[:b.left]
+	}
+	n, err := b.rc.Read(p)
+	b.left -= int64(n)
+	return n, err
+}
+
+func (b *truncatingBody) Close() error { return b.rc.Close() }
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// HandlerFaults configures server-side injection for WrapHandler.
+type HandlerFaults struct {
+	// Code5xxPermille answers a work request (POST — campaign, sweep,
+	// optimize) with 500 Internal Server Error before the wrapped
+	// handler sees it. GET/HEAD traffic — health probes, blob reads,
+	// stats — passes through untouched, so an injected-flapping leaf
+	// still answers its health checker and rejoins the ring.
+	Code5xxPermille int
+}
+
+// WrapHandler wraps h (e.g. a dist.Server) with scheduled
+// request-level faults — the leaf-side half of a federation flap
+// scenario: the front sees real 500s from a real daemon and must mark
+// it down, fail over, and route back when the burst passes.
+func (s *Schedule) WrapHandler(h http.Handler, f HandlerFaults) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && s.Hit("handler.5xx", f.Code5xxPermille) {
+			http.Error(w, "chaos: injected leaf failure", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

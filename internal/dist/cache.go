@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -143,9 +146,26 @@ type cacheSnapshotEntry struct {
 // snapshot layout is skipped (the daemon just starts cold).
 const cacheSnapshotVersion = 1
 
+// cacheSnapMagic heads a checksummed snapshot file: magic, a SHA-256
+// of the gob payload, then the payload. The hash turns silent disk
+// corruption (a flipped bit that still gob-decodes into plausible but
+// wrong results — the worst failure for a byte-identity contract)
+// into a loud, typed ErrSnapshotCorrupt the daemon can quarantine.
+// Files without the magic are read as the pre-checksum plain-gob
+// layout, so existing snapshots keep loading.
+var cacheSnapMagic = []byte("optirand-cachesnap\x01")
+
+// ErrSnapshotCorrupt marks a cache snapshot whose bytes fail their
+// checksum or cannot decode — damage, not version skew. Callers
+// should quarantine the file (it will never load) and start cold;
+// errors.Is reports it through Load's wrapping.
+var ErrSnapshotCorrupt = errors.New("cache snapshot corrupt")
+
 // Save writes the cache's current contents to path atomically (temp
 // file in the same directory, then rename), so a crash mid-write
 // leaves either the old snapshot or the new one, never a torn file.
+// The payload is hashed (see cacheSnapMagic) so Load detects silent
+// corruption instead of warming the cache with damaged results.
 // Concurrent Get/Put during Save affect only whether they are
 // included; the snapshot itself is taken under the lock.
 func (c *Cache) Save(path string) error {
@@ -158,15 +178,28 @@ func (c *Cache) Save(path string) error {
 	}
 	c.mu.Unlock()
 
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("dist: persist cache: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("dist: persist cache: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := gob.NewEncoder(tmp).Encode(&snap); err != nil {
+	_, werr := tmp.Write(cacheSnapMagic)
+	if werr == nil {
+		_, werr = tmp.Write(sum[:])
+	}
+	if werr == nil {
+		_, werr = tmp.Write(payload.Bytes())
+	}
+	if werr != nil {
 		tmp.Close()
-		return fmt.Errorf("dist: persist cache: %w", err)
+		return fmt.Errorf("dist: persist cache: %w", werr)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("dist: persist cache: %w", err)
@@ -188,17 +221,30 @@ func (c *Cache) Save(path string) error {
 // resident after the load — the warm set actually restored — not the
 // snapshot's size.
 func (c *Cache) Load(path string) (int, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
 		}
 		return 0, fmt.Errorf("dist: load cache: %w", err)
 	}
-	defer f.Close()
+	if bytes.HasPrefix(data, cacheSnapMagic) {
+		// Checksummed layout: verify the payload hash before decoding a
+		// single byte of it — a mismatch is corruption, typed so the
+		// caller can quarantine the file rather than retry it forever.
+		rest := data[len(cacheSnapMagic):]
+		if len(rest) < sha256.Size {
+			return 0, fmt.Errorf("dist: load cache %s: truncated checksum header: %w", path, ErrSnapshotCorrupt)
+		}
+		payload := rest[sha256.Size:]
+		if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], rest[:sha256.Size]) {
+			return 0, fmt.Errorf("dist: load cache %s: payload fails its checksum: %w", path, ErrSnapshotCorrupt)
+		}
+		data = payload
+	}
 	var snap cacheSnapshot
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
-		return 0, fmt.Errorf("dist: load cache %s: %w", path, err)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("dist: load cache %s: %v: %w", path, err, ErrSnapshotCorrupt)
 	}
 	if snap.Version != cacheSnapshotVersion {
 		return 0, fmt.Errorf("dist: load cache %s: snapshot version %d not supported (want %d)",

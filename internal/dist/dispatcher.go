@@ -36,6 +36,37 @@ func IsPermanent(err error) bool {
 	return errors.As(err, &p)
 }
 
+// RetryAfterError is a retryable failure carrying the server's
+// requested backoff — the client-side form of a 429/503 answer with a
+// Retry-After header. The dispatcher honors After as a floor under its
+// own jittered exponential backoff (never waiting less than the server
+// asked), capped at Options.RetryMaxDelay so a hostile or misconfigured
+// server cannot park a retry for an hour.
+type RetryAfterError struct {
+	After time.Duration
+	Err   error
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%v (server asks to retry after %v)", e.Err, e.After)
+}
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// retryAfterHint extracts the server-requested backoff from err, or 0.
+func retryAfterHint(err error) time.Duration {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		return ra.After
+	}
+	return 0
+}
+
+// maxRetryAfterHonor caps a server-requested Retry-After on
+// dispatchers with no configured RetryMaxDelay, so even a
+// zero-backoff (test) configuration cannot be parked indefinitely by
+// a bad header.
+const maxRetryAfterHonor = 30 * time.Second
+
 // Options configures a Dispatcher.
 type Options struct {
 	// Workers is the size of the worker fleet draining the queue
@@ -312,7 +343,9 @@ func (d *Dispatcher) process(it *workItem) {
 		}
 		it.attempts++
 		if it.attempts < d.maxAttempts && !IsPermanent(err) {
-			d.requeue(it) // after the backoff, the next free worker retries it
+			// After the backoff — floored by any server-requested
+			// Retry-After — the next free worker retries it.
+			d.requeue(it, retryAfterHint(err))
 			return
 		}
 		err = fmt.Errorf("dist: task %q failed after %d attempts: %w",
@@ -350,13 +383,26 @@ func (d *Dispatcher) process(it *workItem) {
 }
 
 // requeue returns a failed item to the queue after its backoff delay
-// (immediately when Options.RetryDelay is zero). The delay runs on a
-// timer, not a worker: no fleet slot is held, and a batch cancelled
-// mid-backoff is not made to wait — its Run returns on ctx.Done while
-// the timer fires into liveCtx's dead-batch path (or a closed queue's
-// no-op push) later.
-func (d *Dispatcher) requeue(it *workItem) {
+// (immediately when Options.RetryDelay is zero and the server asked
+// for nothing). The delay runs on a timer, not a worker: no fleet slot
+// is held, and a batch cancelled mid-backoff is not made to wait — its
+// Run returns on ctx.Done while the timer fires into liveCtx's
+// dead-batch path (or a closed queue's no-op push) later.
+//
+// serverAfter is the failure's Retry-After hint (0 for none): it
+// floors the jittered exponential schedule — the dispatcher never
+// retries sooner than an overloaded server asked — and is capped at
+// RetryMaxDelay (or maxRetryAfterHonor when no backoff is configured)
+// so a bad header cannot park the item.
+func (d *Dispatcher) requeue(it *workItem, serverAfter time.Duration) {
 	delay := d.backoff(it.attempts)
+	if serverAfter > delay {
+		cap := d.retryMax
+		if cap <= 0 {
+			cap = maxRetryAfterHonor
+		}
+		delay = min(serverAfter, cap)
+	}
 	if delay <= 0 {
 		d.q.push(it)
 		return
@@ -447,6 +493,12 @@ func (d *Dispatcher) Stats() DispatcherStats {
 	defer d.fmu.Unlock()
 	return DispatcherStats{Coalesced: d.coalesced}
 }
+
+// QueueDepth reports how many submitted items are waiting for a
+// worker (executing and backoff-parked items excluded) — the signal
+// admission control sheds on: a depth past the watermark means every
+// worker is busy and the backlog is growing.
+func (d *Dispatcher) QueueDepth() int { return d.q.len() }
 
 // runEach is the submission core shared by Run, RunCached and RunEach.
 func (d *Dispatcher) runEach(ctx context.Context, tasks []*engine.Task, fn func(i int, r engine.TaskResult, cached bool)) error {

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -42,6 +43,16 @@ type FederationOptions struct {
 	// leaf client default of 10 minutes; < 0 disables the timeout —
 	// context cancellation still applies).
 	LeafTimeout time.Duration
+	// AllDownGrace bounds how long routing keeps failing retryably
+	// once EVERY leaf is out of the ring. Within the grace the health
+	// checker may restore a leaf, so attempts stay retryable; past it
+	// the tree is considered dead and attempts fail Permanent (fast,
+	// typed ErrNoLiveLeaves) instead of burning the retry budget
+	// against an empty ring. 0 selects 2×HealthInterval+HealthTimeout
+	// — two full probe rounds. With the health checker disabled
+	// (HealthInterval < 0) nothing can restore membership, so an empty
+	// ring is Permanent immediately regardless of the grace.
+	AllDownGrace time.Duration
 	// Logf, when non-nil, receives membership transitions (leaf down,
 	// leaf rejoined). The library never writes to stderr itself.
 	Logf func(format string, args ...any)
@@ -53,13 +64,14 @@ type leafState struct {
 	client *Client
 
 	// The fields below are guarded by the Federation's mu.
-	alive     bool
-	downSince time.Time
-	lastErr   string
-	routed    uint64 // campaign requests routed here
-	failures  uint64 // routed requests that failed (and were requeued by the dispatcher)
-	probes    uint64 // health probes sent
-	probeFail uint64 // health probes that failed
+	alive      bool
+	downSince  time.Time
+	lastErr    string
+	routed     uint64 // campaign requests routed here
+	failures   uint64 // routed requests that failed (and were requeued by the dispatcher)
+	consecFail uint64 // routed failures since the last routed success — a live flap gauge
+	probes     uint64 // health probes sent
+	probeFail  uint64 // health probes that failed
 }
 
 // Federation routes content-addressed tasks to a fleet of leaf
@@ -92,6 +104,10 @@ type Federation struct {
 	ring   *Ring
 	leaves map[string]*leafState
 	order  []string // configured order, for stable stats listings
+	// emptySince marks when the ring last became empty (every leaf
+	// down); zero while any leaf is live. Routing failures past
+	// AllDownGrace from this instant turn Permanent.
+	emptySince time.Time
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -108,6 +124,11 @@ func NewFederation(upstreams []string, opts FederationOptions) (*Federation, err
 	}
 	if opts.HealthTimeout <= 0 {
 		opts.HealthTimeout = 5 * time.Second
+	}
+	if opts.AllDownGrace <= 0 && opts.HealthInterval > 0 {
+		// Two full probe rounds: long enough for a restarting fleet to
+		// answer a probe, short enough that a dead tree fails in seconds.
+		opts.AllDownGrace = 2*opts.HealthInterval + opts.HealthTimeout
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
@@ -197,6 +218,9 @@ func (f *Federation) markDown(l *leafState, cause error) {
 	l.alive = false
 	l.downSince = time.Now()
 	f.ring.Remove(l.url)
+	if f.ring.Len() == 0 && f.emptySince.IsZero() {
+		f.emptySince = time.Now()
+	}
 	f.opts.Logf("federation: leaf %s marked down (%d live): %v", l.url, f.ring.Len(), cause)
 }
 
@@ -214,8 +238,10 @@ func (f *Federation) markUp(l *leafState) {
 	l.alive = true
 	l.lastErr = ""
 	l.downSince = time.Time{}
+	l.consecFail = 0
 	l.client.forgetUploads()
 	f.ring.Add(l.url)
+	f.emptySince = time.Time{}
 	f.opts.Logf("federation: leaf %s rejoined (%d live)", l.url, f.ring.Len())
 }
 
@@ -273,6 +299,34 @@ func (f *Federation) CheckNow(ctx context.Context) {
 	wg.Wait()
 }
 
+// ErrNoLiveLeaves marks a federation routing failure caused by an
+// empty ring — every configured leaf is down. Within the recovery
+// grace (see FederationOptions.AllDownGrace) attempts carrying it are
+// retryable; past the grace, or with the health checker disabled,
+// they are additionally Permanent: test with errors.Is for the
+// condition and IsPermanent for whether retrying can still help.
+var ErrNoLiveLeaves = errors.New("no live leaves")
+
+// noLeavesError builds the empty-ring routing error, deciding whether
+// a retry can still help (see ErrNoLiveLeaves).
+func (f *Federation) noLeavesError() error {
+	f.mu.Lock()
+	empty := f.emptySince
+	n := len(f.leaves)
+	f.mu.Unlock()
+	err := fmt.Errorf("dist: federation: %w (of %d configured)", ErrNoLiveLeaves, n)
+	if f.opts.HealthInterval < 0 {
+		// No health checker: membership cannot recover on its own, so
+		// burning the retry budget against an empty ring helps nobody.
+		return Permanent(fmt.Errorf("%w; health checker disabled, membership cannot recover", err))
+	}
+	if !empty.IsZero() && time.Since(empty) > f.opts.AllDownGrace {
+		return Permanent(fmt.Errorf("%w; every leaf down for %v (past the %v recovery grace)",
+			err, time.Since(empty).Round(time.Millisecond), f.opts.AllDownGrace))
+	}
+	return err
+}
+
 // FederatedExecutor adapts a federation to the Executor seam: each
 // task routes to the live leaf owning its circuit and becomes one
 // /v1/campaign request there, with the circuit and fault list
@@ -281,18 +335,21 @@ func (f *Federation) CheckNow(ctx context.Context) {
 // paying across the tree). A failed request marks the leaf down
 // before the error returns, so the dispatcher's requeued retry
 // re-routes onto the survivors — the leaf-death failover path. When
-// no leaf is live the attempt fails retryably: the health checker may
-// restore a leaf between attempts.
+// no leaf is live the attempt fails with ErrNoLiveLeaves: retryable
+// while the health checker may still restore a leaf (within
+// AllDownGrace), Permanent — fail fast, no retry spin — once the
+// whole tree has been down past the grace or the checker is disabled.
 func FederatedExecutor(f *Federation) Executor {
 	return func(ctx context.Context, t *engine.Task) (*sim.CampaignResult, error) {
 		l, ok := f.route(RouteKey(t))
 		if !ok {
-			return nil, fmt.Errorf("dist: federation: no live leaves (of %d configured)", len(f.Leaves()))
+			return nil, f.noLeavesError()
 		}
 		res, _, err := l.client.Campaign(ctx, t)
 		if err != nil && ctx.Err() == nil {
 			f.mu.Lock()
 			l.failures++
+			l.consecFail++
 			f.mu.Unlock()
 			if !IsPermanent(err) {
 				// Transport failures and leaf-side 5xx take the leaf out
@@ -302,6 +359,11 @@ func FederatedExecutor(f *Federation) Executor {
 				f.markDown(l, err)
 			}
 			return nil, fmt.Errorf("leaf %s: %w", l.url, err)
+		}
+		if err == nil {
+			f.mu.Lock()
+			l.consecFail = 0
+			f.mu.Unlock()
 		}
 		return res, err
 	}
@@ -331,16 +393,20 @@ type FederationStats struct {
 	RingPoints int         `json:"ring_points_per_leaf"`
 }
 
-// LeafStats is one leaf's slice of FederationStats.
+// LeafStats is one leaf's slice of FederationStats. ConsecFailures is
+// the routed failures since the leaf's last routed success (zeroed on
+// success and on rejoin) — a live gauge of a flapping or dying leaf,
+// where Failures only accumulates.
 type LeafStats struct {
-	URL       string  `json:"url"`
-	Alive     bool    `json:"alive"`
-	Routed    uint64  `json:"routed"`
-	Failures  uint64  `json:"failures"`
-	Probes    uint64  `json:"probes"`
-	ProbeFail uint64  `json:"probe_failures"`
-	LastError string  `json:"last_error,omitempty"`
-	DownFor   float64 `json:"down_seconds,omitempty"`
+	URL            string  `json:"url"`
+	Alive          bool    `json:"alive"`
+	Routed         uint64  `json:"routed"`
+	Failures       uint64  `json:"failures"`
+	ConsecFailures uint64  `json:"consecutive_failures,omitempty"`
+	Probes         uint64  `json:"probes"`
+	ProbeFail      uint64  `json:"probe_failures"`
+	LastError      string  `json:"last_error,omitempty"`
+	DownFor        float64 `json:"down_seconds,omitempty"`
 }
 
 // Stats snapshots the federation's counters.
@@ -355,13 +421,14 @@ func (f *Federation) Stats() FederationStats {
 	for _, url := range f.order {
 		l := f.leaves[url]
 		ls := LeafStats{
-			URL:       l.url,
-			Alive:     l.alive,
-			Routed:    l.routed,
-			Failures:  l.failures,
-			Probes:    l.probes,
-			ProbeFail: l.probeFail,
-			LastError: l.lastErr,
+			URL:            l.url,
+			Alive:          l.alive,
+			Routed:         l.routed,
+			Failures:       l.failures,
+			ConsecFailures: l.consecFail,
+			Probes:         l.probes,
+			ProbeFail:      l.probeFail,
+			LastError:      l.lastErr,
 		}
 		if !l.alive && !l.downSince.IsZero() {
 			ls.DownFor = time.Since(l.downSince).Seconds()

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -310,8 +311,10 @@ func TestFederationFailoverAndRejoin(t *testing.T) {
 	}
 }
 
-// TestFederationNoLiveLeaves proves the executor fails retryably —
-// not panics, not hangs — when every leaf is down.
+// TestFederationNoLiveLeaves proves the executor fails fast and typed
+// — not panics, not hangs, not a retry spin — when every leaf is down
+// and nothing can bring one back: with the health checker disabled,
+// the empty-ring error is ErrNoLiveLeaves AND Permanent.
 func TestFederationNoLiveLeaves(t *testing.T) {
 	// A listener that is closed immediately: connection refused.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -333,11 +336,58 @@ func TestFederationNoLiveLeaves(t *testing.T) {
 
 	exec := FederatedExecutor(f)
 	_, err = exec(context.Background(), testTasks(t)[0])
-	if err == nil || !strings.Contains(err.Error(), "no live leaves") {
-		t.Fatalf("err = %v, want a no-live-leaves error", err)
+	if !errors.Is(err, ErrNoLiveLeaves) {
+		t.Fatalf("err = %v, want ErrNoLiveLeaves", err)
+	}
+	if !strings.Contains(err.Error(), "no live leaves") {
+		t.Fatalf("err = %v, want a no-live-leaves message", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("with the health checker disabled nothing can restore membership: the error must be Permanent, not a retry spin")
+	}
+}
+
+// TestFederationNoLiveLeavesGrace proves the same empty ring stays
+// RETRYABLE while a running health checker could still restore a leaf
+// (within AllDownGrace), and turns Permanent once the whole tree has
+// been down past the grace.
+func TestFederationNoLiveLeavesGrace(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	// A long interval keeps the background checker quiet for the test's
+	// lifetime; the tiny grace is what we wait out.
+	f, err := NewFederation([]string{addr}, FederationOptions{
+		HealthInterval: time.Hour,
+		HealthTimeout:  time.Second,
+		AllDownGrace:   30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.CheckNow(context.Background())
+
+	exec := FederatedExecutor(f)
+	_, err = exec(context.Background(), testTasks(t)[0])
+	if !errors.Is(err, ErrNoLiveLeaves) {
+		t.Fatalf("err = %v, want ErrNoLiveLeaves", err)
 	}
 	if IsPermanent(err) {
-		t.Fatal("no-live-leaves must stay retryable: the health checker may restore a leaf between attempts")
+		t.Fatal("within the grace the checker may restore a leaf: the error must stay retryable")
+	}
+
+	time.Sleep(50 * time.Millisecond) // wait out the grace
+	_, err = exec(context.Background(), testTasks(t)[0])
+	if !errors.Is(err, ErrNoLiveLeaves) {
+		t.Fatalf("err = %v, want ErrNoLiveLeaves", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatal("past the grace the tree is dead: the error must be Permanent")
 	}
 }
 

@@ -51,13 +51,27 @@ import (
 // A Journal is safe for concurrent use.
 type Journal struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       JournalIO
 	path    string
 	index   map[string]recordPos
 	end     int64 // append offset
 	appends uint64
 	replays uint64
 	err     error // sticky append failure; Append reports it thereafter
+}
+
+// JournalIO is the journal's file-layer seam: the exact subset of
+// *os.File the journal uses. It exists so fault-injection harnesses
+// (internal/chaos) can wrap the real file and exercise the journal's
+// crash tolerance — torn writes, bit flips, ENOSPC — deterministically,
+// without a filesystem that actually fails.
+type JournalIO interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Close() error
 }
 
 // recordPos locates one record's payload inside the journal file.
@@ -92,13 +106,25 @@ func journalCRC(payload []byte) uint32 {
 // A file with a foreign header or a corrupt interior record is
 // rejected — better to fail a resume loudly than to replay damage.
 func OpenJournal(path string) (*Journal, error) {
+	return OpenJournalIO(path, nil)
+}
+
+// OpenJournalIO is OpenJournal with the file handle passed through
+// wrap first (nil means use the file directly) — the seam chaos
+// harnesses use to inject file-layer faults into an otherwise real
+// journal. Production callers use OpenJournal.
+func OpenJournalIO(path string, wrap func(JournalIO) JournalIO) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("dist: open journal: %w", err)
 	}
-	j := &Journal{f: f, path: path, index: make(map[string]recordPos)}
+	var fio JournalIO = f
+	if wrap != nil {
+		fio = wrap(f)
+	}
+	j := &Journal{f: fio, path: path, index: make(map[string]recordPos)}
 	if err := j.scan(); err != nil {
-		f.Close()
+		fio.Close()
 		return nil, err
 	}
 	return j, nil
@@ -174,7 +200,7 @@ func (j *Journal) truncateTail(validEnd int64) error {
 
 // bufReaderAt wraps bounded ReadAt calls for the scan loop.
 type bufReaderAt struct {
-	f    *os.File
+	f    io.ReaderAt
 	size int64
 }
 

@@ -48,6 +48,13 @@ func (q *queue) pop() (*workItem, bool) {
 	return it, true
 }
 
+// len reports the number of queued (not yet popped) items.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
 // close wakes every worker; pending items are dropped.
 func (q *queue) close() {
 	q.mu.Lock()

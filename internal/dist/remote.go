@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -103,6 +104,47 @@ func isUnresolvedRef(err error) bool {
 	return errors.As(err, &he) && he.status == http.StatusUnprocessableEntity
 }
 
+// parseRetryAfter reads a Retry-After header's delay-seconds form
+// (the one the daemon writes; HTTP-date is ignored). 0 means absent
+// or unreadable.
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// classifyStatus turns a non-2xx service answer into the right error
+// shape for the retry machinery:
+//
+//   - 429 Too Many Requests and 503 Service Unavailable are load
+//     shedding, not rejection: retryable, carrying the daemon's
+//     Retry-After as a RetryAfterError so the dispatcher's backoff
+//     honors it (capped at its RetryMaxDelay).
+//   - 422 unresolved ref stays retryable — the caller re-uploads the
+//     blob first (see withReupload).
+//   - every other 4xx is deterministic rejection: Permanent, because
+//     retrying an identical request cannot change the answer.
+//   - 5xx is transient: plain retryable.
+func classifyStatus(status int, header http.Header, base *httpError) error {
+	switch {
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		if after := parseRetryAfter(header.Get("Retry-After")); after > 0 {
+			return &RetryAfterError{After: after, Err: base}
+		}
+		return base
+	case status >= 400 && status < 500 && status != http.StatusUnprocessableEntity:
+		return Permanent(base)
+	default:
+		return base
+	}
+}
+
 // do sends one HTTP request with the negotiated transport: the body is
 // gzip-compressed when the daemon has advertised support and it clears
 // the size threshold, and every response updates the gzip capability.
@@ -178,18 +220,11 @@ func (cl *Client) post(ctx context.Context, path string, req, resp any) (http.He
 		return nil, err
 	}
 	if r.StatusCode != http.StatusOK {
-		err := error(&httpError{
+		he := &httpError{
 			status: r.StatusCode,
 			msg:    fmt.Sprintf("dist: %s: %s: %s", path, r.Status, strings.TrimSpace(string(data))),
-		})
-		if r.StatusCode >= 400 && r.StatusCode < 500 && !isUnresolvedRef(err) {
-			// The service rejected the request (bad wire, version
-			// mismatch): deterministic, retrying cannot help. An
-			// unresolved-ref 422 stays retryable — the caller
-			// re-uploads the blob first.
-			err = Permanent(err)
 		}
-		return nil, err
+		return nil, classifyStatus(r.StatusCode, r.Header, he)
 	}
 	if err := wire.JSON.Unmarshal(data, resp); err != nil {
 		return nil, fmt.Errorf("dist: %s: bad response: %w", path, err)
@@ -254,7 +289,14 @@ func (cl *Client) ensureBlob(ctx context.Context, hash string, blob []byte) bool
 	if err != nil {
 		return false
 	}
-	io.Copy(io.Discard, put.Body) //nolint:errcheck // drain for connection reuse
+	if _, err := io.Copy(io.Discard, put.Body); err != nil {
+		// The response body broke mid-drain: the exchange did not
+		// complete cleanly, so do not trust its status line — leave the
+		// blob un-marked and the task inline. (A dropped drain also
+		// poisons connection reuse, which Close handles either way.)
+		put.Body.Close()
+		return false
+	}
 	put.Body.Close()
 	switch {
 	case put.StatusCode < 300:
@@ -266,6 +308,40 @@ func (cl *Client) ensureBlob(ctx context.Context, hash string, blob []byte) bool
 		cl.mu.Unlock()
 	}
 	return false
+}
+
+// ErrBlobCorrupt marks a blob GET whose body does not hash to the
+// address it was fetched by — the daemon (or the path to it) served
+// damaged bytes. Content addressing makes this check free and total:
+// there is no corrupt blob a caller should ever accept.
+var ErrBlobCorrupt = errors.New("blob bytes fail their content address")
+
+// BlobGet fetches a blob by content address and verifies the bytes
+// hash back to it before returning them. A 404 is reported as a
+// Permanent httpError (the daemon does not hold the blob); a hash
+// mismatch is ErrBlobCorrupt — the caller should discard the bytes
+// and re-derive or re-upload, never retry the identical fetch alone.
+func (cl *Client) BlobGet(ctx context.Context, hash string) ([]byte, error) {
+	resp, err := cl.do(ctx, http.MethodGet, "/v1/blobs/"+hash, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: blob %s: %w", hash, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		he := &httpError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("dist: blob %s: %s: %s", hash, resp.Status, strings.TrimSpace(string(data))),
+		}
+		return nil, classifyStatus(resp.StatusCode, resp.Header, he)
+	}
+	if got := wire.HashBytes(data); got != hash {
+		return nil, fmt.Errorf("dist: blob %s: body hashes to %s: %w", hash, got, ErrBlobCorrupt)
+	}
+	return data, nil
 }
 
 // internBlob is one negotiated blob: its content address and whether
@@ -481,14 +557,11 @@ func (cl *Client) sweepEachOnce(ctx context.Context, tasks []*engine.Task, fn fu
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
-		err := error(&httpError{
+		he := &httpError{
 			status: resp.StatusCode,
 			msg:    fmt.Sprintf("dist: /v1/sweep: %s: %s", resp.Status, strings.TrimSpace(string(data))),
-		})
-		if resp.StatusCode >= 400 && resp.StatusCode < 500 && !isUnresolvedRef(err) {
-			err = Permanent(err)
 		}
-		return 0, err
+		return 0, classifyStatus(resp.StatusCode, resp.Header, he)
 	}
 
 	if !strings.Contains(resp.Header.Get("Content-Type"), ndjsonContentType) {

@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"optirand/internal/engine"
+	"optirand/internal/sim"
+	"optirand/internal/wire"
+)
+
+// TestParseRetryAfter pins the header grammar: delay-seconds only,
+// anything else (absent, negative, HTTP-date) reads as no hint.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"7", 7 * time.Second},
+		{" 3 ", 3 * time.Second},
+		{"-2", 0},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0},
+		{"nope", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestClassifyStatus pins the retry classification: 429/503 retryable
+// (typed with the server's hint when present), 422 retryable for
+// re-upload, other 4xx Permanent, 5xx plain retryable.
+func TestClassifyStatus(t *testing.T) {
+	he := &httpError{status: 0, msg: "x"}
+	withHint := http.Header{"Retry-After": []string{"5"}}
+
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		err := classifyStatus(status, withHint, he)
+		var ra *RetryAfterError
+		if !errors.As(err, &ra) || ra.After != 5*time.Second {
+			t.Fatalf("classifyStatus(%d, hint) = %v, want RetryAfterError{5s}", status, err)
+		}
+		if IsPermanent(err) {
+			t.Fatalf("classifyStatus(%d) must stay retryable", status)
+		}
+		if err := classifyStatus(status, http.Header{}, he); IsPermanent(err) || errors.As(err, &ra) {
+			t.Fatalf("classifyStatus(%d, no hint) = %v, want plain retryable", status, err)
+		}
+	}
+	if err := classifyStatus(http.StatusNotFound, http.Header{}, he); !IsPermanent(err) {
+		t.Fatal("404 must be Permanent")
+	}
+	if err := classifyStatus(http.StatusUnprocessableEntity, http.Header{}, he); IsPermanent(err) {
+		t.Fatal("422 must stay retryable (the caller re-uploads the blob)")
+	}
+	if err := classifyStatus(http.StatusBadGateway, http.Header{}, he); IsPermanent(err) {
+		t.Fatal("5xx must stay retryable")
+	}
+}
+
+// TestDispatcherHonorsRetryAfter proves a RetryAfterError's hint
+// floors the backoff: with a 2ms base (whose first-retry delay is
+// ~1–2ms) and a 40ms server hint, the retry must wait the hint out.
+func TestDispatcherHonorsRetryAfter(t *testing.T) {
+	task := testTasks(t)[0]
+	attempts := 0
+	exec := func(ctx context.Context, tk *engine.Task) (*sim.CampaignResult, error) {
+		attempts++
+		if attempts == 1 {
+			return nil, &RetryAfterError{After: 40 * time.Millisecond, Err: errors.New("shed")}
+		}
+		return LocalExecutor(ctx, tk)
+	}
+	d := NewDispatcher(exec, Options{Workers: 1, MaxAttempts: 3, RetryDelay: 2 * time.Millisecond})
+	defer d.Close()
+
+	start := time.Now()
+	if _, err := d.Run(context.Background(), []*engine.Task{task}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("retry fired after %v, want >= ~40ms (the server's Retry-After)", elapsed)
+	}
+}
+
+// TestDispatcherCapsRetryAfter proves a hostile hint cannot park the
+// client: a 10-minute Retry-After against a 2ms backoff (64ms cap)
+// completes in well under a second.
+func TestDispatcherCapsRetryAfter(t *testing.T) {
+	task := testTasks(t)[0]
+	attempts := 0
+	exec := func(ctx context.Context, tk *engine.Task) (*sim.CampaignResult, error) {
+		attempts++
+		if attempts == 1 {
+			return nil, &RetryAfterError{After: 10 * time.Minute, Err: errors.New("shed")}
+		}
+		return LocalExecutor(ctx, tk)
+	}
+	d := NewDispatcher(exec, Options{Workers: 1, MaxAttempts: 3, RetryDelay: 2 * time.Millisecond})
+	defer d.Close()
+
+	start := time.Now()
+	if _, err := d.Run(context.Background(), []*engine.Task{task}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("completion took %v: the 10-minute hint must be capped at RetryMaxDelay", elapsed)
+	}
+}
+
+// TestCacheSnapshotChecksum proves a flipped bit in a snapshot is
+// detected as typed corruption, and that pre-checksum plain-gob
+// snapshots still load.
+func TestCacheSnapshotChecksum(t *testing.T) {
+	task := testTasks(t)[0]
+	res, err := LocalExecutor(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := wire.FromTask(task).IdentityHash()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.gob")
+	c := NewCache(8)
+	c.Put(key, res)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reload works.
+	if n, err := NewCache(8).Load(path); err != nil || n != 1 {
+		t.Fatalf("clean load = (%d, %v), want (1, nil)", n, err)
+	}
+
+	// Flip one bit deep in the payload: gob would likely still decode
+	// something plausible; the checksum must refuse loudly instead.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCache(8).Load(path); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt load error = %v, want ErrSnapshotCorrupt", err)
+	}
+
+	// Legacy layout (no magic, bare gob) still loads: old daemons'
+	// snapshots are not orphaned by the format change.
+	var snap cacheSnapshot
+	snap.Version = cacheSnapshotVersion
+	snap.Entries = []cacheSnapshotEntry{{Key: key, Res: *res}}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	legacyPath := filepath.Join(dir, "legacy.gob")
+	if err := os.WriteFile(legacyPath, legacy.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := NewCache(8).Load(legacyPath); err != nil || n != 1 {
+		t.Fatalf("legacy load = (%d, %v), want (1, nil)", n, err)
+	}
+}
+
+// TestServerQuarantinesCorruptSnapshot proves a daemon started over a
+// corrupt snapshot renames it aside (.corrupt) and starts cold
+// instead of crashing, retrying forever, or silently warming itself
+// with damaged results.
+func TestServerQuarantinesCorruptSnapshot(t *testing.T) {
+	task := testTasks(t)[0]
+	res, err := LocalExecutor(context.Background(), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, cacheSnapshotFile)
+	c := NewCache(8)
+	c.Put(wire.FromTask(task).IdentityHash(), res)
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(ServerOptions{Workers: 1, CacheSize: 8, CacheDir: dir})
+	if st := srv.cache.Stats(); st.Loaded != 0 {
+		t.Fatalf("server warmed %d entries from a corrupt snapshot", st.Loaded)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still in place (stat err %v): the next start would trip over it again", err)
+	}
+	// Close must write a fresh snapshot over the reclaimed path.
+	srv.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no fresh snapshot after Close: %v", err)
+	}
+}
+
+// TestBlobGetVerifiesHash proves the client refuses blob bytes that
+// do not hash to the address they were fetched by.
+func TestBlobGetVerifiesHash(t *testing.T) {
+	data := []byte(`{"v":"payload"}`)
+	hash := wire.HashBytes(data)
+
+	// An honest daemon answers the true bytes.
+	srv := NewServer(ServerOptions{Workers: 1})
+	defer srv.Close()
+	if err := srv.blobs.Put(hash, data); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+	got, err := cl.BlobGet(context.Background(), hash)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("BlobGet = (%q, %v), want the stored bytes", got, err)
+	}
+
+	// A lying daemon answers garbage under the same address: typed
+	// corruption, not silent acceptance.
+	liar := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("garbage")) //nolint:errcheck
+	}))
+	defer liar.Close()
+	if _, err := NewClient(liar.URL).BlobGet(context.Background(), hash); !errors.Is(err, ErrBlobCorrupt) {
+		t.Fatalf("BlobGet from a lying daemon = %v, want ErrBlobCorrupt", err)
+	}
+}
+
+// TestServerDrainSheds proves BeginDrain flips healthz and sheds new
+// work with 503 + Retry-After, counted in the overload stats.
+func TestServerDrainSheds(t *testing.T) {
+	srv := NewServer(ServerOptions{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	h, err := cl.Healthz(context.Background())
+	if err != nil || !h.Ready || h.Status != "ok" {
+		t.Fatalf("healthz before drain = (%+v, %v), want ready/ok", h, err)
+	}
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent
+	h, err = cl.Healthz(context.Background())
+	if err != nil || h.Ready || h.Status != "draining" {
+		t.Fatalf("healthz during drain = (%+v, %v), want draining/not ready", h, err)
+	}
+
+	_, _, err = cl.Campaign(context.Background(), testTasks(t)[0])
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("campaign during drain = %v, want a RetryAfterError (503 + Retry-After)", err)
+	}
+	if IsPermanent(err) {
+		t.Fatal("drain shedding must stay retryable: another daemon (or this one, restarted) can serve it")
+	}
+	if srv.shed503.Load() == 0 || srv.retryAfterIssued.Load() == 0 {
+		t.Fatal("drain shed not counted in overload stats")
+	}
+}

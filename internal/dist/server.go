@@ -10,8 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optirand/internal/adapt"
@@ -112,6 +114,19 @@ type ServerOptions struct {
 	// (0 selects 2s, < 0 disables the checker). Ignored without
 	// Upstreams.
 	HealthInterval time.Duration
+	// QueueLimit is the admission-control watermark: when the
+	// dispatcher's queue holds at least this many waiting tasks, new
+	// campaign/sweep/optimize requests are shed with 429 Too Many
+	// Requests and a Retry-After header instead of queueing without
+	// bound. 0 disables admission control (the queue stays unbounded).
+	// Shedding never touches requests already admitted — bounded
+	// latency for accepted work, loud and retryable refusal for the
+	// overflow.
+	QueueLimit int
+	// RetryAfterHint is the delay advertised in the Retry-After header
+	// of shed (429) and draining (503) responses (rounded up to whole
+	// seconds; 0 selects 1s). Clients cap it at their own RetryMaxDelay.
+	RetryAfterHint time.Duration
 	// Role overrides the role label reported by /v1/healthz and
 	// /v1/stats. Defaults to "front" when Upstreams is set and
 	// "standalone" otherwise; operators label fleet members "leaf".
@@ -164,6 +179,14 @@ type Server struct {
 	snapStop  chan struct{}
 	snapWG    sync.WaitGroup
 	closeOnce sync.Once
+	// draining flips once, on BeginDrain: admission refuses new work
+	// with 503 and /v1/healthz reports Ready:false so fronts route
+	// around this daemon while its in-flight requests finish.
+	draining atomic.Bool
+	// Overload shedding counters (see OverloadStats).
+	shed429          atomic.Uint64
+	shed503          atomic.Uint64
+	retryAfterIssued atomic.Uint64
 }
 
 // NewServer starts the worker fleet and returns the handler. Call
@@ -250,7 +273,18 @@ func NewServer(opts ServerOptions) *Server {
 			opts.Logf("cache dir %s unusable, persistence disabled: %v", opts.CacheDir, err)
 			s.opts.CacheDir = ""
 		} else if n, err := cache.Load(path); err != nil {
-			opts.Logf("cache snapshot %s unreadable, starting cold: %v", path, err)
+			if errors.Is(err, ErrSnapshotCorrupt) {
+				// Corrupt bytes never become loadable; leave them aside
+				// for forensics and reclaim the path for fresh snapshots.
+				quarantined := path + ".corrupt"
+				if rerr := os.Rename(path, quarantined); rerr != nil {
+					opts.Logf("cache snapshot corrupt and could not be quarantined, starting cold: %v (rename: %v)", err, rerr)
+				} else {
+					opts.Logf("cache snapshot corrupt, quarantined to %s, starting cold: %v", quarantined, err)
+				}
+			} else {
+				opts.Logf("cache snapshot %s unreadable, starting cold: %v", path, err)
+			}
 		} else if n > 0 {
 			opts.Logf("restored %d cached results from %s", n, path)
 		}
@@ -277,14 +311,76 @@ func NewServer(opts ServerOptions) *Server {
 // payload (status, role, readiness, uptime), never gzipped, no
 // authentication — cheap enough for load balancers to hit every
 // second, and the signal the federation health checker routes on.
+// A draining daemon answers status "draining", Ready false: still
+// alive (in-flight work is finishing), but fronts must stop routing
+// new tasks to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, ready := "ok", true
+	if s.draining.Load() {
+		status, ready = "draining", false
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(&wire.Health{ //nolint:errcheck // the connection owns delivery
-		Status:        "ok",
+		Status:        status,
 		Role:          s.role,
-		Ready:         true,
+		Ready:         ready,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
+}
+
+// BeginDrain puts the daemon into graceful-drain mode: /v1/healthz
+// flips to status "draining" / Ready false (so federation fronts stop
+// routing here within one health-check interval), and every NEW
+// campaign, sweep, or optimize request is refused with 503 Service
+// Unavailable plus a Retry-After header. Requests already admitted —
+// including long NDJSON sweep streams — run to completion; pair with
+// http.Server.Shutdown, which waits for exactly those. Idempotent.
+func (s *Server) BeginDrain() {
+	if !s.draining.Swap(true) {
+		s.opts.Logf("draining: refusing new work, finishing in-flight requests")
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// retryAfterSeconds is the advertised Retry-After delay in whole
+// seconds (the header's delay-seconds form), at least 1.
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.opts.RetryAfterHint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// admit applies admission control to one work-bearing request and
+// reports whether it may proceed. Refusals carry a Retry-After header
+// and are counted for /v1/stats:
+//
+//   - draining → 503 Service Unavailable (this daemon is going away;
+//     try another, or this one after its restart)
+//   - queue at or over the QueueLimit watermark → 429 Too Many
+//     Requests (the daemon is alive but saturated; back off)
+//
+// Both are retryable by construction — the client's dispatcher floors
+// its jittered backoff with the advertised delay (see RetryAfterError).
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.shed503.Add(1)
+		s.retryAfterIssued.Add(1)
+		http.Error(w, "service draining: not accepting new work", http.StatusServiceUnavailable)
+		return false
+	}
+	if limit := s.opts.QueueLimit; limit > 0 && s.disp.QueueDepth() >= limit {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.shed429.Add(1)
+		s.retryAfterIssued.Add(1)
+		http.Error(w, fmt.Sprintf("queue full (%d waiting, limit %d)", s.disp.QueueDepth(), limit), http.StatusTooManyRequests)
+		return false
+	}
+	return true
 }
 
 // ServeHTTP implements http.Handler.
@@ -492,6 +588,9 @@ func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	var wt wire.Task
 	if !decode(w, r, &wt) {
 		return
@@ -515,6 +614,9 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	var req wire.SweepRequest
 	if !decode(w, r, &req) {
 		return
@@ -643,6 +745,9 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, tasks []*en
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	var req wire.OptimizeRequest
 	if !decode(w, r, &req) {
 		return
@@ -690,6 +795,22 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// OverloadStats is the /v1/stats admission-control section: how often
+// this daemon refused work and why. Shed429 counts queue-watermark
+// refusals, Shed503 drain refusals, RetryAfterIssued the Retry-After
+// headers written (every refusal carries one). Draining mirrors the
+// current drain state, QueueDepth and QueueLimit the live watermark
+// inputs — together a one-curl answer to "is this daemon refusing
+// work, and is that load or shutdown?".
+type OverloadStats struct {
+	Draining         bool   `json:"draining"`
+	QueueDepth       int    `json:"queue_depth"`
+	QueueLimit       int    `json:"queue_limit,omitempty"`
+	Shed429          uint64 `json:"shed_429"`
+	Shed503          uint64 `json:"shed_503"`
+	RetryAfterIssued uint64 `json:"retry_after_issued"`
+}
+
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
 	WireVersion int `json:"wire_version"`
@@ -713,6 +834,7 @@ type statsResponse struct {
 	Dispatcher       *DispatcherStats `json:"dispatcher,omitempty"`
 	Journal          *JournalStats    `json:"journal,omitempty"`
 	Federation       *FederationStats `json:"federation,omitempty"`
+	Overload         *OverloadStats   `json:"overload,omitempty"`
 	// Adaptive counts this process's block-adaptive campaign activity
 	// (rounds executed, re-optimize invocations, bandit arm pulls) —
 	// the adapt package's process-wide counters, so in-process library
@@ -748,6 +870,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.fed != nil {
 		fst := s.fed.Stats()
 		resp.Federation = &fst
+	}
+	resp.Overload = &OverloadStats{
+		Draining:         s.draining.Load(),
+		QueueDepth:       s.disp.QueueDepth(),
+		QueueLimit:       s.opts.QueueLimit,
+		Shed429:          s.shed429.Load(),
+		Shed503:          s.shed503.Load(),
+		RetryAfterIssued: s.retryAfterIssued.Load(),
 	}
 	ast := adapt.GlobalStats()
 	resp.Adaptive = &ast

@@ -1,0 +1,99 @@
+package wire_test
+
+import (
+	"testing"
+
+	"optirand/internal/engine"
+	"optirand/internal/fault"
+	"optirand/internal/gen"
+	"optirand/internal/wire"
+)
+
+// seedTaskJSON serializes one real task — the richest valid input the
+// decoder sees in production — as a fuzz seed.
+func seedTaskJSON(tb testing.TB) []byte {
+	tb.Helper()
+	b, ok := gen.ByName("c432")
+	if !ok {
+		tb.Fatal("missing benchmark c432")
+	}
+	c := b.Build()
+	weights := make([]float64, c.NumInputs())
+	for i := range weights {
+		weights[i] = 0.5
+	}
+	t := &engine.Task{
+		Circuit:    c,
+		Faults:     fault.New(c).Reps,
+		WeightSets: [][]float64{weights},
+		Seed:       1987,
+		Patterns:   64,
+	}
+	data, err := wire.JSON.Marshal(wire.FromTask(t))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzTaskDecode hammers the wire task decoder with arbitrary bytes:
+// whatever arrives, decode and Build must return errors, never panic
+// — this is the daemon's first line against a hostile or corrupted
+// request body.
+func FuzzTaskDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"circuit_ref":"deadbeef","faults_ref":"deadbeef"}`))
+	f.Add([]byte(`{"weights":[0.5],"seed":1,"patterns":-1}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add(seedTaskJSON(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var wt wire.Task
+		if err := wire.JSON.Unmarshal(data, &wt); err != nil {
+			return
+		}
+		// By-ref tasks resolve against an empty store first, like the
+		// daemon does; both paths must fail closed.
+		_ = wt.Resolve(func(string) ([]byte, bool) { return nil, false })
+		if built, err := wt.Build(); err == nil && built != nil {
+			// A task that builds must also re-serialize: the identity
+			// hash is defined over this round trip.
+			_ = wire.FromTask(built).IdentityHash()
+		}
+	})
+}
+
+// FuzzCircuitDecode hammers the wire circuit decoder: arbitrary JSON
+// must decode-and-build to an error or a structurally valid circuit,
+// never a panic or an out-of-range gate graph.
+func FuzzCircuitDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"inputs":1,"gates":[{"op":"and","in":[0,0]}],"outputs":[0]}`))
+	f.Add([]byte(`{"inputs":-5,"gates":[{"op":"xor","in":[99]}]}`))
+	b, ok := gen.ByName("c432")
+	if !ok {
+		f.Fatal("missing benchmark c432")
+	}
+	circJSON, err := wire.JSON.Marshal(wire.FromCircuit(b.Build()))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(circJSON)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var wc wire.Circuit
+		if err := wire.JSON.Unmarshal(data, &wc); err != nil {
+			return
+		}
+		if c, err := wc.Build(); err == nil && c != nil {
+			// Anything that builds must survive its own blob round trip.
+			blob, hash := wc.Blob()
+			rt, err := wire.DecodeCircuitBlob(blob)
+			if err != nil {
+				t.Fatalf("built circuit fails its own blob round trip: %v", err)
+			}
+			blob2, hash2 := rt.Blob()
+			if hash2 != hash || len(blob2) != len(blob) {
+				t.Fatalf("blob round trip changed the content address: %s -> %s", hash, hash2)
+			}
+		}
+	})
+}

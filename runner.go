@@ -42,6 +42,8 @@ type Runner struct {
 	goodMachine GoodMachineMode
 	cacheSize   int
 	maxAttempts int
+	retryDelay  time.Duration
+	retryMax    time.Duration
 	seed        uint64
 	remote      string
 	timeout     time.Duration
@@ -162,6 +164,16 @@ func WithSeed(seed uint64) Option { return func(r *Runner) { r.seed = seed } }
 // cached).
 func WithMaxAttempts(n int) Option { return func(r *Runner) { r.maxAttempts = n } }
 
+// WithRetryBackoff shapes the jittered exponential backoff between a
+// task's retry attempts: base is the first-retry delay (0, the
+// default, requeues immediately) and max caps the growth — and caps
+// how long a server's Retry-After hint can hold a retry back (max <= 0
+// selects the default, 32x base). Retry timing never changes results;
+// only meaningful for Runners with a dispatcher (remote or cached).
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(r *Runner) { r.retryDelay = base; r.retryMax = max }
+}
+
 // NewRunner builds a Runner from functional options. The zero-option
 // Runner is the serial in-process reference every other configuration
 // is bit-identical to.
@@ -192,16 +204,20 @@ func NewRunner(opts ...Option) *Runner {
 			break
 		}
 		r.disp = dist.NewDispatcher(dist.RemoteExecutor(r.client), dist.Options{
-			Workers:     r.workers,
-			MaxAttempts: r.maxAttempts,
-			Cache:       cache,
+			Workers:       r.workers,
+			MaxAttempts:   r.maxAttempts,
+			RetryDelay:    r.retryDelay,
+			RetryMaxDelay: r.retryMax,
+			Cache:         cache,
 		})
 		r.backend = r.disp
 	case cache != nil:
 		r.disp = dist.NewDispatcher(dist.LocalExecutor, dist.Options{
-			Workers:     r.workers,
-			MaxAttempts: r.maxAttempts,
-			Cache:       cache,
+			Workers:       r.workers,
+			MaxAttempts:   r.maxAttempts,
+			RetryDelay:    r.retryDelay,
+			RetryMaxDelay: r.retryMax,
+			Cache:         cache,
 		})
 		r.backend = r.disp
 	default:

@@ -287,6 +287,13 @@ type SweepSpec struct {
 	// them instead of recomputing, executing only the residue — with
 	// results byte-identical to an uninterrupted run. Overrides the
 	// Runner's WithJournal directory for this sweep.
+	//
+	// Journal failures degrade durability, not correctness: a write
+	// error (disk full, torn file) makes the journal stop accepting
+	// appends — the sweep itself runs to completion with correct
+	// results, and only the crashed-resume safety net is lost. A
+	// journal found corrupt on open (failed record checksum) is
+	// rejected loudly rather than replayed.
 	Journal string
 }
 
